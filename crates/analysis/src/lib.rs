@@ -1,0 +1,30 @@
+//! Whole-program pre-analyses for Jaylite: Andersen-style points-to with an
+//! on-the-fly 0-CFA call graph, a may-alias oracle, and reachability.
+//!
+//! The paper's evaluation (Section 6) relies on a 0-CFA call-graph
+//! analysis twice: to build the interprocedural control structure both
+//! client analyses run over, and as the *may-alias* oracle of the
+//! stress-test type-state property ("v may point to an object created at
+//! site h according to a 0-CFA may-alias analysis"). This crate is the
+//! from-scratch substitute for Chord's versions of those components.
+//!
+//! # Example
+//!
+//! ```
+//! let p = pda_lang::parse_program(r#"
+//!     class C { fn m() { } }
+//!     fn main() { var x; x = new C; x.m(); }
+//! "#).unwrap();
+//! let pa = pda_analysis::PointsTo::analyze(&p);
+//! let x = p.main_var("x").unwrap();
+//! assert!(pa.may_alias(x, pda_lang::SiteId(0)));
+//! assert_eq!(pa.callees(pda_lang::CallId(0)).len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod pointsto;
+mod reach;
+
+pub use pointsto::PointsTo;
+pub use reach::Reachability;

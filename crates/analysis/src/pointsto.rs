@@ -1,0 +1,411 @@
+//! Andersen-style, flow-insensitive, field-based points-to analysis with an
+//! on-the-fly 0-CFA call graph.
+
+use pda_lang::{Atom, CallId, CallKind, MethodId, Node, Program, SiteId, VarId};
+use pda_util::{BitSet, Idx, IdxVec};
+use std::collections::HashMap;
+
+/// The result of the points-to / call-graph analysis.
+///
+/// Points-to sets are computed for local variables, globals, and fields
+/// (field-based: one set per field name, merged over all base objects,
+/// matching the heap treatment of the paper's Figure 5). Virtual calls are
+/// resolved on the fly: discovering that `recv` may point to a site of
+/// class `C` adds `C.m` as a target, whose parameter/return constraints
+/// are then added, which may discover more targets, until fixpoint.
+#[derive(Debug, Clone)]
+pub struct PointsTo {
+    n_vars: usize,
+    n_globals: usize,
+    /// Per-node points-to sets over sites; nodes are vars ++ globals ++ fields.
+    pts: Vec<BitSet>,
+    /// Resolved targets per call (sorted, deduped).
+    targets: IdxVec<CallId, Vec<MethodId>>,
+}
+
+/// Dense node numbering: locals, then globals, then fields.
+fn var_node(v: VarId) -> usize {
+    v.index()
+}
+
+impl PointsTo {
+    /// Runs the analysis to fixpoint over the whole program.
+    pub fn analyze(program: &Program) -> PointsTo {
+        Solver::new(program).run()
+    }
+
+    /// The points-to set (over allocation sites) of local variable `v`.
+    pub fn pts_var(&self, v: VarId) -> &BitSet {
+        &self.pts[var_node(v)]
+    }
+
+    /// Returns `true` if `v` may point to an object allocated at `h`.
+    ///
+    /// This is the may-alias oracle used by the stress type-state property
+    /// of the paper's Section 6.
+    pub fn may_alias(&self, v: VarId, h: SiteId) -> bool {
+        self.pts[var_node(v)].contains(h.index())
+    }
+
+    /// The resolved callees of call `c` (empty for unresolvable virtual
+    /// calls and calls to bodyless methods only... bodyless targets are
+    /// included; the engines decide how to treat them).
+    pub fn callees(&self, c: CallId) -> &[MethodId] {
+        &self.targets[c]
+    }
+
+    /// Number of globals tracked (for diagnostics).
+    pub fn n_globals(&self) -> usize {
+        self.n_globals
+    }
+
+    /// Number of locals tracked (for diagnostics).
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+}
+
+struct Solver<'a> {
+    program: &'a Program,
+    pts: Vec<BitSet>,
+    /// Subset edges `from -> to` (pts(from) ⊆ pts(to)).
+    succs: Vec<Vec<usize>>,
+    /// Calls to (re-)resolve when the receiver's set grows.
+    recv_watch: HashMap<usize, Vec<CallId>>,
+    targets: IdxVec<CallId, Vec<MethodId>>,
+    worklist: Vec<usize>,
+    on_list: Vec<bool>,
+}
+
+impl<'a> Solver<'a> {
+    fn new(program: &'a Program) -> Self {
+        let n_vars = program.vars.len();
+        let n_globals = program.globals.len();
+        let n_fields = program.fields.len();
+        let n_nodes = n_vars + n_globals + n_fields;
+        let n_sites = program.sites.len();
+        Solver {
+            program,
+            pts: vec![BitSet::new(n_sites); n_nodes],
+            succs: vec![Vec::new(); n_nodes],
+            recv_watch: HashMap::new(),
+            targets: (0..program.calls.len()).map(|_| Vec::new()).collect(),
+            worklist: Vec::new(),
+            on_list: vec![false; n_nodes],
+        }
+    }
+
+    fn global_node(&self, g: pda_lang::GlobalId) -> usize {
+        self.program.vars.len() + g.index()
+    }
+
+    fn field_node(&self, f: pda_lang::FieldId) -> usize {
+        self.program.vars.len() + self.program.globals.len() + f.index()
+    }
+
+    fn push(&mut self, n: usize) {
+        if !self.on_list[n] {
+            self.on_list[n] = true;
+            self.worklist.push(n);
+        }
+    }
+
+    fn add_site(&mut self, n: usize, h: SiteId) {
+        if self.pts[n].insert(h.index()) {
+            self.push(n);
+        }
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize) {
+        if from == to || self.succs[from].contains(&to) {
+            return;
+        }
+        self.succs[from].push(to);
+        if !self.pts[from].is_empty() {
+            self.push(from);
+        }
+    }
+
+    fn seed(&mut self) {
+        let program = self.program;
+        for (_, m) in program.methods.iter_enumerated() {
+            for (_, node) in m.cfg.iter() {
+                match &node.kind {
+                    Node::Atom(a, _) => self.seed_atom(a),
+                    Node::Call(c) => self.seed_call(*c),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn seed_atom(&mut self, a: &Atom) {
+        match *a {
+            Atom::New { dst, site } => self.add_site(var_node(dst), site),
+            Atom::Copy { dst, src } => self.add_edge(var_node(src), var_node(dst)),
+            Atom::Load { dst, field, .. } => {
+                let f = self.field_node(field);
+                self.add_edge(f, var_node(dst));
+            }
+            Atom::Store { field, src, .. } => {
+                let f = self.field_node(field);
+                self.add_edge(var_node(src), f);
+            }
+            Atom::GSet { global, src } => {
+                let g = self.global_node(global);
+                self.add_edge(var_node(src), g);
+            }
+            Atom::GGet { dst, global } => {
+                let g = self.global_node(global);
+                self.add_edge(g, var_node(dst));
+            }
+            // Invoke is handled at the call, Havoc introduces no site.
+            Atom::Invoke { .. }
+            | Atom::Spawn { .. }
+            | Atom::Havoc { .. }
+            | Atom::Null { .. }
+            | Atom::Nop => {}
+        }
+    }
+
+    fn seed_call(&mut self, c: CallId) {
+        match self.program.calls[c].kind {
+            CallKind::Static(target) => self.add_target(c, target, None),
+            CallKind::Virtual { recv, .. } => {
+                let rn = var_node(recv);
+                self.recv_watch.entry(rn).or_default().push(c);
+                self.resolve_virtual(c);
+            }
+        }
+    }
+
+    /// Adds `target` as a callee of `c`, wiring argument/return edges.
+    ///
+    /// For virtual calls `site` is the receiver site that discovered the
+    /// target; it seeds the callee's `this` parameter.
+    fn add_target(&mut self, c: CallId, target: MethodId, site: Option<SiteId>) {
+        let info = &self.program.calls[c];
+        let m = &self.program.methods[target];
+        let is_new = !self.targets[c].contains(&target);
+        if is_new {
+            self.targets[c].push(target);
+            // Arguments -> parameters (skipping `this` for virtual calls).
+            let skip = usize::from(m.class.is_some());
+            for (formal, actual) in m.params.iter().skip(skip).zip(info.args.clone()) {
+                self.add_edge(var_node(actual), var_node(*formal));
+            }
+            if let (Some(dst), Some(ret)) = (info.dst, m.ret) {
+                self.add_edge(var_node(ret), var_node(dst));
+            }
+        }
+        if let Some(h) = site {
+            let this = self.program.methods[target].params[0];
+            self.add_site(var_node(this), h);
+        }
+    }
+
+    fn resolve_virtual(&mut self, c: CallId) {
+        let CallKind::Virtual { recv, method } = self.program.calls[c].kind else {
+            return;
+        };
+        let sites: Vec<SiteId> = self.pts[var_node(recv)]
+            .iter()
+            .map(SiteId::from_usize)
+            .collect();
+        for h in sites {
+            let class = self.program.sites[h].class;
+            if let Some(&target) = self.program.classes[class].methods.get(&method) {
+                if self.program.methods[target].body.is_some() {
+                    self.add_target(c, target, Some(h));
+                } else if !self.targets[c].contains(&target) {
+                    // Bodyless (atomic) methods are recorded as targets so
+                    // clients can see them, but get no flow edges.
+                    self.targets[c].push(target);
+                }
+            }
+        }
+    }
+
+    fn run(mut self) -> PointsTo {
+        self.seed();
+        while let Some(n) = self.worklist.pop() {
+            self.on_list[n] = false;
+            // Propagate to successors.
+            let succs = self.succs[n].clone();
+            let src = self.pts[n].clone();
+            for s in succs {
+                let before = self.pts[s].count();
+                self.pts[s] = self.pts[s].union(&src);
+                if self.pts[s].count() != before {
+                    self.push(s);
+                }
+            }
+            // Re-resolve virtual calls watching this receiver.
+            if let Some(calls) = self.recv_watch.get(&n).cloned() {
+                for c in calls {
+                    self.resolve_virtual(c);
+                }
+            }
+        }
+        for t in self.targets.iter_enumerated().map(|(i, _)| i).collect::<Vec<_>>() {
+            self.targets[t].sort();
+            self.targets[t].dedup();
+        }
+        PointsTo {
+            n_vars: self.program.vars.len(),
+            n_globals: self.program.globals.len(),
+            pts: self.pts,
+            targets: self.targets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pda_lang::parse_program;
+
+    #[test]
+    fn copies_propagate() {
+        let p = parse_program("class C {} fn main() { var x, y; x = new C; y = x; }").unwrap();
+        let pa = PointsTo::analyze(&p);
+        assert!(pa.may_alias(p.main_var("x").unwrap(), SiteId(0)));
+        assert!(pa.may_alias(p.main_var("y").unwrap(), SiteId(0)));
+    }
+
+    #[test]
+    fn flow_insensitive_order_does_not_matter() {
+        let p = parse_program("class C {} fn main() { var x, y; y = x; x = new C; }").unwrap();
+        let pa = PointsTo::analyze(&p);
+        assert!(pa.may_alias(p.main_var("y").unwrap(), SiteId(0)));
+    }
+
+    #[test]
+    fn field_based_heap() {
+        let p = parse_program(
+            r#"
+            class C { field f; }
+            fn main() {
+                var a, b, r;
+                a = new C;      // h0
+                b = new C;      // h1
+                a.f = a;
+                r = b.f;        // field-based: r may see h0
+            }
+            "#,
+        )
+        .unwrap();
+        let pa = PointsTo::analyze(&p);
+        let r = p.main_var("r").unwrap();
+        assert!(pa.may_alias(r, SiteId(0)));
+        assert!(!pa.may_alias(r, SiteId(1)));
+    }
+
+    #[test]
+    fn globals_flow() {
+        let p = parse_program(
+            "global g; class C {} fn main() { var x, y; x = new C; g = x; y = g; }",
+        )
+        .unwrap();
+        let pa = PointsTo::analyze(&p);
+        assert!(pa.may_alias(p.main_var("y").unwrap(), SiteId(0)));
+    }
+
+    #[test]
+    fn static_call_binds_params_and_return() {
+        let p = parse_program(
+            "class C {} fn id(a) { return a; } fn main() { var x, y; x = new C; y = id(x); }",
+        )
+        .unwrap();
+        let pa = PointsTo::analyze(&p);
+        assert!(pa.may_alias(p.main_var("y").unwrap(), SiteId(0)));
+        assert_eq!(pa.callees(CallId(0)).len(), 1);
+    }
+
+    #[test]
+    fn virtual_dispatch_is_receiver_sensitive() {
+        let p = parse_program(
+            r#"
+            class A { fn m() { } }
+            class B { fn m() { } }
+            fn main() {
+                var a, b;
+                a = new A;
+                b = new B;
+                a.m();
+                b.m();
+            }
+            "#,
+        )
+        .unwrap();
+        let pa = PointsTo::analyze(&p);
+        // Each call resolves to exactly its own class's method.
+        let t0 = pa.callees(CallId(0));
+        let t1 = pa.callees(CallId(1));
+        assert_eq!(t0.len(), 1);
+        assert_eq!(t1.len(), 1);
+        assert_ne!(t0[0], t1[0]);
+    }
+
+    #[test]
+    fn this_receives_receiver_sites() {
+        let p = parse_program(
+            r#"
+            global g;
+            class A { fn m() { g = this; } }
+            fn main() { var a, r; a = new A; a.m(); r = g; }
+            "#,
+        )
+        .unwrap();
+        let pa = PointsTo::analyze(&p);
+        assert!(pa.may_alias(p.main_var("r").unwrap(), SiteId(0)));
+    }
+
+    #[test]
+    fn chained_discovery_reaches_fixpoint() {
+        // Dispatch target discovered only after flow through a call.
+        let p = parse_program(
+            r#"
+            class A { fn m() { } }
+            fn mk() { var t; t = new A; return t; }
+            fn main() { var x; x = mk(); x.m(); }
+            "#,
+        )
+        .unwrap();
+        let pa = PointsTo::analyze(&p);
+        let vcall = p
+            .calls
+            .iter_enumerated()
+            .find(|(_, c)| matches!(c.kind, CallKind::Virtual { .. }))
+            .unwrap()
+            .0;
+        assert_eq!(pa.callees(vcall).len(), 1);
+    }
+
+    #[test]
+    fn bodyless_targets_recorded_without_flow() {
+        let p = parse_program(
+            r#"
+            class F { fn open(); }
+            fn main() { var x; x = new F; x.open(); }
+            "#,
+        )
+        .unwrap();
+        let pa = PointsTo::analyze(&p);
+        assert_eq!(pa.callees(CallId(0)).len(), 1);
+    }
+
+    #[test]
+    fn null_and_havoc_have_empty_pts() {
+        let p = parse_program(
+            r#"
+            class F { fn get(); }
+            fn main() { var x, y, z; x = new F; y = x.get(); z = null; }
+            "#,
+        )
+        .unwrap();
+        let pa = PointsTo::analyze(&p);
+        assert!(pa.pts_var(p.main_var("y").unwrap()).is_empty());
+        assert!(pa.pts_var(p.main_var("z").unwrap()).is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! Method reachability over the resolved call graph.
+
+use crate::PointsTo;
+use pda_lang::{MethodId, Node, Program};
+use pda_util::{BitSet, Idx};
+
+/// Methods reachable from `main` via the 0-CFA call graph.
+///
+/// Used by the experiment harness to reproduce Table 1 (benchmark
+/// statistics count entities "in reachable methods") and by query
+/// generation ("we generated queries pervasively ... of each benchmark"
+/// restricted to reachable application code).
+#[derive(Debug, Clone)]
+pub struct Reachability {
+    reachable: BitSet,
+}
+
+impl Reachability {
+    /// Computes reachability from `program.main`.
+    pub fn compute(program: &Program, pa: &PointsTo) -> Reachability {
+        let mut reachable = BitSet::new(program.methods.len());
+        let mut stack = vec![program.main];
+        reachable.insert(program.main.index());
+        while let Some(m) = stack.pop() {
+            for (_, node) in program.methods[m].cfg.iter() {
+                if let Node::Call(c) = node.kind {
+                    for &callee in pa.callees(c) {
+                        if reachable.insert(callee.index()) {
+                            stack.push(callee);
+                        }
+                    }
+                }
+            }
+        }
+        Reachability { reachable }
+    }
+
+    /// Is method `m` reachable from `main`?
+    pub fn is_reachable(&self, m: MethodId) -> bool {
+        self.reachable.contains(m.index())
+    }
+
+    /// All reachable methods, ascending.
+    pub fn methods(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.reachable.iter().map(MethodId::from_usize)
+    }
+
+    /// Number of reachable methods.
+    pub fn count(&self) -> usize {
+        self.reachable.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pda_lang::parse_program;
+
+    #[test]
+    fn unreachable_methods_excluded() {
+        let p = parse_program(
+            r#"
+            class A { fn used() { } fn unused() { } }
+            fn dead() { }
+            fn main() { var a; a = new A; a.used(); }
+            "#,
+        )
+        .unwrap();
+        let pa = PointsTo::analyze(&p);
+        let r = Reachability::compute(&p, &pa);
+        assert_eq!(r.count(), 2); // main + A.used
+        assert!(r.is_reachable(p.main));
+    }
+
+    #[test]
+    fn transitive_calls_reachable() {
+        let p = parse_program(
+            r#"
+            fn a() { b(); }
+            fn b() { c(); }
+            fn c() { }
+            fn main() { a(); }
+            "#,
+        )
+        .unwrap();
+        let pa = PointsTo::analyze(&p);
+        let r = Reachability::compute(&p, &pa);
+        assert_eq!(r.count(), 4);
+    }
+
+    #[test]
+    fn dispatch_limits_reachability() {
+        let p = parse_program(
+            r#"
+            class A { fn m() { } }
+            class B { fn m() { } }
+            fn main() { var a; a = new A; a.m(); }
+            "#,
+        )
+        .unwrap();
+        let pa = PointsTo::analyze(&p);
+        let r = Reachability::compute(&p, &pa);
+        // B.m is never a dispatch target.
+        assert_eq!(r.count(), 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! the beam width `k` (Section 4.1 / Figure 13) and the query-group
+//! optimization (Section 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pda_suite::Benchmark;
+use pda_tracer::{solve_queries, solve_query, TracerConfig};
+use std::hint::black_box;
+
+fn fixture() -> (Benchmark, Vec<pda_tracer::Query<pda_escape::EscPrim>>, pda_escape::EscapeClient)
+{
+    let bench = Benchmark::load(pda_suite::suite().remove(0));
+    let client = pda_escape::EscapeClient::new(&bench.program);
+    let accesses = pda_escape::EscapeClient::accesses(&bench.program, bench.app_methods());
+    let queries: Vec<_> = accesses
+        .iter()
+        .take(6)
+        .map(|&(point, var)| client.access_query(point, var))
+        .collect();
+    (bench, queries, client)
+}
+
+/// Beam-width ablation: resolve the same queries with k = 1, 5, 10, and
+/// an effectively exhaustive beam (the paper's Figure 6(a) mode).
+fn bench_beam_width(c: &mut Criterion) {
+    let (bench, queries, client) = fixture();
+    let callees = bench.callees();
+    let mut group = c.benchmark_group("ablation/beam-width");
+    for k in [1usize, 5, 10, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let config = TracerConfig {
+                beam: pda_meta::BeamConfig::with_k(k),
+                ..TracerConfig::default()
+            };
+            b.iter(|| {
+                black_box(solve_queries(
+                    &bench.program,
+                    &callees,
+                    &client,
+                    &queries,
+                    &config,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Query-group ablation: shared (grouped) forward runs vs. solving each
+/// query independently.
+fn bench_grouping(c: &mut Criterion) {
+    let (bench, queries, client) = fixture();
+    let callees = bench.callees();
+    let config = TracerConfig::default();
+    let mut group = c.benchmark_group("ablation/query-groups");
+    group.bench_function("grouped", |b| {
+        b.iter(|| {
+            black_box(solve_queries(
+                &bench.program,
+                &callees,
+                &client,
+                &queries,
+                &config,
+            ))
+        })
+    });
+    group.bench_function("individual", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| solve_query(&bench.program, &callees, &client, q, &config))
+                .map(|r| black_box(r.iterations))
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = ablation;
+    config = Criterion::default().sample_size(10);
+    targets = bench_beam_width, bench_grouping
+}
+criterion_main!(ablation);

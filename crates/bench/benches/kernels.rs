@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the kernels the paper's scalability
+//! story rests on: DNF normalization/simplification, backward weakest
+//! preconditions, forward tabulation, and minimum-cost model search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pda_meta::{analyze_trace, simplify, BeamConfig, Formula};
+use pda_solver::{MinCostSolver, PFormula};
+use pda_suite::Benchmark;
+use pda_tracer::{AsAnalysis, AsMeta, TracerClient};
+use std::hint::black_box;
+
+fn bench_dnf(c: &mut Criterion) {
+    use pda_escape::{Cell, EscPrim, Val};
+    use pda_lang::{FieldId, VarId};
+    // A store-shaped wp formula conjunction, the worst DNF producer.
+    let lit = |v: u32, val: Val| Formula::prim(EscPrim::CellIs(Cell::Var(VarId(v)), val));
+    let flit = |f: u32, val: Val| Formula::prim(EscPrim::CellIs(Cell::Field(FieldId(f)), val));
+    let parts: Vec<Formula<EscPrim>> = (0..6)
+        .map(|i| {
+            Formula::or(vec![
+                Formula::and(vec![lit(i, Val::L), flit(0, Val::N)]),
+                Formula::and(vec![lit(i, Val::E), flit(0, Val::L)]),
+                Formula::not(lit(i, Val::N)),
+            ])
+        })
+        .collect();
+    let f = Formula::and(parts);
+    let cfg = BeamConfig::default();
+    c.bench_function("dnf/convert+simplify", |b| {
+        b.iter(|| {
+            let dnf = pda_meta::approx::to_dnf(black_box(&f), &cfg, &|_| true);
+            black_box(simplify(dnf))
+        })
+    });
+}
+
+fn bench_solver(c: &mut Criterion) {
+    // Accumulated-constraint shape: k rounds of ¬(cube over 30 atoms).
+    let n = 30;
+    let mut solver = MinCostSolver::with_unit_costs(n);
+    for round in 0..12 {
+        let cube = PFormula::and(
+            (0..5)
+                .map(|j| PFormula::lit((round * 5 + j * 3) % n, j % 2 == 0))
+                .collect(),
+        );
+        solver.require(PFormula::not(cube));
+    }
+    c.bench_function("solver/min-cost-model", |b| {
+        b.iter(|| black_box(&solver).solve().unwrap())
+    });
+}
+
+fn bench_forward_and_backward(c: &mut Criterion) {
+    let bench = Benchmark::load(pda_suite::suite().remove(0));
+    let client = pda_escape::EscapeClient::new(&bench.program);
+    let callees = bench.callees();
+    let p_all_e = client.param_of_model(&vec![false; client.n_atoms()]);
+    c.bench_function("forward/rhs-escape-tsp", |b| {
+        b.iter(|| {
+            pda_dataflow::rhs::run(
+                &bench.program,
+                &AsAnalysis(&client),
+                black_box(&p_all_e),
+                client.initial_state(),
+                &callees,
+                pda_dataflow::RhsLimits::default(),
+            )
+            .unwrap()
+            .n_facts()
+        })
+    });
+
+    // A counterexample trace for the first failing access query.
+    let accesses = pda_escape::EscapeClient::accesses(&bench.program, bench.app_methods());
+    let run = pda_dataflow::rhs::run(
+        &bench.program,
+        &AsAnalysis(&client),
+        &p_all_e,
+        client.initial_state(),
+        &callees,
+        pda_dataflow::RhsLimits::default(),
+    )
+    .unwrap();
+    let (trace, query) = accesses
+        .iter()
+        .find_map(|&(point, var)| {
+            let q = client.access_query(point, var);
+            let failing = |d: &pda_escape::Env| q.not_q.holds(&p_all_e, d);
+            run.witness(point, &failing).map(|t| (t, q))
+        })
+        .expect("some query fails under all-E");
+    let atoms: Vec<pda_lang::Atom> = trace.iter().map(|s| s.atom).collect();
+    let d0 = client.initial_state();
+    let cfg = BeamConfig::default();
+    c.bench_function("backward/meta-analysis-trace", |b| {
+        b.iter(|| {
+            analyze_trace(
+                &AsMeta(&client),
+                black_box(&p_all_e),
+                &d0,
+                &atoms,
+                &query.not_q,
+                &cfg,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dnf, bench_solver, bench_forward_and_backward
+}
+criterion_main!(kernels);

@@ -1,0 +1,41 @@
+//! Regenerates **Figure 12**: precision of the technique — per benchmark
+//! and per client analysis, how many queries are proven with a cheapest
+//! abstraction, shown impossible to prove, or left unresolved by the
+//! budget.
+
+use pda_bench::{config_from_env, load_suite_verbose, print_table};
+use pda_suite::{run_escape, run_typestate};
+
+fn main() {
+    let cfg = config_from_env();
+    let benches = load_suite_verbose();
+    let mut rows = Vec::new();
+    let mut totals = [0usize; 3];
+    for b in &benches {
+        for run in [run_typestate(b, &cfg), run_escape(b, &cfg)] {
+            let (p, i, u) = run.precision();
+            let n = run.outcomes.len().max(1);
+            totals[0] += p;
+            totals[1] += i;
+            totals[2] += u;
+            rows.push(vec![
+                b.name.clone(),
+                run.analysis.to_string(),
+                format!("{}", run.outcomes.len()),
+                format!("{p} ({:.0}%)", 100.0 * p as f64 / n as f64),
+                format!("{i} ({:.0}%)", 100.0 * i as f64 / n as f64),
+                format!("{u} ({:.0}%)", 100.0 * u as f64 / n as f64),
+            ]);
+        }
+    }
+    println!("\nFigure 12: precision (proven / impossible / unresolved)\n");
+    print_table(
+        &["benchmark", "analysis", "queries", "proven", "impossible", "unresolved"],
+        &rows,
+    );
+    let total: usize = totals.iter().sum();
+    println!(
+        "\nresolved: {:.1}% of {total} queries (paper: 92.5% on average)",
+        100.0 * (totals[0] + totals[1]) as f64 / total.max(1) as f64
+    );
+}

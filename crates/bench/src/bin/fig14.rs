@@ -1,0 +1,26 @@
+//! Regenerates **Figure 14**: the distribution of cheapest-abstraction
+//! sizes for thread-escape queries on the three largest benchmarks —
+//! most queries need only one or two `L`-mapped sites.
+
+use pda_bench::{config_from_env, load_suite_verbose};
+use pda_suite::run_escape;
+
+fn main() {
+    let cfg = config_from_env();
+    let benches = load_suite_verbose();
+    println!("\nFigure 14: histogram of cheapest-abstraction sizes (thread-escape)\n");
+    for b in benches.iter().rev().take(3).rev() {
+        let run = run_escape(b, &cfg);
+        let hist = run.size_histogram();
+        println!("{}:", b.name);
+        let max = hist.values().copied().max().unwrap_or(1);
+        for (size, count) in &hist {
+            let bar = "#".repeat(count * 40 / max.max(1));
+            println!("  |p| = {size:>3}: {count:>4} {bar}");
+        }
+        if hist.is_empty() {
+            println!("  (no proven queries)");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Table 2**: scalability — CEGAR iteration counts
+//! (min/max/avg, separately for proven and impossible queries) for both
+//! analyses, plus the thread-escape running-time summaries.
+
+use pda_bench::{config_from_env, fmt_summary, load_suite_verbose, print_table};
+use pda_suite::{run_escape, run_typestate, Resolution};
+
+fn main() {
+    let cfg = config_from_env();
+    let benches = load_suite_verbose();
+    let mut rows = Vec::new();
+    for b in &benches {
+        let ts = run_typestate(b, &cfg);
+        let esc = run_escape(b, &cfg);
+        let (tp0, tp1, tp2) = fmt_summary(ts.iterations(Resolution::Proven));
+        let (ti0, ti1, ti2) = fmt_summary(ts.iterations(Resolution::Impossible));
+        let (ep0, ep1, ep2) = fmt_summary(esc.iterations(Resolution::Proven));
+        let (ei0, ei1, ei2) = fmt_summary(esc.iterations(Resolution::Impossible));
+        let (sp0, sp1, sp2) = fmt_summary(esc.times_secs(Resolution::Proven));
+        let (si0, si1, si2) = fmt_summary(esc.times_secs(Resolution::Impossible));
+        rows.push(vec![
+            b.name.clone(),
+            format!("{tp0}/{tp1}/{tp2}"),
+            format!("{ti0}/{ti1}/{ti2}"),
+            format!("{ep0}/{ep1}/{ep2}"),
+            format!("{ei0}/{ei1}/{ei2}"),
+            format!("{sp0}s/{sp1}s/{sp2}s"),
+            format!("{si0}s/{si1}s/{si2}s"),
+        ]);
+    }
+    println!("\nTable 2: iterations (min/max/avg) and thread-escape running times\n");
+    print_table(
+        &[
+            "benchmark",
+            "ts-iters proven",
+            "ts-iters imposs",
+            "esc-iters proven",
+            "esc-iters imposs",
+            "esc-time proven",
+            "esc-time imposs",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Table 4**: cheapest-abstraction reuse — how many proven
+//! queries share the same cheapest abstraction (group counts and
+//! min/max/avg group sizes).
+
+use pda_bench::{config_from_env, fmt_summary, load_suite_verbose, print_table};
+use pda_suite::{run_escape, run_typestate};
+use pda_util::Summary;
+
+fn group_cells(groups: &[usize]) -> Vec<String> {
+    let s: Summary = groups.iter().map(|&g| g as f64).collect();
+    let (lo, hi, avg) = fmt_summary(s);
+    vec![format!("{}", groups.len()), lo, hi, avg]
+}
+
+fn main() {
+    let cfg = config_from_env();
+    let benches = load_suite_verbose();
+    let mut rows = Vec::new();
+    for b in &benches {
+        let ts = run_typestate(b, &cfg);
+        let esc = run_escape(b, &cfg);
+        let mut row = vec![b.name.clone()];
+        row.extend(group_cells(&ts.reuse_groups()));
+        row.extend(group_cells(&esc.reuse_groups()));
+        rows.push(row);
+    }
+    println!("\nTable 4: cheapest-abstraction reuse among proven queries\n");
+    print_table(
+        &[
+            "benchmark",
+            "ts #groups",
+            "ts min",
+            "ts max",
+            "ts avg",
+            "esc #groups",
+            "esc min",
+            "esc max",
+            "esc avg",
+        ],
+        &rows,
+    );
+    println!("\npaper shape: cheapest abstractions differ across queries (many small groups)");
+}

@@ -1,0 +1,101 @@
+//! Shared plumbing for the experiment binaries (one per paper
+//! table/figure) and the Criterion micro-benchmarks.
+//!
+//! Each binary regenerates one table or figure of the PLDI'13 evaluation:
+//!
+//! | target   | paper artifact                                     |
+//! |----------|----------------------------------------------------|
+//! | `table1` | benchmark statistics                               |
+//! | `table2` | iterations + running-time summaries                |
+//! | `table3` | cheapest-abstraction sizes for proven queries      |
+//! | `table4` | cheapest-abstraction reuse groups                  |
+//! | `fig12`  | precision buckets (proven/impossible/unresolved)   |
+//! | `fig13`  | effect of the beam width `k` on running time       |
+//! | `fig14`  | distribution of cheapest-abstraction sizes        |
+//!
+//! Scale knobs come from the environment so CI can run a quick pass:
+//! `PDA_MAX_QUERIES` (default 40), `PDA_MAX_ITERS` (default 40).
+
+use pda_suite::{Benchmark, ExperimentConfig};
+
+/// Builds the experiment configuration, honoring the `PDA_MAX_QUERIES`
+/// and `PDA_MAX_ITERS` environment overrides.
+pub fn config_from_env() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::default();
+    if let Some(q) = env_usize("PDA_MAX_QUERIES") {
+        cfg.max_queries = q;
+    }
+    if let Some(i) = env_usize("PDA_MAX_ITERS") {
+        cfg.max_iters = i;
+    }
+    cfg
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// Loads the full suite, printing progress to stderr.
+pub fn load_suite_verbose() -> Vec<Benchmark> {
+    pda_suite::suite()
+        .into_iter()
+        .map(|cfg| {
+            eprintln!("loading {} ...", cfg.name);
+            Benchmark::load(cfg)
+        })
+        .collect()
+}
+
+/// Formats one row of fixed-width columns.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Prints a fixed-width table with a header rule.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let head: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    println!("{}", row(&head, &widths));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for r in rows {
+        println!("{}", row(r, &widths));
+    }
+}
+
+/// Renders a [`pda_util::Summary`] as the paper's `min max avg` triple.
+pub fn fmt_summary(s: pda_util::Summary) -> (String, String, String) {
+    match (s.min(), s.max(), s.mean()) {
+        (Some(lo), Some(hi), Some(avg)) => {
+            (format!("{lo:.0}"), format!("{hi:.0}"), format!("{avg:.1}"))
+        }
+        _ => ("-".into(), "-".into(), "-".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_config_defaults() {
+        let cfg = config_from_env();
+        assert!(cfg.max_queries > 0);
+        assert!(cfg.max_iters > 0);
+    }
+
+    #[test]
+    fn table_formatting_aligns() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

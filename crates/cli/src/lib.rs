@@ -1,0 +1,420 @@
+//! Library backing the `pda` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `pda check <file.jay>` — parse, resolve, validate; print program
+//!   statistics.
+//! * `pda queries <file.jay>` — list the source queries with their kinds.
+//! * `pda solve <file.jay> [--query LABEL] [--k N] [--max-iters N]`
+//!   — run TRACER on one labeled query (or all), choosing the client by
+//!   the query kind (`local` → thread-escape, `state` → type-state).
+//! * `pda gen <benchmark>` — print a generated suite benchmark's source.
+//!
+//! The heavy lifting lives in the workspace crates; this module only
+//! parses arguments and formats reports, and is unit-tested directly.
+
+#![warn(missing_docs)]
+
+use pda_analysis::{PointsTo, Reachability};
+use pda_escape::EscapeClient;
+use pda_meta::BeamConfig;
+use pda_tracer::{solve_query, Outcome, TracerConfig};
+use pda_typestate::TypestateClient;
+use pda_util::Idx;
+use std::fmt::Write as _;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `pda check <file>`
+    Check {
+        /// Input path.
+        file: String,
+    },
+    /// `pda queries <file>`
+    Queries {
+        /// Input path.
+        file: String,
+    },
+    /// `pda solve <file> [--query LABEL] [--k N] [--max-iters N]`
+    Solve {
+        /// Input path.
+        file: String,
+        /// Restrict to one labeled query.
+        query: Option<String>,
+        /// Beam width.
+        k: usize,
+        /// Iteration budget.
+        max_iters: usize,
+    },
+    /// `pda gen <benchmark>`
+    Gen {
+        /// Suite benchmark name (tsp, elevator, ...).
+        name: String,
+    },
+    /// `pda help` or no/invalid arguments.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+pda — optimum abstractions for parametric dataflow analysis (PLDI'13)
+
+USAGE:
+    pda check   <file.jay>                 parse, validate, report stats
+    pda queries <file.jay>                 list source queries
+    pda solve   <file.jay> [--query LABEL] [--k N] [--max-iters N]
+                                           find optimum abstractions
+    pda gen     <benchmark>                print a generated suite program
+";
+
+/// Parses command-line arguments (without the program name).
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, String> {
+    let args: Vec<String> = args.into_iter().collect();
+    match args.first().map(String::as_str) {
+        Some("check") => match args.get(1) {
+            Some(f) => Ok(Command::Check { file: f.clone() }),
+            None => Err("check: missing <file>".into()),
+        },
+        Some("queries") => match args.get(1) {
+            Some(f) => Ok(Command::Queries { file: f.clone() }),
+            None => Err("queries: missing <file>".into()),
+        },
+        Some("gen") => match args.get(1) {
+            Some(n) => Ok(Command::Gen { name: n.clone() }),
+            None => Err("gen: missing <benchmark>".into()),
+        },
+        Some("solve") => {
+            let Some(file) = args.get(1).cloned() else {
+                return Err("solve: missing <file>".into());
+            };
+            let mut query = None;
+            let mut k = 5usize;
+            let mut max_iters = 100usize;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--query" => {
+                        query = Some(
+                            args.get(i + 1)
+                                .ok_or("--query needs a label")?
+                                .clone(),
+                        );
+                        i += 2;
+                    }
+                    "--k" => {
+                        k = args
+                            .get(i + 1)
+                            .ok_or("--k needs a number")?
+                            .parse()
+                            .map_err(|_| "--k needs a number".to_string())?;
+                        i += 2;
+                    }
+                    "--max-iters" => {
+                        max_iters = args
+                            .get(i + 1)
+                            .ok_or("--max-iters needs a number")?
+                            .parse()
+                            .map_err(|_| "--max-iters needs a number".to_string())?;
+                        i += 2;
+                    }
+                    other => return Err(format!("solve: unknown flag `{other}`")),
+                }
+            }
+            Ok(Command::Solve { file, query, k, max_iters })
+        }
+        Some("help") | None => Ok(Command::Help),
+        Some(other) => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Executes a command against source text, returning the report.
+///
+/// File access happens in `main`; this function is pure given the source,
+/// which keeps it testable.
+pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, String> {
+    match cmd {
+        Command::Check { .. } => check_report(source),
+        Command::Queries { .. } => queries_report(source),
+        Command::Solve { query, k, max_iters, .. } => {
+            solve_report(source, query.as_deref(), *k, *max_iters)
+        }
+        Command::Gen { name } => {
+            let cfg = pda_suite::suite()
+                .into_iter()
+                .find(|c| c.name == *name)
+                .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+            Ok(pda_suite::generate_source(&cfg))
+        }
+        Command::Help => Ok(USAGE.to_string()),
+    }
+}
+
+fn load(source: &str) -> Result<pda_lang::Program, String> {
+    pda_lang::parse_program(source).map_err(|e| e.to_string())
+}
+
+fn check_report(source: &str) -> Result<String, String> {
+    let program = load(source)?;
+    let violations = pda_lang::validate::check(&program);
+    let pa = PointsTo::analyze(&program);
+    let reach = Reachability::compute(&program, &pa);
+    let mut out = String::new();
+    writeln!(out, "classes:   {}", program.classes.len()).unwrap();
+    writeln!(out, "methods:   {} ({} reachable)", program.methods.len(), reach.count()).unwrap();
+    writeln!(out, "variables: {}", program.vars.len()).unwrap();
+    writeln!(out, "sites:     {}", program.sites.len()).unwrap();
+    writeln!(out, "queries:   {}", program.queries.len()).unwrap();
+    writeln!(
+        out,
+        "abstraction families: 2^{} (type-state), 2^{} (thread-escape)",
+        program.vars.len(),
+        program.sites.len()
+    )
+    .unwrap();
+    if violations.is_empty() {
+        writeln!(out, "IR: well-formed").unwrap();
+        Ok(out)
+    } else {
+        for v in &violations {
+            writeln!(out, "violation: {v}").unwrap();
+        }
+        Err(out)
+    }
+}
+
+fn queries_report(source: &str) -> Result<String, String> {
+    let program = load(source)?;
+    let mut out = String::new();
+    for (_, q) in program.queries.iter_enumerated() {
+        let line = program.points[q.point].line;
+        match &q.kind {
+            pda_lang::QueryKind::Local { var } => {
+                writeln!(out, "{}: local {} (line {line})", q.label, program.var_name(*var)).unwrap();
+            }
+            pda_lang::QueryKind::State { var, allowed } => {
+                let names: Vec<&str> =
+                    allowed.iter().map(|&n| program.names.resolve(n)).collect();
+                writeln!(
+                    out,
+                    "{}: state {} in {{{}}} (line {line})",
+                    q.label,
+                    program.var_name(*var),
+                    names.join(", ")
+                )
+                .unwrap();
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no queries)\n");
+    }
+    Ok(out)
+}
+
+fn solve_report(
+    source: &str,
+    label: Option<&str>,
+    k: usize,
+    max_iters: usize,
+) -> Result<String, String> {
+    let program = load(source)?;
+    let pa = PointsTo::analyze(&program);
+    let config = TracerConfig {
+        beam: BeamConfig::with_k(k),
+        max_iters,
+        ..TracerConfig::default()
+    };
+    let callees = |c: pda_lang::CallId| pa.callees(c).to_vec();
+    let mut out = String::new();
+    let mut matched = false;
+    for (qid, decl) in program.queries.iter_enumerated() {
+        if let Some(want) = label {
+            if decl.label != want {
+                continue;
+            }
+        }
+        matched = true;
+        match &decl.kind {
+            pda_lang::QueryKind::Local { .. } => {
+                let client = EscapeClient::new(&program);
+                let query = client.local_query(&program, qid);
+                let r = solve_query(&program, &callees, &client, &query, &config);
+                render(&mut out, &program, &decl.label, "thread-escape", &r, |i| {
+                    format!("site {}", program.site_label(pda_lang::SiteId::from_usize(i)))
+                });
+            }
+            pda_lang::QueryKind::State { var, .. } => {
+                let sites: Vec<pda_lang::SiteId> = pa
+                    .pts_var(*var)
+                    .iter()
+                    .map(pda_lang::SiteId::from_usize)
+                    .collect();
+                if sites.is_empty() {
+                    writeln!(out, "{}: vacuous (receiver points nowhere)", decl.label).unwrap();
+                }
+                for site in sites {
+                    let Some(client) =
+                        TypestateClient::for_declared_automaton(&program, &pa, site)
+                    else {
+                        writeln!(
+                            out,
+                            "{}: site {} has no typestate declaration",
+                            decl.label,
+                            program.site_label(site)
+                        )
+                        .unwrap();
+                        continue;
+                    };
+                    let query = client.state_query(qid);
+                    let r = solve_query(&program, &callees, &client, &query, &config);
+                    let tag = format!("{} @ {}", decl.label, program.site_label(site));
+                    render(&mut out, &program, &tag, "type-state", &r, |i| {
+                        program.var_name(pda_lang::VarId(i as u32)).to_string()
+                    });
+                }
+            }
+        }
+    }
+    if !matched {
+        return Err(match label {
+            Some(l) => format!("no query labeled `{l}`"),
+            None => "program has no queries".to_string(),
+        });
+    }
+    Ok(out)
+}
+
+fn render(
+    out: &mut String,
+    _program: &pda_lang::Program,
+    label: &str,
+    analysis: &str,
+    r: &pda_tracer::QueryResult<pda_util::BitSet>,
+    atom_name: impl Fn(usize) -> String,
+) {
+    match &r.outcome {
+        Outcome::Proven { param, cost } => {
+            let parts: Vec<String> = param.iter().map(atom_name).collect();
+            writeln!(
+                out,
+                "{label} [{analysis}]: PROVEN, optimum |p| = {cost} {{{}}} ({} iterations)",
+                parts.join(", "),
+                r.iterations
+            )
+            .unwrap();
+        }
+        Outcome::Impossible => {
+            writeln!(
+                out,
+                "{label} [{analysis}]: IMPOSSIBLE for every abstraction ({} iterations)",
+                r.iterations
+            )
+            .unwrap();
+        }
+        Outcome::Unresolved(u) => {
+            writeln!(out, "{label} [{analysis}]: unresolved ({u:?})").unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        global g;
+        class File { fn open(); fn close(); }
+        typestate File {
+            init closed;
+            closed -> open -> opened;
+            opened -> close -> closed;
+            opened -> open -> error;
+            closed -> close -> error;
+        }
+        class Box { field item; }
+        fn main() {
+            var f, b, x;
+            f = new File;
+            f.open();
+            f.close();
+            b = new Box;
+            x = new Box;
+            b.item = x;
+            query protocol: state f in { closed };
+            query localx: local x;
+            if (*) { g = b; }
+        }
+    "#;
+
+    #[test]
+    fn parse_args_all_commands() {
+        let a = |xs: &[&str]| parse_args(xs.iter().map(|s| s.to_string()));
+        assert_eq!(a(&["check", "f.jay"]).unwrap(), Command::Check { file: "f.jay".into() });
+        assert_eq!(a(&["queries", "f.jay"]).unwrap(), Command::Queries { file: "f.jay".into() });
+        assert_eq!(a(&["gen", "tsp"]).unwrap(), Command::Gen { name: "tsp".into() });
+        assert_eq!(
+            a(&["solve", "f.jay", "--query", "q", "--k", "3", "--max-iters", "9"]).unwrap(),
+            Command::Solve { file: "f.jay".into(), query: Some("q".into()), k: 3, max_iters: 9 }
+        );
+        assert_eq!(a(&[]).unwrap(), Command::Help);
+        assert!(a(&["bogus"]).is_err());
+        assert!(a(&["solve"]).is_err());
+        assert!(a(&["solve", "f", "--k", "NaN"]).is_err());
+    }
+
+    #[test]
+    fn check_reports_stats() {
+        let report = run_on_source(&Command::Check { file: String::new() }, SRC).unwrap();
+        assert!(report.contains("classes:   2"));
+        assert!(report.contains("queries:   2"));
+        assert!(report.contains("well-formed"));
+    }
+
+    #[test]
+    fn queries_lists_both_kinds() {
+        let report = run_on_source(&Command::Queries { file: String::new() }, SRC).unwrap();
+        assert!(report.contains("protocol: state f in {closed}"));
+        assert!(report.contains("localx: local x"));
+    }
+
+    #[test]
+    fn solve_resolves_both_queries() {
+        let cmd = Command::Solve { file: String::new(), query: None, k: 5, max_iters: 50 };
+        let report = run_on_source(&cmd, SRC).unwrap();
+        assert!(report.contains("protocol @ File#0 [type-state]: PROVEN"), "{report}");
+        assert!(report.contains("localx [thread-escape]: PROVEN"), "{report}");
+    }
+
+    #[test]
+    fn solve_single_query_and_missing_label() {
+        let cmd = Command::Solve {
+            file: String::new(),
+            query: Some("localx".into()),
+            k: 5,
+            max_iters: 50,
+        };
+        let report = run_on_source(&cmd, SRC).unwrap();
+        assert!(!report.contains("protocol"));
+        let bad = Command::Solve {
+            file: String::new(),
+            query: Some("nope".into()),
+            k: 5,
+            max_iters: 50,
+        };
+        assert!(run_on_source(&bad, SRC).is_err());
+    }
+
+    #[test]
+    fn gen_produces_named_benchmark() {
+        let out = run_on_source(&Command::Gen { name: "tsp".into() }, "").unwrap();
+        assert!(out.contains("benchmark `tsp`"));
+        assert!(run_on_source(&Command::Gen { name: "nope".into() }, "").is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let err = run_on_source(&Command::Check { file: String::new() }, "fn main( {").unwrap_err();
+        assert!(err.contains("parse error"));
+    }
+}

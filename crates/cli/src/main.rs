@@ -1,0 +1,36 @@
+//! The `pda` command-line tool. See [`pda_cli`] for the commands.
+
+use pda_cli::{parse_args, run_on_source, Command, USAGE};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let cmd = match parse_args(std::env::args().skip(1)) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match &cmd {
+        Command::Check { file } | Command::Queries { file } | Command::Solve { file, .. } => {
+            match std::fs::read_to_string(file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        Command::Gen { .. } | Command::Help => String::new(),
+    };
+    match run_on_source(&cmd, &source) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

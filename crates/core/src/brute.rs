@@ -1,0 +1,105 @@
+//! Brute-force reference oracle: enumerate the whole abstraction family.
+//!
+//! Validates TRACER on small programs (`tests/tracer_optimum.rs`): the
+//! paper's Definition 2 asks for a *minimum* abstraction or a proof that
+//! none exists; this oracle computes the ground truth by running the
+//! forward analysis under all `2^N` abstractions.
+
+use crate::client::{AsAnalysis, Query, TracerClient};
+use pda_dataflow::{rhs, RhsLimits};
+use pda_lang::{CallId, MethodId, Program};
+
+/// Enumerates every abstraction (cheapest first) and returns the first
+/// one proving the query, with its cost — or `None` if no abstraction in
+/// the family proves it.
+///
+/// # Panics
+///
+/// Panics if the client has more than `max_atoms` parameter atoms (the
+/// enumeration is exponential) or if a forward run exceeds `limits`.
+pub fn brute_force_optimum<C: TracerClient>(
+    program: &Program,
+    callees: &dyn Fn(CallId) -> Vec<MethodId>,
+    client: &C,
+    query: &Query<C::Prim>,
+    max_atoms: usize,
+    limits: RhsLimits,
+) -> Option<(C::Param, u64)> {
+    let n = client.n_atoms();
+    assert!(n <= max_atoms, "brute force over 2^{n} abstractions refused");
+    let mut order: Vec<u64> = (0..(1u64 << n)).collect();
+    let cost_of = |bits: u64| -> u64 {
+        (0..n)
+            .filter(|i| (bits >> i) & 1 == 1)
+            .map(|i| client.atom_cost(i))
+            .sum()
+    };
+    order.sort_by_key(|&bits| (cost_of(bits), bits));
+    for bits in order {
+        let assignment: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+        let p = client.param_of_model(&assignment);
+        let run = rhs::run(
+            program,
+            &AsAnalysis(client),
+            &p,
+            client.initial_state(),
+            callees,
+            limits,
+        )
+        .expect("brute-force forward run exceeded limits");
+        let failing = run
+            .states_at(query.point)
+            .into_iter()
+            .any(|d| query.not_q.holds(&p, d));
+        if !failing {
+            return Some((p, cost_of(bits)));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nullcli::NullClient;
+    use crate::tracer::{solve_query, Outcome, TracerConfig};
+    use pda_analysis::PointsTo;
+
+    #[test]
+    fn tracer_agrees_with_brute_force() {
+        let srcs = [
+            // Proven with cost 2.
+            r#"fn main() { var x, y, z; x = null; z = x; y = x; query q: local y; }"#,
+            // Impossible.
+            r#"class C {} fn main() { var y; y = new C; query q: local y; }"#,
+            // Proven through a branch: both branches must keep y null.
+            r#"fn main() { var x, y; x = null; if (*) { y = x; } else { y = null; } query q: local y; }"#,
+            // Impossible: one branch breaks it.
+            r#"class C {} fn main() { var x, y; x = null; if (*) { y = x; } else { y = new C; } query q: local y; }"#,
+        ];
+        for src in srcs {
+            let program = pda_lang::parse_program(src).unwrap();
+            let pa = PointsTo::analyze(&program);
+            let client = NullClient::new(&program);
+            let q = program.query_by_label("q").unwrap();
+            let query = client.query(&program, q);
+            let callees = |c: pda_lang::CallId| pa.callees(c).to_vec();
+            let truth = brute_force_optimum(
+                &program,
+                &callees,
+                &client,
+                &query,
+                16,
+                pda_dataflow::RhsLimits::default(),
+            );
+            let got = solve_query(&program, &callees, &client, &query, &TracerConfig::default());
+            match (truth, got.outcome) {
+                (Some((_, want_cost)), Outcome::Proven { cost, .. }) => {
+                    assert_eq!(cost, want_cost, "cost mismatch on {src}")
+                }
+                (None, Outcome::Impossible) => {}
+                (t, g) => panic!("disagreement on {src}: brute={t:?} tracer={g:?}"),
+            }
+        }
+    }
+}

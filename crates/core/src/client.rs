@@ -1,0 +1,97 @@
+//! The client interface TRACER is generic over, and adapters into the
+//! engine-facing traits of `pda-dataflow` and `pda-meta`.
+
+use pda_dataflow::ParametricAnalysis;
+use pda_lang::{Atom, PointId, Program, QueryId};
+use pda_meta::{Formula, MetaClient, Primitive};
+
+/// Everything TRACER needs from a parametric analysis:
+///
+/// * the forward transfer functions (shared verbatim with the engines),
+/// * the backward weakest preconditions over the client's [`Primitive`]s,
+/// * the parameter universe as solver atoms with costs (the paper's
+///   `(P, ⪯)`: an abstraction is an atom assignment, its cost the sum of
+///   true atoms' costs), and
+/// * the initial abstract state `d_I`.
+pub trait TracerClient {
+    /// The abstraction parameter `p ∈ P`.
+    type Param: Clone + std::fmt::Debug;
+    /// The abstract state `d ∈ D`.
+    type State: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug;
+    /// The meta-analysis primitive alphabet.
+    type Prim: Primitive<Param = Self::Param, State = Self::State>;
+
+    /// The forward transfer `⟦atom⟧_p(d)`.
+    fn transfer(&self, p: &Self::Param, atom: &Atom, d: &Self::State) -> Self::State;
+
+    /// Exact weakest precondition of a positive primitive across `atom`
+    /// (see `pda_meta::MetaClient::wp_prim` for the obligation).
+    fn wp_prim(&self, atom: &Atom, prim: &Self::Prim) -> Formula<Self::Prim>;
+
+    /// Size of the parameter-atom universe.
+    fn n_atoms(&self) -> usize;
+
+    /// Cost of setting atom `i` true (default 1, matching the paper's
+    /// cardinality preorders).
+    fn atom_cost(&self, atom: usize) -> u64 {
+        let _ = atom;
+        1
+    }
+
+    /// Decodes a solver model into a parameter value.
+    fn param_of_model(&self, assignment: &[bool]) -> Self::Param;
+
+    /// The initial abstract state `d_I` at `main`'s entry.
+    fn initial_state(&self) -> Self::State;
+}
+
+/// A query: prove that no abstract state satisfying `not_q` reaches
+/// `point`.
+///
+/// `not_q` is the paper's `not(q)` — the weakest condition under which the
+/// query *fails*; it must be a state-only formula (independent of the
+/// parameter).
+#[derive(Debug, Clone)]
+pub struct Query<P> {
+    /// The program point the query is posed at.
+    pub point: PointId,
+    /// Failure condition `not(q)` over state primitives.
+    pub not_q: Formula<P>,
+    /// The source query this corresponds to, if any (labels, reporting).
+    pub source: Option<QueryId>,
+}
+
+impl<P: Primitive> Query<P> {
+    /// Returns the source label if the query came from source text.
+    pub fn label<'a>(&self, program: &'a Program) -> Option<&'a str> {
+        self.source.map(|q| program.queries[q].label.as_str())
+    }
+}
+
+/// Adapter: view a [`TracerClient`] as a `pda-dataflow`
+/// [`ParametricAnalysis`] for the forward engines.
+#[derive(Debug, Clone, Copy)]
+pub struct AsAnalysis<'a, C>(pub &'a C);
+
+impl<C: TracerClient> ParametricAnalysis for AsAnalysis<'_, C> {
+    type Param = C::Param;
+    type State = C::State;
+    fn transfer(&self, p: &C::Param, atom: &Atom, d: &C::State) -> C::State {
+        self.0.transfer(p, atom, d)
+    }
+}
+
+/// Adapter: view a [`TracerClient`] as a `pda-meta` [`MetaClient`] for the
+/// backward driver.
+#[derive(Debug, Clone, Copy)]
+pub struct AsMeta<'a, C>(pub &'a C);
+
+impl<C: TracerClient> MetaClient for AsMeta<'_, C> {
+    type Prim = C::Prim;
+    fn transfer(&self, p: &C::Param, atom: &Atom, d: &C::State) -> C::State {
+        self.0.transfer(p, atom, d)
+    }
+    fn wp_prim(&self, atom: &Atom, prim: &C::Prim) -> Formula<C::Prim> {
+        self.0.wp_prim(atom, prim)
+    }
+}

@@ -1,0 +1,296 @@
+//! Multi-query solving with the paper's query-group optimization
+//! (Section 6): queries whose accumulated unviable-abstraction sets are
+//! identical share forward runs. "All queries start in the same group ...
+//! but split into separate groups when different sets of unviable
+//! abstractions are computed for them."
+
+use crate::client::{AsMeta, Query, TracerClient};
+use crate::tracer::{Outcome, QueryResult, TracerConfig, Unresolved};
+use pda_dataflow::rhs;
+use pda_lang::{CallId, MethodId, Program};
+use pda_meta::{analyze_trace, restrict};
+use pda_solver::{MinCostSolver, PFormula};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Effort accounting across a grouped run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupStats {
+    /// Total forward (RHS) runs — with grouping this is shared across
+    /// queries, the point of the optimization.
+    pub forward_runs: usize,
+    /// Total backward meta-analysis runs (one per failing query per
+    /// iteration).
+    pub backward_runs: usize,
+    /// Maximum number of live groups observed.
+    pub peak_groups: usize,
+}
+
+struct Group<P> {
+    constraints: Vec<PFormula>,
+    members: Vec<usize>,
+    iters: usize,
+    /// Accumulated wall time attributed to this group lineage, µs.
+    micros: u128,
+    _marker: std::marker::PhantomData<P>,
+}
+
+/// Solves many queries of one client instance, sharing forward runs among
+/// queries with identical constraint sets.
+///
+/// Returns one [`QueryResult`] per input query (same order) plus
+/// [`GroupStats`]. Iteration counts and times are per group lineage: a
+/// query resolved in a group that ran `n` forward analyses reports `n`
+/// iterations, matching the paper's effect of "running our technique
+/// separately for each query" while sharing the work.
+pub fn solve_queries<C: TracerClient>(
+    program: &Program,
+    callees: &dyn Fn(CallId) -> Vec<MethodId>,
+    client: &C,
+    queries: &[Query<C::Prim>],
+    config: &TracerConfig,
+) -> (Vec<QueryResult<C::Param>>, GroupStats) {
+    let mut results: Vec<Option<QueryResult<C::Param>>> = vec![None; queries.len()];
+    let mut stats = GroupStats::default();
+    let mut active: Vec<Group<C::Prim>> = Vec::new();
+    if !queries.is_empty() {
+        active.push(Group {
+            constraints: Vec::new(),
+            members: (0..queries.len()).collect(),
+            iters: 0,
+            micros: 0,
+            _marker: std::marker::PhantomData,
+        });
+    }
+
+    while let Some(mut group) = active.pop() {
+        stats.peak_groups = stats.peak_groups.max(active.len() + 1);
+        let started = Instant::now();
+
+        let resolve = |results: &mut Vec<Option<QueryResult<C::Param>>>,
+                       q: usize,
+                       outcome: Outcome<C::Param>,
+                       group: &Group<C::Prim>,
+                       extra: u128| {
+            results[q] = Some(QueryResult {
+                outcome,
+                iterations: group.iters,
+                micros: group.micros + extra,
+            });
+        };
+
+        // Viable-set check.
+        let n = client.n_atoms();
+        let costs = (0..n).map(|i| client.atom_cost(i)).collect();
+        let mut solver = MinCostSolver::new(n, costs);
+        for c in &group.constraints {
+            solver.require(c.clone());
+        }
+        let Some(model) = solver.solve() else {
+            let extra = started.elapsed().as_micros();
+            for &q in &group.members {
+                resolve(&mut results, q, Outcome::Impossible, &group, extra);
+            }
+            continue;
+        };
+
+        if group.iters >= config.max_iters {
+            let extra = started.elapsed().as_micros();
+            for &q in &group.members {
+                resolve(
+                    &mut results,
+                    q,
+                    Outcome::Unresolved(Unresolved::IterationBudget),
+                    &group,
+                    extra,
+                );
+            }
+            continue;
+        }
+
+        // One shared forward run.
+        let p = client.param_of_model(&model.assignment);
+        let d0 = client.initial_state();
+        group.iters += 1;
+        stats.forward_runs += 1;
+        let run = match rhs::run(
+            program,
+            &crate::client::AsAnalysis(client),
+            &p,
+            d0.clone(),
+            callees,
+            config.rhs_limits,
+        ) {
+            Ok(r) => r,
+            Err(_) => {
+                let extra = started.elapsed().as_micros();
+                for &q in &group.members {
+                    resolve(
+                        &mut results,
+                        q,
+                        Outcome::Unresolved(Unresolved::AnalysisTooBig),
+                        &group,
+                        extra,
+                    );
+                }
+                continue;
+            }
+        };
+
+        // Judge each member; failing members learn their own constraint.
+        let mut buckets: HashMap<String, (PFormula, Vec<usize>)> = HashMap::new();
+        let mut member_outcomes: Vec<(usize, Option<Outcome<C::Param>>)> = Vec::new();
+        for &q in &group.members {
+            let query = &queries[q];
+            let failing = |d: &C::State| query.not_q.holds(&p, d);
+            match run.witness(query.point, &failing) {
+                None => {
+                    member_outcomes.push((
+                        q,
+                        Some(Outcome::Proven { param: p.clone(), cost: model.cost }),
+                    ));
+                }
+                Some(trace) => {
+                    let atoms: Vec<pda_lang::Atom> = trace.iter().map(|s| s.atom).collect();
+                    stats.backward_runs += 1;
+                    match analyze_trace(&AsMeta(client), &p, &d0, &atoms, &query.not_q, &config.beam)
+                    {
+                        Ok(dnf) => {
+                            let phi = restrict(&dnf, &d0);
+                            let constraint = PFormula::not(phi);
+                            let key = format!("{constraint:?}");
+                            buckets
+                                .entry(key)
+                                .or_insert_with(|| (constraint, Vec::new()))
+                                .1
+                                .push(q);
+                            member_outcomes.push((q, None));
+                        }
+                        Err(e) => {
+                            member_outcomes.push((
+                                q,
+                                Some(Outcome::Unresolved(Unresolved::MetaFailure(e.to_string()))),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        group.micros += started.elapsed().as_micros();
+        for (q, outcome) in member_outcomes {
+            if let Some(o) = outcome {
+                resolve(&mut results, q, o, &group, 0);
+            }
+        }
+        // Spawn successor groups, sorted for determinism.
+        let mut succ: Vec<(String, (PFormula, Vec<usize>))> = buckets.into_iter().collect();
+        succ.sort_by(|a, b| a.0.cmp(&b.0));
+        for (_, (constraint, members)) in succ {
+            let mut constraints = group.constraints.clone();
+            constraints.push(constraint);
+            active.push(Group {
+                constraints,
+                members,
+                iters: group.iters,
+                micros: group.micros,
+                _marker: std::marker::PhantomData,
+            });
+        }
+    }
+
+    (
+        results
+            .into_iter()
+            .map(|r| r.expect("every query resolved or budgeted"))
+            .collect(),
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nullcli::NullClient;
+    use pda_analysis::PointsTo;
+
+    #[test]
+    fn grouped_matches_individual_and_shares_runs() {
+        let program = pda_lang::parse_program(
+            r#"
+            class C {}
+            fn main() {
+                var x, y, z, w;
+                x = null;
+                y = x;
+                z = x;
+                w = new C;
+                query q1: local y;
+                query q2: local z;
+                query q3: local w;
+            }
+            "#,
+        )
+        .unwrap();
+        let pa = PointsTo::analyze(&program);
+        let client = NullClient::new(&program);
+        let queries: Vec<_> = program
+            .queries
+            .iter_enumerated()
+            .map(|(qid, _)| client.query(&program, qid))
+            .collect();
+        let config = TracerConfig::default();
+        let (grouped, stats) =
+            solve_queries(&program, &|c| pa.callees(c).to_vec(), &client, &queries, &config);
+
+        // Individual runs agree on outcomes.
+        for (query, gr) in queries.iter().zip(&grouped) {
+            let ind = crate::tracer::solve_query(
+                &program,
+                &|c| pa.callees(c).to_vec(),
+                &client,
+                query,
+                &config,
+            );
+            match (&ind.outcome, &gr.outcome) {
+                (Outcome::Proven { cost: a, .. }, Outcome::Proven { cost: b, .. }) => {
+                    assert_eq!(a, b)
+                }
+                (x, y) => assert_eq!(x, y),
+            }
+        }
+        // Grouping shares at least the first forward run among all three
+        // queries.
+        let individual_runs: usize = queries
+            .iter()
+            .map(|q| {
+                crate::tracer::solve_query(
+                    &program,
+                    &|c| pa.callees(c).to_vec(),
+                    &client,
+                    q,
+                    &config,
+                )
+                .iterations
+            })
+            .sum();
+        assert!(stats.forward_runs < individual_runs);
+        assert!(stats.peak_groups >= 2); // q3 (impossible) splits from q1/q2
+    }
+
+    #[test]
+    fn empty_query_set() {
+        let program = pda_lang::parse_program("fn main() { }").unwrap();
+        let pa = PointsTo::analyze(&program);
+        let client = NullClient::new(&program);
+        let (results, stats) = solve_queries(
+            &program,
+            &|c| pa.callees(c).to_vec(),
+            &client,
+            &[],
+            &TracerConfig::default(),
+        );
+        assert!(results.is_empty());
+        assert_eq!(stats.forward_runs, 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! A small self-contained [`TracerClient`]: parametric *definite-null*
+//! analysis.
+//!
+//! The abstract state is the set of variables known to be `null`; the
+//! abstraction parameter picks which variables the analysis is allowed to
+//! track (cost = number of tracked variables, exactly the shape of the
+//! paper's type-state parameter). A `local x` query is read as "prove `x`
+//! is definitely null here".
+//!
+//! This client exists for tests, docs, and benchmarks of the TRACER core
+//! without pulling in the full type-state/thread-escape clients; it
+//! exercises every part of the pipeline (RHS forward runs, counterexample
+//! traces, backward wp, beam, min-cost solving, impossibility).
+
+use crate::client::{Query, TracerClient};
+use pda_lang::{Atom, Program, QueryId, QueryKind, VarId};
+use pda_meta::{Formula, Primitive};
+use pda_util::BitSet;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Primitives of the definite-null meta-domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NullPrim {
+    /// `x ∈ d` — `x` is known null.
+    Var(VarId),
+    /// `x ∈ p` — `x` is tracked by the abstraction.
+    Param(VarId),
+}
+
+impl fmt::Display for NullPrim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NullPrim::Var(v) => write!(f, "null(v{v})"),
+            NullPrim::Param(v) => write!(f, "track(v{v})"),
+        }
+    }
+}
+
+impl Primitive for NullPrim {
+    type Param = BitSet;
+    type State = BTreeSet<VarId>;
+
+    fn holds(&self, p: &BitSet, d: &BTreeSet<VarId>) -> bool {
+        match self {
+            NullPrim::Var(v) => d.contains(v),
+            NullPrim::Param(v) => p.contains(v.0 as usize),
+        }
+    }
+
+    fn eval_state(&self, d: &BTreeSet<VarId>) -> Option<bool> {
+        match self {
+            NullPrim::Var(v) => Some(d.contains(v)),
+            NullPrim::Param(_) => None,
+        }
+    }
+
+    fn param_atom(&self) -> Option<(usize, bool)> {
+        match self {
+            NullPrim::Var(_) => None,
+            NullPrim::Param(v) => Some((v.0 as usize, true)),
+        }
+    }
+}
+
+/// The definite-null client over one program.
+#[derive(Debug, Clone)]
+pub struct NullClient {
+    n_vars: usize,
+}
+
+impl NullClient {
+    /// Creates the client for `program`.
+    pub fn new(program: &Program) -> NullClient {
+        NullClient { n_vars: program.vars.len() }
+    }
+
+    /// Builds the TRACER [`Query`] for a `local x` source query: failure
+    /// is "`x` not known null at the point".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source query is not a `local` query.
+    pub fn query(&self, program: &Program, q: QueryId) -> Query<NullPrim> {
+        let decl = &program.queries[q];
+        let QueryKind::Local { var } = decl.kind else {
+            panic!("NullClient only answers `local` queries");
+        };
+        Query {
+            point: decl.point,
+            not_q: Formula::nprim(NullPrim::Var(var)),
+            source: Some(q),
+        }
+    }
+}
+
+impl TracerClient for NullClient {
+    type Param = BitSet;
+    type State = BTreeSet<VarId>;
+    type Prim = NullPrim;
+
+    fn transfer(&self, p: &BitSet, atom: &Atom, d: &Self::State) -> Self::State {
+        let mut out = d.clone();
+        match *atom {
+            Atom::Null { dst } => {
+                if p.contains(dst.0 as usize) {
+                    out.insert(dst);
+                } else {
+                    out.remove(&dst);
+                }
+            }
+            Atom::Copy { dst, src } => {
+                if d.contains(&src) && p.contains(dst.0 as usize) {
+                    out.insert(dst);
+                } else {
+                    out.remove(&dst);
+                }
+            }
+            Atom::New { dst, .. }
+            | Atom::Load { dst, .. }
+            | Atom::GGet { dst, .. }
+            | Atom::Havoc { dst } => {
+                out.remove(&dst);
+            }
+            Atom::Store { .. }
+            | Atom::GSet { .. }
+            | Atom::Invoke { .. }
+            | Atom::Spawn { .. }
+            | Atom::Nop => {}
+        }
+        out
+    }
+
+    fn wp_prim(&self, atom: &Atom, prim: &NullPrim) -> Formula<NullPrim> {
+        let keep = Formula::prim(*prim);
+        let NullPrim::Var(z) = *prim else {
+            // Parameters are never changed by commands.
+            return keep;
+        };
+        match *atom {
+            Atom::Null { dst } if dst == z => Formula::prim(NullPrim::Param(z)),
+            Atom::Copy { dst, src } if dst == z => Formula::and(vec![
+                Formula::prim(NullPrim::Var(src)),
+                Formula::prim(NullPrim::Param(z)),
+            ]),
+            Atom::New { dst, .. } | Atom::Load { dst, .. } | Atom::GGet { dst, .. } | Atom::Havoc { dst }
+                if dst == z =>
+            {
+                Formula::False
+            }
+            _ => keep,
+        }
+    }
+
+    fn n_atoms(&self) -> usize {
+        self.n_vars
+    }
+
+    fn param_of_model(&self, assignment: &[bool]) -> BitSet {
+        BitSet::from_iter(
+            self.n_vars,
+            assignment
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b)
+                .map(|(i, _)| i),
+        )
+    }
+
+    fn initial_state(&self) -> BTreeSet<VarId> {
+        BTreeSet::new()
+    }
+}
+
+/// Every variable a command mentions (the coarse-refinement heuristic of
+/// classic CEGAR baselines; see [`crate::baseline`]).
+pub fn vars_mentioned(atom: &Atom) -> Vec<VarId> {
+    match *atom {
+        Atom::New { dst, .. } | Atom::Null { dst } | Atom::GGet { dst, .. } | Atom::Havoc { dst } => {
+            vec![dst]
+        }
+        Atom::Copy { dst, src } => vec![dst, src],
+        Atom::Load { dst, base, .. } => vec![dst, base],
+        Atom::Store { base, src, .. } => vec![base, src],
+        Atom::GSet { src, .. } | Atom::Spawn { src } => vec![src],
+        Atom::Invoke { recv, .. } => vec![recv],
+        Atom::Nop => vec![],
+    }
+}
+
+impl crate::baseline::CoarseAtoms for NullClient {
+    fn coarse_atoms(&self, atom: &Atom) -> Vec<usize> {
+        vars_mentioned(atom).into_iter().map(|v| v.0 as usize).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::AsMeta;
+    use pda_meta::check_wp_exact;
+    use proptest::prelude::*;
+
+    fn arb_atom() -> impl Strategy<Value = Atom> {
+        let v = || (0u32..4).prop_map(VarId);
+        prop_oneof![
+            v().prop_map(|dst| Atom::Null { dst }),
+            (v(), v()).prop_map(|(dst, src)| Atom::Copy { dst, src }),
+            v().prop_map(|dst| Atom::Havoc { dst }),
+            (v(), v()).prop_map(|(dst, base)| Atom::Load { dst, base, field: pda_lang::FieldId(0) }),
+            v().prop_map(|dst| Atom::New { dst, site: pda_lang::SiteId(0) }),
+            (v(), v()).prop_map(|(base, src)| Atom::Store { base, field: pda_lang::FieldId(0), src }),
+            Just(Atom::Nop),
+        ]
+    }
+
+    proptest! {
+        /// Requirement (2): the wp of every primitive is the exact
+        /// preimage of the forward transfer.
+        #[test]
+        fn wp_is_exact(
+            atom in arb_atom(),
+            pbits in 0u32..16,
+            dbits in 0u32..16,
+            prim_var in 0u32..4,
+            prim_is_param in any::<bool>(),
+        ) {
+            let client = NullClient { n_vars: 4 };
+            let p = BitSet::from_iter(4, (0..4).filter(|i| (pbits >> i) & 1 == 1));
+            let d: BTreeSet<VarId> =
+                (0..4).filter(|i| (dbits >> i) & 1 == 1).map(VarId).collect();
+            let prim = if prim_is_param {
+                NullPrim::Param(VarId(prim_var))
+            } else {
+                NullPrim::Var(VarId(prim_var))
+            };
+            check_wp_exact(&AsMeta(&client), &atom, &prim, &p, &d)
+                .map_err(TestCaseError::fail)?;
+        }
+    }
+}

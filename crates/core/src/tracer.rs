@@ -1,0 +1,414 @@
+//! The single-query TRACER loop (Algorithm 1).
+
+use crate::client::{AsMeta, Query, TracerClient};
+use pda_dataflow::{rhs, RhsLimits};
+use pda_lang::{CallId, MethodId, Program};
+use pda_meta::{analyze_trace, restrict, BeamConfig};
+use pda_solver::{MinCostSolver, PFormula};
+use std::time::Instant;
+
+/// Configuration of one TRACER run.
+#[derive(Debug, Clone)]
+pub struct TracerConfig {
+    /// The backward beam (the paper's `k`; default 5 per Figure 13).
+    pub beam: BeamConfig,
+    /// Maximum CEGAR iterations per query (the paper's 1000-minute
+    /// timeout analogue).
+    pub max_iters: usize,
+    /// Forward-engine fact budget.
+    pub rhs_limits: RhsLimits,
+}
+
+impl Default for TracerConfig {
+    fn default() -> Self {
+        TracerConfig {
+            beam: BeamConfig::default(),
+            max_iters: 200,
+            rhs_limits: RhsLimits::default(),
+        }
+    }
+}
+
+/// How a query got resolved (or not).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome<Param> {
+    /// A cheapest abstraction proving the query.
+    Proven {
+        /// The optimum abstraction.
+        param: Param,
+        /// Its cost (`|p|` in the paper's preorders).
+        cost: u64,
+    },
+    /// No abstraction in the family proves the query.
+    Impossible,
+    /// Budget exhausted before resolution.
+    Unresolved(Unresolved),
+}
+
+/// Why a query went unresolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Unresolved {
+    /// Hit the CEGAR iteration budget.
+    IterationBudget,
+    /// A forward run exceeded its fact budget.
+    AnalysisTooBig,
+    /// The backward meta-analysis reported an internal soundness failure.
+    MetaFailure(String),
+}
+
+/// Per-query result plus effort accounting for the experiment tables.
+#[derive(Debug, Clone)]
+pub struct QueryResult<Param> {
+    /// Resolution.
+    pub outcome: Outcome<Param>,
+    /// CEGAR iterations consumed (forward runs).
+    pub iterations: usize,
+    /// Wall-clock time spent, microseconds.
+    pub micros: u128,
+}
+
+/// Runs Algorithm 1 for a single query.
+///
+/// Starting from the unconstrained viable set, each iteration solves for a
+/// minimum-cost abstraction, runs the forward analysis, and on failure
+/// prunes the viable set with the backward meta-analysis's unviability
+/// formula. Returns [`Outcome::Proven`] with an optimum abstraction,
+/// [`Outcome::Impossible`] when the viable set empties, or
+/// [`Outcome::Unresolved`] on budget exhaustion.
+pub fn solve_query<C: TracerClient>(
+    program: &Program,
+    callees: &dyn Fn(CallId) -> Vec<MethodId>,
+    client: &C,
+    query: &Query<C::Prim>,
+    config: &TracerConfig,
+) -> QueryResult<C::Param> {
+    let start = Instant::now();
+    let mut constraints: Vec<PFormula> = Vec::new();
+    let mut iterations = 0;
+    let outcome = loop {
+        if iterations >= config.max_iters {
+            break Outcome::Unresolved(Unresolved::IterationBudget);
+        }
+        match step(program, callees, client, query, config, &mut constraints) {
+            StepResult::Proven { param, cost } => {
+                iterations += 1;
+                break Outcome::Proven { param, cost };
+            }
+            StepResult::Impossible => break Outcome::Impossible,
+            StepResult::Refined { .. } => iterations += 1,
+            StepResult::Unresolved(u) => {
+                iterations += 1;
+                break Outcome::Unresolved(u);
+            }
+        }
+    };
+    QueryResult { outcome, iterations, micros: start.elapsed().as_micros() }
+}
+
+/// One recorded CEGAR iteration of [`solve_query_logged`].
+#[derive(Debug, Clone)]
+pub struct IterationLog<Param> {
+    /// The abstraction tried (a minimum of the viable set at the time).
+    pub param: Param,
+    /// Its cost.
+    pub cost: u64,
+    /// The unviability constraint learned from this iteration's
+    /// counterexample (`None` on the final, proving iteration).
+    pub learned: Option<PFormula>,
+}
+
+/// Like [`solve_query`], but records every iteration: which abstraction
+/// was tried and what constraint the backward meta-analysis learned —
+/// the data behind explanations like the `impossibility` example.
+pub fn solve_query_logged<C: TracerClient>(
+    program: &Program,
+    callees: &dyn Fn(CallId) -> Vec<MethodId>,
+    client: &C,
+    query: &Query<C::Prim>,
+    config: &TracerConfig,
+) -> (QueryResult<C::Param>, Vec<IterationLog<C::Param>>) {
+    let start = Instant::now();
+    let mut constraints: Vec<PFormula> = Vec::new();
+    let mut log = Vec::new();
+    let mut iterations = 0;
+    let outcome = loop {
+        if iterations >= config.max_iters {
+            break Outcome::Unresolved(Unresolved::IterationBudget);
+        }
+        match step(program, callees, client, query, config, &mut constraints) {
+            StepResult::Proven { param, cost } => {
+                iterations += 1;
+                log.push(IterationLog { param: param.clone(), cost, learned: None });
+                break Outcome::Proven { param, cost };
+            }
+            StepResult::Impossible => break Outcome::Impossible,
+            StepResult::Refined { param, cost } => {
+                iterations += 1;
+                log.push(IterationLog {
+                    param,
+                    cost,
+                    learned: constraints.last().cloned(),
+                });
+            }
+            StepResult::Unresolved(u) => {
+                iterations += 1;
+                break Outcome::Unresolved(u);
+            }
+        }
+    };
+    (
+        QueryResult { outcome, iterations, micros: start.elapsed().as_micros() },
+        log,
+    )
+}
+
+pub(crate) enum StepResult<Param> {
+    Proven { param: Param, cost: u64 },
+    Impossible,
+    Refined { param: Param, cost: u64 },
+    Unresolved(Unresolved),
+}
+
+/// One CEGAR iteration: pick minimum viable `p`, run forward, either prove
+/// or learn a new unviability constraint (pushed onto `constraints`).
+pub(crate) fn step<C: TracerClient>(
+    program: &Program,
+    callees: &dyn Fn(CallId) -> Vec<MethodId>,
+    client: &C,
+    query: &Query<C::Prim>,
+    config: &TracerConfig,
+    constraints: &mut Vec<PFormula>,
+) -> StepResult<C::Param> {
+    let n = client.n_atoms();
+    let costs = (0..n).map(|i| client.atom_cost(i)).collect();
+    let mut solver = MinCostSolver::new(n, costs);
+    for c in constraints.iter() {
+        solver.require(c.clone());
+    }
+    let Some(model) = solver.solve() else {
+        return StepResult::Impossible;
+    };
+    let p = client.param_of_model(&model.assignment);
+    let d0 = client.initial_state();
+
+    let run = match rhs::run(
+        program,
+        &crate::client::AsAnalysis(client),
+        &p,
+        d0.clone(),
+        callees,
+        config.rhs_limits,
+    ) {
+        Ok(r) => r,
+        Err(_) => return StepResult::Unresolved(Unresolved::AnalysisTooBig),
+    };
+
+    let failing = |d: &C::State| query.not_q.holds(&p, d);
+    let Some(trace) = run.witness(query.point, &failing) else {
+        return StepResult::Proven { param: p, cost: model.cost };
+    };
+    let atoms: Vec<pda_lang::Atom> = trace.iter().map(|s| s.atom).collect();
+
+    let dnf = match analyze_trace(&AsMeta(client), &p, &d0, &atoms, &query.not_q, &config.beam) {
+        Ok(f) => f,
+        Err(e) => return StepResult::Unresolved(Unresolved::MetaFailure(e.to_string())),
+    };
+    let phi = restrict(&dnf, &d0);
+    debug_assert!(
+        phi.eval(&model.assignment),
+        "backward analysis failed to eliminate the current abstraction (Theorem 3.1)"
+    );
+    constraints.push(PFormula::not(phi));
+    StepResult::Refined { param: p, cost: model.cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nullcli::NullClient;
+    use pda_analysis::PointsTo;
+
+    fn solve(src: &str, label: &str) -> (pda_lang::Program, QueryResult<pda_util::BitSet>) {
+        let program = pda_lang::parse_program(src).unwrap();
+        let pa = PointsTo::analyze(&program);
+        let client = NullClient::new(&program);
+        let q = program.query_by_label(label).unwrap();
+        let query = client.query(&program, q);
+        let r = solve_query(
+            &program,
+            &|c| pa.callees(c).to_vec(),
+            &client,
+            &query,
+            &TracerConfig::default(),
+        );
+        (program, r)
+    }
+
+    #[test]
+    fn proves_with_minimum_abstraction() {
+        let (program, r) = solve(
+            r#"
+            fn main() {
+                var x, y, z;
+                x = null;
+                z = x;      // tracking z is unnecessary
+                y = x;
+                query q: local y;
+            }
+            "#,
+            "q",
+        );
+        match r.outcome {
+            Outcome::Proven { param, cost } => {
+                assert_eq!(cost, 2);
+                let x = program.main_var("x").unwrap();
+                let y = program.main_var("y").unwrap();
+                let z = program.main_var("z").unwrap();
+                assert!(param.contains(x.0 as usize));
+                assert!(param.contains(y.0 as usize));
+                assert!(!param.contains(z.0 as usize));
+            }
+            other => panic!("expected proof, got {other:?}"),
+        }
+        assert!(r.iterations >= 2); // starts from the empty abstraction
+    }
+
+    #[test]
+    fn impossible_query_detected() {
+        let (_, r) = solve(
+            r#"
+            class C {}
+            fn main() {
+                var y;
+                y = new C;
+                query q: local y;   // y is definitely NOT null
+            }
+            "#,
+            "q",
+        );
+        assert_eq!(r.outcome, Outcome::Impossible);
+    }
+
+    #[test]
+    fn trivially_true_query_proved_with_empty_abstraction() {
+        let (_, r) = solve(
+            r#"
+            fn main() {
+                var y;
+                y = null;
+                y = null;
+                query q: local y;
+            }
+            "#,
+            "q",
+        );
+        match r.outcome {
+            // Tracking y alone suffices; nothing cheaper can prove it
+            // (the empty abstraction can't track y's nullness).
+            Outcome::Proven { cost, .. } => assert_eq!(cost, 1),
+            other => panic!("expected proof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn proof_through_call_and_loop() {
+        let (program, r) = solve(
+            r#"
+            fn id(a) { return a; }
+            fn main() {
+                var x, y;
+                x = null;
+                while (*) { y = id(x); }
+                y = x;
+                query q: local y;
+            }
+            "#,
+            "q",
+        );
+        match r.outcome {
+            Outcome::Proven { param, .. } => {
+                let x = program.main_var("x").unwrap();
+                assert!(param.contains(x.0 as usize));
+            }
+            other => panic!("expected proof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn logged_run_has_monotone_costs_and_learned_constraints() {
+        let (program, _) = solve(
+            r#"
+            fn main() {
+                var x, y, z;
+                x = null;
+                z = x;
+                y = x;
+                query q: local y;
+            }
+            "#,
+            "q",
+        );
+        let pa = PointsTo::analyze(&program);
+        let client = NullClient::new(&program);
+        let q = program.query_by_label("q").unwrap();
+        let query = client.query(&program, q);
+        let (r, log) = crate::tracer::solve_query_logged(
+            &program,
+            &|c| pa.callees(c).to_vec(),
+            &client,
+            &query,
+            &TracerConfig::default(),
+        );
+        assert!(matches!(r.outcome, Outcome::Proven { .. }));
+        assert_eq!(log.len(), r.iterations);
+        // Every non-final iteration learned a constraint; the final did not.
+        for (i, entry) in log.iter().enumerate() {
+            assert_eq!(entry.learned.is_none(), i + 1 == log.len());
+        }
+        // Minimum viable cost can only grow as the viable set shrinks.
+        assert!(log.windows(2).all(|w| w[0].cost <= w[1].cost));
+    }
+
+    #[test]
+    fn iteration_budget_reported() {
+        let program = pda_lang::parse_program(
+            r#"
+            fn main() {
+                var x, y;
+                x = null;
+                y = x;
+                query q: local y;
+            }
+            "#,
+        )
+        .unwrap();
+        let pa = PointsTo::analyze(&program);
+        let client = NullClient::new(&program);
+        let q = program.query_by_label("q").unwrap();
+        let query = client.query(&program, q);
+        let config = TracerConfig { max_iters: 1, ..TracerConfig::default() };
+        let r = solve_query(&program, &|c| pa.callees(c).to_vec(), &client, &query, &config);
+        assert_eq!(r.outcome, Outcome::Unresolved(Unresolved::IterationBudget));
+    }
+}
+
+impl<Param> std::fmt::Display for Outcome<Param> {
+    /// One-line, user-facing verdict (details via `Debug`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::Proven { cost, .. } => write!(f, "proven with optimum |p| = {cost}"),
+            Outcome::Impossible => write!(f, "impossible for every abstraction"),
+            Outcome::Unresolved(u) => write!(f, "unresolved: {u}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Unresolved {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Unresolved::IterationBudget => write!(f, "iteration budget exhausted"),
+            Unresolved::AnalysisTooBig => write!(f, "forward analysis exceeded its fact budget"),
+            Unresolved::MetaFailure(m) => write!(f, "meta-analysis failure: {m}"),
+        }
+    }
+}

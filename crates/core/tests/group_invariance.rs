@@ -1,0 +1,92 @@
+//! Query-group bookkeeping invariants: outcomes are independent of query
+//! order, and grouped results match individually-solved results.
+
+use pda_analysis::PointsTo;
+use pda_tracer::nullcli::NullClient;
+use pda_tracer::{solve_queries, solve_query, Outcome, TracerConfig};
+
+const SRC: &str = r#"
+    class C {}
+    fn main() {
+        var a, b, c, d, e;
+        a = null;
+        b = a;
+        c = new C;
+        d = c;
+        e = null;
+        if (*) { e = c; }
+        query q1: local a;
+        query q2: local b;
+        query q3: local c;
+        query q4: local d;
+        query q5: local e;
+    }
+"#;
+
+fn outcomes_in_order(order: &[usize]) -> Vec<(usize, Option<u64>)> {
+    let program = pda_lang::parse_program(SRC).unwrap();
+    let pa = PointsTo::analyze(&program);
+    let client = NullClient::new(&program);
+    let all: Vec<_> = program
+        .queries
+        .iter_enumerated()
+        .map(|(qid, _)| client.query(&program, qid))
+        .collect();
+    let queries: Vec<_> = order.iter().map(|&i| all[i].clone()).collect();
+    let (results, _) = solve_queries(
+        &program,
+        &|c| pa.callees(c).to_vec(),
+        &client,
+        &queries,
+        &TracerConfig::default(),
+    );
+    let mut out: Vec<(usize, Option<u64>)> = order
+        .iter()
+        .zip(&results)
+        .map(|(&i, r)| {
+            (
+                i,
+                match &r.outcome {
+                    Outcome::Proven { cost, .. } => Some(*cost),
+                    Outcome::Impossible => None,
+                    o => panic!("unresolved: {o:?}"),
+                },
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn outcomes_invariant_under_query_order() {
+    let base = outcomes_in_order(&[0, 1, 2, 3, 4]);
+    for order in [[4, 3, 2, 1, 0], [2, 0, 4, 1, 3], [1, 4, 0, 3, 2]] {
+        assert_eq!(outcomes_in_order(&order), base, "order {order:?} changed outcomes");
+    }
+}
+
+#[test]
+fn grouped_matches_individual_per_query() {
+    let program = pda_lang::parse_program(SRC).unwrap();
+    let pa = PointsTo::analyze(&program);
+    let client = NullClient::new(&program);
+    let callees = |c: pda_lang::CallId| pa.callees(c).to_vec();
+    let queries: Vec<_> = program
+        .queries
+        .iter_enumerated()
+        .map(|(qid, _)| client.query(&program, qid))
+        .collect();
+    let (grouped, stats) =
+        solve_queries(&program, &callees, &client, &queries, &TracerConfig::default());
+    assert!(stats.forward_runs > 0);
+    for (q, g) in queries.iter().zip(&grouped) {
+        let ind = solve_query(&program, &callees, &client, q, &TracerConfig::default());
+        match (&ind.outcome, &g.outcome) {
+            (Outcome::Proven { cost: a, .. }, Outcome::Proven { cost: b, .. }) => {
+                assert_eq!(a, b)
+            }
+            (x, y) => assert_eq!(x, y),
+        }
+    }
+}

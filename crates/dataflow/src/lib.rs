@@ -1,0 +1,33 @@
+//! Parametric dataflow analysis engines.
+//!
+//! A *parametric analysis* in the paper's Section 3.2 is a triple
+//! `(P, ⪯, D, ⟦-⟧)`: a preordered family of abstractions, a finite set of
+//! abstract states, and per-atom transfer functions `⟦a⟧_p : D → D`
+//! parameterized by `p ∈ P`. In this workspace that interface is the
+//! [`ParametricAnalysis`] trait, implemented by the type-state and
+//! thread-escape clients.
+//!
+//! Two engines compute `F_p[s]({d_I})`:
+//!
+//! * [`term`] — the *reference engine*: interprets the regular-term
+//!   semantics of the paper's Figure 3 literally (disjunctive, memoized,
+//!   least fixpoints for `s*`) over an inlined whole-program term, and
+//!   searches counterexample *traces* per Lemma 1.
+//! * [`rhs`] — the *scalable engine*: Reps–Horwitz–Sagiv-style tabulation
+//!   over method CFGs with entry-state-keyed summaries (fully flow- and
+//!   context-sensitive, supports recursion), recording back-pointers so a
+//!   failed query yields an interprocedurally valid, flattened
+//!   counterexample trace for the backward meta-analysis.
+//!
+//! Both engines agree on inlinable programs; `tests/engines_agree.rs`
+//! checks this end to end.
+
+#![warn(missing_docs)]
+
+pub mod rhs;
+pub mod term;
+mod traits;
+
+pub use rhs::{RhsLimits, RhsResult, TooBig};
+pub use term::TermRun;
+pub use traits::{replay, ParametricAnalysis, TraceStep};

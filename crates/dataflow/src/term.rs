@@ -1,0 +1,383 @@
+//! The exact reference engine over regular program terms.
+//!
+//! Implements the paper's Figure 3 semantics verbatim: programs denote
+//! transformers on *sets* of abstract states (`F_p[s]`), atoms apply the
+//! client transfer, `+` is union, and `*` is a least fixpoint. Because the
+//! analysis is disjunctive, Lemma 1 guarantees every final state is
+//! produced by some loop-free *trace*; [`TermRun::witness`] searches one
+//! out for failed queries.
+
+use crate::traits::{ParametricAnalysis, TraceStep};
+use pda_lang::{PointId, TermArena, TermId, TermNode};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// A memoizing interpreter for one `(analysis, p)` instantiation.
+///
+/// Construct one per forward run; the memo table is keyed on
+/// `(term, input state)` and shared across [`TermRun::run`],
+/// [`TermRun::states_at_points`], and [`TermRun::witness`].
+pub struct TermRun<'a, A: ParametricAnalysis> {
+    analysis: &'a A,
+    p: &'a A::Param,
+    arena: &'a TermArena,
+    memo: HashMap<(TermId, A::State), BTreeSet<A::State>>,
+}
+
+impl<'a, A: ParametricAnalysis> TermRun<'a, A> {
+    /// Creates an interpreter for the `p` instance of `analysis`.
+    pub fn new(analysis: &'a A, p: &'a A::Param, arena: &'a TermArena) -> Self {
+        TermRun { analysis, p, arena, memo: HashMap::new() }
+    }
+
+    /// Computes `F_p[t]({d})` — all final states of `t` from `d`.
+    pub fn run(&mut self, t: TermId, d: &A::State) -> BTreeSet<A::State> {
+        if let Some(cached) = self.memo.get(&(t, d.clone())) {
+            return cached.clone();
+        }
+        let out = match self.arena.node(t) {
+            TermNode::Eps => BTreeSet::from([d.clone()]),
+            TermNode::Atom(a, _) => BTreeSet::from([self.analysis.transfer(self.p, &a, d)]),
+            TermNode::Seq(s1, s2) => {
+                let mid = self.run(s1, d);
+                let mut out = BTreeSet::new();
+                for d1 in &mid {
+                    out.extend(self.run(s2, d1));
+                }
+                out
+            }
+            TermNode::Choice(s1, s2) => {
+                let mut out = self.run(s1, d);
+                out.extend(self.run(s2, d));
+                out
+            }
+            TermNode::Star(s) => self.star_closure(s, d),
+        };
+        self.memo.insert((t, d.clone()), out.clone());
+        out
+    }
+
+    /// All states reachable from `d` by zero or more iterations of `s`.
+    fn star_closure(&mut self, s: TermId, d: &A::State) -> BTreeSet<A::State> {
+        let mut set = BTreeSet::from([d.clone()]);
+        let mut frontier = vec![d.clone()];
+        while let Some(x) = frontier.pop() {
+            for y in self.run(s, &x) {
+                if set.insert(y.clone()) {
+                    frontier.push(y);
+                }
+            }
+        }
+        set
+    }
+
+    /// Collects, for every program point in the term, the set of states
+    /// *arriving at* that point (the pre-state of the atom there).
+    ///
+    /// Queries are judged against these sets: a query at point `pc` is
+    /// proven iff every arriving state satisfies it.
+    pub fn states_at_points(
+        &mut self,
+        root: TermId,
+        d0: &A::State,
+    ) -> HashMap<PointId, BTreeSet<A::State>> {
+        let mut out: HashMap<PointId, BTreeSet<A::State>> = HashMap::new();
+        let mut visited: HashSet<(TermId, A::State)> = HashSet::new();
+        self.visit(root, d0, &mut out, &mut visited);
+        out
+    }
+
+    fn visit(
+        &mut self,
+        t: TermId,
+        d: &A::State,
+        out: &mut HashMap<PointId, BTreeSet<A::State>>,
+        visited: &mut HashSet<(TermId, A::State)>,
+    ) {
+        if !visited.insert((t, d.clone())) {
+            return;
+        }
+        match self.arena.node(t) {
+            TermNode::Eps => {}
+            TermNode::Atom(_, p) => {
+                if p != pda_lang::ir::SYNTHETIC_POINT {
+                    out.entry(p).or_default().insert(d.clone());
+                }
+            }
+            TermNode::Seq(s1, s2) => {
+                self.visit(s1, d, out, visited);
+                for d1 in self.run(s1, d) {
+                    self.visit(s2, &d1, out, visited);
+                }
+            }
+            TermNode::Choice(s1, s2) => {
+                self.visit(s1, d, out, visited);
+                self.visit(s2, d, out, visited);
+            }
+            TermNode::Star(s) => {
+                for x in self.star_closure(s, d) {
+                    self.visit(s, &x, out, visited);
+                }
+            }
+        }
+    }
+
+    /// A witness trace of `root` from `d0` ending exactly in `target`
+    /// (Lemma 1: every final state of a disjunctive analysis is produced
+    /// by some trace), or `None` if `target ∉ F_p[root]({d0})`.
+    pub fn trace_to(
+        &mut self,
+        root: TermId,
+        d0: &A::State,
+        target: &A::State,
+    ) -> Option<Vec<TraceStep>> {
+        if !self.run(root, d0).contains(target) {
+            return None;
+        }
+        Some(self.path_to_state(root, d0, target))
+    }
+
+    /// Searches a trace from `d0` whose next step arrives at a point/state
+    /// satisfying `bad` — an abstract counterexample per Lemma 1. The
+    /// returned steps end *just before* the bad point.
+    pub fn witness(
+        &mut self,
+        root: TermId,
+        d0: &A::State,
+        bad: &dyn Fn(PointId, &A::State) -> bool,
+    ) -> Option<Vec<TraceStep>> {
+        self.path_to_bad(root, d0, bad)
+    }
+
+    fn path_to_bad(
+        &mut self,
+        t: TermId,
+        d: &A::State,
+        bad: &dyn Fn(PointId, &A::State) -> bool,
+    ) -> Option<Vec<TraceStep>> {
+        match self.arena.node(t) {
+            TermNode::Eps => None,
+            TermNode::Atom(_, p) => {
+                if p != pda_lang::ir::SYNTHETIC_POINT && bad(p, d) {
+                    Some(Vec::new())
+                } else {
+                    None
+                }
+            }
+            TermNode::Seq(s1, s2) => {
+                if let Some(tr) = self.path_to_bad(s1, d, bad) {
+                    return Some(tr);
+                }
+                for d1 in self.run(s1, d) {
+                    if let Some(tail) = self.path_to_bad(s2, &d1, bad) {
+                        let mut tr = self.path_to_state(s1, d, &d1);
+                        tr.extend(tail);
+                        return Some(tr);
+                    }
+                }
+                None
+            }
+            TermNode::Choice(s1, s2) => self
+                .path_to_bad(s1, d, bad)
+                .or_else(|| self.path_to_bad(s2, d, bad)),
+            TermNode::Star(s) => {
+                // BFS over iteration states, remembering parents.
+                let mut parent: HashMap<A::State, A::State> = HashMap::new();
+                let mut order = vec![d.clone()];
+                let mut queue = VecDeque::from([d.clone()]);
+                let mut seen: HashSet<A::State> = HashSet::from([d.clone()]);
+                while let Some(x) = queue.pop_front() {
+                    for y in self.run(s, &x) {
+                        if seen.insert(y.clone()) {
+                            parent.insert(y.clone(), x.clone());
+                            order.push(y.clone());
+                            queue.push_back(y);
+                        }
+                    }
+                }
+                for x in order {
+                    if let Some(tail) = self.path_to_bad(s, &x, bad) {
+                        let mut tr = self.iterate_to(s, d, &x, &parent);
+                        tr.extend(tail);
+                        return Some(tr);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// The trace of whole loop iterations taking `d` to `x` under `s*`,
+    /// following recorded BFS parents.
+    fn iterate_to(
+        &mut self,
+        s: TermId,
+        d: &A::State,
+        x: &A::State,
+        parent: &HashMap<A::State, A::State>,
+    ) -> Vec<TraceStep> {
+        let mut chain = vec![x.clone()];
+        let mut cur = x;
+        while cur != d {
+            let p = &parent[cur];
+            chain.push(p.clone());
+            cur = p;
+        }
+        chain.reverse();
+        let mut tr = Vec::new();
+        for w in chain.windows(2) {
+            tr.extend(self.path_to_state(s, &w[0], &w[1]));
+        }
+        tr
+    }
+
+    /// A trace of `t` from `d` ending exactly in `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target ∉ F_p[t]({d})` — callers must establish
+    /// membership first (the engine always does).
+    fn path_to_state(&mut self, t: TermId, d: &A::State, target: &A::State) -> Vec<TraceStep> {
+        match self.arena.node(t) {
+            TermNode::Eps => {
+                assert_eq!(d, target, "path_to_state: eps mismatch");
+                Vec::new()
+            }
+            TermNode::Atom(a, p) => {
+                debug_assert_eq!(&self.analysis.transfer(self.p, &a, d), target);
+                vec![TraceStep { atom: a, point: p }]
+            }
+            TermNode::Seq(s1, s2) => {
+                for d1 in self.run(s1, d) {
+                    if self.run(s2, &d1).contains(target) {
+                        let mut tr = self.path_to_state(s1, d, &d1);
+                        tr.extend(self.path_to_state(s2, &d1, target));
+                        return tr;
+                    }
+                }
+                panic!("path_to_state: target unreachable through Seq");
+            }
+            TermNode::Choice(s1, s2) => {
+                if self.run(s1, d).contains(target) {
+                    self.path_to_state(s1, d, target)
+                } else {
+                    self.path_to_state(s2, d, target)
+                }
+            }
+            TermNode::Star(s) => {
+                if d == target {
+                    return Vec::new();
+                }
+                // BFS with parents until we hit the target.
+                let mut parent: HashMap<A::State, A::State> = HashMap::new();
+                let mut queue = VecDeque::from([d.clone()]);
+                let mut seen: HashSet<A::State> = HashSet::from([d.clone()]);
+                while let Some(x) = queue.pop_front() {
+                    for y in self.run(s, &x) {
+                        if seen.insert(y.clone()) {
+                            parent.insert(y.clone(), x.clone());
+                            if &y == target {
+                                return self.iterate_to(s, d, target, &parent);
+                            }
+                            queue.push_back(y);
+                        }
+                    }
+                }
+                panic!("path_to_state: target unreachable through Star");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pda_lang::{Atom, VarId};
+
+    /// A toy analysis over `u32` counters: `Null{v}` increments by `v`'s
+    /// index, everything else is identity. Param caps the counter.
+    struct Counter;
+
+    impl ParametricAnalysis for Counter {
+        type Param = u32;
+        type State = u32;
+        fn transfer(&self, p: &u32, atom: &Atom, d: &u32) -> u32 {
+            match atom {
+                Atom::Null { dst } => (*d + dst.0 + 1).min(*p),
+                _ => *d,
+            }
+        }
+    }
+
+    fn arena_incr() -> (TermArena, TermId) {
+        // ( null v0 )* ; choice(null v1, eps)
+        let mut a = TermArena::new();
+        let one = a.atom(Atom::Null { dst: VarId(0) }, PointId(0));
+        let star = a.star(one);
+        let two = a.atom(Atom::Null { dst: VarId(1) }, PointId(1));
+        let eps = a.eps();
+        let tail = a.choice(two, eps);
+        let root = a.seq(star, tail);
+        (a, root)
+    }
+
+    use pda_lang::PointId;
+
+    #[test]
+    fn run_computes_fixpoint_with_cap() {
+        let (a, root) = arena_incr();
+        let analysis = Counter;
+        let p = 4;
+        let mut run = TermRun::new(&analysis, &p, &a);
+        let out = run.run(root, &0);
+        // Star yields {0,1,2,3,4}; tail adds +2 capped at 4 or stays.
+        assert_eq!(out, BTreeSet::from([0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn states_at_points_collects_prestates() {
+        let (a, root) = arena_incr();
+        let analysis = Counter;
+        let p = 2;
+        let mut run = TermRun::new(&analysis, &p, &a);
+        let at = run.states_at_points(root, &0);
+        // Loop body sees all closure states; tail sees them too.
+        assert_eq!(at[&PointId(0)], BTreeSet::from([0, 1, 2]));
+        assert_eq!(at[&PointId(1)], BTreeSet::from([0, 1, 2]));
+    }
+
+    #[test]
+    fn witness_reaches_bad_state_through_loop() {
+        let (a, root) = arena_incr();
+        let analysis = Counter;
+        let p = 10;
+        let mut run = TermRun::new(&analysis, &p, &a);
+        // Bad: arriving at point 1 with counter ≥ 3 (needs 3 loop spins).
+        let tr = run
+            .witness(root, &0, &|pt, d| pt == PointId(1) && *d >= 3)
+            .expect("witness exists");
+        assert_eq!(tr.len(), 3);
+        assert!(tr.iter().all(|s| s.point == PointId(0)));
+        // Replaying the trace lands on 3.
+        let final_d = tr.iter().fold(0, |d, s| analysis.transfer(&p, &s.atom, &d));
+        assert_eq!(final_d, 3);
+    }
+
+    #[test]
+    fn witness_none_when_unreachable() {
+        let (a, root) = arena_incr();
+        let analysis = Counter;
+        let p = 2; // cap prevents ever reaching 5
+        let mut run = TermRun::new(&analysis, &p, &a);
+        assert!(run.witness(root, &0, &|_, d| *d >= 5).is_none());
+    }
+
+    #[test]
+    fn witness_in_first_position_is_empty() {
+        let (a, root) = arena_incr();
+        let analysis = Counter;
+        let p = 9;
+        let mut run = TermRun::new(&analysis, &p, &a);
+        let tr = run.witness(root, &0, &|pt, d| pt == PointId(0) && *d == 0).unwrap();
+        assert!(tr.is_empty());
+    }
+}

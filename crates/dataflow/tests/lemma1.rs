@@ -1,0 +1,100 @@
+//! Property test for Lemma 1: for a disjunctive analysis,
+//! `F_p[s]({d}) = { F_p[t](d) | t ∈ trace(s) }` — every final state the
+//! term engine computes is witnessed by a concrete trace that replays to
+//! exactly that state, and every witness's replay is a final state.
+
+use pda_dataflow::{ParametricAnalysis, TermRun};
+use pda_lang::{Atom, PointId, TermArena, TermId, VarId};
+use proptest::prelude::*;
+
+/// Saturating counter transfer: `Null{v}` adds `v+1`, capped at the param.
+struct Counter;
+
+impl ParametricAnalysis for Counter {
+    type Param = u32;
+    type State = u32;
+    fn transfer(&self, p: &u32, atom: &Atom, d: &u32) -> u32 {
+        match atom {
+            Atom::Null { dst } => (*d + dst.0 + 1).min(*p),
+            Atom::Havoc { .. } => d / 2,
+            _ => *d,
+        }
+    }
+}
+
+/// A recipe for building a random term into an arena.
+#[derive(Debug, Clone)]
+enum Recipe {
+    Atom(u32),
+    Havoc,
+    Seq(Box<Recipe>, Box<Recipe>),
+    Choice(Box<Recipe>, Box<Recipe>),
+    Star(Box<Recipe>),
+}
+
+fn build(arena: &mut TermArena, r: &Recipe, next_point: &mut u32) -> TermId {
+    match r {
+        Recipe::Atom(v) => {
+            let p = PointId(*next_point);
+            *next_point += 1;
+            arena.atom(Atom::Null { dst: VarId(*v) }, p)
+        }
+        Recipe::Havoc => {
+            let p = PointId(*next_point);
+            *next_point += 1;
+            arena.atom(Atom::Havoc { dst: VarId(0) }, p)
+        }
+        Recipe::Seq(a, b) => {
+            let ta = build(arena, a, next_point);
+            let tb = build(arena, b, next_point);
+            arena.seq(ta, tb)
+        }
+        Recipe::Choice(a, b) => {
+            let ta = build(arena, a, next_point);
+            let tb = build(arena, b, next_point);
+            arena.choice(ta, tb)
+        }
+        Recipe::Star(a) => {
+            let ta = build(arena, a, next_point);
+            arena.star(ta)
+        }
+    }
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    let leaf = prop_oneof![(0u32..3).prop_map(Recipe::Atom), Just(Recipe::Havoc)];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Recipe::Seq(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Recipe::Choice(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Recipe::Star(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_final_state_has_a_replaying_witness(recipe in arb_recipe(), p in 1u32..12) {
+        let mut arena = TermArena::new();
+        let mut np = 0;
+        let root = build(&mut arena, &recipe, &mut np);
+        let analysis = Counter;
+        let mut run = TermRun::new(&analysis, &p, &arena);
+        let finals = run.run(root, &0);
+        prop_assert!(!finals.is_empty());
+        for target in &finals {
+            let trace = run.trace_to(root, &0, target).expect("Lemma 1 witness");
+            let replay = trace
+                .iter()
+                .fold(0u32, |d, s| analysis.transfer(&p, &s.atom, &d));
+            prop_assert_eq!(replay, *target, "trace does not replay to its target");
+        }
+        // Conversely, no witness exists for a non-final state.
+        let bogus = finals.iter().max().unwrap() + 1000;
+        prop_assert!(run.trace_to(root, &0, &bogus).is_none());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests of the meta-analysis operators instantiated at the
+//! thread-escape primitive alphabet: `simplify` preserves semantics,
+//! `approx` under-approximates while retaining the current `(p, d)`, and
+//! DNF conversion is semantics-preserving.
+
+use pda_escape::{Cell, Env, EscPrim, Val};
+use pda_lang::{FieldId, SiteId, VarId};
+use pda_meta::{approx, simplify, BeamConfig, Formula};
+use pda_util::BitSet;
+use proptest::prelude::*;
+
+const N_VARS: usize = 2;
+const N_FIELDS: usize = 1;
+const N_SITES: usize = 2;
+
+fn arb_prim() -> impl Strategy<Value = EscPrim> {
+    prop_oneof![
+        (0..N_VARS as u32, 0..3u8).prop_map(|(v, o)| EscPrim::CellIs(
+            Cell::Var(VarId(v)),
+            Val::ALL[o as usize]
+        )),
+        (0..N_FIELDS as u32, 0..3u8).prop_map(|(f, o)| EscPrim::CellIs(
+            Cell::Field(FieldId(f)),
+            Val::ALL[o as usize]
+        )),
+        (0..N_SITES as u32, any::<bool>()).prop_map(|(h, b)| EscPrim::SiteIs(SiteId(h), b)),
+    ]
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula<EscPrim>> {
+    let leaf = prop_oneof![
+        arb_prim().prop_map(Formula::Prim),
+        Just(Formula::True),
+        Just(Formula::False),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::And),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::Or),
+            inner.prop_map(|f| Formula::Not(Box::new(f))),
+        ]
+    })
+}
+
+fn all_envs() -> Vec<Env> {
+    let n = N_VARS + N_FIELDS;
+    (0..3usize.pow(n as u32))
+        .map(|mut code| {
+            let mut d = Env::initial(N_VARS, N_FIELDS);
+            for i in 0..n {
+                let v = Val::ALL[code % 3];
+                code /= 3;
+                let cell = if i < N_VARS {
+                    Cell::Var(VarId(i as u32))
+                } else {
+                    Cell::Field(FieldId((i - N_VARS) as u32))
+                };
+                d.set(cell, v);
+            }
+            d
+        })
+        .collect()
+}
+
+fn all_params() -> Vec<BitSet> {
+    (0..1u32 << N_SITES)
+        .map(|bits| BitSet::from_iter(N_SITES, (0..N_SITES).filter(|i| (bits >> i) & 1 == 1)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn to_dnf_and_simplify_preserve_semantics(f in arb_formula()) {
+        let cfg = BeamConfig::exhaustive();
+        let dnf = pda_meta::approx::to_dnf(&f, &cfg, &|_| true);
+        let simp = simplify(dnf.clone());
+        for p in all_params() {
+            for d in all_envs() {
+                prop_assert_eq!(f.holds(&p, &d), dnf.holds(&p, &d), "toDNF changed {}", f);
+                prop_assert_eq!(dnf.holds(&p, &d), simp.holds(&p, &d), "simplify changed {}", f);
+            }
+        }
+    }
+
+    #[test]
+    fn approx_underapproximates_and_keeps_membership(
+        f in arb_formula(),
+        k in 1usize..4,
+        pbits in 0u32..4,
+        denc in 0usize..27,
+    ) {
+        let cfg = BeamConfig::with_k(k);
+        let p = BitSet::from_iter(N_SITES, (0..N_SITES).filter(|i| (pbits >> i) & 1 == 1));
+        let d = all_envs()[denc].clone();
+        let dnf = pda_meta::approx::to_dnf(&f, &BeamConfig::exhaustive(), &|_| true);
+        let inside = dnf.holds(&p, &d);
+        match approx(&p, &d, dnf.clone(), &cfg) {
+            None => prop_assert!(!inside, "approx lost a member"),
+            Some(out) => {
+                prop_assert!(inside, "approx invented membership");
+                prop_assert!(out.holds(&p, &d), "approx dropped the current (p, d)");
+                prop_assert!(out.len() <= k.max(1), "beam width exceeded");
+                // Under-approximation: σ(out) ⊆ σ(dnf).
+                for p2 in all_params() {
+                    for d2 in all_envs() {
+                        if out.holds(&p2, &d2) {
+                            prop_assert!(dnf.holds(&p2, &d2), "approx over-approximated {}", f);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Abstract syntax tree produced by the parser, before name resolution.
+//!
+//! All names are plain strings at this level; the resolver turns them into
+//! typed IR indices.
+
+/// A parsed, unresolved program: the top-level items in source order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceProgram {
+    /// Global (static) variable declarations.
+    pub globals: Vec<String>,
+    /// Class declarations.
+    pub classes: Vec<ClassDecl>,
+    /// Free functions (static methods); must include `main`.
+    pub funcs: Vec<FuncDecl>,
+    /// Type-state automata declarations.
+    pub typestates: Vec<TypestateAst>,
+}
+
+/// A `class C { field f; fn m(...) {...} }` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Declared instance fields.
+    pub fields: Vec<String>,
+    /// Declared methods (receive an implicit `this`).
+    pub methods: Vec<FuncDecl>,
+    /// Source line of the declaration.
+    pub line: u32,
+}
+
+/// A function or method declaration.
+///
+/// A `None` body declares an *atomic* method: calls to it only drive the
+/// type-state automaton and havoc their result, with no interprocedural
+/// flow (the shape used by the paper's Figure 1 `File` example).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDecl {
+    /// Function or method name.
+    pub name: String,
+    /// Parameter names (excluding the implicit `this`).
+    pub params: Vec<String>,
+    /// `None` for bodyless (atomic) method declarations.
+    pub body: Option<Block>,
+    /// Source line of the declaration.
+    pub line: u32,
+}
+
+/// A `{ ... }` statement block.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Block {
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A variable reference: a named local/global or the `this` keyword.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VarRef {
+    /// A named variable; the resolver decides local vs. global.
+    Named(String),
+    /// The receiver of the enclosing method.
+    This,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var x, y;` — local declarations (initialized to `null`).
+    VarDecl {
+        /// Declared names.
+        names: Vec<String>,
+        /// Source line (1-based).
+        line: u32,
+    },
+    /// `x = new C;`
+    New {
+        /// Destination variable.
+        dst: VarRef,
+        /// Class name.
+        class: String,
+        /// Source line (1-based).
+        line: u32,
+    },
+    /// `x = y;` (copy, global read, or global write — resolved later),
+    /// `x = null;`
+    Copy {
+        /// Destination variable.
+        dst: VarRef,
+        /// Source variable.
+        src: Option<VarRef>,
+        /// Source line (1-based).
+        line: u32,
+    },
+    /// `x = y.f;`
+    Load {
+        /// Destination variable.
+        dst: VarRef,
+        /// Base object variable.
+        base: VarRef,
+        /// Field name.
+        field: String,
+        /// Source line (1-based).
+        line: u32,
+    },
+    /// `x.f = y;`
+    Store {
+        /// Base object variable.
+        base: VarRef,
+        /// Field name.
+        field: String,
+        /// Source variable.
+        src: VarRef,
+        /// Source line (1-based).
+        line: u32,
+    },
+    /// `x = y.m(a, b);` or `y.m(a, b);`
+    VCall {
+        /// Destination variable.
+        dst: Option<VarRef>,
+        /// Receiver variable.
+        recv: VarRef,
+        /// Method name.
+        method: String,
+        /// Argument variables.
+        args: Vec<VarRef>,
+        /// Source line (1-based).
+        line: u32,
+    },
+    /// `x = f(a, b);` or `f(a, b);`
+    SCall {
+        /// Destination variable.
+        dst: Option<VarRef>,
+        /// Callee function name.
+        func: String,
+        /// Argument variables.
+        args: Vec<VarRef>,
+        /// Source line (1-based).
+        line: u32,
+    },
+    /// `spawn x;` — start a thread with receiver `x` (makes it escape).
+    Spawn {
+        /// The variable.
+        var: VarRef,
+        /// Source line (1-based).
+        line: u32,
+    },
+    /// `return x;` or `return;`
+    Return {
+        /// The variable.
+        var: Option<VarRef>,
+        /// Source line (1-based).
+        line: u32,
+    },
+    /// `if (*) { ... } else { ... }` — nondeterministic branch.
+    If {
+        /// The `then` branch.
+        then_blk: Block,
+        /// The `else` branch.
+        else_blk: Block,
+        /// Source line (1-based).
+        line: u32,
+    },
+    /// `while (*) { ... }` — nondeterministic loop.
+    While {
+        /// The loop body.
+        body: Block,
+        /// Source line (1-based).
+        line: u32,
+    },
+    /// `query L: local x;` or `query L: state x in { s1 s2 };`
+    Query {
+        /// Query label.
+        label: String,
+        /// What the query asks.
+        kind: QueryAst,
+        /// Source line (1-based).
+        line: u32,
+    },
+}
+
+/// The two query flavors of the paper's two client analyses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryAst {
+    /// Thread-escape query: is the object `x` points to thread-local here?
+    Local {
+        /// The variable.
+        var: VarRef,
+    },
+    /// Type-state query: is the object `x` points to in one of the allowed
+    /// states here (and not in the error state)?
+    State {
+        /// The variable.
+        var: VarRef,
+        /// Allowed state names.
+        allowed: Vec<String>,
+    },
+}
+
+/// A `typestate C { init s0; s -> m -> s'; ... }` automaton declaration.
+///
+/// Transition targets may use the reserved state name `error` for the
+/// paper's ⊤ outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypestateAst {
+    /// The class whose objects this automaton tracks.
+    pub class: String,
+    /// Initial state name.
+    pub init: String,
+    /// Transitions `(from, method, to)`; `to == "error"` means ⊤.
+    pub transitions: Vec<(String, String, String)>,
+    /// Source line of the declaration.
+    pub line: u32,
+}

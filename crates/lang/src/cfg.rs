@@ -1,0 +1,187 @@
+//! Per-method control-flow graphs, derived from structured [`RStmt`] trees.
+
+use crate::ir::{Atom, CallId, PointId, RStmt, SYNTHETIC_POINT};
+use pda_util::{define_idx, IdxVec};
+
+define_idx!(
+    /// Index of a CFG node within one method.
+    NodeId
+);
+
+/// What a CFG node does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Method entry.
+    Entry,
+    /// Method exit.
+    Exit,
+    /// An atomic command.
+    Atom(Atom, PointId),
+    /// A call occurrence.
+    Call(CallId),
+}
+
+/// A CFG node plus its successor edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfgNode {
+    /// The node payload.
+    pub kind: Node,
+    /// Successor nodes.
+    pub succs: Vec<NodeId>,
+}
+
+/// A method control-flow graph.
+///
+/// Built structurally from the method's [`RStmt`] body, so it contains no
+/// unreachable nodes except possibly `Exit` (for non-returning bodies).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cfg {
+    /// All nodes; `entry` and `exit` index into this.
+    pub nodes: IdxVec<NodeId, CfgNode>,
+    /// The entry node.
+    pub entry: NodeId,
+    /// The exit node.
+    pub exit: NodeId,
+}
+
+impl Cfg {
+    /// Builds a CFG from a structured body.
+    ///
+    /// `Choice` becomes a diamond, `Star` becomes a loop with a skip edge;
+    /// the node set is exactly the atoms/calls of the body plus
+    /// `Entry`/`Exit`.
+    pub fn from_rstmt(body: &RStmt) -> Cfg {
+        let mut cfg = Cfg::default();
+        cfg.entry = cfg.nodes.push(CfgNode { kind: Node::Entry, succs: Vec::new() });
+        cfg.exit = cfg.nodes.push(CfgNode { kind: Node::Exit, succs: Vec::new() });
+        let frontier = cfg.lower(body, vec![cfg.entry]);
+        for n in frontier {
+            cfg.add_edge(n, cfg.exit);
+        }
+        cfg
+    }
+
+    fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        if !self.nodes[from].succs.contains(&to) {
+            self.nodes[from].succs.push(to);
+        }
+    }
+
+    fn add_node(&mut self, kind: Node, preds: &[NodeId]) -> NodeId {
+        let n = self.nodes.push(CfgNode { kind, succs: Vec::new() });
+        for &p in preds {
+            self.add_edge(p, n);
+        }
+        n
+    }
+
+    /// Lowers `stmt` given the current frontier (nodes whose control falls
+    /// into `stmt`), returning the new frontier.
+    fn lower(&mut self, stmt: &RStmt, frontier: Vec<NodeId>) -> Vec<NodeId> {
+        match stmt {
+            RStmt::Atom(a, p) => vec![self.add_node(Node::Atom(*a, *p), &frontier)],
+            RStmt::Call(c) => vec![self.add_node(Node::Call(*c), &frontier)],
+            RStmt::Seq(ss) => {
+                let mut f = frontier;
+                for s in ss {
+                    f = self.lower(s, f);
+                }
+                f
+            }
+            RStmt::Choice(a, b) => {
+                let mut fa = self.lower(a, frontier.clone());
+                let fb = self.lower(b, frontier);
+                fa.extend(fb);
+                fa
+            }
+            RStmt::Star(body) => {
+                // A join node so the loop has a single head to come back to.
+                let head = self.add_node(Node::Atom(Atom::Nop, SYNTHETIC_POINT), &frontier);
+                let back = self.lower(body, vec![head]);
+                for n in back {
+                    self.add_edge(n, head);
+                }
+                vec![head]
+            }
+        }
+    }
+
+    /// Nodes in arbitrary (index) order with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &CfgNode)> {
+        self.nodes.iter_enumerated()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the CFG holds no nodes (bodyless method).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::VarId;
+    use pda_util::Idx;
+
+    fn atom(n: u32) -> RStmt {
+        RStmt::Atom(Atom::Null { dst: VarId(n) }, PointId(n))
+    }
+
+    fn reachable_exit(cfg: &Cfg) -> bool {
+        let mut seen = vec![false; cfg.len()];
+        let mut stack = vec![cfg.entry];
+        while let Some(n) = stack.pop() {
+            if seen[n.index()] {
+                continue;
+            }
+            seen[n.index()] = true;
+            stack.extend(cfg.nodes[n].succs.iter().copied());
+        }
+        seen[cfg.exit.index()]
+    }
+
+    #[test]
+    fn straight_line() {
+        let cfg = Cfg::from_rstmt(&RStmt::Seq(vec![atom(0), atom(1)]));
+        assert_eq!(cfg.len(), 4); // entry, exit, two atoms
+        assert!(reachable_exit(&cfg));
+    }
+
+    #[test]
+    fn choice_is_diamond() {
+        let cfg = Cfg::from_rstmt(&RStmt::Choice(Box::new(atom(0)), Box::new(atom(1))));
+        assert!(reachable_exit(&cfg));
+        // Entry has two successors.
+        assert_eq!(cfg.nodes[cfg.entry].succs.len(), 2);
+    }
+
+    #[test]
+    fn empty_choice_branch_flows_through() {
+        let cfg = Cfg::from_rstmt(&RStmt::Choice(Box::new(atom(0)), Box::new(RStmt::skip())));
+        // Entry reaches exit directly through the empty branch.
+        assert!(cfg.nodes[cfg.entry].succs.contains(&cfg.exit));
+    }
+
+    #[test]
+    fn star_has_back_edge() {
+        let cfg = Cfg::from_rstmt(&RStmt::Star(Box::new(atom(0))));
+        assert!(reachable_exit(&cfg));
+        // Some node loops back to the loop head.
+        let head = cfg.nodes[cfg.entry].succs[0];
+        let back = cfg
+            .iter()
+            .any(|(id, n)| id != cfg.entry && n.succs.contains(&head));
+        assert!(back);
+    }
+
+    #[test]
+    fn empty_body_connects_entry_to_exit() {
+        let cfg = Cfg::from_rstmt(&RStmt::skip());
+        assert_eq!(cfg.nodes[cfg.entry].succs, vec![cfg.exit]);
+    }
+}

@@ -1,0 +1,414 @@
+//! The resolved intermediate representation.
+//!
+//! A [`Program`] is an arena of interned entities. Method bodies exist in
+//! two equivalent forms: a structured [`RStmt`] tree (mirroring the paper's
+//! regular command language `a | s;s' | s+s' | s*`) and a [`Cfg`] derived
+//! from it (consumed by the RHS tabulation engine).
+
+use crate::cfg::{Cfg, NodeId};
+use pda_util::{define_idx, IdxVec};
+use std::collections::HashMap;
+
+define_idx!(
+    /// Index of an interned name (identifier).
+    NameId
+);
+define_idx!(
+    /// Index of a class declaration.
+    ClassId
+);
+define_idx!(
+    /// Index of an instance field. Fields are identified by name alone
+    /// (field-based heap abstraction, as in the paper's Figure 5).
+    FieldId
+);
+define_idx!(
+    /// Index of a global (static) variable.
+    GlobalId
+);
+define_idx!(
+    /// Index of a local variable. Variables are program-wide unique; the
+    /// type-state abstraction parameter is a set of `VarId`s.
+    VarId
+);
+define_idx!(
+    /// Index of a method or free function.
+    MethodId
+);
+define_idx!(
+    /// Index of an object allocation site (`h` in the paper). The
+    /// thread-escape abstraction parameter maps `SiteId → {L, E}`.
+    SiteId
+);
+define_idx!(
+    /// Index of a program point. Every atom and call occurrence has one;
+    /// queries name the point they are posed at.
+    PointId
+);
+define_idx!(
+    /// Index of a call site occurrence.
+    CallId
+);
+define_idx!(
+    /// Index of a query.
+    QueryId
+);
+
+/// A synthetic program point used by CFG construction for join nodes that
+/// have no source location. Never registered in [`Program::points`].
+pub const SYNTHETIC_POINT: PointId = PointId(u32::MAX);
+
+/// An interner mapping identifier strings to dense [`NameId`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Interner {
+    names: IdxVec<NameId, String>,
+    map: HashMap<String, NameId>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns `s`, returning its id (stable across repeated calls).
+    pub fn intern(&mut self, s: &str) -> NameId {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = self.names.push(s.to_string());
+        self.map.insert(s.to_string(), id);
+        id
+    }
+
+    /// Looks up an already-interned string.
+    pub fn get(&self, s: &str) -> Option<NameId> {
+        self.map.get(s).copied()
+    }
+
+    /// The string for `id`.
+    pub fn resolve(&self, id: NameId) -> &str {
+        &self.names[id]
+    }
+}
+
+/// The atomic commands of the analyzed language.
+///
+/// This is the shared alphabet between the forward analyses (Figures 4
+/// and 5 of the paper) and the backward meta-analysis (Figures 10 and 11):
+/// every transfer function in the workspace is a function of an `Atom`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// `dst = new h` — allocate at site `site`.
+    New {
+        /// Destination variable.
+        dst: VarId,
+        /// Allocation site.
+        site: SiteId,
+    },
+    /// `dst = src` — local-to-local copy.
+    Copy {
+        /// Destination variable.
+        dst: VarId,
+        /// Source variable.
+        src: VarId,
+    },
+    /// `dst = null`.
+    Null {
+        /// Destination variable.
+        dst: VarId,
+    },
+    /// `dst = base.field` — heap load.
+    Load {
+        /// Destination variable.
+        dst: VarId,
+        /// Base object variable.
+        base: VarId,
+        /// Field name.
+        field: FieldId,
+    },
+    /// `base.field = src` — heap store.
+    Store {
+        /// Base object variable.
+        base: VarId,
+        /// Field name.
+        field: FieldId,
+        /// Source variable.
+        src: VarId,
+    },
+    /// `global = src` — write a static variable (publishes `src`).
+    GSet {
+        /// The global variable.
+        global: GlobalId,
+        /// Source variable.
+        src: VarId,
+    },
+    /// `dst = global` — read a static variable.
+    GGet {
+        /// Destination variable.
+        dst: VarId,
+        /// The global variable.
+        global: GlobalId,
+    },
+    /// The type-state transition point of a virtual call `recv.m(...)`.
+    ///
+    /// Interprocedural parameter/return flow is expressed separately with
+    /// `Copy` atoms by the engines; this atom carries only what the
+    /// type-state transfer function needs.
+    Invoke {
+        /// Receiver variable.
+        recv: VarId,
+        /// Method name.
+        method: NameId,
+    },
+    /// `spawn src` — start a thread on the object `src` points to.
+    Spawn {
+        /// Source variable.
+        src: VarId,
+    },
+    /// `dst` receives an unknown value (result of a bodyless call).
+    Havoc {
+        /// Destination variable.
+        dst: VarId,
+    },
+    /// No effect; used for query points and branch joins.
+    Nop,
+}
+
+/// A structured (regular) command tree, one per method body.
+///
+/// `Seq`/`Choice`/`Star` mirror the `s ; s'`, `s + s'`, and `s*`
+/// constructors of the paper's Section 3.1. Calls are kept structured so
+/// the inliner and the CFG builder can expand them differently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RStmt {
+    /// An atomic command at a program point.
+    Atom(Atom, PointId),
+    /// A call occurrence (virtual or static).
+    Call(CallId),
+    /// Sequential composition.
+    Seq(Vec<RStmt>),
+    /// Nondeterministic choice.
+    Choice(Box<RStmt>, Box<RStmt>),
+    /// Iteration (loop).
+    Star(Box<RStmt>),
+}
+
+impl RStmt {
+    /// An empty statement.
+    pub fn skip() -> RStmt {
+        RStmt::Seq(Vec::new())
+    }
+}
+
+/// How a call site selects its callee(s).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// A direct call to a free function.
+    Static(MethodId),
+    /// A virtual call `recv.m(...)`, resolved through the 0-CFA call
+    /// graph (in `pda-analysis`).
+    Virtual {
+        /// Receiver variable.
+        recv: VarId,
+        /// Method name to dispatch on.
+        method: NameId,
+    },
+}
+
+/// One call occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallInfo {
+    /// Dispatch kind.
+    pub kind: CallKind,
+    /// Argument variables (excluding the receiver).
+    pub args: Vec<VarId>,
+    /// Variable receiving the result, if any.
+    pub dst: Option<VarId>,
+    /// The call's program point.
+    pub point: PointId,
+    /// The method containing this call.
+    pub caller: MethodId,
+}
+
+/// A class: a name plus its declared fields and methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassInfo {
+    /// Class name.
+    pub name: NameId,
+    /// Declared fields.
+    pub fields: Vec<FieldId>,
+    /// Methods, keyed by name for dispatch.
+    pub methods: HashMap<NameId, MethodId>,
+}
+
+/// A method or free function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodInfo {
+    /// Name.
+    pub name: NameId,
+    /// Owning class, or `None` for free functions.
+    pub class: Option<ClassId>,
+    /// Parameters; for class methods, `params[0]` is `this`.
+    pub params: Vec<VarId>,
+    /// The synthesized return-value variable (methods with a body only).
+    pub ret: Option<VarId>,
+    /// All locals (including parameters and `ret`).
+    pub vars: Vec<VarId>,
+    /// Structured body, or `None` for atomic (bodyless) methods.
+    pub body: Option<RStmt>,
+    /// Control-flow graph derived from `body` (empty for atomic methods).
+    pub cfg: Cfg,
+}
+
+/// A variable: its name and owning method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Source name.
+    pub name: NameId,
+    /// The method the variable belongs to.
+    pub method: MethodId,
+}
+
+/// An allocation site: `new class` at `point` inside `method`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteInfo {
+    /// Allocated class.
+    pub class: ClassId,
+    /// The site's program point.
+    pub point: PointId,
+    /// Containing method.
+    pub method: MethodId,
+}
+
+/// Where a program point lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointInfo {
+    /// Containing method.
+    pub method: MethodId,
+    /// The CFG node realizing this point (filled in by CFG construction).
+    pub node: NodeId,
+    /// Source line.
+    pub line: u32,
+}
+
+/// The two query flavors, resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Thread-escape: prove the object `var` points to is thread-local.
+    Local {
+        /// The accessed variable.
+        var: VarId,
+    },
+    /// Type-state: prove the object `var` points to is in an allowed state.
+    State {
+        /// The receiver variable.
+        var: VarId,
+        /// Allowed automaton state names.
+        allowed: Vec<NameId>,
+    },
+}
+
+/// A resolved query at a program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryDecl {
+    /// Source label (unique).
+    pub label: String,
+    /// The point the query is posed at.
+    pub point: PointId,
+    /// What to prove.
+    pub kind: QueryKind,
+}
+
+/// A resolved type-state automaton declaration.
+///
+/// Interpreted by the `pda-typestate` crate; stored here because it is part
+/// of the surface syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypestateDecl {
+    /// The class whose objects the automaton tracks.
+    pub class: ClassId,
+    /// Initial state name.
+    pub init: NameId,
+    /// Transitions `(from, method, to)`; `to` may be the reserved name
+    /// `error`.
+    pub transitions: Vec<(NameId, NameId, NameId)>,
+    /// The reserved `error` name, interned for convenience.
+    pub error_name: NameId,
+}
+
+/// A whole resolved program.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Interned identifier names.
+    pub names: Interner,
+    /// Classes.
+    pub classes: IdxVec<ClassId, ClassInfo>,
+    /// Instance fields (shared by name across classes).
+    pub fields: IdxVec<FieldId, NameId>,
+    /// Global (static) variables.
+    pub globals: IdxVec<GlobalId, NameId>,
+    /// Local variables of all methods.
+    pub vars: IdxVec<VarId, VarInfo>,
+    /// Methods and free functions.
+    pub methods: IdxVec<MethodId, MethodInfo>,
+    /// Allocation sites.
+    pub sites: IdxVec<SiteId, SiteInfo>,
+    /// Call occurrences.
+    pub calls: IdxVec<CallId, CallInfo>,
+    /// Program points.
+    pub points: IdxVec<PointId, PointInfo>,
+    /// Queries.
+    pub queries: IdxVec<QueryId, QueryDecl>,
+    /// Type-state automata declarations.
+    pub typestates: Vec<TypestateDecl>,
+    /// The entry method (`main`).
+    pub main: MethodId,
+}
+
+impl Program {
+    /// The name of variable `v` as written in source.
+    pub fn var_name(&self, v: VarId) -> &str {
+        self.names.resolve(self.vars[v].name)
+    }
+
+    /// The name of method `m`.
+    pub fn method_name(&self, m: MethodId) -> &str {
+        self.names.resolve(self.methods[m].name)
+    }
+
+    /// The name of the class allocated at site `h`, plus its index — e.g.
+    /// `"File#3"`; used in diagnostics and experiment output.
+    pub fn site_label(&self, h: SiteId) -> String {
+        let class = self.sites[h].class;
+        format!("{}#{}", self.names.resolve(self.classes[class].name), h)
+    }
+
+    /// Looks up a query by its source label.
+    pub fn query_by_label(&self, label: &str) -> Option<QueryId> {
+        self.queries
+            .iter_enumerated()
+            .find(|(_, q)| q.label == label)
+            .map(|(id, _)| id)
+    }
+
+    /// Looks up a local variable of `main` by name (test convenience).
+    pub fn main_var(&self, name: &str) -> Option<VarId> {
+        let n = self.names.get(name)?;
+        self.methods[self.main]
+            .vars
+            .iter()
+            .copied()
+            .find(|&v| self.vars[v].name == n)
+    }
+
+    /// Total number of local variables (the type-state parameter universe).
+    pub fn n_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Total number of allocation sites (the escape parameter universe).
+    pub fn n_sites(&self) -> usize {
+        self.sites.len()
+    }
+}

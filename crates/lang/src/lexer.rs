@@ -1,0 +1,330 @@
+//! Hand-written lexer for Jaylite source text.
+
+use std::fmt;
+
+/// A lexical token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: Tok,
+    /// 1-based source line, used in diagnostics.
+    pub line: u32,
+}
+
+/// Token kinds.
+///
+/// Keywords are distinguished from identifiers during lexing so the parser
+/// stays simple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier (or keyword-like word that is not reserved).
+    Ident(String),
+    /// `class`
+    KwClass,
+    /// `field`
+    KwField,
+    /// `fn`
+    KwFn,
+    /// `global`
+    KwGlobal,
+    /// `var`
+    KwVar,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `return`
+    KwReturn,
+    /// `new`
+    KwNew,
+    /// `null`
+    KwNull,
+    /// `spawn`
+    KwSpawn,
+    /// `query`
+    KwQuery,
+    /// `local`
+    KwLocal,
+    /// `state`
+    KwState,
+    /// `in`
+    KwIn,
+    /// `typestate`
+    KwTypestate,
+    /// `init`
+    KwInit,
+    /// `this`
+    KwThis,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `*`
+    Star,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::KwClass => write!(f, "`class`"),
+            Tok::KwField => write!(f, "`field`"),
+            Tok::KwFn => write!(f, "`fn`"),
+            Tok::KwGlobal => write!(f, "`global`"),
+            Tok::KwVar => write!(f, "`var`"),
+            Tok::KwIf => write!(f, "`if`"),
+            Tok::KwElse => write!(f, "`else`"),
+            Tok::KwWhile => write!(f, "`while`"),
+            Tok::KwReturn => write!(f, "`return`"),
+            Tok::KwNew => write!(f, "`new`"),
+            Tok::KwNull => write!(f, "`null`"),
+            Tok::KwSpawn => write!(f, "`spawn`"),
+            Tok::KwQuery => write!(f, "`query`"),
+            Tok::KwLocal => write!(f, "`local`"),
+            Tok::KwState => write!(f, "`state`"),
+            Tok::KwIn => write!(f, "`in`"),
+            Tok::KwTypestate => write!(f, "`typestate`"),
+            Tok::KwInit => write!(f, "`init`"),
+            Tok::KwThis => write!(f, "`this`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Arrow => write!(f, "`->`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// An error produced while lexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// The offending character.
+    pub ch: char,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unexpected character `{}` on line {}", self.ch, self.line)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn keyword(word: &str) -> Option<Tok> {
+    Some(match word {
+        "class" => Tok::KwClass,
+        "field" => Tok::KwField,
+        "fn" => Tok::KwFn,
+        "global" => Tok::KwGlobal,
+        "var" => Tok::KwVar,
+        "if" => Tok::KwIf,
+        "else" => Tok::KwElse,
+        "while" => Tok::KwWhile,
+        "return" => Tok::KwReturn,
+        "new" => Tok::KwNew,
+        "null" => Tok::KwNull,
+        "spawn" => Tok::KwSpawn,
+        "query" => Tok::KwQuery,
+        "local" => Tok::KwLocal,
+        "state" => Tok::KwState,
+        "in" => Tok::KwIn,
+        "typestate" => Tok::KwTypestate,
+        "init" => Tok::KwInit,
+        "this" => Tok::KwThis,
+        _ => return None,
+    })
+}
+
+/// Lexes Jaylite source into a token stream ending with [`Tok::Eof`].
+///
+/// Line comments start with `//`. Identifiers match
+/// `[A-Za-z_][A-Za-z0-9_]*`; digits are allowed inside identifiers (the
+/// benchmark generator names entities `v17`, `h3`, ...).
+///
+/// # Errors
+///
+/// Returns [`LexError`] on the first character that cannot begin a token.
+///
+/// # Examples
+///
+/// ```
+/// let toks = pda_lang::lexer::lex("x = new File;").unwrap();
+/// assert_eq!(toks.len(), 6); // x = new File ; EOF
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut line: u32 = 1;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token { kind: Tok::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: Tok::RParen, line });
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token { kind: Tok::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token { kind: Tok::RBrace, line });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: Tok::Semi, line });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: Tok::Comma, line });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: Tok::Dot, line });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: Tok::Eq, line });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: Tok::Star, line });
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token { kind: Tok::Colon, line });
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&'>') => {
+                tokens.push(Token { kind: Tok::Arrow, line });
+                i += 2;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                let kind = keyword(&word).unwrap_or(Tok::Ident(word));
+                tokens.push(Token { kind, line });
+            }
+            other => return Err(LexError { ch: other, line }),
+        }
+    }
+    tokens.push(Token { kind: Tok::Eof, line });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_assignment() {
+        assert_eq!(
+            kinds("x = y.f;"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Eq,
+                Tok::Ident("y".into()),
+                Tok::Dot,
+                Tok::Ident("f".into()),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_and_arrow() {
+        assert_eq!(
+            kinds("typestate File { init closed; closed -> open -> opened; }"),
+            vec![
+                Tok::KwTypestate,
+                Tok::Ident("File".into()),
+                Tok::LBrace,
+                Tok::KwInit,
+                Tok::Ident("closed".into()),
+                Tok::Semi,
+                Tok::Ident("closed".into()),
+                Tok::Arrow,
+                Tok::Ident("open".into()),
+                Tok::Arrow,
+                Tok::Ident("opened".into()),
+                Tok::Semi,
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let toks = lex("// hello\nx;").unwrap();
+        assert_eq!(toks[0].kind, Tok::Ident("x".into()));
+        assert_eq!(toks[0].line, 2);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("x = 3 + 4;").unwrap_err();
+        assert_eq!(err.ch, '3');
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn identifiers_can_contain_digits_after_letter() {
+        assert_eq!(
+            kinds("v17"),
+            vec![Tok::Ident("v17".into()), Tok::Eof]
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! **Jaylite**: a mini-Java frontend for the `optimum-pda` workspace.
+//!
+//! The PLDI'13 paper this workspace reproduces ("Finding Optimum
+//! Abstractions in Parametric Dataflow Analysis") evaluates on Java bytecode
+//! analyzed inside the Chord framework. Neither is available here, so this
+//! crate provides the substitute substrate: a small imperative
+//! class-based language whose lowered programs consist of *exactly* the
+//! atomic commands the paper's Figures 4 and 5 give transfer functions for
+//! (`v = new h`, `v = w`, `v = null`, `v = w.f`, `v.f = w`, `g = v`,
+//! `v = g`, `x.m()`), plus `spawn v` for thread creation.
+//!
+//! # Pipeline
+//!
+//! ```text
+//! source text --lexer--> tokens --parser--> AST --resolver--> Program
+//!                                                   (IR: atoms, CFGs, terms)
+//! ```
+//!
+//! * [`lexer`] / [`parser`] produce an [`ast::SourceProgram`].
+//! * [`resolve`] turns it into a [`Program`]: interned entities
+//!   (classes, fields, globals, variables, methods, allocation sites,
+//!   program points, queries) plus per-method control-flow in two
+//!   equivalent forms — a structured [`RStmt`] tree and a [`Cfg`].
+//! * [`term`] flattens a whole program into the regular-term language of
+//!   the paper's Section 3 (`a | s;s' | s+s' | s*`) by inlining calls,
+//!   which is what the exact reference engine in `pda-dataflow` consumes.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!     class File {}
+//!     fn main() {
+//!         var x, y;
+//!         x = new File;
+//!         y = x;
+//!         query q1: local x;
+//!     }
+//! "#;
+//! let program = pda_lang::parse_program(src).unwrap();
+//! assert_eq!(program.queries.len(), 1);
+//! assert_eq!(program.sites.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod cfg;
+pub mod ir;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod resolve;
+pub mod term;
+pub mod validate;
+
+pub use cfg::{Cfg, CfgNode, Node, NodeId};
+pub use ir::{
+    Atom, CallId, CallInfo, CallKind, ClassId, ClassInfo, FieldId, GlobalId, MethodId, MethodInfo,
+    NameId, PointId, Program, QueryDecl, QueryId, QueryKind, RStmt, SiteId, TypestateDecl, VarId,
+};
+pub use term::{InlineError, InlinedProgram, TermArena, TermId, TermNode};
+
+/// Parses and resolves Jaylite source into a [`Program`].
+///
+/// This is the one-call entry point used by examples and tests.
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] describing the first lexical, syntactic, or
+/// resolution problem encountered.
+pub fn parse_program(src: &str) -> Result<Program, FrontendError> {
+    let tokens = lexer::lex(src).map_err(FrontendError::Lex)?;
+    let ast = parser::parse(&tokens).map_err(FrontendError::Parse)?;
+    resolve::resolve(&ast).map_err(FrontendError::Resolve)
+}
+
+/// Any error produced while turning source text into IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontendError {
+    /// Lexical error (unexpected character, etc.).
+    Lex(lexer::LexError),
+    /// Syntax error.
+    Parse(parser::ParseError),
+    /// Name-resolution or well-formedness error.
+    Resolve(resolve::ResolveError),
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendError::Lex(e) => write!(f, "lex error: {e}"),
+            FrontendError::Parse(e) => write!(f, "parse error: {e}"),
+            FrontendError::Resolve(e) => write!(f, "resolve error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}

@@ -1,0 +1,520 @@
+//! Recursive-descent parser for Jaylite.
+
+use crate::ast::*;
+use crate::lexer::{Tok, Token};
+use std::fmt;
+
+/// A syntax error: what was found, what was expected, and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what was expected.
+    pub expected: String,
+    /// The token actually found.
+    pub found: Tok,
+    /// 1-based source line of the offending token.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "expected {} but found {} on line {}",
+            self.expected, self.found, self.line
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek3(&self) -> &Tok {
+        &self.tokens[(self.pos + 2).min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, expected: &str) -> PResult<T> {
+        Err(ParseError {
+            expected: expected.to_string(),
+            found: self.peek().clone(),
+            line: self.line(),
+        })
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> PResult<()> {
+        if *self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(what)
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> PResult<String> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            _ => self.err(what),
+        }
+    }
+
+    fn var_ref(&mut self) -> PResult<VarRef> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(VarRef::Named(s))
+            }
+            Tok::KwThis => {
+                self.bump();
+                Ok(VarRef::This)
+            }
+            _ => self.err("a variable name or `this`"),
+        }
+    }
+
+    fn program(&mut self) -> PResult<SourceProgram> {
+        let mut prog = SourceProgram::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::KwGlobal => {
+                    self.bump();
+                    loop {
+                        prog.globals.push(self.ident("a global name")?);
+                        if *self.peek() == Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::Semi, "`;`")?;
+                }
+                Tok::KwClass => prog.classes.push(self.class_decl()?),
+                Tok::KwFn => prog.funcs.push(self.func_decl()?),
+                Tok::KwTypestate => prog.typestates.push(self.typestate_decl()?),
+                _ => return self.err("`global`, `class`, `fn`, or `typestate`"),
+            }
+        }
+        Ok(prog)
+    }
+
+    fn class_decl(&mut self) -> PResult<ClassDecl> {
+        let line = self.line();
+        self.expect(Tok::KwClass, "`class`")?;
+        let name = self.ident("a class name")?;
+        self.expect(Tok::LBrace, "`{`")?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::RBrace => {
+                    self.bump();
+                    break;
+                }
+                Tok::KwField => {
+                    self.bump();
+                    loop {
+                        fields.push(self.ident("a field name")?);
+                        if *self.peek() == Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::Semi, "`;`")?;
+                }
+                Tok::KwFn => methods.push(self.func_decl()?),
+                _ => return self.err("`field`, `fn`, or `}`"),
+            }
+        }
+        Ok(ClassDecl { name, fields, methods, line })
+    }
+
+    fn func_decl(&mut self) -> PResult<FuncDecl> {
+        let line = self.line();
+        self.expect(Tok::KwFn, "`fn`")?;
+        let name = self.ident("a function name")?;
+        self.expect(Tok::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                params.push(self.ident("a parameter name")?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "`)`")?;
+        let body = match self.peek() {
+            Tok::Semi => {
+                self.bump();
+                None
+            }
+            Tok::LBrace => Some(self.block()?),
+            _ => return self.err("`{` or `;`"),
+        };
+        Ok(FuncDecl { name, params, body, line })
+    }
+
+    fn typestate_decl(&mut self) -> PResult<TypestateAst> {
+        let line = self.line();
+        self.expect(Tok::KwTypestate, "`typestate`")?;
+        let class = self.ident("a class name")?;
+        self.expect(Tok::LBrace, "`{`")?;
+        self.expect(Tok::KwInit, "`init`")?;
+        let init = self.ident("an initial state name")?;
+        self.expect(Tok::Semi, "`;`")?;
+        let mut transitions = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            let from = self.ident("a state name")?;
+            self.expect(Tok::Arrow, "`->`")?;
+            let method = self.ident("a method name")?;
+            self.expect(Tok::Arrow, "`->`")?;
+            let to = self.ident("a state name")?;
+            self.expect(Tok::Semi, "`;`")?;
+            transitions.push((from, method, to));
+        }
+        self.bump(); // RBrace
+        Ok(TypestateAst { class, init, transitions, line })
+    }
+
+    fn block(&mut self) -> PResult<Block> {
+        self.expect(Tok::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.bump(); // RBrace
+        Ok(Block { stmts })
+    }
+
+    fn args(&mut self) -> PResult<Vec<VarRef>> {
+        self.expect(Tok::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                args.push(self.var_ref()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "`)`")?;
+        Ok(args)
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::KwVar => {
+                self.bump();
+                let mut names = Vec::new();
+                loop {
+                    names.push(self.ident("a variable name")?);
+                    if *self.peek() == Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(Tok::Semi, "`;`")?;
+                Ok(Stmt::VarDecl { names, line })
+            }
+            Tok::KwIf => {
+                self.bump();
+                self.expect(Tok::LParen, "`(`")?;
+                self.expect(Tok::Star, "`*`")?;
+                self.expect(Tok::RParen, "`)`")?;
+                let then_blk = self.block()?;
+                let else_blk = if *self.peek() == Tok::KwElse {
+                    self.bump();
+                    self.block()?
+                } else {
+                    Block::default()
+                };
+                Ok(Stmt::If { then_blk, else_blk, line })
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(Tok::LParen, "`(`")?;
+                self.expect(Tok::Star, "`*`")?;
+                self.expect(Tok::RParen, "`)`")?;
+                let body = self.block()?;
+                Ok(Stmt::While { body, line })
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let var = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.var_ref()?)
+                };
+                self.expect(Tok::Semi, "`;`")?;
+                Ok(Stmt::Return { var, line })
+            }
+            Tok::KwSpawn => {
+                self.bump();
+                let var = self.var_ref()?;
+                self.expect(Tok::Semi, "`;`")?;
+                Ok(Stmt::Spawn { var, line })
+            }
+            Tok::KwQuery => {
+                self.bump();
+                let label = self.ident("a query label")?;
+                self.expect(Tok::Colon, "`:`")?;
+                let kind = match self.peek() {
+                    Tok::KwLocal => {
+                        self.bump();
+                        QueryAst::Local { var: self.var_ref()? }
+                    }
+                    Tok::KwState => {
+                        self.bump();
+                        let var = self.var_ref()?;
+                        self.expect(Tok::KwIn, "`in`")?;
+                        self.expect(Tok::LBrace, "`{`")?;
+                        let mut allowed = Vec::new();
+                        while *self.peek() != Tok::RBrace {
+                            allowed.push(self.ident("a state name")?);
+                        }
+                        self.bump();
+                        QueryAst::State { var, allowed }
+                    }
+                    _ => return self.err("`local` or `state`"),
+                };
+                self.expect(Tok::Semi, "`;`")?;
+                Ok(Stmt::Query { label, kind, line })
+            }
+            Tok::Ident(_) | Tok::KwThis => self.assign_or_call(line),
+            _ => self.err("a statement"),
+        }
+    }
+
+    /// Parses statements that begin with a variable reference:
+    /// assignments, stores, and call statements.
+    fn assign_or_call(&mut self, line: u32) -> PResult<Stmt> {
+        // Lookahead decides the statement shape without consuming.
+        match (self.peek(), self.peek2(), self.peek3()) {
+            // f(...)  — static call statement
+            (Tok::Ident(_), Tok::LParen, _) => {
+                let func = self.ident("a function name")?;
+                let args = self.args()?;
+                self.expect(Tok::Semi, "`;`")?;
+                Ok(Stmt::SCall { dst: None, func, args, line })
+            }
+            // x.f = y;  or  x.m(...);
+            (Tok::Ident(_) | Tok::KwThis, Tok::Dot, _) => {
+                let base = self.var_ref()?;
+                self.expect(Tok::Dot, "`.`")?;
+                let member = self.ident("a field or method name")?;
+                match self.peek() {
+                    Tok::Eq => {
+                        self.bump();
+                        let src = self.var_ref()?;
+                        self.expect(Tok::Semi, "`;`")?;
+                        Ok(Stmt::Store { base, field: member, src, line })
+                    }
+                    Tok::LParen => {
+                        let args = self.args()?;
+                        self.expect(Tok::Semi, "`;`")?;
+                        Ok(Stmt::VCall { dst: None, recv: base, method: member, args, line })
+                    }
+                    _ => self.err("`=` or `(`"),
+                }
+            }
+            // x = <rhs>;
+            (Tok::Ident(_) | Tok::KwThis, Tok::Eq, _) => {
+                let dst = self.var_ref()?;
+                self.bump(); // Eq
+                self.rhs(dst, line)
+            }
+            _ => self.err("`=`, `.`, or `(` after a variable"),
+        }
+    }
+
+    fn rhs(&mut self, dst: VarRef, line: u32) -> PResult<Stmt> {
+        match (self.peek().clone(), self.peek2().clone()) {
+            (Tok::KwNew, _) => {
+                self.bump();
+                let class = self.ident("a class name")?;
+                self.expect(Tok::Semi, "`;`")?;
+                Ok(Stmt::New { dst, class, line })
+            }
+            (Tok::KwNull, _) => {
+                self.bump();
+                self.expect(Tok::Semi, "`;`")?;
+                Ok(Stmt::Copy { dst, src: None, line })
+            }
+            (Tok::Ident(_), Tok::LParen) => {
+                let func = self.ident("a function name")?;
+                let args = self.args()?;
+                self.expect(Tok::Semi, "`;`")?;
+                Ok(Stmt::SCall { dst: Some(dst), func, args, line })
+            }
+            (Tok::Ident(_) | Tok::KwThis, Tok::Dot) => {
+                let base = self.var_ref()?;
+                self.bump(); // Dot
+                let member = self.ident("a field or method name")?;
+                if *self.peek() == Tok::LParen {
+                    let args = self.args()?;
+                    self.expect(Tok::Semi, "`;`")?;
+                    Ok(Stmt::VCall { dst: Some(dst), recv: base, method: member, args, line })
+                } else {
+                    self.expect(Tok::Semi, "`;`")?;
+                    Ok(Stmt::Load { dst, base, field: member, line })
+                }
+            }
+            (Tok::Ident(_) | Tok::KwThis, _) => {
+                let src = self.var_ref()?;
+                self.expect(Tok::Semi, "`;`")?;
+                Ok(Stmt::Copy { dst, src: Some(src), line })
+            }
+            _ => self.err("a right-hand side"),
+        }
+    }
+}
+
+/// Parses a token stream (from [`crate::lexer::lex`]) into an AST.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered; there is no recovery.
+///
+/// # Examples
+///
+/// ```
+/// let toks = pda_lang::lexer::lex("fn main() { var x; x = new C; }").unwrap();
+/// let ast = pda_lang::parser::parse(&toks).unwrap();
+/// assert_eq!(ast.funcs.len(), 1);
+/// ```
+pub fn parse(tokens: &[Token]) -> Result<SourceProgram, ParseError> {
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> SourceProgram {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_figure1_program() {
+        let prog = parse_src(
+            r#"
+            class File {
+                fn open();
+                fn close();
+            }
+            typestate File {
+                init closed;
+                closed -> open -> opened;
+                opened -> close -> closed;
+                opened -> open -> error;
+                closed -> close -> error;
+            }
+            fn main() {
+                var x, y, z;
+                x = new File;
+                y = x;
+                if (*) { z = x; }
+                x.open();
+                y.close();
+                if (*) { query check1: state x in { closed }; }
+                else { query check2: state x in { opened }; }
+            }
+            "#,
+        );
+        assert_eq!(prog.classes.len(), 1);
+        assert_eq!(prog.classes[0].methods.len(), 2);
+        assert!(prog.classes[0].methods.iter().all(|m| m.body.is_none()));
+        assert_eq!(prog.typestates.len(), 1);
+        assert_eq!(prog.typestates[0].transitions.len(), 4);
+        assert_eq!(prog.funcs.len(), 1);
+    }
+
+    #[test]
+    fn parses_all_statement_forms() {
+        let prog = parse_src(
+            r#"
+            global g;
+            class C { field f; fn m(a) { this.f = a; return a; } }
+            fn helper(p) { return p; }
+            fn main() {
+                var x, y, r;
+                x = new C;
+                y = x;
+                y = null;
+                g = x;
+                y = g;
+                x.f = y;
+                y = x.f;
+                r = x.m(y);
+                x.m(y);
+                r = helper(x);
+                helper(x);
+                spawn x;
+                while (*) { if (*) { y = x; } else { y = null; } }
+                query q: local x;
+            }
+            "#,
+        );
+        let main = &prog.funcs.iter().find(|f| f.name == "main").unwrap();
+        assert_eq!(main.body.as_ref().unwrap().stmts.len(), 15);
+    }
+
+    #[test]
+    fn error_mentions_expectation_and_line() {
+        let toks = lex("fn main() {\n x = ;\n}").unwrap();
+        let err = parse(&toks).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("right-hand side"));
+    }
+
+    #[test]
+    fn rejects_top_level_garbage() {
+        let toks = lex("return;").unwrap();
+        assert!(parse(&toks).is_err());
+    }
+
+    #[test]
+    fn this_usable_as_receiver_and_source() {
+        let prog = parse_src("class C { fn m(a) { a = this; this.m(a); } } fn main() {}");
+        let m = &prog.classes[0].methods[0];
+        assert_eq!(m.body.as_ref().unwrap().stmts.len(), 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Human-readable rendering of IR entities, used by examples, diagnostics,
+//! and the experiment harness.
+
+use crate::cfg::Node;
+use crate::ir::{Atom, MethodId, Program};
+
+/// Renders an atomic command in source-like syntax.
+///
+/// # Examples
+///
+/// ```
+/// let p = pda_lang::parse_program("class C {} fn main() { var x; x = new C; }").unwrap();
+/// let cfg = &p.methods[p.main].cfg;
+/// let rendered: Vec<String> = cfg
+///     .iter()
+///     .filter_map(|(_, n)| match &n.kind {
+///         pda_lang::Node::Atom(a, _) => Some(pda_lang::pretty::atom(&p, a)),
+///         _ => None,
+///     })
+///     .collect();
+/// assert!(rendered.contains(&"x = new C#0".to_string()));
+/// ```
+pub fn atom(p: &Program, a: &Atom) -> String {
+    let v = |v| p.var_name(v).to_string();
+    match *a {
+        Atom::New { dst, site } => format!("{} = new {}", v(dst), p.site_label(site)),
+        Atom::Copy { dst, src } => format!("{} = {}", v(dst), v(src)),
+        Atom::Null { dst } => format!("{} = null", v(dst)),
+        Atom::Load { dst, base, field } => {
+            format!("{} = {}.{}", v(dst), v(base), p.names.resolve(p.fields[field]))
+        }
+        Atom::Store { base, field, src } => {
+            format!("{}.{} = {}", v(base), p.names.resolve(p.fields[field]), v(src))
+        }
+        Atom::GSet { global, src } => {
+            format!("{} = {}", p.names.resolve(p.globals[global]), v(src))
+        }
+        Atom::GGet { dst, global } => {
+            format!("{} = {}", v(dst), p.names.resolve(p.globals[global]))
+        }
+        Atom::Invoke { recv, method } => {
+            format!("{}.{}()", v(recv), p.names.resolve(method))
+        }
+        Atom::Spawn { src } => format!("spawn {}", v(src)),
+        Atom::Havoc { dst } => format!("{} = havoc", v(dst)),
+        Atom::Nop => "nop".to_string(),
+    }
+}
+
+/// Renders a method's CFG, one node per line, for debugging.
+pub fn method_cfg(p: &Program, m: MethodId) -> String {
+    let info = &p.methods[m];
+    let mut out = format!("fn {}:\n", p.method_name(m));
+    for (id, node) in info.cfg.iter() {
+        let body = match &node.kind {
+            Node::Entry => "entry".to_string(),
+            Node::Exit => "exit".to_string(),
+            Node::Atom(a, _) => atom(p, a),
+            Node::Call(c) => {
+                let call = &p.calls[*c];
+                let args: Vec<&str> = call.args.iter().map(|&a| p.var_name(a)).collect();
+                let dst = call
+                    .dst
+                    .map(|d| format!("{} = ", p.var_name(d)))
+                    .unwrap_or_default();
+                match &call.kind {
+                    crate::ir::CallKind::Static(target) => {
+                        format!("{dst}{}({})", p.method_name(*target), args.join(", "))
+                    }
+                    crate::ir::CallKind::Virtual { recv, method } => format!(
+                        "{dst}{}.{}({})",
+                        p.var_name(*recv),
+                        p.names.resolve(*method),
+                        args.join(", ")
+                    ),
+                }
+            }
+        };
+        let succs: Vec<String> = node.succs.iter().map(|s| s.to_string()).collect();
+        out.push_str(&format!("  n{id}: {body} -> [{}]\n", succs.join(", ")));
+    }
+    out
+}
+
+/// Renders a trace (a flattened run) one atom per line.
+pub fn trace(p: &Program, atoms: &[Atom]) -> String {
+    atoms
+        .iter()
+        .map(|a| atom(p, a))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn renders_all_atom_forms() {
+        let p = parse_program(
+            r#"
+            global g;
+            class C { field f; fn m(); }
+            fn main() {
+                var x, y;
+                x = new C;
+                y = x;
+                y = null;
+                y = x.f;
+                x.f = y;
+                g = x;
+                y = g;
+                x.m();
+                spawn x;
+            }
+            "#,
+        )
+        .unwrap();
+        let dump = method_cfg(&p, p.main);
+        for needle in [
+            "x = new C#0",
+            "y = x",
+            "y = null",
+            "y = x.f",
+            "x.f = y",
+            "g = x",
+            "= g",
+            "x.m()",
+            "spawn x",
+        ] {
+            assert!(dump.contains(needle), "missing `{needle}` in:\n{dump}");
+        }
+    }
+
+    #[test]
+    fn trace_joins_lines() {
+        let p = parse_program("fn main() { var x; x = null; }").unwrap();
+        let x = p.main_var("x").unwrap();
+        let s = trace(&p, &[Atom::Null { dst: x }, Atom::Nop]);
+        assert_eq!(s, "x = null\nnop");
+    }
+}

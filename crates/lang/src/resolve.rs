@@ -1,0 +1,787 @@
+//! Name resolution and lowering from AST to IR.
+//!
+//! Besides resolving names, lowering normalizes the program so that *every*
+//! effect is one of the paper's atomic commands:
+//!
+//! * Globals may appear anywhere in source (`g = h.f`, `x.m(g)`, ...);
+//!   lowering inserts fresh temporaries and explicit `GGet`/`GSet` atoms so
+//!   that all other atoms mention locals only.
+//! * Every non-parameter local (including temporaries and the synthesized
+//!   return variable) is initialized to `null` at method entry, which keeps
+//!   the whole-program variable namespace sound across calls.
+//! * `return` is restricted to tail position of a method body and lowers to
+//!   a copy into the method's return variable.
+
+use crate::ast::{self, Block, QueryAst, SourceProgram, Stmt, VarRef};
+use crate::cfg::{Cfg, Node};
+use crate::ir::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A name-resolution or well-formedness error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// Two declarations share a name that must be unique.
+    Duplicate {
+        /// The kind of entity involved.
+        what: &'static str,
+        /// The offending name.
+        name: String,
+        /// Source line (1-based).
+        line: u32,
+    },
+    /// A name was used but never declared.
+    Unknown {
+        /// The kind of entity involved.
+        what: &'static str,
+        /// The offending name.
+        name: String,
+        /// Source line (1-based).
+        line: u32,
+    },
+    /// `this` used outside a class method.
+    ThisOutsideMethod {
+        /// Source line (1-based).
+        line: u32,
+    },
+    /// `return` somewhere other than the last statement of a method body.
+    NonTailReturn {
+        /// Source line (1-based).
+        line: u32,
+    },
+    /// A call passes the wrong number of arguments.
+    ArityMismatch {
+        /// The offending name.
+        name: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Actual argument count.
+        got: usize,
+        /// Source line (1-based).
+        line: u32,
+    },
+    /// No `fn main()` was declared.
+    NoMain,
+    /// A query names a global; queries must be about locals.
+    QueryOnGlobal {
+        /// Query label.
+        label: String,
+        /// Source line (1-based).
+        line: u32,
+    },
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::Duplicate { what, name, line } => {
+                write!(f, "duplicate {what} `{name}` on line {line}")
+            }
+            ResolveError::Unknown { what, name, line } => {
+                write!(f, "unknown {what} `{name}` on line {line}")
+            }
+            ResolveError::ThisOutsideMethod { line } => {
+                write!(f, "`this` outside a class method on line {line}")
+            }
+            ResolveError::NonTailReturn { line } => {
+                write!(f, "`return` must be the last statement of a method body (line {line})")
+            }
+            ResolveError::ArityMismatch { name, expected, got, line } => {
+                write!(f, "call to `{name}` on line {line} passes {got} arguments, expected {expected}")
+            }
+            ResolveError::NoMain => write!(f, "program has no `fn main()`"),
+            ResolveError::QueryOnGlobal { label, line } => {
+                write!(f, "query `{label}` on line {line} names a global; queries must be on locals")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+type RResult<T> = Result<T, ResolveError>;
+
+struct Resolver {
+    prog: Program,
+    global_by_name: HashMap<NameId, GlobalId>,
+    class_by_name: HashMap<NameId, ClassId>,
+    field_by_name: HashMap<NameId, FieldId>,
+    func_by_name: HashMap<NameId, MethodId>,
+}
+
+/// Per-method lowering state.
+struct MethodCx {
+    method: MethodId,
+    scope: HashMap<NameId, VarId>,
+    /// Locals needing `null` initialization at entry (non-parameters).
+    inits: Vec<VarId>,
+    n_temps: u32,
+}
+
+impl Resolver {
+    fn intern(&mut self, s: &str) -> NameId {
+        self.prog.names.intern(s)
+    }
+
+    fn new_point(&mut self, method: MethodId, line: u32) -> PointId {
+        self.prog.points.push(PointInfo { method, node: crate::cfg::NodeId(0), line })
+    }
+
+    fn new_var(&mut self, name: NameId, method: MethodId) -> VarId {
+        let v = self.prog.vars.push(VarInfo { name, method });
+        self.prog.methods[method].vars.push(v);
+        v
+    }
+
+    // ---- pass 1: declarations -------------------------------------------
+
+    fn declare(&mut self, src: &SourceProgram) -> RResult<()> {
+        for g in &src.globals {
+            let n = self.intern(g);
+            if self.global_by_name.contains_key(&n) {
+                return Err(ResolveError::Duplicate { what: "global", name: g.clone(), line: 0 });
+            }
+            let id = self.prog.globals.push(n);
+            self.global_by_name.insert(n, id);
+        }
+        for c in &src.classes {
+            let n = self.intern(&c.name);
+            if self.class_by_name.contains_key(&n) {
+                return Err(ResolveError::Duplicate { what: "class", name: c.name.clone(), line: c.line });
+            }
+            let id = self.prog.classes.push(ClassInfo { name: n, fields: Vec::new(), methods: HashMap::new() });
+            self.class_by_name.insert(n, id);
+        }
+        // Fields: a global, field-based namespace (paper's Figure 5).
+        for c in &src.classes {
+            let cid = self.class_by_name[&self.prog.names.get(&c.name).unwrap()];
+            for fname in &c.fields {
+                let n = self.intern(fname);
+                let fid = *self.field_by_name.entry(n).or_insert_with(|| self.prog.fields.push(n));
+                if self.prog.classes[cid].fields.contains(&fid) {
+                    return Err(ResolveError::Duplicate { what: "field", name: fname.clone(), line: c.line });
+                }
+                self.prog.classes[cid].fields.push(fid);
+            }
+        }
+        // Method and function signatures.
+        for c in &src.classes {
+            let cid = self.class_by_name[&self.prog.names.get(&c.name).unwrap()];
+            for m in &c.methods {
+                let n = self.intern(&m.name);
+                if self.prog.classes[cid].methods.contains_key(&n) {
+                    return Err(ResolveError::Duplicate { what: "method", name: m.name.clone(), line: m.line });
+                }
+                let mid = self.declare_func(m, Some(cid))?;
+                self.prog.classes[cid].methods.insert(n, mid);
+            }
+        }
+        for func in &src.funcs {
+            let n = self.intern(&func.name);
+            if self.func_by_name.contains_key(&n) {
+                return Err(ResolveError::Duplicate { what: "function", name: func.name.clone(), line: func.line });
+            }
+            let mid = self.declare_func(func, None)?;
+            self.func_by_name.insert(n, mid);
+        }
+        // Type-state automata.
+        let error_name = self.intern("error");
+        for ts in &src.typestates {
+            let cn = self.intern(&ts.class);
+            let class = *self.class_by_name.get(&cn).ok_or_else(|| ResolveError::Unknown {
+                what: "class",
+                name: ts.class.clone(),
+                line: ts.line,
+            })?;
+            let init = self.intern(&ts.init);
+            let transitions = ts
+                .transitions
+                .iter()
+                .map(|(a, m, b)| {
+                    (self.intern(a), self.intern(m), self.intern(b))
+                })
+                .collect();
+            self.prog.typestates.push(TypestateDecl { class, init, transitions, error_name });
+        }
+        Ok(())
+    }
+
+    fn declare_func(&mut self, f: &ast::FuncDecl, class: Option<ClassId>) -> RResult<MethodId> {
+        let name = self.intern(&f.name);
+        let mid = self.prog.methods.push(MethodInfo {
+            name,
+            class,
+            params: Vec::new(),
+            ret: None,
+            vars: Vec::new(),
+            body: None,
+            cfg: Cfg::default(),
+        });
+        let mut params = Vec::new();
+        if class.is_some() {
+            let this = self.intern("this");
+            params.push(self.new_var(this, mid));
+        }
+        for p in &f.params {
+            let pn = self.intern(p);
+            let v = self.new_var(pn, mid);
+            if params.iter().any(|&q| self.prog.vars[q].name == pn) {
+                return Err(ResolveError::Duplicate { what: "parameter", name: p.clone(), line: f.line });
+            }
+            params.push(v);
+        }
+        if f.body.is_some() {
+            let rn = self.intern(&format!("$ret_{}", f.name));
+            let r = self.new_var(rn, mid);
+            self.prog.methods[mid].ret = Some(r);
+        }
+        self.prog.methods[mid].params = params;
+        Ok(mid)
+    }
+
+    // ---- pass 2: bodies --------------------------------------------------
+
+    fn lower_bodies(&mut self, src: &SourceProgram) -> RResult<()> {
+        let mut jobs: Vec<(MethodId, &ast::FuncDecl)> = Vec::new();
+        for c in &src.classes {
+            let cid = self.class_by_name[&self.prog.names.get(&c.name).unwrap()];
+            for m in &c.methods {
+                let n = self.prog.names.get(&m.name).unwrap();
+                jobs.push((self.prog.classes[cid].methods[&n], m));
+            }
+        }
+        for func in &src.funcs {
+            let n = self.prog.names.get(&func.name).unwrap();
+            jobs.push((self.func_by_name[&n], func));
+        }
+        for (mid, decl) in jobs {
+            if let Some(body) = &decl.body {
+                let lowered = self.lower_method(mid, body, decl.line)?;
+                self.prog.methods[mid].cfg = Cfg::from_rstmt(&lowered);
+                self.prog.methods[mid].body = Some(lowered);
+                self.fill_points(mid);
+            }
+        }
+        Ok(())
+    }
+
+    /// Records which CFG node realizes each program point.
+    fn fill_points(&mut self, mid: MethodId) {
+        let mut updates = Vec::new();
+        for (nid, node) in self.prog.methods[mid].cfg.iter() {
+            match node.kind {
+                Node::Atom(_, p) if p != SYNTHETIC_POINT => updates.push((p, nid)),
+                Node::Call(c) => updates.push((self.prog.calls[c].point, nid)),
+                _ => {}
+            }
+        }
+        for (p, nid) in updates {
+            self.prog.points[p].node = nid;
+        }
+    }
+
+    fn lower_method(&mut self, mid: MethodId, body: &Block, _line: u32) -> RResult<RStmt> {
+        let mut cx = MethodCx {
+            method: mid,
+            scope: HashMap::new(),
+            inits: Vec::new(),
+            n_temps: 0,
+        };
+        for &p in &self.prog.methods[mid].params {
+            cx.scope.insert(self.prog.vars[p].name, p);
+        }
+        if let Some(r) = self.prog.methods[mid].ret {
+            cx.inits.push(r);
+        }
+        let mut stmts = Vec::new();
+        let n = body.stmts.len();
+        for (i, s) in body.stmts.iter().enumerate() {
+            if let Stmt::Return { var, line } = s {
+                if i + 1 != n {
+                    return Err(ResolveError::NonTailReturn { line: *line });
+                }
+                let ret = self.prog.methods[mid].ret.expect("body implies ret var");
+                match var {
+                    Some(v) => {
+                        let (mut pre, src) = self.read(&mut cx, v, *line)?;
+                        stmts.append(&mut pre);
+                        let p = self.new_point(mid, *line);
+                        stmts.push(RStmt::Atom(Atom::Copy { dst: ret, src }, p));
+                    }
+                    None => {
+                        let p = self.new_point(mid, *line);
+                        stmts.push(RStmt::Atom(Atom::Null { dst: ret }, p));
+                    }
+                }
+            } else {
+                stmts.push(self.lower_stmt(&mut cx, s, false)?);
+            }
+        }
+        // Initialize all non-parameter locals (incl. temporaries and the
+        // return variable) to null at entry; temps were collected during
+        // lowering, so this runs last and is prepended.
+        let mut init_atoms = Vec::new();
+        for v in std::mem::take(&mut cx.inits) {
+            let p = self.new_point(mid, 0);
+            init_atoms.push(RStmt::Atom(Atom::Null { dst: v }, p));
+        }
+        init_atoms.extend(stmts);
+        Ok(RStmt::Seq(init_atoms))
+    }
+
+    fn lower_block(&mut self, cx: &mut MethodCx, block: &Block) -> RResult<RStmt> {
+        let mut stmts = Vec::new();
+        for s in &block.stmts {
+            stmts.push(self.lower_stmt(cx, s, true)?);
+        }
+        Ok(RStmt::Seq(stmts))
+    }
+
+    fn fresh_temp(&mut self, cx: &mut MethodCx) -> VarId {
+        let name = self.intern(&format!("$t{}", cx.n_temps));
+        cx.n_temps += 1;
+        let v = self.new_var(name, cx.method);
+        cx.inits.push(v);
+        v
+    }
+
+    /// Resolves a read occurrence to a local variable, emitting a `GGet`
+    /// into a fresh temporary for globals.
+    fn read(&mut self, cx: &mut MethodCx, r: &VarRef, line: u32) -> RResult<(Vec<RStmt>, VarId)> {
+        match r {
+            VarRef::This => {
+                let has_class = self.prog.methods[cx.method].class.is_some();
+                if !has_class {
+                    return Err(ResolveError::ThisOutsideMethod { line });
+                }
+                Ok((Vec::new(), self.prog.methods[cx.method].params[0]))
+            }
+            VarRef::Named(name) => {
+                let n = self.intern(name);
+                if let Some(&v) = cx.scope.get(&n) {
+                    return Ok((Vec::new(), v));
+                }
+                if let Some(&g) = self.global_by_name.get(&n) {
+                    let t = self.fresh_temp(cx);
+                    let p = self.new_point(cx.method, line);
+                    return Ok((vec![RStmt::Atom(Atom::GGet { dst: t, global: g }, p)], t));
+                }
+                Err(ResolveError::Unknown { what: "variable", name: name.clone(), line })
+            }
+        }
+    }
+
+    /// Resolves a write destination: either a local, or (for globals) a
+    /// fresh temporary plus a trailing `GSet`.
+    fn write(
+        &mut self,
+        cx: &mut MethodCx,
+        r: &VarRef,
+        line: u32,
+    ) -> RResult<(VarId, Vec<RStmt>)> {
+        match r {
+            VarRef::This => {
+                let has_class = self.prog.methods[cx.method].class.is_some();
+                if !has_class {
+                    return Err(ResolveError::ThisOutsideMethod { line });
+                }
+                Ok((self.prog.methods[cx.method].params[0], Vec::new()))
+            }
+            VarRef::Named(name) => {
+                let n = self.intern(name);
+                if let Some(&v) = cx.scope.get(&n) {
+                    return Ok((v, Vec::new()));
+                }
+                if let Some(&g) = self.global_by_name.get(&n) {
+                    let t = self.fresh_temp(cx);
+                    let p = self.new_point(cx.method, line);
+                    return Ok((t, vec![RStmt::Atom(Atom::GSet { global: g, src: t }, p)]));
+                }
+                Err(ResolveError::Unknown { what: "variable", name: name.clone(), line })
+            }
+        }
+    }
+
+    fn field(&mut self, name: &str, line: u32) -> RResult<FieldId> {
+        let n = self.intern(name);
+        self.field_by_name
+            .get(&n)
+            .copied()
+            .ok_or_else(|| ResolveError::Unknown { what: "field", name: name.to_string(), line })
+    }
+
+    fn lower_stmt(&mut self, cx: &mut MethodCx, s: &Stmt, in_block: bool) -> RResult<RStmt> {
+        let mid = cx.method;
+        match s {
+            Stmt::VarDecl { names, line } => {
+                for name in names {
+                    let n = self.intern(name);
+                    if cx.scope.contains_key(&n) {
+                        return Err(ResolveError::Duplicate { what: "variable", name: name.clone(), line: *line });
+                    }
+                    let v = self.new_var(n, mid);
+                    cx.scope.insert(n, v);
+                    cx.inits.push(v);
+                }
+                Ok(RStmt::skip())
+            }
+            Stmt::New { dst, class, line } => {
+                let cn = self.intern(class);
+                let cid = *self.class_by_name.get(&cn).ok_or_else(|| ResolveError::Unknown {
+                    what: "class",
+                    name: class.clone(),
+                    line: *line,
+                })?;
+                let (d, post) = self.write(cx, dst, *line)?;
+                let p = self.new_point(mid, *line);
+                let site = self.prog.sites.push(SiteInfo { class: cid, point: p, method: mid });
+                let mut out = vec![RStmt::Atom(Atom::New { dst: d, site }, p)];
+                out.extend(post);
+                Ok(RStmt::Seq(out))
+            }
+            Stmt::Copy { dst, src, line } => {
+                let mut out = Vec::new();
+                match src {
+                    None => {
+                        let (d, post) = self.write(cx, dst, *line)?;
+                        let p = self.new_point(mid, *line);
+                        out.push(RStmt::Atom(Atom::Null { dst: d }, p));
+                        out.extend(post);
+                    }
+                    Some(srcref) => {
+                        // Special-case `g = x` and `x = g` to avoid temps.
+                        let (mut pre, sv) = self.read(cx, srcref, *line)?;
+                        out.append(&mut pre);
+                        match dst {
+                            VarRef::Named(dname)
+                                if !cx.scope.contains_key(&self.prog.names.intern(dname))
+                                    && self.global_by_name.contains_key(&self.prog.names.intern(dname)) =>
+                            {
+                                let g = self.global_by_name[&self.prog.names.intern(dname)];
+                                let p = self.new_point(mid, *line);
+                                out.push(RStmt::Atom(Atom::GSet { global: g, src: sv }, p));
+                            }
+                            _ => {
+                                let (d, post) = self.write(cx, dst, *line)?;
+                                let p = self.new_point(mid, *line);
+                                out.push(RStmt::Atom(Atom::Copy { dst: d, src: sv }, p));
+                                out.extend(post);
+                            }
+                        }
+                    }
+                }
+                Ok(RStmt::Seq(out))
+            }
+            Stmt::Load { dst, base, field, line } => {
+                let f = self.field(field, *line)?;
+                let (mut pre, b) = self.read(cx, base, *line)?;
+                let (d, post) = self.write(cx, dst, *line)?;
+                let p = self.new_point(mid, *line);
+                pre.push(RStmt::Atom(Atom::Load { dst: d, base: b, field: f }, p));
+                pre.extend(post);
+                Ok(RStmt::Seq(pre))
+            }
+            Stmt::Store { base, field, src, line } => {
+                let f = self.field(field, *line)?;
+                let (mut pre, b) = self.read(cx, base, *line)?;
+                let (mut pre2, sv) = self.read(cx, src, *line)?;
+                pre.append(&mut pre2);
+                let p = self.new_point(mid, *line);
+                pre.push(RStmt::Atom(Atom::Store { base: b, field: f, src: sv }, p));
+                Ok(RStmt::Seq(pre))
+            }
+            Stmt::Spawn { var, line } => {
+                let (mut pre, v) = self.read(cx, var, *line)?;
+                let p = self.new_point(mid, *line);
+                pre.push(RStmt::Atom(Atom::Spawn { src: v }, p));
+                Ok(RStmt::Seq(pre))
+            }
+            Stmt::VCall { dst, recv, method, args, line } => {
+                let (mut pre, rv) = self.read(cx, recv, *line)?;
+                let mut avs = Vec::new();
+                for a in args {
+                    let (mut apre, av) = self.read(cx, a, *line)?;
+                    pre.append(&mut apre);
+                    avs.push(av);
+                }
+                let (dv, post) = match dst {
+                    Some(d) => {
+                        let (dv, post) = self.write(cx, d, *line)?;
+                        (Some(dv), post)
+                    }
+                    None => (None, Vec::new()),
+                };
+                let mname = self.intern(method);
+                let p = self.new_point(mid, *line);
+                let call = self.prog.calls.push(CallInfo {
+                    kind: CallKind::Virtual { recv: rv, method: mname },
+                    args: avs,
+                    dst: dv,
+                    point: p,
+                    caller: mid,
+                });
+                pre.push(RStmt::Call(call));
+                pre.extend(post);
+                Ok(RStmt::Seq(pre))
+            }
+            Stmt::SCall { dst, func, args, line } => {
+                let fname = self.intern(func);
+                let target = *self.func_by_name.get(&fname).ok_or_else(|| ResolveError::Unknown {
+                    what: "function",
+                    name: func.clone(),
+                    line: *line,
+                })?;
+                let expected = self.prog.methods[target].params.len();
+                if expected != args.len() {
+                    return Err(ResolveError::ArityMismatch {
+                        name: func.clone(),
+                        expected,
+                        got: args.len(),
+                        line: *line,
+                    });
+                }
+                let mut pre = Vec::new();
+                let mut avs = Vec::new();
+                for a in args {
+                    let (mut apre, av) = self.read(cx, a, *line)?;
+                    pre.append(&mut apre);
+                    avs.push(av);
+                }
+                let (dv, post) = match dst {
+                    Some(d) => {
+                        let (dv, post) = self.write(cx, d, *line)?;
+                        (Some(dv), post)
+                    }
+                    None => (None, Vec::new()),
+                };
+                let p = self.new_point(mid, *line);
+                let call = self.prog.calls.push(CallInfo {
+                    kind: CallKind::Static(target),
+                    args: avs,
+                    dst: dv,
+                    point: p,
+                    caller: mid,
+                });
+                pre.push(RStmt::Call(call));
+                pre.extend(post);
+                Ok(RStmt::Seq(pre))
+            }
+            Stmt::If { then_blk, else_blk, .. } => {
+                let t = self.lower_block(cx, then_blk)?;
+                let e = self.lower_block(cx, else_blk)?;
+                Ok(RStmt::Choice(Box::new(t), Box::new(e)))
+            }
+            Stmt::While { body, .. } => {
+                let b = self.lower_block(cx, body)?;
+                Ok(RStmt::Star(Box::new(b)))
+            }
+            Stmt::Query { label, kind, line } => {
+                if self.prog.queries.iter().any(|q| q.label == *label) {
+                    return Err(ResolveError::Duplicate { what: "query label", name: label.clone(), line: *line });
+                }
+                let var_of = |this: &mut Self, cx: &mut MethodCx, r: &VarRef| -> RResult<VarId> {
+                    match r {
+                        VarRef::This => {
+                            if this.prog.methods[cx.method].class.is_none() {
+                                return Err(ResolveError::ThisOutsideMethod { line: *line });
+                            }
+                            Ok(this.prog.methods[cx.method].params[0])
+                        }
+                        VarRef::Named(name) => {
+                            let n = this.intern(name);
+                            if let Some(&v) = cx.scope.get(&n) {
+                                Ok(v)
+                            } else if this.global_by_name.contains_key(&n) {
+                                Err(ResolveError::QueryOnGlobal { label: label.clone(), line: *line })
+                            } else {
+                                Err(ResolveError::Unknown { what: "variable", name: name.clone(), line: *line })
+                            }
+                        }
+                    }
+                };
+                let p = self.new_point(mid, *line);
+                let qkind = match kind {
+                    QueryAst::Local { var } => QueryKind::Local { var: var_of(self, cx, var)? },
+                    QueryAst::State { var, allowed } => QueryKind::State {
+                        var: var_of(self, cx, var)?,
+                        allowed: allowed.iter().map(|s| self.prog.names.intern(s)).collect(),
+                    },
+                };
+                self.prog.queries.push(QueryDecl { label: label.clone(), point: p, kind: qkind });
+                Ok(RStmt::Atom(Atom::Nop, p))
+            }
+            Stmt::Return { line, .. } => {
+                debug_assert!(in_block || true);
+                Err(ResolveError::NonTailReturn { line: *line })
+            }
+        }
+    }
+}
+
+/// Resolves a parsed [`SourceProgram`] into IR.
+///
+/// # Errors
+///
+/// Returns a [`ResolveError`] on duplicate or unknown names, `this` outside
+/// a method, non-tail `return`, call arity mismatches, a missing `main`, or
+/// a query naming a global.
+pub fn resolve(src: &SourceProgram) -> Result<Program, ResolveError> {
+    let mut r = Resolver {
+        prog: Program::default(),
+        global_by_name: HashMap::new(),
+        class_by_name: HashMap::new(),
+        field_by_name: HashMap::new(),
+        func_by_name: HashMap::new(),
+    };
+    r.declare(src)?;
+    r.lower_bodies(src)?;
+    let main_name = r.prog.names.get("main").ok_or(ResolveError::NoMain)?;
+    let main = *r.func_by_name.get(&main_name).ok_or(ResolveError::NoMain)?;
+    if r.prog.methods[main].body.is_none() {
+        return Err(ResolveError::NoMain);
+    }
+    r.prog.main = main;
+    Ok(r.prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn resolves_figure1() {
+        let p = parse_program(
+            r#"
+            class File { fn open(); fn close(); }
+            typestate File {
+                init closed;
+                closed -> open -> opened;
+                opened -> close -> closed;
+                opened -> open -> error;
+                closed -> close -> error;
+            }
+            fn main() {
+                var x, y, z;
+                x = new File;
+                y = x;
+                if (*) { z = x; }
+                x.open();
+                y.close();
+                query check1: state x in { closed };
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.sites.len(), 1);
+        assert_eq!(p.calls.len(), 2);
+        assert_eq!(p.queries.len(), 1);
+        assert_eq!(p.typestates.len(), 1);
+        // main has x, y, z plus $ret.
+        assert_eq!(p.methods[p.main].vars.len(), 4);
+        assert!(p.main_var("x").is_some());
+    }
+
+    #[test]
+    fn globals_lower_through_temps() {
+        let p = parse_program(
+            r#"
+            global g;
+            class C { field f; }
+            fn main() {
+                var x, y;
+                x = new C;
+                g = x;      // direct GSet, no temp
+                y = g;      // direct... GGet into temp, then copy? no: read(g) makes temp
+                g.f = x;    // temp = g; temp.f = x
+            }
+            "#,
+        )
+        .unwrap();
+        // Count atoms in main's CFG.
+        let cfg = &p.methods[p.main].cfg;
+        let mut gsets = 0;
+        let mut ggets = 0;
+        let mut stores = 0;
+        for (_, n) in cfg.iter() {
+            match n.kind {
+                Node::Atom(Atom::GSet { .. }, _) => gsets += 1,
+                Node::Atom(Atom::GGet { .. }, _) => ggets += 1,
+                Node::Atom(Atom::Store { .. }, _) => stores += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(gsets, 1);
+        assert_eq!(ggets, 2); // `y = g` and the base of `g.f = x`
+        assert_eq!(stores, 1);
+    }
+
+    #[test]
+    fn non_tail_return_rejected() {
+        let err = parse_program("fn main() { var x; return; x = null; }").unwrap_err();
+        assert!(err.to_string().contains("last statement"));
+    }
+
+    #[test]
+    fn tail_return_in_function_ok() {
+        let p = parse_program(
+            "fn id(a) { return a; } fn main() { var x, y; x = null; y = id(x); }",
+        )
+        .unwrap();
+        let id = p
+            .methods
+            .iter_enumerated()
+            .find(|(_, m)| p.names.resolve(m.name) == "id")
+            .unwrap()
+            .0;
+        assert!(p.methods[id].ret.is_some());
+        assert_eq!(p.calls.len(), 1);
+        assert_eq!(p.calls[crate::ir::CallId(0)].dst, Some(p.main_var("y").unwrap()));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let err =
+            parse_program("fn f(a, b) { return a; } fn main() { var x; x = f(x); }").unwrap_err();
+        assert!(err.to_string().contains("expected 2"));
+    }
+
+    #[test]
+    fn unknown_names_detected() {
+        assert!(parse_program("fn main() { var x; x = nope; }").is_err());
+        assert!(parse_program("fn main() { var x; x = new Nope; }").is_err());
+        assert!(parse_program("fn main() { var x; x = x.nofield; }").is_err());
+        assert!(parse_program("fn main() { nofunc(); }").is_err());
+    }
+
+    #[test]
+    fn this_outside_method_rejected() {
+        let err = parse_program("fn main() { var x; x = this; }").unwrap_err();
+        assert!(err.to_string().contains("this"));
+    }
+
+    #[test]
+    fn query_labels_unique_and_local() {
+        assert!(parse_program(
+            "fn main() { var x; x = null; query q: local x; query q: local x; }"
+        )
+        .is_err());
+        assert!(parse_program("global g; fn main() { query q: local g; }").is_err());
+    }
+
+    #[test]
+    fn missing_main_rejected() {
+        assert_eq!(parse_program("fn helper() {}").unwrap_err().to_string(), "resolve error: program has no `fn main()`");
+    }
+
+    #[test]
+    fn points_map_to_cfg_nodes() {
+        let p = parse_program("class C {} fn main() { var x; x = new C; query q: local x; }").unwrap();
+        let q = &p.queries[QueryId(0)];
+        let pi = &p.points[q.point];
+        assert_eq!(pi.method, p.main);
+        // The node recorded for the query point is a Nop atom at that point.
+        let node = &p.methods[p.main].cfg.nodes[pi.node];
+        assert_eq!(node.kind, Node::Atom(Atom::Nop, q.point));
+    }
+}

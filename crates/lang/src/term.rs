@@ -1,0 +1,496 @@
+//! Regular program terms (the paper's Section 3.1 command language) and a
+//! whole-program inliner.
+//!
+//! The exact reference engine in `pda-dataflow` interprets these terms with
+//! the semantics of the paper's Figure 3. Interprocedural programs are
+//! turned into one closed term by [`inline`], which clones callee bodies
+//! per call site (full context sensitivity) and therefore rejects
+//! recursion — the RHS tabulation engine handles recursive programs.
+
+use crate::ir::{
+    Atom, CallId, CallKind, MethodId, PointId, Program, RStmt, VarId, VarInfo,
+};
+use pda_util::{define_idx, Idx, IdxVec};
+use std::collections::HashMap;
+use std::fmt;
+
+define_idx!(
+    /// Index of a node in a [`TermArena`].
+    TermId
+);
+
+/// One constructor of the regular command language
+/// `s ::= ε | a | s;s' | s+s' | s*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermNode {
+    /// The empty command.
+    Eps,
+    /// An atomic command at a program point.
+    Atom(Atom, PointId),
+    /// `s ; s'`.
+    Seq(TermId, TermId),
+    /// `s + s'` (nondeterministic choice).
+    Choice(TermId, TermId),
+    /// `s*` (iteration).
+    Star(TermId),
+}
+
+/// An arena of term nodes. Sharing is allowed and exploited by the
+/// reference engine's memoization.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TermArena {
+    nodes: IdxVec<TermId, TermNode>,
+}
+
+impl TermArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        TermArena::default()
+    }
+
+    /// The node behind `id`.
+    pub fn node(&self, id: TermId) -> TermNode {
+        self.nodes[id]
+    }
+
+    /// Number of nodes in the arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the arena holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds an `ε` node.
+    pub fn eps(&mut self) -> TermId {
+        self.nodes.push(TermNode::Eps)
+    }
+
+    /// Adds an atom node.
+    pub fn atom(&mut self, a: Atom, p: PointId) -> TermId {
+        self.nodes.push(TermNode::Atom(a, p))
+    }
+
+    /// Adds `a ; b`.
+    pub fn seq(&mut self, a: TermId, b: TermId) -> TermId {
+        self.nodes.push(TermNode::Seq(a, b))
+    }
+
+    /// Adds `a + b`.
+    pub fn choice(&mut self, a: TermId, b: TermId) -> TermId {
+        self.nodes.push(TermNode::Choice(a, b))
+    }
+
+    /// Adds `a*`.
+    pub fn star(&mut self, a: TermId) -> TermId {
+        self.nodes.push(TermNode::Star(a))
+    }
+
+    /// Sequences a list of terms left to right (`ε` if empty).
+    pub fn seq_all(&mut self, ts: impl IntoIterator<Item = TermId>) -> TermId {
+        let mut iter = ts.into_iter();
+        let Some(first) = iter.next() else {
+            return self.eps();
+        };
+        iter.fold(first, |acc, t| self.seq(acc, t))
+    }
+
+    /// Folds a list of alternatives into nested `Choice` (`ε` if empty).
+    pub fn choice_all(&mut self, ts: impl IntoIterator<Item = TermId>) -> TermId {
+        let mut iter = ts.into_iter();
+        let Some(first) = iter.next() else {
+            return self.eps();
+        };
+        iter.fold(first, |acc, t| self.choice(acc, t))
+    }
+
+    /// Counts atom occurrences reachable from `root` (diagnostics).
+    pub fn count_atoms(&self, root: TermId) -> usize {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        let mut count = 0;
+        while let Some(t) = stack.pop() {
+            if seen[t.index()] {
+                continue;
+            }
+            seen[t.index()] = true;
+            match self.nodes[t] {
+                TermNode::Eps => {}
+                TermNode::Atom(..) => count += 1,
+                TermNode::Seq(a, b) | TermNode::Choice(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                TermNode::Star(a) => stack.push(a),
+            }
+        }
+        count
+    }
+}
+
+/// A closed whole-program term produced by [`inline`].
+///
+/// Inlining clones callee locals per call site, so the variable universe
+/// grows beyond [`Program::vars`]; `var_origin` maps every variable
+/// (original or clone) back to the original it instantiates. Analyses use
+/// `n_vars` to size their environments and `var_origin` to phrase
+/// abstraction parameters in terms of original variables.
+#[derive(Debug, Clone)]
+pub struct InlinedProgram {
+    /// The term arena.
+    pub arena: TermArena,
+    /// The whole-program term (body of `main` with calls expanded).
+    pub root: TermId,
+    /// Size of the extended variable universe.
+    pub n_vars: usize,
+    /// Maps each variable (index < `n_vars`) to the original it clones;
+    /// identity on original variables.
+    pub var_origin: Vec<VarId>,
+}
+
+impl InlinedProgram {
+    /// All extended variables whose origin is `orig`.
+    pub fn clones_of(&self, orig: VarId) -> impl Iterator<Item = VarId> + '_ {
+        self.var_origin
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &o)| o == orig)
+            .map(|(i, _)| VarId::from_usize(i))
+    }
+}
+
+/// Why inlining failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InlineError {
+    /// The call graph (restricted to methods with bodies) is recursive.
+    Recursive(MethodId),
+    /// `main` has no body.
+    NoBody(MethodId),
+}
+
+impl fmt::Display for InlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InlineError::Recursive(m) => write!(f, "method {m} is recursive; use the RHS engine"),
+            InlineError::NoBody(m) => write!(f, "method {m} has no body"),
+        }
+    }
+}
+
+impl std::error::Error for InlineError {}
+
+/// Resolves the possible targets of a call.
+///
+/// Supplied by the caller so that `pda-analysis` can plug in the 0-CFA call
+/// graph without this crate depending on it. [`resolve_by_name`] is a
+/// conservative fallback (class-hierarchy-style: every same-named method).
+pub type CallResolver<'a> = dyn Fn(CallId) -> Vec<MethodId> + 'a;
+
+/// Name-based conservative call resolution: a virtual call `recv.m(...)`
+/// may target any class method named `m` (with or without a body); a
+/// static call targets its function.
+pub fn resolve_by_name(program: &Program) -> impl Fn(CallId) -> Vec<MethodId> + '_ {
+    move |c: CallId| match &program.calls[c].kind {
+        CallKind::Static(m) => vec![*m],
+        CallKind::Virtual { method, .. } => {
+            let mut out: Vec<MethodId> = program
+                .classes
+                .iter()
+                .filter_map(|cl| cl.methods.get(method).copied())
+                .collect();
+            out.sort();
+            out.dedup();
+            out
+        }
+    }
+}
+
+struct Inliner<'a> {
+    program: &'a Program,
+    resolver: &'a CallResolver<'a>,
+    arena: TermArena,
+    var_origin: Vec<VarId>,
+    stack: Vec<MethodId>,
+}
+
+impl<'a> Inliner<'a> {
+    fn fresh_clone(&mut self, orig: VarId) -> VarId {
+        let id = VarId::from_usize(self.var_origin.len());
+        self.var_origin.push(orig);
+        id
+    }
+
+    fn subst(sub: &HashMap<VarId, VarId>, v: VarId) -> VarId {
+        sub.get(&v).copied().unwrap_or(v)
+    }
+
+    fn subst_atom(sub: &HashMap<VarId, VarId>, a: Atom) -> Atom {
+        let s = |v| Self::subst(sub, v);
+        match a {
+            Atom::New { dst, site } => Atom::New { dst: s(dst), site },
+            Atom::Copy { dst, src } => Atom::Copy { dst: s(dst), src: s(src) },
+            Atom::Null { dst } => Atom::Null { dst: s(dst) },
+            Atom::Load { dst, base, field } => Atom::Load { dst: s(dst), base: s(base), field },
+            Atom::Store { base, field, src } => Atom::Store { base: s(base), field, src: s(src) },
+            Atom::GSet { global, src } => Atom::GSet { global, src: s(src) },
+            Atom::GGet { dst, global } => Atom::GGet { dst: s(dst), global },
+            Atom::Invoke { recv, method } => Atom::Invoke { recv: s(recv), method },
+            Atom::Spawn { src } => Atom::Spawn { src: s(src) },
+            Atom::Havoc { dst } => Atom::Havoc { dst: s(dst) },
+            Atom::Nop => Atom::Nop,
+        }
+    }
+
+    fn stmt(&mut self, s: &RStmt, sub: &HashMap<VarId, VarId>) -> Result<TermId, InlineError> {
+        Ok(match s {
+            RStmt::Atom(a, p) => {
+                let a = Self::subst_atom(sub, *a);
+                self.arena.atom(a, *p)
+            }
+            RStmt::Seq(ss) => {
+                let parts = ss
+                    .iter()
+                    .map(|s| self.stmt(s, sub))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.arena.seq_all(parts)
+            }
+            RStmt::Choice(a, b) => {
+                let ta = self.stmt(a, sub)?;
+                let tb = self.stmt(b, sub)?;
+                self.arena.choice(ta, tb)
+            }
+            RStmt::Star(a) => {
+                let ta = self.stmt(a, sub)?;
+                self.arena.star(ta)
+            }
+            RStmt::Call(c) => self.call(*c, sub)?,
+        })
+    }
+
+    fn call(&mut self, c: CallId, sub: &HashMap<VarId, VarId>) -> Result<TermId, InlineError> {
+        let info = self.program.calls[c].clone();
+        let point = info.point;
+        let args: Vec<VarId> = info.args.iter().map(|&a| Self::subst(sub, a)).collect();
+        let dst = info.dst.map(|d| Self::subst(sub, d));
+        let mut pre = Vec::new();
+        let mut recv = None;
+        if let CallKind::Virtual { recv: r, method } = info.kind {
+            let r = Self::subst(sub, r);
+            recv = Some(r);
+            pre.push(self.arena.atom(Atom::Invoke { recv: r, method }, point));
+        }
+        let callees = (self.resolver)(c);
+        let mut branches = Vec::new();
+        for callee in callees {
+            branches.push(self.expand_callee(callee, recv, &args, dst, point)?);
+        }
+        let body = if branches.is_empty() {
+            // No target at all: havoc the destination.
+            match dst {
+                Some(d) => self.arena.atom(Atom::Havoc { dst: d }, point),
+                None => self.arena.eps(),
+            }
+        } else {
+            self.arena.choice_all(branches)
+        };
+        pre.push(body);
+        Ok(self.arena.seq_all(pre))
+    }
+
+    fn expand_callee(
+        &mut self,
+        callee: MethodId,
+        recv: Option<VarId>,
+        args: &[VarId],
+        dst: Option<VarId>,
+        point: PointId,
+    ) -> Result<TermId, InlineError> {
+        let m = &self.program.methods[callee];
+        let Some(body) = m.body.clone() else {
+            // Atomic method: only the Invoke transition (already emitted)
+            // plus a havoc of the destination.
+            return Ok(match dst {
+                Some(d) => self.arena.atom(Atom::Havoc { dst: d }, point),
+                None => self.arena.eps(),
+            });
+        };
+        if self.stack.contains(&callee) {
+            return Err(InlineError::Recursive(callee));
+        }
+        self.stack.push(callee);
+
+        // Clone all locals of the callee.
+        let vars = m.vars.clone();
+        let params = m.params.clone();
+        let ret = m.ret;
+        let mut inner: HashMap<VarId, VarId> = HashMap::new();
+        for v in vars {
+            let c = self.fresh_clone(self.origin_of(v));
+            inner.insert(v, c);
+        }
+        // Bind receiver and arguments to (cloned) parameters.
+        let mut parts = Vec::new();
+        let mut actuals: Vec<VarId> = Vec::new();
+        if let Some(r) = recv {
+            actuals.push(r);
+        }
+        actuals.extend_from_slice(args);
+        for (formal, actual) in params.iter().zip(actuals) {
+            let f = inner[formal];
+            parts.push(self.arena.atom(Atom::Copy { dst: f, src: actual }, point));
+        }
+        let body_t = self.stmt(&body, &inner)?;
+        parts.push(body_t);
+        if let Some(d) = dst {
+            let r = ret.expect("body implies ret var");
+            parts.push(self.arena.atom(Atom::Copy { dst: d, src: inner[&r] }, point));
+        }
+        self.stack.pop();
+        Ok(self.arena.seq_all(parts))
+    }
+
+    fn origin_of(&self, v: VarId) -> VarId {
+        // Original program variables map to themselves.
+        self.var_origin.get(v.index()).copied().unwrap_or(v)
+    }
+}
+
+/// Inlines a whole program into one closed regular term, rooted at `main`.
+///
+/// Virtual calls expand to the type-state [`Atom::Invoke`] transition
+/// followed by a `Choice` over the resolved callees; each callee expansion
+/// clones the callee's locals (full context sensitivity) and binds
+/// receiver/arguments/result with `Copy` atoms.
+///
+/// # Errors
+///
+/// Returns [`InlineError::Recursive`] if a method with a body is reachable
+/// from itself, and [`InlineError::NoBody`] if `main` has no body.
+pub fn inline(program: &Program, resolver: &CallResolver<'_>) -> Result<InlinedProgram, InlineError> {
+    let main = &program.methods[program.main];
+    let body = main.body.clone().ok_or(InlineError::NoBody(program.main))?;
+    let mut inl = Inliner {
+        program,
+        resolver,
+        arena: TermArena::new(),
+        var_origin: (0..program.vars.len()).map(VarId::from_usize).collect(),
+        stack: vec![program.main],
+    };
+    let root = inl.stmt(&body, &HashMap::new())?;
+    Ok(InlinedProgram {
+        arena: inl.arena,
+        root,
+        n_vars: inl.var_origin.len(),
+        var_origin: inl.var_origin,
+    })
+}
+
+/// Extends a program's variable-info view over an inlined universe: name
+/// of the original variable each extended id descends from.
+pub fn extended_var_info(program: &Program, inlined: &InlinedProgram, v: VarId) -> VarInfo {
+    program.vars[inlined.var_origin[v.index()]].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn inline_straightline_counts_atoms() {
+        let p = parse_program(
+            "class C {} fn main() { var x; x = new C; x = null; }",
+        )
+        .unwrap();
+        let resolver = resolve_by_name(&p);
+        let inl = inline(&p, &resolver).unwrap();
+        // null-init of x and $ret, New, Null.
+        assert_eq!(inl.arena.count_atoms(inl.root), 4);
+        assert_eq!(inl.n_vars, p.vars.len());
+    }
+
+    #[test]
+    fn inline_clones_callee_vars_per_site() {
+        let p = parse_program(
+            r#"
+            fn id(a) { return a; }
+            fn main() { var x, y; x = null; y = id(x); y = id(y); }
+            "#,
+        )
+        .unwrap();
+        let resolver = resolve_by_name(&p);
+        let inl = inline(&p, &resolver).unwrap();
+        // Two expansions clone `a` and `$ret_id` each.
+        assert_eq!(inl.n_vars, p.vars.len() + 4);
+        let a = p
+            .vars
+            .iter_enumerated()
+            .find(|(_, v)| p.names.resolve(v.name) == "a")
+            .unwrap()
+            .0;
+        assert_eq!(inl.clones_of(a).count(), 3); // original + 2 clones
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let p = parse_program("fn f() { f(); } fn main() { f(); }").unwrap();
+        let resolver = resolve_by_name(&p);
+        assert!(matches!(inline(&p, &resolver), Err(InlineError::Recursive(_))));
+    }
+
+    #[test]
+    fn virtual_call_emits_invoke_and_choice() {
+        let p = parse_program(
+            r#"
+            class A { fn m(x) { return x; } }
+            class B { fn m(x) { return x; } }
+            fn main() { var o, r; o = new A; r = o.m(o); }
+            "#,
+        )
+        .unwrap();
+        let resolver = resolve_by_name(&p);
+        let inl = inline(&p, &resolver).unwrap();
+        // Both A.m and B.m are inlined under a Choice (name-based resolution).
+        let mut choices = 0;
+        let mut invokes = 0;
+        for i in 0..inl.arena.len() {
+            match inl.arena.node(TermId::from_usize(i)) {
+                TermNode::Choice(..) => choices += 1,
+                TermNode::Atom(Atom::Invoke { .. }, _) => invokes += 1,
+                _ => {}
+            }
+        }
+        assert!(choices >= 1);
+        assert_eq!(invokes, 1);
+    }
+
+    #[test]
+    fn bodyless_callee_havocs_destination() {
+        let p = parse_program(
+            r#"
+            class F { fn get(); }
+            fn main() { var o, r; o = new F; r = o.get(); }
+            "#,
+        )
+        .unwrap();
+        let resolver = resolve_by_name(&p);
+        let inl = inline(&p, &resolver).unwrap();
+        let havocs = (0..inl.arena.len())
+            .filter(|&i| matches!(inl.arena.node(TermId::from_usize(i)), TermNode::Atom(Atom::Havoc { .. }, _)))
+            .count();
+        assert_eq!(havocs, 1);
+    }
+
+    #[test]
+    fn loops_become_star() {
+        let p = parse_program("fn main() { var x; while (*) { x = null; } }").unwrap();
+        let resolver = resolve_by_name(&p);
+        let inl = inline(&p, &resolver).unwrap();
+        let stars = (0..inl.arena.len())
+            .filter(|&i| matches!(inl.arena.node(TermId::from_usize(i)), TermNode::Star(_)))
+            .count();
+        assert_eq!(stars, 1);
+    }
+}

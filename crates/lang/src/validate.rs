@@ -1,0 +1,229 @@
+//! IR well-formedness validation.
+//!
+//! The engines and clients assume structural invariants of a resolved
+//! [`Program`] (variables belong to their method, points map back to their
+//! CFG nodes, calls are arity-correct, CFGs are connected). The resolver
+//! establishes them; this module checks them, guarding against regressions
+//! and validating generated benchmarks in the suite's tests.
+
+use crate::cfg::Node;
+use crate::ir::{Atom, CallKind, MethodId, Program, VarId, SYNTHETIC_POINT};
+use pda_util::Idx;
+use std::fmt;
+
+/// One invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// An atom in method `method` mentions a variable owned by another
+    /// method (binding glue excepted — it never appears in CFGs).
+    ForeignVariable {
+        /// The method containing the atom.
+        method: MethodId,
+        /// The foreign variable.
+        var: VarId,
+    },
+    /// A program point's recorded node does not hold that point.
+    PointNodeMismatch {
+        /// The broken point.
+        point: crate::ir::PointId,
+    },
+    /// A call passes the wrong number of arguments for a static target.
+    CallArity {
+        /// The broken call.
+        call: crate::ir::CallId,
+    },
+    /// A CFG node is unreachable from the method entry.
+    UnreachableNode {
+        /// The method.
+        method: MethodId,
+        /// The unreachable node.
+        node: crate::cfg::NodeId,
+    },
+    /// A method with a body lacks a return variable or vice versa.
+    RetShape {
+        /// The method.
+        method: MethodId,
+    },
+    /// A query references a point of a different method than its variable.
+    QueryScope {
+        /// The broken query.
+        query: crate::ir::QueryId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::ForeignVariable { method, var } => {
+                write!(f, "method {method} mentions foreign variable v{var}")
+            }
+            Violation::PointNodeMismatch { point } => {
+                write!(f, "point {point} maps to a node that does not carry it")
+            }
+            Violation::CallArity { call } => write!(f, "call {call} has wrong arity"),
+            Violation::UnreachableNode { method, node } => {
+                write!(f, "node n{node} of method {method} is unreachable")
+            }
+            Violation::RetShape { method } => {
+                write!(f, "method {method} has inconsistent body/ret shape")
+            }
+            Violation::QueryScope { query } => {
+                write!(f, "query {query} names a variable outside its point's method")
+            }
+        }
+    }
+}
+
+fn atom_vars(a: &Atom) -> Vec<VarId> {
+    match *a {
+        Atom::New { dst, .. } | Atom::Null { dst } | Atom::GGet { dst, .. } | Atom::Havoc { dst } => {
+            vec![dst]
+        }
+        Atom::Copy { dst, src } => vec![dst, src],
+        Atom::Load { dst, base, .. } => vec![dst, base],
+        Atom::Store { base, src, .. } => vec![base, src],
+        Atom::GSet { src, .. } | Atom::Spawn { src } => vec![src],
+        Atom::Invoke { recv, .. } => vec![recv],
+        Atom::Nop => vec![],
+    }
+}
+
+/// Checks all invariants, returning every violation found (empty for a
+/// well-formed program).
+///
+/// # Examples
+///
+/// ```
+/// let p = pda_lang::parse_program("fn main() { var x; x = null; }").unwrap();
+/// assert!(pda_lang::validate::check(&p).is_empty());
+/// ```
+pub fn check(program: &Program) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (mid, m) in program.methods.iter_enumerated() {
+        // Body/ret consistency.
+        if m.body.is_some() != m.ret.is_some() {
+            out.push(Violation::RetShape { method: mid });
+        }
+        if m.body.is_none() {
+            continue;
+        }
+        // Reachability within the CFG.
+        let mut seen = vec![false; m.cfg.len()];
+        let mut stack = vec![m.cfg.entry];
+        seen[m.cfg.entry.index()] = true;
+        while let Some(n) = stack.pop() {
+            for &s in &m.cfg.nodes[n].succs {
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        for (nid, node) in m.cfg.iter() {
+            if !seen[nid.index()] && nid != m.cfg.exit {
+                out.push(Violation::UnreachableNode { method: mid, node: nid });
+            }
+            match &node.kind {
+                Node::Atom(a, point) => {
+                    for v in atom_vars(a) {
+                        if program.vars[v].method != mid {
+                            out.push(Violation::ForeignVariable { method: mid, var: v });
+                        }
+                    }
+                    if *point != SYNTHETIC_POINT {
+                        let pi = &program.points[*point];
+                        if pi.method != mid || pi.node != nid {
+                            out.push(Violation::PointNodeMismatch { point: *point });
+                        }
+                    }
+                }
+                Node::Call(c) => {
+                    let call = &program.calls[*c];
+                    if call.caller != mid {
+                        out.push(Violation::PointNodeMismatch { point: call.point });
+                    }
+                    if let CallKind::Static(target) = call.kind {
+                        if program.methods[target].params.len() != call.args.len() {
+                            out.push(Violation::CallArity { call: *c });
+                        }
+                    }
+                }
+                Node::Entry | Node::Exit => {}
+            }
+        }
+    }
+    for (qid, q) in program.queries.iter_enumerated() {
+        let pm = program.points[q.point].method;
+        let var = match q.kind {
+            crate::ir::QueryKind::Local { var } => var,
+            crate::ir::QueryKind::State { var, .. } => var,
+        };
+        if program.vars[var].method != pm {
+            out.push(Violation::QueryScope { query: qid });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn resolver_output_is_well_formed() {
+        let p = parse_program(
+            r#"
+            global g;
+            class C { field f; fn m(a) { this.f = a; return a; } }
+            fn helper(x) { var t; t = x; return t; }
+            fn main() {
+                var a, b, r;
+                a = new C;
+                b = helper(a);
+                r = a.m(b);
+                g = r;
+                while (*) { if (*) { b = a; } else { b = null; } }
+                query q: local b;
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(check(&p), Vec::new());
+    }
+
+    #[test]
+    fn detects_foreign_variable() {
+        let mut p = parse_program("fn f() { var y; y = null; } fn main() { var x; x = null; f(); }").unwrap();
+        // Corrupt: move a variable's ownership.
+        let x = p.main_var("x").unwrap();
+        p.vars[x].method = pda_util::Idx::from_usize(0);
+        let violations = check(&p);
+        assert!(
+            violations.iter().any(|v| matches!(v, Violation::ForeignVariable { .. })),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn detects_point_corruption() {
+        let mut p = parse_program("fn main() { var x; x = null; }").unwrap();
+        // Corrupt a point's node.
+        let some_point = p
+            .points
+            .iter_enumerated()
+            .map(|(id, _)| id)
+            .next()
+            .unwrap();
+        p.points[some_point].node = crate::cfg::NodeId(1); // exit node
+        assert!(check(&p)
+            .iter()
+            .any(|v| matches!(v, Violation::PointNodeMismatch { .. })));
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = Violation::RetShape { method: MethodId(3) };
+        assert!(v.to_string().contains("method 3"));
+    }
+}

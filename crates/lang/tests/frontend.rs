@@ -1,0 +1,172 @@
+//! Frontend integration tests: whole-pipeline behaviors that span the
+//! lexer, parser, resolver, CFG builder, inliner, and validator.
+
+use pda_lang::term::{inline, resolve_by_name};
+use pda_lang::{parse_program, validate, Atom, Node};
+
+#[test]
+fn kitchen_sink_program_is_well_formed() {
+    let p = parse_program(
+        r#"
+        global cache, log;
+        class Node { field next, data; fn visit(x) { this.data = x; return x; } }
+        class Leaf { fn visit(x) { return x; } }
+        typestate Node {
+            init fresh;
+            fresh -> visit -> seen;
+            seen -> visit -> seen;
+        }
+        fn build(n) {
+            var head, cur;
+            head = new Node;
+            cur = head;
+            while (*) {
+                var tmp;
+                tmp = new Node;
+                cur.next = tmp;
+                cur = tmp;
+            }
+            return head;
+        }
+        fn main() {
+            var root, it, x;
+            x = null;
+            root = build(x);
+            it = root;
+            while (*) {
+                it.visit(x);
+                it = it.next;
+            }
+            if (*) { cache = root; }
+            query qroot: local root;
+            query qstate: state root in { fresh seen };
+        }
+        "#,
+    )
+    .unwrap();
+    assert_eq!(validate::check(&p), Vec::new());
+    assert_eq!(p.queries.len(), 2);
+    assert_eq!(p.typestates.len(), 1);
+    // `var tmp;` inside the loop body still resolves (function scoping).
+    assert!(p
+        .methods
+        .iter()
+        .flat_map(|m| &m.vars)
+        .any(|&v| p.var_name(v) == "tmp"));
+}
+
+#[test]
+fn nested_declarations_are_function_scoped() {
+    // Declaring in one branch, using in another, is allowed (function
+    // scope, like the JVM's locals) — the resolver initializes to null.
+    let p = parse_program(
+        r#"
+        fn main() {
+            var a;
+            if (*) { var b; b = null; } else { b = a; }
+            a = b;
+        }
+        "#,
+    );
+    assert!(p.is_ok(), "{p:?}");
+}
+
+#[test]
+fn duplicate_declaration_in_same_function_rejected() {
+    let err = parse_program("fn main() { var a; if (*) { var a; } }").unwrap_err();
+    assert!(err.to_string().contains("duplicate variable"));
+}
+
+#[test]
+fn inliner_handles_diamond_call_graphs() {
+    // f calls g twice and h once; h also calls g. Each call site clones.
+    let p = parse_program(
+        r#"
+        fn g(x) { var t; t = x; return t; }
+        fn h(x) { var r; r = g(x); return r; }
+        fn main() {
+            var a, b, c;
+            a = null;
+            b = g(a);
+            c = g(b);
+            c = h(c);
+        }
+        "#,
+    )
+    .unwrap();
+    let resolver = resolve_by_name(&p);
+    let inl = inline(&p, &resolver).unwrap();
+    // g has 3 expansions (2 direct + 1 via h), h has 1.
+    // g's locals: x, t, $ret (3); h's: x, r, $ret (3).
+    assert_eq!(inl.n_vars, p.vars.len() + 3 * 3 + 3);
+}
+
+#[test]
+fn deep_nesting_parses_and_lowers() {
+    let mut src = String::from("fn main() { var x; ");
+    for _ in 0..30 {
+        src.push_str("if (*) { while (*) { ");
+    }
+    src.push_str("x = null;");
+    for _ in 0..30 {
+        src.push_str(" } } ");
+    }
+    src.push('}');
+    let p = parse_program(&src).unwrap();
+    assert!(validate::check(&p).is_empty());
+    let cfg = &p.methods[p.main].cfg;
+    // One loop-head join node per `while`, plus entry/exit/inits/atom;
+    // `if` diamonds merge frontiers without dedicated nodes.
+    assert!(cfg.len() > 30, "got {}", cfg.len());
+}
+
+#[test]
+fn every_atom_shape_reachable_in_cfg() {
+    let p = parse_program(
+        r#"
+        global g;
+        class C { field f; fn m(); }
+        fn callee(a) { return a; }
+        fn main() {
+            var x, y;
+            x = new C;     // New
+            y = x;         // Copy
+            y = null;      // Null
+            y = x.f;       // Load
+            x.f = y;       // Store
+            g = x;         // GSet
+            y = g;         // GGet
+            x.m();         // Invoke (+ Havoc-free)
+            y = x.m();     // Invoke + Havoc (bodyless with dst)
+            spawn x;       // Spawn
+            callee(x);     // Call node
+        }
+        "#,
+    )
+    .unwrap();
+    let mut shapes = std::collections::HashSet::new();
+    for (_, node) in p.methods[p.main].cfg.iter() {
+        if let Node::Atom(a, _) = &node.kind {
+            shapes.insert(std::mem::discriminant(a));
+        }
+    }
+    // New, Copy, Null, Load, Store, GSet, GGet, Spawn, Nop(absent) — the
+    // Invoke/Havoc atoms are synthesized by the engines at Call nodes, so
+    // 8 shapes appear in the CFG itself.
+    assert!(shapes.len() >= 8, "found {} shapes", shapes.len());
+    let _ = Atom::Nop;
+}
+
+#[test]
+fn line_numbers_track_source() {
+    let p = parse_program("fn main() {\n var x;\n x = null;\n query q: local x;\n}").unwrap();
+    let q = p.query_by_label("q").unwrap();
+    assert_eq!(p.points[p.queries[q].point].line, 4);
+}
+
+#[test]
+fn site_labels_and_method_names_render() {
+    let p = parse_program("class Widget {} fn main() { var x; x = new Widget; }").unwrap();
+    assert_eq!(p.site_label(pda_lang::SiteId(0)), "Widget#0");
+    assert_eq!(p.method_name(p.main), "main");
+}

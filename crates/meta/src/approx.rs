@@ -1,0 +1,358 @@
+//! DNF conversion and the under-approximation operator of Figure 8:
+//! `toDNF`, `simplify`, and the `drop_k` beam.
+
+use crate::formula::{Cube, Dnf, Formula, Lit, Primitive};
+
+/// Configuration of the under-approximation beam.
+#[derive(Debug, Clone, Copy)]
+pub struct BeamConfig {
+    /// Maximum number of DNF disjuncts retained by `drop_k` (the paper's
+    /// `k`; the evaluation found `k = 5` optimal, Figure 13).
+    pub k: usize,
+    /// Hard cap on intermediate cube counts during DNF conversion; on
+    /// overflow an emergency `drop_k` runs early. Keeps Figure 6(a)-style
+    /// blowup bounded even before the per-step `approx`.
+    pub max_cubes: usize,
+}
+
+impl Default for BeamConfig {
+    fn default() -> Self {
+        BeamConfig { k: 5, max_cubes: 2048 }
+    }
+}
+
+impl BeamConfig {
+    /// A beam of width `k` with the default intermediate cap.
+    pub fn with_k(k: usize) -> Self {
+        BeamConfig { k, ..BeamConfig::default() }
+    }
+
+    /// Effectively disables under-approximation (the paper's Figure 6(a)
+    /// mode); useful for tests and the ablation bench.
+    pub fn exhaustive() -> Self {
+        BeamConfig { k: usize::MAX, max_cubes: 1 << 20 }
+    }
+}
+
+/// Converts a formula to DNF, pruning syntactically unsatisfiable cubes.
+///
+/// `keep` is consulted on overflow of `cfg.max_cubes`: cubes are then
+/// beam-pruned early, always retaining a cube satisfying `keep` if one
+/// exists (emergency under-approximation — sound for the meta-analysis,
+/// which only ever needs σ(result) ⊆ σ(input) plus membership of the
+/// current `(p, d)`).
+pub fn to_dnf<P: Primitive>(
+    f: &Formula<P>,
+    cfg: &BeamConfig,
+    keep: &dyn Fn(&Cube<P>) -> bool,
+) -> Dnf<P> {
+    let cubes = nnf_dnf(f, true, cfg, keep);
+    Dnf(cubes)
+}
+
+/// Core NNF + distribution. `sign` tracks negation context.
+fn nnf_dnf<P: Primitive>(
+    f: &Formula<P>,
+    sign: bool,
+    cfg: &BeamConfig,
+    keep: &dyn Fn(&Cube<P>) -> bool,
+) -> Vec<Cube<P>> {
+    match (f, sign) {
+        (Formula::True, true) | (Formula::False, false) => vec![Cube::top()],
+        (Formula::True, false) | (Formula::False, true) => Vec::new(),
+        (Formula::Prim(p), pos) => {
+            let mut c = Cube::top();
+            let ok = c.insert(Lit { prim: p.clone(), pos });
+            debug_assert!(ok);
+            vec![c]
+        }
+        (Formula::Not(inner), s) => nnf_dnf(inner, !s, cfg, keep),
+        (Formula::And(fs), true) | (Formula::Or(fs), false) => {
+            // Conjunction: distribute pairwise.
+            let mut acc = vec![Cube::top()];
+            for g in fs {
+                let gs = nnf_dnf(g, sign, cfg, keep);
+                acc = product(&acc, &gs, cfg, keep);
+                if acc.is_empty() {
+                    return acc;
+                }
+            }
+            acc
+        }
+        (Formula::Or(fs), true) | (Formula::And(fs), false) => {
+            let mut acc: Vec<Cube<P>> = Vec::new();
+            for g in fs {
+                acc.extend(nnf_dnf(g, sign, cfg, keep));
+                if acc.len() > cfg.max_cubes {
+                    acc = emergency_prune(acc, cfg, keep);
+                }
+            }
+            acc
+        }
+    }
+}
+
+fn product<P: Primitive>(
+    xs: &[Cube<P>],
+    ys: &[Cube<P>],
+    cfg: &BeamConfig,
+    keep: &dyn Fn(&Cube<P>) -> bool,
+) -> Vec<Cube<P>> {
+    let mut out = Vec::new();
+    for x in xs {
+        for y in ys {
+            if let Some(c) = x.conjoin(y) {
+                out.push(c);
+            }
+            if out.len() > cfg.max_cubes {
+                out = emergency_prune(out, cfg, keep);
+            }
+        }
+    }
+    out
+}
+
+/// Under-approximate on intermediate overflow: dedupe, sort by size, keep
+/// the first `max_cubes / 2` plus a `keep`-satisfying cube.
+fn emergency_prune<P: Primitive>(
+    mut cubes: Vec<Cube<P>>,
+    cfg: &BeamConfig,
+    keep: &dyn Fn(&Cube<P>) -> bool,
+) -> Vec<Cube<P>> {
+    cubes.sort();
+    cubes.dedup();
+    if cubes.len() <= cfg.max_cubes {
+        return cubes;
+    }
+    cubes.sort_by_key(|c| c.len());
+    let cut = cfg.max_cubes / 2;
+    let kept_cut = cubes.iter().take(cut).any(keep);
+    let mut out: Vec<Cube<P>> = cubes.iter().take(cut).cloned().collect();
+    if !kept_cut {
+        if let Some(c) = cubes.iter().skip(cut).find(|c| keep(c)) {
+            out.push(c.clone());
+        }
+    }
+    out
+}
+
+/// The paper's `simplify` (Figure 8): sort disjuncts by size and drop any
+/// disjunct that implies an earlier (hence no-larger) one — semantics
+/// preserving, since the implied disjunct covers it.
+pub fn simplify<P: Primitive>(dnf: Dnf<P>) -> Dnf<P> {
+    let mut cubes = dnf.0;
+    cubes.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    cubes.dedup();
+    let mut kept: Vec<Cube<P>> = Vec::new();
+    for c in cubes {
+        if !kept.iter().any(|k| c.implies(k)) {
+            kept.push(c);
+        }
+    }
+    Dnf(kept)
+}
+
+/// The paper's `approx` for disjunctive meta-analyses (Section 4.1):
+/// `simplify ∘ toDNF`, then `drop_k` if more than `k` disjuncts remain —
+/// keep the `k−1` smallest plus the smallest disjunct containing the
+/// current `(p, d)`.
+///
+/// Returns `None` if no disjunct contains `(p, d)`; Theorem 3 guarantees
+/// this cannot happen when the driver maintains its invariant, so the
+/// caller treats `None` as an internal soundness error.
+pub fn approx<P: Primitive>(
+    p: &P::Param,
+    d: &P::State,
+    dnf: Dnf<P>,
+    cfg: &BeamConfig,
+) -> Option<Dnf<P>> {
+    let simplified = simplify(dnf);
+    if !simplified.holds(p, d) {
+        return None;
+    }
+    if simplified.len() <= cfg.k {
+        return Some(simplified);
+    }
+    let cubes = simplified.0;
+    let take = cfg.k.saturating_sub(1);
+    let mut out: Vec<Cube<P>> = cubes.iter().take(take).cloned().collect();
+    if !out.iter().any(|c| c.holds(p, d)) {
+        let j = cubes.iter().find(|c| c.holds(p, d))?;
+        out.push(j.clone());
+    }
+    Some(Dnf(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fmt;
+
+    /// Test primitive: `Bit(i)` holds iff bit `i` of the state is set;
+    /// `PBit(i)` holds iff bit `i` of the param is set.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    enum BP {
+        Bit(u8),
+        PBit(u8),
+    }
+
+    impl fmt::Display for BP {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                BP::Bit(i) => write!(f, "d{i}"),
+                BP::PBit(i) => write!(f, "p{i}"),
+            }
+        }
+    }
+
+    impl Primitive for BP {
+        type Param = u32;
+        type State = u32;
+        fn holds(&self, p: &u32, d: &u32) -> bool {
+            match self {
+                BP::Bit(i) => (d >> i) & 1 == 1,
+                BP::PBit(i) => (p >> i) & 1 == 1,
+            }
+        }
+        fn eval_state(&self, d: &u32) -> Option<bool> {
+            match self {
+                BP::Bit(i) => Some((d >> i) & 1 == 1),
+                BP::PBit(_) => None,
+            }
+        }
+        fn param_atom(&self) -> Option<(usize, bool)> {
+            match self {
+                BP::Bit(_) => None,
+                BP::PBit(i) => Some((*i as usize, true)),
+            }
+        }
+    }
+
+    fn lit(p: BP, pos: bool) -> Formula<BP> {
+        if pos {
+            Formula::prim(p)
+        } else {
+            Formula::nprim(p)
+        }
+    }
+
+    /// Brute-force semantic equality over 4 state bits and 2 param bits.
+    fn semantically_equal(f: &Formula<BP>, g: &Dnf<BP>) -> bool {
+        for p in 0..4u32 {
+            for d in 0..16u32 {
+                if f.holds(&p, &d) != g.holds(&p, &d) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn to_dnf_preserves_semantics() {
+        use Formula as F;
+        let cases = vec![
+            lit(BP::Bit(0), true),
+            F::not(F::and(vec![lit(BP::Bit(0), true), lit(BP::Bit(1), true)])),
+            F::and(vec![
+                F::or(vec![lit(BP::Bit(0), true), lit(BP::PBit(0), false)]),
+                F::or(vec![lit(BP::Bit(1), true), lit(BP::Bit(2), false)]),
+            ]),
+            F::not(F::or(vec![
+                F::and(vec![lit(BP::Bit(0), true), lit(BP::Bit(1), false)]),
+                lit(BP::PBit(1), true),
+            ])),
+            F::True,
+            F::False,
+        ];
+        let cfg = BeamConfig::exhaustive();
+        for f in cases {
+            let dnf = to_dnf(&f, &cfg, &|_| true);
+            assert!(semantically_equal(&f, &dnf), "mismatch for {f}");
+        }
+    }
+
+    #[test]
+    fn contradictory_cubes_pruned() {
+        let f = Formula::and(vec![lit(BP::Bit(0), true), lit(BP::Bit(0), false)]);
+        let dnf = to_dnf(&f, &BeamConfig::default(), &|_| true);
+        assert!(dnf.is_empty());
+    }
+
+    #[test]
+    fn simplify_drops_subsumed() {
+        // (d0) ∨ (d0 ∧ d1) simplifies to (d0).
+        let f = Formula::or(vec![
+            lit(BP::Bit(0), true),
+            Formula::and(vec![lit(BP::Bit(0), true), lit(BP::Bit(1), true)]),
+        ]);
+        let dnf = simplify(to_dnf(&f, &BeamConfig::exhaustive(), &|_| true));
+        assert_eq!(dnf.len(), 1);
+        assert_eq!(dnf.0[0].len(), 1);
+    }
+
+    #[test]
+    fn simplify_is_semantics_preserving() {
+        let f = Formula::or(vec![
+            Formula::and(vec![lit(BP::Bit(0), true), lit(BP::Bit(1), true)]),
+            lit(BP::Bit(1), true),
+            Formula::and(vec![lit(BP::Bit(2), false), lit(BP::Bit(1), true)]),
+        ]);
+        let dnf = to_dnf(&f, &BeamConfig::exhaustive(), &|_| true);
+        let simplified = simplify(dnf);
+        assert!(semantically_equal(&f, &simplified));
+    }
+
+    #[test]
+    fn approx_respects_k_and_membership() {
+        // Three incomparable cubes; (p, d) = (0, 0b100) satisfies only the
+        // largest one (sorted last).
+        let f = Formula::or(vec![
+            lit(BP::Bit(0), true),
+            lit(BP::Bit(1), true),
+            Formula::and(vec![lit(BP::Bit(2), true), lit(BP::Bit(3), false)]),
+        ]);
+        let dnf = to_dnf(&f, &BeamConfig::exhaustive(), &|_| true);
+        let cfg = BeamConfig::with_k(1);
+        let out = approx::<BP>(&0, &0b100, dnf, &cfg).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.holds(&0, &0b100));
+        // Under-approximation: σ(out) ⊆ σ(f).
+        for p in 0..4u32 {
+            for d in 0..16u32 {
+                if out.holds(&p, &d) {
+                    assert!(f.holds(&p, &d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approx_fails_without_membership() {
+        let f = lit(BP::Bit(0), true);
+        let dnf = to_dnf(&f, &BeamConfig::exhaustive(), &|_| true);
+        assert!(approx::<BP>(&0, &0, dnf, &BeamConfig::default()).is_none());
+    }
+
+    #[test]
+    fn emergency_prune_keeps_membership() {
+        // Build a big disjunction exceeding a tiny max_cubes; the cube
+        // containing (p, d) must survive.
+        let mut parts = Vec::new();
+        for i in 0..4u8 {
+            for j in 0..4u8 {
+                parts.push(Formula::and(vec![lit(BP::Bit(i), true), lit(BP::Bit(j), true)]));
+            }
+        }
+        // (p, d) with only bit 3: satisfied only by the (d3 ∧ d3) cube.
+        let d: u32 = 0b1000;
+        let f = Formula::or(parts);
+        let cfg = BeamConfig { k: 2, max_cubes: 4 };
+        let keep = |c: &Cube<BP>| c.holds(&0u32, &d);
+        let dnf = to_dnf(&f, &cfg, &keep);
+        assert!(dnf.holds(&0, &d));
+        let out = approx::<BP>(&0, &d, dnf, &cfg).unwrap();
+        assert!(out.holds(&0, &d));
+        assert!(out.len() <= 2);
+    }
+}

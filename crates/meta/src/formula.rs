@@ -1,0 +1,335 @@
+//! Formulas over meta-analysis primitives, and their DNF representation.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A primitive formula of the meta-analysis domain `M`.
+///
+/// Primitives denote sets of pairs `(p, d)` of abstraction and forward
+/// abstract state, via [`Primitive::holds`] (the paper's `σ`). The
+/// type-state client uses `err`, `unalloc`, `var(x)`, `type(s)`,
+/// `param(x)`; the thread-escape client uses `h.o`, `v.o`, `f.o`.
+pub trait Primitive: Clone + Eq + Ord + std::hash::Hash + fmt::Debug + fmt::Display {
+    /// The abstraction parameter type `P`.
+    type Param;
+    /// The forward abstract state type `D`.
+    type State;
+
+    /// Membership in `σ(self)`.
+    fn holds(&self, p: &Self::Param, d: &Self::State) -> bool;
+
+    /// Evaluates using the state only; `None` if the primitive constrains
+    /// the parameter (then [`Primitive::param_atom`] must return `Some`).
+    fn eval_state(&self, d: &Self::State) -> Option<bool>;
+
+    /// For parameter primitives: the solver atom index and the polarity
+    /// with which the primitive asserts it (e.g. `h↦E` is `(h, false)`
+    /// because `E` is the complement of `L`).
+    fn param_atom(&self) -> Option<(usize, bool)>;
+
+    /// Syntactic implication `self ⇒ other`, used to detect subsumed
+    /// disjuncts in `simplify`. May be incomplete; defaults to equality.
+    fn implies(&self, other: &Self) -> bool {
+        self == other
+    }
+
+    /// Returns `true` if `self ∧ other` is unsatisfiable (beyond the
+    /// built-in `π ∧ ¬π` check). May be incomplete; defaults to `false`.
+    fn contradicts(&self, other: &Self) -> bool {
+        let _ = other;
+        false
+    }
+}
+
+/// A boolean formula over primitives `P`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula<P> {
+    /// Constant true (`σ = P × D`).
+    True,
+    /// Constant false (`σ = ∅`).
+    False,
+    /// A primitive.
+    Prim(P),
+    /// Negation.
+    Not(Box<Formula<P>>),
+    /// Conjunction (true if empty).
+    And(Vec<Formula<P>>),
+    /// Disjunction (false if empty).
+    Or(Vec<Formula<P>>),
+}
+
+impl<P: Primitive> Formula<P> {
+    /// A primitive formula.
+    pub fn prim(p: P) -> Self {
+        Formula::Prim(p)
+    }
+
+    /// A negated primitive.
+    pub fn nprim(p: P) -> Self {
+        Formula::Not(Box::new(Formula::Prim(p)))
+    }
+
+    /// Conjunction with constant folding.
+    pub fn and(mut parts: Vec<Formula<P>>) -> Self {
+        parts.retain(|f| *f != Formula::True);
+        if parts.iter().any(|f| *f == Formula::False) {
+            return Formula::False;
+        }
+        match parts.len() {
+            0 => Formula::True,
+            1 => parts.pop().unwrap(),
+            _ => Formula::And(parts),
+        }
+    }
+
+    /// Disjunction with constant folding.
+    pub fn or(mut parts: Vec<Formula<P>>) -> Self {
+        parts.retain(|f| *f != Formula::False);
+        if parts.iter().any(|f| *f == Formula::True) {
+            return Formula::True;
+        }
+        match parts.len() {
+            0 => Formula::False,
+            1 => parts.pop().unwrap(),
+            _ => Formula::Or(parts),
+        }
+    }
+
+    /// Negation with constant folding.
+    pub fn not(f: Formula<P>) -> Self {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Membership of `(p, d)` in `σ(self)`.
+    pub fn holds(&self, p: &P::Param, d: &P::State) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Prim(prim) => prim.holds(p, d),
+            Formula::Not(f) => !f.holds(p, d),
+            Formula::And(fs) => fs.iter().all(|f| f.holds(p, d)),
+            Formula::Or(fs) => fs.iter().any(|f| f.holds(p, d)),
+        }
+    }
+}
+
+impl<P: Primitive> fmt::Display for Formula<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Prim(p) => write!(f, "{p}"),
+            Formula::Not(inner) => write!(f, "¬{inner}"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A literal: a primitive or its negation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit<P> {
+    /// The primitive.
+    pub prim: P,
+    /// `true` for the positive literal.
+    pub pos: bool,
+}
+
+impl<P: Primitive> Lit<P> {
+    /// Membership of `(p, d)` in `σ(self)`.
+    pub fn holds(&self, p: &P::Param, d: &P::State) -> bool {
+        self.prim.holds(p, d) == self.pos
+    }
+
+    /// Syntactic implication `self ⇒ other` (incomplete).
+    pub fn implies(&self, other: &Lit<P>) -> bool {
+        match (self.pos, other.pos) {
+            (true, true) => self.prim.implies(&other.prim),
+            (false, false) => other.prim.implies(&self.prim),
+            // π ⇒ ¬π' when π contradicts π'.
+            (true, false) => self.prim.contradicts(&other.prim),
+            (false, true) => false,
+        }
+    }
+}
+
+impl<P: Primitive> fmt::Display for Lit<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pos {
+            write!(f, "{}", self.prim)
+        } else {
+            write!(f, "¬{}", self.prim)
+        }
+    }
+}
+
+/// A conjunction of literals (one DNF disjunct).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cube<P: Ord>(BTreeSet<Lit<P>>);
+
+impl<P: Primitive> Cube<P> {
+    /// The empty cube (`true`).
+    pub fn top() -> Self {
+        Cube(BTreeSet::new())
+    }
+
+    /// Inserts a literal; returns `false` if this makes the cube
+    /// syntactically unsatisfiable (contains the opposite literal, or two
+    /// contradicting positive primitives).
+    pub fn insert(&mut self, lit: Lit<P>) -> bool {
+        let clash = self.0.iter().any(|l| {
+            (l.prim == lit.prim && l.pos != lit.pos)
+                || (l.pos && lit.pos && l.prim.contradicts(&lit.prim))
+        });
+        if clash {
+            return false;
+        }
+        self.0.insert(lit);
+        true
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the cube is the constant `true`.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over the literals.
+    pub fn lits(&self) -> impl Iterator<Item = &Lit<P>> {
+        self.0.iter()
+    }
+
+    /// Membership of `(p, d)` in `σ(self)`.
+    pub fn holds(&self, p: &P::Param, d: &P::State) -> bool {
+        self.0.iter().all(|l| l.holds(p, d))
+    }
+
+    /// Conjunction of two cubes; `None` if syntactically unsatisfiable.
+    pub fn conjoin(&self, other: &Cube<P>) -> Option<Cube<P>> {
+        let mut out = self.clone();
+        for l in other.lits() {
+            if !out.insert(l.clone()) {
+                return None;
+            }
+        }
+        Some(out)
+    }
+
+    /// Syntactic implication `self ⇒ other`: every literal of `other` is
+    /// implied by some literal of `self` (the paper's `⊑` order).
+    pub fn implies(&self, other: &Cube<P>) -> bool {
+        other
+            .0
+            .iter()
+            .all(|lo| self.0.iter().any(|ls| ls.implies(lo)))
+    }
+}
+
+impl<P: Primitive> fmt::Display for Cube<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, l) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A formula in disjunctive normal form: a disjunction of [`Cube`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Dnf<P: Ord>(pub Vec<Cube<P>>);
+
+impl<P: Primitive> Dnf<P> {
+    /// The constant `false`.
+    pub fn bottom() -> Self {
+        Dnf(Vec::new())
+    }
+
+    /// Number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the DNF is the constant `false`.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership of `(p, d)` in `σ(self)`.
+    pub fn holds(&self, p: &P::Param, d: &P::State) -> bool {
+        self.0.iter().any(|c| c.holds(p, d))
+    }
+
+    /// Converts back to a tree [`Formula`].
+    pub fn to_formula(&self) -> Formula<P> {
+        Formula::or(
+            self.0
+                .iter()
+                .map(|c| {
+                    Formula::and(
+                        c.lits()
+                            .map(|l| {
+                                if l.pos {
+                                    Formula::prim(l.prim.clone())
+                                } else {
+                                    Formula::nprim(l.prim.clone())
+                                }
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<P: Primitive> fmt::Display for Dnf<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "false");
+        }
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            if c.len() > 1 && self.0.len() > 1 {
+                write!(f, "({c})")?;
+            } else {
+                write!(f, "{c}")?;
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,186 @@
+//! Tseitin transformation of [`PFormula`]s into CNF.
+
+use crate::PFormula;
+
+/// A literal in DIMACS style: variable index and polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lit {
+    /// Variable index (original atoms first, then Tseitin auxiliaries).
+    pub var: usize,
+    /// Polarity.
+    pub pos: bool,
+}
+
+impl Lit {
+    /// The opposite literal.
+    pub fn negated(self) -> Lit {
+        Lit { var: self.var, pos: !self.pos }
+    }
+}
+
+/// A CNF instance: clauses over `n_vars` variables, the first `n_atoms` of
+/// which are the original parameter atoms.
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    /// Total variable count (atoms + auxiliaries).
+    pub n_vars: usize,
+    /// Clauses (disjunctions of literals).
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates an empty CNF over the `n_atoms` original atoms.
+    pub fn new(n_atoms: usize) -> Cnf {
+        Cnf { n_vars: n_atoms, clauses: Vec::new() }
+    }
+
+    fn fresh(&mut self) -> usize {
+        let v = self.n_vars;
+        self.n_vars += 1;
+        v
+    }
+
+    /// Adds `formula` as a hard constraint (must be true).
+    ///
+    /// Uses the Tseitin encoding: each compound subformula gets an
+    /// auxiliary variable constrained to be *equivalent* to it, so unit
+    /// propagation fully determines auxiliaries once atoms are assigned.
+    pub fn require(&mut self, formula: &PFormula) {
+        match self.encode(formula) {
+            Enc::Const(true) => {}
+            Enc::Const(false) => self.clauses.push(Vec::new()), // unsatisfiable
+            Enc::Lit(l) => self.clauses.push(vec![l]),
+        }
+    }
+
+    fn encode(&mut self, f: &PFormula) -> Enc {
+        match f {
+            PFormula::True => Enc::Const(true),
+            PFormula::False => Enc::Const(false),
+            PFormula::Lit { atom, pos } => Enc::Lit(Lit { var: *atom, pos: *pos }),
+            PFormula::Not(inner) => match self.encode(inner) {
+                Enc::Const(b) => Enc::Const(!b),
+                Enc::Lit(l) => Enc::Lit(l.negated()),
+            },
+            PFormula::And(parts) => {
+                let mut lits = Vec::new();
+                for p in parts {
+                    match self.encode(p) {
+                        Enc::Const(false) => return Enc::Const(false),
+                        Enc::Const(true) => {}
+                        Enc::Lit(l) => lits.push(l),
+                    }
+                }
+                match lits.len() {
+                    0 => Enc::Const(true),
+                    1 => Enc::Lit(lits[0]),
+                    _ => {
+                        // aux <-> AND(lits)
+                        let aux = self.fresh();
+                        let a = Lit { var: aux, pos: true };
+                        for &l in &lits {
+                            self.clauses.push(vec![a.negated(), l]);
+                        }
+                        let mut big: Vec<Lit> = lits.iter().map(|l| l.negated()).collect();
+                        big.push(a);
+                        self.clauses.push(big);
+                        Enc::Lit(a)
+                    }
+                }
+            }
+            PFormula::Or(parts) => {
+                let mut lits = Vec::new();
+                for p in parts {
+                    match self.encode(p) {
+                        Enc::Const(true) => return Enc::Const(true),
+                        Enc::Const(false) => {}
+                        Enc::Lit(l) => lits.push(l),
+                    }
+                }
+                match lits.len() {
+                    0 => Enc::Const(false),
+                    1 => Enc::Lit(lits[0]),
+                    _ => {
+                        // aux <-> OR(lits)
+                        let aux = self.fresh();
+                        let a = Lit { var: aux, pos: true };
+                        for &l in &lits {
+                            self.clauses.push(vec![a, l.negated()]);
+                        }
+                        let mut big = lits;
+                        big.push(a.negated());
+                        self.clauses.push(big);
+                        Enc::Lit(a)
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum Enc {
+    Const(bool),
+    Lit(Lit),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force check: CNF (projected to atoms) has the same models as
+    /// the original formula.
+    fn equisatisfiable_on_atoms(f: &PFormula, n_atoms: usize) {
+        let mut cnf = Cnf::new(n_atoms);
+        cnf.require(f);
+        for bits in 0..(1u32 << n_atoms) {
+            let atoms: Vec<bool> = (0..n_atoms).map(|i| (bits >> i) & 1 == 1).collect();
+            let want = f.eval(&atoms);
+            // Try all auxiliary extensions.
+            let n_aux = cnf.n_vars - n_atoms;
+            let mut any = false;
+            for aux_bits in 0..(1u32 << n_aux) {
+                let mut full = atoms.clone();
+                full.extend((0..n_aux).map(|i| (aux_bits >> i) & 1 == 1));
+                let sat = cnf.clauses.iter().all(|cl| {
+                    cl.iter().any(|l| full[l.var] == l.pos)
+                });
+                if sat {
+                    any = true;
+                    break;
+                }
+            }
+            assert_eq!(any, want, "mismatch at atoms {atoms:?} for {f:?}");
+        }
+    }
+
+    #[test]
+    fn tseitin_preserves_models() {
+        use PFormula as F;
+        let cases = vec![
+            F::lit(0, true),
+            F::not(F::lit(1, true)),
+            F::and(vec![F::lit(0, true), F::lit(1, false)]),
+            F::or(vec![F::lit(0, true), F::lit(1, true), F::lit(2, false)]),
+            F::not(F::or(vec![
+                F::and(vec![F::lit(0, true), F::lit(1, true)]),
+                F::lit(2, true),
+            ])),
+            F::and(vec![
+                F::or(vec![F::lit(0, true), F::lit(1, true)]),
+                F::or(vec![F::lit(0, false), F::lit(2, true)]),
+            ]),
+        ];
+        for f in cases {
+            equisatisfiable_on_atoms(&f, 3);
+        }
+    }
+
+    #[test]
+    fn constants() {
+        let mut cnf = Cnf::new(1);
+        cnf.require(&PFormula::True);
+        assert!(cnf.clauses.is_empty());
+        cnf.require(&PFormula::False);
+        assert!(cnf.clauses.iter().any(|c| c.is_empty()));
+    }
+}

@@ -1,0 +1,366 @@
+//! DPLL with unit propagation and cost-pruning branch and bound.
+
+use crate::cnf::Cnf;
+use crate::PFormula;
+
+/// A satisfying assignment together with its cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    /// Truth value per original atom.
+    pub assignment: Vec<bool>,
+    /// Total cost of the atoms set to true.
+    pub cost: u64,
+}
+
+/// Finds minimum-cost models of a conjunction of [`PFormula`] constraints.
+///
+/// Atom `i` set to true contributes `costs[i]`; false atoms are free. The
+/// search is complete: [`MinCostSolver::solve`] returns a model of
+/// globally minimal cost, or `None` when the constraints are
+/// unsatisfiable (TRACER's *impossibility* outcome).
+///
+/// # Examples
+///
+/// ```
+/// use pda_solver::{MinCostSolver, PFormula};
+/// let mut s = MinCostSolver::new(2, vec![5, 1]);
+/// s.require(PFormula::or(vec![PFormula::lit(0, true), PFormula::lit(1, true)]));
+/// assert_eq!(s.solve().unwrap().assignment, vec![false, true]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinCostSolver {
+    n_atoms: usize,
+    costs: Vec<u64>,
+    constraints: Vec<PFormula>,
+}
+
+impl MinCostSolver {
+    /// Creates a solver over `n_atoms` atoms with the given true-costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs.len() != n_atoms`.
+    pub fn new(n_atoms: usize, costs: Vec<u64>) -> MinCostSolver {
+        assert_eq!(costs.len(), n_atoms, "one cost per atom required");
+        MinCostSolver { n_atoms, costs, constraints: Vec::new() }
+    }
+
+    /// Uniform cost 1 per atom (the paper's `|p|` cost preorders).
+    pub fn with_unit_costs(n_atoms: usize) -> MinCostSolver {
+        MinCostSolver::new(n_atoms, vec![1; n_atoms])
+    }
+
+    /// Adds a hard constraint.
+    pub fn require(&mut self, f: PFormula) {
+        self.constraints.push(f);
+    }
+
+    /// The constraints added so far.
+    pub fn constraints(&self) -> &[PFormula] {
+        &self.constraints
+    }
+
+    /// Number of atoms.
+    pub fn n_atoms(&self) -> usize {
+        self.n_atoms
+    }
+
+    /// Finds a minimum-cost model, or `None` if unsatisfiable.
+    pub fn solve(&self) -> Option<Model> {
+        let mut cnf = Cnf::new(self.n_atoms);
+        for c in &self.constraints {
+            cnf.require(c);
+        }
+        if cnf.clauses.iter().any(|c| c.is_empty()) {
+            return None;
+        }
+        let mut search = Search {
+            n_atoms: self.n_atoms,
+            costs: &self.costs,
+            clauses: &cnf.clauses,
+            assign: vec![None; cnf.n_vars],
+            trail: Vec::new(),
+            cost: 0,
+            best: None,
+        };
+        search.dfs();
+        search.best.map(|(cost, assignment)| Model { assignment, cost })
+    }
+
+    /// Exhaustive reference solver (exponential); used to validate
+    /// [`MinCostSolver::solve`] in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than 20 atoms.
+    pub fn solve_brute(&self) -> Option<Model> {
+        assert!(self.n_atoms <= 20, "brute force limited to 20 atoms");
+        let mut best: Option<Model> = None;
+        for bits in 0..(1u64 << self.n_atoms) {
+            let assignment: Vec<bool> = (0..self.n_atoms).map(|i| (bits >> i) & 1 == 1).collect();
+            if self.constraints.iter().all(|c| c.eval(&assignment)) {
+                let cost = assignment
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &b)| b)
+                    .map(|(i, _)| self.costs[i])
+                    .sum();
+                if best.as_ref().is_none_or(|b| cost < b.cost) {
+                    best = Some(Model { assignment, cost });
+                }
+            }
+        }
+        best
+    }
+}
+
+struct Search<'a> {
+    n_atoms: usize,
+    costs: &'a [u64],
+    clauses: &'a [Vec<crate::cnf::Lit>],
+    assign: Vec<Option<bool>>,
+    trail: Vec<usize>,
+    cost: u64,
+    best: Option<(u64, Vec<bool>)>,
+}
+
+impl Search<'_> {
+    fn set(&mut self, var: usize, value: bool) {
+        debug_assert!(self.assign[var].is_none());
+        self.assign[var] = Some(value);
+        self.trail.push(var);
+        if value && var < self.n_atoms {
+            self.cost += self.costs[var];
+        }
+    }
+
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let var = self.trail.pop().unwrap();
+            if self.assign[var] == Some(true) && var < self.n_atoms {
+                self.cost -= self.costs[var];
+            }
+            self.assign[var] = None;
+        }
+    }
+
+    /// Admissible lower bound on the cost of any completion: the current
+    /// cost plus, for a greedily-chosen set of *variable-disjoint*
+    /// unsatisfied clauses whose only unassigned literals are positive
+    /// cost-bearing ones, the cheapest literal of each. Such clauses each
+    /// force at least one distinct true assignment.
+    fn lower_bound(&self) -> u64 {
+        let mut lb = self.cost;
+        let mut used = vec![false; self.assign.len()];
+        'clauses: for clause in self.clauses {
+            let mut cheapest: Option<u64> = None;
+            for l in clause {
+                match self.assign[l.var] {
+                    Some(v) if v == l.pos => continue 'clauses, // satisfied
+                    Some(_) => {}
+                    None => {
+                        if !l.pos || l.var >= self.n_atoms || used[l.var] {
+                            continue 'clauses; // free/overlapping way out
+                        }
+                        let c = self.costs[l.var];
+                        cheapest = Some(cheapest.map_or(c, |b: u64| b.min(c)));
+                    }
+                }
+            }
+            if let Some(c) = cheapest {
+                for l in clause {
+                    if self.assign[l.var].is_none() {
+                        used[l.var] = true;
+                    }
+                }
+                lb += c;
+            }
+        }
+        lb
+    }
+
+    /// Runs unit propagation to fixpoint. Returns `false` on conflict.
+    fn propagate(&mut self) -> bool {
+        loop {
+            let mut changed = false;
+            for clause in self.clauses {
+                let mut satisfied = false;
+                let mut unassigned = None;
+                let mut n_unassigned = 0;
+                for l in clause {
+                    match self.assign[l.var] {
+                        Some(v) if v == l.pos => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            n_unassigned += 1;
+                            unassigned = Some(*l);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match n_unassigned {
+                    0 => return false,
+                    1 => {
+                        let l = unassigned.unwrap();
+                        self.set(l.var, l.pos);
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    /// Picks the branching variable: an unassigned variable of an
+    /// unsatisfied clause; `None` when every clause is satisfied.
+    fn pick(&self) -> Option<usize> {
+        for clause in self.clauses {
+            let satisfied = clause
+                .iter()
+                .any(|l| self.assign[l.var] == Some(l.pos));
+            if satisfied {
+                continue;
+            }
+            for l in clause {
+                if self.assign[l.var].is_none() {
+                    return Some(l.var);
+                }
+            }
+        }
+        None
+    }
+
+    fn record_model(&mut self) {
+        let assignment: Vec<bool> = (0..self.n_atoms)
+            .map(|i| self.assign[i] == Some(true))
+            .collect();
+        if self.best.as_ref().is_none_or(|(c, _)| self.cost < *c) {
+            self.best = Some((self.cost, assignment));
+        }
+    }
+
+    fn dfs(&mut self) {
+        let mark = self.trail.len();
+        if !self.propagate() {
+            self.undo_to(mark);
+            return;
+        }
+        if self.best.as_ref().is_some_and(|(c, _)| self.lower_bound() >= *c) {
+            self.undo_to(mark);
+            return;
+        }
+        match self.pick() {
+            None => {
+                // All clauses satisfied; unassigned atoms default to false
+                // (zero cost), which can only help.
+                self.record_model();
+                self.undo_to(mark);
+            }
+            Some(var) => {
+                for value in [false, true] {
+                    let inner = self.trail.len();
+                    self.set(var, value);
+                    self.dfs();
+                    self.undo_to(inner);
+                }
+                self.undo_to(mark);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_constraints_give_all_false() {
+        let s = MinCostSolver::with_unit_costs(4);
+        let m = s.solve().unwrap();
+        assert_eq!(m.cost, 0);
+        assert_eq!(m.assignment, vec![false; 4]);
+    }
+
+    #[test]
+    fn unsat_detected() {
+        let mut s = MinCostSolver::with_unit_costs(1);
+        s.require(PFormula::lit(0, true));
+        s.require(PFormula::lit(0, false));
+        assert_eq!(s.solve(), None);
+    }
+
+    #[test]
+    fn picks_cheapest_of_alternatives() {
+        let mut s = MinCostSolver::new(3, vec![10, 3, 4]);
+        s.require(PFormula::or(vec![
+            PFormula::lit(0, true),
+            PFormula::and(vec![PFormula::lit(1, true), PFormula::lit(2, true)]),
+        ]));
+        let m = s.solve().unwrap();
+        assert_eq!(m.cost, 7);
+        assert_eq!(m.assignment, vec![false, true, true]);
+    }
+
+    #[test]
+    fn negated_compound_constraint() {
+        // ¬(x0 ∧ ¬x1): forbids x0 without x1.
+        let mut s = MinCostSolver::with_unit_costs(2);
+        s.require(PFormula::not(PFormula::and(vec![
+            PFormula::lit(0, true),
+            PFormula::lit(1, false),
+        ])));
+        s.require(PFormula::lit(0, true));
+        let m = s.solve().unwrap();
+        assert_eq!(m.assignment, vec![true, true]);
+    }
+
+    fn arb_formula(n_atoms: usize, depth: u32) -> impl Strategy<Value = PFormula> {
+        let leaf = prop_oneof![
+            (0..n_atoms, any::<bool>()).prop_map(|(a, p)| PFormula::lit(a, p)),
+            Just(PFormula::True),
+            Just(PFormula::False),
+        ];
+        leaf.prop_recursive(depth, 64, 4, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 1..4).prop_map(PFormula::And),
+                prop::collection::vec(inner.clone(), 1..4).prop_map(PFormula::Or),
+                inner.prop_map(|f| PFormula::Not(Box::new(f))),
+            ]
+        })
+    }
+
+    proptest! {
+        /// The DPLL branch-and-bound agrees with brute force on
+        /// satisfiability and on optimal cost.
+        #[test]
+        fn solve_matches_brute_force(
+            fs in prop::collection::vec(arb_formula(5, 3), 0..4),
+            costs in prop::collection::vec(1u64..6, 5),
+        ) {
+            let mut s = MinCostSolver::new(5, costs);
+            for f in fs {
+                s.require(f);
+            }
+            let fast = s.solve();
+            let brute = s.solve_brute();
+            match (fast, brute) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.cost, b.cost);
+                    // The returned model must actually satisfy everything.
+                    prop_assert!(s.constraints().iter().all(|c| c.eval(&a.assignment)));
+                }
+                (a, b) => prop_assert!(false, "disagree: fast={a:?} brute={b:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! Deterministic, seeded generator of Jaylite benchmark programs.
+//!
+//! Substitutes for the paper's Java benchmark suite (DESIGN.md §2): each
+//! configuration produces a program with a synthetic "library" layer
+//! (classes/functions prefixed `Lib`/`lib_`, the JDK stand-in: analyzed
+//! but not queried) and an "application" layer, wired with the structural
+//! motifs that make the paper's two analyses interesting — aliasing
+//! chains (must-alias tracking), container stores (escape joins), global
+//! publication and thread spawns (escape), loops, and call chains
+//! (context sensitivity).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Structural knobs for one generated benchmark.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Benchmark name (the paper's suite names).
+    pub name: String,
+    /// RNG seed; everything else equal, the same seed regenerates the
+    /// same program byte for byte.
+    pub seed: u64,
+    /// Number of library classes.
+    pub lib_classes: usize,
+    /// Number of application classes.
+    pub app_classes: usize,
+    /// Number of application free functions (besides `main`).
+    pub app_funcs: usize,
+    /// Methods per class.
+    pub methods_per_class: usize,
+    /// Statement budget per function body.
+    pub stmts_per_body: usize,
+    /// Fields per class.
+    pub fields_per_class: usize,
+    /// Local variables declared per function.
+    pub vars_per_fn: usize,
+    /// Number of global (static) variables.
+    pub globals: usize,
+    /// Percent chance a statement slot publishes to a global.
+    pub publish_pct: u32,
+    /// Percent chance a statement slot spawns a thread.
+    pub spawn_pct: u32,
+    /// Percent chance of a branch at a statement slot.
+    pub branch_pct: u32,
+    /// Percent chance of a loop at a statement slot.
+    pub loop_pct: u32,
+    /// Percent chance of a call at a statement slot.
+    pub call_pct: u32,
+    /// Percent chance of the resource-protocol motif at a statement slot.
+    pub protocol_pct: u32,
+    /// Length of the alias chains in protocol motifs. Proving a chained
+    /// release needs every chain variable tracked, so this drives the
+    /// growth of cheapest type-state abstractions with benchmark size
+    /// (the paper's Table 3).
+    pub alias_chain: usize,
+}
+
+impl GenConfig {
+    /// A named configuration with derived defaults for the minor knobs.
+    pub fn named(
+        name: &str,
+        seed: u64,
+        lib_classes: usize,
+        app_classes: usize,
+        app_funcs: usize,
+        methods_per_class: usize,
+        stmts_per_body: usize,
+    ) -> GenConfig {
+        GenConfig {
+            name: name.to_string(),
+            seed,
+            lib_classes,
+            app_classes,
+            app_funcs,
+            methods_per_class,
+            stmts_per_body,
+            fields_per_class: 2,
+            vars_per_fn: stmts_per_body / 2 + 3,
+            globals: 2,
+            publish_pct: 11,
+            spawn_pct: 3,
+            branch_pct: 14,
+            loop_pct: 8,
+            call_pct: 28,
+            protocol_pct: 7,
+            alias_chain: (app_funcs / 4).clamp(1, 4),
+        }
+    }
+}
+
+struct Gen {
+    cfg: GenConfig,
+    rng: SmallRng,
+    out: String,
+    /// Counter for protocol-motif occurrences (fresh variable names).
+    n_proto: u32,
+}
+
+/// Generates the benchmark's Jaylite source text.
+///
+/// The output always parses and resolves (asserted by the suite's tests);
+/// `main` reaches every application function.
+pub fn generate_source(cfg: &GenConfig) -> String {
+    let mut g = Gen {
+        cfg: cfg.clone(),
+        rng: SmallRng::seed_from_u64(cfg.seed),
+        out: String::new(),
+        n_proto: 0,
+    };
+    g.emit();
+    g.out
+}
+
+impl Gen {
+    fn pct(&mut self, p: u32) -> bool {
+        self.rng.gen_range(0..100) < p
+    }
+
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.rng.gen_range(0..xs.len())]
+    }
+
+    fn class_names(&self) -> Vec<String> {
+        let lib = (0..self.cfg.lib_classes).map(|i| format!("Lib{i}"));
+        let app = (0..self.cfg.app_classes).map(|i| format!("C{i}"));
+        lib.chain(app).collect()
+    }
+
+    fn app_class_names(&self) -> Vec<String> {
+        (0..self.cfg.app_classes).map(|i| format!("C{i}")).collect()
+    }
+
+    fn field_names(&self, class: usize, is_lib: bool) -> Vec<String> {
+        let tag = if is_lib { "lf" } else { "f" };
+        (0..self.cfg.fields_per_class)
+            .map(|j| format!("{tag}{class}_{j}"))
+            .collect()
+    }
+
+    fn all_field_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for c in 0..self.cfg.lib_classes {
+            out.extend(self.field_names(c, true));
+        }
+        for c in 0..self.cfg.app_classes {
+            out.extend(self.field_names(c, false));
+        }
+        out
+    }
+
+    fn emit(&mut self) {
+        let globals: Vec<String> = (0..self.cfg.globals).map(|i| format!("g{i}")).collect();
+        writeln!(self.out, "// benchmark `{}` (seed {})", self.cfg.name, self.cfg.seed).unwrap();
+        writeln!(self.out, "global {};", globals.join(", ")).unwrap();
+
+        // A resource class with a real type-state protocol (the automaton
+        // analogue of Figure 1's File), exercised by the protocol motif in
+        // function bodies and by the automaton-mode experiments.
+        writeln!(self.out, "class Res {{ fn acquire(); fn release(); }}").unwrap();
+        writeln!(self.out, "typestate Res {{").unwrap();
+        writeln!(self.out, "    init idle;").unwrap();
+        writeln!(self.out, "    idle -> acquire -> busy;").unwrap();
+        writeln!(self.out, "    busy -> release -> idle;").unwrap();
+        writeln!(self.out, "    busy -> acquire -> error;").unwrap();
+        writeln!(self.out, "    idle -> release -> error;").unwrap();
+        writeln!(self.out, "}}").unwrap();
+
+        // Library classes: methods shuffle their own fields, never publish.
+        for c in 0..self.cfg.lib_classes {
+            let fields = self.field_names(c, true);
+            writeln!(self.out, "class Lib{c} {{").unwrap();
+            writeln!(self.out, "    field {};", fields.join(", ")).unwrap();
+            for m in 0..self.cfg.methods_per_class {
+                writeln!(self.out, "    fn lib_m{c}_{m}(x) {{").unwrap();
+                let fld = self.pick(&fields).clone();
+                let fld2 = self.pick(&fields).clone();
+                writeln!(self.out, "        var t;").unwrap();
+                writeln!(self.out, "        this.{fld} = x;").unwrap();
+                writeln!(self.out, "        t = this.{fld2};").unwrap();
+                writeln!(self.out, "        return t;").unwrap();
+                writeln!(self.out, "    }}").unwrap();
+            }
+            writeln!(self.out, "}}").unwrap();
+        }
+
+        // Application classes.
+        for c in 0..self.cfg.app_classes {
+            let fields = self.field_names(c, false);
+            writeln!(self.out, "class C{c} {{").unwrap();
+            writeln!(self.out, "    field {};", fields.join(", ")).unwrap();
+            for m in 0..self.cfg.methods_per_class {
+                writeln!(self.out, "    fn m{c}_{m}(x) {{").unwrap();
+                writeln!(self.out, "        var t, u;").unwrap();
+                // Method bodies: field traffic on `this` plus a little
+                // fresh allocation; a few store the argument (container
+                // motif), which is what makes escape queries interesting.
+                let fld = self.pick(&fields).clone();
+                let fld2 = self.pick(&fields).clone();
+                match self.rng.gen_range(0..5) {
+                    0 => {
+                        writeln!(self.out, "        this.{fld} = x;").unwrap();
+                        writeln!(self.out, "        t = this.{fld2};").unwrap();
+                    }
+                    4 => {
+                        // Chained virtual call on the argument.
+                        let c2 = self.rng.gen_range(0..self.cfg.app_classes);
+                        let m2 = self.rng.gen_range(0..self.cfg.methods_per_class);
+                        writeln!(self.out, "        t = this.{fld};").unwrap();
+                        writeln!(self.out, "        x.m{c2}_{m2}(t);").unwrap();
+                    }
+                    1 => {
+                        let cls = self.pick(&self.class_names()).clone();
+                        writeln!(self.out, "        t = new {cls};").unwrap();
+                        writeln!(self.out, "        this.{fld} = t;").unwrap();
+                    }
+                    2 => {
+                        writeln!(self.out, "        t = this.{fld};").unwrap();
+                        writeln!(self.out, "        u = x;").unwrap();
+                        writeln!(self.out, "        this.{fld2} = u;").unwrap();
+                    }
+                    _ => {
+                        writeln!(self.out, "        t = x;").unwrap();
+                        writeln!(self.out, "        u = t;").unwrap();
+                        writeln!(self.out, "        this.{fld} = u;").unwrap();
+                    }
+                }
+                writeln!(self.out, "        return t;").unwrap();
+                writeln!(self.out, "    }}").unwrap();
+            }
+            writeln!(self.out, "}}").unwrap();
+        }
+
+        // Application functions funN; each calls only lower-numbered
+        // functions, so the call graph is acyclic and fully reachable.
+        for fi in 0..self.cfg.app_funcs {
+            self.emit_fn(fi);
+        }
+        self.emit_main();
+    }
+
+    fn var_list(&self) -> Vec<String> {
+        (0..self.cfg.vars_per_fn).map(|i| format!("v{i}")).collect()
+    }
+
+    fn emit_fn(&mut self, fi: usize) {
+        let vars = self.var_list();
+        writeln!(self.out, "fn fun{fi}(a0, a1) {{").unwrap();
+        writeln!(self.out, "    var {};", vars.join(", ")).unwrap();
+        let mut scope: Vec<String> = vars;
+        scope.push("a0".into());
+        scope.push("a1".into());
+        // Ensure the leading locals hold fresh objects up front: these are
+        // preferred as call receivers and field bases, so queries have
+        // concrete allocation sites behind them.
+        for i in 0..4.min(scope.len()) {
+            let cls = self.pick(&self.app_class_names()).clone();
+            writeln!(self.out, "    {} = new {cls};", scope[i]).unwrap();
+        }
+        // Every other function exercises the resource protocol, so the
+        // automaton experiments always have queries.
+        if fi % 2 == 0 && scope.len() >= 6 {
+            let v = scope[4].clone();
+            let w = scope[5].clone();
+            self.emit_protocol(&v, &w, "    ");
+        }
+        let budget = self.cfg.stmts_per_body;
+        self.emit_stmts(fi, &scope, budget, 1);
+        let ret = self.pick(&scope).clone();
+        writeln!(self.out, "    return {ret};").unwrap();
+        writeln!(self.out, "}}").unwrap();
+    }
+
+    fn emit_main(&mut self) {
+        let vars = self.var_list();
+        writeln!(self.out, "fn main() {{").unwrap();
+        writeln!(self.out, "    var {};", vars.join(", ")).unwrap();
+        let scope = vars;
+        for i in 0..4.min(scope.len()) {
+            let cls = self.pick(&self.app_class_names()).clone();
+            writeln!(self.out, "    {} = new {cls};", scope[i]).unwrap();
+        }
+        // Call every application function at least once so the whole
+        // program is reachable.
+        for fi in 0..self.cfg.app_funcs {
+            let dst = self.pick(&scope).clone();
+            let x = self.pick(&scope).clone();
+            let y = self.pick(&scope).clone();
+            writeln!(self.out, "    {dst} = fun{fi}({x}, {y});").unwrap();
+        }
+        let budget = self.cfg.stmts_per_body;
+        self.emit_stmts(self.cfg.app_funcs, &scope, budget, 1);
+        writeln!(self.out, "}}").unwrap();
+    }
+
+    /// Protocol motif: acquire/release a resource, sometimes through an
+    /// alias chain (proving the release then needs every chain variable
+    /// in the must-alias abstraction), sometimes buggy (provably
+    /// impossible). Chain variables are declared fresh per occurrence.
+    fn emit_protocol(&mut self, _v: &str, _w: &str, indent: &str) {
+        let id = self.n_proto;
+        self.n_proto += 1;
+        let len = self.rng.gen_range(1..=self.cfg.alias_chain);
+        let q = |i: usize| format!("q{id}_{i}");
+        let decls: Vec<String> = (0..=len).map(&q).collect();
+        writeln!(self.out, "{indent}var {};", decls.join(", ")).unwrap();
+        writeln!(self.out, "{indent}{} = new Res;", q(0)).unwrap();
+        writeln!(self.out, "{indent}{}.acquire();", q(0)).unwrap();
+        match self.rng.gen_range(0..4) {
+            0 => writeln!(self.out, "{indent}{}.release();", q(0)).unwrap(),
+            1 => {
+                // Correct use through an alias chain.
+                for i in 1..=len {
+                    writeln!(self.out, "{indent}{} = {};", q(i), q(i - 1)).unwrap();
+                }
+                writeln!(self.out, "{indent}{}.release();", q(len)).unwrap();
+            }
+            2 => {
+                // Double acquire: a protocol violation.
+                writeln!(self.out, "{indent}{}.acquire();", q(0)).unwrap();
+            }
+            _ => {
+                writeln!(self.out, "{indent}if (*) {{").unwrap();
+                writeln!(self.out, "{indent}    {}.release();", q(0)).unwrap();
+                writeln!(self.out, "{indent}}}").unwrap();
+                writeln!(self.out, "{indent}{}.release();", q(0)).unwrap();
+            }
+        }
+    }
+
+    /// Emits about `budget` statements into the current body.
+    /// `fi` bounds which functions may be called (strictly lower).
+    fn emit_stmts(&mut self, fi: usize, scope: &[String], budget: usize, depth: usize) {
+        let indent = "    ".repeat(depth);
+        let mut left = budget;
+        while left > 0 {
+            left -= 1;
+            let v = self.pick(scope).clone();
+            let w = self.pick(scope).clone();
+            if depth < 3 && self.pct(self.cfg.branch_pct) && left >= 2 {
+                writeln!(self.out, "{indent}if (*) {{").unwrap();
+                self.emit_stmts(fi, scope, 2, depth + 1);
+                writeln!(self.out, "{indent}}} else {{").unwrap();
+                self.emit_stmts(fi, scope, 1, depth + 1);
+                writeln!(self.out, "{indent}}}").unwrap();
+                left = left.saturating_sub(3);
+                continue;
+            }
+            if depth < 3 && self.pct(self.cfg.loop_pct) && left >= 1 {
+                writeln!(self.out, "{indent}while (*) {{").unwrap();
+                self.emit_stmts(fi, scope, 2, depth + 1);
+                writeln!(self.out, "{indent}}}").unwrap();
+                left = left.saturating_sub(2);
+                continue;
+            }
+            if self.pct(self.cfg.call_pct) {
+                if fi > 0 && self.rng.gen_bool(0.5) {
+                    let target = self.rng.gen_range(0..fi);
+                    writeln!(self.out, "{indent}{v} = fun{target}({w}, {v});").unwrap();
+                } else {
+                    // Virtual call: method of a random class; dispatch is
+                    // decided by what the receiver actually points to.
+                    // Prefer the leading (object-initialized) locals as
+                    // receivers so dispatch targets exist.
+                    let recv = scope[self.rng.gen_range(0..4.min(scope.len()))].clone();
+                    let c = self.rng.gen_range(0..self.cfg.app_classes);
+                    let m = self.rng.gen_range(0..self.cfg.methods_per_class);
+                    if self.rng.gen_bool(0.2) && self.cfg.lib_classes > 0 {
+                        let lc = self.rng.gen_range(0..self.cfg.lib_classes);
+                        let lm = self.rng.gen_range(0..self.cfg.methods_per_class);
+                        writeln!(self.out, "{indent}{recv}.lib_m{lc}_{lm}({w});").unwrap();
+                    } else if self.rng.gen_bool(0.5) {
+                        writeln!(self.out, "{indent}{recv}.m{c}_{m}({w});").unwrap();
+                    } else {
+                        writeln!(self.out, "{indent}{v} = {recv}.m{c}_{m}({w});").unwrap();
+                    }
+                }
+                continue;
+            }
+            if self.pct(self.cfg.publish_pct) {
+                let gi = self.rng.gen_range(0..self.cfg.globals);
+                // Publish one of the object-holding leading locals half the
+                // time, so some queried objects genuinely escape (the
+                // paper's "impossible to prove" bucket).
+                let pv = if self.rng.gen_bool(0.5) {
+                    scope[self.rng.gen_range(0..4.min(scope.len()))].clone()
+                } else {
+                    v.clone()
+                };
+                if self.rng.gen_bool(0.6) {
+                    writeln!(self.out, "{indent}g{gi} = {pv};").unwrap();
+                    // Accessing a just-published object: such queries are
+                    // provably impossible — the paper's second bucket.
+                    if self.rng.gen_bool(0.8) {
+                        let fld = self.pick(&self.all_field_names()).clone();
+                        writeln!(self.out, "{indent}{v} = {pv}.{fld};").unwrap();
+                    }
+                } else {
+                    writeln!(self.out, "{indent}{v} = g{gi};").unwrap();
+                }
+                continue;
+            }
+            if self.pct(self.cfg.spawn_pct) {
+                writeln!(self.out, "{indent}spawn {v};").unwrap();
+                continue;
+            }
+            if self.pct(self.cfg.protocol_pct) && left >= 2 {
+                self.emit_protocol(&v, &w, &indent);
+                left = left.saturating_sub(3);
+                continue;
+            }
+            // Plain data statements; field traffic on the leading
+            // (object-holding) locals dominates, mirroring real code.
+            let base = scope[self.rng.gen_range(0..4.min(scope.len()))].clone();
+            match self.rng.gen_range(0..7) {
+                0 => {
+                    let cls = self.pick(&self.class_names()).clone();
+                    writeln!(self.out, "{indent}{v} = new {cls};").unwrap();
+                }
+                1 => writeln!(self.out, "{indent}{v} = {w};").unwrap(),
+                2 | 3 => {
+                    let fld = self.pick(&self.all_field_names()).clone();
+                    writeln!(self.out, "{indent}{base}.{fld} = {w};").unwrap();
+                }
+                4 | 5 => {
+                    let fld = self.pick(&self.all_field_names()).clone();
+                    writeln!(self.out, "{indent}{v} = {base}.{fld};").unwrap();
+                }
+                _ => writeln!(self.out, "{indent}{v} = null;").unwrap(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::named("t", 42, 1, 2, 3, 2, 5);
+        assert_eq!(generate_source(&cfg), generate_source(&cfg));
+        let cfg2 = GenConfig { seed: 43, ..cfg.clone() };
+        assert_ne!(generate_source(&cfg), generate_source(&cfg2));
+    }
+
+    #[test]
+    fn every_suite_benchmark_parses_and_resolves() {
+        for cfg in crate::suite() {
+            let src = generate_source(&cfg);
+            let program = pda_lang::parse_program(&src)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{src}", cfg.name));
+            assert!(program.sites.len() > 3, "{} too small", cfg.name);
+            assert!(program.methods.len() > 5, "{} too small", cfg.name);
+            let violations = pda_lang::validate::check(&program);
+            assert!(violations.is_empty(), "{}: {violations:?}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn benchmarks_scale_with_config() {
+        let suite = crate::suite();
+        let small = generate_source(&suite[0]);
+        let large = generate_source(&suite[5]); // avrora
+        assert!(large.lines().count() > 2 * small.lines().count());
+    }
+}

@@ -1,0 +1,82 @@
+//! Benchmark statistics (the paper's Table 1).
+
+use crate::bench::Benchmark;
+use pda_lang::MethodId;
+use pda_util::Idx;
+
+/// Table 1 row: program sizes plus the (log of the) abstraction-family
+/// sizes for both client analyses.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    /// Benchmark name.
+    pub name: String,
+    /// Application classes / total classes.
+    pub classes: (usize, usize),
+    /// Reachable application methods / reachable methods.
+    pub methods: (usize, usize),
+    /// Source lines (the KLOC analogue for the generated programs).
+    pub loc: usize,
+    /// `log2` of the type-state abstraction family: number of local
+    /// variables in reachable methods.
+    pub log2_typestate: usize,
+    /// `log2` of the thread-escape abstraction family: number of
+    /// allocation sites in reachable methods.
+    pub log2_escape: usize,
+}
+
+/// Computes the Table 1 row for one benchmark.
+pub fn benchmark_stats(b: &Benchmark) -> BenchStats {
+    let p = &b.program;
+    let total_classes = p.classes.len();
+    let app_classes = p
+        .classes
+        .iter()
+        .filter(|c| !p.names.resolve(c.name).starts_with("Lib"))
+        .count();
+    let reachable: Vec<MethodId> = b.reach.methods().collect();
+    let app_methods = reachable.iter().filter(|&&m| b.is_app_method(m)).count();
+    let vars_in_reachable = p
+        .vars
+        .iter()
+        .filter(|v| b.reach.is_reachable(v.method))
+        .count();
+    let sites_in_reachable = (0..p.sites.len())
+        .map(|i| pda_lang::SiteId::from_usize(i))
+        .filter(|&h| b.reach.is_reachable(p.sites[h].method))
+        .count();
+    BenchStats {
+        name: b.name.clone(),
+        classes: (app_classes, total_classes),
+        methods: (app_methods, reachable.len()),
+        loc: b.source.lines().count(),
+        log2_typestate: vars_in_reachable,
+        log2_escape: sites_in_reachable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::Benchmark;
+
+    #[test]
+    fn stats_are_sane() {
+        let b = Benchmark::load(crate::suite().remove(0));
+        let s = benchmark_stats(&b);
+        assert_eq!(s.name, "tsp");
+        assert!(s.classes.0 <= s.classes.1);
+        assert!(s.methods.0 <= s.methods.1);
+        assert!(s.loc > 20);
+        assert!(s.log2_typestate > 0);
+        assert!(s.log2_escape > 0);
+    }
+
+    #[test]
+    fn suite_sizes_increase() {
+        let benches = crate::load_suite();
+        let tsp = benchmark_stats(&benches[0]);
+        let avrora = benchmark_stats(&benches[5]);
+        assert!(avrora.log2_typestate > tsp.log2_typestate);
+        assert!(avrora.log2_escape > tsp.log2_escape);
+    }
+}

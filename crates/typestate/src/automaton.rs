@@ -1,0 +1,196 @@
+//! Type-state automata, built from Jaylite `typestate` declarations.
+
+use pda_lang::{NameId, Program, TypestateDecl};
+use std::collections::HashMap;
+
+/// Outcome of one automaton transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// No transition declared for this (state, method): the object stays.
+    Stay,
+    /// Move to the given state.
+    To(u32),
+    /// The call is a protocol violation (the paper's `⊤` outcome).
+    Error,
+}
+
+/// A deterministic type-state automaton for one class.
+///
+/// States are dense indices; `delta` maps method names to per-state
+/// transitions (`Stay` for undeclared pairs, matching the Fink et al.
+/// convention that unspecified calls do not change the type-state).
+#[derive(Debug, Clone)]
+pub struct Automaton {
+    state_names: Vec<NameId>,
+    init: u32,
+    delta: HashMap<NameId, Vec<Transition>>,
+}
+
+impl Automaton {
+    /// Builds the automaton from a resolved declaration.
+    ///
+    /// State indices are assigned in order of first mention (initial state
+    /// first); the reserved target name `error` becomes
+    /// [`Transition::Error`].
+    pub fn from_decl(decl: &TypestateDecl) -> Automaton {
+        let mut state_names = Vec::new();
+        let mut index: HashMap<NameId, u32> = HashMap::new();
+        let mut state_of = |n: NameId, names: &mut Vec<NameId>| -> u32 {
+            *index.entry(n).or_insert_with(|| {
+                names.push(n);
+                (names.len() - 1) as u32
+            })
+        };
+        let init = state_of(decl.init, &mut state_names);
+        // First pass: register all non-error states.
+        for &(from, _, to) in &decl.transitions {
+            state_of(from, &mut state_names);
+            if to != decl.error_name {
+                state_of(to, &mut state_names);
+            }
+        }
+        let n = state_names.len();
+        let mut delta: HashMap<NameId, Vec<Transition>> = HashMap::new();
+        for &(from, method, to) in &decl.transitions {
+            let row = delta.entry(method).or_insert_with(|| vec![Transition::Stay; n]);
+            let f = state_of(from, &mut state_names) as usize;
+            row[f] = if to == decl.error_name {
+                Transition::Error
+            } else {
+                Transition::To(state_of(to, &mut state_names))
+            };
+        }
+        Automaton { state_names, init, delta }
+    }
+
+    /// Builds the automaton for the (unique) declaration covering `class`,
+    /// if any.
+    pub fn for_class(program: &Program, class: pda_lang::ClassId) -> Option<Automaton> {
+        program
+            .typestates
+            .iter()
+            .find(|d| d.class == class)
+            .map(Automaton::from_decl)
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.state_names.len()
+    }
+
+    /// The initial state index.
+    pub fn init(&self) -> u32 {
+        self.init
+    }
+
+    /// The name of state `s` (for display).
+    pub fn state_name(&self, s: u32) -> NameId {
+        self.state_names[s as usize]
+    }
+
+    /// The state index for a name, if it is a state of this automaton.
+    pub fn state_by_name(&self, n: NameId) -> Option<u32> {
+        self.state_names.iter().position(|&x| x == n).map(|i| i as u32)
+    }
+
+    /// Returns `true` if the automaton reacts to method `m` at all.
+    pub fn handles(&self, m: NameId) -> bool {
+        self.delta.contains_key(&m)
+    }
+
+    /// The transition for `(state, method)`.
+    pub fn step(&self, s: u32, m: NameId) -> Transition {
+        match self.delta.get(&m) {
+            Some(row) => row[s as usize],
+            None => Transition::Stay,
+        }
+    }
+
+    /// States from which calling `m` errors.
+    pub fn error_states(&self, m: NameId) -> Vec<u32> {
+        (0..self.n_states() as u32)
+            .filter(|&s| self.step(s, m) == Transition::Error)
+            .collect()
+    }
+
+    /// States `s'` with `step(s', m) = s` (including `Stay` self-loops).
+    pub fn preimage(&self, s: u32, m: NameId) -> Vec<u32> {
+        (0..self.n_states() as u32)
+            .filter(|&s2| match self.step(s2, m) {
+                Transition::Stay => s2 == s,
+                Transition::To(t) => t == s,
+                Transition::Error => false,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pda_lang::parse_program;
+
+    fn file_automaton() -> (pda_lang::Program, Automaton) {
+        let p = parse_program(
+            r#"
+            class File { fn open(); fn close(); fn read(); }
+            typestate File {
+                init closed;
+                closed -> open -> opened;
+                opened -> close -> closed;
+                opened -> open -> error;
+                closed -> close -> error;
+            }
+            fn main() { var x; x = new File; }
+            "#,
+        )
+        .unwrap();
+        let a = Automaton::for_class(&p, pda_lang::ClassId(0)).unwrap();
+        (p, a)
+    }
+
+    #[test]
+    fn builds_states_and_transitions() {
+        let (p, a) = file_automaton();
+        assert_eq!(a.n_states(), 2);
+        let closed = a.init();
+        let open_m = p.names.get("open").unwrap();
+        let close_m = p.names.get("close").unwrap();
+        let opened = match a.step(closed, open_m) {
+            Transition::To(s) => s,
+            other => panic!("expected To, got {other:?}"),
+        };
+        assert_ne!(closed, opened);
+        assert_eq!(a.step(opened, close_m), Transition::To(closed));
+        assert_eq!(a.step(opened, open_m), Transition::Error);
+        assert_eq!(a.step(closed, close_m), Transition::Error);
+    }
+
+    #[test]
+    fn unlisted_methods_stay() {
+        let (p, a) = file_automaton();
+        let read_m = p.names.get("read").unwrap();
+        assert!(!a.handles(read_m));
+        assert_eq!(a.step(a.init(), read_m), Transition::Stay);
+        assert!(a.error_states(read_m).is_empty());
+    }
+
+    #[test]
+    fn error_states_and_preimage() {
+        let (p, a) = file_automaton();
+        let open_m = p.names.get("open").unwrap();
+        let closed = a.init();
+        let opened = 1 - closed; // two states
+        assert_eq!(a.error_states(open_m), vec![opened]);
+        // preimage of opened under open: closed (To) — opened errors.
+        assert_eq!(a.preimage(opened, open_m), vec![closed]);
+        // preimage of closed under open: nothing.
+        assert!(a.preimage(closed, open_m).is_empty());
+    }
+
+    #[test]
+    fn no_declaration_gives_none() {
+        let p = parse_program("class C {} fn main() { var x; x = new C; }").unwrap();
+        assert!(Automaton::for_class(&p, pda_lang::ClassId(0)).is_none());
+    }
+}

@@ -1,0 +1,149 @@
+//! Abstract states and meta-primitives of the type-state client
+//! (Figures 4 and 9).
+
+use pda_lang::VarId;
+use pda_meta::Primitive;
+use pda_util::BitSet;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A type-state abstract state `d ∈ D` for one tracked allocation site.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TsState {
+    /// The tracked site has not allocated yet on this path.
+    Unalloc,
+    /// The tracked object exists: possible type-states and must-alias set.
+    Obj {
+        /// Over-approximation of the object's possible type-states
+        /// (automaton state indices; the stress mode uses the single
+        /// state `0`).
+        ts: BTreeSet<u32>,
+        /// Variables that *must* point to the object. Always a subset of
+        /// the abstraction parameter.
+        vs: BTreeSet<VarId>,
+    },
+    /// A type-state error may have occurred (the paper's `⊤`).
+    Top,
+}
+
+impl TsState {
+    /// The state right after the tracked site allocates into `dst`.
+    pub fn fresh(init: u32, dst: Option<VarId>) -> TsState {
+        TsState::Obj {
+            ts: BTreeSet::from([init]),
+            vs: dst.into_iter().collect(),
+        }
+    }
+}
+
+/// Primitive formulas of the type-state meta-domain (Figure 9, extended
+/// with `unalloc` for the pre-allocation regime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TsPrim {
+    /// `d = ⊤`.
+    Err,
+    /// `d = Unalloc`.
+    Unalloc,
+    /// `d = (ts, vs)` and `x ∈ vs`.
+    Var(VarId),
+    /// `d = (ts, vs)` and `s ∈ ts`.
+    Type(u32),
+    /// `x ∈ p` — the abstraction tracks `x`.
+    Param(VarId),
+}
+
+impl fmt::Display for TsPrim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsPrim::Err => write!(f, "err"),
+            TsPrim::Unalloc => write!(f, "unalloc"),
+            TsPrim::Var(x) => write!(f, "var(v{x})"),
+            TsPrim::Type(s) => write!(f, "type(s{s})"),
+            TsPrim::Param(x) => write!(f, "param(v{x})"),
+        }
+    }
+}
+
+impl Primitive for TsPrim {
+    type Param = BitSet;
+    type State = TsState;
+
+    fn holds(&self, p: &BitSet, d: &TsState) -> bool {
+        match self {
+            TsPrim::Param(x) => p.contains(x.0 as usize),
+            TsPrim::Err => matches!(d, TsState::Top),
+            TsPrim::Unalloc => matches!(d, TsState::Unalloc),
+            TsPrim::Var(x) => matches!(d, TsState::Obj { vs, .. } if vs.contains(x)),
+            TsPrim::Type(s) => matches!(d, TsState::Obj { ts, .. } if ts.contains(s)),
+        }
+    }
+
+    fn eval_state(&self, d: &TsState) -> Option<bool> {
+        match self {
+            TsPrim::Param(_) => None,
+            TsPrim::Err => Some(matches!(d, TsState::Top)),
+            TsPrim::Unalloc => Some(matches!(d, TsState::Unalloc)),
+            TsPrim::Var(x) => Some(matches!(d, TsState::Obj { vs, .. } if vs.contains(x))),
+            TsPrim::Type(s) => Some(matches!(d, TsState::Obj { ts, .. } if ts.contains(s))),
+        }
+    }
+
+    fn param_atom(&self) -> Option<(usize, bool)> {
+        match self {
+            TsPrim::Param(x) => Some((x.0 as usize, true)),
+            _ => None,
+        }
+    }
+
+    fn contradicts(&self, other: &Self) -> bool {
+        use TsPrim::*;
+        // The three state shapes (⊤ / Unalloc / Obj) are mutually
+        // exclusive; Var/Type assert the Obj shape.
+        let shape = |p: &TsPrim| match p {
+            Err => Some(0u8),
+            Unalloc => Some(1),
+            Var(_) | Type(_) => Some(2),
+            Param(_) => None,
+        };
+        match (shape(self), shape(other)) {
+            (Some(a), Some(b)) => a != b,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_matches_shapes() {
+        let p = BitSet::from_iter(4, [1]);
+        let obj = TsState::Obj { ts: BTreeSet::from([0, 2]), vs: BTreeSet::from([VarId(1)]) };
+        assert!(TsPrim::Var(VarId(1)).holds(&p, &obj));
+        assert!(!TsPrim::Var(VarId(0)).holds(&p, &obj));
+        assert!(TsPrim::Type(2).holds(&p, &obj));
+        assert!(!TsPrim::Err.holds(&p, &obj));
+        assert!(TsPrim::Err.holds(&p, &TsState::Top));
+        assert!(TsPrim::Unalloc.holds(&p, &TsState::Unalloc));
+        assert!(TsPrim::Param(VarId(1)).holds(&p, &obj));
+        assert!(!TsPrim::Param(VarId(0)).holds(&p, &obj));
+    }
+
+    #[test]
+    fn eval_state_none_only_for_param() {
+        let d = TsState::Top;
+        assert_eq!(TsPrim::Err.eval_state(&d), Some(true));
+        assert_eq!(TsPrim::Var(VarId(0)).eval_state(&d), Some(false));
+        assert_eq!(TsPrim::Param(VarId(0)).eval_state(&d), None);
+    }
+
+    #[test]
+    fn shape_contradictions() {
+        assert!(TsPrim::Err.contradicts(&TsPrim::Unalloc));
+        assert!(TsPrim::Err.contradicts(&TsPrim::Var(VarId(0))));
+        assert!(TsPrim::Unalloc.contradicts(&TsPrim::Type(0)));
+        assert!(!TsPrim::Var(VarId(0)).contradicts(&TsPrim::Type(1)));
+        assert!(!TsPrim::Param(VarId(0)).contradicts(&TsPrim::Err));
+    }
+}

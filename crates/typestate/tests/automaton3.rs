@@ -1,0 +1,144 @@
+//! Exhaustive requirement-(2) validation and end-to-end runs on a richer,
+//! three-state automaton (the File automaton of Figure 1 has only two
+//! states; this exercises multi-target preimages in the Figure 10
+//! equations, including implicit `Stay` self-loops).
+
+use pda_analysis::PointsTo;
+use pda_lang::{Atom, SiteId};
+use pda_meta::check_wp_exact;
+use pda_tracer::{brute_force_optimum, solve_query, AsMeta, Outcome, TracerConfig, TracerClient};
+use pda_typestate::{TsPrim, TsState, TypestateClient};
+use pda_util::BitSet;
+use std::collections::BTreeSet;
+
+const SRC: &str = r#"
+    class Conn { fn open(); fn send(); fn close(); fn ping(); }
+    typestate Conn {
+        init fresh;
+        fresh -> open -> ready;
+        ready -> send -> ready;
+        ready -> close -> done;
+        done -> send -> error;
+        fresh -> send -> error;
+        fresh -> close -> error;
+        done -> close -> error;
+        done -> open -> error;
+        ready -> open -> error;
+    }
+    fn main() {
+        var c, alias, spare;
+        c = new Conn;
+        c.open();
+        alias = c;
+        while (*) { alias.send(); }
+        alias.close();
+        query ok: state c in { done };
+        query wrong: state c in { fresh };
+    }
+"#;
+
+#[test]
+fn wp_exact_on_three_state_automaton() {
+    let program = pda_lang::parse_program(SRC).unwrap();
+    let pa = PointsTo::analyze(&program);
+    let client = TypestateClient::for_declared_automaton(&program, &pa, SiteId(0)).unwrap();
+    let c = program.main_var("c").unwrap();
+    let alias = program.main_var("alias").unwrap();
+    let spare = program.main_var("spare").unwrap();
+    let vars = [c, alias, spare];
+    let methods: Vec<_> = ["open", "send", "close", "ping"]
+        .iter()
+        .map(|m| program.names.get(m).unwrap())
+        .collect();
+
+    let mut atoms = vec![
+        Atom::New { dst: c, site: SiteId(0) },
+        Atom::Copy { dst: alias, src: c },
+        Atom::Copy { dst: c, src: spare },
+        Atom::Null { dst: alias },
+        Atom::Havoc { dst: c },
+    ];
+    for &m in &methods {
+        for &recv in &vars {
+            atoms.push(Atom::Invoke { recv, method: m });
+        }
+    }
+    let mut prims = vec![TsPrim::Err, TsPrim::Unalloc];
+    for v in vars {
+        prims.push(TsPrim::Var(v));
+        prims.push(TsPrim::Param(v));
+    }
+    for s in 0..3 {
+        prims.push(TsPrim::Type(s));
+    }
+
+    // Every state over 3 automaton states and 3 variables.
+    let mut states = vec![TsState::Unalloc, TsState::Top];
+    for tsbits in 1u32..8 {
+        for vsbits in 0u32..8 {
+            let ts: BTreeSet<u32> = (0..3).filter(|i| (tsbits >> i) & 1 == 1).collect();
+            let vs: BTreeSet<_> = vars
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (vsbits >> i) & 1 == 1)
+                .map(|(_, &v)| v)
+                .collect();
+            states.push(TsState::Obj { ts, vs });
+        }
+    }
+
+    for atom in &atoms {
+        for prim in &prims {
+            for pbits in 0u32..8 {
+                let p = BitSet::from_iter(
+                    program.vars.len(),
+                    vars.iter()
+                        .enumerate()
+                        .filter(|(i, _)| (pbits >> i) & 1 == 1)
+                        .map(|(_, &v)| v.0 as usize),
+                );
+                for d in &states {
+                    check_wp_exact(&AsMeta(&client), atom, prim, &p, d).unwrap();
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn protocol_through_alias_and_loop() {
+    let program = pda_lang::parse_program(SRC).unwrap();
+    let pa = PointsTo::analyze(&program);
+    let client = TypestateClient::for_declared_automaton(&program, &pa, SiteId(0)).unwrap();
+    let callees = |cid: pda_lang::CallId| pa.callees(cid).to_vec();
+
+    // `ok` is provable: must track c and alias through the send-loop.
+    let q = program.query_by_label("ok").unwrap();
+    let query = client.state_query(q);
+    let r = solve_query(&program, &callees, &client, &query, &TracerConfig::default());
+    let Outcome::Proven { param, cost } = &r.outcome else {
+        panic!("ok should be proven: {:?}", r.outcome);
+    };
+    let c = program.main_var("c").unwrap();
+    let alias = program.main_var("alias").unwrap();
+    assert!(param.contains(c.0 as usize) && param.contains(alias.0 as usize));
+    assert_eq!(*cost, 2);
+
+    // Brute force agrees (the variable universe is small enough).
+    assert!(client.n_atoms() <= 16);
+    let truth = brute_force_optimum(
+        &program,
+        &callees,
+        &client,
+        &query,
+        16,
+        pda_dataflow::RhsLimits::default(),
+    )
+    .expect("provable");
+    assert_eq!(truth.1, 2);
+
+    // `wrong` asks for the initial state at the end: impossible.
+    let q2 = program.query_by_label("wrong").unwrap();
+    let r2 = solve_query(&program, &callees, &client, &client.state_query(q2), &TracerConfig::default());
+    assert_eq!(r2.outcome, Outcome::Impossible);
+}

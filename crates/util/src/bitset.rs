@@ -1,0 +1,251 @@
+//! A compact growable bit set.
+
+use std::fmt;
+
+/// A fixed-universe bit set over `0..len`.
+///
+/// Used throughout the workspace for abstraction parameters: the type-state
+/// client stores "which variables may appear in must-alias sets" and the
+/// thread-escape client stores "which allocation sites are summarized by
+/// `L`" as `BitSet`s.
+///
+/// # Examples
+///
+/// ```
+/// use pda_util::BitSet;
+/// let mut a = BitSet::new(10);
+/// a.insert(1);
+/// a.insert(9);
+/// let b = BitSet::from_iter(10, [1, 2]);
+/// assert!(!a.is_subset(&b));
+/// assert_eq!(a.union(&b).count(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct BitSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set with universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Creates a set with universe `0..len` containing the given elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is `>= len`.
+    pub fn from_iter<I: IntoIterator<Item = usize>>(len: usize, iter: I) -> Self {
+        let mut s = BitSet::new(len);
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Creates a set containing every element of the universe.
+    pub fn full(len: usize) -> Self {
+        let mut s = BitSet::new(len);
+        for w in &mut s.words {
+            *w = !0;
+        }
+        s.clear_tail();
+        s
+    }
+
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// The universe size (`0..len`), not the number of elements.
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if `i` is in the set.
+    ///
+    /// Elements outside the universe are reported absent rather than
+    /// panicking, which keeps membership tests total.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Inserts `i`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= universe()`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of universe {}", self.len);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
+    /// Removes `i`; returns `true` if it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let present = *w & mask != 0;
+        *w &= !mask;
+        present
+    }
+
+    /// Number of elements in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Returns `true` if every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bit set universes differ");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Set union, leaving both operands untouched.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        assert_eq!(self.len, other.len, "bit set universes differ");
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        BitSet {
+            len: self.len,
+            words,
+        }
+    }
+
+    /// Set intersection, leaving both operands untouched.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        assert_eq!(self.len, other.len, "bit set universes differ");
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        BitSet {
+            len: self.len,
+            words,
+        }
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| {
+                if (w >> b) & 1 == 1 {
+                    Some(wi * 64 + b)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (n, i) in self.iter().enumerate() {
+            if n > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn out_of_universe_contains_is_false() {
+        let s = BitSet::new(3);
+        assert!(!s.contains(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn out_of_universe_insert_panics() {
+        let mut s = BitSet::new(3);
+        s.insert(3);
+    }
+
+    #[test]
+    fn full_respects_tail() {
+        let s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+    }
+
+    #[test]
+    fn subset_union_intersection() {
+        let a = BitSet::from_iter(8, [1, 2, 3]);
+        let b = BitSet::from_iter(8, [2, 3]);
+        assert!(b.is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert_eq!(a.union(&b), a);
+        assert_eq!(a.intersection(&b), b);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let a = BitSet::from_iter(200, [5, 64, 199]);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![5, 64, 199]);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let a = BitSet::from_iter(8, [1, 3]);
+        assert_eq!(format!("{a}"), "{1, 3}");
+        assert_eq!(format!("{a:?}"), "{1, 3}");
+        assert_eq!(format!("{}", BitSet::new(4)), "{}");
+    }
+}

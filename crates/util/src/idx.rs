@@ -1,0 +1,198 @@
+//! Typed dense indices and index-keyed vectors.
+
+use crate::Idx;
+use std::marker::PhantomData;
+use std::ops::{Index, IndexMut};
+
+/// Defines a `Copy` newtype over `u32` implementing [`Idx`].
+///
+/// This is the arena-index idiom used by compiler IRs: every entity class
+/// (variables, fields, allocation sites, CFG nodes, ...) gets its own index
+/// type so they cannot be confused.
+///
+/// # Examples
+///
+/// ```
+/// pda_util::define_idx!(
+///     /// A demo index.
+///     DemoId
+/// );
+/// use pda_util::Idx;
+/// let d = DemoId::from_usize(3);
+/// assert_eq!(d.index(), 3);
+/// assert_eq!(format!("{d:?}"), "DemoId(3)");
+/// ```
+#[macro_export]
+macro_rules! define_idx {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $crate::Idx for $name {
+            fn from_usize(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize);
+                $name(i as u32)
+            }
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl ::core::fmt::Debug for $name {
+            fn fmt(&self, f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl ::core::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+/// A `Vec` indexed by a typed index instead of `usize`.
+///
+/// # Examples
+///
+/// ```
+/// pda_util::define_idx!(NodeId);
+/// use pda_util::{Idx, IdxVec};
+/// let mut v: IdxVec<NodeId, &str> = IdxVec::new();
+/// let n = v.push("entry");
+/// assert_eq!(v[n], "entry");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct IdxVec<I: Idx, T> {
+    raw: Vec<T>,
+    _marker: PhantomData<fn(I)>,
+}
+
+impl<I: Idx, T> IdxVec<I, T> {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        IdxVec {
+            raw: Vec::new(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Appends a value and returns its index.
+    pub fn push(&mut self, value: T) -> I {
+        let i = I::from_usize(self.raw.len());
+        self.raw.push(value);
+        i
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Returns `true` if the vector holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Iterates over `(index, &value)` pairs.
+    pub fn iter_enumerated(&self) -> impl Iterator<Item = (I, &T)> {
+        self.raw
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (I::from_usize(i), t))
+    }
+
+    /// Iterates over values.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.raw.iter()
+    }
+
+    /// Iterates over all valid indices.
+    pub fn indices(&self) -> impl Iterator<Item = I> {
+        (0..self.raw.len()).map(I::from_usize)
+    }
+
+    /// Borrow element `i`, or `None` if out of range.
+    pub fn get(&self, i: I) -> Option<&T> {
+        self.raw.get(i.index())
+    }
+
+    /// The raw backing slice.
+    pub fn raw(&self) -> &[T] {
+        &self.raw
+    }
+}
+
+impl<I: Idx, T> Default for IdxVec<I, T> {
+    fn default() -> Self {
+        IdxVec::new()
+    }
+}
+
+impl<I: Idx, T> Index<I> for IdxVec<I, T> {
+    type Output = T;
+    fn index(&self, i: I) -> &T {
+        &self.raw[i.index()]
+    }
+}
+
+impl<I: Idx, T> IndexMut<I> for IdxVec<I, T> {
+    fn index_mut(&mut self, i: I) -> &mut T {
+        &mut self.raw[i.index()]
+    }
+}
+
+impl<I: Idx, T> FromIterator<T> for IdxVec<I, T> {
+    fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
+        IdxVec {
+            raw: iter.into_iter().collect(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'a, I: Idx, T> IntoIterator for &'a IdxVec<I, T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.raw.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Idx, IdxVec};
+
+    define_idx!(TestId);
+
+    #[test]
+    fn push_and_index() {
+        let mut v: IdxVec<TestId, i32> = IdxVec::new();
+        let a = v.push(10);
+        let b = v.push(20);
+        assert_eq!(v[a], 10);
+        assert_eq!(v[b], 20);
+        v[a] = 11;
+        assert_eq!(v[a], 11);
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn enumerated_matches_indices() {
+        let v: IdxVec<TestId, char> = "abc".chars().collect();
+        let pairs: Vec<_> = v.iter_enumerated().map(|(i, &c)| (i.index(), c)).collect();
+        assert_eq!(pairs, vec![(0, 'a'), (1, 'b'), (2, 'c')]);
+        assert_eq!(v.indices().count(), 3);
+        assert_eq!(v.get(TestId(9)), None);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let i = TestId::from_usize(7);
+        assert_eq!(format!("{i}"), "7");
+        assert_eq!(format!("{i:?}"), "TestId(7)");
+    }
+}

@@ -1,0 +1,43 @@
+//! Small shared utilities for the `optimum-pda` workspace.
+//!
+//! This crate is dependency-free and provides the plumbing every other crate
+//! in the workspace leans on:
+//!
+//! * [`BitSet`] — a growable bit set used for abstraction parameters
+//!   (sets of tracked variables, site→`L` maps) and worklists.
+//! * [`define_idx!`] — typed index newtypes plus [`IdxVec`], a vector
+//!   indexed by such a newtype, mirroring the arena style common in
+//!   compiler IRs.
+//! * [`Summary`] — a min/max/mean accumulator used when reproducing the
+//!   paper's tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use pda_util::BitSet;
+//! let mut s = BitSet::new(8);
+//! s.insert(3);
+//! assert!(s.contains(3) && !s.contains(4));
+//! assert_eq!(s.count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bitset;
+mod idx;
+mod stats;
+
+pub use bitset::BitSet;
+pub use idx::IdxVec;
+pub use stats::Summary;
+
+/// Types usable as dense arena indices.
+///
+/// Implemented by the newtypes generated with [`define_idx!`]; the trait is
+/// what lets [`IdxVec`] be indexed type-safely.
+pub trait Idx: Copy + Eq + Ord + core::hash::Hash + core::fmt::Debug {
+    /// Wraps a raw `usize` index.
+    fn from_usize(i: usize) -> Self;
+    /// Unwraps to the raw `usize` index.
+    fn index(self) -> usize;
+}

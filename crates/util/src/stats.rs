@@ -1,0 +1,117 @@
+//! Minimal statistics accumulator for the experiment tables.
+
+use std::fmt;
+
+/// Accumulates min / max / mean of a stream of samples.
+///
+/// The paper's Tables 2 and 3 report `min max avg` triples per benchmark;
+/// this is the accumulator behind those columns.
+///
+/// # Examples
+///
+/// ```
+/// use pda_util::Summary;
+/// let s: Summary = [2.0, 3.0, 4.0].into_iter().collect();
+/// assert_eq!(s.min(), Some(2.0));
+/// assert_eq!(s.max(), Some(4.0));
+/// assert_eq!(s.mean(), Some(3.0));
+/// assert_eq!(format!("{s}"), "2 4 3.0");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        self.sum += x;
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+impl fmt::Display for Summary {
+    /// Formats as `min max avg` in the paper's table style (`-` if empty).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.min(), self.max(), self.mean()) {
+            (Some(lo), Some(hi), Some(avg)) => write!(f, "{lo:.0} {hi:.0} {avg:.1}"),
+            _ => write!(f, "- - -"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(format!("{s}"), "- - -");
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = Summary::new();
+        s.add(5.0);
+        assert_eq!((s.min(), s.max(), s.mean()), (Some(5.0), Some(5.0), Some(5.0)));
+    }
+
+    #[test]
+    fn negative_and_positive() {
+        let s: Summary = [-1.0, 0.0, 7.0].into_iter().collect();
+        assert_eq!(s.min(), Some(-1.0));
+        assert_eq!(s.max(), Some(7.0));
+        assert_eq!(s.mean(), Some(2.0));
+        assert_eq!(s.count(), 3);
+    }
+}

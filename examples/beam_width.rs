@@ -1,0 +1,71 @@
+//! The under-approximation tradeoff of Section 4.1, live.
+//!
+//! ```sh
+//! cargo run -p pda-bench --example beam_width
+//! ```
+//!
+//! Replays the paper's Figure 6 comparison on a container program: the
+//! backward meta-analysis runs with beam widths k = 1 (aggressive
+//! under-approximation: tiny formulas, more CEGAR iterations), k = 5 (the
+//! paper's sweet spot), and effectively unbounded (exact weakest
+//! preconditions: one backward pass learns the full failure condition,
+//! Figure 6(a)-style blowup risk), printing the iteration ladder each
+//! explores.
+
+use pda_analysis::PointsTo;
+use pda_escape::EscapeClient;
+use pda_meta::BeamConfig;
+use pda_tracer::{solve_query_logged, Outcome, TracerConfig};
+
+const PROGRAM: &str = r#"
+    class Cell { field slot; }
+    fn put(c, x) { c.slot = x; }
+    fn main() {
+        var a, b, c, x;
+        a = new Cell;      // h0
+        b = new Cell;      // h1
+        c = new Cell;      // h2
+        x = new Cell;      // h3: the queried object
+        put(a, x);
+        put(b, a);
+        put(c, b);
+        query q: local x;
+    }
+"#;
+
+fn main() {
+    let program = pda_lang::parse_program(PROGRAM).expect("program parses");
+    let pa = PointsTo::analyze(&program);
+    let client = EscapeClient::new(&program);
+    let qid = program.query_by_label("q").unwrap();
+    let query = client.local_query(&program, qid);
+    let callees = |c: pda_lang::CallId| pa.callees(c).to_vec();
+
+    for (label, beam) in [
+        ("k = 1 (aggressive)", BeamConfig::with_k(1)),
+        ("k = 5 (paper default)", BeamConfig::with_k(5)),
+        ("exhaustive (no beam)", BeamConfig::exhaustive()),
+    ] {
+        let config = TracerConfig { beam, ..TracerConfig::default() };
+        let (result, log) =
+            solve_query_logged(&program, &callees, &client, &query, &config);
+        println!("── {label} ──");
+        for (i, entry) in log.iter().enumerate() {
+            let verdict = if entry.learned.is_some() { "fails" } else { "PROVES" };
+            println!(
+                "  iteration {}: try L-sites {} (cost {}) → {verdict}",
+                i + 1,
+                entry.param,
+                entry.cost
+            );
+        }
+        match &result.outcome {
+            Outcome::Proven { cost, .. } => {
+                println!("  optimum |p| = {cost} in {} iterations\n", result.iterations)
+            }
+            other => println!("  unexpected outcome: {other:?}\n"),
+        }
+    }
+    println!("All beam widths find the same optimum — the beam only trades");
+    println!("formula size against iteration count (Theorem 3 keeps it sound).");
+}

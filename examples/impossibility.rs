@@ -1,0 +1,96 @@
+//! Inside one CEGAR iteration: watch the backward meta-analysis prune
+//! the abstraction family.
+//!
+//! ```sh
+//! cargo run -p pda-bench --example impossibility
+//! ```
+//!
+//! This example drives the framework's layers by hand — forward run,
+//! counterexample trace, backward weakest preconditions, restriction to a
+//! parameter formula — and prints the unviability constraint each
+//! iteration learns, until the viable set is empty and impossibility is
+//! established. It is the machinery of `pda_tracer::solve_query`,
+//! narrated.
+
+use pda_analysis::PointsTo;
+use pda_dataflow::{rhs, RhsLimits};
+use pda_escape::EscapeClient;
+use pda_meta::{analyze_trace, restrict, BeamConfig};
+use pda_solver::{MinCostSolver, PFormula};
+use pda_tracer::{AsAnalysis, AsMeta, TracerClient};
+
+const PROGRAM: &str = r#"
+    global shared;
+    class Node { field next; }
+
+    fn main() {
+        var head, cursor;
+        head = new Node;        // h0
+        cursor = new Node;      // h1
+        cursor.next = head;
+        shared = cursor;        // publishes cursor AND head (reachable!)
+        query q: local head;
+    }
+"#;
+
+fn main() {
+    let program = pda_lang::parse_program(PROGRAM).expect("program parses");
+    let pa = PointsTo::analyze(&program);
+    let client = EscapeClient::new(&program);
+    let qid = program.query_by_label("q").unwrap();
+    let query = client.local_query(&program, qid);
+    let callees = |c: pda_lang::CallId| pa.callees(c).to_vec();
+
+    println!("query: prove `head` thread-local — it is not (it is reachable");
+    println!("from the published `cursor`), so TRACER must prove impossibility.\n");
+
+    let mut constraints: Vec<PFormula> = Vec::new();
+    for iteration in 1..=10 {
+        let mut solver = MinCostSolver::with_unit_costs(client.n_atoms());
+        for c in &constraints {
+            solver.require(c.clone());
+        }
+        let Some(model) = solver.solve() else {
+            println!("iteration {iteration}: viable set is EMPTY — impossibility proven.");
+            println!("(the analysis cannot prove the query with any of the 2^{} abstractions)",
+                client.n_atoms());
+            return;
+        };
+        let p = client.param_of_model(&model.assignment);
+        println!("iteration {iteration}: trying cheapest viable abstraction L-sites = {p}");
+
+        let run = rhs::run(
+            &program,
+            &AsAnalysis(&client),
+            &p,
+            client.initial_state(),
+            &callees,
+            RhsLimits::default(),
+        )
+        .expect("within budget");
+        let failing = |d: &pda_escape::Env| query.not_q.holds(&p, d);
+        let Some(trace) = run.witness(query.point, &failing) else {
+            println!("  proven!");
+            return;
+        };
+        println!("  fails; counterexample trace has {} atoms:", trace.len());
+        for step in &trace {
+            println!("    {}", pda_lang::pretty::atom(&program, &step.atom));
+        }
+        let atoms: Vec<pda_lang::Atom> = trace.iter().map(|s| s.atom).collect();
+        let dnf = analyze_trace(
+            &AsMeta(&client),
+            &p,
+            &client.initial_state(),
+            &atoms,
+            &query.not_q,
+            &BeamConfig::default(),
+        )
+        .expect("sound trace");
+        println!("  sufficient condition for failure at entry: {dnf}");
+        let phi = restrict(&dnf, &client.initial_state());
+        println!("  unviable-abstraction formula: {phi:?}");
+        constraints.push(PFormula::not(phi));
+    }
+    println!("(did not converge in 10 iterations — unexpected for this program)");
+}

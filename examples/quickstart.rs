@@ -1,0 +1,71 @@
+//! Quickstart: find the optimum abstraction for one thread-escape query.
+//!
+//! ```sh
+//! cargo run -p pda-bench --example quickstart
+//! ```
+//!
+//! Parses a small Jaylite program, poses the `query q: local box2;`
+//! thread-locality query, and asks TRACER for the *cheapest* abstraction
+//! (which allocation sites must be summarized precisely) that proves it —
+//! or a proof that none exists.
+
+use pda_analysis::PointsTo;
+use pda_escape::EscapeClient;
+use pda_tracer::{solve_query, Outcome, TracerConfig};
+
+const PROGRAM: &str = r#"
+    global shared;
+
+    class Box { field item; }
+
+    fn fill(b, x) {
+        b.item = x;
+        return b;
+    }
+
+    fn main() {
+        var box1, box2, thing1, thing2, r;
+        // box1 is published to another thread ...
+        box1 = new Box;          // site 0
+        thing1 = new Box;        // site 1
+        r = fill(box1, thing1);
+        shared = box1;
+        // ... box2 never escapes.
+        box2 = new Box;          // site 2
+        thing2 = new Box;        // site 3
+        r = fill(box2, thing2);
+        query q: local box2;
+    }
+"#;
+
+fn main() {
+    let program = pda_lang::parse_program(PROGRAM).expect("program parses");
+    let pa = PointsTo::analyze(&program);
+    let client = EscapeClient::new(&program);
+    let qid = program.query_by_label("q").expect("query exists");
+    let query = client.local_query(&program, qid);
+
+    let result = solve_query(
+        &program,
+        &|c| pa.callees(c).to_vec(),
+        &client,
+        &query,
+        &TracerConfig::default(),
+    );
+
+    println!("query: is the object `box2` points to thread-local?");
+    println!("CEGAR iterations: {}", result.iterations);
+    match result.outcome {
+        Outcome::Proven { param, cost } => {
+            println!("PROVEN with cheapest abstraction (|p| = {cost}):");
+            for h in param.iter() {
+                println!("  map site {} to L", program.site_label(pda_lang::SiteId(h as u32)));
+            }
+            println!("every site outside this set can stay coarse (E).");
+        }
+        Outcome::Impossible => {
+            println!("IMPOSSIBLE: no abstraction in the 2^|sites| family proves it.")
+        }
+        Outcome::Unresolved(r) => println!("unresolved: {r:?}"),
+    }
+}

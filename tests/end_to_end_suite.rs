@@ -1,0 +1,68 @@
+//! End-to-end smoke of the full evaluation pipeline on the two smallest
+//! generated benchmarks: both analyses run to completion, buckets add up,
+//! and the headline shape of the paper's results holds (most queries
+//! resolved; escape proofs are cheap).
+
+use pda_suite::{run_escape, run_typestate, Benchmark, ExperimentConfig, Resolution};
+
+fn small_cfg() -> ExperimentConfig {
+    ExperimentConfig { max_queries: 12, max_iters: 30, ..ExperimentConfig::default() }
+}
+
+#[test]
+fn smallest_two_benchmarks_end_to_end() {
+    let cfg = small_cfg();
+    for gen_cfg in pda_suite::suite().into_iter().take(2) {
+        let bench = Benchmark::load(gen_cfg);
+        for run in [run_typestate(&bench, &cfg), run_escape(&bench, &cfg)] {
+            let (proven, impossible, unresolved) = run.precision();
+            assert_eq!(proven + impossible + unresolved, run.outcomes.len());
+            assert!(!run.outcomes.is_empty(), "{}: no queries", run.analysis);
+            // Headline claim shape: the vast majority of queries resolve.
+            let resolved = proven + impossible;
+            assert!(
+                resolved * 10 >= run.outcomes.len() * 7,
+                "{} on {}: only {resolved}/{} resolved",
+                run.analysis,
+                run.benchmark,
+                run.outcomes.len()
+            );
+            // Iteration counts are consistent with resolution.
+            for o in &run.outcomes {
+                match o.resolution {
+                    Resolution::Proven => {
+                        assert!(o.iterations >= 1);
+                        assert!(o.cost.is_some());
+                    }
+                    Resolution::Impossible => assert!(o.cost.is_none()),
+                    Resolution::Unresolved => {}
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn escape_proofs_are_cheap_on_average() {
+    // Paper, Table 3: thread-escape needs only 1-2 L-sites on average.
+    let bench = Benchmark::load(pda_suite::suite().remove(0));
+    let run = run_escape(&bench, &small_cfg());
+    if let Some(avg) = run.cheapest_sizes().mean() {
+        assert!(avg <= 6.0, "escape proofs unexpectedly expensive: avg {avg}");
+    }
+}
+
+#[test]
+fn deterministic_outcomes_across_runs() {
+    let cfg = small_cfg();
+    let bench = Benchmark::load(pda_suite::suite().remove(0));
+    let a = run_escape(&bench, &cfg);
+    let b = run_escape(&bench, &cfg);
+    let key = |r: &pda_suite::AnalysisRun| -> Vec<(String, bool, Option<u64>)> {
+        r.outcomes
+            .iter()
+            .map(|o| (o.label.clone(), o.resolution == Resolution::Proven, o.cost))
+            .collect()
+    };
+    assert_eq!(key(&a), key(&b));
+}

@@ -1,0 +1,176 @@
+//! Cross-engine validation: the exact regular-term engine (Figure 3
+//! semantics over the inlined program) and the RHS tabulation engine must
+//! agree on every query verdict, for both client analyses, across many
+//! abstractions.
+
+use pda_analysis::PointsTo;
+use pda_dataflow::{rhs, RhsLimits, TermRun};
+use pda_escape::EscapeClient;
+use pda_lang::term::inline;
+use pda_meta::Formula;
+use pda_tracer::{AsAnalysis, TracerClient};
+use pda_typestate::{TsMode, TypestateClient};
+
+const PROGRAMS: &[&str] = &[
+    r#"
+    global g;
+    class C { field f; }
+    fn id(a) { return a; }
+    fn main() {
+        var x, y, z;
+        x = new C;
+        y = id(x);
+        z = new C;
+        y.f = z;
+        if (*) { g = x; }
+        query q1: local x;
+        query q2: local z;
+    }
+    "#,
+    r#"
+    class W { fn work(); fn stop(); }
+    class C { field f; }
+    fn pick(a, b) { var r; if (*) { r = a; } else { r = b; } return r; }
+    fn main() {
+        var u, v, w;
+        u = new W;
+        v = new C;
+        while (*) { w = pick(u, u); }
+        u.work();
+        query q1: local v;
+        query q2: state u in { };
+    }
+    "#,
+    r#"
+    global shared;
+    class C { field f; fn m(x) { this.f = x; return x; } }
+    fn main() {
+        var a, b, r;
+        a = new C;
+        b = new C;
+        r = a.m(b);
+        if (*) { shared = r; } else { r = null; }
+        query q1: local a;
+        query q2: local b;
+    }
+    "#,
+];
+
+/// Runs one escape query under one abstraction on both engines and
+/// compares the verdict (does any arriving state satisfy `not_q`?).
+fn escape_verdicts_agree(src: &str) {
+    let program = pda_lang::parse_program(src).unwrap();
+    let pa = PointsTo::analyze(&program);
+    let resolver = |c: pda_lang::CallId| pa.callees(c).to_vec();
+    let inlined = inline(&program, &resolver).expect("inlinable");
+    let rhs_client = EscapeClient::new(&program);
+    let term_client = EscapeClient::new(&program).with_extended_vars(&inlined);
+
+    let n = rhs_client.n_atoms();
+    for bits in 0..(1u32 << n.min(6)) {
+        let assignment: Vec<bool> = (0..n).map(|i| (bits >> i) & 1 == 1).collect();
+        let p = rhs_client.param_of_model(&assignment);
+
+        let run = rhs::run(
+            &program,
+            &AsAnalysis(&rhs_client),
+            &p,
+            rhs_client.initial_state(),
+            &resolver,
+            RhsLimits::default(),
+        )
+        .unwrap();
+        let term_analysis = AsAnalysis(&term_client);
+        let mut term_run = TermRun::new(&term_analysis, &p, &inlined.arena);
+        let d0 = term_client.initial_state();
+        let at_points = term_run.states_at_points(inlined.root, &d0);
+
+        for (qid, decl) in program.queries.iter_enumerated() {
+            if !matches!(decl.kind, pda_lang::QueryKind::Local { .. }) {
+                continue;
+            }
+            let query = rhs_client.local_query(&program, qid);
+            let rhs_fails = run
+                .states_at(decl.point)
+                .into_iter()
+                .any(|d| query.not_q.holds(&p, d));
+            let term_fails = at_points
+                .get(&decl.point)
+                .map(|states| states.iter().any(|d| query.not_q.holds(&p, d)))
+                .unwrap_or(false);
+            assert_eq!(
+                rhs_fails, term_fails,
+                "escape engines disagree on {} under p={p} in:\n{src}",
+                decl.label
+            );
+        }
+    }
+}
+
+fn typestate_verdicts_agree(src: &str) {
+    let program = pda_lang::parse_program(src).unwrap();
+    let pa = PointsTo::analyze(&program);
+    let resolver = |c: pda_lang::CallId| pa.callees(c).to_vec();
+    let inlined = inline(&program, &resolver).expect("inlinable");
+
+    for site in (0..program.sites.len()).map(|i| pda_lang::SiteId(i as u32)) {
+        let rhs_client = TypestateClient::new(&program, &pa, site, TsMode::stress());
+        let term_client = TypestateClient::new(&program, &pa, site, TsMode::stress())
+            .with_extended_vars(&inlined);
+        let n = rhs_client.n_atoms();
+        // Sample abstractions: empty, full, and a few patterns.
+        let patterns: Vec<Vec<bool>> = vec![
+            vec![false; n],
+            vec![true; n],
+            (0..n).map(|i| i % 2 == 0).collect(),
+            (0..n).map(|i| i % 3 == 0).collect(),
+        ];
+        for assignment in patterns {
+            let p = rhs_client.param_of_model(&assignment);
+            let run = rhs::run(
+                &program,
+                &AsAnalysis(&rhs_client),
+                &p,
+                rhs_client.initial_state(),
+                &resolver,
+                RhsLimits::default(),
+            )
+            .unwrap();
+            let term_analysis = AsAnalysis(&term_client);
+            let mut term_run = TermRun::new(&term_analysis, &p, &inlined.arena);
+            let d0 = term_client.initial_state();
+            let at_points = term_run.states_at_points(inlined.root, &d0);
+            let not_q = Formula::prim(pda_typestate::TsPrim::Err);
+
+            for (_, decl) in program.queries.iter_enumerated() {
+                let rhs_fails = run
+                    .states_at(decl.point)
+                    .into_iter()
+                    .any(|d| not_q.holds(&p, d));
+                let term_fails = at_points
+                    .get(&decl.point)
+                    .map(|states| states.iter().any(|d| not_q.holds(&p, d)))
+                    .unwrap_or(false);
+                assert_eq!(
+                    rhs_fails, term_fails,
+                    "type-state engines disagree on {} (site {site}) under p={p} in:\n{src}",
+                    decl.label
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn escape_engines_agree_on_all_programs() {
+    for src in PROGRAMS {
+        escape_verdicts_agree(src);
+    }
+}
+
+#[test]
+fn typestate_engines_agree_on_all_programs() {
+    for src in PROGRAMS {
+        typestate_verdicts_agree(src);
+    }
+}

