@@ -1,8 +1,12 @@
 //! Ablation benchmarks for the design choices DESIGN.md calls out:
 //! the beam width `k` (Section 4.1 / Figure 13) and the query-group
 //! optimization (Section 6).
+//!
+//! Uses the in-tree [`pda_bench::bench_case`] timing harness (no external
+//! benchmark framework, so the workspace builds offline). Run with
+//! `cargo bench -p pda-bench --bench ablation`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pda_bench::bench_case;
 use pda_suite::Benchmark;
 use pda_tracer::{solve_queries, solve_query, TracerConfig};
 use std::hint::black_box;
@@ -22,39 +26,15 @@ fn fixture() -> (Benchmark, Vec<pda_tracer::Query<pda_escape::EscPrim>>, pda_esc
 
 /// Beam-width ablation: resolve the same queries with k = 1, 5, 10, and
 /// an effectively exhaustive beam (the paper's Figure 6(a) mode).
-fn bench_beam_width(c: &mut Criterion) {
+fn bench_beam_width() {
     let (bench, queries, client) = fixture();
     let callees = bench.callees();
-    let mut group = c.benchmark_group("ablation/beam-width");
     for k in [1usize, 5, 10, 1024] {
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            let config = TracerConfig {
-                beam: pda_meta::BeamConfig::with_k(k),
-                ..TracerConfig::default()
-            };
-            b.iter(|| {
-                black_box(solve_queries(
-                    &bench.program,
-                    &callees,
-                    &client,
-                    &queries,
-                    &config,
-                ))
-            })
-        });
-    }
-    group.finish();
-}
-
-/// Query-group ablation: shared (grouped) forward runs vs. solving each
-/// query independently.
-fn bench_grouping(c: &mut Criterion) {
-    let (bench, queries, client) = fixture();
-    let callees = bench.callees();
-    let config = TracerConfig::default();
-    let mut group = c.benchmark_group("ablation/query-groups");
-    group.bench_function("grouped", |b| {
-        b.iter(|| {
+        let config = TracerConfig {
+            beam: pda_meta::BeamConfig::with_k(k),
+            ..TracerConfig::default()
+        };
+        bench_case(&format!("ablation/beam-width/{k}"), 10, || {
             black_box(solve_queries(
                 &bench.program,
                 &callees,
@@ -62,23 +42,35 @@ fn bench_grouping(c: &mut Criterion) {
                 &queries,
                 &config,
             ))
-        })
-    });
-    group.bench_function("individual", |b| {
-        b.iter(|| {
-            queries
-                .iter()
-                .map(|q| solve_query(&bench.program, &callees, &client, q, &config))
-                .map(|r| black_box(r.iterations))
-                .sum::<usize>()
-        })
-    });
-    group.finish();
+        });
+    }
 }
 
-criterion_group! {
-    name = ablation;
-    config = Criterion::default().sample_size(10);
-    targets = bench_beam_width, bench_grouping
+/// Query-group ablation: shared (grouped) forward runs vs. solving each
+/// query independently.
+fn bench_grouping() {
+    let (bench, queries, client) = fixture();
+    let callees = bench.callees();
+    let config = TracerConfig::default();
+    bench_case("ablation/query-groups/grouped", 10, || {
+        black_box(solve_queries(
+            &bench.program,
+            &callees,
+            &client,
+            &queries,
+            &config,
+        ))
+    });
+    bench_case("ablation/query-groups/individual", 10, || {
+        queries
+            .iter()
+            .map(|q| solve_query(&bench.program, &callees, &client, q, &config))
+            .map(|r| black_box(r.iterations))
+            .sum::<usize>()
+    });
 }
-criterion_main!(ablation);
+
+fn main() {
+    bench_beam_width();
+    bench_grouping();
+}

@@ -1,15 +1,19 @@
-//! Criterion micro-benchmarks for the kernels the paper's scalability
-//! story rests on: DNF normalization/simplification, backward weakest
-//! preconditions, forward tabulation, and minimum-cost model search.
+//! Micro-benchmarks for the kernels the paper's scalability story rests
+//! on: DNF normalization/simplification, backward weakest preconditions,
+//! forward tabulation, and minimum-cost model search.
+//!
+//! Uses the in-tree [`pda_bench::bench_case`] timing harness (no external
+//! benchmark framework, so the workspace builds offline). Run with
+//! `cargo bench -p pda-bench --bench kernels`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pda_bench::bench_case;
 use pda_meta::{analyze_trace, simplify, BeamConfig, Formula};
 use pda_solver::{MinCostSolver, PFormula};
 use pda_suite::Benchmark;
 use pda_tracer::{AsAnalysis, AsMeta, TracerClient};
 use std::hint::black_box;
 
-fn bench_dnf(c: &mut Criterion) {
+fn bench_dnf() {
     use pda_escape::{Cell, EscPrim, Val};
     use pda_lang::{FieldId, VarId};
     // A store-shaped wp formula conjunction, the worst DNF producer.
@@ -26,15 +30,13 @@ fn bench_dnf(c: &mut Criterion) {
         .collect();
     let f = Formula::and(parts);
     let cfg = BeamConfig::default();
-    c.bench_function("dnf/convert+simplify", |b| {
-        b.iter(|| {
-            let dnf = pda_meta::approx::to_dnf(black_box(&f), &cfg, &|_| true);
-            black_box(simplify(dnf))
-        })
+    bench_case("dnf/convert+simplify", 20, || {
+        let dnf = pda_meta::approx::to_dnf(black_box(&f), &cfg, &|_| true);
+        simplify(dnf)
     });
 }
 
-fn bench_solver(c: &mut Criterion) {
+fn bench_solver() {
     // Accumulated-constraint shape: k rounds of ¬(cube over 30 atoms).
     let n = 30;
     let mut solver = MinCostSolver::with_unit_costs(n);
@@ -46,29 +48,27 @@ fn bench_solver(c: &mut Criterion) {
         );
         solver.require(PFormula::not(cube));
     }
-    c.bench_function("solver/min-cost-model", |b| {
-        b.iter(|| black_box(&solver).solve().unwrap())
+    bench_case("solver/min-cost-model", 20, || {
+        black_box(&solver).solve().unwrap()
     });
 }
 
-fn bench_forward_and_backward(c: &mut Criterion) {
+fn bench_forward_and_backward() {
     let bench = Benchmark::load(pda_suite::suite().remove(0));
     let client = pda_escape::EscapeClient::new(&bench.program);
     let callees = bench.callees();
     let p_all_e = client.param_of_model(&vec![false; client.n_atoms()]);
-    c.bench_function("forward/rhs-escape-tsp", |b| {
-        b.iter(|| {
-            pda_dataflow::rhs::run(
-                &bench.program,
-                &AsAnalysis(&client),
-                black_box(&p_all_e),
-                client.initial_state(),
-                &callees,
-                pda_dataflow::RhsLimits::default(),
-            )
-            .unwrap()
-            .n_facts()
-        })
+    bench_case("forward/rhs-escape-tsp", 20, || {
+        pda_dataflow::rhs::run(
+            &bench.program,
+            &AsAnalysis(&client),
+            black_box(&p_all_e),
+            client.initial_state(),
+            &callees,
+            pda_dataflow::RhsLimits::default(),
+        )
+        .unwrap()
+        .n_facts()
     });
 
     // A counterexample trace for the first failing access query.
@@ -93,24 +93,21 @@ fn bench_forward_and_backward(c: &mut Criterion) {
     let atoms: Vec<pda_lang::Atom> = trace.iter().map(|s| s.atom).collect();
     let d0 = client.initial_state();
     let cfg = BeamConfig::default();
-    c.bench_function("backward/meta-analysis-trace", |b| {
-        b.iter(|| {
-            analyze_trace(
-                &AsMeta(&client),
-                black_box(&p_all_e),
-                &d0,
-                &atoms,
-                &query.not_q,
-                &cfg,
-            )
-            .unwrap()
-        })
+    bench_case("backward/meta-analysis-trace", 20, || {
+        analyze_trace(
+            &AsMeta(&client),
+            black_box(&p_all_e),
+            &d0,
+            &atoms,
+            &query.not_q,
+            &cfg,
+        )
+        .unwrap()
     });
 }
 
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(20);
-    targets = bench_dnf, bench_solver, bench_forward_and_backward
+fn main() {
+    bench_dnf();
+    bench_solver();
+    bench_forward_and_backward();
 }
-criterion_main!(kernels);

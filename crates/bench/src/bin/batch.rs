@@ -1,0 +1,85 @@
+//! Batch-scheduler driver: wall-clock comparison of the sequential
+//! per-query TRACER loop (`--jobs 1`) against the parallel batch
+//! scheduler with its shared forward-run cache.
+//!
+//! Loads the first suite benchmark, takes its thread-escape query batch
+//! (at least 16 queries), and runs it both ways, printing per-run wall
+//! time, throughput, and cache statistics, then checks that every
+//! per-query outcome (verdict, cost, iteration count) is identical.
+//!
+//! Environment: `PDA_JOBS` sets the parallel worker count (default 8);
+//! `PDA_MAX_QUERIES` caps the batch size (default 32, floor 16).
+
+use pda_escape::EscapeClient;
+use pda_suite::Benchmark;
+use pda_tracer::{solve_queries_batch, BatchConfig, Outcome, QueryResult};
+use pda_util::BitSet;
+
+fn outcome_key(r: &QueryResult<BitSet>) -> String {
+    let verdict = match &r.outcome {
+        Outcome::Proven { param, cost } => format!("proven |p|={cost} {param}"),
+        Outcome::Impossible => "impossible".into(),
+        Outcome::Unresolved(u) => format!("unresolved {u:?}"),
+    };
+    format!("{verdict} after {} iterations", r.iterations)
+}
+
+fn main() {
+    let jobs: usize = std::env::var("PDA_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+        .max(2);
+    let max_queries: usize = std::env::var("PDA_MAX_QUERIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+        .max(16);
+
+    // Smallest suite benchmark whose thread-escape batch has >=16 queries.
+    let (bench, accesses) = pda_suite::suite()
+        .into_iter()
+        .map(Benchmark::load)
+        .find_map(|b| {
+            let accesses = EscapeClient::accesses(&b.program, b.app_methods());
+            (accesses.len() >= 16).then_some((b, accesses))
+        })
+        .expect("some suite benchmark has >=16 escape queries");
+    let client = EscapeClient::new(&bench.program);
+    let queries: Vec<_> = accesses
+        .iter()
+        .take(max_queries)
+        .map(|&(point, var)| client.access_query(point, var))
+        .collect();
+    let callees = bench.callees();
+
+    println!("benchmark {} — {} thread-escape queries\n", bench.name, queries.len());
+
+    let seq_cfg = BatchConfig { jobs: 1, ..BatchConfig::default() };
+    let (seq, seq_stats) =
+        solve_queries_batch(&bench.program, &callees, &client, &queries, &seq_cfg);
+    println!("jobs=1  wall {:>9.1} ms   {}", seq_stats.wall_micros as f64 / 1e3, seq_stats);
+
+    let par_cfg = BatchConfig { jobs, ..BatchConfig::default() };
+    let (par, par_stats) =
+        solve_queries_batch(&bench.program, &callees, &client, &queries, &par_cfg);
+    println!("jobs={jobs}  wall {:>9.1} ms   {}", par_stats.wall_micros as f64 / 1e3, par_stats);
+
+    let speedup = seq_stats.wall_micros as f64 / par_stats.wall_micros.max(1) as f64;
+    println!("\nspeedup (jobs={jobs} vs jobs=1): {speedup:.2}x");
+    println!(
+        "forward runs: {} sequential vs {} with the shared cache ({} saved, hit rate {:.1}%)",
+        seq.iter().map(|r| r.iterations).sum::<usize>(),
+        par_stats.cache.misses,
+        par_stats.cache.hits,
+        par_stats.cache.hit_rate() * 100.0
+    );
+
+    let identical = seq
+        .iter()
+        .zip(&par)
+        .all(|(a, b)| outcome_key(a) == outcome_key(b));
+    println!("per-query outcomes identical: {identical}");
+    assert!(identical, "batch scheduler diverged from the sequential driver");
+    assert!(par_stats.cache.hits > 0, "expected nonzero cache hits");
+}

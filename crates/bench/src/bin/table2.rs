@@ -2,13 +2,14 @@
 //! (min/max/avg, separately for proven and impossible queries) for both
 //! analyses, plus the thread-escape running-time summaries.
 
-use pda_bench::{config_from_env, fmt_summary, load_suite_verbose, print_table};
+use pda_bench::{config_from_env, fmt_summary, load_suite_verbose, print_batch_stats, print_table};
 use pda_suite::{run_escape, run_typestate, Resolution};
 
 fn main() {
     let cfg = config_from_env();
     let benches = load_suite_verbose();
     let mut rows = Vec::new();
+    let mut runs = Vec::new();
     for b in &benches {
         let ts = run_typestate(b, &cfg);
         let esc = run_escape(b, &cfg);
@@ -27,6 +28,8 @@ fn main() {
             format!("{sp0}s/{sp1}s/{sp2}s"),
             format!("{si0}s/{si1}s/{si2}s"),
         ]);
+        runs.push(ts);
+        runs.push(esc);
     }
     println!("\nTable 2: iterations (min/max/avg) and thread-escape running times\n");
     print_table(
@@ -41,4 +44,5 @@ fn main() {
         ],
         &rows,
     );
+    print_batch_stats(&runs);
 }

@@ -2,13 +2,14 @@
 //! — the number of must-alias-tracked variables (type-state) resp.
 //! `L`-mapped sites (thread-escape).
 
-use pda_bench::{config_from_env, fmt_summary, load_suite_verbose, print_table};
+use pda_bench::{config_from_env, fmt_summary, load_suite_verbose, print_batch_stats, print_table};
 use pda_suite::{run_escape, run_typestate};
 
 fn main() {
     let cfg = config_from_env();
     let benches = load_suite_verbose();
     let mut rows = Vec::new();
+    let mut runs = Vec::new();
     for b in &benches {
         let ts = run_typestate(b, &cfg);
         let esc = run_escape(b, &cfg);
@@ -23,6 +24,8 @@ fn main() {
             e1,
             e2,
         ]);
+        runs.push(ts);
+        runs.push(esc);
     }
     println!("\nTable 3: cheapest-abstraction size for proven queries (min/max/avg)\n");
     print_table(
@@ -30,4 +33,5 @@ fn main() {
         &rows,
     );
     println!("\npaper shape: escape needs 1-2 L-sites on average; type-state grows with benchmark size");
+    print_batch_stats(&runs);
 }

@@ -2,7 +2,7 @@
 //! queries share the same cheapest abstraction (group counts and
 //! min/max/avg group sizes).
 
-use pda_bench::{config_from_env, fmt_summary, load_suite_verbose, print_table};
+use pda_bench::{config_from_env, fmt_summary, load_suite_verbose, print_batch_stats, print_table};
 use pda_suite::{run_escape, run_typestate};
 use pda_util::Summary;
 
@@ -16,6 +16,7 @@ fn main() {
     let cfg = config_from_env();
     let benches = load_suite_verbose();
     let mut rows = Vec::new();
+    let mut runs = Vec::new();
     for b in &benches {
         let ts = run_typestate(b, &cfg);
         let esc = run_escape(b, &cfg);
@@ -23,6 +24,8 @@ fn main() {
         row.extend(group_cells(&ts.reuse_groups()));
         row.extend(group_cells(&esc.reuse_groups()));
         rows.push(row);
+        runs.push(ts);
+        runs.push(esc);
     }
     println!("\nTable 4: cheapest-abstraction reuse among proven queries\n");
     print_table(
@@ -40,4 +43,5 @@ fn main() {
         &rows,
     );
     println!("\npaper shape: cheapest abstractions differ across queries (many small groups)");
+    print_batch_stats(&runs);
 }

@@ -1,5 +1,5 @@
 //! Shared plumbing for the experiment binaries (one per paper
-//! table/figure) and the Criterion micro-benchmarks.
+//! table/figure) and the micro-benchmarks.
 //!
 //! Each binary regenerates one table or figure of the PLDI'13 evaluation:
 //!
@@ -14,12 +14,15 @@
 //! | `fig14`  | distribution of cheapest-abstraction sizes        |
 //!
 //! Scale knobs come from the environment so CI can run a quick pass:
-//! `PDA_MAX_QUERIES` (default 40), `PDA_MAX_ITERS` (default 40).
+//! `PDA_MAX_QUERIES` (default 40), `PDA_MAX_ITERS` (default 40),
+//! `PDA_JOBS` (default 1 = the sequential grouped driver; `> 1` routes
+//! queries through the parallel batch scheduler and its shared
+//! forward-run cache).
 
-use pda_suite::{Benchmark, ExperimentConfig};
+use pda_suite::{AnalysisRun, Benchmark, ExperimentConfig};
 
-/// Builds the experiment configuration, honoring the `PDA_MAX_QUERIES`
-/// and `PDA_MAX_ITERS` environment overrides.
+/// Builds the experiment configuration, honoring the `PDA_MAX_QUERIES`,
+/// `PDA_MAX_ITERS`, and `PDA_JOBS` environment overrides.
 pub fn config_from_env() -> ExperimentConfig {
     let mut cfg = ExperimentConfig::default();
     if let Some(q) = env_usize("PDA_MAX_QUERIES") {
@@ -28,7 +31,32 @@ pub fn config_from_env() -> ExperimentConfig {
     if let Some(i) = env_usize("PDA_MAX_ITERS") {
         cfg.max_iters = i;
     }
+    if let Some(j) = env_usize("PDA_JOBS") {
+        cfg.jobs = j.max(1);
+    }
     cfg
+}
+
+/// Prints the batch-execution footer shared by the experiment binaries:
+/// worker count, throughput, and forward-run cache effectiveness over all
+/// analysis runs of the invocation. The cache columns are only nonzero
+/// under `PDA_JOBS > 1` (the sequential driver shares forward runs via
+/// query groups, not the cache).
+pub fn print_batch_stats(runs: &[AnalysisRun]) {
+    let jobs = runs.iter().map(|r| r.jobs).max().unwrap_or(1);
+    let queries: usize = runs.iter().map(|r| r.outcomes.len()).sum();
+    let micros: u128 = runs.iter().map(|r| r.wall_micros).sum();
+    let forward_runs: usize = runs.iter().map(|r| r.forward_runs).sum();
+    let mut cache = pda_util::CacheStats::default();
+    for r in runs {
+        cache.merge(r.cache);
+    }
+    let qps = if micros == 0 { 0.0 } else { queries as f64 * 1e6 / micros as f64 };
+    println!(
+        "\nbatch: jobs={jobs}, {queries} queries, {qps:.1} queries/sec, \
+         {forward_runs} forward runs, cache {cache}, {} forward runs saved",
+        cache.hits
+    );
 }
 
 fn env_usize(name: &str) -> Option<usize> {
@@ -70,6 +98,22 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
     for r in rows {
         println!("{}", row(r, &widths));
     }
+}
+
+/// Times `iters` runs of `f` after one warmup run and prints the mean
+/// per-iteration wall time — the offline, dependency-free stand-in for a
+/// benchmark harness like Criterion. Returns the mean in microseconds so
+/// drivers can compare configurations.
+pub fn bench_case<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    assert!(iters > 0, "bench_case needs at least one iteration");
+    std::hint::black_box(f());
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let mean_us = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    println!("{name:<44} {iters:>4} iters   avg {mean_us:>12.1} µs");
+    mean_us
 }
 
 /// Renders a [`pda_util::Summary`] as the paper's `min max avg` triple.

@@ -18,7 +18,9 @@
 use pda_analysis::{PointsTo, Reachability};
 use pda_escape::EscapeClient;
 use pda_meta::BeamConfig;
-use pda_tracer::{solve_query, Outcome, TracerConfig};
+use pda_tracer::{
+    default_jobs, solve_queries_batch, solve_query, BatchConfig, Outcome, TracerConfig,
+};
 use pda_typestate::TypestateClient;
 use pda_util::Idx;
 use std::fmt::Write as _;
@@ -36,7 +38,7 @@ pub enum Command {
         /// Input path.
         file: String,
     },
-    /// `pda solve <file> [--query LABEL] [--k N] [--max-iters N]`
+    /// `pda solve <file> [--query LABEL] [--k N] [--max-iters N] [--jobs N]`
     Solve {
         /// Input path.
         file: String,
@@ -46,6 +48,9 @@ pub enum Command {
         k: usize,
         /// Iteration budget.
         max_iters: usize,
+        /// Worker threads (1 = today's sequential driver; default = the
+        /// machine's available parallelism).
+        jobs: usize,
     },
     /// `pda gen <benchmark>`
     Gen {
@@ -63,8 +68,11 @@ pda — optimum abstractions for parametric dataflow analysis (PLDI'13)
 USAGE:
     pda check   <file.jay>                 parse, validate, report stats
     pda queries <file.jay>                 list source queries
-    pda solve   <file.jay> [--query LABEL] [--k N] [--max-iters N]
+    pda solve   <file.jay> [--query LABEL] [--k N] [--max-iters N] [--jobs N]
                                            find optimum abstractions
+                                           (--jobs 1 = sequential; default:
+                                           available parallelism, batched
+                                           with a shared forward-run cache)
     pda gen     <benchmark>                print a generated suite program
 ";
 
@@ -91,6 +99,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, St
             let mut query = None;
             let mut k = 5usize;
             let mut max_iters = 100usize;
+            let mut jobs = default_jobs();
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -118,10 +127,19 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, St
                             .map_err(|_| "--max-iters needs a number".to_string())?;
                         i += 2;
                     }
+                    "--jobs" => {
+                        jobs = args
+                            .get(i + 1)
+                            .ok_or("--jobs needs a number")?
+                            .parse::<usize>()
+                            .map_err(|_| "--jobs needs a number".to_string())?
+                            .max(1);
+                        i += 2;
+                    }
                     other => return Err(format!("solve: unknown flag `{other}`")),
                 }
             }
-            Ok(Command::Solve { file, query, k, max_iters })
+            Ok(Command::Solve { file, query, k, max_iters, jobs })
         }
         Some("help") | None => Ok(Command::Help),
         Some(other) => Err(format!("unknown command `{other}`")),
@@ -136,8 +154,8 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, String> {
     match cmd {
         Command::Check { .. } => check_report(source),
         Command::Queries { .. } => queries_report(source),
-        Command::Solve { query, k, max_iters, .. } => {
-            solve_report(source, query.as_deref(), *k, *max_iters)
+        Command::Solve { query, k, max_iters, jobs, .. } => {
+            solve_report(source, query.as_deref(), *k, *max_iters, *jobs)
         }
         Command::Gen { name } => {
             let cfg = pda_suite::suite()
@@ -217,6 +235,7 @@ fn solve_report(
     label: Option<&str>,
     k: usize,
     max_iters: usize,
+    jobs: usize,
 ) -> Result<String, String> {
     let program = load(source)?;
     let pa = PointsTo::analyze(&program);
@@ -226,6 +245,33 @@ fn solve_report(
         ..TracerConfig::default()
     };
     let callees = |c: pda_lang::CallId| pa.callees(c).to_vec();
+
+    // With --jobs > 1 the thread-escape queries (which share one client)
+    // run upfront as one batch on the worker pool with a shared
+    // forward-run cache; per-query verdicts are identical to the
+    // sequential driver and get rendered below in declaration order.
+    let mut batched: Vec<(pda_lang::QueryId, pda_tracer::QueryResult<pda_util::BitSet>)> =
+        Vec::new();
+    let mut batch_stats = None;
+    if jobs > 1 {
+        let client = EscapeClient::new(&program);
+        let local: Vec<pda_lang::QueryId> = program
+            .queries
+            .iter_enumerated()
+            .filter(|(_, d)| label.is_none_or(|want| d.label == want))
+            .filter(|(_, d)| matches!(d.kind, pda_lang::QueryKind::Local { .. }))
+            .map(|(qid, _)| qid)
+            .collect();
+        let queries: Vec<_> = local.iter().map(|&qid| client.local_query(&program, qid)).collect();
+        if !queries.is_empty() {
+            let batch = BatchConfig { tracer: config.clone(), jobs };
+            let (results, stats) =
+                solve_queries_batch(&program, &callees, &client, &queries, &batch);
+            batched = local.into_iter().zip(results).collect();
+            batch_stats = Some(stats);
+        }
+    }
+
     let mut out = String::new();
     let mut matched = false;
     for (qid, decl) in program.queries.iter_enumerated() {
@@ -237,9 +283,14 @@ fn solve_report(
         matched = true;
         match &decl.kind {
             pda_lang::QueryKind::Local { .. } => {
-                let client = EscapeClient::new(&program);
-                let query = client.local_query(&program, qid);
-                let r = solve_query(&program, &callees, &client, &query, &config);
+                let r = match batched.iter().position(|(id, _)| *id == qid) {
+                    Some(i) => batched.swap_remove(i).1,
+                    None => {
+                        let client = EscapeClient::new(&program);
+                        let query = client.local_query(&program, qid);
+                        solve_query(&program, &callees, &client, &query, &config)
+                    }
+                };
                 render(&mut out, &program, &decl.label, "thread-escape", &r, |i| {
                     format!("site {}", program.site_label(pda_lang::SiteId::from_usize(i)))
                 });
@@ -281,6 +332,9 @@ fn solve_report(
             Some(l) => format!("no query labeled `{l}`"),
             None => "program has no queries".to_string(),
         });
+    }
+    if let Some(stats) = batch_stats {
+        writeln!(out, "batch: {stats}").unwrap();
     }
     Ok(out)
 }
@@ -355,12 +409,28 @@ mod tests {
         assert_eq!(a(&["gen", "tsp"]).unwrap(), Command::Gen { name: "tsp".into() });
         assert_eq!(
             a(&["solve", "f.jay", "--query", "q", "--k", "3", "--max-iters", "9"]).unwrap(),
-            Command::Solve { file: "f.jay".into(), query: Some("q".into()), k: 3, max_iters: 9 }
+            Command::Solve {
+                file: "f.jay".into(),
+                query: Some("q".into()),
+                k: 3,
+                max_iters: 9,
+                jobs: default_jobs(),
+            }
+        );
+        assert_eq!(
+            a(&["solve", "f.jay", "--jobs", "4"]).unwrap(),
+            Command::Solve { file: "f.jay".into(), query: None, k: 5, max_iters: 100, jobs: 4 }
+        );
+        // --jobs 0 is clamped to the sequential driver.
+        assert_eq!(
+            a(&["solve", "f.jay", "--jobs", "0"]).unwrap(),
+            Command::Solve { file: "f.jay".into(), query: None, k: 5, max_iters: 100, jobs: 1 }
         );
         assert_eq!(a(&[]).unwrap(), Command::Help);
         assert!(a(&["bogus"]).is_err());
         assert!(a(&["solve"]).is_err());
         assert!(a(&["solve", "f", "--k", "NaN"]).is_err());
+        assert!(a(&["solve", "f", "--jobs", "many"]).is_err());
     }
 
     #[test]
@@ -380,7 +450,8 @@ mod tests {
 
     #[test]
     fn solve_resolves_both_queries() {
-        let cmd = Command::Solve { file: String::new(), query: None, k: 5, max_iters: 50 };
+        let cmd =
+            Command::Solve { file: String::new(), query: None, k: 5, max_iters: 50, jobs: 1 };
         let report = run_on_source(&cmd, SRC).unwrap();
         assert!(report.contains("protocol @ File#0 [type-state]: PROVEN"), "{report}");
         assert!(report.contains("localx [thread-escape]: PROVEN"), "{report}");
@@ -393,6 +464,7 @@ mod tests {
             query: Some("localx".into()),
             k: 5,
             max_iters: 50,
+            jobs: 1,
         };
         let report = run_on_source(&cmd, SRC).unwrap();
         assert!(!report.contains("protocol"));
@@ -401,8 +473,25 @@ mod tests {
             query: Some("nope".into()),
             k: 5,
             max_iters: 50,
+            jobs: 1,
         };
         assert!(run_on_source(&bad, SRC).is_err());
+    }
+
+    #[test]
+    fn parallel_solve_matches_sequential_verdicts() {
+        let seq =
+            Command::Solve { file: String::new(), query: None, k: 5, max_iters: 50, jobs: 1 };
+        let par =
+            Command::Solve { file: String::new(), query: None, k: 5, max_iters: 50, jobs: 4 };
+        let seq_report = run_on_source(&seq, SRC).unwrap();
+        let par_report = run_on_source(&par, SRC).unwrap();
+        // Same per-query lines; the parallel run appends a batch stats line.
+        let verdicts =
+            |r: &str| r.lines().filter(|l| !l.starts_with("batch:")).map(String::from).collect::<Vec<_>>();
+        assert_eq!(verdicts(&seq_report), verdicts(&par_report));
+        assert!(par_report.contains("batch: 1 queries, jobs="), "{par_report}");
+        assert!(!seq_report.contains("batch:"));
     }
 
     #[test]

@@ -1,0 +1,457 @@
+//! Batch query scheduler: all of a program's queries through TRACER on a
+//! worker pool, with a shared forward-run cache.
+//!
+//! The paper evaluates TRACER one *suite program* at a time, but each
+//! program carries dozens to thousands of queries, and every query's
+//! CEGAR loop (Algorithm 1) re-runs the forward analysis for each
+//! candidate abstraction it tries. Distinct queries over the same client
+//! frequently try the *same* candidate abstractions — every query starts
+//! from the empty abstraction, and cheap refinements recur — so their
+//! forward runs are identical and redundant.
+//!
+//! [`solve_queries_batch`] exploits that: it schedules the per-query
+//! CEGAR loops across a [`std::thread::scope`] worker pool
+//! ([`BatchConfig::jobs`] workers) and routes every forward analysis
+//! through a [`ForwardCache`] shared by the whole batch. A forward run is
+//! fully determined by the `(client, abstraction parameter, program)`
+//! triple; within one batch the client and program are fixed, so the
+//! cache keys on the remaining coordinate — the solver model assignment
+//! the parameter was decoded from. Cache hits skip the RHS tabulation
+//! entirely and reuse the memoized [`RhsResult`].
+//!
+//! Determinism: the RHS engine is a deterministic function of its inputs
+//! (LIFO worklist, interned state ids, and `witness` resolves ties by
+//! minimum `(entry, state)` id), so a cached result is *identical* to the
+//! run it replaces and per-query outcomes, costs, and iteration counts do
+//! not depend on `jobs` or on scheduling order. `jobs == 1` short-circuits
+//! to today's sequential [`solve_query`] loop, bit for bit.
+//!
+//! This subsumes neither the Section 6 *query groups* optimization
+//! ([`crate::groups::solve_queries`]) nor is subsumed by it: groups share
+//! one forward run across queries *inside one CEGAR step*, while the
+//! batch cache shares runs across *independent* per-query loops (and
+//! across groups, were the two composed).
+
+use crate::client::{AsMeta, Query, TracerClient};
+use crate::tracer::{solve_query, Outcome, QueryResult, StepResult, TracerConfig, Unresolved};
+use pda_dataflow::{rhs, RhsResult, TooBig};
+use pda_lang::{CallId, MethodId, Program};
+use pda_meta::{analyze_trace, restrict};
+use pda_solver::{MinCostSolver, PFormula};
+use pda_util::CacheStats;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Configuration of a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Per-query TRACER configuration.
+    pub tracer: TracerConfig,
+    /// Worker threads. `1` reproduces the sequential driver exactly
+    /// (no cache, no pool); `0` is treated as `1`. The default is the
+    /// machine's available parallelism.
+    pub jobs: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig { tracer: TracerConfig::default(), jobs: default_jobs() }
+    }
+}
+
+/// The machine's available parallelism (the `--jobs` default), `1` if
+/// unknown.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Effort accounting for one batch, surfaced by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct BatchStats {
+    /// Queries scheduled.
+    pub queries: usize,
+    /// Worker threads actually used.
+    pub jobs: usize,
+    /// Forward-run cache hits/misses (`misses` = RHS runs executed;
+    /// `hits` = RHS runs saved). All-zero when `jobs == 1` (no cache).
+    pub cache: CacheStats,
+    /// Wall-clock time for the whole batch, microseconds.
+    pub wall_micros: u128,
+}
+
+impl BatchStats {
+    /// Batch throughput in queries per second.
+    pub fn queries_per_sec(&self) -> f64 {
+        if self.wall_micros == 0 {
+            return 0.0;
+        }
+        self.queries as f64 * 1e6 / self.wall_micros as f64
+    }
+
+    /// Forward runs the cache avoided (its hit count).
+    pub fn forward_runs_saved(&self) -> u64 {
+        self.cache.hits
+    }
+}
+
+impl std::fmt::Display for BatchStats {
+    /// One-line summary: `32 queries, jobs=8: 41.2 q/s, cache 57/89 hits
+    /// (64.0%), 57 forward runs saved`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} queries, jobs={}: {:.1} q/s, cache {}, {} forward runs saved",
+            self.queries,
+            self.jobs,
+            self.queries_per_sec(),
+            self.cache,
+            self.forward_runs_saved(),
+        )
+    }
+}
+
+/// A shared, thread-safe memo table for forward (RHS) runs.
+///
+/// Keys are solver model assignments over the client's parameter atoms —
+/// the canonical encoding of the abstraction parameter; the client and
+/// program are fixed per cache, completing the `(client, param, program)`
+/// key the batch scheduler needs. Values are [`RhsResult`]s behind
+/// [`Arc`], so concurrent queries share one tabulation.
+///
+/// Each slot is a [`OnceLock`]: when several workers want the same
+/// not-yet-computed run, one executes it and the rest block on the slot
+/// rather than duplicating the work.
+pub struct ForwardCache<'p, S> {
+    slots: Mutex<HashMap<Vec<bool>, Arc<Slot<'p, S>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+type Slot<'p, S> = OnceLock<Result<Arc<RhsResult<'p, S>>, TooBig>>;
+
+impl<'p, S> ForwardCache<'p, S> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ForwardCache {
+            slots: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The memoized forward run for `assignment`, executing `compute` at
+    /// most once per assignment across all threads. Counts a miss for the
+    /// caller that ran `compute` (or blocked on the winner of a race) and
+    /// a hit for everyone who found the slot already filled.
+    pub fn forward(
+        &self,
+        assignment: &[bool],
+        compute: impl FnOnce() -> Result<RhsResult<'p, S>, TooBig>,
+    ) -> Result<Arc<RhsResult<'p, S>>, TooBig> {
+        let slot = {
+            let mut slots = self.slots.lock().expect("forward-cache map poisoned");
+            match slots.get(assignment) {
+                Some(s) => Arc::clone(s),
+                None => {
+                    let s = Arc::new(Slot::new());
+                    slots.insert(assignment.to_vec(), Arc::clone(&s));
+                    s
+                }
+            }
+        };
+        if let Some(done) = slot.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return done.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        slot.get_or_init(|| compute().map(Arc::new)).clone()
+    }
+}
+
+impl<'p, S> Default for ForwardCache<'p, S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Resolves every query of one program, in parallel, sharing forward runs.
+///
+/// With `jobs == 1` this is exactly `queries.iter().map(solve_query)` —
+/// the sequential driver, unchanged. With `jobs > 1` the queries are
+/// claimed from a shared counter by `min(jobs, queries.len())` scoped
+/// worker threads, and every CEGAR iteration's forward analysis goes
+/// through one [`ForwardCache`]. Results come back in query order, and
+/// per-query outcomes, costs, and iteration counts are identical to the
+/// sequential run (see the module docs for the determinism argument);
+/// only the per-query `micros` fields and the batch wall time vary.
+pub fn solve_queries_batch<'p, C>(
+    program: &'p Program,
+    callees: &(dyn Fn(CallId) -> Vec<MethodId> + Sync),
+    client: &C,
+    queries: &[Query<C::Prim>],
+    config: &BatchConfig,
+) -> (Vec<QueryResult<C::Param>>, BatchStats)
+where
+    C: TracerClient + Sync,
+    C::Param: Send,
+    C::State: Send + Sync,
+    C::Prim: Sync,
+{
+    let start = Instant::now();
+    let jobs = config.jobs.max(1).min(queries.len().max(1));
+    if jobs == 1 {
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| solve_query(program, &|c| callees(c), client, q, &config.tracer))
+            .collect();
+        let stats = BatchStats {
+            queries: queries.len(),
+            jobs,
+            cache: CacheStats::default(),
+            wall_micros: start.elapsed().as_micros(),
+        };
+        return (results, stats);
+    }
+
+    let cache: ForwardCache<'p, C::State> = ForwardCache::new();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<QueryResult<C::Param>>>> =
+        queries.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= queries.len() {
+                    break;
+                }
+                let r =
+                    solve_query_cached(program, callees, client, &queries[i], &config.tracer, &cache);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    let results: Vec<_> = slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every claimed query was resolved")
+        })
+        .collect();
+    let stats = BatchStats {
+        queries: queries.len(),
+        jobs,
+        cache: cache.stats(),
+        wall_micros: start.elapsed().as_micros(),
+    };
+    (results, stats)
+}
+
+/// [`solve_query`] with its forward analyses routed through `cache`.
+///
+/// Mirrors [`crate::tracer::step`]'s CEGAR iteration exactly; the only
+/// difference is where the [`RhsResult`] comes from. Within one query's
+/// loop every iteration tries a *different* assignment (the previous one
+/// was just proven unviable), so the cache only ever pays off *across*
+/// queries — which is exactly the sharing the batch scheduler is for.
+pub fn solve_query_cached<'p, C: TracerClient>(
+    program: &'p Program,
+    callees: &dyn Fn(CallId) -> Vec<MethodId>,
+    client: &C,
+    query: &Query<C::Prim>,
+    config: &TracerConfig,
+    cache: &ForwardCache<'p, C::State>,
+) -> QueryResult<C::Param> {
+    let start = Instant::now();
+    let mut constraints: Vec<PFormula> = Vec::new();
+    let mut iterations = 0;
+    let outcome = loop {
+        if iterations >= config.max_iters {
+            break Outcome::Unresolved(Unresolved::IterationBudget);
+        }
+        match step_cached(program, callees, client, query, config, &mut constraints, cache) {
+            StepResult::Proven { param, cost } => {
+                iterations += 1;
+                break Outcome::Proven { param, cost };
+            }
+            StepResult::Impossible => break Outcome::Impossible,
+            StepResult::Refined { .. } => iterations += 1,
+            StepResult::Unresolved(u) => {
+                iterations += 1;
+                break Outcome::Unresolved(u);
+            }
+        }
+    };
+    QueryResult { outcome, iterations, micros: start.elapsed().as_micros() }
+}
+
+/// One CEGAR iteration with the forward run served by `cache`.
+#[allow(clippy::too_many_arguments)]
+fn step_cached<'p, C: TracerClient>(
+    program: &'p Program,
+    callees: &dyn Fn(CallId) -> Vec<MethodId>,
+    client: &C,
+    query: &Query<C::Prim>,
+    config: &TracerConfig,
+    constraints: &mut Vec<PFormula>,
+    cache: &ForwardCache<'p, C::State>,
+) -> StepResult<C::Param> {
+    let n = client.n_atoms();
+    let costs = (0..n).map(|i| client.atom_cost(i)).collect();
+    let mut solver = MinCostSolver::new(n, costs);
+    for c in constraints.iter() {
+        solver.require(c.clone());
+    }
+    let Some(model) = solver.solve() else {
+        return StepResult::Impossible;
+    };
+    let p = client.param_of_model(&model.assignment);
+    let d0 = client.initial_state();
+
+    let run = match cache.forward(&model.assignment, || {
+        rhs::run(
+            program,
+            &crate::client::AsAnalysis(client),
+            &p,
+            d0.clone(),
+            callees,
+            config.rhs_limits,
+        )
+    }) {
+        Ok(r) => r,
+        Err(_) => return StepResult::Unresolved(Unresolved::AnalysisTooBig),
+    };
+
+    let failing = |d: &C::State| query.not_q.holds(&p, d);
+    let Some(trace) = run.witness(query.point, &failing) else {
+        return StepResult::Proven { param: p, cost: model.cost };
+    };
+    let atoms: Vec<pda_lang::Atom> = trace.iter().map(|s| s.atom).collect();
+
+    let dnf = match analyze_trace(&AsMeta(client), &p, &d0, &atoms, &query.not_q, &config.beam) {
+        Ok(f) => f,
+        Err(e) => return StepResult::Unresolved(Unresolved::MetaFailure(e.to_string())),
+    };
+    let phi = restrict(&dnf, &d0);
+    debug_assert!(
+        phi.eval(&model.assignment),
+        "backward analysis failed to eliminate the current abstraction (Theorem 3.1)"
+    );
+    constraints.push(PFormula::not(phi));
+    StepResult::Refined { param: p, cost: model.cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nullcli::NullClient;
+    use pda_analysis::PointsTo;
+
+    fn fixture() -> (pda_lang::Program, PointsTo) {
+        let program = pda_lang::parse_program(
+            r#"
+            fn id(a) { return a; }
+            fn main() {
+                var x, y, z;
+                x = null;
+                z = x;
+                while (*) { y = id(x); }
+                y = x;
+                query q1: local y;
+                query q2: local z;
+                query q3: local x;
+            }
+            "#,
+        )
+        .unwrap();
+        let pa = PointsTo::analyze(&program);
+        (program, pa)
+    }
+
+    fn queries(
+        program: &pda_lang::Program,
+        client: &NullClient,
+    ) -> Vec<Query<crate::nullcli::NullPrim>> {
+        ["q1", "q2", "q3"]
+            .iter()
+            .map(|l| client.query(program, program.query_by_label(l).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_hits_cache() {
+        let (program, pa) = fixture();
+        let client = NullClient::new(&program);
+        let qs = queries(&program, &client);
+        let callees = |c: CallId| pa.callees(c).to_vec();
+        let seq = BatchConfig { jobs: 1, ..BatchConfig::default() };
+        let par = BatchConfig { jobs: 4, ..BatchConfig::default() };
+        let (r1, s1) = solve_queries_batch(&program, &callees, &client, &qs, &seq);
+        let (r4, s4) = solve_queries_batch(&program, &callees, &client, &qs, &par);
+        assert_eq!(s1.queries, 3);
+        assert_eq!(s1.cache.lookups(), 0, "jobs=1 must not touch the cache");
+        for (a, b) in r1.iter().zip(&r4) {
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.iterations, b.iterations);
+        }
+        // Every query's loop starts from the same (empty) assignment, so
+        // at least two of the three first iterations must hit the cache.
+        assert!(s4.cache.hits >= 2, "expected cross-query sharing, got {}", s4.cache);
+        assert_eq!(
+            s4.cache.lookups() as usize,
+            r4.iter().map(|r| r.iterations).sum::<usize>(),
+            "every CEGAR iteration does exactly one forward lookup"
+        );
+    }
+
+    #[test]
+    fn forward_cache_memoizes_and_counts() {
+        let (program, pa) = fixture();
+        let client = NullClient::new(&program);
+        let callees = |c: CallId| pa.callees(c).to_vec();
+        let cache: ForwardCache<'_, _> = ForwardCache::new();
+        let assignment = vec![false; client.n_atoms()];
+        let p = client.param_of_model(&assignment);
+        let mut runs = 0;
+        for _ in 0..3 {
+            let r = cache
+                .forward(&assignment, || {
+                    runs += 1;
+                    rhs::run(
+                        &program,
+                        &crate::client::AsAnalysis(&client),
+                        &p,
+                        client.initial_state(),
+                        &callees,
+                        pda_dataflow::RhsLimits::default(),
+                    )
+                })
+                .unwrap();
+            assert!(r.n_facts() > 0);
+        }
+        assert_eq!(runs, 1, "compute must execute once per assignment");
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 2));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (program, pa) = fixture();
+        let client = NullClient::new(&program);
+        let callees = |c: CallId| pa.callees(c).to_vec();
+        let (r, s) =
+            solve_queries_batch(&program, &callees, &client, &[], &BatchConfig::default());
+        assert!(r.is_empty());
+        assert_eq!(s.queries, 0);
+    }
+}

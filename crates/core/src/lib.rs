@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod batch;
 pub mod brute;
 pub mod client;
 pub mod groups;
@@ -63,6 +64,7 @@ pub mod nullcli;
 pub mod tracer;
 
 pub use baseline::{solve_query_coarse, CoarseAtoms};
+pub use batch::{default_jobs, solve_queries_batch, BatchConfig, BatchStats, ForwardCache};
 pub use brute::brute_force_optimum;
 pub use client::{AsAnalysis, AsMeta, Query, TracerClient};
 pub use groups::{solve_queries, GroupStats};

@@ -199,43 +199,48 @@ mod tests {
     use super::*;
     use crate::client::AsMeta;
     use pda_meta::check_wp_exact;
-    use proptest::prelude::*;
 
-    fn arb_atom() -> impl Strategy<Value = Atom> {
-        let v = || (0u32..4).prop_map(VarId);
-        prop_oneof![
-            v().prop_map(|dst| Atom::Null { dst }),
-            (v(), v()).prop_map(|(dst, src)| Atom::Copy { dst, src }),
-            v().prop_map(|dst| Atom::Havoc { dst }),
-            (v(), v()).prop_map(|(dst, base)| Atom::Load { dst, base, field: pda_lang::FieldId(0) }),
-            v().prop_map(|dst| Atom::New { dst, site: pda_lang::SiteId(0) }),
-            (v(), v()).prop_map(|(base, src)| Atom::Store { base, field: pda_lang::FieldId(0), src }),
-            Just(Atom::Nop),
-        ]
+    /// Every atom shape over 4 variables, field 0, site 0 — small enough
+    /// to enumerate outright.
+    fn all_atoms() -> Vec<Atom> {
+        let vs = || (0u32..4).map(VarId);
+        let mut out = vec![Atom::Nop];
+        for a in vs() {
+            out.push(Atom::Null { dst: a });
+            out.push(Atom::Havoc { dst: a });
+            out.push(Atom::New { dst: a, site: pda_lang::SiteId(0) });
+            for b in vs() {
+                out.push(Atom::Copy { dst: a, src: b });
+                out.push(Atom::Load { dst: a, base: b, field: pda_lang::FieldId(0) });
+                out.push(Atom::Store { base: a, field: pda_lang::FieldId(0), src: b });
+            }
+        }
+        out
     }
 
-    proptest! {
-        /// Requirement (2): the wp of every primitive is the exact
-        /// preimage of the forward transfer.
-        #[test]
-        fn wp_is_exact(
-            atom in arb_atom(),
-            pbits in 0u32..16,
-            dbits in 0u32..16,
-            prim_var in 0u32..4,
-            prim_is_param in any::<bool>(),
-        ) {
-            let client = NullClient { n_vars: 4 };
-            let p = BitSet::from_iter(4, (0..4).filter(|i| (pbits >> i) & 1 == 1));
-            let d: BTreeSet<VarId> =
-                (0..4).filter(|i| (dbits >> i) & 1 == 1).map(VarId).collect();
-            let prim = if prim_is_param {
-                NullPrim::Param(VarId(prim_var))
-            } else {
-                NullPrim::Var(VarId(prim_var))
-            };
-            check_wp_exact(&AsMeta(&client), &atom, &prim, &p, &d)
-                .map_err(TestCaseError::fail)?;
+    /// Requirement (2): the wp of every primitive is the exact preimage of
+    /// the forward transfer. The 4-variable universe is small enough to
+    /// check *exhaustively*: every atom × parameter × state × primitive.
+    #[test]
+    fn wp_is_exact() {
+        let client = NullClient { n_vars: 4 };
+        for atom in all_atoms() {
+            for pbits in 0u32..16 {
+                let p = BitSet::from_iter(4, (0..4).filter(|i| (pbits >> i) & 1 == 1));
+                for dbits in 0u32..16 {
+                    let d: BTreeSet<VarId> =
+                        (0..4).filter(|i| (dbits >> i) & 1 == 1).map(VarId).collect();
+                    for prim_var in 0u32..4 {
+                        for prim in [
+                            NullPrim::Var(VarId(prim_var)),
+                            NullPrim::Param(VarId(prim_var)),
+                        ] {
+                            check_wp_exact(&AsMeta(&client), &atom, &prim, &p, &d)
+                                .unwrap_or_else(|e| panic!("{e}"));
+                        }
+                    }
+                }
+            }
         }
     }
 }

@@ -222,6 +222,27 @@ pub(crate) fn step<C: TracerClient>(
     StepResult::Refined { param: p, cost: model.cost }
 }
 
+impl<Param> std::fmt::Display for Outcome<Param> {
+    /// One-line, user-facing verdict (details via `Debug`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::Proven { cost, .. } => write!(f, "proven with optimum |p| = {cost}"),
+            Outcome::Impossible => write!(f, "impossible for every abstraction"),
+            Outcome::Unresolved(u) => write!(f, "unresolved: {u}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Unresolved {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Unresolved::IterationBudget => write!(f, "iteration budget exhausted"),
+            Unresolved::AnalysisTooBig => write!(f, "forward analysis exceeded its fact budget"),
+            Unresolved::MetaFailure(m) => write!(f, "meta-analysis failure: {m}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,26 +410,5 @@ mod tests {
         let config = TracerConfig { max_iters: 1, ..TracerConfig::default() };
         let r = solve_query(&program, &|c| pa.callees(c).to_vec(), &client, &query, &config);
         assert_eq!(r.outcome, Outcome::Unresolved(Unresolved::IterationBudget));
-    }
-}
-
-impl<Param> std::fmt::Display for Outcome<Param> {
-    /// One-line, user-facing verdict (details via `Debug`).
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Outcome::Proven { cost, .. } => write!(f, "proven with optimum |p| = {cost}"),
-            Outcome::Impossible => write!(f, "impossible for every abstraction"),
-            Outcome::Unresolved(u) => write!(f, "unresolved: {u}"),
-        }
-    }
-}
-
-impl std::fmt::Display for Unresolved {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Unresolved::IterationBudget => write!(f, "iteration budget exhausted"),
-            Unresolved::AnalysisTooBig => write!(f, "forward analysis exceeded its fact budget"),
-            Unresolved::MetaFailure(m) => write!(f, "meta-analysis failure: {m}"),
-        }
     }
 }

@@ -164,6 +164,7 @@ struct Solver<'a, A: ParametricAnalysis> {
     summaries: HashMap<(MethodId, Sid), BTreeSet<Sid>>,
     /// `(method, entry) → call sites waiting on its summaries`.
     /// Entries are `(caller method, caller entry, call node, pre-state)`.
+    #[allow(clippy::type_complexity)]
     callers: HashMap<(MethodId, Sid), Vec<(MethodId, Sid, NodeId, Sid)>>,
     /// First caller per context (see [`RhsResult::ctx_parent`]).
     ctx_parent: HashMap<(MethodId, Sid), (MethodId, Sid, NodeId, Sid)>,
@@ -356,7 +357,7 @@ impl<S: Clone + Eq + std::hash::Hash> RhsResult<'_, S> {
         let info = &self.program.points[point];
         let mut out = Vec::new();
         let mut seen = BTreeSet::new();
-        for (&(m, _, n, d), _) in &self.reasons {
+        for &(m, _, n, d) in self.reasons.keys() {
             if m == info.method && n == info.node && seen.insert(d) {
                 out.push(self.states.get(d));
             }

@@ -5,7 +5,7 @@
 
 use pda_dataflow::{ParametricAnalysis, TermRun};
 use pda_lang::{Atom, PointId, TermArena, TermId, VarId};
-use proptest::prelude::*;
+use pda_util::SplitMix64;
 
 /// Saturating counter transfer: `Null{v}` adds `v+1`, capped at the param.
 struct Counter;
@@ -61,40 +61,49 @@ fn build(arena: &mut TermArena, r: &Recipe, next_point: &mut u32) -> TermId {
     }
 }
 
-fn arb_recipe() -> impl Strategy<Value = Recipe> {
-    let leaf = prop_oneof![(0u32..3).prop_map(Recipe::Atom), Just(Recipe::Havoc)];
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Recipe::Seq(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Recipe::Choice(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| Recipe::Star(Box::new(a))),
-        ]
-    })
+fn random_recipe(rng: &mut SplitMix64, depth: u32) -> Recipe {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return if rng.gen_bool(0.75) {
+            Recipe::Atom(rng.gen_range(0, 3) as u32)
+        } else {
+            Recipe::Havoc
+        };
+    }
+    match rng.gen_range(0, 3) {
+        0 => Recipe::Seq(
+            Box::new(random_recipe(rng, depth - 1)),
+            Box::new(random_recipe(rng, depth - 1)),
+        ),
+        1 => Recipe::Choice(
+            Box::new(random_recipe(rng, depth - 1)),
+            Box::new(random_recipe(rng, depth - 1)),
+        ),
+        _ => Recipe::Star(Box::new(random_recipe(rng, depth - 1))),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn every_final_state_has_a_replaying_witness(recipe in arb_recipe(), p in 1u32..12) {
+#[test]
+fn every_final_state_has_a_replaying_witness() {
+    let mut rng = SplitMix64::new(0x1e44a1);
+    for _ in 0..64 {
+        let recipe = random_recipe(&mut rng, 4);
+        let p = rng.gen_range(1, 12) as u32;
         let mut arena = TermArena::new();
         let mut np = 0;
         let root = build(&mut arena, &recipe, &mut np);
         let analysis = Counter;
         let mut run = TermRun::new(&analysis, &p, &arena);
         let finals = run.run(root, &0);
-        prop_assert!(!finals.is_empty());
+        assert!(!finals.is_empty());
         for target in &finals {
             let trace = run.trace_to(root, &0, target).expect("Lemma 1 witness");
             let replay = trace
                 .iter()
                 .fold(0u32, |d, s| analysis.transfer(&p, &s.atom, &d));
-            prop_assert_eq!(replay, *target, "trace does not replay to its target");
+            assert_eq!(replay, *target, "trace does not replay to its target");
         }
         // Conversely, no witness exists for a non-final state.
         let bogus = finals.iter().max().unwrap() + 1000;
-        prop_assert!(run.trace_to(root, &0, &bogus).is_none());
+        assert!(run.trace_to(root, &0, &bogus).is_none());
     }
 }

@@ -77,13 +77,12 @@ impl EscapeClient {
         let mut out = Vec::new();
         for m in methods {
             for (_, node) in program.methods[m].cfg.iter() {
-                if let Node::Atom(a, point) = &node.kind {
-                    match *a {
-                        Atom::Load { base, .. } | Atom::Store { base, .. } => {
-                            out.push((*point, base));
-                        }
-                        _ => {}
-                    }
+                if let Node::Atom(
+                    Atom::Load { base, .. } | Atom::Store { base, .. },
+                    point,
+                ) = &node.kind
+                {
+                    out.push((*point, *base));
                 }
             }
         }
@@ -124,6 +123,17 @@ impl TracerClient for EscapeClient {
 
     fn initial_state(&self) -> Env {
         Env::initial(self.n_vars, self.n_fields)
+    }
+}
+
+impl pda_tracer::CoarseAtoms for EscapeClient {
+    /// Coarse refinement for the escape abstraction: every allocation
+    /// site the counterexample mentions gets mapped to `L`.
+    fn coarse_atoms(&self, atom: &Atom) -> Vec<usize> {
+        match *atom {
+            Atom::New { site, .. } => vec![site.0 as usize],
+            _ => Vec::new(),
+        }
     }
 }
 
@@ -301,16 +311,5 @@ mod tests {
         assert_eq!(accs.len(), 2);
         let x = program.main_var("x").unwrap();
         assert!(accs.iter().all(|&(_, v)| v == x));
-    }
-}
-
-impl pda_tracer::CoarseAtoms for EscapeClient {
-    /// Coarse refinement for the escape abstraction: every allocation
-    /// site the counterexample mentions gets mapped to `L`.
-    fn coarse_atoms(&self, atom: &Atom) -> Vec<usize> {
-        match *atom {
-            Atom::New { site, .. } => vec![site.0 as usize],
-            _ => Vec::new(),
-        }
     }
 }

@@ -1,45 +1,55 @@
-//! Property tests of the meta-analysis operators instantiated at the
+//! Randomized tests of the meta-analysis operators instantiated at the
 //! thread-escape primitive alphabet: `simplify` preserves semantics,
 //! `approx` under-approximates while retaining the current `(p, d)`, and
 //! DNF conversion is semantics-preserving.
+//!
+//! The cases are drawn with the in-tree [`SplitMix64`] PRNG from fixed
+//! seeds, so every run checks the same deterministic corpus.
 
 use pda_escape::{Cell, Env, EscPrim, Val};
 use pda_lang::{FieldId, SiteId, VarId};
 use pda_meta::{approx, simplify, BeamConfig, Formula};
-use pda_util::BitSet;
-use proptest::prelude::*;
+use pda_util::{BitSet, SplitMix64};
 
 const N_VARS: usize = 2;
 const N_FIELDS: usize = 1;
 const N_SITES: usize = 2;
 
-fn arb_prim() -> impl Strategy<Value = EscPrim> {
-    prop_oneof![
-        (0..N_VARS as u32, 0..3u8).prop_map(|(v, o)| EscPrim::CellIs(
-            Cell::Var(VarId(v)),
-            Val::ALL[o as usize]
-        )),
-        (0..N_FIELDS as u32, 0..3u8).prop_map(|(f, o)| EscPrim::CellIs(
-            Cell::Field(FieldId(f)),
-            Val::ALL[o as usize]
-        )),
-        (0..N_SITES as u32, any::<bool>()).prop_map(|(h, b)| EscPrim::SiteIs(SiteId(h), b)),
-    ]
+fn random_prim(rng: &mut SplitMix64) -> EscPrim {
+    match rng.gen_range(0, 3) {
+        0 => EscPrim::CellIs(
+            Cell::Var(VarId(rng.gen_range(0, N_VARS) as u32)),
+            Val::ALL[rng.gen_range(0, 3)],
+        ),
+        1 => EscPrim::CellIs(
+            Cell::Field(FieldId(rng.gen_range(0, N_FIELDS) as u32)),
+            Val::ALL[rng.gen_range(0, 3)],
+        ),
+        _ => EscPrim::SiteIs(SiteId(rng.gen_range(0, N_SITES) as u32), rng.gen_bool(0.5)),
+    }
 }
 
-fn arb_formula() -> impl Strategy<Value = Formula<EscPrim>> {
-    let leaf = prop_oneof![
-        arb_prim().prop_map(Formula::Prim),
-        Just(Formula::True),
-        Just(Formula::False),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::And),
-            prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::Or),
-            inner.prop_map(|f| Formula::Not(Box::new(f))),
-        ]
-    })
+fn random_formula(rng: &mut SplitMix64, depth: u32) -> Formula<EscPrim> {
+    if depth == 0 || rng.gen_bool(0.35) {
+        return match rng.gen_range(0, 5) {
+            0 => Formula::True,
+            1 => Formula::False,
+            _ => Formula::Prim(random_prim(rng)),
+        };
+    }
+    match rng.gen_range(0, 3) {
+        0 => Formula::And(
+            (0..rng.gen_range(1, 3))
+                .map(|_| random_formula(rng, depth - 1))
+                .collect(),
+        ),
+        1 => Formula::Or(
+            (0..rng.gen_range(1, 3))
+                .map(|_| random_formula(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Formula::Not(Box::new(random_formula(rng, depth - 1))),
+    }
 }
 
 fn all_envs() -> Vec<Env> {
@@ -68,45 +78,47 @@ fn all_params() -> Vec<BitSet> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn to_dnf_and_simplify_preserve_semantics(f in arb_formula()) {
+#[test]
+fn to_dnf_and_simplify_preserve_semantics() {
+    let mut rng = SplitMix64::new(0xd9f);
+    for _ in 0..128 {
+        let f = random_formula(&mut rng, 3);
         let cfg = BeamConfig::exhaustive();
         let dnf = pda_meta::approx::to_dnf(&f, &cfg, &|_| true);
         let simp = simplify(dnf.clone());
         for p in all_params() {
             for d in all_envs() {
-                prop_assert_eq!(f.holds(&p, &d), dnf.holds(&p, &d), "toDNF changed {}", f);
-                prop_assert_eq!(dnf.holds(&p, &d), simp.holds(&p, &d), "simplify changed {}", f);
+                assert_eq!(f.holds(&p, &d), dnf.holds(&p, &d), "toDNF changed {f}");
+                assert_eq!(dnf.holds(&p, &d), simp.holds(&p, &d), "simplify changed {f}");
             }
         }
     }
+}
 
-    #[test]
-    fn approx_underapproximates_and_keeps_membership(
-        f in arb_formula(),
-        k in 1usize..4,
-        pbits in 0u32..4,
-        denc in 0usize..27,
-    ) {
+#[test]
+fn approx_underapproximates_and_keeps_membership() {
+    let mut rng = SplitMix64::new(0xa99);
+    for _ in 0..128 {
+        let f = random_formula(&mut rng, 3);
+        let k = rng.gen_range(1, 4);
+        let pbits = rng.gen_range(0, 4) as u32;
+        let denc = rng.gen_range(0, 27);
         let cfg = BeamConfig::with_k(k);
         let p = BitSet::from_iter(N_SITES, (0..N_SITES).filter(|i| (pbits >> i) & 1 == 1));
         let d = all_envs()[denc].clone();
         let dnf = pda_meta::approx::to_dnf(&f, &BeamConfig::exhaustive(), &|_| true);
         let inside = dnf.holds(&p, &d);
         match approx(&p, &d, dnf.clone(), &cfg) {
-            None => prop_assert!(!inside, "approx lost a member"),
+            None => assert!(!inside, "approx lost a member"),
             Some(out) => {
-                prop_assert!(inside, "approx invented membership");
-                prop_assert!(out.holds(&p, &d), "approx dropped the current (p, d)");
-                prop_assert!(out.len() <= k.max(1), "beam width exceeded");
+                assert!(inside, "approx invented membership");
+                assert!(out.holds(&p, &d), "approx dropped the current (p, d)");
+                assert!(out.len() <= k.max(1), "beam width exceeded");
                 // Under-approximation: σ(out) ⊆ σ(dnf).
                 for p2 in all_params() {
                     for d2 in all_envs() {
                         if out.holds(&p2, &d2) {
-                            prop_assert!(dnf.holds(&p2, &d2), "approx over-approximated {}", f);
+                            assert!(dnf.holds(&p2, &d2), "approx over-approximated {f}");
                         }
                     }
                 }

@@ -410,7 +410,7 @@ impl Resolver {
             .ok_or_else(|| ResolveError::Unknown { what: "field", name: name.to_string(), line })
     }
 
-    fn lower_stmt(&mut self, cx: &mut MethodCx, s: &Stmt, in_block: bool) -> RResult<RStmt> {
+    fn lower_stmt(&mut self, cx: &mut MethodCx, s: &Stmt, _in_block: bool) -> RResult<RStmt> {
         let mid = cx.method;
         match s {
             Stmt::VarDecl { names, line } => {
@@ -610,10 +610,7 @@ impl Resolver {
                 self.prog.queries.push(QueryDecl { label: label.clone(), point: p, kind: qkind });
                 Ok(RStmt::Atom(Atom::Nop, p))
             }
-            Stmt::Return { line, .. } => {
-                debug_assert!(in_block || true);
-                Err(ResolveError::NonTailReturn { line: *line })
-            }
+            Stmt::Return { line, .. } => Err(ResolveError::NonTailReturn { line: *line }),
         }
     }
 }

@@ -330,7 +330,6 @@ mod tests {
             let in_phi = phi.eval(&asg);
             assert_eq!(in_phi, asg[0], "phi should be exactly p0; got {phi:?}");
         }
-        Ok::<(), MetaError>(()).unwrap();
     }
 
     #[test]

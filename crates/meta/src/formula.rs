@@ -72,7 +72,7 @@ impl<P: Primitive> Formula<P> {
     /// Conjunction with constant folding.
     pub fn and(mut parts: Vec<Formula<P>>) -> Self {
         parts.retain(|f| *f != Formula::True);
-        if parts.iter().any(|f| *f == Formula::False) {
+        if parts.contains(&Formula::False) {
             return Formula::False;
         }
         match parts.len() {
@@ -85,7 +85,7 @@ impl<P: Primitive> Formula<P> {
     /// Disjunction with constant folding.
     pub fn or(mut parts: Vec<Formula<P>>) -> Self {
         parts.retain(|f| *f != Formula::False);
-        if parts.iter().any(|f| *f == Formula::True) {
+        if parts.contains(&Formula::True) {
             return Formula::True;
         }
         match parts.len() {
@@ -96,6 +96,9 @@ impl<P: Primitive> Formula<P> {
     }
 
     /// Negation with constant folding.
+    // An associated constructor like `and`/`or`, not a `!` overload on
+    // `self` — the by-value signature is the point.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula<P>) -> Self {
         match f {
             Formula::True => Formula::False,

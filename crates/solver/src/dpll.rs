@@ -280,7 +280,7 @@ impl Search<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pda_util::SplitMix64;
 
     #[test]
     fn empty_constraints_give_all_false() {
@@ -323,43 +323,58 @@ mod tests {
         assert_eq!(m.assignment, vec![true, true]);
     }
 
-    fn arb_formula(n_atoms: usize, depth: u32) -> impl Strategy<Value = PFormula> {
-        let leaf = prop_oneof![
-            (0..n_atoms, any::<bool>()).prop_map(|(a, p)| PFormula::lit(a, p)),
-            Just(PFormula::True),
-            Just(PFormula::False),
-        ];
-        leaf.prop_recursive(depth, 64, 4, |inner| {
-            prop_oneof![
-                prop::collection::vec(inner.clone(), 1..4).prop_map(PFormula::And),
-                prop::collection::vec(inner.clone(), 1..4).prop_map(PFormula::Or),
-                inner.prop_map(|f| PFormula::Not(Box::new(f))),
-            ]
-        })
+    /// A random formula over `n_atoms` atoms, depth-bounded. Literal,
+    /// `True`, and `False` leaves; `And`/`Or`/`Not` interior nodes.
+    fn random_formula(rng: &mut SplitMix64, n_atoms: usize, depth: u32) -> PFormula {
+        if depth == 0 || rng.gen_bool(0.3) {
+            return match rng.gen_range(0, 6) {
+                0 => PFormula::True,
+                1 => PFormula::False,
+                _ => PFormula::lit(rng.gen_range(0, n_atoms), rng.gen_bool(0.5)),
+            };
+        }
+        match rng.gen_range(0, 3) {
+            0 => PFormula::And(
+                (0..rng.gen_range(1, 4))
+                    .map(|_| random_formula(rng, n_atoms, depth - 1))
+                    .collect(),
+            ),
+            1 => PFormula::Or(
+                (0..rng.gen_range(1, 4))
+                    .map(|_| random_formula(rng, n_atoms, depth - 1))
+                    .collect(),
+            ),
+            _ => PFormula::Not(Box::new(random_formula(rng, n_atoms, depth - 1))),
+        }
     }
 
-    proptest! {
-        /// The DPLL branch-and-bound agrees with brute force on
-        /// satisfiability and on optimal cost.
-        #[test]
-        fn solve_matches_brute_force(
-            fs in prop::collection::vec(arb_formula(5, 3), 0..4),
-            costs in prop::collection::vec(1u64..6, 5),
-        ) {
-            let mut s = MinCostSolver::new(5, costs);
-            for f in fs {
-                s.require(f);
+    /// Randomized oracle: the DPLL branch-and-bound agrees with exhaustive
+    /// enumeration on satisfiability and on minimum cost, for random
+    /// constraint sets over up to 12 atoms. Fixed seed — the run is
+    /// deterministic and needs no external property-testing framework.
+    #[test]
+    fn solve_matches_brute_force() {
+        let mut rng = SplitMix64::new(0x5eed_cafe);
+        for case in 0..300 {
+            let n_atoms = rng.gen_range_inclusive(1, 12);
+            let costs: Vec<u64> = (0..n_atoms).map(|_| rng.gen_range(1, 6) as u64).collect();
+            let mut s = MinCostSolver::new(n_atoms, costs);
+            for _ in 0..rng.gen_range(0, 4) {
+                s.require(random_formula(&mut rng, n_atoms, 3));
             }
             let fast = s.solve();
             let brute = s.solve_brute();
             match (fast, brute) {
                 (None, None) => {}
                 (Some(a), Some(b)) => {
-                    prop_assert_eq!(a.cost, b.cost);
+                    assert_eq!(a.cost, b.cost, "case {case}: cost mismatch");
                     // The returned model must actually satisfy everything.
-                    prop_assert!(s.constraints().iter().all(|c| c.eval(&a.assignment)));
+                    assert!(
+                        s.constraints().iter().all(|c| c.eval(&a.assignment)),
+                        "case {case}: model violates a constraint"
+                    );
                 }
-                (a, b) => prop_assert!(false, "disagree: fast={a:?} brute={b:?}"),
+                (a, b) => panic!("case {case}: disagree: fast={a:?} brute={b:?}"),
             }
         }
     }

@@ -70,7 +70,7 @@ impl PFormula {
     /// Conjunction, flattening trivial cases.
     pub fn and(mut parts: Vec<PFormula>) -> PFormula {
         parts.retain(|p| *p != PFormula::True);
-        if parts.iter().any(|p| *p == PFormula::False) {
+        if parts.contains(&PFormula::False) {
             return PFormula::False;
         }
         match parts.len() {
@@ -83,7 +83,7 @@ impl PFormula {
     /// Disjunction, flattening trivial cases.
     pub fn or(mut parts: Vec<PFormula>) -> PFormula {
         parts.retain(|p| *p != PFormula::False);
-        if parts.iter().any(|p| *p == PFormula::True) {
+        if parts.contains(&PFormula::True) {
             return PFormula::True;
         }
         match parts.len() {
@@ -94,6 +94,9 @@ impl PFormula {
     }
 
     /// Negation, collapsing double negation and constants.
+    // An associated constructor like `and`/`or`, not a `!` overload on
+    // `self` — the by-value signature is the point.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: PFormula) -> PFormula {
         match f {
             PFormula::True => PFormula::False,

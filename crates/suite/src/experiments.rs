@@ -7,9 +7,12 @@ use pda_dataflow::RhsLimits;
 use pda_escape::EscapeClient;
 use pda_lang::{CallKind, Node, SiteId};
 use pda_meta::BeamConfig;
-use pda_tracer::{solve_queries, Outcome, Query, TracerConfig};
+use pda_tracer::{
+    solve_queries, solve_queries_batch, BatchConfig, Outcome, Query, QueryResult, TracerClient,
+    TracerConfig,
+};
 use pda_typestate::{TsMode, TypestateClient};
-use pda_util::{Idx, Summary};
+use pda_util::{CacheStats, Idx, Summary};
 use std::collections::{BTreeMap, HashSet};
 use std::time::Instant;
 
@@ -27,6 +30,11 @@ pub struct ExperimentConfig {
     pub max_queries: usize,
     /// For type-state: cap on sites queried per call point.
     pub sites_per_call: usize,
+    /// Worker threads for the batch scheduler. `1` (the default) keeps
+    /// the sequential grouped driver; `> 1` solves each query
+    /// independently on a worker pool with a shared forward-run cache
+    /// (`pda_tracer::solve_queries_batch`).
+    pub jobs: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -37,6 +45,7 @@ impl Default for ExperimentConfig {
             max_facts: 1_200_000,
             max_queries: 40,
             sites_per_call: 2,
+            jobs: 1,
         }
     }
 }
@@ -91,11 +100,25 @@ pub struct AnalysisRun {
     pub outcomes: Vec<QueryOutcome>,
     /// Total wall time, µs.
     pub wall_micros: u128,
-    /// Total forward runs (shared across grouped queries).
+    /// Total forward runs (shared across grouped queries, or cache
+    /// misses under the batch scheduler).
     pub forward_runs: usize,
+    /// Worker threads used (1 = sequential grouped driver).
+    pub jobs: usize,
+    /// Forward-run cache statistics (all-zero when `jobs == 1`; the
+    /// sequential driver shares runs via groups, not the cache).
+    pub cache: CacheStats,
 }
 
 impl AnalysisRun {
+    /// Batch throughput in queries per second.
+    pub fn queries_per_sec(&self) -> f64 {
+        if self.wall_micros == 0 {
+            return 0.0;
+        }
+        self.outcomes.len() as f64 * 1e6 / self.wall_micros as f64
+    }
+
     /// `(proven, impossible, unresolved)` counts (Figure 12).
     pub fn precision(&self) -> (usize, usize, usize) {
         let mut p = 0;
@@ -190,6 +213,33 @@ fn sample<T>(mut xs: Vec<T>, max: usize) -> Vec<T> {
     xs
 }
 
+/// Dispatches one query batch: the sequential grouped driver (Section 6)
+/// when `cfg.jobs == 1`, the parallel batch scheduler with its shared
+/// forward-run cache otherwise. Returns per-query results, forward runs
+/// executed, and the cache counters (zero for the sequential path).
+fn solve_all<C>(
+    program: &pda_lang::Program,
+    callees: &(dyn Fn(pda_lang::CallId) -> Vec<pda_lang::MethodId> + Sync),
+    client: &C,
+    queries: &[Query<C::Prim>],
+    cfg: &ExperimentConfig,
+) -> (Vec<QueryResult<C::Param>>, usize, CacheStats)
+where
+    C: TracerClient + Sync,
+    C::Param: Send,
+    C::State: Send + Sync,
+    C::Prim: Sync,
+{
+    if cfg.jobs > 1 {
+        let batch = BatchConfig { tracer: cfg.tracer(), jobs: cfg.jobs };
+        let (results, stats) = solve_queries_batch(program, callees, client, queries, &batch);
+        (results, stats.cache.misses as usize, stats.cache)
+    } else {
+        let (results, stats) = solve_queries(program, callees, client, queries, &cfg.tracer());
+        (results, stats.forward_runs, CacheStats::default())
+    }
+}
+
 /// Runs the thread-escape analysis over a benchmark: one query per
 /// instance-field access in reachable application code (Section 6),
 /// solved with shared (grouped) forward runs.
@@ -205,8 +255,8 @@ pub fn run_escape(bench: &Benchmark, cfg: &ExperimentConfig) -> AnalysisRun {
         .map(|&(point, var)| client.access_query(point, var))
         .collect();
     let callees = bench.callees();
-    let (results, stats) =
-        solve_queries(&bench.program, &callees, &client, &queries, &cfg.tracer());
+    let (results, forward_runs, cache) =
+        solve_all(&bench.program, &callees, &client, &queries, cfg);
     let outcomes = results
         .iter()
         .zip(&accesses)
@@ -230,7 +280,9 @@ pub fn run_escape(bench: &Benchmark, cfg: &ExperimentConfig) -> AnalysisRun {
         analysis: "thread-escape",
         outcomes,
         wall_micros: start.elapsed().as_micros(),
-        forward_runs: stats.forward_runs,
+        forward_runs,
+        jobs: cfg.jobs.max(1),
+        cache,
     }
 }
 
@@ -293,6 +345,7 @@ pub fn run_typestate(bench: &Benchmark, cfg: &ExperimentConfig) -> AnalysisRun {
     let callees = bench.callees();
     let mut outcomes = Vec::new();
     let mut forward_runs = 0;
+    let mut cache = CacheStats::default();
     for (h, pcs) in by_site {
         let client = TypestateClient::new(
             &bench.program,
@@ -302,9 +355,10 @@ pub fn run_typestate(bench: &Benchmark, cfg: &ExperimentConfig) -> AnalysisRun {
         );
         let queries: Vec<Query<pda_typestate::TsPrim>> =
             pcs.iter().map(|&pc| client.stress_query(pc)).collect();
-        let (results, stats) =
-            solve_queries(&bench.program, &callees, &client, &queries, &cfg.tracer());
-        forward_runs += stats.forward_runs;
+        let (results, runs, site_cache) =
+            solve_all(&bench.program, &callees, &client, &queries, cfg);
+        forward_runs += runs;
+        cache.merge(site_cache);
         for (r, &pc) in results.iter().zip(&pcs) {
             outcomes.push(QueryOutcome {
                 label: format!("pc{}@{}", pc.index(), bench.program.site_label(h)),
@@ -328,6 +382,8 @@ pub fn run_typestate(bench: &Benchmark, cfg: &ExperimentConfig) -> AnalysisRun {
         outcomes,
         wall_micros: start.elapsed().as_micros(),
         forward_runs,
+        jobs: cfg.jobs.max(1),
+        cache,
     }
 }
 
@@ -379,6 +435,7 @@ pub fn run_typestate_automaton(bench: &Benchmark, cfg: &ExperimentConfig) -> Ana
     let callees = bench.callees();
     let mut outcomes = Vec::new();
     let mut forward_runs = 0;
+    let mut cache = CacheStats::default();
     for (h, pcs) in by_site {
         let Some(client) = TypestateClient::for_declared_automaton(&bench.program, &bench.pa, h)
         else {
@@ -386,9 +443,10 @@ pub fn run_typestate_automaton(bench: &Benchmark, cfg: &ExperimentConfig) -> Ana
         };
         let queries: Vec<Query<pda_typestate::TsPrim>> =
             pcs.iter().map(|&pc| client.stress_query(pc)).collect();
-        let (results, stats) =
-            solve_queries(&bench.program, &callees, &client, &queries, &cfg.tracer());
-        forward_runs += stats.forward_runs;
+        let (results, runs, site_cache) =
+            solve_all(&bench.program, &callees, &client, &queries, cfg);
+        forward_runs += runs;
+        cache.merge(site_cache);
         for (r, &pc) in results.iter().zip(&pcs) {
             outcomes.push(QueryOutcome {
                 label: format!("pc{}@{}", pc.index(), bench.program.site_label(h)),
@@ -412,6 +470,8 @@ pub fn run_typestate_automaton(bench: &Benchmark, cfg: &ExperimentConfig) -> Ana
         outcomes,
         wall_micros: start.elapsed().as_micros(),
         forward_runs,
+        jobs: cfg.jobs.max(1),
+        cache,
     }
 }
 
@@ -456,6 +516,25 @@ mod tests {
         assert_eq!(p + i + u, run.outcomes.len());
         // Protocol queries resolve decisively (the motif is small).
         assert!(p + i > 0, "no protocol query resolved");
+    }
+
+    #[test]
+    fn parallel_escape_run_matches_sequential_verdicts() {
+        let b = Benchmark::load(crate::suite().remove(0));
+        let seq = run_escape(&b, &small_cfg());
+        let par = run_escape(&b, &ExperimentConfig { jobs: 4, ..small_cfg() });
+        assert_eq!(par.jobs, 4);
+        assert_eq!(seq.jobs, 1);
+        assert_eq!(seq.cache.lookups(), 0, "sequential path must not touch the cache");
+        assert_eq!(par.forward_runs, par.cache.misses as usize);
+        assert!(par.cache.hits > 0, "expected cross-query forward-run sharing");
+        // Grouped (sequential) and batch (parallel) drivers agree on every
+        // verdict and on the optimum cost; iteration *attribution* differs
+        // by design (groups amortize runs differently).
+        let key = |r: &AnalysisRun| {
+            r.outcomes.iter().map(|o| (o.label.clone(), o.resolution, o.cost)).collect::<Vec<_>>()
+        };
+        assert_eq!(key(&seq), key(&par));
     }
 
     #[test]

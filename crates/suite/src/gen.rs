@@ -9,8 +9,7 @@
 //! publication and thread spawns (escape), loops, and call chains
 //! (context sensitivity).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pda_util::SplitMix64;
 use std::fmt::Write as _;
 
 /// Structural knobs for one generated benchmark.
@@ -91,7 +90,7 @@ impl GenConfig {
 
 struct Gen {
     cfg: GenConfig,
-    rng: SmallRng,
+    rng: SplitMix64,
     out: String,
     /// Counter for protocol-motif occurrences (fresh variable names).
     n_proto: u32,
@@ -104,7 +103,7 @@ struct Gen {
 pub fn generate_source(cfg: &GenConfig) -> String {
     let mut g = Gen {
         cfg: cfg.clone(),
-        rng: SmallRng::seed_from_u64(cfg.seed),
+        rng: SplitMix64::new(cfg.seed),
         out: String::new(),
         n_proto: 0,
     };
@@ -114,11 +113,11 @@ pub fn generate_source(cfg: &GenConfig) -> String {
 
 impl Gen {
     fn pct(&mut self, p: u32) -> bool {
-        self.rng.gen_range(0..100) < p
+        (self.rng.gen_range(0, 100) as u32) < p
     }
 
     fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
-        &xs[self.rng.gen_range(0..xs.len())]
+        &xs[self.rng.gen_range(0, xs.len())]
     }
 
     fn class_names(&self) -> Vec<String> {
@@ -197,15 +196,15 @@ impl Gen {
                 // motif), which is what makes escape queries interesting.
                 let fld = self.pick(&fields).clone();
                 let fld2 = self.pick(&fields).clone();
-                match self.rng.gen_range(0..5) {
+                match self.rng.gen_range(0, 5) {
                     0 => {
                         writeln!(self.out, "        this.{fld} = x;").unwrap();
                         writeln!(self.out, "        t = this.{fld2};").unwrap();
                     }
                     4 => {
                         // Chained virtual call on the argument.
-                        let c2 = self.rng.gen_range(0..self.cfg.app_classes);
-                        let m2 = self.rng.gen_range(0..self.cfg.methods_per_class);
+                        let c2 = self.rng.gen_range(0, self.cfg.app_classes);
+                        let m2 = self.rng.gen_range(0, self.cfg.methods_per_class);
                         writeln!(self.out, "        t = this.{fld};").unwrap();
                         writeln!(self.out, "        x.m{c2}_{m2}(t);").unwrap();
                     }
@@ -253,13 +252,13 @@ impl Gen {
         // Ensure the leading locals hold fresh objects up front: these are
         // preferred as call receivers and field bases, so queries have
         // concrete allocation sites behind them.
-        for i in 0..4.min(scope.len()) {
+        for v in scope.iter().take(4) {
             let cls = self.pick(&self.app_class_names()).clone();
-            writeln!(self.out, "    {} = new {cls};", scope[i]).unwrap();
+            writeln!(self.out, "    {v} = new {cls};").unwrap();
         }
         // Every other function exercises the resource protocol, so the
         // automaton experiments always have queries.
-        if fi % 2 == 0 && scope.len() >= 6 {
+        if fi.is_multiple_of(2) && scope.len() >= 6 {
             let v = scope[4].clone();
             let w = scope[5].clone();
             self.emit_protocol(&v, &w, "    ");
@@ -276,9 +275,9 @@ impl Gen {
         writeln!(self.out, "fn main() {{").unwrap();
         writeln!(self.out, "    var {};", vars.join(", ")).unwrap();
         let scope = vars;
-        for i in 0..4.min(scope.len()) {
+        for v in scope.iter().take(4) {
             let cls = self.pick(&self.app_class_names()).clone();
-            writeln!(self.out, "    {} = new {cls};", scope[i]).unwrap();
+            writeln!(self.out, "    {v} = new {cls};").unwrap();
         }
         // Call every application function at least once so the whole
         // program is reachable.
@@ -300,13 +299,13 @@ impl Gen {
     fn emit_protocol(&mut self, _v: &str, _w: &str, indent: &str) {
         let id = self.n_proto;
         self.n_proto += 1;
-        let len = self.rng.gen_range(1..=self.cfg.alias_chain);
+        let len = self.rng.gen_range_inclusive(1, self.cfg.alias_chain);
         let q = |i: usize| format!("q{id}_{i}");
         let decls: Vec<String> = (0..=len).map(&q).collect();
         writeln!(self.out, "{indent}var {};", decls.join(", ")).unwrap();
         writeln!(self.out, "{indent}{} = new Res;", q(0)).unwrap();
         writeln!(self.out, "{indent}{}.acquire();", q(0)).unwrap();
-        match self.rng.gen_range(0..4) {
+        match self.rng.gen_range(0, 4) {
             0 => writeln!(self.out, "{indent}{}.release();", q(0)).unwrap(),
             1 => {
                 // Correct use through an alias chain.
@@ -355,19 +354,19 @@ impl Gen {
             }
             if self.pct(self.cfg.call_pct) {
                 if fi > 0 && self.rng.gen_bool(0.5) {
-                    let target = self.rng.gen_range(0..fi);
+                    let target = self.rng.gen_range(0, fi);
                     writeln!(self.out, "{indent}{v} = fun{target}({w}, {v});").unwrap();
                 } else {
                     // Virtual call: method of a random class; dispatch is
                     // decided by what the receiver actually points to.
                     // Prefer the leading (object-initialized) locals as
                     // receivers so dispatch targets exist.
-                    let recv = scope[self.rng.gen_range(0..4.min(scope.len()))].clone();
-                    let c = self.rng.gen_range(0..self.cfg.app_classes);
-                    let m = self.rng.gen_range(0..self.cfg.methods_per_class);
+                    let recv = scope[self.rng.gen_range(0, 4.min(scope.len()))].clone();
+                    let c = self.rng.gen_range(0, self.cfg.app_classes);
+                    let m = self.rng.gen_range(0, self.cfg.methods_per_class);
                     if self.rng.gen_bool(0.2) && self.cfg.lib_classes > 0 {
-                        let lc = self.rng.gen_range(0..self.cfg.lib_classes);
-                        let lm = self.rng.gen_range(0..self.cfg.methods_per_class);
+                        let lc = self.rng.gen_range(0, self.cfg.lib_classes);
+                        let lm = self.rng.gen_range(0, self.cfg.methods_per_class);
                         writeln!(self.out, "{indent}{recv}.lib_m{lc}_{lm}({w});").unwrap();
                     } else if self.rng.gen_bool(0.5) {
                         writeln!(self.out, "{indent}{recv}.m{c}_{m}({w});").unwrap();
@@ -378,12 +377,12 @@ impl Gen {
                 continue;
             }
             if self.pct(self.cfg.publish_pct) {
-                let gi = self.rng.gen_range(0..self.cfg.globals);
+                let gi = self.rng.gen_range(0, self.cfg.globals);
                 // Publish one of the object-holding leading locals half the
                 // time, so some queried objects genuinely escape (the
                 // paper's "impossible to prove" bucket).
                 let pv = if self.rng.gen_bool(0.5) {
-                    scope[self.rng.gen_range(0..4.min(scope.len()))].clone()
+                    scope[self.rng.gen_range(0, 4.min(scope.len()))].clone()
                 } else {
                     v.clone()
                 };
@@ -411,8 +410,8 @@ impl Gen {
             }
             // Plain data statements; field traffic on the leading
             // (object-holding) locals dominates, mirroring real code.
-            let base = scope[self.rng.gen_range(0..4.min(scope.len()))].clone();
-            match self.rng.gen_range(0..7) {
+            let base = scope[self.rng.gen_range(0, 4.min(scope.len()))].clone();
+            match self.rng.gen_range(0, 7) {
                 0 => {
                     let cls = self.pick(&self.class_names()).clone();
                     writeln!(self.out, "{indent}{v} = new {cls};").unwrap();

@@ -41,7 +41,7 @@ pub fn benchmark_stats(b: &Benchmark) -> BenchStats {
         .filter(|v| b.reach.is_reachable(v.method))
         .count();
     let sites_in_reachable = (0..p.sites.len())
-        .map(|i| pda_lang::SiteId::from_usize(i))
+        .map(pda_lang::SiteId::from_usize)
         .filter(|&h| b.reach.is_reachable(p.sites[h].method))
         .count();
     BenchStats {

@@ -353,6 +353,17 @@ impl TracerClient for TypestateClient<'_> {
     }
 }
 
+impl pda_tracer::CoarseAtoms for TypestateClient<'_> {
+    /// Classic coarse refinement for must-alias tracking: every variable
+    /// the counterexample mentions becomes tracked.
+    fn coarse_atoms(&self, atom: &Atom) -> Vec<usize> {
+        pda_tracer::nullcli::vars_mentioned(atom)
+            .into_iter()
+            .map(|v| self.origin(v).0 as usize)
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -611,16 +622,5 @@ mod tests {
             &TracerConfig::default(),
         );
         assert_eq!(r.outcome, Outcome::Impossible);
-    }
-}
-
-impl pda_tracer::CoarseAtoms for TypestateClient<'_> {
-    /// Classic coarse refinement for must-alias tracking: every variable
-    /// the counterexample mentions becomes tracked.
-    fn coarse_atoms(&self, atom: &Atom) -> Vec<usize> {
-        pda_tracer::nullcli::vars_mentioned(atom)
-            .into_iter()
-            .map(|v| self.origin(v).0 as usize)
-            .collect()
     }
 }

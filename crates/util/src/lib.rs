@@ -10,6 +10,10 @@
 //!   compiler IRs.
 //! * [`Summary`] — a min/max/mean accumulator used when reproducing the
 //!   paper's tables.
+//! * [`CacheStats`] — hit/miss counters with rate reporting, shared by the
+//!   batch scheduler's forward-run cache and the experiment drivers.
+//! * [`SplitMix64`] — a tiny deterministic PRNG, replacing the external
+//!   `rand` crate so the workspace builds offline.
 //!
 //! # Examples
 //!
@@ -25,11 +29,13 @@
 
 mod bitset;
 mod idx;
+mod rng;
 mod stats;
 
 pub use bitset::BitSet;
 pub use idx::IdxVec;
-pub use stats::Summary;
+pub use rng::SplitMix64;
+pub use stats::{CacheStats, Summary};
 
 /// Types usable as dense arena indices.
 ///

@@ -85,9 +85,90 @@ impl fmt::Display for Summary {
     }
 }
 
+/// Hit/miss counters for a memoizing cache.
+///
+/// Used by the batch scheduler's shared forward-run cache and aggregated
+/// across benchmarks by the experiment drivers.
+///
+/// # Examples
+///
+/// ```
+/// use pda_util::CacheStats;
+/// let mut c = CacheStats::default();
+/// c.hit();
+/// c.miss();
+/// c.hit();
+/// assert_eq!(c.hits, 2);
+/// assert_eq!(c.lookups(), 3);
+/// assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+/// assert_eq!(format!("{c}"), "2/3 hits (66.7%)");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and then populate) an entry.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Records one hit.
+    pub fn hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records one miss.
+    pub fn miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Accumulates another counter pair into this one.
+    pub fn merge(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    /// Formats as `hits/lookups hits (rate%)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} hits ({:.1}%)",
+            self.hits,
+            self.lookups(),
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cache_stats_merge_and_rate() {
+        let mut a = CacheStats { hits: 1, misses: 3 };
+        a.merge(CacheStats { hits: 2, misses: 0 });
+        assert_eq!(a, CacheStats { hits: 3, misses: 3 });
+        assert_eq!(a.hit_rate(), 0.5);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        assert_eq!(format!("{}", CacheStats::default()), "0/0 hits (0.0%)");
+    }
 
     #[test]
     fn empty_summary() {

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see ROADMAP.md). Must pass fully offline:
+# the workspace has zero registry dependencies, so no step may hit the
+# network. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "ci: all checks passed"
