@@ -81,7 +81,8 @@ fn tracer_config(cfg: &ExperimentConfig) -> TracerConfig {
     TracerConfig {
         beam: pda_meta::BeamConfig::with_k(cfg.k),
         max_iters: cfg.max_iters,
-        rhs_limits: pda_dataflow::RhsLimits { max_facts: cfg.max_facts },
+        rhs_limits: pda_dataflow::RhsLimits { max_facts: cfg.max_facts, ..Default::default() },
+        ..TracerConfig::default()
     }
 }
 

@@ -17,12 +17,15 @@
 //! `PDA_MAX_QUERIES` (default 40), `PDA_MAX_ITERS` (default 40),
 //! `PDA_JOBS` (default 1 = the sequential grouped driver; `> 1` routes
 //! queries through the parallel batch scheduler and its shared
-//! forward-run cache).
+//! forward-run cache), `PDA_DEADLINE_MS` (per-query wall-clock budget,
+//! default unlimited), and `PDA_ESCALATE` (fact-budget escalation retries
+//! on forward-run `TooBig`, default 0).
 
 use pda_suite::{AnalysisRun, Benchmark, ExperimentConfig};
 
 /// Builds the experiment configuration, honoring the `PDA_MAX_QUERIES`,
-/// `PDA_MAX_ITERS`, and `PDA_JOBS` environment overrides.
+/// `PDA_MAX_ITERS`, `PDA_JOBS`, `PDA_DEADLINE_MS`, and `PDA_ESCALATE`
+/// environment overrides.
 pub fn config_from_env() -> ExperimentConfig {
     let mut cfg = ExperimentConfig::default();
     if let Some(q) = env_usize("PDA_MAX_QUERIES") {
@@ -33,6 +36,13 @@ pub fn config_from_env() -> ExperimentConfig {
     }
     if let Some(j) = env_usize("PDA_JOBS") {
         cfg.jobs = j.max(1);
+    }
+    if let Some(ms) = env_usize("PDA_DEADLINE_MS") {
+        cfg.timeout = Some(std::time::Duration::from_millis(ms as u64));
+    }
+    if let Some(n) = env_usize("PDA_ESCALATE") {
+        cfg.escalation =
+            pda_tracer::Escalation { retries: n as u32, ..pda_tracer::Escalation::standard() };
     }
     cfg
 }

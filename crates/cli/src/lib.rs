@@ -5,13 +5,16 @@
 //! * `pda check <file.jay>` — parse, resolve, validate; print program
 //!   statistics.
 //! * `pda queries <file.jay>` — list the source queries with their kinds.
-//! * `pda solve <file.jay> [--query LABEL] [--k N] [--max-iters N]`
+//! * `pda solve <file.jay> [--query LABEL] [--k N] [--max-iters N]
+//!   [--jobs N] [--deadline MS] [--escalate N] [--checkpoint PATH]`
 //!   — run TRACER on one labeled query (or all), choosing the client by
 //!   the query kind (`local` → thread-escape, `state` → type-state).
 //! * `pda gen <benchmark>` — print a generated suite benchmark's source.
 //!
 //! The heavy lifting lives in the workspace crates; this module only
 //! parses arguments and formats reports, and is unit-tested directly.
+//! Failures are typed ([`CliError`]) so `main` can map them to exit
+//! codes: usage mistakes exit 2, everything else exits 1.
 
 #![warn(missing_docs)]
 
@@ -19,11 +22,56 @@ use pda_analysis::{PointsTo, Reachability};
 use pda_escape::EscapeClient;
 use pda_meta::BeamConfig;
 use pda_tracer::{
-    default_jobs, solve_queries_batch, solve_query, BatchConfig, Outcome, TracerConfig,
+    default_jobs, solve_queries_batch, solve_queries_batch_checkpointed, solve_query, BatchConfig,
+    Escalation, Outcome, TracerConfig,
 };
 use pda_typestate::TypestateClient;
 use pda_util::Idx;
+use std::fmt;
 use std::fmt::Write as _;
+
+/// Appends a report line; `fmt::Write` to a `String` cannot fail, so the
+/// result is deliberately discarded instead of unwrapped.
+macro_rules! out {
+    ($dst:expr, $($arg:tt)*) => {{ let _ = writeln!($dst, $($arg)*); }};
+}
+
+/// Everything that can go wrong running the tool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The command line itself is malformed (exit code 2).
+    Usage(String),
+    /// The input program is unreadable, unparsable, or ill-formed.
+    Input(String),
+    /// A checkpoint file could not be created, read, or trusted.
+    Checkpoint(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Input(_) | CliError::Checkpoint(_) => 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Input(m) => write!(f, "{m}"),
+            CliError::Checkpoint(m) => write!(f, "checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn usage<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError::Usage(msg.into()))
+}
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,7 +86,8 @@ pub enum Command {
         /// Input path.
         file: String,
     },
-    /// `pda solve <file> [--query LABEL] [--k N] [--max-iters N] [--jobs N]`
+    /// `pda solve <file> [--query LABEL] [--k N] [--max-iters N]
+    /// [--jobs N] [--deadline MS] [--escalate N] [--checkpoint PATH]`
     Solve {
         /// Input path.
         file: String,
@@ -51,6 +100,13 @@ pub enum Command {
         /// Worker threads (1 = today's sequential driver; default = the
         /// machine's available parallelism).
         jobs: usize,
+        /// Per-query wall-clock deadline in milliseconds.
+        deadline_ms: Option<u64>,
+        /// Fact-budget escalation retries on forward-run `TooBig`.
+        escalate: Option<u32>,
+        /// Checkpoint file: resume finished thread-escape queries from it
+        /// and stream new results into it.
+        checkpoint: Option<String>,
     },
     /// `pda gen <benchmark>`
     Gen {
@@ -69,158 +125,188 @@ USAGE:
     pda check   <file.jay>                 parse, validate, report stats
     pda queries <file.jay>                 list source queries
     pda solve   <file.jay> [--query LABEL] [--k N] [--max-iters N] [--jobs N]
+                [--deadline MS] [--escalate N] [--checkpoint PATH]
                                            find optimum abstractions
                                            (--jobs 1 = sequential; default:
                                            available parallelism, batched
                                            with a shared forward-run cache)
+                                           --deadline    per-query wall-clock
+                                                         budget, milliseconds
+                                           --escalate    retry TooBig forward
+                                                         runs N times with a
+                                                         4x fact budget each
+                                           --checkpoint  stream results to
+                                                         PATH; on rerun, skip
+                                                         queries already there
     pda gen     <benchmark>                print a generated suite program
 ";
 
+fn parse_num<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, CliError> {
+    args.get(i + 1)
+        .and_then(|v| v.parse().ok())
+        .map_or_else(|| usage(format!("{flag} needs a number")), Ok)
+}
+
 /// Parses command-line arguments (without the program name).
-pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, String> {
+///
+/// # Errors
+///
+/// [`CliError::Usage`] on unknown commands, unknown flags, and malformed
+/// flag values.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, CliError> {
     let args: Vec<String> = args.into_iter().collect();
     match args.first().map(String::as_str) {
         Some("check") => match args.get(1) {
             Some(f) => Ok(Command::Check { file: f.clone() }),
-            None => Err("check: missing <file>".into()),
+            None => usage("check: missing <file>"),
         },
         Some("queries") => match args.get(1) {
             Some(f) => Ok(Command::Queries { file: f.clone() }),
-            None => Err("queries: missing <file>".into()),
+            None => usage("queries: missing <file>"),
         },
         Some("gen") => match args.get(1) {
             Some(n) => Ok(Command::Gen { name: n.clone() }),
-            None => Err("gen: missing <benchmark>".into()),
+            None => usage("gen: missing <benchmark>"),
         },
         Some("solve") => {
             let Some(file) = args.get(1).cloned() else {
-                return Err("solve: missing <file>".into());
+                return usage("solve: missing <file>");
             };
             let mut query = None;
             let mut k = 5usize;
             let mut max_iters = 100usize;
             let mut jobs = default_jobs();
+            let mut deadline_ms = None;
+            let mut escalate = None;
+            let mut checkpoint = None;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
                     "--query" => {
-                        query = Some(
-                            args.get(i + 1)
-                                .ok_or("--query needs a label")?
-                                .clone(),
-                        );
-                        i += 2;
+                        let Some(label) = args.get(i + 1) else {
+                            return usage("--query needs a label");
+                        };
+                        query = Some(label.clone());
                     }
-                    "--k" => {
-                        k = args
-                            .get(i + 1)
-                            .ok_or("--k needs a number")?
-                            .parse()
-                            .map_err(|_| "--k needs a number".to_string())?;
-                        i += 2;
+                    "--k" => k = parse_num(&args, i, "--k")?,
+                    "--max-iters" => max_iters = parse_num(&args, i, "--max-iters")?,
+                    "--jobs" => jobs = parse_num::<usize>(&args, i, "--jobs")?.max(1),
+                    "--deadline" => deadline_ms = Some(parse_num(&args, i, "--deadline")?),
+                    "--escalate" => escalate = Some(parse_num(&args, i, "--escalate")?),
+                    "--checkpoint" => {
+                        let Some(path) = args.get(i + 1) else {
+                            return usage("--checkpoint needs a path");
+                        };
+                        checkpoint = Some(path.clone());
                     }
-                    "--max-iters" => {
-                        max_iters = args
-                            .get(i + 1)
-                            .ok_or("--max-iters needs a number")?
-                            .parse()
-                            .map_err(|_| "--max-iters needs a number".to_string())?;
-                        i += 2;
-                    }
-                    "--jobs" => {
-                        jobs = args
-                            .get(i + 1)
-                            .ok_or("--jobs needs a number")?
-                            .parse::<usize>()
-                            .map_err(|_| "--jobs needs a number".to_string())?
-                            .max(1);
-                        i += 2;
-                    }
-                    other => return Err(format!("solve: unknown flag `{other}`")),
+                    other => return usage(format!("solve: unknown flag `{other}`")),
                 }
+                i += 2;
             }
-            Ok(Command::Solve { file, query, k, max_iters, jobs })
+            Ok(Command::Solve {
+                file,
+                query,
+                k,
+                max_iters,
+                jobs,
+                deadline_ms,
+                escalate,
+                checkpoint,
+            })
         }
         Some("help") | None => Ok(Command::Help),
-        Some(other) => Err(format!("unknown command `{other}`")),
+        Some(other) => usage(format!("unknown command `{other}`")),
     }
 }
 
 /// Executes a command against source text, returning the report.
 ///
-/// File access happens in `main`; this function is pure given the source,
-/// which keeps it testable.
-pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, String> {
+/// File access for the *input program* happens in `main`; this function is
+/// pure given the source — except for `--checkpoint`, which by design
+/// reads and writes its path.
+///
+/// # Errors
+///
+/// [`CliError::Input`] for bad programs or unmatched query labels;
+/// [`CliError::Checkpoint`] for unusable checkpoint files.
+pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, CliError> {
     match cmd {
         Command::Check { .. } => check_report(source),
         Command::Queries { .. } => queries_report(source),
-        Command::Solve { query, k, max_iters, jobs, .. } => {
-            solve_report(source, query.as_deref(), *k, *max_iters, *jobs)
+        Command::Solve { query, k, max_iters, jobs, deadline_ms, escalate, checkpoint, .. } => {
+            let opts = SolveOpts {
+                label: query.as_deref(),
+                k: *k,
+                max_iters: *max_iters,
+                jobs: *jobs,
+                deadline_ms: *deadline_ms,
+                escalate: *escalate,
+                checkpoint: checkpoint.as_deref(),
+            };
+            solve_report(source, &opts)
         }
         Command::Gen { name } => {
             let cfg = pda_suite::suite()
                 .into_iter()
                 .find(|c| c.name == *name)
-                .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+                .ok_or_else(|| CliError::Input(format!("unknown benchmark `{name}`")))?;
             Ok(pda_suite::generate_source(&cfg))
         }
         Command::Help => Ok(USAGE.to_string()),
     }
 }
 
-fn load(source: &str) -> Result<pda_lang::Program, String> {
-    pda_lang::parse_program(source).map_err(|e| e.to_string())
+fn load(source: &str) -> Result<pda_lang::Program, CliError> {
+    pda_lang::parse_program(source).map_err(|e| CliError::Input(e.to_string()))
 }
 
-fn check_report(source: &str) -> Result<String, String> {
+fn check_report(source: &str) -> Result<String, CliError> {
     let program = load(source)?;
     let violations = pda_lang::validate::check(&program);
     let pa = PointsTo::analyze(&program);
     let reach = Reachability::compute(&program, &pa);
     let mut out = String::new();
-    writeln!(out, "classes:   {}", program.classes.len()).unwrap();
-    writeln!(out, "methods:   {} ({} reachable)", program.methods.len(), reach.count()).unwrap();
-    writeln!(out, "variables: {}", program.vars.len()).unwrap();
-    writeln!(out, "sites:     {}", program.sites.len()).unwrap();
-    writeln!(out, "queries:   {}", program.queries.len()).unwrap();
-    writeln!(
+    out!(out, "classes:   {}", program.classes.len());
+    out!(out, "methods:   {} ({} reachable)", program.methods.len(), reach.count());
+    out!(out, "variables: {}", program.vars.len());
+    out!(out, "sites:     {}", program.sites.len());
+    out!(out, "queries:   {}", program.queries.len());
+    out!(
         out,
         "abstraction families: 2^{} (type-state), 2^{} (thread-escape)",
         program.vars.len(),
         program.sites.len()
-    )
-    .unwrap();
+    );
     if violations.is_empty() {
-        writeln!(out, "IR: well-formed").unwrap();
+        out!(out, "IR: well-formed");
         Ok(out)
     } else {
         for v in &violations {
-            writeln!(out, "violation: {v}").unwrap();
+            out!(out, "violation: {v}");
         }
-        Err(out)
+        Err(CliError::Input(out))
     }
 }
 
-fn queries_report(source: &str) -> Result<String, String> {
+fn queries_report(source: &str) -> Result<String, CliError> {
     let program = load(source)?;
     let mut out = String::new();
     for (_, q) in program.queries.iter_enumerated() {
         let line = program.points[q.point].line;
         match &q.kind {
             pda_lang::QueryKind::Local { var } => {
-                writeln!(out, "{}: local {} (line {line})", q.label, program.var_name(*var)).unwrap();
+                out!(out, "{}: local {} (line {line})", q.label, program.var_name(*var));
             }
             pda_lang::QueryKind::State { var, allowed } => {
                 let names: Vec<&str> =
                     allowed.iter().map(|&n| program.names.resolve(n)).collect();
-                writeln!(
+                out!(
                     out,
                     "{}: state {} in {{{}}} (line {line})",
                     q.label,
                     program.var_name(*var),
                     names.join(", ")
-                )
-                .unwrap();
+                );
             }
         }
     }
@@ -230,43 +316,64 @@ fn queries_report(source: &str) -> Result<String, String> {
     Ok(out)
 }
 
-fn solve_report(
-    source: &str,
-    label: Option<&str>,
+struct SolveOpts<'a> {
+    label: Option<&'a str>,
     k: usize,
     max_iters: usize,
     jobs: usize,
-) -> Result<String, String> {
+    deadline_ms: Option<u64>,
+    escalate: Option<u32>,
+    checkpoint: Option<&'a str>,
+}
+
+fn solve_report(source: &str, opts: &SolveOpts<'_>) -> Result<String, CliError> {
     let program = load(source)?;
     let pa = PointsTo::analyze(&program);
     let config = TracerConfig {
-        beam: BeamConfig::with_k(k),
-        max_iters,
+        beam: BeamConfig::with_k(opts.k),
+        max_iters: opts.max_iters,
+        timeout: opts.deadline_ms.map(std::time::Duration::from_millis),
+        escalation: opts
+            .escalate
+            .map_or_else(Escalation::default, |retries| Escalation { retries, ..Escalation::standard() }),
         ..TracerConfig::default()
     };
     let callees = |c: pda_lang::CallId| pa.callees(c).to_vec();
 
-    // With --jobs > 1 the thread-escape queries (which share one client)
-    // run upfront as one batch on the worker pool with a shared
-    // forward-run cache; per-query verdicts are identical to the
-    // sequential driver and get rendered below in declaration order.
+    // Thread-escape queries (which share one client) run upfront as one
+    // batch on the worker pool with a shared forward-run cache whenever
+    // batching buys something: parallelism, or checkpoint/resume (the
+    // checkpoint streams per-query batch results). Per-query verdicts are
+    // identical to the sequential driver and get rendered below in
+    // declaration order.
     let mut batched: Vec<(pda_lang::QueryId, pda_tracer::QueryResult<pda_util::BitSet>)> =
         Vec::new();
     let mut batch_stats = None;
-    if jobs > 1 {
+    if opts.jobs > 1 || opts.checkpoint.is_some() {
         let client = EscapeClient::new(&program);
         let local: Vec<pda_lang::QueryId> = program
             .queries
             .iter_enumerated()
-            .filter(|(_, d)| label.is_none_or(|want| d.label == want))
+            .filter(|(_, d)| opts.label.is_none_or(|want| d.label == want))
             .filter(|(_, d)| matches!(d.kind, pda_lang::QueryKind::Local { .. }))
             .map(|(qid, _)| qid)
             .collect();
         let queries: Vec<_> = local.iter().map(|&qid| client.local_query(&program, qid)).collect();
         if !queries.is_empty() {
-            let batch = BatchConfig { tracer: config.clone(), jobs };
-            let (results, stats) =
-                solve_queries_batch(&program, &callees, &client, &queries, &batch);
+            let batch =
+                BatchConfig { tracer: config.clone(), jobs: opts.jobs, batch_timeout: None };
+            let (results, stats) = match opts.checkpoint {
+                Some(path) => solve_queries_batch_checkpointed(
+                    &program,
+                    &callees,
+                    &client,
+                    &queries,
+                    &batch,
+                    std::path::Path::new(path),
+                )
+                .map_err(|e| CliError::Checkpoint(e.to_string()))?,
+                None => solve_queries_batch(&program, &callees, &client, &queries, &batch),
+            };
             batched = local.into_iter().zip(results).collect();
             batch_stats = Some(stats);
         }
@@ -275,7 +382,7 @@ fn solve_report(
     let mut out = String::new();
     let mut matched = false;
     for (qid, decl) in program.queries.iter_enumerated() {
-        if let Some(want) = label {
+        if let Some(want) = opts.label {
             if decl.label != want {
                 continue;
             }
@@ -291,7 +398,7 @@ fn solve_report(
                         solve_query(&program, &callees, &client, &query, &config)
                     }
                 };
-                render(&mut out, &program, &decl.label, "thread-escape", &r, |i| {
+                render(&mut out, &decl.label, "thread-escape", &r, |i| {
                     format!("site {}", program.site_label(pda_lang::SiteId::from_usize(i)))
                 });
             }
@@ -302,25 +409,24 @@ fn solve_report(
                     .map(pda_lang::SiteId::from_usize)
                     .collect();
                 if sites.is_empty() {
-                    writeln!(out, "{}: vacuous (receiver points nowhere)", decl.label).unwrap();
+                    out!(out, "{}: vacuous (receiver points nowhere)", decl.label);
                 }
                 for site in sites {
                     let Some(client) =
                         TypestateClient::for_declared_automaton(&program, &pa, site)
                     else {
-                        writeln!(
+                        out!(
                             out,
                             "{}: site {} has no typestate declaration",
                             decl.label,
                             program.site_label(site)
-                        )
-                        .unwrap();
+                        );
                         continue;
                     };
                     let query = client.state_query(qid);
                     let r = solve_query(&program, &callees, &client, &query, &config);
                     let tag = format!("{} @ {}", decl.label, program.site_label(site));
-                    render(&mut out, &program, &tag, "type-state", &r, |i| {
+                    render(&mut out, &tag, "type-state", &r, |i| {
                         program.var_name(pda_lang::VarId(i as u32)).to_string()
                     });
                 }
@@ -328,20 +434,19 @@ fn solve_report(
         }
     }
     if !matched {
-        return Err(match label {
+        return Err(CliError::Input(match opts.label {
             Some(l) => format!("no query labeled `{l}`"),
             None => "program has no queries".to_string(),
-        });
+        }));
     }
     if let Some(stats) = batch_stats {
-        writeln!(out, "batch: {stats}").unwrap();
+        out!(out, "batch: {stats}");
     }
     Ok(out)
 }
 
 fn render(
     out: &mut String,
-    _program: &pda_lang::Program,
     label: &str,
     analysis: &str,
     r: &pda_tracer::QueryResult<pda_util::BitSet>,
@@ -350,24 +455,22 @@ fn render(
     match &r.outcome {
         Outcome::Proven { param, cost } => {
             let parts: Vec<String> = param.iter().map(atom_name).collect();
-            writeln!(
+            out!(
                 out,
                 "{label} [{analysis}]: PROVEN, optimum |p| = {cost} {{{}}} ({} iterations)",
                 parts.join(", "),
                 r.iterations
-            )
-            .unwrap();
+            );
         }
         Outcome::Impossible => {
-            writeln!(
+            out!(
                 out,
                 "{label} [{analysis}]: IMPOSSIBLE for every abstraction ({} iterations)",
                 r.iterations
-            )
-            .unwrap();
+            );
         }
         Outcome::Unresolved(u) => {
-            writeln!(out, "{label} [{analysis}]: unresolved ({u:?})").unwrap();
+            out!(out, "{label} [{analysis}]: unresolved ({u})");
         }
     }
 }
@@ -401,6 +504,28 @@ mod tests {
         }
     "#;
 
+    fn solve_cmd(query: Option<&str>, jobs: usize) -> Command {
+        solve_cmd_full(query, jobs, None, None)
+    }
+
+    fn solve_cmd_full(
+        query: Option<&str>,
+        jobs: usize,
+        deadline_ms: Option<u64>,
+        checkpoint: Option<String>,
+    ) -> Command {
+        Command::Solve {
+            file: String::new(),
+            query: query.map(String::from),
+            k: 5,
+            max_iters: 50,
+            jobs,
+            deadline_ms,
+            escalate: None,
+            checkpoint,
+        }
+    }
+
     #[test]
     fn parse_args_all_commands() {
         let a = |xs: &[&str]| parse_args(xs.iter().map(|s| s.to_string()));
@@ -415,22 +540,52 @@ mod tests {
                 k: 3,
                 max_iters: 9,
                 jobs: default_jobs(),
+                deadline_ms: None,
+                escalate: None,
+                checkpoint: None,
             }
         );
         assert_eq!(
-            a(&["solve", "f.jay", "--jobs", "4"]).unwrap(),
-            Command::Solve { file: "f.jay".into(), query: None, k: 5, max_iters: 100, jobs: 4 }
+            a(&[
+                "solve", "f.jay", "--jobs", "4", "--deadline", "250", "--escalate", "2",
+                "--checkpoint", "state.jsonl"
+            ])
+            .unwrap(),
+            Command::Solve {
+                file: "f.jay".into(),
+                query: None,
+                k: 5,
+                max_iters: 100,
+                jobs: 4,
+                deadline_ms: Some(250),
+                escalate: Some(2),
+                checkpoint: Some("state.jsonl".into()),
+            }
         );
         // --jobs 0 is clamped to the sequential driver.
-        assert_eq!(
+        assert!(matches!(
             a(&["solve", "f.jay", "--jobs", "0"]).unwrap(),
-            Command::Solve { file: "f.jay".into(), query: None, k: 5, max_iters: 100, jobs: 1 }
-        );
+            Command::Solve { jobs: 1, .. }
+        ));
         assert_eq!(a(&[]).unwrap(), Command::Help);
         assert!(a(&["bogus"]).is_err());
         assert!(a(&["solve"]).is_err());
         assert!(a(&["solve", "f", "--k", "NaN"]).is_err());
         assert!(a(&["solve", "f", "--jobs", "many"]).is_err());
+        assert!(a(&["solve", "f", "--deadline", "soon"]).is_err());
+        assert!(a(&["solve", "f", "--checkpoint"]).is_err());
+    }
+
+    #[test]
+    fn usage_errors_exit_2_others_exit_1() {
+        let a = |xs: &[&str]| parse_args(xs.iter().map(|s| s.to_string()));
+        let e = a(&["bogus"]).unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+        assert!(matches!(e, CliError::Usage(_)));
+        let e = run_on_source(&Command::Gen { name: "nope".into() }, "").unwrap_err();
+        assert_eq!(e.exit_code(), 1);
+        let e = run_on_source(&Command::Check { file: String::new() }, "fn main( {").unwrap_err();
+        assert_eq!(e.exit_code(), 1);
     }
 
     #[test]
@@ -450,48 +605,61 @@ mod tests {
 
     #[test]
     fn solve_resolves_both_queries() {
-        let cmd =
-            Command::Solve { file: String::new(), query: None, k: 5, max_iters: 50, jobs: 1 };
-        let report = run_on_source(&cmd, SRC).unwrap();
+        let report = run_on_source(&solve_cmd(None, 1), SRC).unwrap();
         assert!(report.contains("protocol @ File#0 [type-state]: PROVEN"), "{report}");
         assert!(report.contains("localx [thread-escape]: PROVEN"), "{report}");
     }
 
     #[test]
     fn solve_single_query_and_missing_label() {
-        let cmd = Command::Solve {
-            file: String::new(),
-            query: Some("localx".into()),
-            k: 5,
-            max_iters: 50,
-            jobs: 1,
-        };
-        let report = run_on_source(&cmd, SRC).unwrap();
+        let report = run_on_source(&solve_cmd(Some("localx"), 1), SRC).unwrap();
         assert!(!report.contains("protocol"));
-        let bad = Command::Solve {
-            file: String::new(),
-            query: Some("nope".into()),
-            k: 5,
-            max_iters: 50,
-            jobs: 1,
-        };
-        assert!(run_on_source(&bad, SRC).is_err());
+        assert!(run_on_source(&solve_cmd(Some("nope"), 1), SRC).is_err());
     }
 
     #[test]
     fn parallel_solve_matches_sequential_verdicts() {
-        let seq =
-            Command::Solve { file: String::new(), query: None, k: 5, max_iters: 50, jobs: 1 };
-        let par =
-            Command::Solve { file: String::new(), query: None, k: 5, max_iters: 50, jobs: 4 };
-        let seq_report = run_on_source(&seq, SRC).unwrap();
-        let par_report = run_on_source(&par, SRC).unwrap();
+        let seq_report = run_on_source(&solve_cmd(None, 1), SRC).unwrap();
+        let par_report = run_on_source(&solve_cmd(None, 4), SRC).unwrap();
         // Same per-query lines; the parallel run appends a batch stats line.
         let verdicts =
             |r: &str| r.lines().filter(|l| !l.starts_with("batch:")).map(String::from).collect::<Vec<_>>();
         assert_eq!(verdicts(&seq_report), verdicts(&par_report));
         assert!(par_report.contains("batch: 1 queries, jobs="), "{par_report}");
         assert!(!seq_report.contains("batch:"));
+    }
+
+    #[test]
+    fn zero_deadline_reports_deadline_exceeded() {
+        let cmd = solve_cmd_full(Some("localx"), 1, Some(0), None);
+        let report = run_on_source(&cmd, SRC).unwrap();
+        assert!(report.contains("unresolved (wall-clock deadline exceeded)"), "{report}");
+    }
+
+    #[test]
+    fn checkpoint_resumes_and_skips_finished_queries() {
+        let path = std::env::temp_dir()
+            .join(format!("pda-cli-ckpt-{}.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let cmd = solve_cmd_full(
+            Some("localx"),
+            1,
+            None,
+            Some(path.to_string_lossy().into_owned()),
+        );
+        let first = run_on_source(&cmd, SRC).unwrap();
+        assert!(first.contains("localx [thread-escape]: PROVEN"), "{first}");
+        assert!(first.contains("resumed=0"), "{first}");
+        // Second run restores the result from the checkpoint.
+        let second = run_on_source(&cmd, SRC).unwrap();
+        assert!(second.contains("localx [thread-escape]: PROVEN"), "{second}");
+        assert!(second.contains("resumed=1"), "{second}");
+        // A corrupted header is a typed checkpoint error.
+        std::fs::write(&path, "not a checkpoint\n").unwrap();
+        let err = run_on_source(&cmd, SRC).unwrap_err();
+        assert!(matches!(err, CliError::Checkpoint(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 1);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -504,6 +672,6 @@ mod tests {
     #[test]
     fn parse_errors_are_reported() {
         let err = run_on_source(&Command::Check { file: String::new() }, "fn main( {").unwrap_err();
-        assert!(err.contains("parse error"));
+        assert!(err.to_string().contains("parse error"));
     }
 }

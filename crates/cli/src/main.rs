@@ -8,7 +8,7 @@ fn main() -> ExitCode {
         Ok(cmd) => cmd,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(e.exit_code());
         }
     };
     let source = match &cmd {
@@ -29,8 +29,8 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("{e}");
-            ExitCode::FAILURE
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }

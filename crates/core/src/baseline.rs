@@ -93,7 +93,7 @@ pub fn solve_query_coarse<C: CoarseAtoms>(
             ));
         }
     };
-    QueryResult { outcome, iterations, micros: start.elapsed().as_micros() }
+    QueryResult { outcome, iterations, micros: start.elapsed().as_micros(), escalations: 0 }
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Batch query scheduler: all of a program's queries through TRACER on a
-//! worker pool, with a shared forward-run cache.
+//! worker pool, with a shared forward-run cache and a fault-isolation
+//! boundary per query.
 //!
 //! The paper evaluates TRACER one *suite program* at a time, but each
 //! program carries dozens to thousands of queries, and every query's
@@ -13,18 +14,33 @@
 //! CEGAR loops across a [`std::thread::scope`] worker pool
 //! ([`BatchConfig::jobs`] workers) and routes every forward analysis
 //! through a [`ForwardCache`] shared by the whole batch. A forward run is
-//! fully determined by the `(client, abstraction parameter, program)`
-//! triple; within one batch the client and program are fixed, so the
-//! cache keys on the remaining coordinate — the solver model assignment
-//! the parameter was decoded from. Cache hits skip the RHS tabulation
-//! entirely and reuse the memoized [`RhsResult`].
+//! fully determined by the `(client, abstraction parameter, program,
+//! fact budget)` tuple; within one batch the client and program are
+//! fixed, so the cache keys on the remaining coordinates — the solver
+//! model assignment the parameter was decoded from, plus the effective
+//! fact budget (escalated retries run under bigger budgets and must not
+//! alias the base run). Cache hits skip the RHS tabulation entirely and
+//! reuse the memoized [`RhsResult`].
+//!
+//! # Failure model
+//!
+//! Each per-query solve runs inside [`std::panic::catch_unwind`]: a
+//! panicking client or engine yields [`Unresolved::EngineFault`] for that
+//! query and the batch carries on. Wall-clock deadlines (per query via
+//! [`TracerConfig::timeout`] / `Query::limits`, whole-batch via
+//! [`BatchConfig::batch_timeout`]) surface as
+//! [`Unresolved::DeadlineExceeded`]. Neither fault class is ever stored
+//! in the cache: a slot whose computation panics is reset so another
+//! worker recomputes it, and a deadline-aborted run is returned to its
+//! requester only. Cached values are therefore schedule-independent.
 //!
 //! Determinism: the RHS engine is a deterministic function of its inputs
 //! (LIFO worklist, interned state ids, and `witness` resolves ties by
 //! minimum `(entry, state)` id), so a cached result is *identical* to the
 //! run it replaces and per-query outcomes, costs, and iteration counts do
-//! not depend on `jobs` or on scheduling order. `jobs == 1` short-circuits
-//! to today's sequential [`solve_query`] loop, bit for bit.
+//! not depend on `jobs` or on scheduling order — including in the
+//! presence of faulted sibling queries. `jobs == 1` short-circuits to the
+//! sequential [`crate::tracer::solve_query`] loop, bit for bit.
 //!
 //! This subsumes neither the Section 6 *query groups* optimization
 //! ([`crate::groups::solve_queries`]) nor is subsumed by it: groups share
@@ -33,16 +49,20 @@
 //! across groups, were the two composed).
 
 use crate::client::{AsMeta, Query, TracerClient};
-use crate::tracer::{solve_query, Outcome, QueryResult, StepResult, TracerConfig, Unresolved};
-use pda_dataflow::{rhs, RhsResult, TooBig};
+use crate::tracer::{
+    effective_deadline, solve_query_within, Outcome, QueryResult, StepResult, TracerConfig,
+    Unresolved,
+};
+use pda_dataflow::{rhs, Interrupt, RhsLimits, RhsResult, TooBig};
 use pda_lang::{CallId, MethodId, Program};
 use pda_meta::{analyze_trace, restrict};
 use pda_solver::{MinCostSolver, PFormula};
-use pda_util::CacheStats;
+use pda_util::{CacheStats, Deadline};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Configuration of a batch run.
 #[derive(Debug, Clone)]
@@ -53,11 +73,15 @@ pub struct BatchConfig {
     /// (no cache, no pool); `0` is treated as `1`. The default is the
     /// machine's available parallelism.
     pub jobs: usize,
+    /// Wall-clock budget for the *whole batch*: queries still running (or
+    /// not yet started) when it expires resolve as
+    /// [`Unresolved::DeadlineExceeded`]. `None` (default) = unbounded.
+    pub batch_timeout: Option<Duration>,
 }
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        BatchConfig { tracer: TracerConfig::default(), jobs: default_jobs() }
+        BatchConfig { tracer: TracerConfig::default(), jobs: default_jobs(), batch_timeout: None }
     }
 }
 
@@ -79,15 +103,23 @@ pub struct BatchStats {
     pub cache: CacheStats,
     /// Wall-clock time for the whole batch, microseconds.
     pub wall_micros: u128,
+    /// Queries that resolved as [`Unresolved::EngineFault`] (isolated
+    /// panics).
+    pub engine_faults: usize,
+    /// Queries that resolved as [`Unresolved::DeadlineExceeded`].
+    pub deadline_exceeded: usize,
+    /// Fact-budget escalation retries consumed across all queries.
+    pub escalations: u64,
+    /// Queries skipped because a checkpoint already held their result.
+    pub resumed: usize,
 }
 
 impl BatchStats {
-    /// Batch throughput in queries per second.
+    /// Batch throughput in queries per second. An instant (sub-µs) batch
+    /// is accounted as one microsecond rather than reporting `0.0 q/s`,
+    /// which reads as a hang.
     pub fn queries_per_sec(&self) -> f64 {
-        if self.wall_micros == 0 {
-            return 0.0;
-        }
-        self.queries as f64 * 1e6 / self.wall_micros as f64
+        self.queries as f64 * 1e6 / self.wall_micros.max(1) as f64
     }
 
     /// Forward runs the cache avoided (its hit count).
@@ -98,38 +130,85 @@ impl BatchStats {
 
 impl std::fmt::Display for BatchStats {
     /// One-line summary: `32 queries, jobs=8: 41.2 q/s, cache 57/89 hits
-    /// (64.0%), 57 forward runs saved`.
+    /// (64.0%), 57 forward runs saved, faults=0 deadlines=0 escalations=0
+    /// resumed=0`.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} queries, jobs={}: {:.1} q/s, cache {}, {} forward runs saved",
+            "{} queries, jobs={}: {:.1} q/s, cache {}, {} forward runs saved, \
+             faults={} deadlines={} escalations={} resumed={}",
             self.queries,
             self.jobs,
             self.queries_per_sec(),
             self.cache,
             self.forward_runs_saved(),
+            self.engine_faults,
+            self.deadline_exceeded,
+            self.escalations,
+            self.resumed,
         )
     }
 }
 
 /// A shared, thread-safe memo table for forward (RHS) runs.
 ///
-/// Keys are solver model assignments over the client's parameter atoms —
-/// the canonical encoding of the abstraction parameter; the client and
-/// program are fixed per cache, completing the `(client, param, program)`
-/// key the batch scheduler needs. Values are [`RhsResult`]s behind
-/// [`Arc`], so concurrent queries share one tabulation.
+/// Keys are `(solver model assignment, fact budget)` pairs — the
+/// canonical encoding of the abstraction parameter plus the budget the
+/// run was attempted under (escalated retries use larger budgets and may
+/// legitimately succeed where the base budget returned [`TooBig`]); the
+/// client and program are fixed per cache, completing the key the batch
+/// scheduler needs. Values are [`RhsResult`]s behind [`Arc`], so
+/// concurrent queries share one tabulation.
 ///
-/// Each slot is a [`OnceLock`]: when several workers want the same
-/// not-yet-computed run, one executes it and the rest block on the slot
-/// rather than duplicating the work.
+/// Each slot is a small `Mutex`+`Condvar` state machine rather than a
+/// `OnceLock`, because two outcomes must **not** be memoized:
+///
+/// * a computation that *panics* (fault-injected clients) resets its slot
+///   so another worker retries instead of deadlocking the waiters;
+/// * a run aborted by the computing query's *deadline* is returned to
+///   that query only — caching it would poison healthy queries with a
+///   schedule-dependent result.
+///
+/// Deterministic outcomes (`Ok` runs and fact-budget [`TooBig`]) are
+/// cached; waiters poll their own deadline while blocked, so a slow
+/// computation never pins a sibling query past its budget.
 pub struct ForwardCache<'p, S> {
-    slots: Mutex<HashMap<Vec<bool>, Arc<Slot<'p, S>>>>,
+    #[allow(clippy::type_complexity)]
+    slots: Mutex<HashMap<(Vec<bool>, usize), Arc<Slot<'p, S>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-type Slot<'p, S> = OnceLock<Result<Arc<RhsResult<'p, S>>, TooBig>>;
+struct Slot<'p, S> {
+    state: Mutex<SlotState<'p, S>>,
+    ready: Condvar,
+}
+
+enum SlotState<'p, S> {
+    /// Nobody is computing this run (initially, or after a computer
+    /// panicked / hit its deadline).
+    Empty,
+    /// Some worker is computing; wait on `ready`.
+    Running,
+    /// Memoized outcome.
+    Done(Result<Arc<RhsResult<'p, S>>, TooBig>),
+}
+
+/// Resets a slot to `Empty` if its computation unwinds, so waiting
+/// workers retry instead of blocking forever.
+struct SlotGuard<'s, 'p, S> {
+    slot: &'s Slot<'p, S>,
+    armed: bool,
+}
+
+impl<S> Drop for SlotGuard<'_, '_, S> {
+    fn drop(&mut self) {
+        if self.armed {
+            *self.slot.state.lock().expect("forward-cache slot poisoned") = SlotState::Empty;
+            self.slot.ready.notify_all();
+        }
+    }
+}
 
 impl<'p, S> ForwardCache<'p, S> {
     /// An empty cache.
@@ -149,32 +228,107 @@ impl<'p, S> ForwardCache<'p, S> {
         }
     }
 
-    /// The memoized forward run for `assignment`, executing `compute` at
-    /// most once per assignment across all threads. Counts a miss for the
-    /// caller that ran `compute` (or blocked on the winner of a race) and
-    /// a hit for everyone who found the slot already filled.
+    /// The memoized forward run for `assignment` under `max_facts`,
+    /// executing `compute` at most once per key across all threads
+    /// (barring panics or deadline aborts, which release the key for a
+    /// retry). Counts one miss for the caller that ran `compute` (or
+    /// blocked on the winner of a race) and one hit for a caller that
+    /// found the slot already filled.
+    ///
+    /// `deadline` bounds *waiting* as well as computing: a caller whose
+    /// deadline expires while a sibling computes gives up with
+    /// [`Interrupt::DeadlineExceeded`] without disturbing the slot.
+    ///
+    /// # Errors
+    ///
+    /// [`Interrupt::TooBig`] (memoized — deterministic for the key) or
+    /// [`Interrupt::DeadlineExceeded`] (never memoized).
     pub fn forward(
         &self,
         assignment: &[bool],
-        compute: impl FnOnce() -> Result<RhsResult<'p, S>, TooBig>,
-    ) -> Result<Arc<RhsResult<'p, S>>, TooBig> {
+        max_facts: usize,
+        deadline: Deadline,
+        compute: impl FnOnce() -> Result<RhsResult<'p, S>, Interrupt>,
+    ) -> Result<Arc<RhsResult<'p, S>>, Interrupt> {
         let slot = {
             let mut slots = self.slots.lock().expect("forward-cache map poisoned");
-            match slots.get(assignment) {
-                Some(s) => Arc::clone(s),
-                None => {
-                    let s = Arc::new(Slot::new());
-                    slots.insert(assignment.to_vec(), Arc::clone(&s));
-                    s
+            Arc::clone(
+                slots
+                    .entry((assignment.to_vec(), max_facts))
+                    .or_insert_with(|| {
+                        Arc::new(Slot { state: Mutex::new(SlotState::Empty), ready: Condvar::new() })
+                    }),
+            )
+        };
+        let mut counted = false;
+        loop {
+            let mut st = slot.state.lock().expect("forward-cache slot poisoned");
+            match &*st {
+                SlotState::Done(r) => {
+                    if !counted {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return r.clone().map_err(Interrupt::TooBig);
+                }
+                SlotState::Empty => {
+                    *st = SlotState::Running;
+                    if !counted {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    drop(st);
+                    break;
+                }
+                SlotState::Running => {
+                    if !counted {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        counted = true;
+                    }
+                    if deadline.expired() {
+                        return Err(Interrupt::DeadlineExceeded);
+                    }
+                    // Re-checks the state on every wakeup; `notify_all`
+                    // fires on every slot transition, so no wakeup is
+                    // missed. The timeout only serves the waiter's own
+                    // deadline.
+                    let waited = match deadline.remaining() {
+                        None => slot.ready.wait(st).expect("forward-cache slot poisoned"),
+                        Some(rem) => {
+                            slot.ready
+                                .wait_timeout(st, rem)
+                                .expect("forward-cache slot poisoned")
+                                .0
+                        }
+                    };
+                    drop(waited);
                 }
             }
-        };
-        if let Some(done) = slot.get() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return done.clone();
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        slot.get_or_init(|| compute().map(Arc::new)).clone()
+        // Compute outside the slot lock; if `compute` unwinds (a
+        // fault-injected client panic), the guard re-opens the slot.
+        let mut guard = SlotGuard { slot: &slot, armed: true };
+        let result = compute();
+        let mut st = slot.state.lock().expect("forward-cache slot poisoned");
+        guard.armed = false;
+        let out = match result {
+            Ok(run) => {
+                let run = Arc::new(run);
+                *st = SlotState::Done(Ok(Arc::clone(&run)));
+                Ok(run)
+            }
+            Err(Interrupt::TooBig(e)) => {
+                *st = SlotState::Done(Err(e));
+                Err(Interrupt::TooBig(e))
+            }
+            Err(Interrupt::DeadlineExceeded) => {
+                // Not this slot's fault: release it for a retry by a
+                // query with a healthier deadline.
+                *st = SlotState::Empty;
+                Err(Interrupt::DeadlineExceeded)
+            }
+        };
+        drop(st);
+        slot.ready.notify_all();
+        out
     }
 }
 
@@ -184,18 +338,47 @@ impl<'p, S> Default for ForwardCache<'p, S> {
     }
 }
 
+/// Extracts a displayable message from a `catch_unwind` payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A result for a query whose solve panicked: the batch completes, the
+/// payload is preserved, no effort is attributed.
+fn fault_result<Param>(payload: Box<dyn std::any::Any + Send>, started: Instant) -> QueryResult<Param> {
+    QueryResult {
+        outcome: Outcome::Unresolved(Unresolved::EngineFault(panic_message(payload.as_ref()))),
+        iterations: 0,
+        micros: started.elapsed().as_micros(),
+        escalations: 0,
+    }
+}
+
 /// Resolves every query of one program, in parallel, sharing forward runs.
 ///
 /// With `jobs == 1` this is exactly `queries.iter().map(solve_query)` —
-/// the sequential driver, unchanged. With `jobs > 1` the queries are
-/// claimed from a shared counter by `min(jobs, queries.len())` scoped
-/// worker threads, and every CEGAR iteration's forward analysis goes
-/// through one [`ForwardCache`]. Results come back in query order, and
-/// per-query outcomes, costs, and iteration counts are identical to the
-/// sequential run (see the module docs for the determinism argument);
-/// only the per-query `micros` fields and the batch wall time vary.
-pub fn solve_queries_batch<'p, C>(
-    program: &'p Program,
+/// the sequential driver — except that each solve is panic-isolated. With
+/// `jobs > 1` the queries are claimed from a shared counter by
+/// `min(jobs, queries.len())` scoped worker threads, and every CEGAR
+/// iteration's forward analysis goes through one [`ForwardCache`].
+/// Results come back in query order, and per-query outcomes, costs, and
+/// iteration counts are identical to the sequential run (see the module
+/// docs for the determinism argument); only the per-query `micros` fields
+/// and the batch wall time vary.
+///
+/// The batch always completes: a panicking solve yields
+/// [`Unresolved::EngineFault`] for that query only, and deadline expiry
+/// ([`TracerConfig::timeout`], `Query::limits.timeout`, or
+/// [`BatchConfig::batch_timeout`]) yields
+/// [`Unresolved::DeadlineExceeded`].
+pub fn solve_queries_batch<C>(
+    program: &Program,
     callees: &(dyn Fn(CallId) -> Vec<MethodId> + Sync),
     client: &C,
     queries: &[Query<C::Prim>],
@@ -207,57 +390,131 @@ where
     C::State: Send + Sync,
     C::Prim: Sync,
 {
+    run_batch(program, callees, client, queries, config, HashMap::new(), None)
+}
+
+/// The shared batch runner behind [`solve_queries_batch`] and the
+/// checkpointing driver in [`crate::resilience`]: `skip` holds results
+/// restored from a checkpoint (those queries are not re-run), and `sink`
+/// observes each freshly finished `(index, result)` as soon as it exists
+/// — the streaming hook the checkpoint writer hangs off.
+#[allow(clippy::type_complexity)]
+pub(crate) fn run_batch<'p, C>(
+    program: &'p Program,
+    callees: &(dyn Fn(CallId) -> Vec<MethodId> + Sync),
+    client: &C,
+    queries: &[Query<C::Prim>],
+    config: &BatchConfig,
+    skip: HashMap<usize, QueryResult<C::Param>>,
+    sink: Option<&(dyn Fn(usize, &QueryResult<C::Param>) + Sync)>,
+) -> (Vec<QueryResult<C::Param>>, BatchStats)
+where
+    C: TracerClient + Sync,
+    C::Param: Send,
+    C::State: Send + Sync,
+    C::Prim: Sync,
+{
     let start = Instant::now();
-    let jobs = config.jobs.max(1).min(queries.len().max(1));
-    if jobs == 1 {
-        let results: Vec<_> = queries
-            .iter()
-            .map(|q| solve_query(program, &|c| callees(c), client, q, &config.tracer))
-            .collect();
-        let stats = BatchStats {
-            queries: queries.len(),
-            jobs,
-            cache: CacheStats::default(),
-            wall_micros: start.elapsed().as_micros(),
-        };
-        return (results, stats);
+    let batch_deadline = Deadline::timeout(config.batch_timeout);
+    let resumed = skip.len();
+    let pending: Vec<usize> = (0..queries.len()).filter(|i| !skip.contains_key(i)).collect();
+    let jobs = config.jobs.max(1).min(pending.len().max(1));
+
+    let mut slots: Vec<Option<QueryResult<C::Param>>> = (0..queries.len()).map(|_| None).collect();
+    for (i, r) in skip {
+        slots[i] = Some(r);
     }
 
-    let cache: ForwardCache<'p, C::State> = ForwardCache::new();
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<QueryResult<C::Param>>>> =
-        queries.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= queries.len() {
-                    break;
-                }
-                let r =
-                    solve_query_cached(program, callees, client, &queries[i], &config.tracer, &cache);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
-            });
+    let cache_stats;
+    if jobs == 1 {
+        cache_stats = CacheStats::default();
+        // With no batch timeout this is byte-for-byte the sequential
+        // driver: `solve_query_within(.., Deadline::NEVER)` *is*
+        // `solve_query`, plus the panic-isolation boundary.
+        for &i in &pending {
+            let started = Instant::now();
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                solve_query_within(
+                    program,
+                    &|c| callees(c),
+                    client,
+                    &queries[i],
+                    &config.tracer,
+                    batch_deadline,
+                )
+            }))
+            .unwrap_or_else(|payload| fault_result(payload, started));
+            if let Some(sink) = sink {
+                sink(i, &r);
+            }
+            slots[i] = Some(r);
         }
-    });
-    let results: Vec<_> = slots
+    } else {
+        let cache: ForwardCache<'p, C::State> = ForwardCache::new();
+        let next = AtomicUsize::new(0);
+        let shared: Vec<Mutex<Option<QueryResult<C::Param>>>> =
+            pending.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= pending.len() {
+                        break;
+                    }
+                    let i = pending[k];
+                    let started = Instant::now();
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        solve_query_cached(
+                            program,
+                            callees,
+                            client,
+                            &queries[i],
+                            &config.tracer,
+                            &cache,
+                            batch_deadline,
+                        )
+                    }))
+                    .unwrap_or_else(|payload| fault_result(payload, started));
+                    if let Some(sink) = sink {
+                        sink(i, &r);
+                    }
+                    *shared[k].lock().expect("result slot poisoned") = Some(r);
+                });
+            }
+        });
+        for (k, slot) in shared.into_iter().enumerate() {
+            slots[pending[k]] = slot
+                .into_inner()
+                .expect("result slot poisoned");
+        }
+        cache_stats = cache.stats();
+    }
+
+    let results: Vec<QueryResult<C::Param>> = slots
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("every claimed query was resolved")
-        })
+        .map(|r| r.expect("every query resolved, resumed, or faulted"))
         .collect();
     let stats = BatchStats {
         queries: queries.len(),
         jobs,
-        cache: cache.stats(),
+        cache: cache_stats,
         wall_micros: start.elapsed().as_micros(),
+        engine_faults: results
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Unresolved(Unresolved::EngineFault(_))))
+            .count(),
+        deadline_exceeded: results
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Unresolved(Unresolved::DeadlineExceeded)))
+            .count(),
+        escalations: results.iter().map(|r| u64::from(r.escalations)).sum(),
+        resumed,
     };
     (results, stats)
 }
 
-/// [`solve_query`] with its forward analyses routed through `cache`.
+/// [`crate::tracer::solve_query`] with its forward analyses routed through `cache`,
+/// additionally bounded by the batch-wide `outer` deadline.
 ///
 /// Mirrors [`crate::tracer::step`]'s CEGAR iteration exactly; the only
 /// difference is where the [`RhsResult`] comes from. Within one query's
@@ -271,15 +528,31 @@ pub fn solve_query_cached<'p, C: TracerClient>(
     query: &Query<C::Prim>,
     config: &TracerConfig,
     cache: &ForwardCache<'p, C::State>,
+    outer: Deadline,
 ) -> QueryResult<C::Param> {
     let start = Instant::now();
+    let deadline = effective_deadline(query, config, outer);
     let mut constraints: Vec<PFormula> = Vec::new();
     let mut iterations = 0;
+    let mut escalations = 0;
     let outcome = loop {
+        if deadline.expired() {
+            break Outcome::Unresolved(Unresolved::DeadlineExceeded);
+        }
         if iterations >= config.max_iters {
             break Outcome::Unresolved(Unresolved::IterationBudget);
         }
-        match step_cached(program, callees, client, query, config, &mut constraints, cache) {
+        match step_cached(
+            program,
+            callees,
+            client,
+            query,
+            config,
+            &mut constraints,
+            cache,
+            deadline,
+            &mut escalations,
+        ) {
             StepResult::Proven { param, cost } => {
                 iterations += 1;
                 break Outcome::Proven { param, cost };
@@ -292,7 +565,7 @@ pub fn solve_query_cached<'p, C: TracerClient>(
             }
         }
     };
-    QueryResult { outcome, iterations, micros: start.elapsed().as_micros() }
+    QueryResult { outcome, iterations, micros: start.elapsed().as_micros(), escalations }
 }
 
 /// One CEGAR iteration with the forward run served by `cache`.
@@ -305,6 +578,8 @@ fn step_cached<'p, C: TracerClient>(
     config: &TracerConfig,
     constraints: &mut Vec<PFormula>,
     cache: &ForwardCache<'p, C::State>,
+    deadline: Deadline,
+    escalations: &mut u32,
 ) -> StepResult<C::Param> {
     let n = client.n_atoms();
     let costs = (0..n).map(|i| client.atom_cost(i)).collect();
@@ -312,24 +587,35 @@ fn step_cached<'p, C: TracerClient>(
     for c in constraints.iter() {
         solver.require(c.clone());
     }
-    let Some(model) = solver.solve() else {
-        return StepResult::Impossible;
+    let model = match solver.solve_within(deadline) {
+        Ok(Some(m)) => m,
+        Ok(None) => return StepResult::Impossible,
+        Err(_) => return StepResult::Unresolved(Unresolved::DeadlineExceeded),
     };
     let p = client.param_of_model(&model.assignment);
     let d0 = client.initial_state();
 
-    let run = match cache.forward(&model.assignment, || {
-        rhs::run(
-            program,
-            &crate::client::AsAnalysis(client),
-            &p,
-            d0.clone(),
-            callees,
-            config.rhs_limits,
-        )
-    }) {
-        Ok(r) => r,
-        Err(_) => return StepResult::Unresolved(Unresolved::AnalysisTooBig),
+    let base_facts = query.limits.max_facts.unwrap_or(config.rhs_limits.max_facts);
+    let mut attempt: u32 = 0;
+    let run = loop {
+        let max_facts = config.escalation.budget(base_facts, attempt);
+        let limits = RhsLimits { max_facts, deadline };
+        match cache.forward(&model.assignment, max_facts, deadline, || {
+            rhs::run(program, &crate::client::AsAnalysis(client), &p, d0.clone(), callees, limits)
+        }) {
+            Ok(r) => break r,
+            Err(Interrupt::DeadlineExceeded) => {
+                return StepResult::Unresolved(Unresolved::DeadlineExceeded)
+            }
+            Err(Interrupt::TooBig(_)) => {
+                if attempt < config.escalation.retries && !deadline.expired() {
+                    attempt += 1;
+                    *escalations += 1;
+                } else {
+                    return StepResult::Unresolved(Unresolved::AnalysisTooBig);
+                }
+            }
+        }
     };
 
     let failing = |d: &C::State| query.not_q.holds(&p, d);
@@ -412,6 +698,8 @@ mod tests {
             r4.iter().map(|r| r.iterations).sum::<usize>(),
             "every CEGAR iteration does exactly one forward lookup"
         );
+        assert_eq!((s4.engine_faults, s4.deadline_exceeded, s4.resumed), (0, 0, 0));
+        assert_eq!(s4.escalations, 0);
     }
 
     #[test]
@@ -422,10 +710,11 @@ mod tests {
         let cache: ForwardCache<'_, _> = ForwardCache::new();
         let assignment = vec![false; client.n_atoms()];
         let p = client.param_of_model(&assignment);
+        let limits = pda_dataflow::RhsLimits::default();
         let mut runs = 0;
         for _ in 0..3 {
             let r = cache
-                .forward(&assignment, || {
+                .forward(&assignment, limits.max_facts, Deadline::NEVER, || {
                     runs += 1;
                     rhs::run(
                         &program,
@@ -433,7 +722,7 @@ mod tests {
                         &p,
                         client.initial_state(),
                         &callees,
-                        pda_dataflow::RhsLimits::default(),
+                        limits,
                     )
                 })
                 .unwrap();
@@ -445,6 +734,104 @@ mod tests {
     }
 
     #[test]
+    fn cache_keys_on_fact_budget_and_memoizes_too_big() {
+        let (program, pa) = fixture();
+        let client = NullClient::new(&program);
+        let callees = |c: CallId| pa.callees(c).to_vec();
+        let cache: ForwardCache<'_, _> = ForwardCache::new();
+        let assignment = vec![false; client.n_atoms()];
+        let p = client.param_of_model(&assignment);
+        let run_with = |budget: usize, runs: &mut u32| {
+            cache.forward(&assignment, budget, Deadline::NEVER, || {
+                *runs += 1;
+                rhs::run(
+                    &program,
+                    &crate::client::AsAnalysis(&client),
+                    &p,
+                    client.initial_state(),
+                    &callees,
+                    pda_dataflow::RhsLimits { max_facts: budget, ..Default::default() },
+                )
+            })
+        };
+        let mut runs = 0;
+        // A 1-fact budget fails deterministically — and the failure is
+        // memoized under its own key.
+        assert!(matches!(run_with(1, &mut runs), Err(Interrupt::TooBig(_))));
+        assert!(matches!(run_with(1, &mut runs), Err(Interrupt::TooBig(_))));
+        assert_eq!(runs, 1);
+        // A generous budget is a distinct key and succeeds.
+        assert!(run_with(1_000_000, &mut runs).is_ok());
+        assert_eq!(runs, 2);
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (2, 1));
+    }
+
+    #[test]
+    fn cache_does_not_memoize_deadline_aborts() {
+        let (program, pa) = fixture();
+        let client = NullClient::new(&program);
+        let callees = |c: CallId| pa.callees(c).to_vec();
+        let cache: ForwardCache<'_, _> = ForwardCache::new();
+        let assignment = vec![false; client.n_atoms()];
+        let p = client.param_of_model(&assignment);
+        let budget = pda_dataflow::RhsLimits::default().max_facts;
+        // First caller's run aborts on its expired deadline.
+        let expired = Deadline::after(std::time::Duration::ZERO);
+        let r = cache.forward(&assignment, budget, expired, || {
+            rhs::run(
+                &program,
+                &crate::client::AsAnalysis(&client),
+                &p,
+                client.initial_state(),
+                &callees,
+                pda_dataflow::RhsLimits { max_facts: budget, deadline: expired },
+            )
+        });
+        assert_eq!(r.unwrap_err(), Interrupt::DeadlineExceeded);
+        // A healthy second caller recomputes and succeeds — the abort was
+        // not cached.
+        let r2 = cache.forward(&assignment, budget, Deadline::NEVER, || {
+            rhs::run(
+                &program,
+                &crate::client::AsAnalysis(&client),
+                &p,
+                client.initial_state(),
+                &callees,
+                pda_dataflow::RhsLimits { max_facts: budget, ..Default::default() },
+            )
+        });
+        assert!(r2.is_ok());
+    }
+
+    #[test]
+    fn cache_recovers_from_panicking_compute() {
+        let (program, pa) = fixture();
+        let client = NullClient::new(&program);
+        let callees = |c: CallId| pa.callees(c).to_vec();
+        let cache: ForwardCache<'_, _> = ForwardCache::new();
+        let assignment = vec![false; client.n_atoms()];
+        let p = client.param_of_model(&assignment);
+        let budget = pda_dataflow::RhsLimits::default().max_facts;
+        let boom = catch_unwind(AssertUnwindSafe(|| {
+            cache.forward(&assignment, budget, Deadline::NEVER, || panic!("injected"))
+        }));
+        assert!(boom.is_err());
+        // The slot was re-opened: the next caller computes normally.
+        let r = cache.forward(&assignment, budget, Deadline::NEVER, || {
+            rhs::run(
+                &program,
+                &crate::client::AsAnalysis(&client),
+                &p,
+                client.initial_state(),
+                &callees,
+                pda_dataflow::RhsLimits::default(),
+            )
+        });
+        assert!(r.is_ok());
+    }
+
+    #[test]
     fn empty_batch_is_fine() {
         let (program, pa) = fixture();
         let client = NullClient::new(&program);
@@ -453,5 +840,25 @@ mod tests {
             solve_queries_batch(&program, &callees, &client, &[], &BatchConfig::default());
         assert!(r.is_empty());
         assert_eq!(s.queries, 0);
+    }
+
+    #[test]
+    fn batch_timeout_degrades_whole_batch() {
+        let (program, pa) = fixture();
+        let client = NullClient::new(&program);
+        let qs = queries(&program, &client);
+        let callees = |c: CallId| pa.callees(c).to_vec();
+        for jobs in [1, 4] {
+            let config = BatchConfig {
+                jobs,
+                batch_timeout: Some(std::time::Duration::ZERO),
+                ..BatchConfig::default()
+            };
+            let (r, s) = solve_queries_batch(&program, &callees, &client, &qs, &config);
+            assert!(r
+                .iter()
+                .all(|r| r.outcome == Outcome::Unresolved(Unresolved::DeadlineExceeded)));
+            assert_eq!(s.deadline_exceeded, qs.len());
+        }
     }
 }

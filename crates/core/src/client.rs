@@ -59,12 +59,35 @@ pub struct Query<P> {
     pub not_q: Formula<P>,
     /// The source query this corresponds to, if any (labels, reporting).
     pub source: Option<QueryId>,
+    /// Per-query overrides of the global resource limits.
+    pub limits: QueryLimits,
+}
+
+/// Per-query resource-limit overrides.
+///
+/// The default overrides nothing — the query runs under the global
+/// [`crate::tracer::TracerConfig`] limits. Set a field to tighten (or
+/// loosen) the limit for this query alone; the fault-injection tests use
+/// a zero `timeout` for a deterministic `DeadlineExceeded` and a tiny
+/// `max_facts` for a deterministic forced-`TooBig`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryLimits {
+    /// Wall-clock budget for this query (`None` = use the global one).
+    pub timeout: Option<std::time::Duration>,
+    /// Base fact budget for this query's forward runs (`None` = global).
+    pub max_facts: Option<usize>,
 }
 
 impl<P: Primitive> Query<P> {
     /// Returns the source label if the query came from source text.
     pub fn label<'a>(&self, program: &'a Program) -> Option<&'a str> {
         self.source.map(|q| program.queries[q].label.as_str())
+    }
+
+    /// Returns the query with the given per-query limit overrides.
+    pub fn with_limits(mut self, limits: QueryLimits) -> Self {
+        self.limits = limits;
+        self
     }
 }
 

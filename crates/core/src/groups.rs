@@ -76,6 +76,7 @@ pub fn solve_queries<C: TracerClient>(
                 outcome,
                 iterations: group.iters,
                 micros: group.micros + extra,
+                escalations: 0,
             });
         };
 
@@ -122,16 +123,14 @@ pub fn solve_queries<C: TracerClient>(
             config.rhs_limits,
         ) {
             Ok(r) => r,
-            Err(_) => {
+            Err(interrupt) => {
+                let u = match interrupt {
+                    pda_dataflow::Interrupt::TooBig(_) => Unresolved::AnalysisTooBig,
+                    pda_dataflow::Interrupt::DeadlineExceeded => Unresolved::DeadlineExceeded,
+                };
                 let extra = started.elapsed().as_micros();
                 for &q in &group.members {
-                    resolve(
-                        &mut results,
-                        q,
-                        Outcome::Unresolved(Unresolved::AnalysisTooBig),
-                        &group,
-                        extra,
-                    );
+                    resolve(&mut results, q, Outcome::Unresolved(u.clone()), &group, extra);
                 }
                 continue;
             }

@@ -59,15 +59,23 @@ pub mod baseline;
 pub mod batch;
 pub mod brute;
 pub mod client;
+pub mod faultcli;
 pub mod groups;
 pub mod nullcli;
+pub mod resilience;
 pub mod tracer;
 
 pub use baseline::{solve_query_coarse, CoarseAtoms};
 pub use batch::{default_jobs, solve_queries_batch, BatchConfig, BatchStats, ForwardCache};
 pub use brute::brute_force_optimum;
-pub use client::{AsAnalysis, AsMeta, Query, TracerClient};
+pub use client::{AsAnalysis, AsMeta, Query, QueryLimits, TracerClient};
+pub use faultcli::{faulty_query, lift_query, Fault, FaultInjectingClient, FaultPrim};
 pub use groups::{solve_queries, GroupStats};
+pub use resilience::{
+    load_checkpoint, solve_queries_batch_checkpointed, CheckpointError, CheckpointWriter,
+    ParamCodec,
+};
 pub use tracer::{
-    solve_query, solve_query_logged, IterationLog, Outcome, QueryResult, TracerConfig, Unresolved,
+    solve_query, solve_query_logged, solve_query_within, Escalation, IterationLog, Outcome,
+    QueryResult, TracerConfig, Unresolved,
 };

@@ -12,7 +12,7 @@
 //! exercises every part of the pipeline (RHS forward runs, counterexample
 //! traces, backward wp, beam, min-cost solving, impossibility).
 
-use crate::client::{Query, TracerClient};
+use crate::client::{Query, QueryLimits, TracerClient};
 use pda_lang::{Atom, Program, QueryId, QueryKind, VarId};
 use pda_meta::{Formula, Primitive};
 use pda_util::BitSet;
@@ -90,6 +90,7 @@ impl NullClient {
             point: decl.point,
             not_q: Formula::nprim(NullPrim::Var(var)),
             source: Some(q),
+            limits: QueryLimits::default(),
         }
     }
 }

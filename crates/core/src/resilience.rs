@@ -1,0 +1,576 @@
+//! Checkpoint/resume for batch runs: never lose finished work.
+//!
+//! [`solve_queries_batch_checkpointed`] streams every finished
+//! [`QueryResult`] to a JSONL file *as soon as it exists* (one flushed
+//! line per query, so a `kill -9` loses at most the in-flight queries),
+//! and on restart loads the file, skips every already-resolved query, and
+//! solves only the remainder. The final result vector is identical to an
+//! uninterrupted run's, modulo the timing fields.
+//!
+//! # Checkpoint format
+//!
+//! Line 1 is a header; each further line is one result record:
+//!
+//! ```text
+//! {"v":1,"kind":"pda-batch-checkpoint","queries":23}
+//! {"i":0,"outcome":"proven","param":"9:1,4","cost":2,"iterations":3,"micros":412,"escalations":0}
+//! {"i":2,"outcome":"impossible","iterations":4,"micros":96,"escalations":0}
+//! {"i":1,"outcome":"unresolved","reason":"engine_fault","detail":"...","iterations":0,"micros":8,"escalations":0}
+//! ```
+//!
+//! The writer is hand-rolled (the workspace is offline and registry-free
+//! by policy); the reader tolerates a torn final line — the signature of
+//! a kill mid-write — by re-running that query. A header whose `queries`
+//! count or `kind` disagrees with the current batch is rejected: resuming
+//! against the wrong program would silently mis-assign results.
+//!
+//! Abstraction parameters cross the serialization boundary via
+//! [`ParamCodec`]; both real clients (and [`crate::nullcli::NullClient`])
+//! use [`BitSet`] parameters, covered by the impl here.
+
+use crate::batch::{run_batch, BatchConfig, BatchStats};
+use crate::client::{Query, TracerClient};
+use crate::tracer::{Outcome, QueryResult, Unresolved};
+use pda_lang::{CallId, MethodId, Program};
+use pda_util::BitSet;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Round-trips an abstraction parameter through a checkpoint record.
+pub trait ParamCodec: Sized {
+    /// Encodes the parameter as a single-line string.
+    fn encode_param(&self) -> String;
+    /// Decodes a string produced by [`ParamCodec::encode_param`].
+    fn decode_param(s: &str) -> Option<Self>;
+}
+
+/// `universe:elem,elem,...` — e.g. `9:1,4` for `{1,4} ⊆ 0..9`, `9:` for
+/// the empty set.
+impl ParamCodec for BitSet {
+    fn encode_param(&self) -> String {
+        let elems: Vec<String> = self.iter().map(|i| i.to_string()).collect();
+        format!("{}:{}", self.universe(), elems.join(","))
+    }
+
+    fn decode_param(s: &str) -> Option<Self> {
+        let (n, elems) = s.split_once(':')?;
+        let n: usize = n.parse().ok()?;
+        let mut out = BitSet::new(n);
+        for e in elems.split(',').filter(|e| !e.is_empty()) {
+            let i: usize = e.parse().ok()?;
+            if i >= n {
+                return None;
+            }
+            out.insert(i);
+        }
+        Some(out)
+    }
+}
+
+/// Why a checkpoint could not be used.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A non-final line failed to parse (torn *final* lines are
+    /// tolerated).
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The header does not belong to this batch.
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt { line, reason } => {
+                write!(f, "checkpoint corrupt at line {line}: {reason}")
+            }
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+// ---- minimal JSON line encoding (flat objects, string/number values) ----
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses one flat JSON object (string or unsigned-number values) into a
+/// field map; numbers are kept as their raw digits.
+fn parse_json_line(line: &str) -> Option<HashMap<String, String>> {
+    let inner = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = HashMap::new();
+    let mut chars = inner.chars().peekable();
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::Chars<'_>>| {
+        while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+            chars.next();
+        }
+    };
+    let string = |chars: &mut std::iter::Peekable<std::str::Chars<'_>>| -> Option<String> {
+        let mut out = String::new();
+        loop {
+            match chars.next()? {
+                '"' => return Some(out),
+                '\\' => match chars.next()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let hex: String = (0..4).map(|_| chars.next()).collect::<Option<_>>()?;
+                        let code = u32::from_str_radix(&hex, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c => out.push(c),
+            }
+        }
+    };
+    loop {
+        skip_ws(&mut chars);
+        match chars.next() {
+            None => break,
+            Some('"') => {}
+            Some(_) => return None,
+        }
+        let key = string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => {
+                chars.next();
+                string(&mut chars)?
+            }
+            Some(_) => {
+                let mut num = String::new();
+                while chars.peek().is_some_and(|&c| c != ',' && !c.is_ascii_whitespace()) {
+                    num.push(chars.next().unwrap());
+                }
+                if num.is_empty() || !num.chars().all(|c| c.is_ascii_digit()) {
+                    return None;
+                }
+                num
+            }
+            None => return None,
+        };
+        fields.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.next() {
+            None => break,
+            Some(',') => {}
+            Some(_) => return None,
+        }
+    }
+    Some(fields)
+}
+
+const KIND: &str = "pda-batch-checkpoint";
+const VERSION: &str = "1";
+
+fn header_line(n_queries: usize) -> String {
+    format!("{{\"v\":{VERSION},\"kind\":\"{KIND}\",\"queries\":{n_queries}}}")
+}
+
+fn record_line<P: ParamCodec>(i: usize, r: &QueryResult<P>) -> String {
+    let tail = format!(
+        "\"iterations\":{},\"micros\":{},\"escalations\":{}",
+        r.iterations, r.micros, r.escalations
+    );
+    match &r.outcome {
+        Outcome::Proven { param, cost } => format!(
+            "{{\"i\":{i},\"outcome\":\"proven\",\"param\":\"{}\",\"cost\":{cost},{tail}}}",
+            json_escape(&param.encode_param())
+        ),
+        Outcome::Impossible => format!("{{\"i\":{i},\"outcome\":\"impossible\",{tail}}}"),
+        Outcome::Unresolved(u) => {
+            let (reason, detail) = match u {
+                Unresolved::IterationBudget => ("iteration_budget", None),
+                Unresolved::AnalysisTooBig => ("too_big", None),
+                Unresolved::MetaFailure(m) => ("meta_failure", Some(m.as_str())),
+                Unresolved::DeadlineExceeded => ("deadline", None),
+                Unresolved::EngineFault(m) => ("engine_fault", Some(m.as_str())),
+            };
+            let detail = detail
+                .map(|d| format!("\"detail\":\"{}\",", json_escape(d)))
+                .unwrap_or_default();
+            format!("{{\"i\":{i},\"outcome\":\"unresolved\",\"reason\":\"{reason}\",{detail}{tail}}}")
+        }
+    }
+}
+
+fn decode_record<P: ParamCodec>(line: &str) -> Option<(usize, QueryResult<P>)> {
+    let fields = parse_json_line(line)?;
+    let i: usize = fields.get("i")?.parse().ok()?;
+    let iterations: usize = fields.get("iterations")?.parse().ok()?;
+    let micros: u128 = fields.get("micros")?.parse().ok()?;
+    let escalations: u32 = fields.get("escalations")?.parse().ok()?;
+    let outcome = match fields.get("outcome")?.as_str() {
+        "proven" => Outcome::Proven {
+            param: P::decode_param(fields.get("param")?)?,
+            cost: fields.get("cost")?.parse().ok()?,
+        },
+        "impossible" => Outcome::Impossible,
+        "unresolved" => Outcome::Unresolved(match fields.get("reason")?.as_str() {
+            "iteration_budget" => Unresolved::IterationBudget,
+            "too_big" => Unresolved::AnalysisTooBig,
+            "meta_failure" => Unresolved::MetaFailure(fields.get("detail")?.clone()),
+            "deadline" => Unresolved::DeadlineExceeded,
+            "engine_fault" => Unresolved::EngineFault(fields.get("detail")?.clone()),
+            _ => return None,
+        }),
+        _ => return None,
+    };
+    Some((i, QueryResult { outcome, iterations, micros, escalations }))
+}
+
+/// Streams finished results to a checkpoint file, one flushed line each.
+pub struct CheckpointWriter {
+    out: BufWriter<File>,
+}
+
+impl CheckpointWriter {
+    /// Creates (truncating) a checkpoint for a batch of `n_queries`,
+    /// writing the header line.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error.
+    pub fn create(path: &Path, n_queries: usize) -> Result<Self, CheckpointError> {
+        let mut out = BufWriter::new(File::create(path)?);
+        writeln!(out, "{}", header_line(n_queries))?;
+        out.flush()?;
+        Ok(CheckpointWriter { out })
+    }
+
+    /// Appends (and flushes) one result record.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error.
+    pub fn append<P: ParamCodec>(
+        &mut self,
+        i: usize,
+        r: &QueryResult<P>,
+    ) -> Result<(), CheckpointError> {
+        writeln!(self.out, "{}", record_line(i, r))?;
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+/// Loads a checkpoint written for a batch of `n_queries`, returning the
+/// restored per-index results.
+///
+/// A torn final line (kill mid-write) is dropped; its query re-runs on
+/// resume. Duplicate indices keep the last record.
+///
+/// # Errors
+///
+/// [`CheckpointError::Mismatch`] if the header disagrees with this batch,
+/// [`CheckpointError::Corrupt`] for a malformed non-final line, or
+/// [`CheckpointError::Io`].
+pub fn load_checkpoint<P: ParamCodec>(
+    path: &Path,
+    n_queries: usize,
+) -> Result<HashMap<usize, QueryResult<P>>, CheckpointError> {
+    let lines: Vec<String> = BufReader::new(File::open(path)?)
+        .lines()
+        .collect::<Result<_, _>>()?;
+    let Some(header) = lines.first() else {
+        return Err(CheckpointError::Mismatch("empty checkpoint file".into()));
+    };
+    let fields = parse_json_line(header)
+        .ok_or_else(|| CheckpointError::Mismatch("unparsable header".into()))?;
+    if fields.get("kind").map(String::as_str) != Some(KIND) {
+        return Err(CheckpointError::Mismatch(format!(
+            "not a {KIND} file (kind={:?})",
+            fields.get("kind")
+        )));
+    }
+    if fields.get("v").map(String::as_str) != Some(VERSION) {
+        return Err(CheckpointError::Mismatch(format!("unsupported version {:?}", fields.get("v"))));
+    }
+    if fields.get("queries").and_then(|q| q.parse::<usize>().ok()) != Some(n_queries) {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint is for {:?} queries, batch has {n_queries}",
+            fields.get("queries")
+        )));
+    }
+    let mut restored = HashMap::new();
+    let last = lines.len() - 1;
+    for (idx, line) in lines.iter().enumerate().skip(1) {
+        match decode_record::<P>(line) {
+            Some((i, r)) if i < n_queries => {
+                restored.insert(i, r);
+            }
+            Some((i, _)) => {
+                return Err(CheckpointError::Corrupt {
+                    line: idx + 1,
+                    reason: format!("query index {i} out of range"),
+                });
+            }
+            None if idx == last => {} // torn final line: re-run that query
+            None => {
+                return Err(CheckpointError::Corrupt {
+                    line: idx + 1,
+                    reason: "unparsable record".into(),
+                });
+            }
+        }
+    }
+    Ok(restored)
+}
+
+/// Results plus batch statistics, as returned by the plain batch driver.
+pub type BatchOutput<P> = (Vec<QueryResult<P>>, BatchStats);
+
+/// [`crate::batch::solve_queries_batch`] with checkpoint/resume.
+///
+/// If `path` exists it must be a checkpoint for this batch (same query
+/// count); its records are restored and those queries skipped. Otherwise
+/// the file is created. Every freshly finished query is appended and
+/// flushed immediately, so an interrupted run resumes where it left off
+/// and the combined result set equals an uninterrupted run's.
+///
+/// # Errors
+///
+/// Checkpoint load/validation errors before solving starts; a checkpoint
+/// *write* failure mid-run surfaces after the batch completes (results
+/// are computed either way, but the file can no longer be trusted as a
+/// resume point).
+pub fn solve_queries_batch_checkpointed<C>(
+    program: &Program,
+    callees: &(dyn Fn(CallId) -> Vec<MethodId> + Sync),
+    client: &C,
+    queries: &[Query<C::Prim>],
+    config: &BatchConfig,
+    path: &Path,
+) -> Result<BatchOutput<C::Param>, CheckpointError>
+where
+    C: TracerClient + Sync,
+    C::Param: Send + ParamCodec,
+    C::State: Send + Sync,
+    C::Prim: Sync,
+{
+    let (skip, writer) = if path.exists() {
+        let skip = load_checkpoint::<C::Param>(path, queries.len())?;
+        // Rewrite the file compactly: drops any torn final line (which
+        // would otherwise corrupt the first appended record) and
+        // deduplicates.
+        let mut writer = CheckpointWriter::create(path, queries.len())?;
+        let mut restored: Vec<(&usize, &QueryResult<C::Param>)> = skip.iter().collect();
+        restored.sort_by_key(|(i, _)| **i);
+        for (&i, r) in restored {
+            writer.append(i, r)?;
+        }
+        (skip, writer)
+    } else {
+        (HashMap::new(), CheckpointWriter::create(path, queries.len())?)
+    };
+    let writer = Mutex::new(writer);
+    let write_err: Mutex<Option<CheckpointError>> = Mutex::new(None);
+    let sink = |i: usize, r: &QueryResult<C::Param>| {
+        let mut w = writer.lock().expect("checkpoint writer poisoned");
+        if let Err(e) = w.append(i, r) {
+            write_err.lock().expect("error slot poisoned").get_or_insert(e);
+        }
+    };
+    let (results, stats) = run_batch(program, callees, client, queries, config, skip, Some(&sink));
+    if let Some(e) = write_err.into_inner().expect("error slot poisoned") {
+        return Err(e);
+    }
+    Ok((results, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs::OpenOptions;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pda-ckpt-{}-{name}.jsonl", std::process::id()))
+    }
+
+    fn sample_results() -> Vec<QueryResult<BitSet>> {
+        vec![
+            QueryResult {
+                outcome: Outcome::Proven { param: BitSet::from_iter(9, [1, 4]), cost: 2 },
+                iterations: 3,
+                micros: 412,
+                escalations: 1,
+            },
+            QueryResult {
+                outcome: Outcome::Impossible,
+                iterations: 4,
+                micros: 96,
+                escalations: 0,
+            },
+            QueryResult {
+                outcome: Outcome::Unresolved(Unresolved::EngineFault(
+                    "panicked: \"quote\\backslash\"\nnewline".into(),
+                )),
+                iterations: 0,
+                micros: 8,
+                escalations: 0,
+            },
+            QueryResult {
+                outcome: Outcome::Unresolved(Unresolved::MetaFailure("step 3".into())),
+                iterations: 2,
+                micros: 33,
+                escalations: 0,
+            },
+            QueryResult {
+                outcome: Outcome::Unresolved(Unresolved::DeadlineExceeded),
+                iterations: 0,
+                micros: 1,
+                escalations: 0,
+            },
+            QueryResult {
+                outcome: Outcome::Unresolved(Unresolved::IterationBudget),
+                iterations: 200,
+                micros: 99_999,
+                escalations: 0,
+            },
+            QueryResult {
+                outcome: Outcome::Unresolved(Unresolved::AnalysisTooBig),
+                iterations: 1,
+                micros: 77,
+                escalations: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn bitset_codec_roundtrips() {
+        for s in [
+            BitSet::new(0),
+            BitSet::new(7),
+            BitSet::from_iter(9, [1, 4]),
+            BitSet::full(65),
+        ] {
+            let enc = s.encode_param();
+            assert_eq!(BitSet::decode_param(&enc), Some(s), "via {enc:?}");
+        }
+        assert_eq!(BitSet::decode_param("junk"), None);
+        assert_eq!(BitSet::decode_param("3:9"), None, "element outside universe");
+    }
+
+    #[test]
+    fn records_roundtrip_every_outcome() {
+        for (i, r) in sample_results().iter().enumerate() {
+            let line = record_line(i, r);
+            let (j, back) = decode_record::<BitSet>(&line).expect("decodes");
+            assert_eq!(j, i);
+            assert_eq!(&back, r, "via {line}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_write_load_roundtrip_and_torn_tail() {
+        let path = temp_path("roundtrip");
+        let results = sample_results();
+        let mut w = CheckpointWriter::create(&path, results.len()).unwrap();
+        for (i, r) in results.iter().enumerate() {
+            w.append(i, r).unwrap();
+        }
+        drop(w);
+        // Simulate a kill mid-write: append half a record.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"i\":99,\"outcome\":\"prov").unwrap();
+        }
+        let restored = load_checkpoint::<BitSet>(&path, results.len()).unwrap();
+        assert_eq!(restored.len(), results.len());
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(&restored[&i], r);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_or_corrupt_checkpoints_rejected() {
+        let path = temp_path("reject");
+        let mut w = CheckpointWriter::create(&path, 3).unwrap();
+        w.append(0, &sample_results()[1]).unwrap();
+        drop(w);
+        // Wrong query count.
+        assert!(matches!(
+            load_checkpoint::<BitSet>(&path, 4),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        // Garbage on a NON-final line is an error, not a torn tail.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            writeln!(f, "garbage").unwrap();
+            writeln!(f, "{}", record_line(1, &sample_results()[1])).unwrap();
+        }
+        assert!(matches!(
+            load_checkpoint::<BitSet>(&path, 3),
+            Err(CheckpointError::Corrupt { line: 3, .. })
+        ));
+        // A record index outside the batch is corruption too.
+        let path2 = temp_path("range");
+        let mut w = CheckpointWriter::create(&path2, 1).unwrap();
+        w.append(5, &sample_results()[1]).unwrap();
+        drop(w);
+        assert!(matches!(
+            load_checkpoint::<BitSet>(&path2, 1),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        // Not a checkpoint at all.
+        let path3 = temp_path("kind");
+        std::fs::write(&path3, "{\"v\":1,\"kind\":\"other\",\"queries\":1}\n").unwrap();
+        assert!(matches!(
+            load_checkpoint::<BitSet>(&path3, 1),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        for p in [path, path2, path3] {
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn json_escape_handles_control_chars() {
+        let s = "a\"b\\c\nd\te\u{1}";
+        let line = format!("{{\"k\":\"{}\"}}", json_escape(s));
+        let fields = parse_json_line(&line).unwrap();
+        assert_eq!(fields["k"], s);
+    }
+}

@@ -1,11 +1,12 @@
 //! The single-query TRACER loop (Algorithm 1).
 
 use crate::client::{AsMeta, Query, TracerClient};
-use pda_dataflow::{rhs, RhsLimits};
+use pda_dataflow::{rhs, Interrupt, RhsLimits};
 use pda_lang::{CallId, MethodId, Program};
 use pda_meta::{analyze_trace, restrict, BeamConfig};
 use pda_solver::{MinCostSolver, PFormula};
-use std::time::Instant;
+use pda_util::Deadline;
+use std::time::{Duration, Instant};
 
 /// Configuration of one TRACER run.
 #[derive(Debug, Clone)]
@@ -17,6 +18,12 @@ pub struct TracerConfig {
     pub max_iters: usize,
     /// Forward-engine fact budget.
     pub rhs_limits: RhsLimits,
+    /// Per-query wall-clock budget (the paper's Section 6 timeout); the
+    /// loop, tabulation, and solver all poll the same deadline. `None`
+    /// (the default) means no wall-clock limit.
+    pub timeout: Option<Duration>,
+    /// Fact-budget escalation ladder applied on forward-run `TooBig`.
+    pub escalation: Escalation,
 }
 
 impl Default for TracerConfig {
@@ -25,7 +32,47 @@ impl Default for TracerConfig {
             beam: BeamConfig::default(),
             max_iters: 200,
             rhs_limits: RhsLimits::default(),
+            timeout: None,
+            escalation: Escalation::default(),
         }
+    }
+}
+
+/// Geometric fact-budget escalation: when a forward run returns `TooBig`,
+/// retry the same CEGAR step under `base * factor^attempt` facts, up to
+/// `retries` retries. The ladder is deterministic, so escalated runs stay
+/// reproducible (and cacheable) across schedules.
+///
+/// The default performs no retries, preserving the pre-escalation
+/// behaviour; `Escalation::standard()` is the 1x → 4x → 16x ladder from
+/// the issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Escalation {
+    /// Number of retries after the initial attempt (0 = no escalation).
+    pub retries: u32,
+    /// Geometric growth factor per retry (≥ 2 to make progress).
+    pub factor: u32,
+}
+
+impl Default for Escalation {
+    fn default() -> Self {
+        Escalation { retries: 0, factor: 4 }
+    }
+}
+
+impl Escalation {
+    /// The 1x → 4x → 16x ladder: two retries, factor 4.
+    pub fn standard() -> Self {
+        Escalation { retries: 2, factor: 4 }
+    }
+
+    /// Fact budget for the given attempt (0 = the initial run), with the
+    /// growth saturating instead of overflowing.
+    pub fn budget(&self, base: usize, attempt: u32) -> usize {
+        (self.factor as usize)
+            .checked_pow(attempt)
+            .and_then(|m| base.checked_mul(m))
+            .unwrap_or(usize::MAX)
     }
 }
 
@@ -50,14 +97,20 @@ pub enum Outcome<Param> {
 pub enum Unresolved {
     /// Hit the CEGAR iteration budget.
     IterationBudget,
-    /// A forward run exceeded its fact budget.
+    /// A forward run exceeded its fact budget (after any escalation).
     AnalysisTooBig,
     /// The backward meta-analysis reported an internal soundness failure.
     MetaFailure(String),
+    /// The query's wall-clock deadline expired.
+    DeadlineExceeded,
+    /// The engine or client panicked while solving this query; the
+    /// payload message is preserved. Produced only by the batch driver's
+    /// panic isolation — a lone [`solve_query`] still propagates panics.
+    EngineFault(String),
 }
 
 /// Per-query result plus effort accounting for the experiment tables.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryResult<Param> {
     /// Resolution.
     pub outcome: Outcome<Param>,
@@ -65,6 +118,8 @@ pub struct QueryResult<Param> {
     pub iterations: usize,
     /// Wall-clock time spent, microseconds.
     pub micros: u128,
+    /// Fact-budget escalation retries consumed across all iterations.
+    pub escalations: u32,
 }
 
 /// Runs Algorithm 1 for a single query.
@@ -82,14 +137,54 @@ pub fn solve_query<C: TracerClient>(
     query: &Query<C::Prim>,
     config: &TracerConfig,
 ) -> QueryResult<C::Param> {
+    solve_query_within(program, callees, client, query, config, Deadline::NEVER)
+}
+
+/// The deadline a query actually runs under: the earliest of the
+/// configured per-query timeout, the query's own limit override, and an
+/// outer (batch) deadline.
+pub(crate) fn effective_deadline<P>(
+    query: &Query<P>,
+    config: &TracerConfig,
+    outer: Deadline,
+) -> Deadline {
+    Deadline::timeout(config.timeout)
+        .min(Deadline::timeout(query.limits.timeout))
+        .min(outer)
+}
+
+/// Like [`solve_query`], but also bounded by an externally imposed
+/// `outer` deadline (the batch driver's whole-batch budget).
+pub fn solve_query_within<C: TracerClient>(
+    program: &Program,
+    callees: &dyn Fn(CallId) -> Vec<MethodId>,
+    client: &C,
+    query: &Query<C::Prim>,
+    config: &TracerConfig,
+    outer: Deadline,
+) -> QueryResult<C::Param> {
     let start = Instant::now();
+    let deadline = effective_deadline(query, config, outer);
     let mut constraints: Vec<PFormula> = Vec::new();
     let mut iterations = 0;
+    let mut escalations = 0;
     let outcome = loop {
+        if deadline.expired() {
+            break Outcome::Unresolved(Unresolved::DeadlineExceeded);
+        }
         if iterations >= config.max_iters {
             break Outcome::Unresolved(Unresolved::IterationBudget);
         }
-        match step(program, callees, client, query, config, &mut constraints) {
+        match step(
+            program,
+            callees,
+            client,
+            query,
+            config,
+            &mut constraints,
+            deadline,
+            &mut escalations,
+        ) {
             StepResult::Proven { param, cost } => {
                 iterations += 1;
                 break Outcome::Proven { param, cost };
@@ -102,7 +197,7 @@ pub fn solve_query<C: TracerClient>(
             }
         }
     };
-    QueryResult { outcome, iterations, micros: start.elapsed().as_micros() }
+    QueryResult { outcome, iterations, micros: start.elapsed().as_micros(), escalations }
 }
 
 /// One recorded CEGAR iteration of [`solve_query_logged`].
@@ -128,14 +223,28 @@ pub fn solve_query_logged<C: TracerClient>(
     config: &TracerConfig,
 ) -> (QueryResult<C::Param>, Vec<IterationLog<C::Param>>) {
     let start = Instant::now();
+    let deadline = effective_deadline(query, config, Deadline::NEVER);
     let mut constraints: Vec<PFormula> = Vec::new();
     let mut log = Vec::new();
     let mut iterations = 0;
+    let mut escalations = 0;
     let outcome = loop {
+        if deadline.expired() {
+            break Outcome::Unresolved(Unresolved::DeadlineExceeded);
+        }
         if iterations >= config.max_iters {
             break Outcome::Unresolved(Unresolved::IterationBudget);
         }
-        match step(program, callees, client, query, config, &mut constraints) {
+        match step(
+            program,
+            callees,
+            client,
+            query,
+            config,
+            &mut constraints,
+            deadline,
+            &mut escalations,
+        ) {
             StepResult::Proven { param, cost } => {
                 iterations += 1;
                 log.push(IterationLog { param: param.clone(), cost, learned: None });
@@ -157,7 +266,7 @@ pub fn solve_query_logged<C: TracerClient>(
         }
     };
     (
-        QueryResult { outcome, iterations, micros: start.elapsed().as_micros() },
+        QueryResult { outcome, iterations, micros: start.elapsed().as_micros(), escalations },
         log,
     )
 }
@@ -171,6 +280,7 @@ pub(crate) enum StepResult<Param> {
 
 /// One CEGAR iteration: pick minimum viable `p`, run forward, either prove
 /// or learn a new unviability constraint (pushed onto `constraints`).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn step<C: TracerClient>(
     program: &Program,
     callees: &dyn Fn(CallId) -> Vec<MethodId>,
@@ -178,6 +288,8 @@ pub(crate) fn step<C: TracerClient>(
     query: &Query<C::Prim>,
     config: &TracerConfig,
     constraints: &mut Vec<PFormula>,
+    deadline: Deadline,
+    escalations: &mut u32,
 ) -> StepResult<C::Param> {
     let n = client.n_atoms();
     let costs = (0..n).map(|i| client.atom_cost(i)).collect();
@@ -185,22 +297,45 @@ pub(crate) fn step<C: TracerClient>(
     for c in constraints.iter() {
         solver.require(c.clone());
     }
-    let Some(model) = solver.solve() else {
-        return StepResult::Impossible;
+    let model = match solver.solve_within(deadline) {
+        Ok(Some(m)) => m,
+        Ok(None) => return StepResult::Impossible,
+        Err(_) => return StepResult::Unresolved(Unresolved::DeadlineExceeded),
     };
     let p = client.param_of_model(&model.assignment);
     let d0 = client.initial_state();
 
-    let run = match rhs::run(
-        program,
-        &crate::client::AsAnalysis(client),
-        &p,
-        d0.clone(),
-        callees,
-        config.rhs_limits,
-    ) {
-        Ok(r) => r,
-        Err(_) => return StepResult::Unresolved(Unresolved::AnalysisTooBig),
+    // Forward run under the escalation ladder: on TooBig, retry the same
+    // abstraction with a geometrically larger fact budget while retries
+    // remain and the deadline is alive.
+    let base_facts = query.limits.max_facts.unwrap_or(config.rhs_limits.max_facts);
+    let mut attempt: u32 = 0;
+    let run = loop {
+        let limits = RhsLimits {
+            max_facts: config.escalation.budget(base_facts, attempt),
+            deadline,
+        };
+        match rhs::run(
+            program,
+            &crate::client::AsAnalysis(client),
+            &p,
+            d0.clone(),
+            callees,
+            limits,
+        ) {
+            Ok(r) => break r,
+            Err(Interrupt::DeadlineExceeded) => {
+                return StepResult::Unresolved(Unresolved::DeadlineExceeded)
+            }
+            Err(Interrupt::TooBig(_)) => {
+                if attempt < config.escalation.retries && !deadline.expired() {
+                    attempt += 1;
+                    *escalations += 1;
+                } else {
+                    return StepResult::Unresolved(Unresolved::AnalysisTooBig);
+                }
+            }
+        }
     };
 
     let failing = |d: &C::State| query.not_q.holds(&p, d);
@@ -239,6 +374,8 @@ impl std::fmt::Display for Unresolved {
             Unresolved::IterationBudget => write!(f, "iteration budget exhausted"),
             Unresolved::AnalysisTooBig => write!(f, "forward analysis exceeded its fact budget"),
             Unresolved::MetaFailure(m) => write!(f, "meta-analysis failure: {m}"),
+            Unresolved::DeadlineExceeded => write!(f, "wall-clock deadline exceeded"),
+            Unresolved::EngineFault(m) => write!(f, "engine fault: {m}"),
         }
     }
 }
@@ -410,5 +547,94 @@ mod tests {
         let config = TracerConfig { max_iters: 1, ..TracerConfig::default() };
         let r = solve_query(&program, &|c| pa.callees(c).to_vec(), &client, &query, &config);
         assert_eq!(r.outcome, Outcome::Unresolved(Unresolved::IterationBudget));
+    }
+
+    const SIMPLE: &str = r#"
+        fn main() {
+            var x, y;
+            x = null;
+            y = x;
+            query q: local y;
+        }
+    "#;
+
+    fn simple_setup() -> (pda_lang::Program, PointsTo, NullClient) {
+        let program = pda_lang::parse_program(SIMPLE).unwrap();
+        let pa = PointsTo::analyze(&program);
+        let client = NullClient::new(&program);
+        (program, pa, client)
+    }
+
+    #[test]
+    fn zero_timeout_is_deterministic_deadline_exceeded() {
+        let (program, pa, client) = simple_setup();
+        let q = program.query_by_label("q").unwrap();
+        let query = client.query(&program, q);
+        let config = TracerConfig {
+            timeout: Some(std::time::Duration::ZERO),
+            ..TracerConfig::default()
+        };
+        let r = solve_query(&program, &|c| pa.callees(c).to_vec(), &client, &query, &config);
+        assert_eq!(r.outcome, Outcome::Unresolved(Unresolved::DeadlineExceeded));
+        // Expired before any iteration: nothing was attempted.
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.escalations, 0);
+    }
+
+    #[test]
+    fn query_limit_timeout_overrides_config() {
+        let (program, pa, client) = simple_setup();
+        let q = program.query_by_label("q").unwrap();
+        let query = client.query(&program, q).with_limits(crate::client::QueryLimits {
+            timeout: Some(std::time::Duration::ZERO),
+            max_facts: None,
+        });
+        let r = solve_query(
+            &program,
+            &|c| pa.callees(c).to_vec(),
+            &client,
+            &query,
+            &TracerConfig::default(),
+        );
+        assert_eq!(r.outcome, Outcome::Unresolved(Unresolved::DeadlineExceeded));
+    }
+
+    #[test]
+    fn escalation_ladder_recovers_from_too_big() {
+        let (program, pa, client) = simple_setup();
+        let q = program.query_by_label("q").unwrap();
+        let query = client.query(&program, q).with_limits(crate::client::QueryLimits {
+            timeout: None,
+            max_facts: Some(1),
+        });
+        let callees = |c: pda_lang::CallId| pa.callees(c).to_vec();
+        // Without escalation a 1-fact budget is hopeless.
+        let r = solve_query(&program, &callees, &client, &query, &TracerConfig::default());
+        assert_eq!(r.outcome, Outcome::Unresolved(Unresolved::AnalysisTooBig));
+        assert_eq!(r.escalations, 0);
+        // With the ladder (1, 4, 16, ... facts) it climbs until the run fits.
+        let config = TracerConfig {
+            escalation: Escalation { retries: 10, factor: 4 },
+            ..TracerConfig::default()
+        };
+        let r = solve_query(&program, &callees, &client, &query, &config);
+        assert!(matches!(r.outcome, Outcome::Proven { .. }), "got {:?}", r.outcome);
+        assert!(r.escalations > 0);
+        // The baseline (no overrides) proves the same query without retries.
+        let plain = client.query(&program, q);
+        let r0 = solve_query(&program, &callees, &client, &plain, &config);
+        assert_eq!(r0.escalations, 0);
+        assert_eq!(r0.outcome, r.outcome);
+    }
+
+    #[test]
+    fn escalation_budget_saturates() {
+        let e = Escalation { retries: 200, factor: 4 };
+        assert_eq!(e.budget(10, 0), 10);
+        assert_eq!(e.budget(10, 1), 40);
+        assert_eq!(e.budget(10, 2), 160);
+        assert_eq!(e.budget(usize::MAX, 3), usize::MAX);
+        assert_eq!(e.budget(10, 200), usize::MAX);
+        assert_eq!(Escalation::standard(), Escalation { retries: 2, factor: 4 });
     }
 }

@@ -28,6 +28,6 @@ pub mod rhs;
 pub mod term;
 mod traits;
 
-pub use rhs::{RhsLimits, RhsResult, TooBig};
+pub use rhs::{Interrupt, RhsLimits, RhsResult, TooBig};
 pub use term::TermRun;
 pub use traits::{replay, ParametricAnalysis, TraceStep};

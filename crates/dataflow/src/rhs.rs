@@ -16,6 +16,7 @@
 
 use crate::traits::{call_binding_atoms, call_return_atom, ParametricAnalysis, TraceStep};
 use pda_lang::{Atom, CallId, CallKind, MethodId, Node, NodeId, PointId, Program};
+use pda_util::Deadline;
 use std::collections::{BTreeSet, HashMap};
 
 /// Resource limits for one tabulation run.
@@ -23,11 +24,14 @@ use std::collections::{BTreeSet, HashMap};
 pub struct RhsLimits {
     /// Maximum number of path-edge facts before giving up.
     pub max_facts: usize,
+    /// Wall-clock deadline, polled cooperatively by the worklist loop.
+    /// Defaults to [`Deadline::NEVER`].
+    pub deadline: Deadline,
 }
 
 impl Default for RhsLimits {
     fn default() -> Self {
-        RhsLimits { max_facts: 4_000_000 }
+        RhsLimits { max_facts: 4_000_000, deadline: Deadline::NEVER }
     }
 }
 
@@ -45,6 +49,32 @@ impl std::fmt::Display for TooBig {
 }
 
 impl std::error::Error for TooBig {}
+
+/// Why a tabulation run stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The fact budget was exhausted — a *deterministic* size limit.
+    TooBig(TooBig),
+    /// The wall-clock deadline in [`RhsLimits`] expired.
+    DeadlineExceeded,
+}
+
+impl From<TooBig> for Interrupt {
+    fn from(e: TooBig) -> Self {
+        Interrupt::TooBig(e)
+    }
+}
+
+impl std::fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interrupt::TooBig(e) => e.fmt(f),
+            Interrupt::DeadlineExceeded => write!(f, "tabulation hit its wall-clock deadline"),
+        }
+    }
+}
+
+impl std::error::Error for Interrupt {}
 
 type Sid = u32;
 type Fact = (MethodId, Sid, NodeId, Sid);
@@ -116,7 +146,9 @@ pub struct RhsResult<'a, S> {
 ///
 /// # Errors
 ///
-/// Returns [`TooBig`] if the fact budget in `limits` is exhausted.
+/// Returns [`Interrupt::TooBig`] if the fact budget in `limits` is
+/// exhausted, or [`Interrupt::DeadlineExceeded`] if its wall-clock
+/// deadline expires mid-run.
 pub fn run<'a, A: ParametricAnalysis>(
     program: &'a Program,
     analysis: &A,
@@ -124,7 +156,7 @@ pub fn run<'a, A: ParametricAnalysis>(
     d0: A::State,
     callees: &dyn Fn(CallId) -> Vec<MethodId>,
     limits: RhsLimits,
-) -> Result<RhsResult<'a, A::State>, TooBig> {
+) -> Result<RhsResult<'a, A::State>, Interrupt> {
     let mut solver = Solver {
         program,
         analysis,
@@ -184,10 +216,19 @@ impl<A: ParametricAnalysis> Solver<'_, A> {
         self.states.intern(out)
     }
 
-    fn run(&mut self) -> Result<(), TooBig> {
+    fn run(&mut self) -> Result<(), Interrupt> {
+        // Poll the wall clock every `DEADLINE_STRIDE` pops — including pop
+        // zero, so an already-expired deadline aborts before any work and
+        // a zero timeout behaves deterministically.
+        const DEADLINE_STRIDE: u64 = 1024;
+        let mut pops: u64 = 0;
         while let Some(fact) = self.worklist.pop() {
+            if pops.is_multiple_of(DEADLINE_STRIDE) && self.limits.deadline.expired() {
+                return Err(Interrupt::DeadlineExceeded);
+            }
+            pops += 1;
             if self.reasons.len() > self.limits.max_facts {
-                return Err(TooBig { facts: self.reasons.len() });
+                return Err(TooBig { facts: self.reasons.len() }.into());
             }
             self.process(fact);
         }
@@ -635,9 +676,30 @@ mod tests {
             fn main() { var x, y; x = new C; y = x; query q: local y; }
             "#,
         );
-        let err = run(&p, &Nullness, &(), BTreeSet::new(), &|c| pa.callees(c).to_vec(), RhsLimits { max_facts: 2 })
+        let limits = RhsLimits { max_facts: 2, ..RhsLimits::default() };
+        let err = run(&p, &Nullness, &(), BTreeSet::new(), &|c| pa.callees(c).to_vec(), limits)
             .unwrap_err();
-        assert!(err.facts > 2);
+        let Interrupt::TooBig(too_big) = err else {
+            panic!("expected TooBig, got {err:?}");
+        };
+        assert!(too_big.facts > 2);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_before_any_work() {
+        let (p, pa) = run_on(
+            r#"
+            class C {}
+            fn main() { var x, y; x = new C; y = x; query q: local y; }
+            "#,
+        );
+        let limits = RhsLimits {
+            deadline: pda_util::Deadline::after(std::time::Duration::ZERO),
+            ..RhsLimits::default()
+        };
+        let err = run(&p, &Nullness, &(), BTreeSet::new(), &|c| pa.callees(c).to_vec(), limits)
+            .unwrap_err();
+        assert_eq!(err, Interrupt::DeadlineExceeded);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::cases;
 use crate::domain::{Cell, Env, EscPrim, Val};
 use pda_lang::{Atom, Node, PointId, Program, QueryId, QueryKind, VarId};
 use pda_meta::Formula;
-use pda_tracer::{Query, TracerClient};
+use pda_tracer::{Query, QueryLimits, TracerClient};
 use pda_util::BitSet;
 
 /// The thread-escape client: one instance answers every `local` query of
@@ -54,6 +54,7 @@ impl EscapeClient {
             point: decl.point,
             not_q: Formula::prim(EscPrim::CellIs(Cell::Var(var), Val::E)),
             source: Some(q),
+            limits: QueryLimits::default(),
         }
     }
 
@@ -64,6 +65,7 @@ impl EscapeClient {
             point,
             not_q: Formula::prim(EscPrim::CellIs(Cell::Var(var), Val::E)),
             source: None,
+            limits: QueryLimits::default(),
         }
     }
 

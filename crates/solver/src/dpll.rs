@@ -2,6 +2,7 @@
 
 use crate::cnf::Cnf;
 use crate::PFormula;
+use pda_util::{Deadline, DeadlineExceeded};
 
 /// A satisfying assignment together with its cost.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,12 +68,27 @@ impl MinCostSolver {
 
     /// Finds a minimum-cost model, or `None` if unsatisfiable.
     pub fn solve(&self) -> Option<Model> {
+        match self.solve_within(Deadline::NEVER) {
+            Ok(m) => m,
+            Err(DeadlineExceeded) => unreachable!("NEVER deadline cannot expire"),
+        }
+    }
+
+    /// Like [`MinCostSolver::solve`], but polls `deadline` between search
+    /// nodes and aborts cooperatively once it expires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeadlineExceeded`] if the deadline passes mid-search (a
+    /// model found earlier in the search is discarded: it may not be the
+    /// minimum, and TRACER needs minimality for Theorem 2).
+    pub fn solve_within(&self, deadline: Deadline) -> Result<Option<Model>, DeadlineExceeded> {
         let mut cnf = Cnf::new(self.n_atoms);
         for c in &self.constraints {
             cnf.require(c);
         }
         if cnf.clauses.iter().any(|c| c.is_empty()) {
-            return None;
+            return Ok(None);
         }
         let mut search = Search {
             n_atoms: self.n_atoms,
@@ -82,9 +98,15 @@ impl MinCostSolver {
             trail: Vec::new(),
             cost: 0,
             best: None,
+            deadline,
+            nodes: 0,
+            aborted: false,
         };
         search.dfs();
-        search.best.map(|(cost, assignment)| Model { assignment, cost })
+        if search.aborted {
+            return Err(DeadlineExceeded);
+        }
+        Ok(search.best.map(|(cost, assignment)| Model { assignment, cost }))
     }
 
     /// Exhaustive reference solver (exponential); used to validate
@@ -122,6 +144,9 @@ struct Search<'a> {
     trail: Vec<usize>,
     cost: u64,
     best: Option<(u64, Vec<bool>)>,
+    deadline: Deadline,
+    nodes: u64,
+    aborted: bool,
 }
 
 impl Search<'_> {
@@ -248,6 +273,17 @@ impl Search<'_> {
     }
 
     fn dfs(&mut self) {
+        // Poll the wall clock every `DEADLINE_STRIDE` nodes — including the
+        // root, so an already-expired deadline aborts without exploring.
+        const DEADLINE_STRIDE: u64 = 512;
+        if self.aborted {
+            return;
+        }
+        if self.nodes.is_multiple_of(DEADLINE_STRIDE) && self.deadline.expired() {
+            self.aborted = true;
+            return;
+        }
+        self.nodes += 1;
         let mark = self.trail.len();
         if !self.propagate() {
             self.undo_to(mark);
@@ -321,6 +357,17 @@ mod tests {
         s.require(PFormula::lit(0, true));
         let m = s.solve().unwrap();
         assert_eq!(m.assignment, vec![true, true]);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_search() {
+        let mut s = MinCostSolver::with_unit_costs(8);
+        s.require(PFormula::or(vec![PFormula::lit(0, true), PFormula::lit(1, true)]));
+        let expired = Deadline::after(std::time::Duration::ZERO);
+        assert_eq!(s.solve_within(expired), Err(DeadlineExceeded));
+        // A live deadline behaves exactly like `solve`.
+        let live = Deadline::timeout(Some(std::time::Duration::from_secs(3600)));
+        assert_eq!(s.solve_within(live).unwrap(), s.solve());
     }
 
     /// A random formula over `n_atoms` atoms, depth-bounded. Literal,

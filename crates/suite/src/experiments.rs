@@ -8,8 +8,8 @@ use pda_escape::EscapeClient;
 use pda_lang::{CallKind, Node, SiteId};
 use pda_meta::BeamConfig;
 use pda_tracer::{
-    solve_queries, solve_queries_batch, BatchConfig, Outcome, Query, QueryResult, TracerClient,
-    TracerConfig,
+    solve_queries, solve_queries_batch, BatchConfig, Escalation, Outcome, Query, QueryResult,
+    TracerClient, TracerConfig,
 };
 use pda_typestate::{TsMode, TypestateClient};
 use pda_util::{CacheStats, Idx, Summary};
@@ -35,6 +35,10 @@ pub struct ExperimentConfig {
     /// independently on a worker pool with a shared forward-run cache
     /// (`pda_tracer::solve_queries_batch`).
     pub jobs: usize,
+    /// Per-query wall-clock deadline (`None` = unlimited, the default).
+    pub timeout: Option<std::time::Duration>,
+    /// Fact-budget escalation ladder on forward-run `TooBig` aborts.
+    pub escalation: Escalation,
 }
 
 impl Default for ExperimentConfig {
@@ -46,6 +50,8 @@ impl Default for ExperimentConfig {
             max_queries: 40,
             sites_per_call: 2,
             jobs: 1,
+            timeout: None,
+            escalation: Escalation::default(),
         }
     }
 }
@@ -55,7 +61,9 @@ impl ExperimentConfig {
         TracerConfig {
             beam: BeamConfig::with_k(self.k),
             max_iters: self.max_iters,
-            rhs_limits: RhsLimits { max_facts: self.max_facts },
+            rhs_limits: RhsLimits { max_facts: self.max_facts, ..RhsLimits::default() },
+            timeout: self.timeout,
+            escalation: self.escalation,
         }
     }
 }
@@ -231,7 +239,7 @@ where
     C::Prim: Sync,
 {
     if cfg.jobs > 1 {
-        let batch = BatchConfig { tracer: cfg.tracer(), jobs: cfg.jobs };
+        let batch = BatchConfig { tracer: cfg.tracer(), jobs: cfg.jobs, batch_timeout: None };
         let (results, stats) = solve_queries_batch(program, callees, client, queries, &batch);
         (results, stats.cache.misses as usize, stats.cache)
     } else {

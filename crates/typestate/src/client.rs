@@ -6,7 +6,7 @@ use crate::prim::{TsPrim, TsState};
 use pda_analysis::PointsTo;
 use pda_lang::{Atom, NameId, PointId, Program, QueryId, QueryKind, SiteId, VarId};
 use pda_meta::Formula;
-use pda_tracer::{Query, TracerClient};
+use pda_tracer::{Query, QueryLimits, TracerClient};
 use pda_util::BitSet;
 use std::collections::HashSet;
 
@@ -150,12 +150,12 @@ impl<'a> TypestateClient<'a> {
                 fails.push(Formula::prim(TsPrim::Type(s)));
             }
         }
-        Query { point: decl.point, not_q: Formula::or(fails), source: Some(q) }
+        Query { point: decl.point, not_q: Formula::or(fails), source: Some(q), limits: QueryLimits::default() }
     }
 
     /// Builds the stress-property query at a call point: failure is `⊤`.
     pub fn stress_query(&self, point: PointId) -> Query<TsPrim> {
-        Query { point, not_q: Formula::prim(TsPrim::Err), source: None }
+        Query { point, not_q: Formula::prim(TsPrim::Err), source: None, limits: QueryLimits::default() }
     }
 }
 

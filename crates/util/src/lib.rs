@@ -14,6 +14,8 @@
 //!   batch scheduler's forward-run cache and the experiment drivers.
 //! * [`SplitMix64`] — a tiny deterministic PRNG, replacing the external
 //!   `rand` crate so the workspace builds offline.
+//! * [`Deadline`] — a cooperative wall-clock cancel token polled by the
+//!   tabulation and solver inner loops.
 //!
 //! # Examples
 //!
@@ -28,11 +30,13 @@
 #![warn(missing_docs)]
 
 mod bitset;
+mod deadline;
 mod idx;
 mod rng;
 mod stats;
 
 pub use bitset::BitSet;
+pub use deadline::{Deadline, DeadlineExceeded};
 pub use idx::IdxVec;
 pub use rng::SplitMix64;
 pub use stats::{CacheStats, Summary};

@@ -14,4 +14,12 @@ cargo test -q
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== resilience smoke: batch under a 1 ms per-query deadline =="
+# Every query must still produce a result (exit 0) and the starved
+# deadline must surface as DeadlineExceeded rather than a hang or crash.
+smoke="$(PDA_DEADLINE_MS=1 ./target/release/batch)"
+echo "$smoke"
+echo "$smoke" | grep -Eq 'resilience: deadline_exceeded=[0-9]+ engine_faults=0' \
+    || { echo "ci: resilience smoke missing its summary line" >&2; exit 1; }
+
 echo "ci: all checks passed"

@@ -95,9 +95,10 @@ fn cached_forward_run_matches_fresh_run() {
                 pda_dataflow::RhsLimits::default(),
             )
             .unwrap();
+            let max_facts = pda_dataflow::RhsLimits::default().max_facts;
             for round in 0..2 {
                 let cached = cache
-                    .forward(assignment, || {
+                    .forward(assignment, max_facts, pda_util::Deadline::NEVER, || {
                         assert_eq!(round, 0, "second lookup must not recompute");
                         pda_dataflow::rhs::run(
                             &program,

@@ -1,0 +1,275 @@
+//! Integration tests for fault-tolerant batch execution
+//! (`pda_tracer::batch` + `faultcli` + `resilience`):
+//!
+//! * **Fault determinism** — a batch mixing healthy queries with a
+//!   panicking query and a zero-deadline query completes under
+//!   `jobs ∈ {1, 2, 8}`, and every healthy query's result is
+//!   bit-identical (outcome, iterations, escalations) to a sequential
+//!   fault-free `solve_query` on the unwrapped client. The injected
+//!   faults themselves are deterministic (panic payloads and zero
+//!   deadlines don't race), so the *entire* result vector agrees across
+//!   job counts.
+//! * **Panic isolation in the forward engine** — a client whose transfer
+//!   function always panics (the fault fires *inside* the shared forward
+//!   cache's compute closure) still yields a complete batch of
+//!   `EngineFault` results, with no deadlocked cache waiters.
+//! * **Deadlines** — a stalling client primitive plus a per-query
+//!   timeout resolves as `DeadlineExceeded` instead of hanging.
+//! * **Meta-failure** — an unsound weakest precondition surfaces as
+//!   `Unresolved::MetaFailure` through `solve_query`.
+//! * **Escalation** — a starved per-query fact budget recovers to the
+//!   same proof under the geometric escalation ladder, visible in
+//!   `BatchStats::escalations`.
+//! * **Checkpoint/resume** — a batch streams results to a JSONL
+//!   checkpoint; rerunning (including from a truncated, torn file)
+//!   skips restored queries and reproduces the uninterrupted results.
+
+use pda_analysis::PointsTo;
+use pda_tracer::{
+    faulty_query, lift_query, nullcli::NullClient, solve_queries_batch,
+    solve_queries_batch_checkpointed, solve_query, BatchConfig, Escalation, Fault,
+    FaultInjectingClient, Outcome, Query, QueryLimits, QueryResult, TracerConfig, Unresolved,
+};
+use pda_util::BitSet;
+use std::time::Duration;
+
+const SRC: &str = r#"
+    class C {}
+    fn main() {
+        var a, b, c, d, e;
+        a = null;
+        b = a;
+        c = null;
+        d = new C;
+        e = b;
+        query qa: local b;
+        query qb: local e;
+        query qc: local c;
+        query qd: local d;
+    }
+"#;
+
+struct Fixture {
+    program: pda_lang::Program,
+    pa: PointsTo,
+    client: NullClient,
+}
+
+impl Fixture {
+    fn new(src: &str) -> Fixture {
+        let program = pda_lang::parse_program(src).unwrap();
+        let pa = PointsTo::analyze(&program);
+        let client = NullClient::new(&program);
+        Fixture { program, pa, client }
+    }
+
+    fn queries(&self) -> Vec<Query<pda_tracer::nullcli::NullPrim>> {
+        self.program
+            .queries
+            .iter_enumerated()
+            .map(|(qid, _)| self.client.query(&self.program, qid))
+            .collect()
+    }
+}
+
+/// The deterministic fields of a result — everything but wall time.
+fn key(r: &QueryResult<BitSet>) -> (Outcome<BitSet>, usize, u32) {
+    (r.outcome.clone(), r.iterations, r.escalations)
+}
+
+#[test]
+fn faulted_batch_is_deterministic_across_job_counts() {
+    let fx = Fixture::new(SRC);
+    let callees = |c: pda_lang::CallId| fx.pa.callees(c).to_vec();
+    let config = TracerConfig::default();
+
+    // Fault-free sequential baseline on the *unwrapped* client.
+    let baseline: Vec<_> = fx
+        .queries()
+        .iter()
+        .map(|q| solve_query(&fx.program, &callees, &fx.client, q, &config))
+        .collect();
+
+    let wrapped = FaultInjectingClient::new(&fx.client);
+    let healthy = fx.queries().len();
+
+    let mut per_jobs = Vec::new();
+    for jobs in [1usize, 2, 8] {
+        // The batch: all four healthy queries, plus a panicking copy of
+        // qa and a zero-deadline copy of qc. Rebuilt per run — a fault's
+        // one-shot `fired` latch is per query *instance*, and a spent
+        // trap would solve healthily on the next run.
+        let mut queries: Vec<_> = fx.queries().into_iter().map(lift_query).collect();
+        let qs = fx.queries();
+        queries.push(faulty_query(qs[0].clone(), Fault::Panic("injected panic".into())));
+        queries.push(
+            lift_query(qs[2].clone())
+                .with_limits(QueryLimits { timeout: Some(Duration::ZERO), max_facts: None }),
+        );
+        let batch = BatchConfig { tracer: config.clone(), jobs, batch_timeout: None };
+        let (results, stats) =
+            solve_queries_batch(&fx.program, &callees, &wrapped, &queries, &batch);
+        assert_eq!(results.len(), queries.len());
+        assert_eq!(stats.engine_faults, 1, "jobs={jobs}");
+        assert_eq!(stats.deadline_exceeded, 1, "jobs={jobs}");
+        assert_eq!(stats.resumed, 0);
+
+        // Healthy queries are bit-identical to the fault-free baseline.
+        for (i, (r, b)) in results.iter().zip(&baseline).enumerate() {
+            assert_eq!(key(r), key(b), "healthy query {i} diverged under jobs={jobs}");
+        }
+        // The faulted queries resolved as their injected failures.
+        assert_eq!(
+            results[healthy].outcome,
+            Outcome::Unresolved(Unresolved::EngineFault("injected panic".into())),
+            "jobs={jobs}"
+        );
+        assert_eq!(
+            results[healthy + 1].outcome,
+            Outcome::Unresolved(Unresolved::DeadlineExceeded),
+            "jobs={jobs}"
+        );
+        per_jobs.push(results.iter().map(key).collect::<Vec<_>>());
+    }
+    // Panic payloads and zero deadlines are schedule-independent, so the
+    // whole vector agrees across job counts.
+    assert_eq!(per_jobs[0], per_jobs[1]);
+    assert_eq!(per_jobs[0], per_jobs[2]);
+
+    // Sanity: the baseline itself resolved decisively.
+    assert!(matches!(baseline[0].outcome, Outcome::Proven { .. }));
+    assert!(matches!(baseline[3].outcome, Outcome::Impossible));
+}
+
+#[test]
+fn transfer_panic_inside_forward_cache_faults_every_query_without_deadlock() {
+    let fx = Fixture::new(SRC);
+    let callees = |c: pda_lang::CallId| fx.pa.callees(c).to_vec();
+    let bomb = FaultInjectingClient::new(&fx.client).with_transfer_bomb("transfer bomb");
+    let queries: Vec<_> = fx.queries().into_iter().map(lift_query).collect();
+    for jobs in [1usize, 4] {
+        let batch = BatchConfig { tracer: TracerConfig::default(), jobs, batch_timeout: None };
+        let (results, stats) = solve_queries_batch(&fx.program, &callees, &bomb, &queries, &batch);
+        assert_eq!(stats.engine_faults, results.len(), "jobs={jobs}");
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(
+                r.outcome,
+                Outcome::Unresolved(Unresolved::EngineFault("transfer bomb".into())),
+                "query {i}, jobs={jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn stalling_client_hits_the_query_deadline() {
+    let fx = Fixture::new(SRC);
+    let callees = |c: pda_lang::CallId| fx.pa.callees(c).to_vec();
+    let wrapped = FaultInjectingClient::new(&fx.client);
+    let q = faulty_query(fx.queries()[0].clone(), Fault::Stall(Duration::from_millis(300)))
+        .with_limits(QueryLimits { timeout: Some(Duration::from_millis(25)), max_facts: None });
+    let r = solve_query(&fx.program, &callees, &wrapped, &q, &TracerConfig::default());
+    assert_eq!(r.outcome, Outcome::Unresolved(Unresolved::DeadlineExceeded), "{r:?}");
+}
+
+#[test]
+fn unsound_wp_is_reported_as_meta_failure() {
+    let fx = Fixture::new(SRC);
+    let callees = |c: pda_lang::CallId| fx.pa.callees(c).to_vec();
+    let wrapped = FaultInjectingClient::new(&fx.client);
+    let q = faulty_query(fx.queries()[0].clone(), Fault::BreakWp);
+    let r = solve_query(&fx.program, &callees, &wrapped, &q, &TracerConfig::default());
+    let Outcome::Unresolved(Unresolved::MetaFailure(msg)) = &r.outcome else {
+        panic!("expected MetaFailure, got {:?}", r.outcome);
+    };
+    assert!(msg.contains("membership invariant"), "{msg}");
+}
+
+#[test]
+fn escalation_recovers_starved_queries_in_a_batch() {
+    let fx = Fixture::new(SRC);
+    let callees = |c: pda_lang::CallId| fx.pa.callees(c).to_vec();
+    // Every query starts with a 1-fact budget: hopeless without
+    // escalation, recovered by the 4x ladder.
+    let starved: Vec<_> = fx
+        .queries()
+        .into_iter()
+        .map(|q| q.with_limits(QueryLimits { timeout: None, max_facts: Some(1) }))
+        .collect();
+    let no_escalation = BatchConfig::default();
+    let (broke, _) = solve_queries_batch(&fx.program, &callees, &fx.client, &starved, &no_escalation);
+    assert!(broke
+        .iter()
+        .all(|r| r.outcome == Outcome::Unresolved(Unresolved::AnalysisTooBig)));
+
+    let ladder = BatchConfig {
+        tracer: TracerConfig {
+            escalation: Escalation { retries: 12, ..Escalation::standard() },
+            ..TracerConfig::default()
+        },
+        ..BatchConfig::default()
+    };
+    let baseline: Vec<_> = fx
+        .queries()
+        .iter()
+        .map(|q| solve_query(&fx.program, &callees, &fx.client, q, &TracerConfig::default()))
+        .collect();
+    for jobs in [1usize, 4] {
+        let cfg = BatchConfig { jobs, ..ladder.clone() };
+        let (recovered, stats) =
+            solve_queries_batch(&fx.program, &callees, &fx.client, &starved, &cfg);
+        assert!(stats.escalations > 0, "jobs={jobs}");
+        for (r, b) in recovered.iter().zip(&baseline) {
+            assert_eq!(r.outcome, b.outcome, "jobs={jobs}");
+            assert!(r.escalations > 0, "jobs={jobs}");
+        }
+    }
+}
+
+#[test]
+fn checkpoint_resume_skips_finished_queries_and_survives_torn_tails() {
+    let fx = Fixture::new(SRC);
+    let callees = |c: pda_lang::CallId| fx.pa.callees(c).to_vec();
+    let queries = fx.queries();
+    let batch = BatchConfig { jobs: 2, ..BatchConfig::default() };
+    let path = std::env::temp_dir()
+        .join(format!("pda-resilience-ckpt-{}.jsonl", std::process::id()));
+    std::fs::remove_file(&path).ok();
+
+    let (first, stats) = solve_queries_batch_checkpointed(
+        &fx.program, &callees, &fx.client, &queries, &batch, &path,
+    )
+    .unwrap();
+    assert_eq!(stats.resumed, 0);
+
+    // A full rerun restores everything from the file and solves nothing.
+    let (second, stats) = solve_queries_batch_checkpointed(
+        &fx.program, &callees, &fx.client, &queries, &batch, &path,
+    )
+    .unwrap();
+    assert_eq!(stats.resumed, queries.len());
+    assert_eq!(stats.cache.lookups(), 0, "resumed queries must not run");
+    assert_eq!(first, second, "restored results must round-trip exactly");
+
+    // Simulate a crash: keep the header and the first two records, plus a
+    // torn half-written record. Resume re-solves only the missing two.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let keep: Vec<&str> = text.lines().take(3).collect();
+    std::fs::write(&path, format!("{}\n{{\"i\":3,\"outc", keep.join("\n"))).unwrap();
+    let (third, stats) = solve_queries_batch_checkpointed(
+        &fx.program, &callees, &fx.client, &queries, &batch, &path,
+    )
+    .unwrap();
+    assert_eq!(stats.resumed, 2);
+    for (a, b) in first.iter().zip(&third) {
+        assert_eq!(key(a), key(b));
+    }
+
+    // A checkpoint for a different batch is refused outright.
+    let err = solve_queries_batch_checkpointed(
+        &fx.program, &callees, &fx.client, &queries[..2], &batch, &path,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("mismatch"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
