@@ -1,23 +1,35 @@
-//! Batch-scheduler driver: wall-clock comparison of the sequential
-//! per-query TRACER loop (`--jobs 1`) against the parallel batch
-//! scheduler with its shared forward-run cache.
+//! Batch-scheduler driver: wall-clock comparison of the tree vs interned
+//! meta-kernels on the sequential path, plus the parallel batch scheduler
+//! with its shared forward-run cache.
 //!
-//! Loads the first suite benchmark, takes its thread-escape query batch
-//! (at least 16 queries), and runs it both ways, printing per-run wall
-//! time, throughput, and cache statistics, then checks that every
-//! per-query outcome (verdict, cost, iteration count) is identical.
+//! Loads the first suite benchmark with at least 16 thread-escape queries
+//! (hedc with the default suite), and runs its query batch three ways:
+//!
+//! 1. `--jobs 1` with the **tree** meta-kernel (the reference semantics);
+//! 2. `--jobs 1` with the **interned** meta-kernel (the production hot
+//!    path) — every per-query outcome must be bit-identical to run 1, and
+//!    the backward/meta phase is expected to be ≥ 1.5x faster;
+//! 3. `--jobs N` with the interned kernel and the shared forward cache.
+//!
+//! Unless running in deadline mode, the run is summarized into a
+//! machine-readable `BENCH_batch.json` (path override:
+//! `PDA_BENCH_OUT`) so later PRs have a perf trajectory to compare
+//! against, and per-query `outcome N: ...` lines are printed for the CI
+//! perf smoke to diff against the checked-in expected summary.
 //!
 //! Environment: `PDA_JOBS` sets the parallel worker count (default 8);
 //! `PDA_MAX_QUERIES` caps the batch size (default 32, floor 16);
 //! `PDA_DEADLINE_MS` sets a per-query wall-clock deadline — under a
 //! deadline, queries may legitimately resolve as `DeadlineExceeded` and
-//! the seq/par equality and cache-hit checks are skipped (wall-clock
-//! aborts are schedule-dependent by nature); the run still exercises the
-//! whole resilient batch path and reports the resilience counters.
+//! the equality/cache/JSON steps are skipped (wall-clock aborts are
+//! schedule-dependent by nature); the run still exercises the whole
+//! resilient batch path and reports the resilience counters.
 
 use pda_escape::EscapeClient;
 use pda_suite::Benchmark;
-use pda_tracer::{solve_queries_batch, BatchConfig, Outcome, QueryResult};
+use pda_tracer::{
+    solve_queries_batch, BatchConfig, BatchStats, MetaKernel, MetaStats, Outcome, QueryResult,
+};
 use pda_util::BitSet;
 
 fn outcome_key(r: &QueryResult<BitSet>) -> String {
@@ -27,6 +39,34 @@ fn outcome_key(r: &QueryResult<BitSet>) -> String {
         Outcome::Unresolved(u) => format!("unresolved {u:?}"),
     };
     format!("{verdict} after {} iterations", r.iterations)
+}
+
+fn meta_json(m: &MetaStats) -> String {
+    format!(
+        "{{\"cubes_built\":{},\"subsumption_checks\":{},\"subsumption_fast_rejects\":{},\
+         \"wp_hits\":{},\"wp_misses\":{},\"approx_drops\":{},\"micros\":{}}}",
+        m.cubes_built,
+        m.subsumption_checks,
+        m.subsumption_fast_rejects,
+        m.wp_hits,
+        m.wp_misses,
+        m.approx_drops,
+        m.micros
+    )
+}
+
+fn run_json(results: &[QueryResult<BitSet>], stats: &BatchStats) -> String {
+    format!(
+        "{{\"wall_micros\":{},\"iterations\":{},\"cache_hits\":{},\"cache_misses\":{},\
+         \"deadline_exceeded\":{},\"engine_faults\":{},\"meta\":{}}}",
+        stats.wall_micros,
+        results.iter().map(|r| r.iterations).sum::<usize>(),
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.deadline_exceeded,
+        stats.engine_faults,
+        meta_json(&stats.meta)
+    )
 }
 
 fn main() {
@@ -44,12 +84,14 @@ fn main() {
         std::env::var("PDA_DEADLINE_MS").ok().and_then(|v| v.parse().ok());
 
     // Smallest suite benchmark whose thread-escape batch has >=16 queries.
-    let (bench, accesses) = pda_suite::suite()
+    // The generator is fully seeded, so the workload is fixed across runs
+    // and machines.
+    let (seed, bench, accesses) = pda_suite::suite()
         .into_iter()
-        .map(Benchmark::load)
-        .find_map(|b| {
+        .map(|cfg| (cfg.seed, Benchmark::load(cfg)))
+        .find_map(|(seed, b)| {
             let accesses = EscapeClient::accesses(&b.program, b.app_methods());
-            (accesses.len() >= 16).then_some((b, accesses))
+            (accesses.len() >= 16).then_some((seed, b, accesses))
         })
         .expect("some suite benchmark has >=16 escape queries");
     let client = EscapeClient::new(&bench.program);
@@ -60,24 +102,58 @@ fn main() {
         .collect();
     let callees = bench.callees();
 
-    println!("benchmark {} — {} thread-escape queries\n", bench.name, queries.len());
+    println!(
+        "benchmark {} (seed {seed}) — {} thread-escape queries\n",
+        bench.name,
+        queries.len()
+    );
 
-    let tracer = pda_tracer::TracerConfig {
+    let tracer = |kernel: MetaKernel| pda_tracer::TracerConfig {
         timeout: deadline_ms.map(std::time::Duration::from_millis),
+        kernel,
         ..pda_tracer::TracerConfig::default()
     };
-    let seq_cfg = BatchConfig { jobs: 1, tracer: tracer.clone(), ..BatchConfig::default() };
-    let (seq, seq_stats) =
-        solve_queries_batch(&bench.program, &callees, &client, &queries, &seq_cfg);
-    println!("jobs=1  wall {:>9.1} ms   {}", seq_stats.wall_micros as f64 / 1e3, seq_stats);
 
-    let par_cfg = BatchConfig { jobs, tracer, ..BatchConfig::default() };
+    // Phase 1: sequential, tree kernel (the oracle).
+    let tree_cfg = BatchConfig { jobs: 1, tracer: tracer(MetaKernel::Tree), ..BatchConfig::default() };
+    let (tree, tree_stats) =
+        solve_queries_batch(&bench.program, &callees, &client, &queries, &tree_cfg);
+    println!(
+        "jobs=1 kernel=tree      wall {:>9.1} ms   {}",
+        tree_stats.wall_micros as f64 / 1e3,
+        tree_stats
+    );
+
+    // Phase 2: sequential, interned kernel — the same work, packed.
+    let int_cfg =
+        BatchConfig { jobs: 1, tracer: tracer(MetaKernel::Interned), ..BatchConfig::default() };
+    let (seq, seq_stats) =
+        solve_queries_batch(&bench.program, &callees, &client, &queries, &int_cfg);
+    println!(
+        "jobs=1 kernel=interned  wall {:>9.1} ms   {}",
+        seq_stats.wall_micros as f64 / 1e3,
+        seq_stats
+    );
+
+    // Phase 3: parallel, interned kernel, shared forward cache.
+    let par_cfg =
+        BatchConfig { jobs, tracer: tracer(MetaKernel::Interned), ..BatchConfig::default() };
     let (par, par_stats) =
         solve_queries_batch(&bench.program, &callees, &client, &queries, &par_cfg);
-    println!("jobs={jobs}  wall {:>9.1} ms   {}", par_stats.wall_micros as f64 / 1e3, par_stats);
+    println!(
+        "jobs={jobs} kernel=interned  wall {:>9.1} ms   {}",
+        par_stats.wall_micros as f64 / 1e3,
+        par_stats
+    );
 
-    let speedup = seq_stats.wall_micros as f64 / par_stats.wall_micros.max(1) as f64;
-    println!("\nspeedup (jobs={jobs} vs jobs=1): {speedup:.2}x");
+    let meta_speedup = tree_stats.meta.micros as f64 / seq_stats.meta.micros.max(1) as f64;
+    let par_speedup = seq_stats.wall_micros as f64 / par_stats.wall_micros.max(1) as f64;
+    println!(
+        "\nbackward/meta phase: {:.1} ms tree vs {:.1} ms interned — {meta_speedup:.2}x",
+        tree_stats.meta.micros as f64 / 1e3,
+        seq_stats.meta.micros as f64 / 1e3
+    );
+    println!("parallel speedup (jobs={jobs} vs jobs=1): {par_speedup:.2}x");
     println!(
         "forward runs: {} sequential vs {} with the shared cache ({} saved, hit rate {:.1}%)",
         seq.iter().map(|r| r.iterations).sum::<usize>(),
@@ -88,24 +164,52 @@ fn main() {
 
     println!(
         "resilience: deadline_exceeded={} engine_faults={} escalations={}",
-        seq_stats.deadline_exceeded + par_stats.deadline_exceeded,
-        seq_stats.engine_faults + par_stats.engine_faults,
-        seq_stats.escalations + par_stats.escalations,
+        tree_stats.deadline_exceeded + seq_stats.deadline_exceeded + par_stats.deadline_exceeded,
+        tree_stats.engine_faults + seq_stats.engine_faults + par_stats.engine_faults,
+        tree_stats.escalations + seq_stats.escalations + par_stats.escalations,
     );
 
     if deadline_ms.is_some() {
         // Wall-clock aborts depend on machine speed and scheduling, so
-        // per-query equality across job counts is not a meaningful check
-        // here; completing the whole batch without a crash is.
-        println!("deadline mode: skipping seq/par equality and cache-hit checks");
+        // per-query equality across kernels/job counts is not a meaningful
+        // check here; completing the whole batch without a crash is.
+        println!("deadline mode: skipping equality, cache-hit, and JSON steps");
         return;
     }
 
-    let identical = seq
+    // The stable per-query summary the CI perf smoke diffs against its
+    // checked-in copy.
+    for (i, r) in seq.iter().enumerate() {
+        println!("outcome {i}: {}", outcome_key(r));
+    }
+
+    let kernels_identical = tree
+        .iter()
+        .zip(&seq)
+        .all(|(a, b)| outcome_key(a) == outcome_key(b));
+    println!("tree/interned outcomes identical: {kernels_identical}");
+    assert!(kernels_identical, "interned kernel diverged from the tree oracle");
+    let par_identical = seq
         .iter()
         .zip(&par)
         .all(|(a, b)| outcome_key(a) == outcome_key(b));
-    println!("per-query outcomes identical: {identical}");
-    assert!(identical, "batch scheduler diverged from the sequential driver");
+    println!("per-query outcomes identical across job counts: {par_identical}");
+    assert!(par_identical, "batch scheduler diverged from the sequential driver");
     assert!(par_stats.cache.hits > 0, "expected nonzero cache hits");
+
+    let out_path = std::env::var("PDA_BENCH_OUT").unwrap_or_else(|_| "BENCH_batch.json".into());
+    let json = format!(
+        "{{\n  \"benchmark\": \"{}\",\n  \"seed\": {seed},\n  \"queries\": {},\n  \"jobs\": {jobs},\n  \
+         \"tree\": {},\n  \"interned\": {},\n  \"parallel\": {},\n  \
+         \"meta_speedup\": {meta_speedup:.3},\n  \"parallel_speedup\": {par_speedup:.3},\n  \
+         \"outcomes_identical\": {}\n}}\n",
+        bench.name,
+        queries.len(),
+        run_json(&tree, &tree_stats),
+        run_json(&seq, &seq_stats),
+        run_json(&par, &par_stats),
+        kernels_identical && par_identical,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_batch.json");
+    println!("\nwrote {out_path}");
 }

@@ -621,11 +621,17 @@ mod tests {
     fn parallel_solve_matches_sequential_verdicts() {
         let seq_report = run_on_source(&solve_cmd(None, 1), SRC).unwrap();
         let par_report = run_on_source(&solve_cmd(None, 4), SRC).unwrap();
-        // Same per-query lines; the parallel run appends a batch stats line.
-        let verdicts =
-            |r: &str| r.lines().filter(|l| !l.starts_with("batch:")).map(String::from).collect::<Vec<_>>();
+        // Same per-query lines; the parallel run appends batch + meta
+        // stats lines.
+        let verdicts = |r: &str| {
+            r.lines()
+                .filter(|l| !l.starts_with("batch:") && !l.starts_with("meta:"))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
         assert_eq!(verdicts(&seq_report), verdicts(&par_report));
         assert!(par_report.contains("batch: 1 queries, jobs="), "{par_report}");
+        assert!(par_report.contains("meta: "), "{par_report}");
         assert!(!seq_report.contains("batch:"));
     }
 

@@ -93,7 +93,13 @@ pub fn solve_query_coarse<C: CoarseAtoms>(
             ));
         }
     };
-    QueryResult { outcome, iterations, micros: start.elapsed().as_micros(), escalations: 0 }
+    QueryResult {
+        outcome,
+        iterations,
+        micros: start.elapsed().as_micros(),
+        escalations: 0,
+        meta: Default::default(),
+    }
 }
 
 #[cfg(test)]

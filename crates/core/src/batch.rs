@@ -48,14 +48,14 @@
 //! batch cache shares runs across *independent* per-query loops (and
 //! across groups, were the two composed).
 
-use crate::client::{AsMeta, Query, TracerClient};
+use crate::client::{Query, TracerClient};
 use crate::tracer::{
-    effective_deadline, solve_query_within, Outcome, QueryResult, StepResult, TracerConfig,
-    Unresolved,
+    backward_phase, effective_deadline, solve_query_within, Outcome, QueryResult, StepResult,
+    TracerConfig, Unresolved,
 };
 use pda_dataflow::{rhs, Interrupt, RhsLimits, RhsResult, TooBig};
 use pda_lang::{CallId, MethodId, Program};
-use pda_meta::{analyze_trace, restrict};
+use pda_meta::{InternCache, MetaStats};
 use pda_solver::{MinCostSolver, PFormula};
 use pda_util::{CacheStats, Deadline};
 use std::collections::HashMap;
@@ -112,6 +112,9 @@ pub struct BatchStats {
     pub escalations: u64,
     /// Queries skipped because a checkpoint already held their result.
     pub resumed: usize,
+    /// Backward/meta-phase counters summed over all queries (including
+    /// checkpoint-restored ones, whose counters were persisted).
+    pub meta: MetaStats,
 }
 
 impl BatchStats {
@@ -129,14 +132,14 @@ impl BatchStats {
 }
 
 impl std::fmt::Display for BatchStats {
-    /// One-line summary: `32 queries, jobs=8: 41.2 q/s, cache 57/89 hits
+    /// Two-line summary: `32 queries, jobs=8: 41.2 q/s, cache 57/89 hits
     /// (64.0%), 57 forward runs saved, faults=0 deadlines=0 escalations=0
-    /// resumed=0`.
+    /// resumed=0` followed by the [`MetaStats`] footer line.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
             "{} queries, jobs={}: {:.1} q/s, cache {}, {} forward runs saved, \
-             faults={} deadlines={} escalations={} resumed={}",
+             faults={} deadlines={} escalations={} resumed={}\n{}",
             self.queries,
             self.jobs,
             self.queries_per_sec(),
@@ -146,6 +149,7 @@ impl std::fmt::Display for BatchStats {
             self.deadline_exceeded,
             self.escalations,
             self.resumed,
+            self.meta,
         )
     }
 }
@@ -357,6 +361,7 @@ fn fault_result<Param>(payload: Box<dyn std::any::Any + Send>, started: Instant)
         iterations: 0,
         micros: started.elapsed().as_micros(),
         escalations: 0,
+        meta: MetaStats::default(),
     }
 }
 
@@ -509,6 +514,13 @@ where
             .count(),
         escalations: results.iter().map(|r| u64::from(r.escalations)).sum(),
         resumed,
+        meta: {
+            let mut total = MetaStats::default();
+            for r in &results {
+                total.merge(&r.meta);
+            }
+            total
+        },
     };
     (results, stats)
 }
@@ -535,6 +547,8 @@ pub fn solve_query_cached<'p, C: TracerClient>(
     let mut constraints: Vec<PFormula> = Vec::new();
     let mut iterations = 0;
     let mut escalations = 0;
+    let mut meta = MetaStats::default();
+    let mut icache = InternCache::default();
     let outcome = loop {
         if deadline.expired() {
             break Outcome::Unresolved(Unresolved::DeadlineExceeded);
@@ -552,6 +566,8 @@ pub fn solve_query_cached<'p, C: TracerClient>(
             cache,
             deadline,
             &mut escalations,
+            &mut icache,
+            &mut meta,
         ) {
             StepResult::Proven { param, cost } => {
                 iterations += 1;
@@ -565,7 +581,7 @@ pub fn solve_query_cached<'p, C: TracerClient>(
             }
         }
     };
-    QueryResult { outcome, iterations, micros: start.elapsed().as_micros(), escalations }
+    QueryResult { outcome, iterations, micros: start.elapsed().as_micros(), escalations, meta }
 }
 
 /// One CEGAR iteration with the forward run served by `cache`.
@@ -580,6 +596,8 @@ fn step_cached<'p, C: TracerClient>(
     cache: &ForwardCache<'p, C::State>,
     deadline: Deadline,
     escalations: &mut u32,
+    icache: &mut InternCache<C::Prim>,
+    meta: &mut MetaStats,
 ) -> StepResult<C::Param> {
     let n = client.n_atoms();
     let costs = (0..n).map(|i| client.atom_cost(i)).collect();
@@ -624,11 +642,10 @@ fn step_cached<'p, C: TracerClient>(
     };
     let atoms: Vec<pda_lang::Atom> = trace.iter().map(|s| s.atom).collect();
 
-    let dnf = match analyze_trace(&AsMeta(client), &p, &d0, &atoms, &query.not_q, &config.beam) {
-        Ok(f) => f,
+    let phi = match backward_phase(client, query, config, &p, &d0, &atoms, icache, meta) {
+        Ok(phi) => phi,
         Err(e) => return StepResult::Unresolved(Unresolved::MetaFailure(e.to_string())),
     };
-    let phi = restrict(&dnf, &d0);
     debug_assert!(
         phi.eval(&model.assignment),
         "backward analysis failed to eliminate the current abstraction (Theorem 3.1)"

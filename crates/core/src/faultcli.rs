@@ -314,6 +314,41 @@ mod tests {
         assert_ne!(a, FaultPrim::Inner(NullPrim::Var(VarId(0))));
     }
 
+    /// Faulty weakest preconditions must be rejected identically by both
+    /// meta-kernels: the interned kernel evaluates `eval_state`/`holds`
+    /// eagerly at kernel-build time, which may *spring* one-shot traps
+    /// earlier than the lazy tree path, but the observable verdict (the
+    /// Theorem 3 membership break) has to be the same.
+    #[test]
+    fn broken_wp_is_rejected_by_both_kernels() {
+        use crate::tracer::{MetaKernel, Outcome, Unresolved};
+        let (program, pa, client, query) = setup();
+        let callees = |c: pda_lang::CallId| pa.callees(c).to_vec();
+        let wrapped = FaultInjectingClient::new(&client);
+        let mut outcomes = vec![];
+        for kernel in [MetaKernel::Tree, MetaKernel::Interned] {
+            let config = TracerConfig { kernel, ..TracerConfig::default() };
+            let faulty = faulty_query(query.clone(), Fault::BreakWp);
+            let r = solve_query(&program, &callees, &wrapped, &faulty, &config);
+            assert!(
+                matches!(r.outcome, Outcome::Unresolved(Unresolved::MetaFailure(_))),
+                "{kernel:?}: {:?}",
+                r.outcome
+            );
+            outcomes.push((r.outcome, r.iterations));
+        }
+        assert_eq!(outcomes[0], outcomes[1]);
+
+        // And a healthy lifted query is kernel-invariant too.
+        let mut healthy = vec![];
+        for kernel in [MetaKernel::Tree, MetaKernel::Interned] {
+            let config = TracerConfig { kernel, ..TracerConfig::default() };
+            let r = solve_query(&program, &callees, &wrapped, &lift_query(query.clone()), &config);
+            healthy.push((r.outcome, r.iterations));
+        }
+        assert_eq!(healthy[0], healthy[1]);
+    }
+
     #[test]
     fn panic_fault_fires_once_through_the_formula() {
         let (_, _, _, query) = setup();

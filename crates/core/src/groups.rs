@@ -4,11 +4,11 @@
 //! but split into separate groups when different sets of unviable
 //! abstractions are computed for them."
 
-use crate::client::{AsMeta, Query, TracerClient};
-use crate::tracer::{Outcome, QueryResult, TracerConfig, Unresolved};
+use crate::client::{Query, TracerClient};
+use crate::tracer::{backward_phase, Outcome, QueryResult, TracerConfig, Unresolved};
 use pda_dataflow::rhs;
 use pda_lang::{CallId, MethodId, Program};
-use pda_meta::{analyze_trace, restrict};
+use pda_meta::{InternCache, MetaStats};
 use pda_solver::{MinCostSolver, PFormula};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -32,6 +32,8 @@ struct Group<P> {
     iters: usize,
     /// Accumulated wall time attributed to this group lineage, µs.
     micros: u128,
+    /// Accumulated meta-kernel counters for this group lineage.
+    meta: MetaStats,
     _marker: std::marker::PhantomData<P>,
 }
 
@@ -52,6 +54,10 @@ pub fn solve_queries<C: TracerClient>(
 ) -> (Vec<QueryResult<C::Param>>, GroupStats) {
     let mut results: Vec<Option<QueryResult<C::Param>>> = vec![None; queries.len()];
     let mut stats = GroupStats::default();
+    // One interned-kernel cache for the whole grouped run: all queries
+    // share the client, so the closure and wp memo amortize across
+    // members and group lineages alike.
+    let mut icache: InternCache<C::Prim> = InternCache::new();
     let mut active: Vec<Group<C::Prim>> = Vec::new();
     if !queries.is_empty() {
         active.push(Group {
@@ -59,6 +65,7 @@ pub fn solve_queries<C: TracerClient>(
             members: (0..queries.len()).collect(),
             iters: 0,
             micros: 0,
+            meta: MetaStats::default(),
             _marker: std::marker::PhantomData,
         });
     }
@@ -77,6 +84,7 @@ pub fn solve_queries<C: TracerClient>(
                 iterations: group.iters,
                 micros: group.micros + extra,
                 escalations: 0,
+                meta: group.meta,
             });
         };
 
@@ -139,6 +147,7 @@ pub fn solve_queries<C: TracerClient>(
         // Judge each member; failing members learn their own constraint.
         let mut buckets: HashMap<String, (PFormula, Vec<usize>)> = HashMap::new();
         let mut member_outcomes: Vec<(usize, Option<Outcome<C::Param>>)> = Vec::new();
+        let mut meta = MetaStats::default();
         for &q in &group.members {
             let query = &queries[q];
             let failing = |d: &C::State| query.not_q.holds(&p, d);
@@ -152,10 +161,9 @@ pub fn solve_queries<C: TracerClient>(
                 Some(trace) => {
                     let atoms: Vec<pda_lang::Atom> = trace.iter().map(|s| s.atom).collect();
                     stats.backward_runs += 1;
-                    match analyze_trace(&AsMeta(client), &p, &d0, &atoms, &query.not_q, &config.beam)
+                    match backward_phase(client, query, config, &p, &d0, &atoms, &mut icache, &mut meta)
                     {
-                        Ok(dnf) => {
-                            let phi = restrict(&dnf, &d0);
+                        Ok(phi) => {
                             let constraint = PFormula::not(phi);
                             let key = format!("{constraint:?}");
                             buckets
@@ -177,6 +185,7 @@ pub fn solve_queries<C: TracerClient>(
         }
 
         group.micros += started.elapsed().as_micros();
+        group.meta.merge(&meta);
         for (q, outcome) in member_outcomes {
             if let Some(o) = outcome {
                 resolve(&mut results, q, o, &group, 0);
@@ -193,6 +202,7 @@ pub fn solve_queries<C: TracerClient>(
                 members,
                 iters: group.iters,
                 micros: group.micros,
+                meta: group.meta,
                 _marker: std::marker::PhantomData,
             });
         }

@@ -75,7 +75,8 @@ pub use resilience::{
     load_checkpoint, solve_queries_batch_checkpointed, CheckpointError, CheckpointWriter,
     ParamCodec,
 };
+pub use pda_meta::{InternCache, MetaStats};
 pub use tracer::{
-    solve_query, solve_query_logged, solve_query_within, Escalation, IterationLog, Outcome,
-    QueryResult, TracerConfig, Unresolved,
+    solve_query, solve_query_logged, solve_query_within, Escalation, IterationLog, MetaKernel,
+    Outcome, QueryResult, TracerConfig, Unresolved,
 };

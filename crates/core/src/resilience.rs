@@ -32,6 +32,7 @@ use crate::batch::{run_batch, BatchConfig, BatchStats};
 use crate::client::{Query, TracerClient};
 use crate::tracer::{Outcome, QueryResult, Unresolved};
 use pda_lang::{CallId, MethodId, Program};
+use pda_meta::MetaStats;
 use pda_util::BitSet;
 use std::collections::HashMap;
 use std::fmt;
@@ -209,9 +210,20 @@ fn header_line(n_queries: usize) -> String {
 }
 
 fn record_line<P: ParamCodec>(i: usize, r: &QueryResult<P>) -> String {
+    let m = &r.meta;
     let tail = format!(
-        "\"iterations\":{},\"micros\":{},\"escalations\":{}",
-        r.iterations, r.micros, r.escalations
+        "\"iterations\":{},\"micros\":{},\"escalations\":{},\
+         \"m_cubes\":{},\"m_sub\":{},\"m_subf\":{},\"m_wph\":{},\"m_wpm\":{},\"m_drop\":{},\"m_us\":{}",
+        r.iterations,
+        r.micros,
+        r.escalations,
+        m.cubes_built,
+        m.subsumption_checks,
+        m.subsumption_fast_rejects,
+        m.wp_hits,
+        m.wp_misses,
+        m.approx_drops,
+        m.micros,
     );
     match &r.outcome {
         Outcome::Proven { param, cost } => format!(
@@ -241,6 +253,18 @@ fn decode_record<P: ParamCodec>(line: &str) -> Option<(usize, QueryResult<P>)> {
     let iterations: usize = fields.get("iterations")?.parse().ok()?;
     let micros: u128 = fields.get("micros")?.parse().ok()?;
     let escalations: u32 = fields.get("escalations")?.parse().ok()?;
+    // Meta counters default to zero so records written before they existed
+    // still decode.
+    let m = |k: &str| fields.get(k).and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+    let meta = MetaStats {
+        cubes_built: m("m_cubes"),
+        subsumption_checks: m("m_sub"),
+        subsumption_fast_rejects: m("m_subf"),
+        wp_hits: m("m_wph"),
+        wp_misses: m("m_wpm"),
+        approx_drops: m("m_drop"),
+        micros: m("m_us"),
+    };
     let outcome = match fields.get("outcome")?.as_str() {
         "proven" => Outcome::Proven {
             param: P::decode_param(fields.get("param")?)?,
@@ -257,7 +281,7 @@ fn decode_record<P: ParamCodec>(line: &str) -> Option<(usize, QueryResult<P>)> {
         }),
         _ => return None,
     };
-    Some((i, QueryResult { outcome, iterations, micros, escalations }))
+    Some((i, QueryResult { outcome, iterations, micros, escalations, meta }))
 }
 
 /// Streams finished results to a checkpoint file, one flushed line each.
@@ -435,12 +459,22 @@ mod tests {
                 iterations: 3,
                 micros: 412,
                 escalations: 1,
+                meta: MetaStats {
+                    cubes_built: 12,
+                    subsumption_checks: 20,
+                    subsumption_fast_rejects: 5,
+                    wp_hits: 8,
+                    wp_misses: 2,
+                    approx_drops: 3,
+                    micros: 42,
+                },
             },
             QueryResult {
                 outcome: Outcome::Impossible,
                 iterations: 4,
                 micros: 96,
                 escalations: 0,
+                meta: MetaStats { wp_misses: 1, micros: 7, ..MetaStats::default() },
             },
             QueryResult {
                 outcome: Outcome::Unresolved(Unresolved::EngineFault(
@@ -449,30 +483,35 @@ mod tests {
                 iterations: 0,
                 micros: 8,
                 escalations: 0,
+                meta: MetaStats::default(),
             },
             QueryResult {
                 outcome: Outcome::Unresolved(Unresolved::MetaFailure("step 3".into())),
                 iterations: 2,
                 micros: 33,
                 escalations: 0,
+                meta: MetaStats::default(),
             },
             QueryResult {
                 outcome: Outcome::Unresolved(Unresolved::DeadlineExceeded),
                 iterations: 0,
                 micros: 1,
                 escalations: 0,
+                meta: MetaStats::default(),
             },
             QueryResult {
                 outcome: Outcome::Unresolved(Unresolved::IterationBudget),
                 iterations: 200,
                 micros: 99_999,
                 escalations: 0,
+                meta: MetaStats::default(),
             },
             QueryResult {
                 outcome: Outcome::Unresolved(Unresolved::AnalysisTooBig),
                 iterations: 1,
                 micros: 77,
                 escalations: 2,
+                meta: MetaStats::default(),
             },
         ]
     }

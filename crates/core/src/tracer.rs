@@ -3,10 +3,25 @@
 use crate::client::{AsMeta, Query, TracerClient};
 use pda_dataflow::{rhs, Interrupt, RhsLimits};
 use pda_lang::{CallId, MethodId, Program};
-use pda_meta::{analyze_trace, restrict, BeamConfig};
+use pda_meta::{analyze_trace, analyze_trace_interned, restrict, BeamConfig, InternCache, MetaStats};
 use pda_solver::{MinCostSolver, PFormula};
 use pda_util::Deadline;
 use std::time::{Duration, Instant};
+
+/// Which implementation of the backward meta-analysis the driver runs.
+///
+/// Both produce bit-identical learned constraints (and hence outcomes) —
+/// the tree kernel is the reference semantics retained as a differential
+/// oracle, the interned kernel is the production hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetaKernel {
+    /// Packed-cube kernel with intern table, subsumption signatures, and
+    /// the per-trace wp memo ([`pda_meta::analyze_trace_interned`]).
+    #[default]
+    Interned,
+    /// The tree-`Formula` reference path ([`pda_meta::analyze_trace`]).
+    Tree,
+}
 
 /// Configuration of one TRACER run.
 #[derive(Debug, Clone)]
@@ -24,6 +39,8 @@ pub struct TracerConfig {
     pub timeout: Option<Duration>,
     /// Fact-budget escalation ladder applied on forward-run `TooBig`.
     pub escalation: Escalation,
+    /// Backward meta-analysis kernel (default: interned).
+    pub kernel: MetaKernel,
 }
 
 impl Default for TracerConfig {
@@ -34,6 +51,7 @@ impl Default for TracerConfig {
             rhs_limits: RhsLimits::default(),
             timeout: None,
             escalation: Escalation::default(),
+            kernel: MetaKernel::default(),
         }
     }
 }
@@ -120,6 +138,9 @@ pub struct QueryResult<Param> {
     pub micros: u128,
     /// Fact-budget escalation retries consumed across all iterations.
     pub escalations: u32,
+    /// Backward/meta-phase effort counters summed over all iterations
+    /// (all-zero except `micros` under [`MetaKernel::Tree`]).
+    pub meta: MetaStats,
 }
 
 /// Runs Algorithm 1 for a single query.
@@ -168,6 +189,8 @@ pub fn solve_query_within<C: TracerClient>(
     let mut constraints: Vec<PFormula> = Vec::new();
     let mut iterations = 0;
     let mut escalations = 0;
+    let mut meta = MetaStats::default();
+    let mut icache = InternCache::default();
     let outcome = loop {
         if deadline.expired() {
             break Outcome::Unresolved(Unresolved::DeadlineExceeded);
@@ -184,6 +207,8 @@ pub fn solve_query_within<C: TracerClient>(
             &mut constraints,
             deadline,
             &mut escalations,
+            &mut icache,
+            &mut meta,
         ) {
             StepResult::Proven { param, cost } => {
                 iterations += 1;
@@ -197,7 +222,7 @@ pub fn solve_query_within<C: TracerClient>(
             }
         }
     };
-    QueryResult { outcome, iterations, micros: start.elapsed().as_micros(), escalations }
+    QueryResult { outcome, iterations, micros: start.elapsed().as_micros(), escalations, meta }
 }
 
 /// One recorded CEGAR iteration of [`solve_query_logged`].
@@ -210,6 +235,8 @@ pub struct IterationLog<Param> {
     /// The unviability constraint learned from this iteration's
     /// counterexample (`None` on the final, proving iteration).
     pub learned: Option<PFormula>,
+    /// Backward/meta-phase effort counters for this iteration alone.
+    pub meta: MetaStats,
 }
 
 /// Like [`solve_query`], but records every iteration: which abstraction
@@ -228,6 +255,8 @@ pub fn solve_query_logged<C: TracerClient>(
     let mut log = Vec::new();
     let mut iterations = 0;
     let mut escalations = 0;
+    let mut meta = MetaStats::default();
+    let mut icache = InternCache::default();
     let outcome = loop {
         if deadline.expired() {
             break Outcome::Unresolved(Unresolved::DeadlineExceeded);
@@ -235,6 +264,7 @@ pub fn solve_query_logged<C: TracerClient>(
         if iterations >= config.max_iters {
             break Outcome::Unresolved(Unresolved::IterationBudget);
         }
+        let before = meta;
         match step(
             program,
             callees,
@@ -244,10 +274,17 @@ pub fn solve_query_logged<C: TracerClient>(
             &mut constraints,
             deadline,
             &mut escalations,
+            &mut icache,
+            &mut meta,
         ) {
             StepResult::Proven { param, cost } => {
                 iterations += 1;
-                log.push(IterationLog { param: param.clone(), cost, learned: None });
+                log.push(IterationLog {
+                    param: param.clone(),
+                    cost,
+                    learned: None,
+                    meta: meta.since(&before),
+                });
                 break Outcome::Proven { param, cost };
             }
             StepResult::Impossible => break Outcome::Impossible,
@@ -257,6 +294,7 @@ pub fn solve_query_logged<C: TracerClient>(
                     param,
                     cost,
                     learned: constraints.last().cloned(),
+                    meta: meta.since(&before),
                 });
             }
             StepResult::Unresolved(u) => {
@@ -266,7 +304,7 @@ pub fn solve_query_logged<C: TracerClient>(
         }
     };
     (
-        QueryResult { outcome, iterations, micros: start.elapsed().as_micros(), escalations },
+        QueryResult { outcome, iterations, micros: start.elapsed().as_micros(), escalations, meta },
         log,
     )
 }
@@ -276,6 +314,43 @@ pub(crate) enum StepResult<Param> {
     Impossible,
     Refined { param: Param, cost: u64 },
     Unresolved(Unresolved),
+}
+
+/// The backward phase of one CEGAR iteration: meta-analyze the
+/// counterexample trace under the configured kernel and restrict to a
+/// parameter formula. Shared by the sequential and cached drivers; the
+/// elapsed time and kernel counters accumulate into `meta`, and the
+/// interned kernel's closure/memo state persists in `icache` across
+/// iterations (the tree kernel ignores it).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn backward_phase<C: TracerClient>(
+    client: &C,
+    query: &Query<C::Prim>,
+    config: &TracerConfig,
+    p: &C::Param,
+    d0: &C::State,
+    atoms: &[pda_lang::Atom],
+    icache: &mut InternCache<C::Prim>,
+    meta: &mut MetaStats,
+) -> Result<PFormula, pda_meta::MetaError> {
+    let t0 = Instant::now();
+    let phi = match config.kernel {
+        MetaKernel::Interned => analyze_trace_interned(
+            &AsMeta(client),
+            p,
+            d0,
+            atoms,
+            &query.not_q,
+            &config.beam,
+            icache,
+            meta,
+        )
+        .map(|out| out.restrict()),
+        MetaKernel::Tree => analyze_trace(&AsMeta(client), p, d0, atoms, &query.not_q, &config.beam)
+            .map(|dnf| restrict(&dnf, d0)),
+    };
+    meta.micros += t0.elapsed().as_micros() as u64;
+    phi
 }
 
 /// One CEGAR iteration: pick minimum viable `p`, run forward, either prove
@@ -290,6 +365,8 @@ pub(crate) fn step<C: TracerClient>(
     constraints: &mut Vec<PFormula>,
     deadline: Deadline,
     escalations: &mut u32,
+    icache: &mut InternCache<C::Prim>,
+    meta: &mut MetaStats,
 ) -> StepResult<C::Param> {
     let n = client.n_atoms();
     let costs = (0..n).map(|i| client.atom_cost(i)).collect();
@@ -344,11 +421,10 @@ pub(crate) fn step<C: TracerClient>(
     };
     let atoms: Vec<pda_lang::Atom> = trace.iter().map(|s| s.atom).collect();
 
-    let dnf = match analyze_trace(&AsMeta(client), &p, &d0, &atoms, &query.not_q, &config.beam) {
-        Ok(f) => f,
+    let phi = match backward_phase(client, query, config, &p, &d0, &atoms, icache, meta) {
+        Ok(phi) => phi,
         Err(e) => return StepResult::Unresolved(Unresolved::MetaFailure(e.to_string())),
     };
-    let phi = restrict(&dnf, &d0);
     debug_assert!(
         phi.eval(&model.assignment),
         "backward analysis failed to eliminate the current abstraction (Theorem 3.1)"

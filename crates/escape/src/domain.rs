@@ -253,6 +253,66 @@ mod tests {
         assert!(EscPrim::SiteIs(SiteId(0), true).contradicts(&EscPrim::SiteIs(SiteId(0), false)));
     }
 
+    /// The interned meta-kernel evaluates `param_atom`/`eval_state` once
+    /// per primitive at intern time and precomputes `implies`/`contradicts`
+    /// into per-trace matrices — all four must therefore be pure, and
+    /// `contradicts` must be symmetric and sound (never claimed for a
+    /// jointly satisfiable pair). Checked exhaustively over a small
+    /// universe: 2 vars, 1 field, 2 sites.
+    #[test]
+    fn intern_contract_holds_exhaustively() {
+        let mut prims = vec![];
+        for c in [Cell::Var(VarId(0)), Cell::Var(VarId(1)), Cell::Field(FieldId(0))] {
+            for v in Val::ALL {
+                prims.push(EscPrim::CellIs(c, v));
+            }
+        }
+        for h in [SiteId(0), SiteId(1)] {
+            for b in [true, false] {
+                prims.push(EscPrim::SiteIs(h, b));
+            }
+        }
+        let envs: Vec<Env> = (0..27u32)
+            .map(|code| {
+                let mut d = Env::initial(2, 1);
+                d.set(Cell::Var(VarId(0)), Val::ALL[(code % 3) as usize]);
+                d.set(Cell::Var(VarId(1)), Val::ALL[(code / 3 % 3) as usize]);
+                d.set(Cell::Field(FieldId(0)), Val::ALL[(code / 9) as usize]);
+                d
+            })
+            .collect();
+        let params: Vec<BitSet> =
+            (0..4u32).map(|bits| BitSet::from_iter(2, (0..2).filter(|i| (bits >> i) & 1 == 1))).collect();
+        for a in &prims {
+            assert_eq!(a.param_atom(), a.param_atom());
+            for d in &envs {
+                assert_eq!(a.eval_state(d), a.eval_state(d));
+            }
+            for b in &prims {
+                assert_eq!(a.contradicts(b), a.contradicts(b));
+                assert_eq!(a.contradicts(b), b.contradicts(a), "{a} vs {b}");
+                assert_eq!(a.implies(b), a.implies(b));
+                if a.contradicts(b) {
+                    for p in &params {
+                        for d in &envs {
+                            assert!(
+                                !(a.holds(p, d) && b.holds(p, d)),
+                                "{a} and {b} both hold under p={p}, d={d:?}"
+                            );
+                        }
+                    }
+                }
+                if a.implies(b) {
+                    for p in &params {
+                        for d in &envs {
+                            assert!(!a.holds(p, d) || b.holds(p, d), "{a} ⇒ {b} broken");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn debug_env_is_compact() {
         let mut d = Env::initial(2, 0);

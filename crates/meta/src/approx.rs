@@ -98,38 +98,44 @@ fn product<P: Primitive>(
     cfg: &BeamConfig,
     keep: &dyn Fn(&Cube<P>) -> bool,
 ) -> Vec<Cube<P>> {
-    let mut out = Vec::new();
+    let mut out =
+        Vec::with_capacity(xs.len().saturating_mul(ys.len()).min(cfg.max_cubes.saturating_add(1)));
     for x in xs {
         for y in ys {
             if let Some(c) = x.conjoin(y) {
                 out.push(c);
             }
-            if out.len() > cfg.max_cubes {
-                out = emergency_prune(out, cfg, keep);
-            }
+        }
+        // Prune once per outer cube, not per push: pruning inside the
+        // inner loop re-sorted the whole accumulator on every overflow,
+        // going quadratic in `max_cubes` on Figure 6(a)-style blowup.
+        if out.len() > cfg.max_cubes {
+            out = emergency_prune(out, cfg, keep);
         }
     }
     out
 }
 
-/// Under-approximate on intermediate overflow: dedupe, sort by size, keep
-/// the first `max_cubes / 2` plus a `keep`-satisfying cube.
+/// Under-approximate on intermediate overflow: dedupe, keep the smallest
+/// `max_cubes / 2` cubes plus the smallest `keep`-satisfying cube.
 fn emergency_prune<P: Primitive>(
     mut cubes: Vec<Cube<P>>,
     cfg: &BeamConfig,
     keep: &dyn Fn(&Cube<P>) -> bool,
 ) -> Vec<Cube<P>> {
-    cubes.sort();
+    // One length-lexicographic sort serves both dedup (equal cubes have
+    // equal length, hence stay adjacent) and the size-ordered cut below.
+    cubes.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
     cubes.dedup();
     if cubes.len() <= cfg.max_cubes {
         return cubes;
     }
-    cubes.sort_by_key(|c| c.len());
     let cut = cfg.max_cubes / 2;
-    let kept_cut = cubes.iter().take(cut).any(keep);
-    let mut out: Vec<Cube<P>> = cubes.iter().take(cut).cloned().collect();
-    if !kept_cut {
-        if let Some(c) = cubes.iter().skip(cut).find(|c| keep(c)) {
+    let mut out: Vec<Cube<P>> = cubes[..cut].to_vec();
+    if !out.iter().any(keep) {
+        // Size-sorted, so the first match past the cut is the *smallest*
+        // keep-satisfying cube — mirroring `approx`'s drop_k rule.
+        if let Some(c) = cubes[cut..].iter().find(|c| keep(c)) {
             out.push(c.clone());
         }
     }

@@ -199,6 +199,15 @@ impl<P: Primitive> Cube<P> {
         Cube(BTreeSet::new())
     }
 
+    /// Rebuilds a cube from literals already known to be mutually
+    /// consistent, bypassing [`Cube::insert`]'s clash checks. Used by the
+    /// interned kernel when exporting back to the tree form: its cubes
+    /// were built under the same clash rules, but re-inserting them in a
+    /// different order could trip the (asymmetric) contradiction check.
+    pub(crate) fn from_lits_unchecked(lits: impl IntoIterator<Item = Lit<P>>) -> Self {
+        Cube(lits.into_iter().collect())
+    }
+
     /// Inserts a literal; returns `false` if this makes the cube
     /// syntactically unsatisfiable (contains the opposite literal, or two
     /// contradicting positive primitives).

@@ -1,0 +1,1285 @@
+//! The interned meta-analysis kernel: the backward hot path of Figure 7
+//! over packed integer cubes instead of `BTreeSet<Lit<P>>` trees.
+//!
+//! The tree representation ([`crate::formula`]) stays the client-facing
+//! surface; a trace analysis lowers it at entry:
+//!
+//! * a per-solve [`InternCache`] closes the primitive set under `wp_prim`
+//!   across all atoms seen so far, interns it into dense `u32` ids, and
+//!   precomputes `param_atom` metadata and the pairwise implication /
+//!   contradiction matrices — paid once per *query*, not once per CEGAR
+//!   iteration, because the closure, the raw wp formulas, and the
+//!   matrices depend only on the atoms and `not_q`, never on the
+//!   abstraction `p` being refuted;
+//! * literals are packed as `id << 1 | pos` and cubes become sorted
+//!   `Vec<u32>` with a 64-bit occurrence signature, so subsumption and
+//!   conjunction reject non-candidates with one `&`/`|` word op before
+//!   falling back to the id-indexed matrices;
+//! * a wp memo keyed by `(atom id, packed literal)` converts each weakest
+//!   precondition to DNF once per *solve* instead of once per literal
+//!   occurrence — entries whose conversion never hit emergency pruning
+//!   are `p`-independent and survive across iterations.
+//!
+//! **Bit-identity contract.** The driver's min-cost solver breaks cost
+//! ties by clause *syntax*, so the learned parameter formulas — and hence
+//! whole `solve_query` outcomes — only reproduce the tree path if this
+//! kernel mirrors it *syntactically*, not just semantically. The mirror
+//! rests on four invariants, checked by the differential tests:
+//!
+//! 1. ids are assigned in primitive `Ord` order, so packed-literal order
+//!    equals [`Lit`] order and `Vec<u32>` lexicographic order equals
+//!    `BTreeSet<Lit>` order — and this holds for **any** `Ord`-sorted
+//!    superset of the trace's own closure, which is what lets one cache
+//!    (whose universe only grows) serve every iteration of a solve;
+//! 2. every operation (`insert` clash rules including the asymmetric
+//!    contradiction direction, `conjoin`'s sequential inserts, `simplify`
+//!    / `emergency_prune` / `approx` sort-and-cut orders, the
+//!    [`Formula::and`] constant folding inside wp) replays the tree
+//!    implementation's exact order of operations;
+//! 3. a memoized wp DNF is reused only when its conversion never hit
+//!    emergency pruning — pruning consults the per-step `keep` predicate,
+//!    so a pruned conversion is recomputed at each step it is used (and
+//!    whether a conversion prunes at all is `p`-independent, so the
+//!    stable/unstable classification itself is safe to cache);
+//! 4. everything that *does* depend on the current `p`/`d_I` — the
+//!    per-step truth table and the `eval_state(d_I)` row — is recomputed
+//!    on every call and never cached.
+
+use crate::approx::BeamConfig;
+use crate::backward::{MetaClient, MetaError, ParamOf, StateOf};
+use crate::formula::{Cube, Dnf, Formula, Lit, Primitive};
+use crate::stats::MetaStats;
+use pda_lang::Atom;
+use pda_solver::PFormula;
+use std::collections::{BTreeSet, HashMap};
+
+/// A packed literal: `prim id << 1 | positive`.
+///
+/// Because ids are assigned in primitive `Ord` order, the natural `u32`
+/// order of packed literals coincides with [`Lit`]'s derived order
+/// (primitive first, then `pos` with `false < true`).
+type PLit = u32;
+
+fn plit(id: u32, pos: bool) -> PLit {
+    id << 1 | pos as u32
+}
+
+fn lit_id(l: PLit) -> usize {
+    (l >> 1) as usize
+}
+
+fn lit_pos(l: PLit) -> bool {
+    l & 1 == 1
+}
+
+/// Signature bit for a literal's primitive: occurrence of prim `id` sets
+/// bit `id mod 64`. Shared prims always share a bit, so disjoint
+/// signatures prove disjoint prim sets (the converse can fail — that only
+/// costs a fast path, never soundness).
+fn sig_bit(l: PLit) -> u64 {
+    1u64 << (lit_id(l) & 63)
+}
+
+/// A dense boolean matrix over primitive ids (row-major bitset).
+struct Matrix {
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl Matrix {
+    fn new(n: usize) -> Matrix {
+        let words = n.div_ceil(64).max(1);
+        Matrix { words, bits: vec![0; words * n] }
+    }
+
+    fn set(&mut self, i: usize, j: usize) {
+        self.bits[i * self.words + j / 64] |= 1u64 << (j % 64);
+    }
+
+    fn get(&self, i: usize, j: usize) -> bool {
+        self.bits[i * self.words + j / 64] >> (j % 64) & 1 == 1
+    }
+}
+
+/// The intern table: primitives, their cached metadata, and the
+/// precomputed implication/contradiction matrices. Rebuilt only when the
+/// cache's primitive universe grows.
+struct PrimTable<P: Primitive> {
+    /// Interned primitives in `Ord` order; the index is the id.
+    prims: Vec<P>,
+    id_of: HashMap<P, u32>,
+    /// `param_atom()` per id, cached at intern time.
+    param_atom: Vec<Option<(usize, bool)>>,
+    /// `implies[i][j] = prims[i].implies(prims[j])`.
+    implies: Matrix,
+    /// `contradicts[i][j] = prims[i].contradicts(prims[j])`.
+    contradicts: Matrix,
+    /// Some pair of interned prims contradicts.
+    any_contradiction: bool,
+    /// `implies` is exactly the identity matrix (reflexive, no
+    /// off-diagonal entries) — true for every client that only overrides
+    /// `contradicts`, enabling the binary-search implication path.
+    implies_identity: bool,
+    /// `implies` is exactly the identity and no pair contradicts: literal
+    /// implication degenerates to literal equality, enabling the
+    /// signature-subset fast path.
+    trivial: bool,
+}
+
+impl<P: Primitive> PrimTable<P> {
+    /// Mirrors [`Lit::implies`] on packed literals via the matrices.
+    fn lit_implies(&self, a: PLit, b: PLit) -> bool {
+        match (lit_pos(a), lit_pos(b)) {
+            (true, true) => self.implies.get(lit_id(a), lit_id(b)),
+            (false, false) => self.implies.get(lit_id(b), lit_id(a)),
+            (true, false) => self.contradicts.get(lit_id(a), lit_id(b)),
+            (false, true) => false,
+        }
+    }
+}
+
+/// An interned cube: sorted packed literals plus the occurrence signature.
+///
+/// The derived `Ord` compares `lits` first; `sig` is a function of `lits`,
+/// so the comparison coincides with the tree [`Cube`]'s `BTreeSet` order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct ICube {
+    lits: Vec<PLit>,
+    sig: u64,
+}
+
+impl ICube {
+    fn top() -> ICube {
+        ICube { lits: Vec::new(), sig: 0 }
+    }
+
+    /// Mirror of [`Cube::insert`]: clash on the opposite literal or on an
+    /// *existing positive* literal contradicting a positive newcomer (the
+    /// tree checks `existing.contradicts(new)` only — the asymmetry is
+    /// load-bearing for bit-identity).
+    fn insert<P: Primitive>(&mut self, lit: PLit, t: &PrimTable<P>) -> bool {
+        if self.lits.binary_search(&(lit ^ 1)).is_ok() {
+            return false;
+        }
+        if t.any_contradiction && lit_pos(lit) {
+            let id = lit_id(lit);
+            for &l in &self.lits {
+                if lit_pos(l) && t.contradicts.get(lit_id(l), id) {
+                    return false;
+                }
+            }
+        }
+        if let Err(i) = self.lits.binary_search(&lit) {
+            self.lits.insert(i, lit);
+        }
+        self.sig |= sig_bit(lit);
+        true
+    }
+
+    /// Mirror of [`Cube::conjoin`]: insert `other`'s literals in ascending
+    /// order, failing on the first clash. When no interned pair
+    /// contradicts and the signatures prove the prim sets disjoint, no
+    /// insert can clash and a plain sorted merge suffices.
+    fn conjoin<P: Primitive>(&self, other: &ICube, t: &PrimTable<P>) -> Option<ICube> {
+        if !t.any_contradiction && self.sig & other.sig == 0 {
+            let mut lits = Vec::with_capacity(self.lits.len() + other.lits.len());
+            let (mut i, mut j) = (0, 0);
+            while i < self.lits.len() && j < other.lits.len() {
+                if self.lits[i] < other.lits[j] {
+                    lits.push(self.lits[i]);
+                    i += 1;
+                } else {
+                    lits.push(other.lits[j]);
+                    j += 1;
+                }
+            }
+            lits.extend_from_slice(&self.lits[i..]);
+            lits.extend_from_slice(&other.lits[j..]);
+            return Some(ICube { lits, sig: self.sig | other.sig });
+        }
+        let mut out = self.clone();
+        for &l in &other.lits {
+            if !out.insert(l, t) {
+                return None;
+            }
+        }
+        Some(out)
+    }
+
+    /// Mirror of [`Cube::implies`]: every literal of `other` implied by
+    /// some literal of `self`. With trivial matrices this is a literal
+    /// subset test, signature-rejected in one word op; with an identity
+    /// `implies` matrix (contradictions allowed) a literal is implied
+    /// only by itself or — when negative — by a contradicting positive
+    /// literal, so membership is one binary search.
+    fn implies<P: Primitive>(&self, other: &ICube, t: &PrimTable<P>, stats: &mut MetaStats) -> bool {
+        stats.subsumption_checks += 1;
+        if t.trivial {
+            if other.sig & !self.sig != 0 {
+                stats.subsumption_fast_rejects += 1;
+                return false;
+            }
+            return is_subset(&other.lits, &self.lits);
+        }
+        if t.implies_identity {
+            return other.lits.iter().all(|&lo| {
+                if self.lits.binary_search(&lo).is_ok() {
+                    return true;
+                }
+                !lit_pos(lo)
+                    && self
+                        .lits
+                        .iter()
+                        .any(|&ls| lit_pos(ls) && t.contradicts.get(lit_id(ls), lit_id(lo)))
+            });
+        }
+        other
+            .lits
+            .iter()
+            .all(|&lo| self.lits.iter().any(|&ls| t.lit_implies(ls, lo)))
+    }
+}
+
+/// `sub ⊆ sup` over sorted slices.
+fn is_subset(sub: &[PLit], sup: &[PLit]) -> bool {
+    let mut j = 0;
+    'outer: for &l in sub {
+        while j < sup.len() {
+            match sup[j].cmp(&l) {
+                std::cmp::Ordering::Less => j += 1,
+                std::cmp::Ordering::Equal => {
+                    j += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Collects the primitives of a formula.
+fn prims_of<P: Primitive>(f: &Formula<P>, out: &mut Vec<P>) {
+    match f {
+        Formula::True | Formula::False => {}
+        Formula::Prim(p) => out.push(p.clone()),
+        Formula::Not(g) => prims_of(g, out),
+        Formula::And(fs) | Formula::Or(fs) => {
+            for g in fs {
+                prims_of(g, out);
+            }
+        }
+    }
+}
+
+/// A memoized per-literal wp variant (the formula the tree path builds as
+/// `wp` or `¬wp` before `Formula::and` folding).
+enum WpEntry<P> {
+    /// Folds away as a conjunct (`Formula::and` drops `True` parts).
+    ConstTrue,
+    /// Annihilates the whole cube's precondition.
+    ConstFalse,
+    /// DNF conversion that never hit emergency pruning — keep-independent
+    /// (hence `p`-independent) and safe to reuse at any step of any
+    /// iteration within the cache's current table generation.
+    Stable(Vec<ICube>),
+    /// Conversion pruned under some step's `keep`; the variant formula is
+    /// kept so each use reconverts under its own step.
+    Unstable(Formula<P>),
+}
+
+/// The wp memo, indexed `aid * 2 * n_prims + packed_lit`. Lives in the
+/// [`InternCache`] so stable entries survive across CEGAR iterations; it
+/// is cleared whenever the table is rebuilt (ids change) and grown when
+/// new atoms register.
+struct WpMemo<P> {
+    stride: usize,
+    entries: Vec<Option<WpEntry<P>>>,
+}
+
+impl<P: Primitive> WpMemo<P> {
+    fn reset(&mut self, n_prims: usize) {
+        self.stride = 2 * n_prims;
+        self.entries.clear();
+    }
+
+    fn grow(&mut self, n_atoms: usize) {
+        let need = n_atoms * self.stride;
+        if self.entries.len() < need {
+            self.entries.resize_with(need, || None);
+        }
+    }
+
+    fn key(&self, aid: u32, lit: PLit) -> usize {
+        aid as usize * self.stride + lit as usize
+    }
+
+    /// Materializes the entry for `(aid, lit)` if absent, counting memo
+    /// hits/misses, and returns its key.
+    fn ensure(
+        &mut self,
+        k: &Kernel<'_, P>,
+        aid: u32,
+        lit: PLit,
+        cfg: &BeamConfig,
+        step: usize,
+        stats: &mut MetaStats,
+    ) -> usize {
+        let key = self.key(aid, lit);
+        if self.entries[key].is_some() {
+            stats.wp_hits += 1;
+            return key;
+        }
+        stats.wp_misses += 1;
+        let prim = &k.table.prims[lit_id(lit)];
+        let w = k
+            .wp_raw
+            .get(&(aid, prim.clone()))
+            .expect("closure computed wp for every (atom, prim) pair");
+        let v = if lit_pos(lit) { w.clone() } else { Formula::not(w.clone()) };
+        let entry = if v == Formula::True {
+            WpEntry::ConstTrue
+        } else if v == Formula::False {
+            WpEntry::ConstFalse
+        } else {
+            let mut pruned = false;
+            let cubes = nnf_dnf_i(&v, true, cfg, k, step, stats, &mut pruned);
+            if pruned {
+                WpEntry::Unstable(v)
+            } else {
+                WpEntry::Stable(cubes)
+            }
+        };
+        self.entries[key] = Some(entry);
+        key
+    }
+}
+
+/// The state the interned kernel keeps for a whole `solve_query` run.
+///
+/// Everything in here is independent of the abstraction `p` currently
+/// being refuted, so it is computed incrementally as traces arrive and
+/// reused across CEGAR iterations:
+///
+/// * the atom registry (ids are first-seen order — atom ids carry no
+///   ordering obligation, unlike prim ids);
+/// * the primitive universe, closed under `wp_prim` over all registered
+///   atoms, with every raw wp formula retained;
+/// * the intern table with its `Ord`-ordered ids and implication /
+///   contradiction matrices, rebuilt only when the universe grows (a
+///   superset universe preserves the id-order isomorphism, so outputs
+///   stay bit-identical — see the module docs);
+/// * the wp memo (cleared on table rebuilds, since entries embed ids).
+///
+/// A cache must only be reused with the same client; the abstraction and
+/// initial state may vary freely between calls (per-call truth tables and
+/// `eval_state(d_I)` rows are never cached).
+pub struct InternCache<P: Primitive> {
+    atoms: Vec<Atom>,
+    aid_of: HashMap<Atom, u32>,
+    universe: BTreeSet<P>,
+    wp_raw: HashMap<(u32, P), Formula<P>>,
+    table: Option<PrimTable<P>>,
+    memo: WpMemo<P>,
+}
+
+impl<P: Primitive> Default for InternCache<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Primitive> InternCache<P> {
+    /// An empty cache: first use pays the closure, later uses extend it.
+    pub fn new() -> InternCache<P> {
+        InternCache {
+            atoms: Vec::new(),
+            aid_of: HashMap::new(),
+            universe: BTreeSet::new(),
+            wp_raw: HashMap::new(),
+            table: None,
+            memo: WpMemo { stride: 0, entries: Vec::new() },
+        }
+    }
+
+    /// Registers the trace's atoms, returning the per-step atom ids and
+    /// the ids that are new to this cache.
+    fn register_atoms(&mut self, trace: &[Atom]) -> (Vec<u32>, Vec<u32>) {
+        let InternCache { atoms, aid_of, .. } = self;
+        let mut fresh = Vec::new();
+        let atom_of_step = trace
+            .iter()
+            .map(|a| {
+                *aid_of.entry(*a).or_insert_with(|| {
+                    atoms.push(*a);
+                    let aid = atoms.len() as u32 - 1;
+                    fresh.push(aid);
+                    aid
+                })
+            })
+            .collect();
+        (atom_of_step, fresh)
+    }
+
+    /// Extends the primitive universe closure with `not_q`'s prims and the
+    /// freshly registered atoms, computing (and retaining) the raw wp
+    /// formula for every new `(atom, prim)` pair. Returns whether the
+    /// universe grew (which forces a table rebuild).
+    ///
+    /// Incremental coverage argument: `(old atom, old prim)` pairs are
+    /// already stored; `(new atom, old prim)` pairs are the snapshot loop;
+    /// every genuinely new prim goes through `work`, which pairs it with
+    /// *all* atoms, old and new.
+    fn close_universe<C: MetaClient<Prim = P>>(
+        &mut self,
+        client: &C,
+        fresh_atoms: &[u32],
+        not_q: &Formula<P>,
+    ) -> bool {
+        // Snapshot before seeding, so the snapshot loop never duplicates
+        // work-loop pairs.
+        let pre: Vec<P> = if fresh_atoms.is_empty() {
+            Vec::new()
+        } else {
+            self.universe.iter().cloned().collect()
+        };
+        let mut scratch = Vec::new();
+        let mut work: Vec<P> = Vec::new();
+        let mut changed = false;
+        prims_of(not_q, &mut scratch);
+        for q in scratch.drain(..) {
+            if self.universe.insert(q.clone()) {
+                changed = true;
+                work.push(q);
+            }
+        }
+        for &aid in fresh_atoms {
+            for q in &pre {
+                let w = client.wp_prim(&self.atoms[aid as usize], q);
+                prims_of(&w, &mut scratch);
+                for r in scratch.drain(..) {
+                    if self.universe.insert(r.clone()) {
+                        changed = true;
+                        work.push(r);
+                    }
+                }
+                self.wp_raw.insert((aid, q.clone()), w);
+            }
+        }
+        while let Some(pr) = work.pop() {
+            for aid in 0..self.atoms.len() as u32 {
+                let w = client.wp_prim(&self.atoms[aid as usize], &pr);
+                prims_of(&w, &mut scratch);
+                for r in scratch.drain(..) {
+                    if self.universe.insert(r.clone()) {
+                        changed = true;
+                        work.push(r);
+                    }
+                }
+                self.wp_raw.insert((aid, pr.clone()), w);
+            }
+        }
+        changed
+    }
+
+    /// Reinterns the universe in `Ord` order and precomputes the matrices;
+    /// the memo resets because its entries embed the old generation's ids.
+    fn rebuild_table(&mut self) {
+        let prims: Vec<P> = self.universe.iter().cloned().collect();
+        let n = prims.len();
+        let id_of: HashMap<P, u32> =
+            prims.iter().enumerate().map(|(i, q)| (q.clone(), i as u32)).collect();
+        let param_atom: Vec<_> = prims.iter().map(|q| q.param_atom()).collect();
+
+        let mut implies = Matrix::new(n);
+        let mut contradicts = Matrix::new(n);
+        let mut identity = true;
+        let mut any_contradiction = false;
+        for (i, a) in prims.iter().enumerate() {
+            for (j, b) in prims.iter().enumerate() {
+                if a.implies(b) {
+                    implies.set(i, j);
+                    if i != j {
+                        identity = false;
+                    }
+                } else if i == j {
+                    identity = false;
+                }
+                if a.contradicts(b) {
+                    contradicts.set(i, j);
+                    any_contradiction = true;
+                }
+            }
+        }
+
+        self.table = Some(PrimTable {
+            prims,
+            id_of,
+            param_atom,
+            implies,
+            contradicts,
+            any_contradiction,
+            implies_identity: identity,
+            trivial: identity && !any_contradiction,
+        });
+        self.memo.reset(n);
+    }
+}
+
+/// The per-call view the backward walk runs on: the cache's table and raw
+/// wp formulas (shared borrows), plus everything that depends on this
+/// call's `p`/`d_I`/trace — the truth table and the step→atom map.
+struct Kernel<'c, P: Primitive> {
+    table: &'c PrimTable<P>,
+    /// `wp_raw[(aid, prim)]`: the client's raw `wp_prim` formula.
+    wp_raw: &'c HashMap<(u32, P), Formula<P>>,
+    /// `truth[step * twords ..]`: bit `id` = `prims[id].holds(p, states[step])`.
+    truth: Vec<u64>,
+    twords: usize,
+    /// `atom_of_step[i]` is the cache-global atom id of trace step `i`.
+    atom_of_step: Vec<u32>,
+}
+
+impl<P: Primitive> Kernel<'_, P> {
+    fn truth_bit(&self, step: usize, id: usize) -> bool {
+        self.truth[step * self.twords + id / 64] >> (id % 64) & 1 == 1
+    }
+
+    /// Mirror of the per-step `keep` predicate `cube.holds(p, states[step])`.
+    fn holds_at(&self, c: &ICube, step: usize) -> bool {
+        c.lits.iter().all(|&l| self.truth_bit(step, lit_id(l)) == lit_pos(l))
+    }
+}
+
+/// Mirror of `approx::emergency_prune` on interned cubes. Sets `pruned`
+/// only when cubes were actually cut (a dedup that fits under the cap
+/// leaves the result keep-independent).
+fn emergency_prune_i<P: Primitive>(
+    mut cubes: Vec<ICube>,
+    cfg: &BeamConfig,
+    k: &Kernel<'_, P>,
+    step: usize,
+    stats: &mut MetaStats,
+    pruned: &mut bool,
+) -> Vec<ICube> {
+    cubes.sort_by(|a, b| a.lits.len().cmp(&b.lits.len()).then_with(|| a.lits.cmp(&b.lits)));
+    cubes.dedup();
+    if cubes.len() <= cfg.max_cubes {
+        return cubes;
+    }
+    *pruned = true;
+    let cut = cfg.max_cubes / 2;
+    let mut out: Vec<ICube> = cubes[..cut].to_vec();
+    if !out.iter().any(|c| k.holds_at(c, step)) {
+        if let Some(c) = cubes[cut..].iter().find(|c| k.holds_at(c, step)) {
+            out.push(c.clone());
+        }
+    }
+    stats.approx_drops += (cubes.len() - out.len()) as u64;
+    out
+}
+
+/// Mirror of `approx::product`.
+fn product_i<P: Primitive>(
+    xs: &[ICube],
+    ys: &[ICube],
+    cfg: &BeamConfig,
+    k: &Kernel<'_, P>,
+    step: usize,
+    stats: &mut MetaStats,
+    pruned: &mut bool,
+) -> Vec<ICube> {
+    let mut out =
+        Vec::with_capacity(xs.len().saturating_mul(ys.len()).min(cfg.max_cubes.saturating_add(1)));
+    for x in xs {
+        for y in ys {
+            if let Some(c) = x.conjoin(y, k.table) {
+                stats.cubes_built += 1;
+                out.push(c);
+            }
+        }
+        if out.len() > cfg.max_cubes {
+            out = emergency_prune_i(out, cfg, k, step, stats, pruned);
+        }
+    }
+    out
+}
+
+/// Mirror of `approx::nnf_dnf`; `step` indexes the truth table for the
+/// `keep` predicate.
+fn nnf_dnf_i<P: Primitive>(
+    f: &Formula<P>,
+    sign: bool,
+    cfg: &BeamConfig,
+    k: &Kernel<'_, P>,
+    step: usize,
+    stats: &mut MetaStats,
+    pruned: &mut bool,
+) -> Vec<ICube> {
+    match (f, sign) {
+        (Formula::True, true) | (Formula::False, false) => vec![ICube::top()],
+        (Formula::True, false) | (Formula::False, true) => Vec::new(),
+        (Formula::Prim(p), pos) => {
+            let id = k.table.id_of[p];
+            let mut c = ICube::top();
+            let ok = c.insert(plit(id, pos), k.table);
+            debug_assert!(ok);
+            stats.cubes_built += 1;
+            vec![c]
+        }
+        (Formula::Not(inner), s) => nnf_dnf_i(inner, !s, cfg, k, step, stats, pruned),
+        (Formula::And(fs), true) | (Formula::Or(fs), false) => {
+            let mut acc = vec![ICube::top()];
+            for g in fs {
+                let gs = nnf_dnf_i(g, sign, cfg, k, step, stats, pruned);
+                acc = product_i(&acc, &gs, cfg, k, step, stats, pruned);
+                if acc.is_empty() {
+                    return acc;
+                }
+            }
+            acc
+        }
+        (Formula::Or(fs), true) | (Formula::And(fs), false) => {
+            let mut acc: Vec<ICube> = Vec::new();
+            for g in fs {
+                acc.extend(nnf_dnf_i(g, sign, cfg, k, step, stats, pruned));
+                if acc.len() > cfg.max_cubes {
+                    acc = emergency_prune_i(acc, cfg, k, step, stats, pruned);
+                }
+            }
+            acc
+        }
+    }
+}
+
+/// Mirror of `approx::simplify`.
+fn simplify_i<P: Primitive>(
+    mut cubes: Vec<ICube>,
+    k: &Kernel<'_, P>,
+    stats: &mut MetaStats,
+) -> Vec<ICube> {
+    cubes.sort_by(|a, b| a.lits.len().cmp(&b.lits.len()).then_with(|| a.lits.cmp(&b.lits)));
+    cubes.dedup();
+    let mut kept: Vec<ICube> = Vec::new();
+    for c in cubes {
+        if !kept.iter().any(|kc| c.implies(kc, k.table, stats)) {
+            kept.push(c);
+        }
+    }
+    kept
+}
+
+/// Mirror of `approx::approx`.
+fn approx_i<P: Primitive>(
+    cubes: Vec<ICube>,
+    cfg: &BeamConfig,
+    k: &Kernel<'_, P>,
+    step: usize,
+    stats: &mut MetaStats,
+) -> Option<Vec<ICube>> {
+    let s = simplify_i(cubes, k, stats);
+    if !s.iter().any(|c| k.holds_at(c, step)) {
+        return None;
+    }
+    if s.len() <= cfg.k {
+        return Some(s);
+    }
+    let take = cfg.k.saturating_sub(1);
+    let mut out: Vec<ICube> = s[..take].to_vec();
+    if !out.iter().any(|c| k.holds_at(c, step)) {
+        let j = s.iter().find(|c| k.holds_at(c, step))?;
+        out.push(j.clone());
+    }
+    stats.approx_drops += (s.len() - out.len()) as u64;
+    Some(out)
+}
+
+/// Mirror of `backward::wp_dnf`: per cube, fold the per-literal wp
+/// variants as [`Formula::and`] would, convert the conjunction to DNF,
+/// and union across cubes. Conversions are served by the memo wherever
+/// the memoized form is step-independent.
+fn wp_dnf_i<P: Primitive>(
+    k: &Kernel<'_, P>,
+    memo: &mut WpMemo<P>,
+    aid: u32,
+    dnf: &[ICube],
+    cfg: &BeamConfig,
+    step: usize,
+    stats: &mut MetaStats,
+) -> Vec<ICube> {
+    let mut out: Vec<ICube> = Vec::new();
+    let mut part_keys: Vec<usize> = Vec::new();
+    'cube: for cube in dnf {
+        part_keys.clear();
+        // Mirror of `Formula::and(parts)`: drop True parts, annihilate on
+        // any False part.
+        for &l in &cube.lits {
+            let key = memo.ensure(k, aid, l, cfg, step, stats);
+            match memo.entries[key].as_ref().unwrap() {
+                WpEntry::ConstTrue => {}
+                WpEntry::ConstFalse => continue 'cube,
+                WpEntry::Stable(_) | WpEntry::Unstable(_) => part_keys.push(key),
+            }
+        }
+        match part_keys.len() {
+            // f = True → nnf_dnf yields the top cube.
+            0 => out.push(ICube::top()),
+            // f is the single surviving variant → its own DNF, no product
+            // (mirrors `Formula::and`'s single-part unwrap).
+            1 => match memo.entries[part_keys[0]].as_ref().unwrap() {
+                WpEntry::Stable(cubes) => out.extend(cubes.iter().cloned()),
+                WpEntry::Unstable(v) => {
+                    let v = v.clone();
+                    let mut pruned = false;
+                    out.extend(nnf_dnf_i(&v, true, cfg, k, step, stats, &mut pruned));
+                }
+                _ => unreachable!(),
+            },
+            // f = And(parts) → fold products left to right, stopping on
+            // an empty accumulator exactly as nnf_dnf does. Stable
+            // entries are borrowed straight out of the memo — the product
+            // only reads them.
+            _ => {
+                let mut acc = vec![ICube::top()];
+                for &key in &part_keys {
+                    let converted: Vec<ICube>;
+                    let gs: &[ICube] = match memo.entries[key].as_ref().unwrap() {
+                        WpEntry::Stable(cubes) => cubes,
+                        WpEntry::Unstable(v) => {
+                            let v = v.clone();
+                            let mut pruned = false;
+                            converted = nnf_dnf_i(&v, true, cfg, k, step, stats, &mut pruned);
+                            &converted
+                        }
+                        _ => unreachable!(),
+                    };
+                    let mut pruned = false;
+                    acc = product_i(&acc, gs, cfg, k, step, stats, &mut pruned);
+                    if acc.is_empty() {
+                        break;
+                    }
+                }
+                out.extend(acc);
+            }
+        }
+    }
+    out
+}
+
+/// The result of an interned trace analysis: the final trace-entry DNF in
+/// interned form, plus a snapshot of the metadata needed to restrict or
+/// export it (so the result does not borrow the cache).
+pub struct TraceAnalysis<P: Primitive> {
+    prims: Vec<P>,
+    param_atom: Vec<Option<(usize, bool)>>,
+    eval_init: Vec<Option<bool>>,
+    cubes: Vec<ICube>,
+}
+
+impl<P: Primitive> TraceAnalysis<P> {
+    /// Mirror of [`crate::backward::restrict`], served entirely from the
+    /// metadata cached at intern time (no client calls).
+    pub fn restrict(&self) -> PFormula {
+        let mut cubes = Vec::new();
+        'cube: for cube in &self.cubes {
+            let mut lits = Vec::new();
+            for &l in &cube.lits {
+                let id = lit_id(l);
+                if let Some((atom, polarity)) = self.param_atom[id] {
+                    lits.push(PFormula::lit(atom, polarity == lit_pos(l)));
+                } else {
+                    match self.eval_init[id] {
+                        Some(b) if b == lit_pos(l) => {}
+                        Some(_) => continue 'cube,
+                        None => {
+                            debug_assert!(false, "primitive is neither state- nor param-only");
+                            continue 'cube;
+                        }
+                    }
+                }
+            }
+            cubes.push(PFormula::and(lits));
+        }
+        PFormula::or(cubes)
+    }
+
+    /// Exports the result back to the tree representation (used by the
+    /// differential oracle tests and diagnostics).
+    pub fn to_dnf(&self) -> Dnf<P> {
+        Dnf(self
+            .cubes
+            .iter()
+            .map(|c| {
+                Cube::from_lits_unchecked(c.lits.iter().map(|&l| Lit {
+                    prim: self.prims[lit_id(l)].clone(),
+                    pos: lit_pos(l),
+                }))
+            })
+            .collect())
+    }
+}
+
+/// The interned-kernel counterpart of [`crate::backward::analyze_trace`]:
+/// same `B[t]` walk, same failure modes, bit-identical output (exported
+/// via [`TraceAnalysis::to_dnf`] / [`TraceAnalysis::restrict`]), with the
+/// hot path running on packed cubes and the solve-wide [`InternCache`].
+/// `stats` accumulates the kernel's effort counters (the caller owns
+/// `micros`).
+///
+/// The caller keeps one `cache` per solve (or any scope with a fixed
+/// client) and passes it to every call; a fresh cache per call is merely
+/// slower, never wrong.
+///
+/// # Errors
+///
+/// [`MetaError::MembershipLost`] under exactly the conditions of the tree
+/// path — the Theorem 3 invariant check is mirrored per step.
+#[allow(clippy::too_many_arguments)]
+pub fn analyze_trace_interned<C: MetaClient>(
+    client: &C,
+    p: &ParamOf<C>,
+    d_init: &StateOf<C>,
+    trace: &[Atom],
+    not_q: &Formula<C::Prim>,
+    cfg: &BeamConfig,
+    cache: &mut InternCache<C::Prim>,
+    stats: &mut MetaStats,
+) -> Result<TraceAnalysis<C::Prim>, MetaError>
+where
+    StateOf<C>: Clone,
+{
+    // Forward replay, exactly as the tree path does it.
+    let mut states: Vec<StateOf<C>> = Vec::with_capacity(trace.len() + 1);
+    states.push(d_init.clone());
+    for a in trace {
+        states.push(client.transfer(p, a, states.last().unwrap()));
+    }
+
+    // Bring the cache up to date with this trace; most iterations of a
+    // solve see no new atoms and no new prims, making all three steps
+    // no-ops.
+    let (atom_of_step, fresh_atoms) = cache.register_atoms(trace);
+    let changed = cache.close_universe(client, &fresh_atoms, not_q);
+    if changed || cache.table.is_none() {
+        cache.rebuild_table();
+    }
+    cache.memo.grow(cache.atoms.len());
+
+    // Split the borrows: the walk reads the table and raw wps, mutates
+    // only the memo.
+    let InternCache { wp_raw, table, memo, .. } = cache;
+    let table = table.as_ref().expect("table built above");
+    let n = table.prims.len();
+
+    // Per-call metadata — everything here depends on this call's `p` or
+    // `d_I` and must never be cached.
+    let eval_init: Vec<Option<bool>> = table.prims.iter().map(|q| q.eval_state(d_init)).collect();
+    let twords = n.div_ceil(64).max(1);
+    let mut truth = vec![0u64; twords * states.len()];
+    for (s, d) in states.iter().enumerate() {
+        for (id, q) in table.prims.iter().enumerate() {
+            if q.holds(p, d) {
+                truth[s * twords + id / 64] |= 1u64 << (id % 64);
+            }
+        }
+    }
+    let k = Kernel { table, wp_raw, truth, twords, atom_of_step };
+
+    let steps = trace.len();
+    let mut pruned = false;
+    let mut f = nnf_dnf_i(not_q, true, cfg, &k, steps, stats, &mut pruned);
+    f = approx_i(f, cfg, &k, steps, stats).ok_or(MetaError::MembershipLost { step: steps })?;
+    for i in (0..steps).rev() {
+        f = wp_dnf_i(&k, memo, k.atom_of_step[i], &f, cfg, i, stats);
+        f = approx_i(f, cfg, &k, i, stats).ok_or(MetaError::MembershipLost { step: i })?;
+    }
+    Ok(TraceAnalysis {
+        prims: table.prims.clone(),
+        param_atom: table.param_atom.clone(),
+        eval_init,
+        cubes: f,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backward::{analyze_trace, restrict};
+    use std::fmt;
+
+    /// The toy bit-vector client from `backward.rs`'s tests, reused here
+    /// for exhaustive tree-vs-interned differential checks.
+    struct Bits;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    enum BP {
+        Bit(u8),
+        PBit(u8),
+    }
+
+    impl fmt::Display for BP {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                BP::Bit(i) => write!(f, "d{i}"),
+                BP::PBit(i) => write!(f, "p{i}"),
+            }
+        }
+    }
+
+    impl Primitive for BP {
+        type Param = u32;
+        type State = u32;
+        fn holds(&self, p: &u32, d: &u32) -> bool {
+            match self {
+                BP::Bit(i) => (d >> i) & 1 == 1,
+                BP::PBit(i) => (p >> i) & 1 == 1,
+            }
+        }
+        fn eval_state(&self, d: &u32) -> Option<bool> {
+            match self {
+                BP::Bit(i) => Some((d >> i) & 1 == 1),
+                BP::PBit(_) => None,
+            }
+        }
+        fn param_atom(&self) -> Option<(usize, bool)> {
+            match self {
+                BP::Bit(_) => None,
+                BP::PBit(i) => Some((*i as usize, true)),
+            }
+        }
+    }
+
+    impl MetaClient for Bits {
+        type Prim = BP;
+        fn transfer(&self, p: &u32, atom: &Atom, d: &u32) -> u32 {
+            match *atom {
+                Atom::Null { dst } => {
+                    if (p >> dst.0) & 1 == 1 {
+                        d | (1 << dst.0)
+                    } else {
+                        *d
+                    }
+                }
+                Atom::Havoc { dst } => d & !(1 << dst.0),
+                Atom::Copy { dst, src } => {
+                    if (d >> src.0) & 1 == 1 {
+                        d | (1 << dst.0)
+                    } else {
+                        d & !(1 << dst.0)
+                    }
+                }
+                _ => *d,
+            }
+        }
+        fn wp_prim(&self, atom: &Atom, prim: &BP) -> Formula<BP> {
+            match (*atom, *prim) {
+                (Atom::Null { dst }, BP::Bit(i)) if dst.0 == i as u32 => Formula::or(vec![
+                    Formula::prim(BP::Bit(i)),
+                    Formula::prim(BP::PBit(i)),
+                ]),
+                (Atom::Havoc { dst }, BP::Bit(i)) if dst.0 == i as u32 => Formula::False,
+                (Atom::Copy { dst, src }, BP::Bit(i)) if dst.0 == i as u32 => {
+                    Formula::prim(BP::Bit(src.0 as u8))
+                }
+                (_, other) => Formula::prim(other),
+            }
+        }
+    }
+
+    use pda_lang::VarId;
+
+    fn null(v: u32) -> Atom {
+        Atom::Null { dst: VarId(v) }
+    }
+    fn copy(dst: u32, src: u32) -> Atom {
+        Atom::Copy { dst: VarId(dst), src: VarId(src) }
+    }
+    fn havoc(v: u32) -> Atom {
+        Atom::Havoc { dst: VarId(v) }
+    }
+
+    fn test_traces() -> Vec<Vec<Atom>> {
+        vec![
+            vec![null(0), copy(1, 0)],
+            vec![null(0), copy(1, 0), havoc(0)],
+            vec![null(1), null(0), copy(2, 1)],
+            vec![copy(1, 0), null(1), copy(0, 1)],
+            vec![havoc(2), null(2), copy(0, 2), copy(1, 0)],
+        ]
+    }
+
+    fn test_not_qs() -> Vec<Formula<BP>> {
+        vec![
+            Formula::prim(BP::Bit(1)),
+            Formula::or(vec![
+                Formula::prim(BP::Bit(1)),
+                Formula::and(vec![Formula::prim(BP::Bit(0)), Formula::prim(BP::Bit(2))]),
+            ]),
+            Formula::not(Formula::and(vec![
+                Formula::prim(BP::Bit(0)),
+                Formula::nprim(BP::Bit(1)),
+            ])),
+        ]
+    }
+
+    /// Exhaustive differential: for every genuine counterexample, the
+    /// interned kernel's DNF and restriction are *identical* (not just
+    /// equivalent) to the tree path's.
+    #[test]
+    fn interned_matches_tree_exhaustively() {
+        // Small beams exercise drop_k and the keep predicate, exhaustive
+        // exercises the unpruned paths.
+        let cfgs =
+            [BeamConfig::with_k(1), BeamConfig::with_k(2), BeamConfig::default(), BeamConfig::exhaustive()];
+        let mut compared = 0usize;
+        for trace in &test_traces() {
+            for not_q in &test_not_qs() {
+                for cfg in &cfgs {
+                    for p in 0..8u32 {
+                        for d0 in 0..8u32 {
+                            let tree = analyze_trace(&Bits, &p, &d0, trace, not_q, cfg);
+                            let mut stats = MetaStats::default();
+                            let mut cache = InternCache::new();
+                            let fast = analyze_trace_interned(
+                                &Bits, &p, &d0, trace, not_q, cfg, &mut cache, &mut stats,
+                            );
+                            match (tree, fast) {
+                                (Ok(t), Ok(f)) => {
+                                    assert_eq!(t, f.to_dnf(), "DNF diverged on {trace:?} p={p:b} d0={d0:b}");
+                                    assert_eq!(
+                                        restrict(&t, &d0),
+                                        f.restrict(),
+                                        "restriction diverged on {trace:?} p={p:b} d0={d0:b}"
+                                    );
+                                    compared += 1;
+                                }
+                                (Err(a), Err(b)) => assert_eq!(a, b),
+                                (a, b) => panic!(
+                                    "outcome diverged on {trace:?} p={p:b} d0={d0:b}: tree {a:?} vs interned {:?}",
+                                    b.map(|f| f.to_dnf())
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(compared >= 500, "expected broad coverage, got {compared}");
+    }
+
+    /// One shared cache across many traces, queries, abstractions, and
+    /// initial states must produce exactly the fresh-cache outputs: the
+    /// universe only ever grows, and a superset universe preserves the
+    /// id-order isomorphism (module-doc invariant 1).
+    #[test]
+    fn cache_reuse_is_bit_identical_to_fresh() {
+        let cfg = BeamConfig::default();
+        let mut shared: InternCache<BP> = InternCache::new();
+        let mut compared = 0usize;
+        for trace in &test_traces() {
+            for not_q in &test_not_qs() {
+                for p in 0..4u32 {
+                    for d0 in 0..4u32 {
+                        let mut s1 = MetaStats::default();
+                        let mut fresh = InternCache::new();
+                        let a = analyze_trace_interned(
+                            &Bits, &p, &d0, trace, not_q, &cfg, &mut fresh, &mut s1,
+                        );
+                        let mut s2 = MetaStats::default();
+                        let b = analyze_trace_interned(
+                            &Bits, &p, &d0, trace, not_q, &cfg, &mut shared, &mut s2,
+                        );
+                        match (a, b) {
+                            (Ok(x), Ok(y)) => {
+                                assert_eq!(x.to_dnf(), y.to_dnf(), "warm cache diverged on {trace:?}");
+                                assert_eq!(x.restrict(), y.restrict());
+                                compared += 1;
+                            }
+                            (Err(x), Err(y)) => assert_eq!(x, y),
+                            (x, y) => panic!(
+                                "outcome diverged on {trace:?}: fresh {:?} vs warm {:?}",
+                                x.map(|f| f.to_dnf()),
+                                y.map(|f| f.to_dnf())
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+        assert!(compared >= 100, "expected broad coverage, got {compared}");
+    }
+
+    /// A second call over the same trace/query — the shape of every CEGAR
+    /// iteration after the first — must be served entirely from the
+    /// cache: no wp misses, even under a different abstraction.
+    #[test]
+    fn warm_cache_serves_wp_without_misses() {
+        let trace = [null(0), copy(1, 0), havoc(2), null(2)];
+        let not_q = Formula::prim(BP::Bit(1));
+        let cfg = BeamConfig::default();
+        let mut cache = InternCache::new();
+        let mut stats = MetaStats::default();
+        analyze_trace_interned(&Bits, &0b1, &0, &trace, &not_q, &cfg, &mut cache, &mut stats)
+            .unwrap();
+        assert!(stats.wp_misses > 0, "cold cache must miss: {stats}");
+        let misses_after_cold = stats.wp_misses;
+        analyze_trace_interned(&Bits, &0b10, &0b1, &trace, &not_q, &cfg, &mut cache, &mut stats)
+            .unwrap();
+        assert_eq!(
+            stats.wp_misses, misses_after_cold,
+            "warm cache must serve every wp from the memo: {stats}"
+        );
+        assert!(stats.wp_hits > 0);
+    }
+
+    #[test]
+    fn wp_memo_hits_on_repeated_atoms() {
+        // A long trace over a few distinct atoms: wp conversions must be
+        // served from the memo after their first computation.
+        let trace: Vec<Atom> = (0..12).map(|i| if i % 2 == 0 { null(0) } else { copy(1, 0) }).collect();
+        let not_q = Formula::prim(BP::Bit(1));
+        let mut stats = MetaStats::default();
+        let p = 0b1u32;
+        let mut cache = InternCache::new();
+        let r = analyze_trace_interned(
+            &Bits, &p, &0, &trace, &not_q, &BeamConfig::default(), &mut cache, &mut stats,
+        );
+        assert!(r.is_ok());
+        assert!(stats.wp_hits > stats.wp_misses, "memo ineffective: {stats}");
+        assert!(stats.cubes_built > 0);
+    }
+
+    #[test]
+    fn signature_fast_path_fires_on_trivial_matrices() {
+        // BP uses the default implies/contradicts (identity/none), so the
+        // table is trivial and disjoint signatures must short-circuit
+        // subsumption checks.
+        let not_q = Formula::or(vec![
+            Formula::and(vec![Formula::prim(BP::Bit(0)), Formula::prim(BP::Bit(1))]),
+            Formula::and(vec![Formula::prim(BP::Bit(2)), Formula::prim(BP::Bit(3))]),
+            Formula::prim(BP::Bit(4)),
+        ]);
+        let trace = [null(0)];
+        let mut stats = MetaStats::default();
+        let mut cache = InternCache::new();
+        let r = analyze_trace_interned(
+            &Bits,
+            &0b1,
+            &0b11111,
+            &trace,
+            &not_q,
+            &BeamConfig::exhaustive(),
+            &mut cache,
+            &mut stats,
+        );
+        assert!(r.is_ok());
+        assert!(stats.subsumption_fast_rejects > 0, "no fast rejects: {stats}");
+        assert!(stats.subsumption_fast_rejects <= stats.subsumption_checks);
+    }
+
+    /// A primitive with an *asymmetric* contradiction, to pin down the
+    /// existing→new direction of the insert clash mirror and the matrix
+    /// fallback in subsumption.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    struct AP(u8);
+
+    impl fmt::Display for AP {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "a{}", self.0)
+        }
+    }
+
+    impl Primitive for AP {
+        type Param = u32;
+        type State = u32;
+        fn holds(&self, _p: &u32, d: &u32) -> bool {
+            (d >> self.0) & 1 == 1
+        }
+        fn eval_state(&self, d: &u32) -> Option<bool> {
+            Some((d >> self.0) & 1 == 1)
+        }
+        fn param_atom(&self) -> Option<(usize, bool)> {
+            None
+        }
+        fn implies(&self, other: &Self) -> bool {
+            // a0 ⇒ a1 (and reflexivity): a non-identity matrix.
+            self == other || (self.0 == 0 && other.0 == 1)
+        }
+        fn contradicts(&self, other: &Self) -> bool {
+            // Asymmetric on purpose: only a2 contradicts a3.
+            self.0 == 2 && other.0 == 3
+        }
+    }
+
+    #[test]
+    fn nontrivial_matrices_mirror_tree_cube_ops() {
+        // Build a table over prims a0..a3 via a formula mentioning them
+        // all; no atoms are needed.
+        struct C;
+        impl MetaClient for C {
+            type Prim = AP;
+            fn transfer(&self, _p: &u32, _a: &Atom, d: &u32) -> u32 {
+                *d
+            }
+            fn wp_prim(&self, _a: &Atom, prim: &AP) -> Formula<AP> {
+                Formula::prim(*prim)
+            }
+        }
+        let not_q = Formula::or(vec![
+            Formula::prim(AP(0)),
+            Formula::prim(AP(1)),
+            Formula::prim(AP(2)),
+            Formula::prim(AP(3)),
+        ]);
+        let mut cache: InternCache<AP> = InternCache::new();
+        let (_, fresh) = cache.register_atoms(&[]);
+        cache.close_universe(&C, &fresh, &not_q);
+        cache.rebuild_table();
+        let t = cache.table.as_ref().unwrap();
+        assert!(t.any_contradiction);
+        assert!(!t.trivial);
+
+        let mk = |lits: &[(u8, bool)]| {
+            let mut c = ICube::top();
+            for &(i, pos) in lits {
+                assert!(c.insert(plit(i as u32, pos), t));
+            }
+            c
+        };
+        let mk_tree = |lits: &[(u8, bool)]| {
+            let mut c = Cube::top();
+            for &(i, pos) in lits {
+                assert!(c.insert(Lit { prim: AP(i), pos }));
+            }
+            c
+        };
+        let mut stats = MetaStats::default();
+        // Implication through the non-identity matrix: {a0} ⇒ {a1}.
+        assert!(mk(&[(0, true)]).implies(&mk(&[(1, true)]), t, &mut stats));
+        assert!(!mk(&[(1, true)]).implies(&mk(&[(0, true)]), t, &mut stats));
+        // Positive a2 implies ¬a3 via the contradiction matrix.
+        assert!(mk(&[(2, true)]).implies(&mk(&[(3, false)]), t, &mut stats));
+        // Insert clash direction: existing a2 clashes with new a3 …
+        let mut c = mk(&[(2, true)]);
+        assert!(!c.insert(plit(3, true), t));
+        assert!(!mk_tree(&[(2, true)]).insert(Lit { prim: AP(3), pos: true }));
+        // … but existing a3 accepts new a2 (the tree's asymmetry).
+        let mut c = mk(&[(3, true)]);
+        assert!(c.insert(plit(2, true), t));
+        assert!(mk_tree(&[(3, true)]).insert(Lit { prim: AP(2), pos: true }));
+        // Conjoin mirrors the same order-sensitivity.
+        assert!(mk(&[(2, true)]).conjoin(&mk(&[(3, true)]), t).is_none());
+        assert!(mk_tree(&[(2, true)]).conjoin(&mk_tree(&[(3, true)])).is_none());
+    }
+
+    #[test]
+    fn subset_helper() {
+        assert!(is_subset(&[], &[]));
+        assert!(is_subset(&[2], &[1, 2, 3]));
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset(&[0], &[1, 2]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(!is_subset(&[1], &[]));
+    }
+}

@@ -33,13 +33,24 @@
 //! [`backward::restrict`] evaluates the resulting trace-entry formula at
 //! `d_I`, leaving a pure parameter formula — the set of unviable
 //! abstractions handed to `pda-solver`.
+//!
+//! Two kernels implement that walk. The tree kernel above is the
+//! reference semantics; [`interned::analyze_trace_interned`] is the
+//! production hot path — it lowers the client's tree formulas once per
+//! trace into interned primitives, packed-literal cubes with subsumption
+//! signatures, and a per-trace wp memo, and is bit-identical to the tree
+//! kernel by construction (see the module docs of [`interned`]).
 
 #![warn(missing_docs)]
 
 pub mod approx;
 pub mod backward;
 pub mod formula;
+pub mod interned;
+pub mod stats;
 
 pub use approx::{approx, simplify, BeamConfig};
 pub use backward::{analyze_trace, check_wp_exact, restrict, MetaClient, MetaError};
 pub use formula::{Cube, Dnf, Formula, Lit, Primitive};
+pub use interned::{analyze_trace_interned, InternCache, TraceAnalysis};
+pub use stats::MetaStats;

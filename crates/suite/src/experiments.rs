@@ -64,6 +64,7 @@ impl ExperimentConfig {
             rhs_limits: RhsLimits { max_facts: self.max_facts, ..RhsLimits::default() },
             timeout: self.timeout,
             escalation: self.escalation,
+            kernel: Default::default(),
         }
     }
 }

@@ -138,6 +138,60 @@ mod tests {
         assert_eq!(TsPrim::Param(VarId(0)).eval_state(&d), None);
     }
 
+    /// Same contract the interned meta-kernel relies on as
+    /// `pda-escape`'s `intern_contract_holds_exhaustively`: the
+    /// intern-time-cached `param_atom`/`eval_state` and the precomputed
+    /// `implies`/`contradicts` matrices must be pure, symmetric
+    /// (contradiction), and sound against `holds`.
+    #[test]
+    fn intern_contract_holds_on_samples() {
+        let prims = [
+            TsPrim::Err,
+            TsPrim::Unalloc,
+            TsPrim::Var(VarId(0)),
+            TsPrim::Var(VarId(1)),
+            TsPrim::Type(0),
+            TsPrim::Type(1),
+            TsPrim::Param(VarId(0)),
+            TsPrim::Param(VarId(1)),
+        ];
+        let states = [
+            TsState::Top,
+            TsState::Unalloc,
+            TsState::fresh(0, None),
+            TsState::fresh(0, Some(VarId(0))),
+            TsState::Obj { ts: BTreeSet::from([0, 1]), vs: BTreeSet::from([VarId(0), VarId(1)]) },
+        ];
+        let params: Vec<BitSet> =
+            (0..4u32).map(|bits| BitSet::from_iter(2, (0..2).filter(|i| (bits >> i) & 1 == 1))).collect();
+        for a in &prims {
+            assert_eq!(a.param_atom(), a.param_atom());
+            for d in &states {
+                assert_eq!(a.eval_state(d), a.eval_state(d));
+            }
+            for b in &prims {
+                assert_eq!(a.contradicts(b), b.contradicts(a), "{a} vs {b}");
+                if a.contradicts(b) {
+                    for p in &params {
+                        for d in &states {
+                            assert!(
+                                !(a.holds(p, d) && b.holds(p, d)),
+                                "{a} and {b} both hold under p={p}, d={d:?}"
+                            );
+                        }
+                    }
+                }
+                if a.implies(b) {
+                    for p in &params {
+                        for d in &states {
+                            assert!(!a.holds(p, d) || b.holds(p, d), "{a} ⇒ {b} broken");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn shape_contradictions() {
         assert!(TsPrim::Err.contradicts(&TsPrim::Unalloc));

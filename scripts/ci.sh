@@ -14,10 +14,24 @@ cargo test -q
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== perf smoke: seeded batch bench vs expected outcomes =="
+# The bench is fully seeded (hedc, seed 13), so every `outcome N:` line
+# and the two cross-kernel/cross-jobs identity lines are deterministic.
+# A panic exits non-zero (set -e); a verdict drift or a deadline hit on
+# an unconstrained run is a regression. Bench JSON goes to target/ so
+# the committed BENCH_batch.json artifact is not clobbered.
+perf="$(PDA_BENCH_OUT=target/ci_bench.json ./target/release/batch)"
+echo "$perf"
+diff scripts/expected_batch_outcomes.txt \
+    <(echo "$perf" | grep -E '^(outcome [0-9]+:|tree/interned outcomes identical:|per-query outcomes identical across job counts:)') \
+    || { echo "ci: batch outcomes drifted from scripts/expected_batch_outcomes.txt" >&2; exit 1; }
+echo "$perf" | grep -q 'resilience: deadline_exceeded=0 engine_faults=0' \
+    || { echo "ci: perf smoke hit deadlines or engine faults on an unconstrained run" >&2; exit 1; }
+
 echo "== resilience smoke: batch under a 1 ms per-query deadline =="
 # Every query must still produce a result (exit 0) and the starved
 # deadline must surface as DeadlineExceeded rather than a hang or crash.
-smoke="$(PDA_DEADLINE_MS=1 ./target/release/batch)"
+smoke="$(PDA_DEADLINE_MS=1 PDA_BENCH_OUT=target/ci_bench_starved.json ./target/release/batch)"
 echo "$smoke"
 echo "$smoke" | grep -Eq 'resilience: deadline_exceeded=[0-9]+ engine_faults=0' \
     || { echo "ci: resilience smoke missing its summary line" >&2; exit 1; }
