@@ -24,13 +24,19 @@
 //! the equality/cache/JSON steps are skipped (wall-clock aborts are
 //! schedule-dependent by nature); the run still exercises the whole
 //! resilient batch path and reports the resilience counters.
+//! `PDA_TRACE=prefix` additionally streams the structured JSONL event
+//! trace of the interned runs to `<prefix>_j1.jsonl` / `<prefix>_jN.jsonl`
+//! and self-validates it: every line must parse, the two files must be
+//! byte-identical (the trace is job-count invariant), and the event
+//! counts must match the run's own counters (skipped in deadline mode).
 
 use pda_escape::EscapeClient;
 use pda_suite::Benchmark;
 use pda_tracer::{
-    solve_queries_batch, BatchConfig, BatchStats, MetaKernel, MetaStats, Outcome, QueryResult,
+    solve_queries_batch, solve_queries_batch_traced, BatchConfig, BatchStats, MetaKernel,
+    MetaStats, Outcome, QueryResult,
 };
-use pda_util::BitSet;
+use pda_util::{BitSet, Event, FileSink, TraceSink};
 
 fn outcome_key(r: &QueryResult<BitSet>) -> String {
     let verdict = match &r.outcome {
@@ -124,11 +130,30 @@ fn main() {
         tree_stats
     );
 
+    // Structured-trace sinks for the interned runs. The trace carries no
+    // wall-clock data, so tracing does not perturb the timed phases
+    // beyond buffer pushes; with `PDA_TRACE` unset both sinks are `None`
+    // and the event paths compile to untraced no-ops.
+    let trace_prefix = std::env::var("PDA_TRACE").ok().filter(|_| deadline_ms.is_none());
+    let mk_sink = |suffix: &str| {
+        trace_prefix.as_ref().map(|p| {
+            FileSink::create(std::path::Path::new(&format!("{p}_{suffix}.jsonl")))
+                .expect("create trace file")
+        })
+    };
+    let (seq_sink, par_sink) = (mk_sink("j1"), mk_sink("jN"));
+
     // Phase 2: sequential, interned kernel — the same work, packed.
     let int_cfg =
         BatchConfig { jobs: 1, tracer: tracer(MetaKernel::Interned), ..BatchConfig::default() };
-    let (seq, seq_stats) =
-        solve_queries_batch(&bench.program, &callees, &client, &queries, &int_cfg);
+    let (seq, seq_stats) = solve_queries_batch_traced(
+        &bench.program,
+        &callees,
+        &client,
+        &queries,
+        &int_cfg,
+        seq_sink.as_ref().map(|s| s as &dyn TraceSink),
+    );
     println!(
         "jobs=1 kernel=interned  wall {:>9.1} ms   {}",
         seq_stats.wall_micros as f64 / 1e3,
@@ -138,8 +163,14 @@ fn main() {
     // Phase 3: parallel, interned kernel, shared forward cache.
     let par_cfg =
         BatchConfig { jobs, tracer: tracer(MetaKernel::Interned), ..BatchConfig::default() };
-    let (par, par_stats) =
-        solve_queries_batch(&bench.program, &callees, &client, &queries, &par_cfg);
+    let (par, par_stats) = solve_queries_batch_traced(
+        &bench.program,
+        &callees,
+        &client,
+        &queries,
+        &par_cfg,
+        par_sink.as_ref().map(|s| s as &dyn TraceSink),
+    );
     println!(
         "jobs={jobs} kernel=interned  wall {:>9.1} ms   {}",
         par_stats.wall_micros as f64 / 1e3,
@@ -196,6 +227,32 @@ fn main() {
     println!("per-query outcomes identical across job counts: {par_identical}");
     assert!(par_identical, "batch scheduler diverged from the sequential driver");
     assert!(par_stats.cache.hits > 0, "expected nonzero cache hits");
+
+    // Self-validate the structured trace: strict parse, job-count
+    // invariance, and event counts consistent with the run's counters.
+    if let Some(prefix) = &trace_prefix {
+        drop(seq_sink);
+        drop(par_sink);
+        let j1 = std::fs::read_to_string(format!("{prefix}_j1.jsonl")).expect("read j1 trace");
+        let jn = std::fs::read_to_string(format!("{prefix}_jN.jsonl")).expect("read jN trace");
+        let events = pda_util::obs::parse_trace(&j1).expect("every trace line parses");
+        assert_eq!(j1, jn, "trace must be byte-identical across job counts");
+        let iter_starts =
+            events.iter().filter(|e| matches!(e, Event::IterationStart { .. })).count();
+        let resolved =
+            events.iter().filter(|e| matches!(e, Event::QueryResolved { .. })).count();
+        assert_eq!(
+            iter_starts,
+            seq.iter().map(|r| r.iterations).sum::<usize>(),
+            "one iteration_start per CEGAR iteration"
+        );
+        assert_eq!(resolved, queries.len(), "one query_resolved per query");
+        println!(
+            "trace: {} events, {iter_starts} iterations, {resolved} queries, \
+             job-count invariant -> {prefix}_j1.jsonl",
+            events.len()
+        );
+    }
 
     let out_path = std::env::var("PDA_BENCH_OUT").unwrap_or_else(|_| "BENCH_batch.json".into());
     let json = format!(

@@ -47,26 +47,35 @@ pub fn config_from_env() -> ExperimentConfig {
     cfg
 }
 
-/// Prints the batch-execution footer shared by the experiment binaries:
-/// worker count, throughput, and forward-run cache effectiveness over all
-/// analysis runs of the invocation. The cache columns are only nonzero
-/// under `PDA_JOBS > 1` (the sequential driver shares forward runs via
-/// query groups, not the cache).
-pub fn print_batch_stats(runs: &[AnalysisRun]) {
-    let jobs = runs.iter().map(|r| r.jobs).max().unwrap_or(1);
-    let queries: usize = runs.iter().map(|r| r.outcomes.len()).sum();
-    let micros: u128 = runs.iter().map(|r| r.wall_micros).sum();
-    let forward_runs: usize = runs.iter().map(|r| r.forward_runs).sum();
+/// Builds the unified [`pda_util::ObsRegistry`] footer registry over all
+/// analysis runs of an invocation: worker count, throughput, forward-run
+/// cache effectiveness, and the meta-kernel counters. The cache columns
+/// are only nonzero under `PDA_JOBS > 1` (the sequential driver shares
+/// forward runs via query groups, not the cache).
+pub fn batch_obs(runs: &[AnalysisRun]) -> pda_util::ObsRegistry {
+    use pda_util::Counter;
     let mut cache = pda_util::CacheStats::default();
+    let mut meta = pda_meta::MetaStats::default();
     for r in runs {
         cache.merge(r.cache);
+        meta.merge(&r.meta);
     }
-    let qps = if micros == 0 { 0.0 } else { queries as f64 * 1e6 / micros as f64 };
-    println!(
-        "\nbatch: jobs={jobs}, {queries} queries, {qps:.1} queries/sec, \
-         {forward_runs} forward runs, cache {cache}, {} forward runs saved",
-        cache.hits
-    );
+    let mut obs = pda_util::ObsRegistry::default();
+    obs.set(Counter::Jobs, runs.iter().map(|r| r.jobs).max().unwrap_or(1) as u64);
+    obs.set(Counter::Queries, runs.iter().map(|r| r.outcomes.len()).sum::<usize>() as u64);
+    obs.set(Counter::WallMicros, runs.iter().map(|r| r.wall_micros).sum::<u128>() as u64);
+    obs.set(Counter::ForwardRuns, runs.iter().map(|r| r.forward_runs).sum::<usize>() as u64);
+    obs.set(Counter::CacheHits, cache.hits);
+    obs.set(Counter::CacheMisses, cache.misses);
+    meta.add_to_obs(&mut obs);
+    obs
+}
+
+/// Prints the batch-execution footer shared by the experiment binaries —
+/// the same [`pda_util::ObsRegistry::render`] format as the CLI's and the
+/// batch driver's footer.
+pub fn print_batch_stats(runs: &[AnalysisRun]) {
+    println!("\nbatch: {}", batch_obs(runs).render());
 }
 
 fn env_usize(name: &str) -> Option<usize> {

@@ -6,9 +6,12 @@
 //!   statistics.
 //! * `pda queries <file.jay>` — list the source queries with their kinds.
 //! * `pda solve <file.jay> [--query LABEL] [--k N] [--max-iters N]
-//!   [--jobs N] [--deadline MS] [--escalate N] [--checkpoint PATH]`
+//!   [--jobs N] [--deadline MS] [--escalate N] [--checkpoint PATH]
+//!   [--trace OUT.jsonl] [--metrics]`
 //!   — run TRACER on one labeled query (or all), choosing the client by
 //!   the query kind (`local` → thread-escape, `state` → type-state).
+//!   `--trace` streams the structured JSONL event log to a file;
+//!   `--metrics` appends the per-span latency table to the report.
 //! * `pda gen <benchmark>` — print a generated suite benchmark's source.
 //!
 //! The heavy lifting lives in the workspace crates; this module only
@@ -22,11 +25,11 @@ use pda_analysis::{PointsTo, Reachability};
 use pda_escape::EscapeClient;
 use pda_meta::BeamConfig;
 use pda_tracer::{
-    default_jobs, solve_queries_batch, solve_queries_batch_checkpointed, solve_query, BatchConfig,
-    Escalation, Outcome, TracerConfig,
+    default_jobs, outcome_tag, solve_queries_batch_checkpointed_traced, solve_queries_batch_traced,
+    solve_query, solve_query_observed, BatchConfig, Escalation, Outcome, QueryObs, TracerConfig,
 };
 use pda_typestate::TypestateClient;
-use pda_util::Idx;
+use pda_util::{Deadline, Event, FileSink, Idx, ObsRegistry, TraceSink};
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -87,7 +90,8 @@ pub enum Command {
         file: String,
     },
     /// `pda solve <file> [--query LABEL] [--k N] [--max-iters N]
-    /// [--jobs N] [--deadline MS] [--escalate N] [--checkpoint PATH]`
+    /// [--jobs N] [--deadline MS] [--escalate N] [--checkpoint PATH]
+    /// [--trace PATH] [--metrics]`
     Solve {
         /// Input path.
         file: String,
@@ -107,6 +111,11 @@ pub enum Command {
         /// Checkpoint file: resume finished thread-escape queries from it
         /// and stream new results into it.
         checkpoint: Option<String>,
+        /// Structured JSONL trace output path.
+        trace: Option<String>,
+        /// Append the per-span latency table to the report (and enable
+        /// span wall-clock measurement).
+        metrics: bool,
     },
     /// `pda gen <benchmark>`
     Gen {
@@ -138,6 +147,11 @@ USAGE:
                                            --checkpoint  stream results to
                                                          PATH; on rerun, skip
                                                          queries already there
+                                           --trace       stream structured
+                                                         JSONL events to PATH
+                                           --metrics     append the per-span
+                                                         latency table to the
+                                                         report
     pda gen     <benchmark>                print a generated suite program
 ";
 
@@ -179,6 +193,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             let mut deadline_ms = None;
             let mut escalate = None;
             let mut checkpoint = None;
+            let mut trace = None;
+            let mut metrics = false;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -199,6 +215,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                         };
                         checkpoint = Some(path.clone());
                     }
+                    "--trace" => {
+                        let Some(path) = args.get(i + 1) else {
+                            return usage("--trace needs a path");
+                        };
+                        trace = Some(path.clone());
+                    }
+                    "--metrics" => {
+                        metrics = true;
+                        i += 1;
+                        continue;
+                    }
                     other => return usage(format!("solve: unknown flag `{other}`")),
                 }
                 i += 2;
@@ -212,6 +239,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 deadline_ms,
                 escalate,
                 checkpoint,
+                trace,
+                metrics,
             })
         }
         Some("help") | None => Ok(Command::Help),
@@ -233,7 +262,18 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, CliError> {
     match cmd {
         Command::Check { .. } => check_report(source),
         Command::Queries { .. } => queries_report(source),
-        Command::Solve { query, k, max_iters, jobs, deadline_ms, escalate, checkpoint, .. } => {
+        Command::Solve {
+            query,
+            k,
+            max_iters,
+            jobs,
+            deadline_ms,
+            escalate,
+            checkpoint,
+            trace,
+            metrics,
+            ..
+        } => {
             let opts = SolveOpts {
                 label: query.as_deref(),
                 k: *k,
@@ -242,6 +282,8 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, CliError> {
                 deadline_ms: *deadline_ms,
                 escalate: *escalate,
                 checkpoint: checkpoint.as_deref(),
+                trace: trace.as_deref(),
+                metrics: *metrics,
             };
             solve_report(source, &opts)
         }
@@ -324,6 +366,8 @@ struct SolveOpts<'a> {
     deadline_ms: Option<u64>,
     escalate: Option<u32>,
     checkpoint: Option<&'a str>,
+    trace: Option<&'a str>,
+    metrics: bool,
 }
 
 fn solve_report(source: &str, opts: &SolveOpts<'_>) -> Result<String, CliError> {
@@ -340,16 +384,33 @@ fn solve_report(source: &str, opts: &SolveOpts<'_>) -> Result<String, CliError> 
     };
     let callees = |c: pda_lang::CallId| pa.callees(c).to_vec();
 
+    // Observability: `--trace` streams structured JSONL events, and
+    // `--metrics` turns on span wall-clock measurement for the footer
+    // table. Either one forces the batched driver below so thread-escape
+    // queries get traced uniformly.
+    let sink: Option<FileSink> = match opts.trace {
+        Some(path) => Some(
+            FileSink::create(std::path::Path::new(path))
+                .map_err(|e| CliError::Input(format!("trace: {e}")))?,
+        ),
+        None => None,
+    };
+    let sink_ref: Option<&dyn TraceSink> = sink.as_ref().map(|s| s as &dyn TraceSink);
+    let observing = sink.is_some() || opts.metrics;
+    // Span/counter totals from queries solved outside the batch driver
+    // (type-state queries), merged into the `--metrics` table at the end.
+    let mut extra_obs = ObsRegistry::default();
+
     // Thread-escape queries (which share one client) run upfront as one
     // batch on the worker pool with a shared forward-run cache whenever
-    // batching buys something: parallelism, or checkpoint/resume (the
-    // checkpoint streams per-query batch results). Per-query verdicts are
-    // identical to the sequential driver and get rendered below in
-    // declaration order.
+    // batching buys something: parallelism, checkpoint/resume (the
+    // checkpoint streams per-query batch results), or observability.
+    // Per-query verdicts are identical to the sequential driver and get
+    // rendered below in declaration order.
     let mut batched: Vec<(pda_lang::QueryId, pda_tracer::QueryResult<pda_util::BitSet>)> =
         Vec::new();
     let mut batch_stats = None;
-    if opts.jobs > 1 || opts.checkpoint.is_some() {
+    if opts.jobs > 1 || opts.checkpoint.is_some() || observing {
         let client = EscapeClient::new(&program);
         let local: Vec<pda_lang::QueryId> = program
             .queries
@@ -360,24 +421,39 @@ fn solve_report(source: &str, opts: &SolveOpts<'_>) -> Result<String, CliError> 
             .collect();
         let queries: Vec<_> = local.iter().map(|&qid| client.local_query(&program, qid)).collect();
         if !queries.is_empty() {
-            let batch =
-                BatchConfig { tracer: config.clone(), jobs: opts.jobs, batch_timeout: None };
+            let batch = BatchConfig {
+                tracer: config.clone(),
+                jobs: opts.jobs,
+                timed: opts.metrics,
+                ..BatchConfig::default()
+            };
             let (results, stats) = match opts.checkpoint {
-                Some(path) => solve_queries_batch_checkpointed(
+                Some(path) => solve_queries_batch_checkpointed_traced(
                     &program,
                     &callees,
                     &client,
                     &queries,
                     &batch,
                     std::path::Path::new(path),
+                    sink_ref,
                 )
                 .map_err(|e| CliError::Checkpoint(e.to_string()))?,
-                None => solve_queries_batch(&program, &callees, &client, &queries, &batch),
+                None => solve_queries_batch_traced(
+                    &program,
+                    &callees,
+                    &client,
+                    &queries,
+                    &batch,
+                    sink_ref,
+                ),
             };
             batched = local.into_iter().zip(results).collect();
             batch_stats = Some(stats);
         }
     }
+    // Type-state queries below continue the trace's query numbering after
+    // the batch.
+    let mut next_query = batched.len() as u64;
 
     let mut out = String::new();
     let mut matched = false;
@@ -424,7 +500,33 @@ fn solve_report(source: &str, opts: &SolveOpts<'_>) -> Result<String, CliError> 
                         continue;
                     };
                     let query = client.state_query(qid);
-                    let r = solve_query(&program, &callees, &client, &query, &config);
+                    let r = if observing {
+                        let mut qobs = QueryObs::new(next_query, sink.is_some(), opts.metrics);
+                        let r = solve_query_observed(
+                            &program,
+                            &callees,
+                            &client,
+                            &query,
+                            &config,
+                            Deadline::NEVER,
+                            &mut qobs,
+                        );
+                        if let Some(s) = &sink {
+                            for ev in &qobs.events {
+                                s.emit(ev);
+                            }
+                            s.emit(&Event::QueryResolved {
+                                query: next_query,
+                                outcome: outcome_tag(&r.outcome).to_string(),
+                                iterations: r.iterations as u64,
+                            });
+                        }
+                        extra_obs.merge(&qobs.reg);
+                        next_query += 1;
+                        r
+                    } else {
+                        solve_query(&program, &callees, &client, &query, &config)
+                    };
                     let tag = format!("{} @ {}", decl.label, program.site_label(site));
                     render(&mut out, &tag, "type-state", &r, |i| {
                         program.var_name(pda_lang::VarId(i as u32)).to_string()
@@ -439,8 +541,16 @@ fn solve_report(source: &str, opts: &SolveOpts<'_>) -> Result<String, CliError> 
             None => "program has no queries".to_string(),
         }));
     }
-    if let Some(stats) = batch_stats {
+    if let Some(stats) = &batch_stats {
         out!(out, "batch: {stats}");
+    }
+    if opts.metrics {
+        let mut reg = batch_stats.map(|s| s.to_obs()).unwrap_or_default();
+        reg.merge(&extra_obs);
+        out!(out, "{}", reg.render_spans());
+    }
+    if let Some(s) = &sink {
+        s.flush();
     }
     Ok(out)
 }
@@ -523,6 +633,8 @@ mod tests {
             deadline_ms,
             escalate: None,
             checkpoint,
+            trace: None,
+            metrics: false,
         }
     }
 
@@ -543,12 +655,14 @@ mod tests {
                 deadline_ms: None,
                 escalate: None,
                 checkpoint: None,
+                trace: None,
+                metrics: false,
             }
         );
         assert_eq!(
             a(&[
                 "solve", "f.jay", "--jobs", "4", "--deadline", "250", "--escalate", "2",
-                "--checkpoint", "state.jsonl"
+                "--checkpoint", "state.jsonl", "--metrics", "--trace", "out.jsonl"
             ])
             .unwrap(),
             Command::Solve {
@@ -560,6 +674,8 @@ mod tests {
                 deadline_ms: Some(250),
                 escalate: Some(2),
                 checkpoint: Some("state.jsonl".into()),
+                trace: Some("out.jsonl".into()),
+                metrics: true,
             }
         );
         // --jobs 0 is clamped to the sequential driver.
@@ -574,6 +690,12 @@ mod tests {
         assert!(a(&["solve", "f", "--jobs", "many"]).is_err());
         assert!(a(&["solve", "f", "--deadline", "soon"]).is_err());
         assert!(a(&["solve", "f", "--checkpoint"]).is_err());
+        assert!(a(&["solve", "f", "--trace"]).is_err());
+        // --metrics is a plain flag: the next token is parsed normally.
+        assert!(matches!(
+            a(&["solve", "f", "--metrics", "--jobs", "2"]).unwrap(),
+            Command::Solve { metrics: true, jobs: 2, .. }
+        ));
     }
 
     #[test]
@@ -665,6 +787,47 @@ mod tests {
         let err = run_on_source(&cmd, SRC).unwrap_err();
         assert!(matches!(err, CliError::Checkpoint(_)), "{err:?}");
         assert_eq!(err.exit_code(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_file_parses_and_metrics_table_renders() {
+        let path =
+            std::env::temp_dir().join(format!("pda-cli-trace-{}.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let cmd = Command::Solve {
+            file: String::new(),
+            query: None,
+            k: 5,
+            max_iters: 50,
+            jobs: 1,
+            deadline_ms: None,
+            escalate: None,
+            checkpoint: None,
+            trace: Some(path.to_string_lossy().into_owned()),
+            metrics: true,
+        };
+        let report = run_on_source(&cmd, SRC).unwrap();
+        assert!(report.contains("localx [thread-escape]: PROVEN"), "{report}");
+        assert!(report.contains("batch: 1 queries"), "{report}");
+        assert!(report.contains("span solver"), "{report}");
+        assert!(report.contains("solver nodes: "), "{report}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events = pda_util::obs::parse_trace(&text).unwrap();
+        assert!(
+            events.iter().any(|e| matches!(e, Event::IterationStart { .. })),
+            "trace should contain iteration events"
+        );
+        // One query_resolved per query instance, numbered batch-first:
+        // the batched thread-escape query, then the type-state site.
+        let resolved: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::QueryResolved { query, .. } => Some(*query),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(resolved, vec![0, 1], "{events:?}");
         std::fs::remove_file(&path).ok();
     }
 

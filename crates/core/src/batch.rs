@@ -50,14 +50,14 @@
 
 use crate::client::{Query, TracerClient};
 use crate::tracer::{
-    backward_phase, effective_deadline, solve_query_within, Outcome, QueryResult, StepResult,
-    TracerConfig, Unresolved,
+    backward_phase, effective_deadline, solve_query_observed, Outcome, QueryObs, QueryResult,
+    StepResult, TracerConfig, Unresolved,
 };
 use pda_dataflow::{rhs, Interrupt, RhsLimits, RhsResult, TooBig};
 use pda_lang::{CallId, MethodId, Program};
 use pda_meta::{InternCache, MetaStats};
 use pda_solver::{MinCostSolver, PFormula};
-use pda_util::{CacheStats, Deadline};
+use pda_util::{CacheStats, Counter, Deadline, Event, ObsRegistry, Span, SpanKind, TraceSink};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -77,11 +77,20 @@ pub struct BatchConfig {
     /// not yet started) when it expires resolve as
     /// [`Unresolved::DeadlineExceeded`]. `None` (default) = unbounded.
     pub batch_timeout: Option<Duration>,
+    /// Enables span wall-clock timing in the per-query registries (the
+    /// CLI's `--metrics`). Off by default: counters and events are always
+    /// collected, but no extra clock reads happen on the hot path.
+    pub timed: bool,
 }
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        BatchConfig { tracer: TracerConfig::default(), jobs: default_jobs(), batch_timeout: None }
+        BatchConfig {
+            tracer: TracerConfig::default(),
+            jobs: default_jobs(),
+            batch_timeout: None,
+            timed: false,
+        }
     }
 }
 
@@ -115,6 +124,10 @@ pub struct BatchStats {
     /// Backward/meta-phase counters summed over all queries (including
     /// checkpoint-restored ones, whose counters were persisted).
     pub meta: MetaStats,
+    /// Merged per-query observability registries: spans, solver nodes,
+    /// and kernel counters for queries solved *in this run* (resumed
+    /// queries contribute to [`BatchStats::meta`] only).
+    pub obs: ObsRegistry,
 }
 
 impl BatchStats {
@@ -129,28 +142,42 @@ impl BatchStats {
     pub fn forward_runs_saved(&self) -> u64 {
         self.cache.hits
     }
+
+    /// The whole batch as one [`ObsRegistry`] snapshot: the merged
+    /// per-query registry with the batch-level scalars (query/job counts,
+    /// wall time, cache and fault counters) and the authoritative
+    /// [`BatchStats::meta`] counters (which include resumed queries)
+    /// written over the top. [`ObsRegistry::render`] on the result is the
+    /// driver footer.
+    pub fn to_obs(&self) -> ObsRegistry {
+        let mut reg = self.obs.clone();
+        reg.set(Counter::Queries, self.queries as u64);
+        reg.set(Counter::Jobs, self.jobs as u64);
+        reg.set(Counter::WallMicros, self.wall_micros as u64);
+        reg.set(Counter::CacheHits, self.cache.hits);
+        reg.set(Counter::CacheMisses, self.cache.misses);
+        reg.set(Counter::EngineFaults, self.engine_faults as u64);
+        reg.set(Counter::DeadlineExceeded, self.deadline_exceeded as u64);
+        reg.set(Counter::Escalations, self.escalations);
+        reg.set(Counter::Resumed, self.resumed as u64);
+        reg.set(Counter::CubesBuilt, self.meta.cubes_built);
+        reg.set(Counter::SubsumptionChecks, self.meta.subsumption_checks);
+        reg.set(Counter::SubsumptionFastRejects, self.meta.subsumption_fast_rejects);
+        reg.set(Counter::WpHits, self.meta.wp_hits);
+        reg.set(Counter::WpMisses, self.meta.wp_misses);
+        reg.set(Counter::ApproxDrops, self.meta.approx_drops);
+        reg.set(Counter::MetaMicros, self.meta.micros);
+        reg
+    }
 }
 
 impl std::fmt::Display for BatchStats {
     /// Two-line summary: `32 queries, jobs=8: 41.2 q/s, cache 57/89 hits
     /// (64.0%), 57 forward runs saved, faults=0 deadlines=0 escalations=0
-    /// resumed=0` followed by the [`MetaStats`] footer line.
+    /// resumed=0` followed by the [`MetaStats`] footer line — rendered by
+    /// [`ObsRegistry::render`], the shared footer formatter.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{} queries, jobs={}: {:.1} q/s, cache {}, {} forward runs saved, \
-             faults={} deadlines={} escalations={} resumed={}\n{}",
-            self.queries,
-            self.jobs,
-            self.queries_per_sec(),
-            self.cache,
-            self.forward_runs_saved(),
-            self.engine_faults,
-            self.deadline_exceeded,
-            self.escalations,
-            self.resumed,
-            self.meta,
-        )
+        f.write_str(&self.to_obs().render())
     }
 }
 
@@ -395,15 +422,55 @@ where
     C::State: Send + Sync,
     C::Prim: Sync,
 {
-    run_batch(program, callees, client, queries, config, HashMap::new(), None)
+    run_batch(program, callees, client, queries, config, HashMap::new(), None, None)
+}
+
+/// [`solve_queries_batch`] with a structured trace: per-iteration
+/// [`Event`]s are buffered per query and drained to `trace` in query-index
+/// order once the batch completes, followed by one
+/// [`Event::QueryResolved`] per query (including faulted, timed-out, and
+/// checkpoint-resumed ones). Because the events carry no wall-clock or
+/// cache data and the per-query loops are schedule-independent, the
+/// emitted stream is byte-identical across `jobs` values.
+pub fn solve_queries_batch_traced<C>(
+    program: &Program,
+    callees: &(dyn Fn(CallId) -> Vec<MethodId> + Sync),
+    client: &C,
+    queries: &[Query<C::Prim>],
+    config: &BatchConfig,
+    trace: Option<&dyn TraceSink>,
+) -> (Vec<QueryResult<C::Param>>, BatchStats)
+where
+    C: TracerClient + Sync,
+    C::Param: Send,
+    C::State: Send + Sync,
+    C::Prim: Sync,
+{
+    run_batch(program, callees, client, queries, config, HashMap::new(), None, trace)
+}
+
+/// The `query_resolved` event's outcome tag — the same vocabulary as the
+/// checkpoint codec in [`crate::resilience`].
+pub fn outcome_tag<Param>(outcome: &Outcome<Param>) -> &'static str {
+    match outcome {
+        Outcome::Proven { .. } => "proven",
+        Outcome::Impossible => "impossible",
+        Outcome::Unresolved(Unresolved::IterationBudget) => "iteration_budget",
+        Outcome::Unresolved(Unresolved::AnalysisTooBig) => "too_big",
+        Outcome::Unresolved(Unresolved::MetaFailure(_)) => "meta_failure",
+        Outcome::Unresolved(Unresolved::DeadlineExceeded) => "deadline",
+        Outcome::Unresolved(Unresolved::EngineFault(_)) => "engine_fault",
+    }
 }
 
 /// The shared batch runner behind [`solve_queries_batch`] and the
 /// checkpointing driver in [`crate::resilience`]: `skip` holds results
 /// restored from a checkpoint (those queries are not re-run), and `sink`
 /// observes each freshly finished `(index, result)` as soon as it exists
-/// — the streaming hook the checkpoint writer hangs off.
-#[allow(clippy::type_complexity)]
+/// — the streaming hook the checkpoint writer hangs off. `trace` receives
+/// every query's buffered [`Event`]s in query-index order after the batch
+/// completes (see [`solve_queries_batch_traced`]).
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 pub(crate) fn run_batch<'p, C>(
     program: &'p Program,
     callees: &(dyn Fn(CallId) -> Vec<MethodId> + Sync),
@@ -412,6 +479,7 @@ pub(crate) fn run_batch<'p, C>(
     config: &BatchConfig,
     skip: HashMap<usize, QueryResult<C::Param>>,
     sink: Option<&(dyn Fn(usize, &QueryResult<C::Param>) + Sync)>,
+    trace: Option<&dyn TraceSink>,
 ) -> (Vec<QueryResult<C::Param>>, BatchStats)
 where
     C: TracerClient + Sync,
@@ -421,13 +489,15 @@ where
 {
     let start = Instant::now();
     let batch_deadline = Deadline::timeout(config.batch_timeout);
+    let tracing = trace.is_some();
     let resumed = skip.len();
     let pending: Vec<usize> = (0..queries.len()).filter(|i| !skip.contains_key(i)).collect();
     let jobs = config.jobs.max(1).min(pending.len().max(1));
 
-    let mut slots: Vec<Option<QueryResult<C::Param>>> = (0..queries.len()).map(|_| None).collect();
+    let mut slots: Vec<Option<(QueryResult<C::Param>, QueryObs)>> =
+        (0..queries.len()).map(|_| None).collect();
     for (i, r) in skip {
-        slots[i] = Some(r);
+        slots[i] = Some((r, QueryObs::new(i as u64, false, false)));
     }
 
     let cache_stats;
@@ -438,26 +508,29 @@ where
         // `solve_query`, plus the panic-isolation boundary.
         for &i in &pending {
             let started = Instant::now();
+            let mut qobs = QueryObs::new(i as u64, tracing, config.timed);
             let r = catch_unwind(AssertUnwindSafe(|| {
-                solve_query_within(
+                solve_query_observed(
                     program,
                     &|c| callees(c),
                     client,
                     &queries[i],
                     &config.tracer,
                     batch_deadline,
+                    &mut qobs,
                 )
             }))
             .unwrap_or_else(|payload| fault_result(payload, started));
             if let Some(sink) = sink {
                 sink(i, &r);
             }
-            slots[i] = Some(r);
+            slots[i] = Some((r, qobs));
         }
     } else {
         let cache: ForwardCache<'p, C::State> = ForwardCache::new();
         let next = AtomicUsize::new(0);
-        let shared: Vec<Mutex<Option<QueryResult<C::Param>>>> =
+        #[allow(clippy::type_complexity)]
+        let shared: Vec<Mutex<Option<(QueryResult<C::Param>, QueryObs)>>> =
             pending.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..jobs {
@@ -468,8 +541,9 @@ where
                     }
                     let i = pending[k];
                     let started = Instant::now();
+                    let mut qobs = QueryObs::new(i as u64, tracing, config.timed);
                     let r = catch_unwind(AssertUnwindSafe(|| {
-                        solve_query_cached(
+                        solve_query_cached_observed(
                             program,
                             callees,
                             client,
@@ -477,13 +551,14 @@ where
                             &config.tracer,
                             &cache,
                             batch_deadline,
+                            &mut qobs,
                         )
                     }))
                     .unwrap_or_else(|payload| fault_result(payload, started));
                     if let Some(sink) = sink {
                         sink(i, &r);
                     }
-                    *shared[k].lock().expect("result slot poisoned") = Some(r);
+                    *shared[k].lock().expect("result slot poisoned") = Some((r, qobs));
                 });
             }
         });
@@ -495,10 +570,31 @@ where
         cache_stats = cache.stats();
     }
 
-    let results: Vec<QueryResult<C::Param>> = slots
-        .into_iter()
-        .map(|r| r.expect("every query resolved, resumed, or faulted"))
-        .collect();
+    // Drain results, merge the per-query registries, and (if tracing)
+    // emit every buffered event in query-index order — the master is the
+    // only writer, so the stream is schedule-independent.
+    let mut obs = ObsRegistry::default();
+    obs.set_timed(config.timed);
+    let mut results: Vec<QueryResult<C::Param>> = Vec::with_capacity(queries.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        let (r, qobs) = slot.expect("every query resolved, resumed, or faulted");
+        obs.merge(&qobs.reg);
+        if let Some(sink) = trace {
+            for ev in &qobs.events {
+                sink.emit(ev);
+            }
+            sink.emit(&Event::QueryResolved {
+                query: i as u64,
+                outcome: outcome_tag(&r.outcome).to_string(),
+                iterations: r.iterations as u64,
+            });
+        }
+        results.push(r);
+    }
+    if let Some(sink) = trace {
+        sink.flush();
+    }
+
     let stats = BatchStats {
         queries: queries.len(),
         jobs,
@@ -521,6 +617,7 @@ where
             }
             total
         },
+        obs,
     };
     (results, stats)
 }
@@ -542,12 +639,38 @@ pub fn solve_query_cached<'p, C: TracerClient>(
     cache: &ForwardCache<'p, C::State>,
     outer: Deadline,
 ) -> QueryResult<C::Param> {
+    solve_query_cached_observed(
+        program,
+        callees,
+        client,
+        query,
+        config,
+        cache,
+        outer,
+        &mut QueryObs::untraced(),
+    )
+}
+
+/// [`solve_query_cached`] collecting spans, counters, and (if enabled)
+/// buffered trace events into `obs` — the cached counterpart of
+/// [`crate::tracer::solve_query_observed`].
+#[allow(clippy::too_many_arguments)]
+pub fn solve_query_cached_observed<'p, C: TracerClient>(
+    program: &'p Program,
+    callees: &dyn Fn(CallId) -> Vec<MethodId>,
+    client: &C,
+    query: &Query<C::Prim>,
+    config: &TracerConfig,
+    cache: &ForwardCache<'p, C::State>,
+    outer: Deadline,
+    obs: &mut QueryObs,
+) -> QueryResult<C::Param> {
     let start = Instant::now();
+    let entry = obs.reg.clone();
     let deadline = effective_deadline(query, config, outer);
     let mut constraints: Vec<PFormula> = Vec::new();
     let mut iterations = 0;
     let mut escalations = 0;
-    let mut meta = MetaStats::default();
     let mut icache = InternCache::default();
     let outcome = loop {
         if deadline.expired() {
@@ -567,7 +690,8 @@ pub fn solve_query_cached<'p, C: TracerClient>(
             deadline,
             &mut escalations,
             &mut icache,
-            &mut meta,
+            obs,
+            iterations,
         ) {
             StepResult::Proven { param, cost } => {
                 iterations += 1;
@@ -581,6 +705,9 @@ pub fn solve_query_cached<'p, C: TracerClient>(
             }
         }
     };
+    obs.reg.add(Counter::Iterations, iterations as u64);
+    obs.reg.add(Counter::Escalations, escalations as u64);
+    let meta = MetaStats::from_obs(&obs.reg.since(&entry));
     QueryResult { outcome, iterations, micros: start.elapsed().as_micros(), escalations, meta }
 }
 
@@ -597,7 +724,8 @@ fn step_cached<'p, C: TracerClient>(
     deadline: Deadline,
     escalations: &mut u32,
     icache: &mut InternCache<C::Prim>,
-    meta: &mut MetaStats,
+    obs: &mut QueryObs,
+    iter: usize,
 ) -> StepResult<C::Param> {
     let n = client.n_atoms();
     let costs = (0..n).map(|i| client.atom_cost(i)).collect();
@@ -605,16 +733,26 @@ fn step_cached<'p, C: TracerClient>(
     for c in constraints.iter() {
         solver.require(c.clone());
     }
-    let model = match solver.solve_within(deadline) {
+    let model = match solver.solve_within_observed(deadline, &mut obs.reg) {
         Ok(Some(m)) => m,
         Ok(None) => return StepResult::Impossible,
         Err(_) => return StepResult::Unresolved(Unresolved::DeadlineExceeded),
     };
+    let q = obs.query;
+    let iter = iter as u64;
+    obs.emit(Event::IterationStart { query: q, iter });
+    obs.emit(Event::ParamChosen {
+        query: q,
+        iter,
+        cost: model.cost,
+        param: model.assignment.iter().map(|&b| if b { '1' } else { '0' }).collect(),
+    });
     let p = client.param_of_model(&model.assignment);
     let d0 = client.initial_state();
 
     let base_facts = query.limits.max_facts.unwrap_or(config.rhs_limits.max_facts);
     let mut attempt: u32 = 0;
+    let fwd = Span::enter(&obs.reg, SpanKind::Forward);
     let run = loop {
         let max_facts = config.escalation.budget(base_facts, attempt);
         let limits = RhsLimits { max_facts, deadline };
@@ -623,18 +761,23 @@ fn step_cached<'p, C: TracerClient>(
         }) {
             Ok(r) => break r,
             Err(Interrupt::DeadlineExceeded) => {
-                return StepResult::Unresolved(Unresolved::DeadlineExceeded)
+                fwd.exit(&mut obs.reg);
+                return StepResult::Unresolved(Unresolved::DeadlineExceeded);
             }
             Err(Interrupt::TooBig(_)) => {
                 if attempt < config.escalation.retries && !deadline.expired() {
                     attempt += 1;
                     *escalations += 1;
                 } else {
+                    fwd.exit(&mut obs.reg);
                     return StepResult::Unresolved(Unresolved::AnalysisTooBig);
                 }
             }
         }
     };
+    fwd.exit(&mut obs.reg);
+    obs.reg.inc(Counter::ForwardRuns);
+    obs.emit(Event::ForwardDone { query: q, iter, facts: run.n_facts() as u64 });
 
     let failing = |d: &C::State| query.not_q.holds(&p, d);
     let Some(trace) = run.witness(query.point, &failing) else {
@@ -642,15 +785,27 @@ fn step_cached<'p, C: TracerClient>(
     };
     let atoms: Vec<pda_lang::Atom> = trace.iter().map(|s| s.atom).collect();
 
-    let phi = match backward_phase(client, query, config, &p, &d0, &atoms, icache, meta) {
+    let before = obs.reg.clone();
+    let phi = match backward_phase(client, query, config, &p, &d0, &atoms, icache, &mut obs.reg) {
         Ok(phi) => phi,
         Err(e) => return StepResult::Unresolved(Unresolved::MetaFailure(e.to_string())),
     };
+    let delta = obs.reg.since(&before);
+    obs.emit(Event::MetaDone {
+        query: q,
+        iter,
+        cubes: delta.get(Counter::CubesBuilt),
+        wp_hits: delta.get(Counter::WpHits),
+        wp_misses: delta.get(Counter::WpMisses),
+    });
+    obs.emit(Event::Pruned { query: q, iter, cubes: delta.get(Counter::ApproxDrops) });
     debug_assert!(
         phi.eval(&model.assignment),
         "backward analysis failed to eliminate the current abstraction (Theorem 3.1)"
     );
+    let viable = Span::enter(&obs.reg, SpanKind::Viable);
     constraints.push(PFormula::not(phi));
+    viable.exit(&mut obs.reg);
     StepResult::Refined { param: p, cost: model.cost }
 }
 
@@ -857,6 +1012,73 @@ mod tests {
             solve_queries_batch(&program, &callees, &client, &[], &BatchConfig::default());
         assert!(r.is_empty());
         assert_eq!(s.queries, 0);
+    }
+
+    /// Satellite regression for the footer unification: `BatchStats`'s
+    /// `Display` now routes through `ObsRegistry::render`, and every
+    /// field of the frozen two-line footer — including the `meta:` line —
+    /// must survive the migration byte for byte.
+    #[test]
+    fn display_footer_fields_survive_obs_migration() {
+        let stats = BatchStats {
+            queries: 32,
+            jobs: 8,
+            cache: CacheStats { hits: 57, misses: 32 },
+            wall_micros: 2_000_000,
+            engine_faults: 1,
+            deadline_exceeded: 2,
+            escalations: 3,
+            resumed: 4,
+            meta: MetaStats {
+                cubes_built: 12,
+                subsumption_checks: 20,
+                subsumption_fast_rejects: 5,
+                wp_hits: 8,
+                wp_misses: 2,
+                approx_drops: 3,
+                micros: 42,
+            },
+            obs: ObsRegistry::default(),
+        };
+        assert_eq!(
+            stats.to_string(),
+            "32 queries, jobs=8: 16.0 q/s, cache 57/89 hits (64.0%), 57 forward runs saved, \
+             faults=1 deadlines=2 escalations=3 resumed=4\n\
+             meta: 12 cubes, wp 8/10 memo hits, subsumption 5/20 fast-rejected, 3 drops, 42µs"
+        );
+        // The meta: line is the MetaStats Display, verbatim.
+        assert!(stats.to_string().ends_with(&stats.meta.to_string()));
+    }
+
+    #[test]
+    fn traced_batch_events_are_job_count_invariant() {
+        let (program, pa) = fixture();
+        let client = NullClient::new(&program);
+        let qs = queries(&program, &client);
+        let callees = |c: CallId| pa.callees(c).to_vec();
+        let mut streams = Vec::new();
+        for jobs in [1, 4] {
+            let rec = pda_util::Recorder::default();
+            let config = BatchConfig { jobs, ..BatchConfig::default() };
+            let (results, _) =
+                solve_queries_batch_traced(&program, &callees, &client, &qs, &config, Some(&rec));
+            let events = rec.take();
+            let starts = events
+                .iter()
+                .filter(|e| matches!(e, Event::IterationStart { .. }))
+                .count();
+            assert_eq!(starts, results.iter().map(|r| r.iterations).sum::<usize>());
+            let resolved: Vec<_> = events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::QueryResolved { query, .. } => Some(*query),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(resolved, vec![0, 1, 2], "one query_resolved per query, in order");
+            streams.push(events);
+        }
+        assert_eq!(streams[0], streams[1], "trace must not depend on the job count");
     }
 
     #[test]

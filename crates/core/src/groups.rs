@@ -24,6 +24,9 @@ pub struct GroupStats {
     pub backward_runs: usize,
     /// Maximum number of live groups observed.
     pub peak_groups: usize,
+    /// Meta-kernel effort counters summed over the whole run (unlike the
+    /// per-lineage [`QueryResult::meta`], nothing is double-counted).
+    pub meta: MetaStats,
 }
 
 struct Group<P> {
@@ -147,7 +150,7 @@ pub fn solve_queries<C: TracerClient>(
         // Judge each member; failing members learn their own constraint.
         let mut buckets: HashMap<String, (PFormula, Vec<usize>)> = HashMap::new();
         let mut member_outcomes: Vec<(usize, Option<Outcome<C::Param>>)> = Vec::new();
-        let mut meta = MetaStats::default();
+        let mut obs = pda_util::ObsRegistry::default();
         for &q in &group.members {
             let query = &queries[q];
             let failing = |d: &C::State| query.not_q.holds(&p, d);
@@ -161,7 +164,7 @@ pub fn solve_queries<C: TracerClient>(
                 Some(trace) => {
                     let atoms: Vec<pda_lang::Atom> = trace.iter().map(|s| s.atom).collect();
                     stats.backward_runs += 1;
-                    match backward_phase(client, query, config, &p, &d0, &atoms, &mut icache, &mut meta)
+                    match backward_phase(client, query, config, &p, &d0, &atoms, &mut icache, &mut obs)
                     {
                         Ok(phi) => {
                             let constraint = PFormula::not(phi);
@@ -185,7 +188,9 @@ pub fn solve_queries<C: TracerClient>(
         }
 
         group.micros += started.elapsed().as_micros();
-        group.meta.merge(&meta);
+        let delta = MetaStats::from_obs(&obs);
+        group.meta.merge(&delta);
+        stats.meta.merge(&delta);
         for (q, outcome) in member_outcomes {
             if let Some(o) = outcome {
                 resolve(&mut results, q, o, &group, 0);

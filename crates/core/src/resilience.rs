@@ -33,7 +33,8 @@ use crate::client::{Query, TracerClient};
 use crate::tracer::{Outcome, QueryResult, Unresolved};
 use pda_lang::{CallId, MethodId, Program};
 use pda_meta::MetaStats;
-use pda_util::BitSet;
+use pda_util::json::{json_escape, parse_json_line};
+use pda_util::{BitSet, TraceSink};
 use std::collections::HashMap;
 use std::fmt;
 use std::fs::File;
@@ -109,98 +110,6 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
-// ---- minimal JSON line encoding (flat objects, string/number values) ----
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Parses one flat JSON object (string or unsigned-number values) into a
-/// field map; numbers are kept as their raw digits.
-fn parse_json_line(line: &str) -> Option<HashMap<String, String>> {
-    let inner = line.trim().strip_prefix('{')?.strip_suffix('}')?;
-    let mut fields = HashMap::new();
-    let mut chars = inner.chars().peekable();
-    let skip_ws = |chars: &mut std::iter::Peekable<std::str::Chars<'_>>| {
-        while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
-            chars.next();
-        }
-    };
-    let string = |chars: &mut std::iter::Peekable<std::str::Chars<'_>>| -> Option<String> {
-        let mut out = String::new();
-        loop {
-            match chars.next()? {
-                '"' => return Some(out),
-                '\\' => match chars.next()? {
-                    '"' => out.push('"'),
-                    '\\' => out.push('\\'),
-                    '/' => out.push('/'),
-                    'n' => out.push('\n'),
-                    'r' => out.push('\r'),
-                    't' => out.push('\t'),
-                    'u' => {
-                        let hex: String = (0..4).map(|_| chars.next()).collect::<Option<_>>()?;
-                        let code = u32::from_str_radix(&hex, 16).ok()?;
-                        out.push(char::from_u32(code)?);
-                    }
-                    _ => return None,
-                },
-                c => out.push(c),
-            }
-        }
-    };
-    loop {
-        skip_ws(&mut chars);
-        match chars.next() {
-            None => break,
-            Some('"') => {}
-            Some(_) => return None,
-        }
-        let key = string(&mut chars)?;
-        skip_ws(&mut chars);
-        if chars.next() != Some(':') {
-            return None;
-        }
-        skip_ws(&mut chars);
-        let value = match chars.peek() {
-            Some('"') => {
-                chars.next();
-                string(&mut chars)?
-            }
-            Some(_) => {
-                let mut num = String::new();
-                while chars.peek().is_some_and(|&c| c != ',' && !c.is_ascii_whitespace()) {
-                    num.push(chars.next().unwrap());
-                }
-                if num.is_empty() || !num.chars().all(|c| c.is_ascii_digit()) {
-                    return None;
-                }
-                num
-            }
-            None => return None,
-        };
-        fields.insert(key, value);
-        skip_ws(&mut chars);
-        match chars.next() {
-            None => break,
-            Some(',') => {}
-            Some(_) => return None,
-        }
-    }
-    Some(fields)
-}
 
 const KIND: &str = "pda-batch-checkpoint";
 const VERSION: &str = "1";
@@ -413,6 +322,31 @@ where
     C::State: Send + Sync,
     C::Prim: Sync,
 {
+    solve_queries_batch_checkpointed_traced(program, callees, client, queries, config, path, None)
+}
+
+/// [`solve_queries_batch_checkpointed`] with a structured trace (see
+/// [`crate::batch::solve_queries_batch_traced`]). Checkpoint-resumed
+/// queries contribute only their `query_resolved` event.
+///
+/// # Errors
+///
+/// Exactly those of [`solve_queries_batch_checkpointed`].
+pub fn solve_queries_batch_checkpointed_traced<C>(
+    program: &Program,
+    callees: &(dyn Fn(CallId) -> Vec<MethodId> + Sync),
+    client: &C,
+    queries: &[Query<C::Prim>],
+    config: &BatchConfig,
+    path: &Path,
+    trace: Option<&dyn TraceSink>,
+) -> Result<BatchOutput<C::Param>, CheckpointError>
+where
+    C: TracerClient + Sync,
+    C::Param: Send + ParamCodec,
+    C::State: Send + Sync,
+    C::Prim: Sync,
+{
     let (skip, writer) = if path.exists() {
         let skip = load_checkpoint::<C::Param>(path, queries.len())?;
         // Rewrite the file compactly: drops any torn final line (which
@@ -436,7 +370,8 @@ where
             write_err.lock().expect("error slot poisoned").get_or_insert(e);
         }
     };
-    let (results, stats) = run_batch(program, callees, client, queries, config, skip, Some(&sink));
+    let (results, stats) =
+        run_batch(program, callees, client, queries, config, skip, Some(&sink), trace);
     if let Some(e) = write_err.into_inner().expect("error slot poisoned") {
         return Err(e);
     }

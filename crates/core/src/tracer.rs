@@ -3,10 +3,65 @@
 use crate::client::{AsMeta, Query, TracerClient};
 use pda_dataflow::{rhs, Interrupt, RhsLimits};
 use pda_lang::{CallId, MethodId, Program};
-use pda_meta::{analyze_trace, analyze_trace_interned, restrict, BeamConfig, InternCache, MetaStats};
+use pda_meta::{
+    analyze_trace_interned, analyze_trace_obs, restrict, BeamConfig, InternCache, MetaStats,
+};
 use pda_solver::{MinCostSolver, PFormula};
-use pda_util::Deadline;
+use pda_util::{Counter, Deadline, Event, ObsRegistry, Span, SpanKind};
 use std::time::{Duration, Instant};
+
+/// Per-query observability context threaded through the CEGAR loop: a
+/// counter/span registry plus an ordered buffer of trace [`Event`]s.
+///
+/// Events are *buffered*, not written — the batch driver drains each
+/// query's buffer to the [`pda_util::TraceSink`] in query-index order, so
+/// the emitted stream is deterministic across worker schedules. With
+/// `trace` off, [`QueryObs::emit`] is a no-op and the buffer stays empty.
+#[derive(Debug, Clone)]
+pub struct QueryObs {
+    /// Counter and span registry for this query.
+    pub reg: ObsRegistry,
+    /// Buffered trace events, in emission order.
+    pub events: Vec<Event>,
+    /// The query's index within its batch (0 for lone queries).
+    pub query: u64,
+    trace: bool,
+}
+
+impl QueryObs {
+    /// A context for query number `query`. `trace` enables event
+    /// buffering; `timed` enables span wall-clock measurement (counters
+    /// are always collected).
+    pub fn new(query: u64, trace: bool, timed: bool) -> QueryObs {
+        let mut reg = ObsRegistry::default();
+        reg.set_timed(timed);
+        QueryObs { reg, events: Vec::new(), query, trace }
+    }
+
+    /// A context that collects counters only (no events, no span timing).
+    pub fn untraced() -> QueryObs {
+        QueryObs::new(0, false, false)
+    }
+
+    /// Whether event buffering is on.
+    pub fn tracing(&self) -> bool {
+        self.trace
+    }
+
+    /// Buffers `ev` if tracing is enabled.
+    pub fn emit(&mut self, ev: Event) {
+        if self.trace {
+            self.events.push(ev);
+        }
+    }
+}
+
+/// Renders a solver model's assignment as a `01` bitstring for the
+/// `param_chosen` trace event (`assignment[i]` is bit `i`, printed left to
+/// right).
+fn bitstring(assignment: &[bool]) -> String {
+    assignment.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
 
 /// Which implementation of the backward meta-analysis the driver runs.
 ///
@@ -184,12 +239,29 @@ pub fn solve_query_within<C: TracerClient>(
     config: &TracerConfig,
     outer: Deadline,
 ) -> QueryResult<C::Param> {
+    solve_query_observed(program, callees, client, query, config, outer, &mut QueryObs::untraced())
+}
+
+/// Like [`solve_query_within`], but collects spans, counters, and (if
+/// enabled on `obs`) buffered trace events into the caller's [`QueryObs`].
+///
+/// The returned [`QueryResult::meta`] reflects only this call's counter
+/// deltas, so an `obs` reused across queries still yields per-query stats.
+pub fn solve_query_observed<C: TracerClient>(
+    program: &Program,
+    callees: &dyn Fn(CallId) -> Vec<MethodId>,
+    client: &C,
+    query: &Query<C::Prim>,
+    config: &TracerConfig,
+    outer: Deadline,
+    obs: &mut QueryObs,
+) -> QueryResult<C::Param> {
     let start = Instant::now();
+    let entry = obs.reg.clone();
     let deadline = effective_deadline(query, config, outer);
     let mut constraints: Vec<PFormula> = Vec::new();
     let mut iterations = 0;
     let mut escalations = 0;
-    let mut meta = MetaStats::default();
     let mut icache = InternCache::default();
     let outcome = loop {
         if deadline.expired() {
@@ -208,7 +280,8 @@ pub fn solve_query_within<C: TracerClient>(
             deadline,
             &mut escalations,
             &mut icache,
-            &mut meta,
+            obs,
+            iterations,
         ) {
             StepResult::Proven { param, cost } => {
                 iterations += 1;
@@ -222,6 +295,9 @@ pub fn solve_query_within<C: TracerClient>(
             }
         }
     };
+    obs.reg.add(Counter::Iterations, iterations as u64);
+    obs.reg.add(Counter::Escalations, escalations as u64);
+    let meta = MetaStats::from_obs(&obs.reg.since(&entry));
     QueryResult { outcome, iterations, micros: start.elapsed().as_micros(), escalations, meta }
 }
 
@@ -255,7 +331,7 @@ pub fn solve_query_logged<C: TracerClient>(
     let mut log = Vec::new();
     let mut iterations = 0;
     let mut escalations = 0;
-    let mut meta = MetaStats::default();
+    let mut obs = QueryObs::untraced();
     let mut icache = InternCache::default();
     let outcome = loop {
         if deadline.expired() {
@@ -264,7 +340,7 @@ pub fn solve_query_logged<C: TracerClient>(
         if iterations >= config.max_iters {
             break Outcome::Unresolved(Unresolved::IterationBudget);
         }
-        let before = meta;
+        let before = obs.reg.clone();
         match step(
             program,
             callees,
@@ -275,7 +351,8 @@ pub fn solve_query_logged<C: TracerClient>(
             deadline,
             &mut escalations,
             &mut icache,
-            &mut meta,
+            &mut obs,
+            iterations,
         ) {
             StepResult::Proven { param, cost } => {
                 iterations += 1;
@@ -283,7 +360,7 @@ pub fn solve_query_logged<C: TracerClient>(
                     param: param.clone(),
                     cost,
                     learned: None,
-                    meta: meta.since(&before),
+                    meta: MetaStats::from_obs(&obs.reg.since(&before)),
                 });
                 break Outcome::Proven { param, cost };
             }
@@ -294,7 +371,7 @@ pub fn solve_query_logged<C: TracerClient>(
                     param,
                     cost,
                     learned: constraints.last().cloned(),
-                    meta: meta.since(&before),
+                    meta: MetaStats::from_obs(&obs.reg.since(&before)),
                 });
             }
             StepResult::Unresolved(u) => {
@@ -304,7 +381,13 @@ pub fn solve_query_logged<C: TracerClient>(
         }
     };
     (
-        QueryResult { outcome, iterations, micros: start.elapsed().as_micros(), escalations, meta },
+        QueryResult {
+            outcome,
+            iterations,
+            micros: start.elapsed().as_micros(),
+            escalations,
+            meta: MetaStats::from_obs(&obs.reg),
+        },
         log,
     )
 }
@@ -319,7 +402,8 @@ pub(crate) enum StepResult<Param> {
 /// The backward phase of one CEGAR iteration: meta-analyze the
 /// counterexample trace under the configured kernel and restrict to a
 /// parameter formula. Shared by the sequential and cached drivers; the
-/// elapsed time and kernel counters accumulate into `meta`, and the
+/// elapsed time and kernel counters accumulate into `obs`
+/// ([`Counter::MetaMicros`] plus the kernel effort counters), and the
 /// interned kernel's closure/memo state persists in `icache` across
 /// iterations (the tree kernel ignores it).
 #[allow(clippy::too_many_arguments)]
@@ -331,7 +415,7 @@ pub(crate) fn backward_phase<C: TracerClient>(
     d0: &C::State,
     atoms: &[pda_lang::Atom],
     icache: &mut InternCache<C::Prim>,
-    meta: &mut MetaStats,
+    obs: &mut ObsRegistry,
 ) -> Result<PFormula, pda_meta::MetaError> {
     let t0 = Instant::now();
     let phi = match config.kernel {
@@ -343,18 +427,30 @@ pub(crate) fn backward_phase<C: TracerClient>(
             &query.not_q,
             &config.beam,
             icache,
-            meta,
+            obs,
         )
         .map(|out| out.restrict()),
-        MetaKernel::Tree => analyze_trace(&AsMeta(client), p, d0, atoms, &query.not_q, &config.beam)
-            .map(|dnf| restrict(&dnf, d0)),
+        MetaKernel::Tree => {
+            analyze_trace_obs(&AsMeta(client), p, d0, atoms, &query.not_q, &config.beam, obs)
+                .map(|dnf| restrict(&dnf, d0))
+        }
     };
-    meta.micros += t0.elapsed().as_micros() as u64;
+    // The backward phase is always timed (the perf acceptance criterion
+    // compares kernels on it), so the span reuses the same measurement
+    // instead of taking a second clock reading.
+    let us = t0.elapsed().as_micros() as u64;
+    obs.add(Counter::MetaMicros, us);
+    obs.record_span_micros(SpanKind::Backward, us);
     phi
 }
 
 /// One CEGAR iteration: pick minimum viable `p`, run forward, either prove
 /// or learn a new unviability constraint (pushed onto `constraints`).
+///
+/// `iter` is the zero-based iteration index, used only to tag trace
+/// events; `obs` collects spans, counters, and buffered events. The
+/// `iteration_start` event is emitted only once the solver has produced a
+/// model, so its stream count equals the driver's iteration counter.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn step<C: TracerClient>(
     program: &Program,
@@ -366,7 +462,8 @@ pub(crate) fn step<C: TracerClient>(
     deadline: Deadline,
     escalations: &mut u32,
     icache: &mut InternCache<C::Prim>,
-    meta: &mut MetaStats,
+    obs: &mut QueryObs,
+    iter: usize,
 ) -> StepResult<C::Param> {
     let n = client.n_atoms();
     let costs = (0..n).map(|i| client.atom_cost(i)).collect();
@@ -374,11 +471,20 @@ pub(crate) fn step<C: TracerClient>(
     for c in constraints.iter() {
         solver.require(c.clone());
     }
-    let model = match solver.solve_within(deadline) {
+    let model = match solver.solve_within_observed(deadline, &mut obs.reg) {
         Ok(Some(m)) => m,
         Ok(None) => return StepResult::Impossible,
         Err(_) => return StepResult::Unresolved(Unresolved::DeadlineExceeded),
     };
+    let q = obs.query;
+    let iter = iter as u64;
+    obs.emit(Event::IterationStart { query: q, iter });
+    obs.emit(Event::ParamChosen {
+        query: q,
+        iter,
+        cost: model.cost,
+        param: bitstring(&model.assignment),
+    });
     let p = client.param_of_model(&model.assignment);
     let d0 = client.initial_state();
 
@@ -387,6 +493,7 @@ pub(crate) fn step<C: TracerClient>(
     // remain and the deadline is alive.
     let base_facts = query.limits.max_facts.unwrap_or(config.rhs_limits.max_facts);
     let mut attempt: u32 = 0;
+    let fwd = Span::enter(&obs.reg, SpanKind::Forward);
     let run = loop {
         let limits = RhsLimits {
             max_facts: config.escalation.budget(base_facts, attempt),
@@ -402,18 +509,23 @@ pub(crate) fn step<C: TracerClient>(
         ) {
             Ok(r) => break r,
             Err(Interrupt::DeadlineExceeded) => {
-                return StepResult::Unresolved(Unresolved::DeadlineExceeded)
+                fwd.exit(&mut obs.reg);
+                return StepResult::Unresolved(Unresolved::DeadlineExceeded);
             }
             Err(Interrupt::TooBig(_)) => {
                 if attempt < config.escalation.retries && !deadline.expired() {
                     attempt += 1;
                     *escalations += 1;
                 } else {
+                    fwd.exit(&mut obs.reg);
                     return StepResult::Unresolved(Unresolved::AnalysisTooBig);
                 }
             }
         }
     };
+    fwd.exit(&mut obs.reg);
+    obs.reg.inc(Counter::ForwardRuns);
+    obs.emit(Event::ForwardDone { query: q, iter, facts: run.n_facts() as u64 });
 
     let failing = |d: &C::State| query.not_q.holds(&p, d);
     let Some(trace) = run.witness(query.point, &failing) else {
@@ -421,15 +533,27 @@ pub(crate) fn step<C: TracerClient>(
     };
     let atoms: Vec<pda_lang::Atom> = trace.iter().map(|s| s.atom).collect();
 
-    let phi = match backward_phase(client, query, config, &p, &d0, &atoms, icache, meta) {
+    let before = obs.reg.clone();
+    let phi = match backward_phase(client, query, config, &p, &d0, &atoms, icache, &mut obs.reg) {
         Ok(phi) => phi,
         Err(e) => return StepResult::Unresolved(Unresolved::MetaFailure(e.to_string())),
     };
+    let delta = obs.reg.since(&before);
+    obs.emit(Event::MetaDone {
+        query: q,
+        iter,
+        cubes: delta.get(Counter::CubesBuilt),
+        wp_hits: delta.get(Counter::WpHits),
+        wp_misses: delta.get(Counter::WpMisses),
+    });
+    obs.emit(Event::Pruned { query: q, iter, cubes: delta.get(Counter::ApproxDrops) });
     debug_assert!(
         phi.eval(&model.assignment),
         "backward analysis failed to eliminate the current abstraction (Theorem 3.1)"
     );
+    let viable = Span::enter(&obs.reg, SpanKind::Viable);
     constraints.push(PFormula::not(phi));
+    viable.exit(&mut obs.reg);
     StepResult::Refined { param: p, cost: model.cost }
 }
 

@@ -2,6 +2,7 @@
 //! `toDNF`, `simplify`, and the `drop_k` beam.
 
 use crate::formula::{Cube, Dnf, Formula, Lit, Primitive};
+use pda_util::{Counter, ObsRegistry};
 
 /// Configuration of the under-approximation beam.
 #[derive(Debug, Clone, Copy)]
@@ -46,7 +47,19 @@ pub fn to_dnf<P: Primitive>(
     cfg: &BeamConfig,
     keep: &dyn Fn(&Cube<P>) -> bool,
 ) -> Dnf<P> {
-    let cubes = nnf_dnf(f, true, cfg, keep);
+    to_dnf_obs(f, cfg, keep, &mut ObsRegistry::default())
+}
+
+/// [`to_dnf`] with effort counters: cubes materialized and emergency
+/// drops are recorded into `obs` (the tree kernel's analogue of the
+/// interned kernel's built-in counting).
+pub fn to_dnf_obs<P: Primitive>(
+    f: &Formula<P>,
+    cfg: &BeamConfig,
+    keep: &dyn Fn(&Cube<P>) -> bool,
+    obs: &mut ObsRegistry,
+) -> Dnf<P> {
+    let cubes = nnf_dnf(f, true, cfg, keep, obs);
     Dnf(cubes)
 }
 
@@ -56,6 +69,7 @@ fn nnf_dnf<P: Primitive>(
     sign: bool,
     cfg: &BeamConfig,
     keep: &dyn Fn(&Cube<P>) -> bool,
+    obs: &mut ObsRegistry,
 ) -> Vec<Cube<P>> {
     match (f, sign) {
         (Formula::True, true) | (Formula::False, false) => vec![Cube::top()],
@@ -64,15 +78,16 @@ fn nnf_dnf<P: Primitive>(
             let mut c = Cube::top();
             let ok = c.insert(Lit { prim: p.clone(), pos });
             debug_assert!(ok);
+            obs.inc(Counter::CubesBuilt);
             vec![c]
         }
-        (Formula::Not(inner), s) => nnf_dnf(inner, !s, cfg, keep),
+        (Formula::Not(inner), s) => nnf_dnf(inner, !s, cfg, keep, obs),
         (Formula::And(fs), true) | (Formula::Or(fs), false) => {
             // Conjunction: distribute pairwise.
             let mut acc = vec![Cube::top()];
             for g in fs {
-                let gs = nnf_dnf(g, sign, cfg, keep);
-                acc = product(&acc, &gs, cfg, keep);
+                let gs = nnf_dnf(g, sign, cfg, keep, obs);
+                acc = product(&acc, &gs, cfg, keep, obs);
                 if acc.is_empty() {
                     return acc;
                 }
@@ -82,9 +97,9 @@ fn nnf_dnf<P: Primitive>(
         (Formula::Or(fs), true) | (Formula::And(fs), false) => {
             let mut acc: Vec<Cube<P>> = Vec::new();
             for g in fs {
-                acc.extend(nnf_dnf(g, sign, cfg, keep));
+                acc.extend(nnf_dnf(g, sign, cfg, keep, obs));
                 if acc.len() > cfg.max_cubes {
-                    acc = emergency_prune(acc, cfg, keep);
+                    acc = emergency_prune(acc, cfg, keep, obs);
                 }
             }
             acc
@@ -97,6 +112,7 @@ fn product<P: Primitive>(
     ys: &[Cube<P>],
     cfg: &BeamConfig,
     keep: &dyn Fn(&Cube<P>) -> bool,
+    obs: &mut ObsRegistry,
 ) -> Vec<Cube<P>> {
     let mut out =
         Vec::with_capacity(xs.len().saturating_mul(ys.len()).min(cfg.max_cubes.saturating_add(1)));
@@ -104,13 +120,14 @@ fn product<P: Primitive>(
         for y in ys {
             if let Some(c) = x.conjoin(y) {
                 out.push(c);
+                obs.inc(Counter::CubesBuilt);
             }
         }
         // Prune once per outer cube, not per push: pruning inside the
         // inner loop re-sorted the whole accumulator on every overflow,
         // going quadratic in `max_cubes` on Figure 6(a)-style blowup.
         if out.len() > cfg.max_cubes {
-            out = emergency_prune(out, cfg, keep);
+            out = emergency_prune(out, cfg, keep, obs);
         }
     }
     out
@@ -122,6 +139,7 @@ fn emergency_prune<P: Primitive>(
     mut cubes: Vec<Cube<P>>,
     cfg: &BeamConfig,
     keep: &dyn Fn(&Cube<P>) -> bool,
+    obs: &mut ObsRegistry,
 ) -> Vec<Cube<P>> {
     // One length-lexicographic sort serves both dedup (equal cubes have
     // equal length, hence stay adjacent) and the size-ordered cut below.
@@ -139,6 +157,7 @@ fn emergency_prune<P: Primitive>(
             out.push(c.clone());
         }
     }
+    obs.add(Counter::ApproxDrops, (cubes.len() - out.len()) as u64);
     out
 }
 
@@ -146,12 +165,24 @@ fn emergency_prune<P: Primitive>(
 /// disjunct that implies an earlier (hence no-larger) one — semantics
 /// preserving, since the implied disjunct covers it.
 pub fn simplify<P: Primitive>(dnf: Dnf<P>) -> Dnf<P> {
+    simplify_obs(dnf, &mut ObsRegistry::default())
+}
+
+/// [`simplify`] with effort counters: every subsumption (`implies`)
+/// check is recorded into `obs`.
+pub fn simplify_obs<P: Primitive>(dnf: Dnf<P>, obs: &mut ObsRegistry) -> Dnf<P> {
     let mut cubes = dnf.0;
     cubes.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
     cubes.dedup();
     let mut kept: Vec<Cube<P>> = Vec::new();
     for c in cubes {
-        if !kept.iter().any(|k| c.implies(k)) {
+        let mut checks = 0u64;
+        let subsumed = kept.iter().any(|k| {
+            checks += 1;
+            c.implies(k)
+        });
+        obs.add(Counter::SubsumptionChecks, checks);
+        if !subsumed {
             kept.push(c);
         }
     }
@@ -172,7 +203,19 @@ pub fn approx<P: Primitive>(
     dnf: Dnf<P>,
     cfg: &BeamConfig,
 ) -> Option<Dnf<P>> {
-    let simplified = simplify(dnf);
+    approx_obs(p, d, dnf, cfg, &mut ObsRegistry::default())
+}
+
+/// [`approx`] with effort counters: subsumption checks (via
+/// `simplify`) and `drop_k` drops are recorded into `obs`.
+pub fn approx_obs<P: Primitive>(
+    p: &P::Param,
+    d: &P::State,
+    dnf: Dnf<P>,
+    cfg: &BeamConfig,
+    obs: &mut ObsRegistry,
+) -> Option<Dnf<P>> {
+    let simplified = simplify_obs(dnf, obs);
     if !simplified.holds(p, d) {
         return None;
     }
@@ -186,6 +229,7 @@ pub fn approx<P: Primitive>(
         let j = cubes.iter().find(|c| c.holds(p, d))?;
         out.push(j.clone());
     }
+    obs.add(Counter::ApproxDrops, (cubes.len() - out.len()) as u64);
     Some(Dnf(out))
 }
 

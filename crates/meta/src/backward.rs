@@ -1,10 +1,11 @@
 //! The backward driver `B[t]` (Figure 7) and the restriction of its result
 //! to a parameter formula.
 
-use crate::approx::{approx, to_dnf, BeamConfig};
+use crate::approx::{approx_obs, to_dnf_obs, BeamConfig};
 use crate::formula::{Cube, Dnf, Formula, Primitive};
 use pda_lang::Atom;
 use pda_solver::PFormula;
+use pda_util::{ObsRegistry, Span, SpanKind};
 use std::fmt;
 
 /// Convenience alias: the parameter type of a [`MetaClient`].
@@ -76,6 +77,7 @@ fn wp_dnf<C: MetaClient>(
     dnf: &Dnf<C::Prim>,
     cfg: &BeamConfig,
     keep: &dyn Fn(&Cube<C::Prim>) -> bool,
+    obs: &mut ObsRegistry,
 ) -> Dnf<C::Prim> {
     let mut out: Vec<Cube<C::Prim>> = Vec::new();
     for cube in &dnf.0 {
@@ -91,7 +93,7 @@ fn wp_dnf<C: MetaClient>(
             })
             .collect();
         let f = Formula::and(parts);
-        out.extend(to_dnf(&f, cfg, keep).0);
+        out.extend(to_dnf_obs(&f, cfg, keep, obs).0);
     }
     Dnf(out)
 }
@@ -120,6 +122,28 @@ pub fn analyze_trace<C: MetaClient>(
 where
     StateOf<C>: Clone,
 {
+    analyze_trace_obs(client, p, d_init, trace, not_q, cfg, &mut ObsRegistry::default())
+}
+
+/// [`analyze_trace`] with observability: kernel effort counters (cubes,
+/// subsumption checks, drops) and the `approx` span are recorded into
+/// `obs`. The result is identical to [`analyze_trace`]'s.
+///
+/// # Errors
+///
+/// Same contract as [`analyze_trace`].
+pub fn analyze_trace_obs<C: MetaClient>(
+    client: &C,
+    p: &ParamOf<C>,
+    d_init: &StateOf<C>,
+    trace: &[Atom],
+    not_q: &Formula<C::Prim>,
+    cfg: &BeamConfig,
+    obs: &mut ObsRegistry,
+) -> Result<Dnf<C::Prim>, MetaError>
+where
+    StateOf<C>: Clone,
+{
     // Replay forward: states[i] arrives before trace[i]; states[n] is final.
     let mut states: Vec<StateOf<C>> = Vec::with_capacity(trace.len() + 1);
     states.push(d_init.clone());
@@ -129,12 +153,18 @@ where
     }
     let n = trace.len();
     let keep_n = |c: &Cube<C::Prim>| c.holds(p, &states[n]);
-    let mut f = to_dnf(not_q, cfg, &keep_n);
-    f = approx(p, &states[n], f, cfg).ok_or(MetaError::MembershipLost { step: n })?;
+    let mut f = to_dnf_obs(not_q, cfg, &keep_n, obs);
+    let span = Span::enter(obs, SpanKind::Approx);
+    let approxed = approx_obs(p, &states[n], f, cfg, obs);
+    span.exit(obs);
+    f = approxed.ok_or(MetaError::MembershipLost { step: n })?;
     for i in (0..n).rev() {
         let keep_i = |c: &Cube<C::Prim>| c.holds(p, &states[i]);
-        f = wp_dnf(client, &trace[i], &f, cfg, &keep_i);
-        f = approx(p, &states[i], f, cfg).ok_or(MetaError::MembershipLost { step: i })?;
+        f = wp_dnf(client, &trace[i], &f, cfg, &keep_i, obs);
+        let span = Span::enter(obs, SpanKind::Approx);
+        let approxed = approx_obs(p, &states[i], f, cfg, obs);
+        span.exit(obs);
+        f = approxed.ok_or(MetaError::MembershipLost { step: i })?;
     }
     Ok(f)
 }
@@ -205,6 +235,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::approx::to_dnf;
 
     /// Toy client over bit-vector states/params.
     ///

@@ -48,8 +48,8 @@
 use crate::approx::BeamConfig;
 use crate::backward::{MetaClient, MetaError, ParamOf, StateOf};
 use crate::formula::{Cube, Dnf, Formula, Lit, Primitive};
-use crate::stats::MetaStats;
 use pda_lang::Atom;
+use pda_util::{Counter, ObsRegistry, Span, SpanKind};
 use pda_solver::PFormula;
 use std::collections::{BTreeSet, HashMap};
 
@@ -212,11 +212,11 @@ impl ICube {
     /// `implies` matrix (contradictions allowed) a literal is implied
     /// only by itself or — when negative — by a contradicting positive
     /// literal, so membership is one binary search.
-    fn implies<P: Primitive>(&self, other: &ICube, t: &PrimTable<P>, stats: &mut MetaStats) -> bool {
-        stats.subsumption_checks += 1;
+    fn implies<P: Primitive>(&self, other: &ICube, t: &PrimTable<P>, obs: &mut ObsRegistry) -> bool {
+        obs.inc(Counter::SubsumptionChecks);
         if t.trivial {
             if other.sig & !self.sig != 0 {
-                stats.subsumption_fast_rejects += 1;
+                obs.inc(Counter::SubsumptionFastRejects);
                 return false;
             }
             return is_subset(&other.lits, &self.lits);
@@ -324,14 +324,14 @@ impl<P: Primitive> WpMemo<P> {
         lit: PLit,
         cfg: &BeamConfig,
         step: usize,
-        stats: &mut MetaStats,
+        obs: &mut ObsRegistry,
     ) -> usize {
         let key = self.key(aid, lit);
         if self.entries[key].is_some() {
-            stats.wp_hits += 1;
+            obs.inc(Counter::WpHits);
             return key;
         }
-        stats.wp_misses += 1;
+        obs.inc(Counter::WpMisses);
         let prim = &k.table.prims[lit_id(lit)];
         let w = k
             .wp_raw
@@ -344,7 +344,7 @@ impl<P: Primitive> WpMemo<P> {
             WpEntry::ConstFalse
         } else {
             let mut pruned = false;
-            let cubes = nnf_dnf_i(&v, true, cfg, k, step, stats, &mut pruned);
+            let cubes = nnf_dnf_i(&v, true, cfg, k, step, obs, &mut pruned);
             if pruned {
                 WpEntry::Unstable(v)
             } else {
@@ -560,7 +560,7 @@ fn emergency_prune_i<P: Primitive>(
     cfg: &BeamConfig,
     k: &Kernel<'_, P>,
     step: usize,
-    stats: &mut MetaStats,
+    obs: &mut ObsRegistry,
     pruned: &mut bool,
 ) -> Vec<ICube> {
     cubes.sort_by(|a, b| a.lits.len().cmp(&b.lits.len()).then_with(|| a.lits.cmp(&b.lits)));
@@ -576,7 +576,7 @@ fn emergency_prune_i<P: Primitive>(
             out.push(c.clone());
         }
     }
-    stats.approx_drops += (cubes.len() - out.len()) as u64;
+    obs.add(Counter::ApproxDrops, (cubes.len() - out.len()) as u64);
     out
 }
 
@@ -587,7 +587,7 @@ fn product_i<P: Primitive>(
     cfg: &BeamConfig,
     k: &Kernel<'_, P>,
     step: usize,
-    stats: &mut MetaStats,
+    obs: &mut ObsRegistry,
     pruned: &mut bool,
 ) -> Vec<ICube> {
     let mut out =
@@ -595,12 +595,12 @@ fn product_i<P: Primitive>(
     for x in xs {
         for y in ys {
             if let Some(c) = x.conjoin(y, k.table) {
-                stats.cubes_built += 1;
+                obs.inc(Counter::CubesBuilt);
                 out.push(c);
             }
         }
         if out.len() > cfg.max_cubes {
-            out = emergency_prune_i(out, cfg, k, step, stats, pruned);
+            out = emergency_prune_i(out, cfg, k, step, obs, pruned);
         }
     }
     out
@@ -614,7 +614,7 @@ fn nnf_dnf_i<P: Primitive>(
     cfg: &BeamConfig,
     k: &Kernel<'_, P>,
     step: usize,
-    stats: &mut MetaStats,
+    obs: &mut ObsRegistry,
     pruned: &mut bool,
 ) -> Vec<ICube> {
     match (f, sign) {
@@ -625,15 +625,15 @@ fn nnf_dnf_i<P: Primitive>(
             let mut c = ICube::top();
             let ok = c.insert(plit(id, pos), k.table);
             debug_assert!(ok);
-            stats.cubes_built += 1;
+            obs.inc(Counter::CubesBuilt);
             vec![c]
         }
-        (Formula::Not(inner), s) => nnf_dnf_i(inner, !s, cfg, k, step, stats, pruned),
+        (Formula::Not(inner), s) => nnf_dnf_i(inner, !s, cfg, k, step, obs, pruned),
         (Formula::And(fs), true) | (Formula::Or(fs), false) => {
             let mut acc = vec![ICube::top()];
             for g in fs {
-                let gs = nnf_dnf_i(g, sign, cfg, k, step, stats, pruned);
-                acc = product_i(&acc, &gs, cfg, k, step, stats, pruned);
+                let gs = nnf_dnf_i(g, sign, cfg, k, step, obs, pruned);
+                acc = product_i(&acc, &gs, cfg, k, step, obs, pruned);
                 if acc.is_empty() {
                     return acc;
                 }
@@ -643,9 +643,9 @@ fn nnf_dnf_i<P: Primitive>(
         (Formula::Or(fs), true) | (Formula::And(fs), false) => {
             let mut acc: Vec<ICube> = Vec::new();
             for g in fs {
-                acc.extend(nnf_dnf_i(g, sign, cfg, k, step, stats, pruned));
+                acc.extend(nnf_dnf_i(g, sign, cfg, k, step, obs, pruned));
                 if acc.len() > cfg.max_cubes {
-                    acc = emergency_prune_i(acc, cfg, k, step, stats, pruned);
+                    acc = emergency_prune_i(acc, cfg, k, step, obs, pruned);
                 }
             }
             acc
@@ -657,13 +657,13 @@ fn nnf_dnf_i<P: Primitive>(
 fn simplify_i<P: Primitive>(
     mut cubes: Vec<ICube>,
     k: &Kernel<'_, P>,
-    stats: &mut MetaStats,
+    obs: &mut ObsRegistry,
 ) -> Vec<ICube> {
     cubes.sort_by(|a, b| a.lits.len().cmp(&b.lits.len()).then_with(|| a.lits.cmp(&b.lits)));
     cubes.dedup();
     let mut kept: Vec<ICube> = Vec::new();
     for c in cubes {
-        if !kept.iter().any(|kc| c.implies(kc, k.table, stats)) {
+        if !kept.iter().any(|kc| c.implies(kc, k.table, obs)) {
             kept.push(c);
         }
     }
@@ -676,9 +676,9 @@ fn approx_i<P: Primitive>(
     cfg: &BeamConfig,
     k: &Kernel<'_, P>,
     step: usize,
-    stats: &mut MetaStats,
+    obs: &mut ObsRegistry,
 ) -> Option<Vec<ICube>> {
-    let s = simplify_i(cubes, k, stats);
+    let s = simplify_i(cubes, k, obs);
     if !s.iter().any(|c| k.holds_at(c, step)) {
         return None;
     }
@@ -691,7 +691,7 @@ fn approx_i<P: Primitive>(
         let j = s.iter().find(|c| k.holds_at(c, step))?;
         out.push(j.clone());
     }
-    stats.approx_drops += (s.len() - out.len()) as u64;
+    obs.add(Counter::ApproxDrops, (s.len() - out.len()) as u64);
     Some(out)
 }
 
@@ -706,7 +706,7 @@ fn wp_dnf_i<P: Primitive>(
     dnf: &[ICube],
     cfg: &BeamConfig,
     step: usize,
-    stats: &mut MetaStats,
+    obs: &mut ObsRegistry,
 ) -> Vec<ICube> {
     let mut out: Vec<ICube> = Vec::new();
     let mut part_keys: Vec<usize> = Vec::new();
@@ -715,7 +715,7 @@ fn wp_dnf_i<P: Primitive>(
         // Mirror of `Formula::and(parts)`: drop True parts, annihilate on
         // any False part.
         for &l in &cube.lits {
-            let key = memo.ensure(k, aid, l, cfg, step, stats);
+            let key = memo.ensure(k, aid, l, cfg, step, obs);
             match memo.entries[key].as_ref().unwrap() {
                 WpEntry::ConstTrue => {}
                 WpEntry::ConstFalse => continue 'cube,
@@ -732,7 +732,7 @@ fn wp_dnf_i<P: Primitive>(
                 WpEntry::Unstable(v) => {
                     let v = v.clone();
                     let mut pruned = false;
-                    out.extend(nnf_dnf_i(&v, true, cfg, k, step, stats, &mut pruned));
+                    out.extend(nnf_dnf_i(&v, true, cfg, k, step, obs, &mut pruned));
                 }
                 _ => unreachable!(),
             },
@@ -749,13 +749,13 @@ fn wp_dnf_i<P: Primitive>(
                         WpEntry::Unstable(v) => {
                             let v = v.clone();
                             let mut pruned = false;
-                            converted = nnf_dnf_i(&v, true, cfg, k, step, stats, &mut pruned);
+                            converted = nnf_dnf_i(&v, true, cfg, k, step, obs, &mut pruned);
                             &converted
                         }
                         _ => unreachable!(),
                     };
                     let mut pruned = false;
-                    acc = product_i(&acc, gs, cfg, k, step, stats, &mut pruned);
+                    acc = product_i(&acc, gs, cfg, k, step, obs, &mut pruned);
                     if acc.is_empty() {
                         break;
                     }
@@ -824,8 +824,8 @@ impl<P: Primitive> TraceAnalysis<P> {
 /// same `B[t]` walk, same failure modes, bit-identical output (exported
 /// via [`TraceAnalysis::to_dnf`] / [`TraceAnalysis::restrict`]), with the
 /// hot path running on packed cubes and the solve-wide [`InternCache`].
-/// `stats` accumulates the kernel's effort counters (the caller owns
-/// `micros`).
+/// `obs` accumulates the kernel's effort counters (the caller owns
+/// `MetaMicros`).
 ///
 /// The caller keeps one `cache` per solve (or any scope with a fixed
 /// client) and passes it to every call; a fresh cache per call is merely
@@ -844,7 +844,7 @@ pub fn analyze_trace_interned<C: MetaClient>(
     not_q: &Formula<C::Prim>,
     cfg: &BeamConfig,
     cache: &mut InternCache<C::Prim>,
-    stats: &mut MetaStats,
+    obs: &mut ObsRegistry,
 ) -> Result<TraceAnalysis<C::Prim>, MetaError>
 where
     StateOf<C>: Clone,
@@ -888,11 +888,17 @@ where
 
     let steps = trace.len();
     let mut pruned = false;
-    let mut f = nnf_dnf_i(not_q, true, cfg, &k, steps, stats, &mut pruned);
-    f = approx_i(f, cfg, &k, steps, stats).ok_or(MetaError::MembershipLost { step: steps })?;
+    let mut f = nnf_dnf_i(not_q, true, cfg, &k, steps, obs, &mut pruned);
+    let span = Span::enter(obs, SpanKind::Approx);
+    let approxed = approx_i(f, cfg, &k, steps, obs);
+    span.exit(obs);
+    f = approxed.ok_or(MetaError::MembershipLost { step: steps })?;
     for i in (0..steps).rev() {
-        f = wp_dnf_i(&k, memo, k.atom_of_step[i], &f, cfg, i, stats);
-        f = approx_i(f, cfg, &k, i, stats).ok_or(MetaError::MembershipLost { step: i })?;
+        f = wp_dnf_i(&k, memo, k.atom_of_step[i], &f, cfg, i, obs);
+        let span = Span::enter(obs, SpanKind::Approx);
+        let approxed = approx_i(f, cfg, &k, i, obs);
+        span.exit(obs);
+        f = approxed.ok_or(MetaError::MembershipLost { step: i })?;
     }
     Ok(TraceAnalysis {
         prims: table.prims.clone(),
@@ -1039,10 +1045,10 @@ mod tests {
                     for p in 0..8u32 {
                         for d0 in 0..8u32 {
                             let tree = analyze_trace(&Bits, &p, &d0, trace, not_q, cfg);
-                            let mut stats = MetaStats::default();
+                            let mut obs = ObsRegistry::default();
                             let mut cache = InternCache::new();
                             let fast = analyze_trace_interned(
-                                &Bits, &p, &d0, trace, not_q, cfg, &mut cache, &mut stats,
+                                &Bits, &p, &d0, trace, not_q, cfg, &mut cache, &mut obs,
                             );
                             match (tree, fast) {
                                 (Ok(t), Ok(f)) => {
@@ -1081,12 +1087,12 @@ mod tests {
             for not_q in &test_not_qs() {
                 for p in 0..4u32 {
                     for d0 in 0..4u32 {
-                        let mut s1 = MetaStats::default();
+                        let mut s1 = ObsRegistry::default();
                         let mut fresh = InternCache::new();
                         let a = analyze_trace_interned(
                             &Bits, &p, &d0, trace, not_q, &cfg, &mut fresh, &mut s1,
                         );
-                        let mut s2 = MetaStats::default();
+                        let mut s2 = ObsRegistry::default();
                         let b = analyze_trace_interned(
                             &Bits, &p, &d0, trace, not_q, &cfg, &mut shared, &mut s2,
                         );
@@ -1119,18 +1125,19 @@ mod tests {
         let not_q = Formula::prim(BP::Bit(1));
         let cfg = BeamConfig::default();
         let mut cache = InternCache::new();
-        let mut stats = MetaStats::default();
-        analyze_trace_interned(&Bits, &0b1, &0, &trace, &not_q, &cfg, &mut cache, &mut stats)
+        let mut obs = ObsRegistry::default();
+        analyze_trace_interned(&Bits, &0b1, &0, &trace, &not_q, &cfg, &mut cache, &mut obs)
             .unwrap();
-        assert!(stats.wp_misses > 0, "cold cache must miss: {stats}");
-        let misses_after_cold = stats.wp_misses;
-        analyze_trace_interned(&Bits, &0b10, &0b1, &trace, &not_q, &cfg, &mut cache, &mut stats)
+        assert!(obs.get(Counter::WpMisses) > 0, "cold cache must miss: {obs:?}");
+        let misses_after_cold = obs.get(Counter::WpMisses);
+        analyze_trace_interned(&Bits, &0b10, &0b1, &trace, &not_q, &cfg, &mut cache, &mut obs)
             .unwrap();
         assert_eq!(
-            stats.wp_misses, misses_after_cold,
-            "warm cache must serve every wp from the memo: {stats}"
+            obs.get(Counter::WpMisses),
+            misses_after_cold,
+            "warm cache must serve every wp from the memo: {obs:?}"
         );
-        assert!(stats.wp_hits > 0);
+        assert!(obs.get(Counter::WpHits) > 0);
     }
 
     #[test]
@@ -1139,15 +1146,15 @@ mod tests {
         // served from the memo after their first computation.
         let trace: Vec<Atom> = (0..12).map(|i| if i % 2 == 0 { null(0) } else { copy(1, 0) }).collect();
         let not_q = Formula::prim(BP::Bit(1));
-        let mut stats = MetaStats::default();
+        let mut obs = ObsRegistry::default();
         let p = 0b1u32;
         let mut cache = InternCache::new();
         let r = analyze_trace_interned(
-            &Bits, &p, &0, &trace, &not_q, &BeamConfig::default(), &mut cache, &mut stats,
+            &Bits, &p, &0, &trace, &not_q, &BeamConfig::default(), &mut cache, &mut obs,
         );
         assert!(r.is_ok());
-        assert!(stats.wp_hits > stats.wp_misses, "memo ineffective: {stats}");
-        assert!(stats.cubes_built > 0);
+        assert!(obs.get(Counter::WpHits) > obs.get(Counter::WpMisses), "memo ineffective: {obs:?}");
+        assert!(obs.get(Counter::CubesBuilt) > 0);
     }
 
     #[test]
@@ -1161,7 +1168,7 @@ mod tests {
             Formula::prim(BP::Bit(4)),
         ]);
         let trace = [null(0)];
-        let mut stats = MetaStats::default();
+        let mut obs = ObsRegistry::default();
         let mut cache = InternCache::new();
         let r = analyze_trace_interned(
             &Bits,
@@ -1171,11 +1178,11 @@ mod tests {
             &not_q,
             &BeamConfig::exhaustive(),
             &mut cache,
-            &mut stats,
+            &mut obs,
         );
         assert!(r.is_ok());
-        assert!(stats.subsumption_fast_rejects > 0, "no fast rejects: {stats}");
-        assert!(stats.subsumption_fast_rejects <= stats.subsumption_checks);
+        assert!(obs.get(Counter::SubsumptionFastRejects) > 0, "no fast rejects: {obs:?}");
+        assert!(obs.get(Counter::SubsumptionFastRejects) <= obs.get(Counter::SubsumptionChecks));
     }
 
     /// A primitive with an *asymmetric* contradiction, to pin down the
@@ -1254,12 +1261,12 @@ mod tests {
             }
             c
         };
-        let mut stats = MetaStats::default();
+        let mut obs = ObsRegistry::default();
         // Implication through the non-identity matrix: {a0} ⇒ {a1}.
-        assert!(mk(&[(0, true)]).implies(&mk(&[(1, true)]), t, &mut stats));
-        assert!(!mk(&[(1, true)]).implies(&mk(&[(0, true)]), t, &mut stats));
+        assert!(mk(&[(0, true)]).implies(&mk(&[(1, true)]), t, &mut obs));
+        assert!(!mk(&[(1, true)]).implies(&mk(&[(0, true)]), t, &mut obs));
         // Positive a2 implies ¬a3 via the contradiction matrix.
-        assert!(mk(&[(2, true)]).implies(&mk(&[(3, false)]), t, &mut stats));
+        assert!(mk(&[(2, true)]).implies(&mk(&[(3, false)]), t, &mut obs));
         // Insert clash direction: existing a2 clashes with new a3 …
         let mut c = mk(&[(2, true)]);
         assert!(!c.insert(plit(3, true), t));

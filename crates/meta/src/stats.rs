@@ -1,5 +1,6 @@
 //! Effort counters for the backward meta-analysis kernel.
 
+use pda_util::{Counter, ObsRegistry};
 use std::fmt;
 
 /// Counter block for the backward/meta hot path, filled by the interned
@@ -65,15 +66,40 @@ impl MetaStats {
     pub fn wp_lookups(&self) -> u64 {
         self.wp_hits + self.wp_misses
     }
+
+    /// Snapshots the meta-kernel counters out of an [`ObsRegistry`] —
+    /// the kernels count into the registry; this view is what rides in
+    /// `QueryResult`/`IterationLog`/checkpoint records.
+    pub fn from_obs(reg: &ObsRegistry) -> MetaStats {
+        MetaStats {
+            cubes_built: reg.get(Counter::CubesBuilt),
+            subsumption_checks: reg.get(Counter::SubsumptionChecks),
+            subsumption_fast_rejects: reg.get(Counter::SubsumptionFastRejects),
+            wp_hits: reg.get(Counter::WpHits),
+            wp_misses: reg.get(Counter::WpMisses),
+            approx_drops: reg.get(Counter::ApproxDrops),
+            micros: reg.get(Counter::MetaMicros),
+        }
+    }
+
+    /// Writes the counters into an [`ObsRegistry`] (additive).
+    pub fn add_to_obs(&self, reg: &mut ObsRegistry) {
+        reg.add(Counter::CubesBuilt, self.cubes_built);
+        reg.add(Counter::SubsumptionChecks, self.subsumption_checks);
+        reg.add(Counter::SubsumptionFastRejects, self.subsumption_fast_rejects);
+        reg.add(Counter::WpHits, self.wp_hits);
+        reg.add(Counter::WpMisses, self.wp_misses);
+        reg.add(Counter::ApproxDrops, self.approx_drops);
+        reg.add(Counter::MetaMicros, self.micros);
+    }
 }
 
 impl fmt::Display for MetaStats {
     /// Compact one-line form used by the batch footer: `meta: 12 cubes,
     /// wp 8/10 memo hits, subsumption 5/20 fast-rejected, 3 drops, 42µs`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "meta: {} cubes, wp {}/{} memo hits, subsumption {}/{} fast-rejected, {} drops, {}µs",
+        // One source of truth for the footer format: pda-util::obs.
+        f.write_str(&pda_util::obs::render_meta_line(
             self.cubes_built,
             self.wp_hits,
             self.wp_lookups(),
@@ -81,7 +107,7 @@ impl fmt::Display for MetaStats {
             self.subsumption_checks,
             self.approx_drops,
             self.micros,
-        )
+        ))
     }
 }
 

@@ -2,7 +2,7 @@
 
 use crate::cnf::Cnf;
 use crate::PFormula;
-use pda_util::{Deadline, DeadlineExceeded};
+use pda_util::{Counter, Deadline, DeadlineExceeded, ObsRegistry, Span, SpanKind};
 
 /// A satisfying assignment together with its cost.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +83,34 @@ impl MinCostSolver {
     /// model found earlier in the search is discarded: it may not be the
     /// minimum, and TRACER needs minimality for Theorem 2).
     pub fn solve_within(&self, deadline: Deadline) -> Result<Option<Model>, DeadlineExceeded> {
+        self.solve_within_observed(deadline, &mut ObsRegistry::default())
+    }
+
+    /// Like [`MinCostSolver::solve_within`], but records the search effort
+    /// into `obs`: explored nodes go to [`Counter::SolverNodes`] and the
+    /// whole solve is wrapped in a [`SpanKind::Solver`] span (timed only
+    /// when the registry is).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeadlineExceeded`] under exactly the conditions of
+    /// [`MinCostSolver::solve_within`].
+    pub fn solve_within_observed(
+        &self,
+        deadline: Deadline,
+        obs: &mut ObsRegistry,
+    ) -> Result<Option<Model>, DeadlineExceeded> {
+        let span = Span::enter(obs, SpanKind::Solver);
+        let result = self.solve_inner(deadline, obs);
+        span.exit(obs);
+        result
+    }
+
+    fn solve_inner(
+        &self,
+        deadline: Deadline,
+        obs: &mut ObsRegistry,
+    ) -> Result<Option<Model>, DeadlineExceeded> {
         let mut cnf = Cnf::new(self.n_atoms);
         for c in &self.constraints {
             cnf.require(c);
@@ -103,6 +131,7 @@ impl MinCostSolver {
             aborted: false,
         };
         search.dfs();
+        obs.add(Counter::SolverNodes, search.nodes);
         if search.aborted {
             return Err(DeadlineExceeded);
         }
@@ -357,6 +386,17 @@ mod tests {
         s.require(PFormula::lit(0, true));
         let m = s.solve().unwrap();
         assert_eq!(m.assignment, vec![true, true]);
+    }
+
+    #[test]
+    fn observed_solve_counts_nodes_and_spans() {
+        let mut s = MinCostSolver::with_unit_costs(3);
+        s.require(PFormula::or(vec![PFormula::lit(0, true), PFormula::lit(1, true)]));
+        let mut obs = ObsRegistry::default();
+        let m = s.solve_within_observed(Deadline::NEVER, &mut obs).unwrap().unwrap();
+        assert_eq!(m, s.solve().unwrap());
+        assert!(obs.get(Counter::SolverNodes) > 0);
+        assert_eq!(obs.span_stats(SpanKind::Solver).count, 1);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::bench::Benchmark;
 use pda_dataflow::RhsLimits;
 use pda_escape::EscapeClient;
 use pda_lang::{CallKind, Node, SiteId};
-use pda_meta::BeamConfig;
+use pda_meta::{BeamConfig, MetaStats};
 use pda_tracer::{
     solve_queries, solve_queries_batch, BatchConfig, Escalation, Outcome, Query, QueryResult,
     TracerClient, TracerConfig,
@@ -117,6 +117,8 @@ pub struct AnalysisRun {
     /// Forward-run cache statistics (all-zero when `jobs == 1`; the
     /// sequential driver shares runs via groups, not the cache).
     pub cache: CacheStats,
+    /// Meta-kernel effort counters summed over the run.
+    pub meta: MetaStats,
 }
 
 impl AnalysisRun {
@@ -232,7 +234,7 @@ fn solve_all<C>(
     client: &C,
     queries: &[Query<C::Prim>],
     cfg: &ExperimentConfig,
-) -> (Vec<QueryResult<C::Param>>, usize, CacheStats)
+) -> (Vec<QueryResult<C::Param>>, usize, CacheStats, MetaStats)
 where
     C: TracerClient + Sync,
     C::Param: Send,
@@ -240,12 +242,12 @@ where
     C::Prim: Sync,
 {
     if cfg.jobs > 1 {
-        let batch = BatchConfig { tracer: cfg.tracer(), jobs: cfg.jobs, batch_timeout: None };
+        let batch = BatchConfig { tracer: cfg.tracer(), jobs: cfg.jobs, ..BatchConfig::default() };
         let (results, stats) = solve_queries_batch(program, callees, client, queries, &batch);
-        (results, stats.cache.misses as usize, stats.cache)
+        (results, stats.cache.misses as usize, stats.cache, stats.meta)
     } else {
         let (results, stats) = solve_queries(program, callees, client, queries, &cfg.tracer());
-        (results, stats.forward_runs, CacheStats::default())
+        (results, stats.forward_runs, CacheStats::default(), stats.meta)
     }
 }
 
@@ -264,7 +266,7 @@ pub fn run_escape(bench: &Benchmark, cfg: &ExperimentConfig) -> AnalysisRun {
         .map(|&(point, var)| client.access_query(point, var))
         .collect();
     let callees = bench.callees();
-    let (results, forward_runs, cache) =
+    let (results, forward_runs, cache, meta) =
         solve_all(&bench.program, &callees, &client, &queries, cfg);
     let outcomes = results
         .iter()
@@ -292,6 +294,7 @@ pub fn run_escape(bench: &Benchmark, cfg: &ExperimentConfig) -> AnalysisRun {
         forward_runs,
         jobs: cfg.jobs.max(1),
         cache,
+        meta,
     }
 }
 
@@ -355,6 +358,7 @@ pub fn run_typestate(bench: &Benchmark, cfg: &ExperimentConfig) -> AnalysisRun {
     let mut outcomes = Vec::new();
     let mut forward_runs = 0;
     let mut cache = CacheStats::default();
+    let mut meta = MetaStats::default();
     for (h, pcs) in by_site {
         let client = TypestateClient::new(
             &bench.program,
@@ -364,10 +368,11 @@ pub fn run_typestate(bench: &Benchmark, cfg: &ExperimentConfig) -> AnalysisRun {
         );
         let queries: Vec<Query<pda_typestate::TsPrim>> =
             pcs.iter().map(|&pc| client.stress_query(pc)).collect();
-        let (results, runs, site_cache) =
+        let (results, runs, site_cache, site_meta) =
             solve_all(&bench.program, &callees, &client, &queries, cfg);
         forward_runs += runs;
         cache.merge(site_cache);
+        meta.merge(&site_meta);
         for (r, &pc) in results.iter().zip(&pcs) {
             outcomes.push(QueryOutcome {
                 label: format!("pc{}@{}", pc.index(), bench.program.site_label(h)),
@@ -393,6 +398,7 @@ pub fn run_typestate(bench: &Benchmark, cfg: &ExperimentConfig) -> AnalysisRun {
         forward_runs,
         jobs: cfg.jobs.max(1),
         cache,
+        meta,
     }
 }
 
@@ -445,6 +451,7 @@ pub fn run_typestate_automaton(bench: &Benchmark, cfg: &ExperimentConfig) -> Ana
     let mut outcomes = Vec::new();
     let mut forward_runs = 0;
     let mut cache = CacheStats::default();
+    let mut meta = MetaStats::default();
     for (h, pcs) in by_site {
         let Some(client) = TypestateClient::for_declared_automaton(&bench.program, &bench.pa, h)
         else {
@@ -452,10 +459,11 @@ pub fn run_typestate_automaton(bench: &Benchmark, cfg: &ExperimentConfig) -> Ana
         };
         let queries: Vec<Query<pda_typestate::TsPrim>> =
             pcs.iter().map(|&pc| client.stress_query(pc)).collect();
-        let (results, runs, site_cache) =
+        let (results, runs, site_cache, site_meta) =
             solve_all(&bench.program, &callees, &client, &queries, cfg);
         forward_runs += runs;
         cache.merge(site_cache);
+        meta.merge(&site_meta);
         for (r, &pc) in results.iter().zip(&pcs) {
             outcomes.push(QueryOutcome {
                 label: format!("pc{}@{}", pc.index(), bench.program.site_label(h)),
@@ -481,6 +489,7 @@ pub fn run_typestate_automaton(bench: &Benchmark, cfg: &ExperimentConfig) -> Ana
         forward_runs,
         jobs: cfg.jobs.max(1),
         cache,
+        meta,
     }
 }
 

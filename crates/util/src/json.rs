@@ -1,0 +1,143 @@
+//! Minimal hand-rolled JSONL codec for flat objects.
+//!
+//! The workspace is offline and registry-free by policy, so structured
+//! records (batch checkpoints, trace events) are encoded by hand: one
+//! flat JSON object per line, values restricted to strings and unsigned
+//! decimal numbers. This module is the single shared implementation; the
+//! checkpoint codec in `pda-tracer` and the trace-event codec in
+//! [`crate::obs`] both build on it.
+
+use std::collections::HashMap;
+
+/// Escapes a string for embedding in a JSON double-quoted literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses one flat JSON object (string or unsigned-number values) into a
+/// field map; numbers are kept as their raw digits.
+///
+/// Returns `None` on anything that is not a single-line flat object with
+/// string keys — nested objects, arrays, signed or fractional numbers,
+/// and syntax errors all reject the line.
+pub fn parse_json_line(line: &str) -> Option<HashMap<String, String>> {
+    let inner = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = HashMap::new();
+    let mut chars = inner.chars().peekable();
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::Chars<'_>>| {
+        while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+            chars.next();
+        }
+    };
+    let string = |chars: &mut std::iter::Peekable<std::str::Chars<'_>>| -> Option<String> {
+        let mut out = String::new();
+        loop {
+            match chars.next()? {
+                '"' => return Some(out),
+                '\\' => match chars.next()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let hex: String = (0..4).map(|_| chars.next()).collect::<Option<_>>()?;
+                        let code = u32::from_str_radix(&hex, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c => out.push(c),
+            }
+        }
+    };
+    loop {
+        skip_ws(&mut chars);
+        match chars.next() {
+            None => break,
+            Some('"') => {}
+            Some(_) => return None,
+        }
+        let key = string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => {
+                chars.next();
+                string(&mut chars)?
+            }
+            Some(_) => {
+                let mut num = String::new();
+                while chars.peek().is_some_and(|&c| c != ',' && !c.is_ascii_whitespace()) {
+                    num.push(chars.next().unwrap());
+                }
+                if num.is_empty() || !num.chars().all(|c| c.is_ascii_digit()) {
+                    return None;
+                }
+                num
+            }
+            None => return None,
+        };
+        fields.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.next() {
+            None => break,
+            Some(',') => {}
+            Some(_) => return None,
+        }
+    }
+    Some(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "a\"b\\c\nd\re\tf\u{1}g";
+        let line = format!("{{\"k\":\"{}\"}}", json_escape(nasty));
+        let fields = parse_json_line(&line).unwrap();
+        assert_eq!(fields["k"], nasty);
+    }
+
+    #[test]
+    fn numbers_keep_raw_digits() {
+        let fields = parse_json_line("{\"a\":42,\"b\":\"x\"}").unwrap();
+        assert_eq!(fields["a"], "42");
+        assert_eq!(fields["b"], "x");
+    }
+
+    #[test]
+    fn malformed_lines_reject() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{\"a\":-1}",
+            "{\"a\":1.5}",
+            "{\"a\":[1]}",
+            "{a:1}",
+            "not json",
+        ] {
+            assert!(parse_json_line(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+}

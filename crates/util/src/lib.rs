@@ -16,6 +16,11 @@
 //!   `rand` crate so the workspace builds offline.
 //! * [`Deadline`] — a cooperative wall-clock cancel token polled by the
 //!   tabulation and solver inner loops.
+//! * [`obs`] — structured observability: the [`ObsRegistry`]
+//!   counter/span registry, the typed [`Event`] trace stream, and the
+//!   [`TraceSink`] implementations behind `--trace`/`--metrics`.
+//! * [`json`] — the shared hand-rolled JSONL codec (flat objects) used by
+//!   both the batch checkpoint format and the trace-event stream.
 //!
 //! # Examples
 //!
@@ -32,12 +37,18 @@
 mod bitset;
 mod deadline;
 mod idx;
+pub mod json;
+pub mod obs;
 mod rng;
 mod stats;
 
 pub use bitset::BitSet;
 pub use deadline::{Deadline, DeadlineExceeded};
 pub use idx::IdxVec;
+pub use obs::{
+    Counter, Event, FileSink, NullSink, ObsRegistry, Recorder, Span, SpanKind, SpanStats,
+    TraceSink,
+};
 pub use rng::SplitMix64;
 pub use stats::{CacheStats, Summary};
 

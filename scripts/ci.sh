@@ -19,14 +19,30 @@ echo "== perf smoke: seeded batch bench vs expected outcomes =="
 # and the two cross-kernel/cross-jobs identity lines are deterministic.
 # A panic exits non-zero (set -e); a verdict drift or a deadline hit on
 # an unconstrained run is a regression. Bench JSON goes to target/ so
-# the committed BENCH_batch.json artifact is not clobbered.
-perf="$(PDA_BENCH_OUT=target/ci_bench.json ./target/release/batch)"
+# the committed BENCH_batch.json artifact is not clobbered. PDA_TRACE
+# makes the bench stream + self-validate the structured JSONL trace
+# (strict parse, byte-identity across job counts, event counts vs its
+# own results).
+perf="$(PDA_TRACE=target/ci_trace PDA_BENCH_OUT=target/ci_bench.json ./target/release/batch)"
 echo "$perf"
 diff scripts/expected_batch_outcomes.txt \
     <(echo "$perf" | grep -E '^(outcome [0-9]+:|tree/interned outcomes identical:|per-query outcomes identical across job counts:)') \
     || { echo "ci: batch outcomes drifted from scripts/expected_batch_outcomes.txt" >&2; exit 1; }
 echo "$perf" | grep -q 'resilience: deadline_exceeded=0 engine_faults=0' \
     || { echo "ci: perf smoke hit deadlines or engine faults on an unconstrained run" >&2; exit 1; }
+
+echo "== trace smoke: structured JSONL trace vs bench counters =="
+# Cross-check the trace summary's iteration/query counts against the
+# independently written bench JSON.
+trace_line="$(echo "$perf" | grep '^trace: ')" \
+    || { echo "ci: perf smoke did not emit a trace summary" >&2; exit 1; }
+iters_trace="$(echo "$trace_line" | sed -E 's/.* ([0-9]+) iterations.*/\1/')"
+iters_json="$(grep '"interned"' target/ci_bench.json | sed -E 's/.*"iterations":([0-9]+).*/\1/')"
+queries_trace="$(echo "$trace_line" | sed -E 's/.* ([0-9]+) queries.*/\1/')"
+queries_json="$(grep '"queries"' target/ci_bench.json | sed -E 's/.*"queries": ([0-9]+).*/\1/')"
+[ "$iters_trace" = "$iters_json" ] && [ "$queries_trace" = "$queries_json" ] \
+    || { echo "ci: trace counts (iters=$iters_trace queries=$queries_trace) disagree with bench JSON (iters=$iters_json queries=$queries_json)" >&2; exit 1; }
+echo "trace smoke ok: $iters_trace iterations, $queries_trace queries"
 
 echo "== resilience smoke: batch under a 1 ms per-query deadline =="
 # Every query must still produce a result (exit 0) and the starved

@@ -18,7 +18,7 @@ use pda_analysis::PointsTo;
 use pda_escape::EscapeClient;
 use pda_lang::{Atom, VarId};
 use pda_meta::{
-    analyze_trace, analyze_trace_interned, restrict, BeamConfig, Formula, InternCache, MetaStats,
+    analyze_trace, analyze_trace_interned, restrict, BeamConfig, Formula, InternCache,
 };
 use pda_tracer::{
     nullcli::{NullClient, NullPrim},
@@ -215,7 +215,7 @@ fn random_backward_runs_are_kernel_identical() {
         let d0: BTreeSet<VarId> = (0..N_VARS as u32).filter(|_| rng.below(2) == 0).map(VarId).collect();
 
         let tree = analyze_trace(&AsMeta(&client), &p, &d0, &trace, &not_q, cfg);
-        let mut stats = MetaStats::default();
+        let mut obs = pda_util::ObsRegistry::default();
         // Alternate fresh and shared caches: both must match the tree.
         let mut fresh = InternCache::new();
         let cache = if round % 2 == 0 { &mut fresh } else { &mut shared };
@@ -227,7 +227,7 @@ fn random_backward_runs_are_kernel_identical() {
             &not_q,
             cfg,
             cache,
-            &mut stats,
+            &mut obs,
         );
         match (tree, interned) {
             (Ok(t), Ok(f)) => {

@@ -106,7 +106,7 @@ fn faulted_batch_is_deterministic_across_job_counts() {
             lift_query(qs[2].clone())
                 .with_limits(QueryLimits { timeout: Some(Duration::ZERO), max_facts: None }),
         );
-        let batch = BatchConfig { tracer: config.clone(), jobs, batch_timeout: None };
+        let batch = BatchConfig { tracer: config.clone(), jobs, ..BatchConfig::default() };
         let (results, stats) =
             solve_queries_batch(&fx.program, &callees, &wrapped, &queries, &batch);
         assert_eq!(results.len(), queries.len());
@@ -148,7 +148,7 @@ fn transfer_panic_inside_forward_cache_faults_every_query_without_deadlock() {
     let bomb = FaultInjectingClient::new(&fx.client).with_transfer_bomb("transfer bomb");
     let queries: Vec<_> = fx.queries().into_iter().map(lift_query).collect();
     for jobs in [1usize, 4] {
-        let batch = BatchConfig { tracer: TracerConfig::default(), jobs, batch_timeout: None };
+        let batch = BatchConfig { tracer: TracerConfig::default(), jobs, ..BatchConfig::default() };
         let (results, stats) = solve_queries_batch(&fx.program, &callees, &bomb, &queries, &batch);
         assert_eq!(stats.engine_faults, results.len(), "jobs={jobs}");
         for (i, r) in results.iter().enumerate() {

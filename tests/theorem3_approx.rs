@@ -1,0 +1,196 @@
+//! Property test for Theorem 3 part (1) — **progress**: whenever the
+//! trace is a genuine counterexample (the query fails at its end under the
+//! current abstraction `p`), the backward meta-analysis must return a
+//! formula that still contains the current `(p, d0)` — concretely, its
+//! DNF retains at least one cube satisfied by `(p, d0)` even after the
+//! beam approximation (`approx`/`drop_k`, Figure 8) pruned disjuncts.
+//! That cube is what guarantees each CEGAR iteration eliminates at least
+//! the abstraction it just tried, so the loop cannot revisit it.
+//!
+//! Conversely, a non-counterexample trace must be rejected loudly
+//! (`MetaError::MembershipLost`) rather than produce an unsound pruning.
+//!
+//! Both kernels are exercised on every case: the tree kernel (reference
+//! semantics) and the interned kernel (production hot path), across beam
+//! widths `k ∈ {1, 3, default}`. Inputs are seeded SplitMix64 so failures
+//! reproduce exactly.
+
+use pda_lang::{Atom, VarId};
+use pda_meta::{
+    analyze_trace, analyze_trace_interned, approx, restrict, BeamConfig, Dnf, Formula,
+    InternCache, MetaClient, MetaError,
+};
+use pda_tracer::{
+    nullcli::{NullClient, NullPrim},
+    AsMeta,
+};
+use pda_util::BitSet;
+use std::collections::BTreeSet;
+
+/// SplitMix64 — tiny, seedable, and good enough for fuzzing inputs.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const N_VARS: u64 = 4;
+
+fn random_atom(rng: &mut SplitMix64) -> Atom {
+    let v = |rng: &mut SplitMix64| VarId(rng.below(N_VARS) as u32);
+    match rng.below(4) {
+        0 => Atom::Null { dst: v(rng) },
+        1 => Atom::Copy { dst: v(rng), src: v(rng) },
+        2 => Atom::Havoc { dst: v(rng) },
+        _ => Atom::New { dst: v(rng), site: pda_lang::SiteId(0) },
+    }
+}
+
+fn random_formula(rng: &mut SplitMix64, depth: usize) -> Formula<NullPrim> {
+    if depth == 0 || rng.below(3) == 0 {
+        let v = VarId(rng.below(N_VARS) as u32);
+        let prim = if rng.below(2) == 0 { NullPrim::Var(v) } else { NullPrim::Param(v) };
+        return if rng.below(2) == 0 { Formula::prim(prim) } else { Formula::nprim(prim) };
+    }
+    match rng.below(3) {
+        0 => Formula::and((0..2 + rng.below(2)).map(|_| random_formula(rng, depth - 1)).collect()),
+        1 => Formula::or((0..2 + rng.below(2)).map(|_| random_formula(rng, depth - 1)).collect()),
+        _ => Formula::not(random_formula(rng, depth - 1)),
+    }
+}
+
+/// Theorem 3 (1) as a predicate on the result DNF: some cube is satisfied
+/// by the current `(p, d0)` — cube-level, not just `Dnf::holds`, because
+/// the retained *cube* is what `drop_k`'s beam is required to preserve.
+fn retains_current(dnf: &Dnf<NullPrim>, p: &BitSet, d0: &BTreeSet<VarId>) -> bool {
+    dnf.0.iter().any(|c| c.holds(p, d0))
+}
+
+#[test]
+fn approx_retains_cube_for_current_abstraction() {
+    let mut rng = SplitMix64(0x7E03_A9F0_0000_0001);
+    let program = pda_lang::parse_program("fn main() { var a, b, c, d; }").unwrap();
+    let client = NullClient::new(&program);
+    let meta = AsMeta(&client);
+    let cfgs = [BeamConfig::with_k(1), BeamConfig::with_k(3), BeamConfig::default()];
+    let mut cache: InternCache<NullPrim> = InternCache::new();
+    let mut counterexamples = 0usize;
+    let mut rejected = 0usize;
+    for round in 0..600 {
+        let trace: Vec<Atom> = (0..1 + rng.below(6)).map(|_| random_atom(&mut rng)).collect();
+        let not_q = random_formula(&mut rng, 3);
+        let cfg = &cfgs[(round % cfgs.len() as u64) as usize];
+        let p = BitSet::from_iter(
+            N_VARS as usize,
+            (0..N_VARS as usize).filter(|_| rng.below(2) == 0),
+        );
+        let d0: BTreeSet<VarId> =
+            (0..N_VARS as u32).filter(|_| rng.below(2) == 0).map(VarId).collect();
+
+        // Replay the trace forward to decide whether it is a genuine
+        // counterexample under (p, d0).
+        let mut d = d0.clone();
+        for a in &trace {
+            d = meta.transfer(&p, a, &d);
+        }
+        let is_counterexample = not_q.holds(&p, &d);
+
+        let tree = analyze_trace(&meta, &p, &d0, &trace, &not_q, cfg);
+        let mut obs = pda_util::ObsRegistry::default();
+        let interned =
+            analyze_trace_interned(&meta, &p, &d0, &trace, &not_q, cfg, &mut cache, &mut obs);
+
+        if is_counterexample {
+            counterexamples += 1;
+            let tree = tree.unwrap_or_else(|e| {
+                panic!("tree kernel rejected a counterexample ({e}): trace {trace:?}, not_q {not_q}, p={p}, d0={d0:?}")
+            });
+            let interned = interned.unwrap_or_else(|e| {
+                panic!("interned kernel rejected a counterexample ({e}): trace {trace:?}, not_q {not_q}, p={p}, d0={d0:?}")
+            });
+            assert!(
+                retains_current(&tree, &p, &d0),
+                "tree kernel dropped every cube containing (p, d0): trace {trace:?}, \
+                 not_q {not_q}, p={p}, d0={d0:?}, k={:?}",
+                cfg.k
+            );
+            assert!(
+                retains_current(&interned.to_dnf(), &p, &d0),
+                "interned kernel dropped every cube containing (p, d0): trace {trace:?}, \
+                 not_q {not_q}, p={p}, d0={d0:?}, k={:?}",
+                cfg.k
+            );
+            // The restriction to the parameter must still contain p itself
+            // (Algorithm 1 prunes Φ — p must be in the pruned set).
+            let phi = restrict(&tree, &d0);
+            let asg: Vec<bool> = (0..N_VARS as usize).map(|i| p.contains(i)).collect();
+            assert!(
+                phi.eval(&asg),
+                "restricted formula excludes the current p: trace {trace:?}, not_q {not_q}, \
+                 p={p}, d0={d0:?}"
+            );
+        } else {
+            rejected += 1;
+            assert!(
+                matches!(tree, Err(MetaError::MembershipLost { .. })),
+                "tree kernel accepted a non-counterexample: trace {trace:?}, not_q {not_q}, \
+                 p={p}, d0={d0:?}"
+            );
+            assert!(
+                matches!(interned, Err(MetaError::MembershipLost { .. })),
+                "interned kernel accepted a non-counterexample: trace {trace:?}, \
+                 not_q {not_q}, p={p}, d0={d0:?}"
+            );
+        }
+    }
+    // The seed must exercise both branches substantially.
+    assert!(counterexamples >= 150, "only {counterexamples} counterexample cases");
+    assert!(rejected >= 150, "only {rejected} rejection cases");
+}
+
+#[test]
+fn approx_direct_membership_contract() {
+    // `approx` itself: returns None iff no cube holds at (p, d); when it
+    // returns Some, a cube holding at (p, d) survived the beam.
+    let mut rng = SplitMix64(0x7E03_A9F0_0000_0002);
+    let keep_all = |_: &pda_meta::Cube<NullPrim>| true;
+    let mut some = 0usize;
+    let mut none = 0usize;
+    for _ in 0..500 {
+        let f = random_formula(&mut rng, 3);
+        let p = BitSet::from_iter(
+            N_VARS as usize,
+            (0..N_VARS as usize).filter(|_| rng.below(2) == 0),
+        );
+        let d: BTreeSet<VarId> =
+            (0..N_VARS as u32).filter(|_| rng.below(2) == 0).map(VarId).collect();
+        let dnf = pda_meta::approx::to_dnf(&f, &BeamConfig::exhaustive(), &keep_all);
+        let holds = retains_current(&dnf, &p, &d);
+        match approx(&p, &d, dnf, &BeamConfig::with_k(1)) {
+            Some(approxed) => {
+                some += 1;
+                assert!(holds, "approx invented a satisfied cube");
+                assert!(
+                    retains_current(&approxed, &p, &d),
+                    "approx(k=1) lost the cube containing (p, d): f {f}, p={p}, d={d:?}"
+                );
+            }
+            None => {
+                none += 1;
+                assert!(!holds, "approx dropped a DNF satisfied at (p, d): f {f}, p={p}, d={d:?}");
+            }
+        }
+    }
+    assert!(some >= 100, "only {some} Some cases");
+    assert!(none >= 100, "only {none} None cases");
+}
