@@ -19,6 +19,10 @@
 //!
 //! Environment: `PDA_JOBS` sets the parallel worker count (default 8);
 //! `PDA_MAX_QUERIES` caps the batch size (default 32, floor 16);
+//! `PDA_MEM_BUDGET` sets a per-query memory budget in estimated bytes
+//! (`k`/`m`/`g` suffixes accepted) — the governor degrades deterministically
+//! under pressure, so outcome lines stay diffable; `PDA_POOL_BUDGET` sets
+//! the shared batch pool for the parallel phase (admission control);
 //! `PDA_DEADLINE_MS` sets a per-query wall-clock deadline — under a
 //! deadline, queries may legitimately resolve as `DeadlineExceeded` and
 //! the equality/cache/JSON steps are skipped (wall-clock aborts are
@@ -114,9 +118,14 @@ fn main() {
         queries.len()
     );
 
+    let mem_budget =
+        std::env::var("PDA_MEM_BUDGET").ok().and_then(|v| pda_util::parse_bytes(&v));
+    let pool_budget =
+        std::env::var("PDA_POOL_BUDGET").ok().and_then(|v| pda_util::parse_bytes(&v));
     let tracer = |kernel: MetaKernel| pda_tracer::TracerConfig {
         timeout: deadline_ms.map(std::time::Duration::from_millis),
         kernel,
+        mem_budget,
         ..pda_tracer::TracerConfig::default()
     };
 
@@ -161,8 +170,12 @@ fn main() {
     );
 
     // Phase 3: parallel, interned kernel, shared forward cache.
-    let par_cfg =
-        BatchConfig { jobs, tracer: tracer(MetaKernel::Interned), ..BatchConfig::default() };
+    let par_cfg = BatchConfig {
+        jobs,
+        tracer: tracer(MetaKernel::Interned),
+        pool_budget,
+        ..BatchConfig::default()
+    };
     let (par, par_stats) = solve_queries_batch_traced(
         &bench.program,
         &callees,
@@ -194,10 +207,12 @@ fn main() {
     );
 
     println!(
-        "resilience: deadline_exceeded={} engine_faults={} escalations={}",
+        "resilience: deadline_exceeded={} engine_faults={} escalations={} degradations={} shed={}",
         tree_stats.deadline_exceeded + seq_stats.deadline_exceeded + par_stats.deadline_exceeded,
         tree_stats.engine_faults + seq_stats.engine_faults + par_stats.engine_faults,
         tree_stats.escalations + seq_stats.escalations + par_stats.escalations,
+        tree_stats.degradations + seq_stats.degradations + par_stats.degradations,
+        tree_stats.shed + seq_stats.shed + par_stats.shed,
     );
 
     if deadline_ms.is_some() {

@@ -90,8 +90,9 @@ pub enum Command {
         file: String,
     },
     /// `pda solve <file> [--query LABEL] [--k N] [--max-iters N]
-    /// [--jobs N] [--deadline MS] [--escalate N] [--checkpoint PATH]
-    /// [--trace PATH] [--metrics]`
+    /// [--jobs N] [--deadline MS] [--escalate N] [--mem-budget BYTES]
+    /// [--pool-budget BYTES] [--checkpoint PATH] [--trace PATH]
+    /// [--metrics]`
     Solve {
         /// Input path.
         file: String,
@@ -108,6 +109,12 @@ pub enum Command {
         deadline_ms: Option<u64>,
         /// Fact-budget escalation retries on forward-run `TooBig`.
         escalate: Option<u32>,
+        /// Per-query memory budget in estimated bytes (accepts `k`/`m`/`g`
+        /// suffixes).
+        mem_budget: Option<u64>,
+        /// Shared batch memory pool in estimated bytes (admission
+        /// control; accepts `k`/`m`/`g` suffixes).
+        pool_budget: Option<u64>,
         /// Checkpoint file: resume finished thread-escape queries from it
         /// and stream new results into it.
         checkpoint: Option<String>,
@@ -134,7 +141,8 @@ USAGE:
     pda check   <file.jay>                 parse, validate, report stats
     pda queries <file.jay>                 list source queries
     pda solve   <file.jay> [--query LABEL] [--k N] [--max-iters N] [--jobs N]
-                [--deadline MS] [--escalate N] [--checkpoint PATH]
+                [--deadline MS] [--escalate N] [--mem-budget BYTES]
+                [--pool-budget BYTES] [--checkpoint PATH]
                                            find optimum abstractions
                                            (--jobs 1 = sequential; default:
                                            available parallelism, batched
@@ -144,6 +152,15 @@ USAGE:
                                            --escalate    retry TooBig forward
                                                          runs N times with a
                                                          4x fact budget each
+                                           --mem-budget  per-query memory
+                                                         budget in estimated
+                                                         bytes (k/m/g ok);
+                                                         under pressure the
+                                                         governor degrades
+                                                         before giving up
+                                           --pool-budget shared batch memory
+                                                         pool (admission
+                                                         control; k/m/g ok)
                                            --checkpoint  stream results to
                                                          PATH; on rerun, skip
                                                          queries already there
@@ -159,6 +176,12 @@ fn parse_num<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Res
     args.get(i + 1)
         .and_then(|v| v.parse().ok())
         .map_or_else(|| usage(format!("{flag} needs a number")), Ok)
+}
+
+fn parse_size(args: &[String], i: usize, flag: &str) -> Result<u64, CliError> {
+    args.get(i + 1)
+        .and_then(|v| pda_util::parse_bytes(v))
+        .map_or_else(|| usage(format!("{flag} needs a byte size (e.g. 4096, 64k, 2m, 1g)")), Ok)
 }
 
 /// Parses command-line arguments (without the program name).
@@ -192,6 +215,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             let mut jobs = default_jobs();
             let mut deadline_ms = None;
             let mut escalate = None;
+            let mut mem_budget = None;
+            let mut pool_budget = None;
             let mut checkpoint = None;
             let mut trace = None;
             let mut metrics = false;
@@ -209,6 +234,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                     "--jobs" => jobs = parse_num::<usize>(&args, i, "--jobs")?.max(1),
                     "--deadline" => deadline_ms = Some(parse_num(&args, i, "--deadline")?),
                     "--escalate" => escalate = Some(parse_num(&args, i, "--escalate")?),
+                    "--mem-budget" => mem_budget = Some(parse_size(&args, i, "--mem-budget")?),
+                    "--pool-budget" => pool_budget = Some(parse_size(&args, i, "--pool-budget")?),
                     "--checkpoint" => {
                         let Some(path) = args.get(i + 1) else {
                             return usage("--checkpoint needs a path");
@@ -238,6 +265,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 jobs,
                 deadline_ms,
                 escalate,
+                mem_budget,
+                pool_budget,
                 checkpoint,
                 trace,
                 metrics,
@@ -269,6 +298,8 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, CliError> {
             jobs,
             deadline_ms,
             escalate,
+            mem_budget,
+            pool_budget,
             checkpoint,
             trace,
             metrics,
@@ -281,6 +312,8 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, CliError> {
                 jobs: *jobs,
                 deadline_ms: *deadline_ms,
                 escalate: *escalate,
+                mem_budget: *mem_budget,
+                pool_budget: *pool_budget,
                 checkpoint: checkpoint.as_deref(),
                 trace: trace.as_deref(),
                 metrics: *metrics,
@@ -365,6 +398,8 @@ struct SolveOpts<'a> {
     jobs: usize,
     deadline_ms: Option<u64>,
     escalate: Option<u32>,
+    mem_budget: Option<u64>,
+    pool_budget: Option<u64>,
     checkpoint: Option<&'a str>,
     trace: Option<&'a str>,
     metrics: bool,
@@ -380,6 +415,7 @@ fn solve_report(source: &str, opts: &SolveOpts<'_>) -> Result<String, CliError> 
         escalation: opts
             .escalate
             .map_or_else(Escalation::default, |retries| Escalation { retries, ..Escalation::standard() }),
+        mem_budget: opts.mem_budget,
         ..TracerConfig::default()
     };
     let callees = |c: pda_lang::CallId| pa.callees(c).to_vec();
@@ -425,6 +461,7 @@ fn solve_report(source: &str, opts: &SolveOpts<'_>) -> Result<String, CliError> 
                 tracer: config.clone(),
                 jobs: opts.jobs,
                 timed: opts.metrics,
+                pool_budget: opts.pool_budget,
                 ..BatchConfig::default()
             };
             let (results, stats) = match opts.checkpoint {
@@ -632,6 +669,8 @@ mod tests {
             jobs,
             deadline_ms,
             escalate: None,
+            mem_budget: None,
+            pool_budget: None,
             checkpoint,
             trace: None,
             metrics: false,
@@ -654,6 +693,8 @@ mod tests {
                 jobs: default_jobs(),
                 deadline_ms: None,
                 escalate: None,
+                mem_budget: None,
+                pool_budget: None,
                 checkpoint: None,
                 trace: None,
                 metrics: false,
@@ -662,6 +703,7 @@ mod tests {
         assert_eq!(
             a(&[
                 "solve", "f.jay", "--jobs", "4", "--deadline", "250", "--escalate", "2",
+                "--mem-budget", "64k", "--pool-budget", "2m",
                 "--checkpoint", "state.jsonl", "--metrics", "--trace", "out.jsonl"
             ])
             .unwrap(),
@@ -673,6 +715,8 @@ mod tests {
                 jobs: 4,
                 deadline_ms: Some(250),
                 escalate: Some(2),
+                mem_budget: Some(64 << 10),
+                pool_budget: Some(2 << 20),
                 checkpoint: Some("state.jsonl".into()),
                 trace: Some("out.jsonl".into()),
                 metrics: true,
@@ -689,6 +733,8 @@ mod tests {
         assert!(a(&["solve", "f", "--k", "NaN"]).is_err());
         assert!(a(&["solve", "f", "--jobs", "many"]).is_err());
         assert!(a(&["solve", "f", "--deadline", "soon"]).is_err());
+        assert!(a(&["solve", "f", "--mem-budget", "lots"]).is_err());
+        assert!(a(&["solve", "f", "--pool-budget"]).is_err());
         assert!(a(&["solve", "f", "--checkpoint"]).is_err());
         assert!(a(&["solve", "f", "--trace"]).is_err());
         // --metrics is a plain flag: the next token is parsed normally.
@@ -765,6 +811,20 @@ mod tests {
     }
 
     #[test]
+    fn tiny_mem_budget_still_proves_soundly() {
+        // A 1-byte budget keeps the governor under pressure at every
+        // iteration boundary, but the degradation ladder is sound
+        // (Theorem 3): a query that proves quickly still proves, with the
+        // same verdict as the unbudgeted run.
+        let mut cmd = solve_cmd(Some("localx"), 1);
+        if let Command::Solve { mem_budget, .. } = &mut cmd {
+            *mem_budget = Some(1);
+        }
+        let report = run_on_source(&cmd, SRC).unwrap();
+        assert!(report.contains("localx [thread-escape]: PROVEN"), "{report}");
+    }
+
+    #[test]
     fn checkpoint_resumes_and_skips_finished_queries() {
         let path = std::env::temp_dir()
             .join(format!("pda-cli-ckpt-{}.jsonl", std::process::id()));
@@ -803,6 +863,8 @@ mod tests {
             jobs: 1,
             deadline_ms: None,
             escalate: None,
+            mem_budget: None,
+            pool_budget: None,
             checkpoint: None,
             trace: Some(path.to_string_lossy().into_owned()),
             metrics: true,

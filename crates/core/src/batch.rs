@@ -50,15 +50,17 @@
 
 use crate::client::{Query, TracerClient};
 use crate::tracer::{
-    backward_phase, effective_deadline, solve_query_observed, Outcome, QueryObs, QueryResult,
-    StepResult, TracerConfig, Unresolved,
+    backward_phase, effective_deadline, effective_mem_budget, solve_query_pooled, Governor,
+    Outcome, QueryObs, QueryResult, StepResult, TracerConfig, Unresolved,
 };
 use pda_dataflow::{rhs, Interrupt, RhsLimits, RhsResult, TooBig};
 use pda_lang::{CallId, MethodId, Program};
 use pda_meta::{InternCache, MetaStats};
 use pda_solver::{MinCostSolver, PFormula};
-use pda_util::{CacheStats, Counter, Deadline, Event, ObsRegistry, Span, SpanKind, TraceSink};
-use std::collections::HashMap;
+use pda_util::{
+    CacheStats, Counter, Deadline, Event, MemBudget, ObsRegistry, Span, SpanKind, TraceSink,
+};
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -81,6 +83,18 @@ pub struct BatchConfig {
     /// CLI's `--metrics`). Off by default: counters and events are always
     /// collected, but no extra clock reads happen on the hot path.
     pub timed: bool,
+    /// Shared memory pool for the whole batch, in estimated bytes
+    /// (`--pool-budget`). Every query's charges cascade into the pool,
+    /// and the scheduler *admits* queries against it: a query whose
+    /// reservation (its own `mem_budget`, or the whole pool if it has
+    /// none) does not currently fit is deferred and requeued — never
+    /// failed — until running queries release capacity; a reservation
+    /// that can never fit resolves as
+    /// [`Unresolved::MemBudgetExceeded`] without running. Pool pressure
+    /// only gates *starting* queries; it never degrades a running one,
+    /// so per-query behavior stays schedule-independent. `None`
+    /// (default) disables admission control entirely.
+    pub pool_budget: Option<u64>,
 }
 
 impl Default for BatchConfig {
@@ -90,6 +104,7 @@ impl Default for BatchConfig {
             jobs: default_jobs(),
             batch_timeout: None,
             timed: false,
+            pool_budget: None,
         }
     }
 }
@@ -121,6 +136,12 @@ pub struct BatchStats {
     pub escalations: u64,
     /// Queries skipped because a checkpoint already held their result.
     pub resumed: usize,
+    /// Memory-governor degradation-ladder rungs applied across all
+    /// queries.
+    pub degradations: u64,
+    /// Admissions deferred (shed-and-requeued) by pool pressure. Zero
+    /// unless [`BatchConfig::pool_budget`] is set.
+    pub shed: u64,
     /// Backward/meta-phase counters summed over all queries (including
     /// checkpoint-restored ones, whose counters were persisted).
     pub meta: MetaStats,
@@ -160,12 +181,15 @@ impl BatchStats {
         reg.set(Counter::DeadlineExceeded, self.deadline_exceeded as u64);
         reg.set(Counter::Escalations, self.escalations);
         reg.set(Counter::Resumed, self.resumed as u64);
+        reg.set(Counter::Degradations, self.degradations);
+        reg.set(Counter::Shed, self.shed);
         reg.set(Counter::CubesBuilt, self.meta.cubes_built);
         reg.set(Counter::SubsumptionChecks, self.meta.subsumption_checks);
         reg.set(Counter::SubsumptionFastRejects, self.meta.subsumption_fast_rejects);
         reg.set(Counter::WpHits, self.meta.wp_hits);
         reg.set(Counter::WpMisses, self.meta.wp_misses);
         reg.set(Counter::ApproxDrops, self.meta.approx_drops);
+        reg.set(Counter::MemEvictions, self.meta.mem_evictions);
         reg.set(Counter::MetaMicros, self.meta.micros);
         reg
     }
@@ -388,8 +412,31 @@ fn fault_result<Param>(payload: Box<dyn std::any::Any + Send>, started: Instant)
         iterations: 0,
         micros: started.elapsed().as_micros(),
         escalations: 0,
+        degradations: 0,
         meta: MetaStats::default(),
     }
+}
+
+/// A result for a query whose memory reservation exceeds the shared pool
+/// outright: it can never be admitted, so it resolves without running
+/// (and without touching the forward cache).
+fn overcommit_result<Param>(started: Instant) -> QueryResult<Param> {
+    QueryResult {
+        outcome: Outcome::Unresolved(Unresolved::MemBudgetExceeded),
+        iterations: 0,
+        micros: started.elapsed().as_micros(),
+        escalations: 0,
+        degradations: 0,
+        meta: MetaStats::default(),
+    }
+}
+
+/// The bytes a query reserves against the shared pool for admission: its
+/// own effective budget if it has one, else the whole pool (a query with
+/// no budget of its own could grow arbitrarily, so the scheduler must
+/// assume the worst).
+fn reservation<P>(query: &Query<P>, tracer: &TracerConfig, pool_limit: u64) -> u64 {
+    effective_mem_budget(query, tracer).unwrap_or(pool_limit)
 }
 
 /// Resolves every query of one program, in parallel, sharing forward runs.
@@ -460,7 +507,16 @@ pub fn outcome_tag<Param>(outcome: &Outcome<Param>) -> &'static str {
         Outcome::Unresolved(Unresolved::MetaFailure(_)) => "meta_failure",
         Outcome::Unresolved(Unresolved::DeadlineExceeded) => "deadline",
         Outcome::Unresolved(Unresolved::EngineFault(_)) => "engine_fault",
+        Outcome::Unresolved(Unresolved::MemBudgetExceeded) => "mem_budget",
     }
+}
+
+/// Admission-control bookkeeping for the pool-budget worker loop: the
+/// queue of not-yet-started `pending` indices (deferred queries re-enter
+/// at the back) and the number of queries currently admitted.
+struct AdmissionState {
+    queue: VecDeque<usize>,
+    active: usize,
 }
 
 /// The shared batch runner behind [`solve_queries_batch`] and the
@@ -500,27 +556,43 @@ where
         slots[i] = Some((r, QueryObs::new(i as u64, false, false)));
     }
 
+    let pool: Option<Arc<MemBudget>> =
+        config.pool_budget.map(|l| Arc::new(MemBudget::new(Some(l))));
+    let shed = AtomicU64::new(0);
+
     let cache_stats;
     if jobs == 1 {
         cache_stats = CacheStats::default();
         // With no batch timeout this is byte-for-byte the sequential
         // driver: `solve_query_within(.., Deadline::NEVER)` *is*
-        // `solve_query`, plus the panic-isolation boundary.
+        // `solve_query`, plus the panic-isolation boundary. With a pool,
+        // queries run one at a time so admission never defers — the only
+        // pool effect is rejecting reservations that can never fit, which
+        // is a pure function of the configs and so stays deterministic.
         for &i in &pending {
             let started = Instant::now();
             let mut qobs = QueryObs::new(i as u64, tracing, config.timed);
-            let r = catch_unwind(AssertUnwindSafe(|| {
-                solve_query_observed(
-                    program,
-                    &|c| callees(c),
-                    client,
-                    &queries[i],
-                    &config.tracer,
-                    batch_deadline,
-                    &mut qobs,
-                )
-            }))
-            .unwrap_or_else(|payload| fault_result(payload, started));
+            let rejected = pool.as_ref().is_some_and(|p| {
+                let limit = p.limit().unwrap_or(u64::MAX);
+                reservation(&queries[i], &config.tracer, limit) > limit
+            });
+            let r = if rejected {
+                overcommit_result(started)
+            } else {
+                catch_unwind(AssertUnwindSafe(|| {
+                    solve_query_pooled(
+                        program,
+                        &|c| callees(c),
+                        client,
+                        &queries[i],
+                        &config.tracer,
+                        batch_deadline,
+                        &mut qobs,
+                        pool.clone(),
+                    )
+                }))
+                .unwrap_or_else(|payload| fault_result(payload, started))
+            };
             if let Some(sink) = sink {
                 sink(i, &r);
             }
@@ -528,40 +600,125 @@ where
         }
     } else {
         let cache: ForwardCache<'p, C::State> = ForwardCache::new();
-        let next = AtomicUsize::new(0);
         #[allow(clippy::type_complexity)]
         let shared: Vec<Mutex<Option<(QueryResult<C::Param>, QueryObs)>>> =
             pending.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..jobs {
-                scope.spawn(|| loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= pending.len() {
-                        break;
+        match &pool {
+            None => {
+                let next = AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    for _ in 0..jobs {
+                        scope.spawn(|| loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= pending.len() {
+                                break;
+                            }
+                            let i = pending[k];
+                            let started = Instant::now();
+                            let mut qobs = QueryObs::new(i as u64, tracing, config.timed);
+                            let r = catch_unwind(AssertUnwindSafe(|| {
+                                solve_query_cached_pooled(
+                                    program,
+                                    callees,
+                                    client,
+                                    &queries[i],
+                                    &config.tracer,
+                                    &cache,
+                                    batch_deadline,
+                                    &mut qobs,
+                                    None,
+                                )
+                            }))
+                            .unwrap_or_else(|payload| fault_result(payload, started));
+                            if let Some(sink) = sink {
+                                sink(i, &r);
+                            }
+                            *shared[k].lock().expect("result slot poisoned") = Some((r, qobs));
+                        });
                     }
-                    let i = pending[k];
-                    let started = Instant::now();
-                    let mut qobs = QueryObs::new(i as u64, tracing, config.timed);
-                    let r = catch_unwind(AssertUnwindSafe(|| {
-                        solve_query_cached_observed(
-                            program,
-                            callees,
-                            client,
-                            &queries[i],
-                            &config.tracer,
-                            &cache,
-                            batch_deadline,
-                            &mut qobs,
-                        )
-                    }))
-                    .unwrap_or_else(|payload| fault_result(payload, started));
-                    if let Some(sink) = sink {
-                        sink(i, &r);
-                    }
-                    *shared[k].lock().expect("result slot poisoned") = Some((r, qobs));
                 });
             }
-        });
+            Some(pool) => {
+                let limit = pool.limit().unwrap_or(u64::MAX);
+                let admission = Mutex::new(AdmissionState {
+                    queue: (0..pending.len()).collect::<VecDeque<usize>>(),
+                    active: 0,
+                });
+                let turnstile = Condvar::new();
+                std::thread::scope(|scope| {
+                    for _ in 0..jobs {
+                        scope.spawn(|| loop {
+                            // Admission: pop the next fresh-or-deferred
+                            // query and start it once its reservation fits
+                            // the pool. A query that does not fit is shed
+                            // (requeued at the back, never failed) until a
+                            // running query releases capacity; when nothing
+                            // is running it is admitted regardless, since
+                            // waiting could not help and this guarantees
+                            // progress. A reservation above the pool limit
+                            // itself can never be admitted and resolves
+                            // without running.
+                            let mut st =
+                                admission.lock().expect("admission queue poisoned");
+                            let claimed = loop {
+                                if let Some(k) = st.queue.pop_front() {
+                                    let r = reservation(
+                                        &queries[pending[k]],
+                                        &config.tracer,
+                                        limit,
+                                    );
+                                    if r > limit {
+                                        break Some((k, false));
+                                    }
+                                    if st.active == 0 || pool.fits(r) {
+                                        st.active += 1;
+                                        break Some((k, true));
+                                    }
+                                    st.queue.push_back(k);
+                                    shed.fetch_add(1, Ordering::Relaxed);
+                                } else if st.active == 0 {
+                                    break None;
+                                }
+                                st = turnstile.wait(st).expect("admission queue poisoned");
+                            };
+                            drop(st);
+                            let Some((k, admitted)) = claimed else { break };
+                            let i = pending[k];
+                            let started = Instant::now();
+                            let mut qobs = QueryObs::new(i as u64, tracing, config.timed);
+                            let r = if !admitted {
+                                overcommit_result(started)
+                            } else {
+                                let r = catch_unwind(AssertUnwindSafe(|| {
+                                    solve_query_cached_pooled(
+                                        program,
+                                        callees,
+                                        client,
+                                        &queries[i],
+                                        &config.tracer,
+                                        &cache,
+                                        batch_deadline,
+                                        &mut qobs,
+                                        Some(Arc::clone(pool)),
+                                    )
+                                }))
+                                .unwrap_or_else(|payload| fault_result(payload, started));
+                                let mut st =
+                                    admission.lock().expect("admission queue poisoned");
+                                st.active -= 1;
+                                drop(st);
+                                turnstile.notify_all();
+                                r
+                            };
+                            if let Some(sink) = sink {
+                                sink(i, &r);
+                            }
+                            *shared[k].lock().expect("result slot poisoned") = Some((r, qobs));
+                        });
+                    }
+                });
+            }
+        }
         for (k, slot) in shared.into_iter().enumerate() {
             slots[pending[k]] = slot
                 .into_inner()
@@ -610,6 +767,8 @@ where
             .count(),
         escalations: results.iter().map(|r| u64::from(r.escalations)).sum(),
         resumed,
+        degradations: results.iter().map(|r| u64::from(r.degradations)).sum(),
+        shed: shed.load(Ordering::Relaxed),
         meta: {
             let mut total = MetaStats::default();
             for r in &results {
@@ -665,6 +824,24 @@ pub fn solve_query_cached_observed<'p, C: TracerClient>(
     outer: Deadline,
     obs: &mut QueryObs,
 ) -> QueryResult<C::Param> {
+    solve_query_cached_pooled(program, callees, client, query, config, cache, outer, obs, None)
+}
+
+/// [`solve_query_cached_observed`] with the query's byte charges
+/// additionally cascading into the shared batch `pool` (admission-control
+/// accounting; the pool never influences the running query's decisions).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_query_cached_pooled<'p, C: TracerClient>(
+    program: &'p Program,
+    callees: &dyn Fn(CallId) -> Vec<MethodId>,
+    client: &C,
+    query: &Query<C::Prim>,
+    config: &TracerConfig,
+    cache: &ForwardCache<'p, C::State>,
+    outer: Deadline,
+    obs: &mut QueryObs,
+    pool: Option<Arc<MemBudget>>,
+) -> QueryResult<C::Param> {
     let start = Instant::now();
     let entry = obs.reg.clone();
     let deadline = effective_deadline(query, config, outer);
@@ -672,6 +849,7 @@ pub fn solve_query_cached_observed<'p, C: TracerClient>(
     let mut iterations = 0;
     let mut escalations = 0;
     let mut icache = InternCache::default();
+    let mut gov = Governor::new(query, config, pool);
     let outcome = loop {
         if deadline.expired() {
             break Outcome::Unresolved(Unresolved::DeadlineExceeded);
@@ -690,6 +868,7 @@ pub fn solve_query_cached_observed<'p, C: TracerClient>(
             deadline,
             &mut escalations,
             &mut icache,
+            &mut gov,
             obs,
             iterations,
         ) {
@@ -698,7 +877,13 @@ pub fn solve_query_cached_observed<'p, C: TracerClient>(
                 break Outcome::Proven { param, cost };
             }
             StepResult::Impossible => break Outcome::Impossible,
-            StepResult::Refined { .. } => iterations += 1,
+            StepResult::Refined { .. } => {
+                iterations += 1;
+                gov.account_retained(&icache, &constraints, &mut obs.reg);
+                if gov.poll(&mut icache, &mut obs.reg) {
+                    break Outcome::Unresolved(Unresolved::MemBudgetExceeded);
+                }
+            }
             StepResult::Unresolved(u) => {
                 iterations += 1;
                 break Outcome::Unresolved(u);
@@ -708,7 +893,14 @@ pub fn solve_query_cached_observed<'p, C: TracerClient>(
     obs.reg.add(Counter::Iterations, iterations as u64);
     obs.reg.add(Counter::Escalations, escalations as u64);
     let meta = MetaStats::from_obs(&obs.reg.since(&entry));
-    QueryResult { outcome, iterations, micros: start.elapsed().as_micros(), escalations, meta }
+    QueryResult {
+        outcome,
+        iterations,
+        micros: start.elapsed().as_micros(),
+        escalations,
+        degradations: gov.degradations,
+        meta,
+    }
 }
 
 /// One CEGAR iteration with the forward run served by `cache`.
@@ -724,6 +916,7 @@ fn step_cached<'p, C: TracerClient>(
     deadline: Deadline,
     escalations: &mut u32,
     icache: &mut InternCache<C::Prim>,
+    gov: &mut Governor,
     obs: &mut QueryObs,
     iter: usize,
 ) -> StepResult<C::Param> {
@@ -733,7 +926,7 @@ fn step_cached<'p, C: TracerClient>(
     for c in constraints.iter() {
         solver.require(c.clone());
     }
-    let model = match solver.solve_within_observed(deadline, &mut obs.reg) {
+    let model = match solver.solve_within_budgeted(deadline, &mut obs.reg, Some(gov.budget())) {
         Ok(Some(m)) => m,
         Ok(None) => return StepResult::Impossible,
         Err(_) => return StepResult::Unresolved(Unresolved::DeadlineExceeded),
@@ -750,7 +943,10 @@ fn step_cached<'p, C: TracerClient>(
     let p = client.param_of_model(&model.assignment);
     let d0 = client.initial_state();
 
-    let base_facts = query.limits.max_facts.unwrap_or(config.rhs_limits.max_facts);
+    // The governor may have shrunk the base fact budget below the
+    // configured/query budget (ladder rungs 7–8). A degraded budget uses
+    // a different cache key, so degraded runs never poison healthy ones.
+    let base_facts = gov.base_facts;
     let mut attempt: u32 = 0;
     let fwd = Span::enter(&obs.reg, SpanKind::Forward);
     let run = loop {
@@ -778,19 +974,46 @@ fn step_cached<'p, C: TracerClient>(
     fwd.exit(&mut obs.reg);
     obs.reg.inc(Counter::ForwardRuns);
     obs.emit(Event::ForwardDone { query: q, iter, facts: run.n_facts() as u64 });
+    // The (possibly shared) fact/reason tables are this query's working
+    // set until the end of the step; charge them so the boundary poll —
+    // and the batch pool — see the iteration's true footprint.
+    let fwd_bytes = run.approx_bytes();
+    gov.budget().charge(fwd_bytes);
+    obs.reg.add(Counter::MemCharged, fwd_bytes);
 
     let failing = |d: &C::State| query.not_q.holds(&p, d);
     let Some(trace) = run.witness(query.point, &failing) else {
+        gov.budget().release(fwd_bytes);
         return StepResult::Proven { param: p, cost: model.cost };
     };
     let atoms: Vec<pda_lang::Atom> = trace.iter().map(|s| s.atom).collect();
 
     let before = obs.reg.clone();
-    let phi = match backward_phase(client, query, config, &p, &d0, &atoms, icache, &mut obs.reg) {
+    let phi = match backward_phase(
+        client,
+        query,
+        config,
+        &gov.beam,
+        &p,
+        &d0,
+        &atoms,
+        icache,
+        &mut obs.reg,
+    ) {
         Ok(phi) => phi,
-        Err(e) => return StepResult::Unresolved(Unresolved::MetaFailure(e.to_string())),
+        Err(e) => {
+            gov.budget().release(fwd_bytes);
+            return StepResult::Unresolved(Unresolved::MetaFailure(e.to_string()));
+        }
     };
     let delta = obs.reg.since(&before);
+    // Transient cube traffic of the backward phase (deterministic
+    // per-cube estimate, charged and released in one breath — the peak
+    // tracker still observes it).
+    let cube_bytes = delta.get(Counter::CubesBuilt).saturating_mul(crate::tracer::CUBE_BYTES);
+    gov.budget().charge(cube_bytes);
+    obs.reg.add(Counter::MemCharged, cube_bytes);
+    gov.budget().release(cube_bytes);
     obs.emit(Event::MetaDone {
         query: q,
         iter,
@@ -806,6 +1029,7 @@ fn step_cached<'p, C: TracerClient>(
     let viable = Span::enter(&obs.reg, SpanKind::Viable);
     constraints.push(PFormula::not(phi));
     viable.exit(&mut obs.reg);
+    gov.budget().release(fwd_bytes);
     StepResult::Refined { param: p, cost: model.cost }
 }
 
@@ -1029,6 +1253,8 @@ mod tests {
             deadline_exceeded: 2,
             escalations: 3,
             resumed: 4,
+            degradations: 5,
+            shed: 6,
             meta: MetaStats {
                 cubes_built: 12,
                 subsumption_checks: 20,
@@ -1036,6 +1262,7 @@ mod tests {
                 wp_hits: 8,
                 wp_misses: 2,
                 approx_drops: 3,
+                mem_evictions: 0,
                 micros: 42,
             },
             obs: ObsRegistry::default(),
@@ -1043,7 +1270,7 @@ mod tests {
         assert_eq!(
             stats.to_string(),
             "32 queries, jobs=8: 16.0 q/s, cache 57/89 hits (64.0%), 57 forward runs saved, \
-             faults=1 deadlines=2 escalations=3 resumed=4\n\
+             faults=1 deadlines=2 escalations=3 resumed=4 degradations=5 shed=6\n\
              meta: 12 cubes, wp 8/10 memo hits, subsumption 5/20 fast-rejected, 3 drops, 42µs"
         );
         // The meta: line is the MetaStats Display, verbatim.

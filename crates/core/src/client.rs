@@ -76,6 +76,8 @@ pub struct QueryLimits {
     pub timeout: Option<std::time::Duration>,
     /// Base fact budget for this query's forward runs (`None` = global).
     pub max_facts: Option<usize>,
+    /// Memory budget in estimated bytes for this query (`None` = global).
+    pub mem_budget: Option<u64>,
 }
 
 impl<P: Primitive> Query<P> {

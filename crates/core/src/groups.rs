@@ -87,6 +87,7 @@ pub fn solve_queries<C: TracerClient>(
                 iterations: group.iters,
                 micros: group.micros + extra,
                 escalations: 0,
+                degradations: 0,
                 meta: group.meta,
             });
         };
@@ -164,8 +165,17 @@ pub fn solve_queries<C: TracerClient>(
                 Some(trace) => {
                     let atoms: Vec<pda_lang::Atom> = trace.iter().map(|s| s.atom).collect();
                     stats.backward_runs += 1;
-                    match backward_phase(client, query, config, &p, &d0, &atoms, &mut icache, &mut obs)
-                    {
+                    match backward_phase(
+                        client,
+                        query,
+                        config,
+                        &config.beam,
+                        &p,
+                        &d0,
+                        &atoms,
+                        &mut icache,
+                        &mut obs,
+                    ) {
                         Ok(phi) => {
                             let constraint = PFormula::not(phi);
                             let key = format!("{constraint:?}");

@@ -121,17 +121,19 @@ fn header_line(n_queries: usize) -> String {
 fn record_line<P: ParamCodec>(i: usize, r: &QueryResult<P>) -> String {
     let m = &r.meta;
     let tail = format!(
-        "\"iterations\":{},\"micros\":{},\"escalations\":{},\
-         \"m_cubes\":{},\"m_sub\":{},\"m_subf\":{},\"m_wph\":{},\"m_wpm\":{},\"m_drop\":{},\"m_us\":{}",
+        "\"iterations\":{},\"micros\":{},\"escalations\":{},\"degradations\":{},\
+         \"m_cubes\":{},\"m_sub\":{},\"m_subf\":{},\"m_wph\":{},\"m_wpm\":{},\"m_drop\":{},\"m_mev\":{},\"m_us\":{}",
         r.iterations,
         r.micros,
         r.escalations,
+        r.degradations,
         m.cubes_built,
         m.subsumption_checks,
         m.subsumption_fast_rejects,
         m.wp_hits,
         m.wp_misses,
         m.approx_drops,
+        m.mem_evictions,
         m.micros,
     );
     match &r.outcome {
@@ -147,6 +149,7 @@ fn record_line<P: ParamCodec>(i: usize, r: &QueryResult<P>) -> String {
                 Unresolved::MetaFailure(m) => ("meta_failure", Some(m.as_str())),
                 Unresolved::DeadlineExceeded => ("deadline", None),
                 Unresolved::EngineFault(m) => ("engine_fault", Some(m.as_str())),
+                Unresolved::MemBudgetExceeded => ("mem_budget", None),
             };
             let detail = detail
                 .map(|d| format!("\"detail\":\"{}\",", json_escape(d)))
@@ -162,8 +165,10 @@ fn decode_record<P: ParamCodec>(line: &str) -> Option<(usize, QueryResult<P>)> {
     let iterations: usize = fields.get("iterations")?.parse().ok()?;
     let micros: u128 = fields.get("micros")?.parse().ok()?;
     let escalations: u32 = fields.get("escalations")?.parse().ok()?;
-    // Meta counters default to zero so records written before they existed
-    // still decode.
+    // Governor and meta counters default to zero so records written
+    // before they existed still decode.
+    let degradations: u32 =
+        fields.get("degradations").and_then(|v| v.parse().ok()).unwrap_or(0);
     let m = |k: &str| fields.get(k).and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
     let meta = MetaStats {
         cubes_built: m("m_cubes"),
@@ -172,6 +177,7 @@ fn decode_record<P: ParamCodec>(line: &str) -> Option<(usize, QueryResult<P>)> {
         wp_hits: m("m_wph"),
         wp_misses: m("m_wpm"),
         approx_drops: m("m_drop"),
+        mem_evictions: m("m_mev"),
         micros: m("m_us"),
     };
     let outcome = match fields.get("outcome")?.as_str() {
@@ -186,11 +192,12 @@ fn decode_record<P: ParamCodec>(line: &str) -> Option<(usize, QueryResult<P>)> {
             "meta_failure" => Unresolved::MetaFailure(fields.get("detail")?.clone()),
             "deadline" => Unresolved::DeadlineExceeded,
             "engine_fault" => Unresolved::EngineFault(fields.get("detail")?.clone()),
+            "mem_budget" => Unresolved::MemBudgetExceeded,
             _ => return None,
         }),
         _ => return None,
     };
-    Some((i, QueryResult { outcome, iterations, micros, escalations, meta }))
+    Some((i, QueryResult { outcome, iterations, micros, escalations, degradations, meta }))
 }
 
 /// Streams finished results to a checkpoint file, one flushed line each.
@@ -394,6 +401,7 @@ mod tests {
                 iterations: 3,
                 micros: 412,
                 escalations: 1,
+                degradations: 2,
                 meta: MetaStats {
                     cubes_built: 12,
                     subsumption_checks: 20,
@@ -401,6 +409,7 @@ mod tests {
                     wp_hits: 8,
                     wp_misses: 2,
                     approx_drops: 3,
+                    mem_evictions: 1,
                     micros: 42,
                 },
             },
@@ -409,6 +418,7 @@ mod tests {
                 iterations: 4,
                 micros: 96,
                 escalations: 0,
+                degradations: 0,
                 meta: MetaStats { wp_misses: 1, micros: 7, ..MetaStats::default() },
             },
             QueryResult {
@@ -418,6 +428,7 @@ mod tests {
                 iterations: 0,
                 micros: 8,
                 escalations: 0,
+                degradations: 0,
                 meta: MetaStats::default(),
             },
             QueryResult {
@@ -425,6 +436,7 @@ mod tests {
                 iterations: 2,
                 micros: 33,
                 escalations: 0,
+                degradations: 0,
                 meta: MetaStats::default(),
             },
             QueryResult {
@@ -432,6 +444,7 @@ mod tests {
                 iterations: 0,
                 micros: 1,
                 escalations: 0,
+                degradations: 0,
                 meta: MetaStats::default(),
             },
             QueryResult {
@@ -439,6 +452,7 @@ mod tests {
                 iterations: 200,
                 micros: 99_999,
                 escalations: 0,
+                degradations: 0,
                 meta: MetaStats::default(),
             },
             QueryResult {
@@ -446,7 +460,16 @@ mod tests {
                 iterations: 1,
                 micros: 77,
                 escalations: 2,
+                degradations: 0,
                 meta: MetaStats::default(),
+            },
+            QueryResult {
+                outcome: Outcome::Unresolved(Unresolved::MemBudgetExceeded),
+                iterations: 6,
+                micros: 210,
+                escalations: 0,
+                degradations: 8,
+                meta: MetaStats { mem_evictions: 2, ..MetaStats::default() },
             },
         ]
     }

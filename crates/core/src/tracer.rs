@@ -5,9 +5,11 @@ use pda_dataflow::{rhs, Interrupt, RhsLimits};
 use pda_lang::{CallId, MethodId, Program};
 use pda_meta::{
     analyze_trace_interned, analyze_trace_obs, restrict, BeamConfig, InternCache, MetaStats,
+    Primitive,
 };
 use pda_solver::{MinCostSolver, PFormula};
-use pda_util::{Counter, Deadline, Event, ObsRegistry, Span, SpanKind};
+use pda_util::{Counter, Deadline, Event, MemBudget, ObsRegistry, Span, SpanKind};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-query observability context threaded through the CEGAR loop: a
@@ -96,6 +98,12 @@ pub struct TracerConfig {
     pub escalation: Escalation,
     /// Backward meta-analysis kernel (default: interned).
     pub kernel: MetaKernel,
+    /// Per-query memory budget in estimated bytes. Under sustained
+    /// pressure the memory governor walks its degradation ladder (evict
+    /// memos, shrink the beam, shrink the fact budget) before resolving
+    /// as [`Unresolved::MemBudgetExceeded`]. `None` (the default) keeps
+    /// byte accounting on but never degrades.
+    pub mem_budget: Option<u64>,
 }
 
 impl Default for TracerConfig {
@@ -107,6 +115,7 @@ impl Default for TracerConfig {
             timeout: None,
             escalation: Escalation::default(),
             kernel: MetaKernel::default(),
+            mem_budget: None,
         }
     }
 }
@@ -180,6 +189,11 @@ pub enum Unresolved {
     /// payload message is preserved. Produced only by the batch driver's
     /// panic isolation — a lone [`solve_query`] still propagates panics.
     EngineFault(String),
+    /// The memory governor exhausted its degradation ladder (memo
+    /// eviction, beam shrinking, fact-budget shrinking) and the query
+    /// still exceeded its byte budget — or, in a batch, the query's
+    /// reservation can never fit the shared pool.
+    MemBudgetExceeded,
 }
 
 /// Per-query result plus effort accounting for the experiment tables.
@@ -193,6 +207,9 @@ pub struct QueryResult<Param> {
     pub micros: u128,
     /// Fact-budget escalation retries consumed across all iterations.
     pub escalations: u32,
+    /// Memory-governor degradation-ladder steps applied (0 when the
+    /// query never came under memory pressure).
+    pub degradations: u32,
     /// Backward/meta-phase effort counters summed over all iterations
     /// (all-zero except `micros` under [`MetaKernel::Tree`]).
     pub meta: MetaStats,
@@ -229,6 +246,162 @@ pub(crate) fn effective_deadline<P>(
         .min(outer)
 }
 
+/// The memory budget a query actually runs under: the query's own limit
+/// override, else the configured per-query budget.
+pub(crate) fn effective_mem_budget<P>(query: &Query<P>, config: &TracerConfig) -> Option<u64> {
+    query.limits.mem_budget.or(config.mem_budget)
+}
+
+/// Deterministic node-count byte estimate of a learned constraint.
+fn pformula_bytes(f: &PFormula) -> u64 {
+    fn nodes(f: &PFormula) -> u64 {
+        match f {
+            PFormula::True | PFormula::False | PFormula::Lit { .. } => 1,
+            PFormula::Not(g) => 1u64.saturating_add(nodes(g)),
+            PFormula::And(fs) | PFormula::Or(fs) => {
+                fs.iter().fold(1u64, |a, g| a.saturating_add(nodes(g)))
+            }
+        }
+    }
+    nodes(f).saturating_mul(std::mem::size_of::<PFormula>() as u64)
+}
+
+/// Rough per-cube byte estimate used to account the backward kernels'
+/// transient cube traffic (both kernels report [`Counter::CubesBuilt`]).
+pub(crate) const CUBE_BYTES: u64 = 96;
+
+/// The last rung of the degradation ladder; sustained pressure past it
+/// resolves the query as [`Unresolved::MemBudgetExceeded`].
+const LADDER_RUNGS: u32 = 8;
+
+/// The per-query memory governor: owns the query's byte budget (possibly
+/// cascading into a shared batch pool), polls it at CEGAR iteration
+/// boundaries, and under pressure walks a deterministic degradation
+/// ladder — (1) evict `Unstable` wp-memo entries, (2) reset the
+/// [`InternCache`], (3–4) quarter `max_cubes`, (5–6) halve the beam `k`
+/// (both sound by Theorem 3: a narrower beam can cost precision of the
+/// *optimum*, never soundness of a verdict), (7–8) shrink the base fact
+/// budget — before giving up.
+///
+/// The ladder escalates only under *sustained* pressure: a rung whose
+/// relief lasts until the next boundary restarts the ladder at eviction,
+/// so transient spikes cost cache warmth, not beam width. Every pressure
+/// decision is a pure function of deterministic byte estimates, so
+/// governed runs reproduce bit-identically.
+pub(crate) struct Governor {
+    budget: MemBudget,
+    level: u32,
+    prev_pressure: bool,
+    /// Ladder rungs applied so far (mirrors [`Counter::Degradations`]).
+    pub(crate) degradations: u32,
+    /// The effective (possibly shrunken) backward beam.
+    pub(crate) beam: BeamConfig,
+    /// The effective (possibly shrunken) base fact budget.
+    pub(crate) base_facts: usize,
+    factor: usize,
+    last_retained: u64,
+}
+
+impl Governor {
+    /// A governor for one query: `pool` is the shared batch pool charges
+    /// cascade into (admission control reads it; it never throttles a
+    /// running query).
+    pub(crate) fn new<P>(
+        query: &Query<P>,
+        config: &TracerConfig,
+        pool: Option<Arc<MemBudget>>,
+    ) -> Governor {
+        let limit = effective_mem_budget(query, config);
+        let budget = match pool {
+            Some(p) => MemBudget::with_parent(limit, p),
+            None => MemBudget::new(limit),
+        };
+        Governor {
+            budget,
+            level: 0,
+            prev_pressure: false,
+            degradations: 0,
+            beam: config.beam,
+            base_facts: query.limits.max_facts.unwrap_or(config.rhs_limits.max_facts),
+            factor: (config.escalation.factor as usize).max(2),
+            last_retained: 0,
+        }
+    }
+
+    pub(crate) fn budget(&self) -> &MemBudget {
+        &self.budget
+    }
+
+    /// Re-estimates the bytes retained across iterations (the intern
+    /// cache plus the learned constraint set) and charges/releases the
+    /// delta, so the ledger's `used()` tracks retained state between
+    /// boundaries while transient charges come and go on top of it.
+    pub(crate) fn account_retained<P: Primitive>(
+        &mut self,
+        icache: &InternCache<P>,
+        constraints: &[PFormula],
+        obs: &mut ObsRegistry,
+    ) {
+        let retained = icache.approx_bytes().saturating_add(
+            constraints.iter().fold(0u64, |acc, c| acc.saturating_add(pformula_bytes(c))),
+        );
+        if retained > self.last_retained {
+            let delta = retained - self.last_retained;
+            self.budget.charge(delta);
+            obs.add(Counter::MemCharged, delta);
+        } else {
+            self.budget.release(self.last_retained - retained);
+        }
+        self.last_retained = retained;
+    }
+
+    /// Polls the consumed pressure signal at an iteration boundary and
+    /// applies at most one ladder rung. Returns `true` when the ladder is
+    /// exhausted (the caller resolves [`Unresolved::MemBudgetExceeded`]).
+    pub(crate) fn poll<P: Primitive>(
+        &mut self,
+        icache: &mut InternCache<P>,
+        obs: &mut ObsRegistry,
+    ) -> bool {
+        if !self.budget.take_pressure() {
+            self.prev_pressure = false;
+            return false;
+        }
+        // Escalate only when the previous boundary was also under
+        // pressure; relieved pressure restarts the ladder at eviction.
+        self.level = if self.prev_pressure { self.level + 1 } else { 1 };
+        self.prev_pressure = true;
+        match self.level {
+            1 => {
+                let evicted = icache.evict_unstable();
+                obs.add(Counter::MemEvictions, evicted);
+            }
+            2 => {
+                *icache = InternCache::new();
+                obs.inc(Counter::MemEvictions);
+            }
+            3 | 4 => self.beam.max_cubes = (self.beam.max_cubes / 4).max(1),
+            5 | 6 => self.beam.k = (self.beam.k / 2).max(1),
+            7..=LADDER_RUNGS => self.base_facts = (self.base_facts / self.factor).max(1),
+            _ => return true,
+        }
+        self.degradations += 1;
+        obs.inc(Counter::Degradations);
+        false
+    }
+}
+
+impl Drop for Governor {
+    fn drop(&mut self) {
+        // Whatever is still outstanding — retained-state charges, or
+        // transient charges stranded by a panic — leaves the ledger (and,
+        // via the cascade, the shared batch pool) when the query ends, so
+        // a faulted query can never pin pool capacity.
+        let outstanding = self.budget.used();
+        self.budget.release(outstanding);
+    }
+}
+
 /// Like [`solve_query`], but also bounded by an externally imposed
 /// `outer` deadline (the batch driver's whole-batch budget).
 pub fn solve_query_within<C: TracerClient>(
@@ -256,6 +429,23 @@ pub fn solve_query_observed<C: TracerClient>(
     outer: Deadline,
     obs: &mut QueryObs,
 ) -> QueryResult<C::Param> {
+    solve_query_pooled(program, callees, client, query, config, outer, obs, None)
+}
+
+/// [`solve_query_observed`] with the query's byte charges additionally
+/// cascading into a shared batch `pool` (admission-control accounting;
+/// the pool never influences the running query's decisions).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_query_pooled<C: TracerClient>(
+    program: &Program,
+    callees: &dyn Fn(CallId) -> Vec<MethodId>,
+    client: &C,
+    query: &Query<C::Prim>,
+    config: &TracerConfig,
+    outer: Deadline,
+    obs: &mut QueryObs,
+    pool: Option<Arc<MemBudget>>,
+) -> QueryResult<C::Param> {
     let start = Instant::now();
     let entry = obs.reg.clone();
     let deadline = effective_deadline(query, config, outer);
@@ -263,6 +453,7 @@ pub fn solve_query_observed<C: TracerClient>(
     let mut iterations = 0;
     let mut escalations = 0;
     let mut icache = InternCache::default();
+    let mut gov = Governor::new(query, config, pool);
     let outcome = loop {
         if deadline.expired() {
             break Outcome::Unresolved(Unresolved::DeadlineExceeded);
@@ -280,6 +471,7 @@ pub fn solve_query_observed<C: TracerClient>(
             deadline,
             &mut escalations,
             &mut icache,
+            &mut gov,
             obs,
             iterations,
         ) {
@@ -288,7 +480,13 @@ pub fn solve_query_observed<C: TracerClient>(
                 break Outcome::Proven { param, cost };
             }
             StepResult::Impossible => break Outcome::Impossible,
-            StepResult::Refined { .. } => iterations += 1,
+            StepResult::Refined { .. } => {
+                iterations += 1;
+                gov.account_retained(&icache, &constraints, &mut obs.reg);
+                if gov.poll(&mut icache, &mut obs.reg) {
+                    break Outcome::Unresolved(Unresolved::MemBudgetExceeded);
+                }
+            }
             StepResult::Unresolved(u) => {
                 iterations += 1;
                 break Outcome::Unresolved(u);
@@ -298,7 +496,14 @@ pub fn solve_query_observed<C: TracerClient>(
     obs.reg.add(Counter::Iterations, iterations as u64);
     obs.reg.add(Counter::Escalations, escalations as u64);
     let meta = MetaStats::from_obs(&obs.reg.since(&entry));
-    QueryResult { outcome, iterations, micros: start.elapsed().as_micros(), escalations, meta }
+    QueryResult {
+        outcome,
+        iterations,
+        micros: start.elapsed().as_micros(),
+        escalations,
+        degradations: gov.degradations,
+        meta,
+    }
 }
 
 /// One recorded CEGAR iteration of [`solve_query_logged`].
@@ -311,6 +516,8 @@ pub struct IterationLog<Param> {
     /// The unviability constraint learned from this iteration's
     /// counterexample (`None` on the final, proving iteration).
     pub learned: Option<PFormula>,
+    /// Memory-governor ladder rungs applied at this iteration's boundary.
+    pub degradations: u32,
     /// Backward/meta-phase effort counters for this iteration alone.
     pub meta: MetaStats,
 }
@@ -333,6 +540,7 @@ pub fn solve_query_logged<C: TracerClient>(
     let mut escalations = 0;
     let mut obs = QueryObs::untraced();
     let mut icache = InternCache::default();
+    let mut gov = Governor::new(query, config, None);
     let outcome = loop {
         if deadline.expired() {
             break Outcome::Unresolved(Unresolved::DeadlineExceeded);
@@ -351,6 +559,7 @@ pub fn solve_query_logged<C: TracerClient>(
             deadline,
             &mut escalations,
             &mut icache,
+            &mut gov,
             &mut obs,
             iterations,
         ) {
@@ -360,6 +569,7 @@ pub fn solve_query_logged<C: TracerClient>(
                     param: param.clone(),
                     cost,
                     learned: None,
+                    degradations: 0,
                     meta: MetaStats::from_obs(&obs.reg.since(&before)),
                 });
                 break Outcome::Proven { param, cost };
@@ -367,12 +577,19 @@ pub fn solve_query_logged<C: TracerClient>(
             StepResult::Impossible => break Outcome::Impossible,
             StepResult::Refined { param, cost } => {
                 iterations += 1;
+                let deg_before = gov.degradations;
+                gov.account_retained(&icache, &constraints, &mut obs.reg);
+                let exhausted = gov.poll(&mut icache, &mut obs.reg);
                 log.push(IterationLog {
                     param,
                     cost,
                     learned: constraints.last().cloned(),
+                    degradations: gov.degradations - deg_before,
                     meta: MetaStats::from_obs(&obs.reg.since(&before)),
                 });
+                if exhausted {
+                    break Outcome::Unresolved(Unresolved::MemBudgetExceeded);
+                }
             }
             StepResult::Unresolved(u) => {
                 iterations += 1;
@@ -386,6 +603,7 @@ pub fn solve_query_logged<C: TracerClient>(
             iterations,
             micros: start.elapsed().as_micros(),
             escalations,
+            degradations: gov.degradations,
             meta: MetaStats::from_obs(&obs.reg),
         },
         log,
@@ -411,6 +629,7 @@ pub(crate) fn backward_phase<C: TracerClient>(
     client: &C,
     query: &Query<C::Prim>,
     config: &TracerConfig,
+    beam: &BeamConfig,
     p: &C::Param,
     d0: &C::State,
     atoms: &[pda_lang::Atom],
@@ -425,13 +644,13 @@ pub(crate) fn backward_phase<C: TracerClient>(
             d0,
             atoms,
             &query.not_q,
-            &config.beam,
+            beam,
             icache,
             obs,
         )
         .map(|out| out.restrict()),
         MetaKernel::Tree => {
-            analyze_trace_obs(&AsMeta(client), p, d0, atoms, &query.not_q, &config.beam, obs)
+            analyze_trace_obs(&AsMeta(client), p, d0, atoms, &query.not_q, beam, obs)
                 .map(|dnf| restrict(&dnf, d0))
         }
     };
@@ -462,6 +681,7 @@ pub(crate) fn step<C: TracerClient>(
     deadline: Deadline,
     escalations: &mut u32,
     icache: &mut InternCache<C::Prim>,
+    gov: &mut Governor,
     obs: &mut QueryObs,
     iter: usize,
 ) -> StepResult<C::Param> {
@@ -471,7 +691,7 @@ pub(crate) fn step<C: TracerClient>(
     for c in constraints.iter() {
         solver.require(c.clone());
     }
-    let model = match solver.solve_within_observed(deadline, &mut obs.reg) {
+    let model = match solver.solve_within_budgeted(deadline, &mut obs.reg, Some(gov.budget())) {
         Ok(Some(m)) => m,
         Ok(None) => return StepResult::Impossible,
         Err(_) => return StepResult::Unresolved(Unresolved::DeadlineExceeded),
@@ -490,8 +710,9 @@ pub(crate) fn step<C: TracerClient>(
 
     // Forward run under the escalation ladder: on TooBig, retry the same
     // abstraction with a geometrically larger fact budget while retries
-    // remain and the deadline is alive.
-    let base_facts = query.limits.max_facts.unwrap_or(config.rhs_limits.max_facts);
+    // remain and the deadline is alive. The governor may have shrunk the
+    // base below the configured/query budget (ladder rungs 7–8).
+    let base_facts = gov.base_facts;
     let mut attempt: u32 = 0;
     let fwd = Span::enter(&obs.reg, SpanKind::Forward);
     let run = loop {
@@ -526,19 +747,45 @@ pub(crate) fn step<C: TracerClient>(
     fwd.exit(&mut obs.reg);
     obs.reg.inc(Counter::ForwardRuns);
     obs.emit(Event::ForwardDone { query: q, iter, facts: run.n_facts() as u64 });
+    // The fact/reason tables live until the end of this step; charge them
+    // so the boundary poll sees the iteration's true working set.
+    let fwd_bytes = run.approx_bytes();
+    gov.budget().charge(fwd_bytes);
+    obs.reg.add(Counter::MemCharged, fwd_bytes);
 
     let failing = |d: &C::State| query.not_q.holds(&p, d);
     let Some(trace) = run.witness(query.point, &failing) else {
+        gov.budget().release(fwd_bytes);
         return StepResult::Proven { param: p, cost: model.cost };
     };
     let atoms: Vec<pda_lang::Atom> = trace.iter().map(|s| s.atom).collect();
 
     let before = obs.reg.clone();
-    let phi = match backward_phase(client, query, config, &p, &d0, &atoms, icache, &mut obs.reg) {
+    let phi = match backward_phase(
+        client,
+        query,
+        config,
+        &gov.beam,
+        &p,
+        &d0,
+        &atoms,
+        icache,
+        &mut obs.reg,
+    ) {
         Ok(phi) => phi,
-        Err(e) => return StepResult::Unresolved(Unresolved::MetaFailure(e.to_string())),
+        Err(e) => {
+            gov.budget().release(fwd_bytes);
+            return StepResult::Unresolved(Unresolved::MetaFailure(e.to_string()));
+        }
     };
     let delta = obs.reg.since(&before);
+    // Transient cube traffic of the backward phase, as a deterministic
+    // per-cube estimate (charged and released in one breath — the peak
+    // tracker still observes it).
+    let cube_bytes = delta.get(Counter::CubesBuilt).saturating_mul(CUBE_BYTES);
+    gov.budget().charge(cube_bytes);
+    obs.reg.add(Counter::MemCharged, cube_bytes);
+    gov.budget().release(cube_bytes);
     obs.emit(Event::MetaDone {
         query: q,
         iter,
@@ -554,6 +801,7 @@ pub(crate) fn step<C: TracerClient>(
     let viable = Span::enter(&obs.reg, SpanKind::Viable);
     constraints.push(PFormula::not(phi));
     viable.exit(&mut obs.reg);
+    gov.budget().release(fwd_bytes);
     StepResult::Refined { param: p, cost: model.cost }
 }
 
@@ -576,6 +824,7 @@ impl std::fmt::Display for Unresolved {
             Unresolved::MetaFailure(m) => write!(f, "meta-analysis failure: {m}"),
             Unresolved::DeadlineExceeded => write!(f, "wall-clock deadline exceeded"),
             Unresolved::EngineFault(m) => write!(f, "engine fault: {m}"),
+            Unresolved::MemBudgetExceeded => write!(f, "memory budget exceeded"),
         }
     }
 }
@@ -788,6 +1037,7 @@ mod tests {
         let query = client.query(&program, q).with_limits(crate::client::QueryLimits {
             timeout: Some(std::time::Duration::ZERO),
             max_facts: None,
+            mem_budget: None,
         });
         let r = solve_query(
             &program,
@@ -806,6 +1056,7 @@ mod tests {
         let query = client.query(&program, q).with_limits(crate::client::QueryLimits {
             timeout: None,
             max_facts: Some(1),
+            mem_budget: None,
         });
         let callees = |c: pda_lang::CallId| pa.callees(c).to_vec();
         // Without escalation a 1-fact budget is hopeless.

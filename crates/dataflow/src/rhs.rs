@@ -393,6 +393,35 @@ impl<S: Clone + Eq + std::hash::Hash> RhsResult<'_, S> {
         self.reasons.len()
     }
 
+    /// Deterministic byte estimate of the retained fact/reason/state
+    /// tables: entry counts × `size_of`, so identical runs charge
+    /// identical amounts on every machine. Heap data *inside* client
+    /// states is not visible from here, so this is a floor, not an exact
+    /// measurement — the memory governor only needs charges to be
+    /// deterministic and monotone in the work done.
+    pub fn approx_bytes(&self) -> u64 {
+        let fact_entry =
+            std::mem::size_of::<Fact>().saturating_add(std::mem::size_of::<Reason>());
+        let steps: usize = self
+            .reasons
+            .values()
+            .map(|r| match r {
+                Reason::Seed => 0,
+                Reason::Flow { steps, .. } => steps.len(),
+                Reason::Return { glue, .. } => glue.len(),
+            })
+            .sum();
+        self.reasons
+            .len()
+            .saturating_mul(fact_entry)
+            .saturating_add(steps.saturating_mul(std::mem::size_of::<TraceStep>()))
+            .saturating_add(self.states.states.len().saturating_mul(std::mem::size_of::<S>()))
+            .saturating_add(self.ctx_parent.len().saturating_mul(
+                std::mem::size_of::<(MethodId, Sid)>()
+                    + std::mem::size_of::<(MethodId, Sid, NodeId, Sid)>(),
+            )) as u64
+    }
+
     /// All abstract states arriving at `point` (over every context).
     pub fn states_at(&self, point: PointId) -> Vec<&S> {
         let info = &self.program.points[point];
@@ -666,6 +695,23 @@ mod tests {
         let x = p.main_var("x").unwrap();
         let qpoint = p.queries[p.query_by_label("q").unwrap()].point;
         assert!(res.witness(qpoint, &|s: &BTreeSet<VarId>| !s.contains(&x)).is_none());
+    }
+
+    #[test]
+    fn approx_bytes_is_positive_and_deterministic() {
+        let (p, pa) = run_on(
+            r#"
+            class C {}
+            fn main() { var x, y; x = new C; y = x; query q: local y; }
+            "#,
+        );
+        let go = || {
+            run(&p, &Nullness, &(), BTreeSet::new(), &|c| pa.callees(c).to_vec(), RhsLimits::default())
+                .unwrap()
+        };
+        let (a, b) = (go(), go());
+        assert!(a.approx_bytes() > 0);
+        assert_eq!(a.approx_bytes(), b.approx_bytes(), "charge must be run-invariant");
     }
 
     #[test]

@@ -89,7 +89,7 @@ struct Matrix {
 impl Matrix {
     fn new(n: usize) -> Matrix {
         let words = n.div_ceil(64).max(1);
-        Matrix { words, bits: vec![0; words * n] }
+        Matrix { words, bits: vec![0; words.saturating_mul(n)] }
     }
 
     fn set(&mut self, i: usize, j: usize) {
@@ -273,6 +273,17 @@ fn prims_of<P: Primitive>(f: &Formula<P>, out: &mut Vec<P>) {
     }
 }
 
+/// Counts the nodes of a formula tree (for deterministic byte estimates).
+fn formula_nodes<P: Primitive>(f: &Formula<P>) -> u64 {
+    match f {
+        Formula::True | Formula::False | Formula::Prim(_) => 1,
+        Formula::Not(g) => 1u64.saturating_add(formula_nodes(g)),
+        Formula::And(fs) | Formula::Or(fs) => {
+            fs.iter().fold(1u64, |acc, g| acc.saturating_add(formula_nodes(g)))
+        }
+    }
+}
+
 /// A memoized per-literal wp variant (the formula the tree path builds as
 /// `wp` or `¬wp` before `Formula::and` folding).
 enum WpEntry<P> {
@@ -305,14 +316,14 @@ impl<P: Primitive> WpMemo<P> {
     }
 
     fn grow(&mut self, n_atoms: usize) {
-        let need = n_atoms * self.stride;
+        let need = n_atoms.saturating_mul(self.stride);
         if self.entries.len() < need {
             self.entries.resize_with(need, || None);
         }
     }
 
     fn key(&self, aid: u32, lit: PLit) -> usize {
-        aid as usize * self.stride + lit as usize
+        (aid as usize).saturating_mul(self.stride).saturating_add(lit as usize)
     }
 
     /// Materializes the entry for `(aid, lit)` if absent, counting memo
@@ -481,6 +492,66 @@ impl<P: Primitive> InternCache<P> {
             }
         }
         changed
+    }
+
+    /// Deterministic estimate of the bytes this cache retains across CEGAR
+    /// iterations: atoms, the closed primitive universe, raw wp formulas,
+    /// the intern table with its matrices, and the wp memo. Counts ×
+    /// `size_of` only — never allocator or RSS measurements — so the
+    /// memory governor's pressure decisions reproduce bit-identically.
+    pub fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let node = size_of::<Formula<P>>() as u64;
+        let cube = |c: &ICube| {
+            (size_of::<ICube>() as u64).saturating_add((c.lits.len() as u64).saturating_mul(4))
+        };
+        let mut bytes = (self.atoms.len() as u64)
+            .saturating_mul(size_of::<Atom>() as u64)
+            .saturating_add((self.universe.len() as u64).saturating_mul(size_of::<P>() as u64))
+            .saturating_add(
+                (self.wp_raw.len() as u64).saturating_mul(4 + size_of::<P>() as u64),
+            );
+        for w in self.wp_raw.values() {
+            bytes = bytes.saturating_add(formula_nodes(w).saturating_mul(node));
+        }
+        if let Some(t) = &self.table {
+            bytes = bytes
+                .saturating_add((t.implies.bits.len() as u64).saturating_mul(8))
+                .saturating_add((t.contradicts.bits.len() as u64).saturating_mul(8))
+                .saturating_add((t.prims.len() as u64).saturating_mul(
+                    size_of::<P>() as u64 + size_of::<Option<(usize, bool)>>() as u64,
+                ));
+        }
+        bytes = bytes.saturating_add(
+            (self.memo.entries.len() as u64)
+                .saturating_mul(size_of::<Option<WpEntry<P>>>() as u64),
+        );
+        for e in self.memo.entries.iter().flatten() {
+            bytes = bytes.saturating_add(match e {
+                WpEntry::ConstTrue | WpEntry::ConstFalse => 0,
+                WpEntry::Stable(cubes) => {
+                    cubes.iter().fold(0u64, |acc, c| acc.saturating_add(cube(c)))
+                }
+                WpEntry::Unstable(v) => formula_nodes(v).saturating_mul(node),
+            });
+        }
+        bytes
+    }
+
+    /// Evicts every [`WpEntry::Unstable`] memo entry (the first rung of
+    /// the memory governor's degradation ladder), returning how many were
+    /// dropped. Memo entries are pure accelerators — an evicted entry is
+    /// recomputed from the retained raw wp formulas on its next use with a
+    /// bit-identical result — so eviction changes cost, never outcomes.
+    pub fn evict_unstable(&mut self) -> u64 {
+        let mut evicted = 0;
+        for e in &mut self.memo.entries {
+            if matches!(e, Some(WpEntry::Unstable(_))) {
+                *e = None;
+                evicted += 1;
+            }
+        }
+        evicted
     }
 
     /// Reinterns the universe in `Ord` order and precomputes the matrices;
@@ -876,7 +947,7 @@ where
     // `d_I` and must never be cached.
     let eval_init: Vec<Option<bool>> = table.prims.iter().map(|q| q.eval_state(d_init)).collect();
     let twords = n.div_ceil(64).max(1);
-    let mut truth = vec![0u64; twords * states.len()];
+    let mut truth = vec![0u64; twords.saturating_mul(states.len())];
     for (s, d) in states.iter().enumerate() {
         for (id, q) in table.prims.iter().enumerate() {
             if q.holds(p, d) {
@@ -1278,6 +1349,30 @@ mod tests {
         // Conjoin mirrors the same order-sensitivity.
         assert!(mk(&[(2, true)]).conjoin(&mk(&[(3, true)]), t).is_none());
         assert!(mk_tree(&[(2, true)]).conjoin(&mk_tree(&[(3, true)])).is_none());
+    }
+
+    /// Evicting unstable memo entries and measuring the cache are pure
+    /// accelerator operations: byte estimates are deterministic, and a
+    /// post-eviction re-run produces bit-identical output.
+    #[test]
+    fn approx_bytes_and_eviction_preserve_outputs() {
+        let trace = [null(0), copy(1, 0), havoc(2), null(2)];
+        let not_q = Formula::prim(BP::Bit(1));
+        let cfg = BeamConfig::with_k(1);
+        let mut cache = InternCache::new();
+        assert_eq!(cache.approx_bytes(), InternCache::<BP>::new().approx_bytes());
+        let mut obs = ObsRegistry::default();
+        let a = analyze_trace_interned(&Bits, &0b1, &0, &trace, &not_q, &cfg, &mut cache, &mut obs)
+            .unwrap();
+        let warm = cache.approx_bytes();
+        assert!(warm > 0);
+        assert_eq!(warm, cache.approx_bytes(), "estimate must be deterministic");
+        cache.evict_unstable();
+        assert!(cache.approx_bytes() <= warm);
+        let b = analyze_trace_interned(&Bits, &0b1, &0, &trace, &not_q, &cfg, &mut cache, &mut obs)
+            .unwrap();
+        assert_eq!(a.to_dnf(), b.to_dnf(), "eviction must not change outputs");
+        assert_eq!(a.restrict(), b.restrict());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::cnf::Cnf;
 use crate::PFormula;
-use pda_util::{Counter, Deadline, DeadlineExceeded, ObsRegistry, Span, SpanKind};
+use pda_util::{Counter, Deadline, DeadlineExceeded, MemBudget, ObsRegistry, Span, SpanKind};
 
 /// A satisfying assignment together with its cost.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,8 +100,29 @@ impl MinCostSolver {
         deadline: Deadline,
         obs: &mut ObsRegistry,
     ) -> Result<Option<Model>, DeadlineExceeded> {
+        self.solve_within_budgeted(deadline, obs, None)
+    }
+
+    /// Like [`MinCostSolver::solve_within_observed`], but charges the
+    /// materialized CNF clause database against `budget` for the duration
+    /// of the solve (released on return), adding the bytes to
+    /// [`Counter::MemCharged`]. The budget is an accounting tap polled by
+    /// the TRACER memory governor between CEGAR iterations — it never
+    /// alters the search itself, so results are identical with or without
+    /// a budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeadlineExceeded`] under exactly the conditions of
+    /// [`MinCostSolver::solve_within`].
+    pub fn solve_within_budgeted(
+        &self,
+        deadline: Deadline,
+        obs: &mut ObsRegistry,
+        budget: Option<&MemBudget>,
+    ) -> Result<Option<Model>, DeadlineExceeded> {
         let span = Span::enter(obs, SpanKind::Solver);
-        let result = self.solve_inner(deadline, obs);
+        let result = self.solve_inner(deadline, obs, budget);
         span.exit(obs);
         result
     }
@@ -110,6 +131,7 @@ impl MinCostSolver {
         &self,
         deadline: Deadline,
         obs: &mut ObsRegistry,
+        budget: Option<&MemBudget>,
     ) -> Result<Option<Model>, DeadlineExceeded> {
         let mut cnf = Cnf::new(self.n_atoms);
         for c in &self.constraints {
@@ -117,6 +139,21 @@ impl MinCostSolver {
         }
         if cnf.clauses.iter().any(|c| c.is_empty()) {
             return Ok(None);
+        }
+        // Deterministic counts-times-size_of estimate of the clause
+        // database, charged for the lifetime of the search.
+        let clause_bytes = cnf.clauses.iter().fold(
+            (cnf.clauses.len() as u64)
+                .saturating_mul(std::mem::size_of::<Vec<crate::cnf::Lit>>() as u64),
+            |acc, c| {
+                acc.saturating_add(
+                    (c.len() as u64).saturating_mul(std::mem::size_of::<crate::cnf::Lit>() as u64),
+                )
+            },
+        );
+        if let Some(b) = budget {
+            b.charge(clause_bytes);
+            obs.add(Counter::MemCharged, clause_bytes);
         }
         let mut search = Search {
             n_atoms: self.n_atoms,
@@ -132,6 +169,9 @@ impl MinCostSolver {
         };
         search.dfs();
         obs.add(Counter::SolverNodes, search.nodes);
+        if let Some(b) = budget {
+            b.release(clause_bytes);
+        }
         if search.aborted {
             return Err(DeadlineExceeded);
         }
@@ -397,6 +437,19 @@ mod tests {
         assert_eq!(m, s.solve().unwrap());
         assert!(obs.get(Counter::SolverNodes) > 0);
         assert_eq!(obs.span_stats(SpanKind::Solver).count, 1);
+    }
+
+    #[test]
+    fn budgeted_solve_charges_and_matches_unbudgeted() {
+        let mut s = MinCostSolver::with_unit_costs(3);
+        s.require(PFormula::or(vec![PFormula::lit(0, true), PFormula::lit(2, true)]));
+        let b = MemBudget::unlimited();
+        let mut obs = ObsRegistry::default();
+        let m = s.solve_within_budgeted(Deadline::NEVER, &mut obs, Some(&b)).unwrap();
+        assert_eq!(m, s.solve());
+        assert!(b.total_charged() > 0, "clause database must be charged");
+        assert_eq!(b.used(), 0, "clause bytes released after the solve");
+        assert!(obs.get(Counter::MemCharged) > 0);
     }
 
     #[test]

@@ -39,6 +39,8 @@ pub struct ExperimentConfig {
     pub timeout: Option<std::time::Duration>,
     /// Fact-budget escalation ladder on forward-run `TooBig` aborts.
     pub escalation: Escalation,
+    /// Per-query memory budget in estimated bytes (`None` = unlimited).
+    pub mem_budget: Option<u64>,
 }
 
 impl Default for ExperimentConfig {
@@ -52,6 +54,7 @@ impl Default for ExperimentConfig {
             jobs: 1,
             timeout: None,
             escalation: Escalation::default(),
+            mem_budget: None,
         }
     }
 }
@@ -65,6 +68,7 @@ impl ExperimentConfig {
             timeout: self.timeout,
             escalation: self.escalation,
             kernel: Default::default(),
+            mem_budget: self.mem_budget,
         }
     }
 }

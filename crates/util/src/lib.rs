@@ -16,6 +16,9 @@
 //!   `rand` crate so the workspace builds offline.
 //! * [`Deadline`] — a cooperative wall-clock cancel token polled by the
 //!   tabulation and solver inner loops.
+//! * [`MemBudget`] — a deterministic atomic byte ledger charged at the
+//!   engines' allocation hot spots and polled by the TRACER memory
+//!   governor's degradation ladder.
 //! * [`obs`] — structured observability: the [`ObsRegistry`]
 //!   counter/span registry, the typed [`Event`] trace stream, and the
 //!   [`TraceSink`] implementations behind `--trace`/`--metrics`.
@@ -38,6 +41,7 @@ mod bitset;
 mod deadline;
 mod idx;
 pub mod json;
+mod membudget;
 pub mod obs;
 mod rng;
 mod stats;
@@ -45,6 +49,7 @@ mod stats;
 pub use bitset::BitSet;
 pub use deadline::{Deadline, DeadlineExceeded};
 pub use idx::IdxVec;
+pub use membudget::{parse_bytes, MemBudget};
 pub use obs::{
     Counter, Event, FileSink, NullSink, ObsRegistry, Recorder, Span, SpanKind, SpanStats,
     TraceSink,

@@ -1,0 +1,206 @@
+//! Byte-accounted memory budgets for the resource governor.
+//!
+//! A [`MemBudget`] is an atomic ledger of *estimated* bytes: the engines
+//! charge deterministic, count-based size estimates (never RSS or other
+//! wall-clock-adjacent measurements) at their allocation hot spots, and
+//! the TRACER governor polls the ledger at CEGAR iteration boundaries to
+//! decide whether to walk its degradation ladder. Because every charge is
+//! a pure function of the work performed, pressure — and therefore every
+//! degradation decision — is bit-reproducible across runs and machines.
+//!
+//! Budgets form a two-level hierarchy: each query charges its own budget,
+//! and optionally a shared batch **pool** (the parent) so the batch
+//! scheduler can see aggregate pressure for admission control. Charges
+//! cascade to the parent; the parent never influences a *running* query
+//! (that would make per-query behavior schedule-dependent) — it only
+//! gates when queries start.
+//!
+//! ```
+//! use pda_util::MemBudget;
+//! let b = MemBudget::new(Some(1024));
+//! b.charge(2000);
+//! b.release(2000);
+//! assert!(b.take_pressure());      // the 2000-byte spike is observed …
+//! assert!(!b.take_pressure());     // … exactly once: peak reset to usage
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An atomic byte ledger with an optional limit and an optional parent
+/// pool that charges cascade into.
+#[derive(Debug, Default)]
+pub struct MemBudget {
+    limit: Option<u64>,
+    used: AtomicU64,
+    peak: AtomicU64,
+    total: AtomicU64,
+    parent: Option<Arc<MemBudget>>,
+}
+
+impl MemBudget {
+    /// A budget with the given byte limit (`None` = accounting only,
+    /// never under pressure).
+    pub fn new(limit: Option<u64>) -> MemBudget {
+        MemBudget { limit, ..MemBudget::default() }
+    }
+
+    /// A limitless ledger (counts bytes, never reports pressure).
+    pub fn unlimited() -> MemBudget {
+        MemBudget::new(None)
+    }
+
+    /// A budget whose charges also cascade into `parent` (the shared
+    /// batch pool).
+    pub fn with_parent(limit: Option<u64>, parent: Arc<MemBudget>) -> MemBudget {
+        MemBudget { limit, parent: Some(parent), ..MemBudget::default() }
+    }
+
+    /// The configured limit, if any.
+    pub fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+
+    /// Records `bytes` as allocated. Saturating; returns `bytes` so call
+    /// sites can stash the amount for the matching [`MemBudget::release`].
+    pub fn charge(&self, bytes: u64) -> u64 {
+        let now = self
+            .used
+            .fetch_add(bytes, Ordering::Relaxed)
+            .saturating_add(bytes);
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        self.total.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(p) = &self.parent {
+            p.charge(bytes);
+        }
+        bytes
+    }
+
+    /// Records `bytes` as freed (saturating at zero).
+    pub fn release(&self, bytes: u64) {
+        let _ = self
+            .used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |u| {
+                Some(u.saturating_sub(bytes))
+            });
+        if let Some(p) = &self.parent {
+            p.release(bytes);
+        }
+    }
+
+    /// Currently outstanding (charged, not yet released) bytes.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bytes ever charged (never decreases).
+    pub fn total_charged(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Whether a further `bytes` would still fit under the limit.
+    /// Always `true` for a limitless budget.
+    pub fn fits(&self, bytes: u64) -> bool {
+        match self.limit {
+            None => true,
+            Some(l) => self.used().saturating_add(bytes) <= l,
+        }
+    }
+
+    /// Polls (and consumes) the pressure signal: `true` iff the peak
+    /// usage since the previous poll exceeded the limit. The peak resets
+    /// to the *current* usage, so transient spikes are observed exactly
+    /// once. Always `false` for a limitless budget.
+    pub fn take_pressure(&self) -> bool {
+        let Some(limit) = self.limit else { return false };
+        let peak = self.peak.swap(self.used(), Ordering::Relaxed);
+        peak > limit
+    }
+}
+
+/// Parses a human byte size: a plain integer, optionally suffixed with
+/// `k`/`m`/`g` (case-insensitive, powers of 1024). Returns `None` for
+/// anything else, including overflow.
+///
+/// ```
+/// use pda_util::parse_bytes;
+/// assert_eq!(parse_bytes("4096"), Some(4096));
+/// assert_eq!(parse_bytes("64k"), Some(64 << 10));
+/// assert_eq!(parse_bytes("2M"), Some(2 << 20));
+/// assert_eq!(parse_bytes("1g"), Some(1 << 30));
+/// assert_eq!(parse_bytes("lots"), None);
+/// ```
+pub fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, mult) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 1u64 << 10),
+        'm' | 'M' => (&s[..s.len() - 1], 1 << 20),
+        'g' | 'G' => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    digits.parse::<u64>().ok()?.checked_mul(mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_release_and_totals() {
+        let b = MemBudget::new(Some(100));
+        assert_eq!(b.charge(60), 60);
+        assert_eq!(b.used(), 60);
+        assert!(b.fits(40));
+        assert!(!b.fits(41));
+        b.release(60);
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.total_charged(), 60);
+        b.release(10); // saturates, never underflows
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn pressure_is_peak_based_and_consumed() {
+        let b = MemBudget::new(Some(100));
+        b.charge(150);
+        b.release(150);
+        assert!(b.take_pressure(), "spike above the limit must be seen");
+        assert!(!b.take_pressure(), "and seen exactly once");
+        b.charge(150);
+        assert!(b.take_pressure());
+        assert!(b.take_pressure(), "sustained usage keeps signaling");
+        b.release(150);
+    }
+
+    #[test]
+    fn unlimited_never_pressures_but_counts() {
+        let b = MemBudget::unlimited();
+        b.charge(u64::MAX);
+        assert!(!b.take_pressure());
+        assert!(b.fits(u64::MAX));
+        assert_eq!(b.total_charged(), u64::MAX);
+    }
+
+    #[test]
+    fn charges_cascade_to_parent() {
+        let pool = Arc::new(MemBudget::new(Some(1000)));
+        let q = MemBudget::with_parent(Some(100), Arc::clone(&pool));
+        q.charge(80);
+        assert_eq!(pool.used(), 80);
+        q.release(80);
+        assert_eq!(pool.used(), 0);
+        assert_eq!(pool.total_charged(), 80);
+    }
+
+    #[test]
+    fn parse_bytes_suffixes() {
+        assert_eq!(parse_bytes(" 10 "), Some(10));
+        assert_eq!(parse_bytes("3K"), Some(3072));
+        assert_eq!(parse_bytes("5m"), Some(5 << 20));
+        assert_eq!(parse_bytes("2G"), Some(2 << 30));
+        assert_eq!(parse_bytes(""), None);
+        assert_eq!(parse_bytes("k"), None);
+        assert_eq!(parse_bytes("-1"), None);
+        assert_eq!(parse_bytes("99999999999999999999g"), None);
+    }
+}

@@ -80,10 +80,18 @@ pub enum Counter {
     ApproxDrops,
     /// Wall time inside the backward meta-analysis, µs.
     MetaMicros,
+    /// Bytes charged against memory budgets (cumulative, incl. released).
+    MemCharged,
+    /// Memory-governor degradation-ladder steps applied.
+    Degradations,
+    /// wp-memo entries evicted (and caches reset) under memory pressure.
+    MemEvictions,
+    /// Batch admissions deferred (shed-and-requeued) for pool pressure.
+    Shed,
 }
 
 /// Number of [`Counter`] slots.
-pub const N_COUNTERS: usize = Counter::MetaMicros as usize + 1;
+pub const N_COUNTERS: usize = Counter::Shed as usize + 1;
 
 // ---- spans ----
 
@@ -329,7 +337,7 @@ impl ObsRegistry {
         let rate = if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 };
         format!(
             "{} queries, jobs={}: {:.1} q/s, cache {}/{} hits ({:.1}%), {} forward runs saved, \
-             faults={} deadlines={} escalations={} resumed={}\n{}",
+             faults={} deadlines={} escalations={} resumed={} degradations={} shed={}\n{}",
             queries,
             self.get(Counter::Jobs),
             qps,
@@ -341,6 +349,8 @@ impl ObsRegistry {
             self.get(Counter::DeadlineExceeded),
             self.get(Counter::Escalations),
             self.get(Counter::Resumed),
+            self.get(Counter::Degradations),
+            self.get(Counter::Shed),
             render_meta_line(
                 self.get(Counter::CubesBuilt),
                 self.get(Counter::WpHits),
@@ -475,7 +485,8 @@ pub enum Event {
         /// Batch index of the query.
         query: u64,
         /// Outcome tag: `proven`, `impossible`, `iteration_budget`,
-        /// `too_big`, `meta_failure`, `deadline`, or `engine_fault`.
+        /// `too_big`, `meta_failure`, `deadline`, `engine_fault`, or
+        /// `mem_budget`.
         outcome: String,
         /// Total CEGAR iterations the query took.
         iterations: u64,
@@ -821,10 +832,12 @@ mod tests {
         reg.set(Counter::SubsumptionChecks, 9);
         reg.set(Counter::ApproxDrops, 2);
         reg.set(Counter::MetaMicros, 15);
+        reg.set(Counter::Degradations, 3);
+        reg.set(Counter::Shed, 2);
         assert_eq!(
             reg.render(),
             "32 queries, jobs=8: 16.0 q/s, cache 57/89 hits (64.0%), 57 forward runs saved, \
-             faults=0 deadlines=0 escalations=1 resumed=0\n\
+             faults=0 deadlines=0 escalations=1 resumed=0 degradations=3 shed=2\n\
              meta: 7 cubes, wp 3/4 memo hits, subsumption 0/9 fast-rejected, 2 drops, 15µs"
         );
     }

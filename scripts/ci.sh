@@ -44,6 +44,24 @@ queries_json="$(grep '"queries"' target/ci_bench.json | sed -E 's/.*"queries": (
     || { echo "ci: trace counts (iters=$iters_trace queries=$queries_trace) disagree with bench JSON (iters=$iters_json queries=$queries_json)" >&2; exit 1; }
 echo "trace smoke ok: $iters_trace iterations, $queries_trace queries"
 
+echo "== governor smoke: batch under a 4 MiB per-query memory budget =="
+# 4 MiB is tuned (empirically, but the byte accounting is deterministic)
+# to pressure the governor onto its first ladder rungs — cache evictions
+# only — on the seeded hedc batch: the footer must report degradations,
+# while every outcome line (verdicts *and* iteration counts) stays
+# byte-identical to the unbudgeted expectations. A drift here means a
+# ladder rung changed the search; an exhaustion means the budget
+# estimate regressed.
+gov="$(PDA_MEM_BUDGET=4m PDA_BENCH_OUT=target/ci_bench_governed.json ./target/release/batch)"
+echo "$gov"
+diff scripts/expected_batch_outcomes.txt \
+    <(echo "$gov" | grep -E '^(outcome [0-9]+:|tree/interned outcomes identical:|per-query outcomes identical across job counts:)') \
+    || { echo "ci: governed batch outcomes drifted — a degradation rung changed a verdict or iteration count" >&2; exit 1; }
+degs="$(echo "$gov" | sed -nE 's/^resilience:.* degradations=([0-9]+).*/\1/p')"
+[ -n "$degs" ] && [ "$degs" -ge 1 ] \
+    || { echo "ci: governor smoke applied no degradations (degradations=${degs:-missing}) — the budget no longer pressures the ladder" >&2; exit 1; }
+echo "governor smoke ok: $degs degradations, outcomes unchanged"
+
 echo "== resilience smoke: batch under a 1 ms per-query deadline =="
 # Every query must still produce a result (exit 0) and the starved
 # deadline must surface as DeadlineExceeded rather than a hang or crash.

@@ -1,0 +1,142 @@
+//! Deterministic mutational fuzz of the Jaylite frontend
+//! (`lexer` → `parser` → `resolve` → `validate`).
+//!
+//! Starting from the shared corpus, a fixed-seed [`SplitMix64`] applies
+//! byte-level mutations (deletions, duplications, splices, truncations,
+//! token insertions) and feeds every mutant through
+//! [`pda_lang::parse_program`]. The frontend's contract under garbage is
+//! *total*: every input either resolves to a [`pda_lang::Program`] or
+//! returns a typed [`pda_lang::FrontendError`] — it must never panic,
+//! hang, or index out of bounds, even on torn multi-byte UTF-8, deeply
+//! nested expressions, or truncated declarations. Mutants that survive
+//! the frontend are additionally run through `validate::check`, which
+//! must be total on every well-resolved program.
+//!
+//! The seed is fixed, so a failure here is a deterministic reproducer,
+//! not a flake: re-running the test replays the identical mutant stream.
+
+use pda_util::SplitMix64;
+
+include!("corpus.rs");
+
+/// Keywords and punctuation spliced into mutants so the fuzz reaches
+/// past the lexer into parser and resolver edge cases.
+const TOKENS: &[&str] = &[
+    "fn ", "class ", "global ", "var ", "field ", "query ", "local ", "state ", "in ", "if ",
+    "else ", "while ", "return ", "new ", "null", "this", "(*)", "{", "}", "(", ")", ";", ",",
+    ".", "=", ":", "*", "q1", "main", "\u{fe0f}", "\0", "\u{7f}",
+];
+
+fn mutate(rng: &mut SplitMix64, src: &str) -> String {
+    let mut bytes: Vec<u8> = src.as_bytes().to_vec();
+    for _ in 0..rng.gen_range_inclusive(1, 4) {
+        if bytes.is_empty() {
+            bytes.extend_from_slice(TOKENS[rng.gen_range(0, TOKENS.len())].as_bytes());
+            continue;
+        }
+        match rng.gen_range(0, 6) {
+            // Delete a random span.
+            0 => {
+                let start = rng.gen_range(0, bytes.len());
+                let len = rng.gen_range_inclusive(1, (bytes.len() - start).min(24));
+                bytes.drain(start..start + len);
+            }
+            // Duplicate a random span in place.
+            1 => {
+                let start = rng.gen_range(0, bytes.len());
+                let len = rng.gen_range_inclusive(1, (bytes.len() - start).min(24));
+                let span: Vec<u8> = bytes[start..start + len].to_vec();
+                bytes.splice(start..start, span);
+            }
+            // Splice in a token at a random offset.
+            2 => {
+                let at = rng.gen_range(0, bytes.len() + 1);
+                let tok = TOKENS[rng.gen_range(0, TOKENS.len())];
+                bytes.splice(at..at, tok.bytes());
+            }
+            // Flip one byte to an arbitrary value (may tear UTF-8).
+            3 => {
+                let at = rng.gen_range(0, bytes.len());
+                bytes[at] = (rng.next_u64() & 0xff) as u8;
+            }
+            // Truncate the tail.
+            4 => bytes.truncate(rng.gen_range(0, bytes.len())),
+            // Swap two bytes (cheap reordering).
+            _ => {
+                let a = rng.gen_range(0, bytes.len());
+                let b = rng.gen_range(0, bytes.len());
+                bytes.swap(a, b);
+            }
+        }
+    }
+    // The frontend takes `&str`, so repair any torn UTF-8 lossily — the
+    // replacement characters themselves are hostile lexer input.
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[test]
+fn frontend_is_total_on_mutated_corpus() {
+    let mut rng = SplitMix64::new(0x5eed_1a06_f022_2025);
+    let (mut accepted, mut rejected) = (0u32, 0u32);
+    for round in 0..1200 {
+        let base = PROGRAMS[rng.gen_range(0, PROGRAMS.len())];
+        let mutant = mutate(&mut rng, base);
+        match pda_lang::parse_program(&mutant) {
+            Ok(program) => {
+                accepted += 1;
+                // Well-resolved mutants must also be safe to validate…
+                let violations = pda_lang::validate::check(&program);
+                // …and every violation must render.
+                for v in &violations {
+                    let _ = format!("{v:?}");
+                }
+            }
+            Err(e) => {
+                rejected += 1;
+                // Typed errors must always render a message.
+                assert!(!e.to_string().is_empty(), "round {round}: silent error");
+            }
+        }
+    }
+    // The mutator is tuned to exercise both sides of the contract; if
+    // either count collapses to zero the fuzz has gone blind.
+    assert!(accepted > 0, "no mutant survived the frontend — mutations too destructive");
+    assert!(rejected > 0, "every mutant parsed — mutations too timid");
+}
+
+#[test]
+fn frontend_is_total_on_adversarial_fragments() {
+    // Handcrafted nasties: unterminated constructs, deep nesting, BOMs,
+    // NULs, and pathological repetition.
+    let deep_parens =
+        format!("fn main() {{ var x; x = {}null{}; }}", "(".repeat(256), ")".repeat(256));
+    let deep_blocks = format!("fn main() {{ {} {} }}", "if (*) {".repeat(200), "}".repeat(200));
+    let many_vars = format!(
+        "fn main() {{ var {}; }}",
+        (0..500).map(|i| format!("v{i}")).collect::<Vec<_>>().join(", ")
+    );
+    let cases: Vec<String> = vec![
+        String::new(),
+        " ".into(),
+        "\u{feff}fn".into(),
+        "fn main() { query q: local".into(),
+        "class C { field".into(),
+        "fn f(".into(),
+        "query q: state x in {".into(),
+        "fn main() { var x; x = ".into(),
+        "/*".into(),
+        "\"".into(),
+        "\0\0\0".into(),
+        deep_parens,
+        deep_blocks,
+        many_vars,
+    ];
+    for (i, src) in cases.iter().enumerate() {
+        match pda_lang::parse_program(src) {
+            Ok(program) => {
+                let _ = pda_lang::validate::check(&program);
+            }
+            Err(e) => assert!(!e.to_string().is_empty(), "case {i}: silent error"),
+        }
+    }
+}

@@ -104,7 +104,7 @@ fn faulted_batch_is_deterministic_across_job_counts() {
         queries.push(faulty_query(qs[0].clone(), Fault::Panic("injected panic".into())));
         queries.push(
             lift_query(qs[2].clone())
-                .with_limits(QueryLimits { timeout: Some(Duration::ZERO), max_facts: None }),
+                .with_limits(QueryLimits { timeout: Some(Duration::ZERO), max_facts: None, mem_budget: None }),
         );
         let batch = BatchConfig { tracer: config.clone(), jobs, ..BatchConfig::default() };
         let (results, stats) =
@@ -167,7 +167,7 @@ fn stalling_client_hits_the_query_deadline() {
     let callees = |c: pda_lang::CallId| fx.pa.callees(c).to_vec();
     let wrapped = FaultInjectingClient::new(&fx.client);
     let q = faulty_query(fx.queries()[0].clone(), Fault::Stall(Duration::from_millis(300)))
-        .with_limits(QueryLimits { timeout: Some(Duration::from_millis(25)), max_facts: None });
+        .with_limits(QueryLimits { timeout: Some(Duration::from_millis(25)), max_facts: None, mem_budget: None });
     let r = solve_query(&fx.program, &callees, &wrapped, &q, &TracerConfig::default());
     assert_eq!(r.outcome, Outcome::Unresolved(Unresolved::DeadlineExceeded), "{r:?}");
 }
@@ -194,7 +194,7 @@ fn escalation_recovers_starved_queries_in_a_batch() {
     let starved: Vec<_> = fx
         .queries()
         .into_iter()
-        .map(|q| q.with_limits(QueryLimits { timeout: None, max_facts: Some(1) }))
+        .map(|q| q.with_limits(QueryLimits { timeout: None, max_facts: Some(1), mem_budget: None }))
         .collect();
     let no_escalation = BatchConfig::default();
     let (broke, _) = solve_queries_batch(&fx.program, &callees, &fx.client, &starved, &no_escalation);
