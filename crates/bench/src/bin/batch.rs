@@ -65,17 +65,32 @@ fn meta_json(m: &MetaStats) -> String {
     )
 }
 
+fn workers_json(stats: &BatchStats) -> String {
+    let entries: Vec<String> = stats
+        .worker_meta
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"queries\":{},\"meta_micros\":{},\"busy_micros\":{}}}",
+                w.queries, w.meta_micros, w.busy_micros
+            )
+        })
+        .collect();
+    format!("[{}]", entries.join(","))
+}
+
 fn run_json(results: &[QueryResult<BitSet>], stats: &BatchStats) -> String {
     format!(
         "{{\"wall_micros\":{},\"iterations\":{},\"cache_hits\":{},\"cache_misses\":{},\
-         \"deadline_exceeded\":{},\"engine_faults\":{},\"meta\":{}}}",
+         \"deadline_exceeded\":{},\"engine_faults\":{},\"meta\":{},\"workers\":{}}}",
         stats.wall_micros,
         results.iter().map(|r| r.iterations).sum::<usize>(),
         stats.cache.hits,
         stats.cache.misses,
         stats.deadline_exceeded,
         stats.engine_faults,
-        meta_json(&stats.meta)
+        meta_json(&stats.meta),
+        workers_json(stats)
     )
 }
 
@@ -207,12 +222,14 @@ fn main() {
     );
 
     println!(
-        "resilience: deadline_exceeded={} engine_faults={} escalations={} degradations={} shed={}",
+        "resilience: deadline_exceeded={} engine_faults={} escalations={} degradations={} shed={} \
+         retries={}",
         tree_stats.deadline_exceeded + seq_stats.deadline_exceeded + par_stats.deadline_exceeded,
         tree_stats.engine_faults + seq_stats.engine_faults + par_stats.engine_faults,
         tree_stats.escalations + seq_stats.escalations + par_stats.escalations,
         tree_stats.degradations + seq_stats.degradations + par_stats.degradations,
         tree_stats.shed + seq_stats.shed + par_stats.shed,
+        tree_stats.retries + seq_stats.retries + par_stats.retries,
     );
 
     if deadline_ms.is_some() {

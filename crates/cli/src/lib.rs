@@ -115,6 +115,9 @@ pub enum Command {
         /// Shared batch memory pool in estimated bytes (admission
         /// control; accepts `k`/`m`/`g` suffixes).
         pool_budget: Option<u64>,
+        /// Retry transiently faulted queries up to N times on the
+        /// deterministic backoff ladder.
+        retry_faults: Option<u32>,
         /// Checkpoint file: resume finished thread-escape queries from it
         /// and stream new results into it.
         checkpoint: Option<String>,
@@ -123,6 +126,40 @@ pub enum Command {
         /// Append the per-span latency table to the report (and enable
         /// span wall-clock measurement).
         metrics: bool,
+    },
+    /// `pda serve <file> [--socket PATH] [--journal PATH] [--jobs N]
+    /// [--deadline MS] [--retry-faults N] [--k N] [--max-iters N]
+    /// [--trace PATH] [--allow-inject]`
+    Serve {
+        /// Input path.
+        file: String,
+        /// Unix-socket path; omitted = serve one JSONL session on
+        /// stdin/stdout.
+        socket: Option<String>,
+        /// Journal (batch checkpoint) path for crash-safe resume.
+        journal: Option<String>,
+        /// Worker threads for the `batch` op.
+        jobs: usize,
+        /// Default per-request wall-clock deadline in milliseconds.
+        deadline_ms: Option<u64>,
+        /// Retry transient faults (including deadline hits) up to N
+        /// times per request on the deterministic backoff ladder.
+        retry_faults: Option<u32>,
+        /// Beam width.
+        k: usize,
+        /// Iteration budget.
+        max_iters: usize,
+        /// Structured JSONL trace output path (per-request obs spans).
+        trace: Option<String>,
+        /// Honor `"inject":"panic"` requests (tests and CI only).
+        allow_inject: bool,
+    },
+    /// `pda request <socket> <json-line>` — one-shot daemon client.
+    Request {
+        /// Daemon socket path.
+        socket: String,
+        /// The request line to send.
+        line: String,
     },
     /// `pda gen <benchmark>`
     Gen {
@@ -161,6 +198,11 @@ USAGE:
                                            --pool-budget shared batch memory
                                                          pool (admission
                                                          control; k/m/g ok)
+                                           --retry-faults retry transiently
+                                                         faulted queries up to
+                                                         N times on the
+                                                         deterministic backoff
+                                                         ladder
                                            --checkpoint  stream results to
                                                          PATH; on rerun, skip
                                                          queries already there
@@ -169,6 +211,18 @@ USAGE:
                                            --metrics     append the per-span
                                                          latency table to the
                                                          report
+    pda serve   <file.jay> [--socket PATH] [--journal PATH] [--jobs N]
+                [--deadline MS] [--retry-faults N] [--k N] [--max-iters N]
+                [--trace PATH] [--allow-inject]
+                                           run the crash-safe analysis daemon
+                                           (JSONL over the Unix socket, or
+                                           stdin/stdout without --socket);
+                                           --journal resumes finished queries
+                                           across restarts, SIGTERM drains
+                                           gracefully, --allow-inject enables
+                                           fault-injection requests
+    pda request <socket> <json-line>       send one request to a daemon and
+                                           print the response
     pda gen     <benchmark>                print a generated suite program
 ";
 
@@ -217,6 +271,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             let mut escalate = None;
             let mut mem_budget = None;
             let mut pool_budget = None;
+            let mut retry_faults = None;
             let mut checkpoint = None;
             let mut trace = None;
             let mut metrics = false;
@@ -236,6 +291,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                     "--escalate" => escalate = Some(parse_num(&args, i, "--escalate")?),
                     "--mem-budget" => mem_budget = Some(parse_size(&args, i, "--mem-budget")?),
                     "--pool-budget" => pool_budget = Some(parse_size(&args, i, "--pool-budget")?),
+                    "--retry-faults" => {
+                        retry_faults = Some(parse_num(&args, i, "--retry-faults")?);
+                    }
                     "--checkpoint" => {
                         let Some(path) = args.get(i + 1) else {
                             return usage("--checkpoint needs a path");
@@ -267,11 +325,81 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 escalate,
                 mem_budget,
                 pool_budget,
+                retry_faults,
                 checkpoint,
                 trace,
                 metrics,
             })
         }
+        Some("serve") => {
+            let Some(file) = args.get(1).cloned() else {
+                return usage("serve: missing <file>");
+            };
+            let mut socket = None;
+            let mut journal = None;
+            let mut jobs = default_jobs();
+            let mut deadline_ms = None;
+            let mut retry_faults = None;
+            let mut k = 5usize;
+            let mut max_iters = 100usize;
+            let mut trace = None;
+            let mut allow_inject = false;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--socket" => {
+                        let Some(path) = args.get(i + 1) else {
+                            return usage("--socket needs a path");
+                        };
+                        socket = Some(path.clone());
+                    }
+                    "--journal" => {
+                        let Some(path) = args.get(i + 1) else {
+                            return usage("--journal needs a path");
+                        };
+                        journal = Some(path.clone());
+                    }
+                    "--jobs" => jobs = parse_num::<usize>(&args, i, "--jobs")?.max(1),
+                    "--deadline" => deadline_ms = Some(parse_num(&args, i, "--deadline")?),
+                    "--retry-faults" => {
+                        retry_faults = Some(parse_num(&args, i, "--retry-faults")?);
+                    }
+                    "--k" => k = parse_num(&args, i, "--k")?,
+                    "--max-iters" => max_iters = parse_num(&args, i, "--max-iters")?,
+                    "--trace" => {
+                        let Some(path) = args.get(i + 1) else {
+                            return usage("--trace needs a path");
+                        };
+                        trace = Some(path.clone());
+                    }
+                    "--allow-inject" => {
+                        allow_inject = true;
+                        i += 1;
+                        continue;
+                    }
+                    other => return usage(format!("serve: unknown flag `{other}`")),
+                }
+                i += 2;
+            }
+            Ok(Command::Serve {
+                file,
+                socket,
+                journal,
+                jobs,
+                deadline_ms,
+                retry_faults,
+                k,
+                max_iters,
+                trace,
+                allow_inject,
+            })
+        }
+        Some("request") => match (args.get(1), args.get(2)) {
+            (Some(socket), Some(line)) => {
+                Ok(Command::Request { socket: socket.clone(), line: line.clone() })
+            }
+            _ => usage("request: needs <socket> <json-line>"),
+        },
         Some("help") | None => Ok(Command::Help),
         Some(other) => usage(format!("unknown command `{other}`")),
     }
@@ -300,6 +428,7 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, CliError> {
             escalate,
             mem_budget,
             pool_budget,
+            retry_faults,
             checkpoint,
             trace,
             metrics,
@@ -314,11 +443,18 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, CliError> {
                 escalate: *escalate,
                 mem_budget: *mem_budget,
                 pool_budget: *pool_budget,
+                retry_faults: *retry_faults,
                 checkpoint: checkpoint.as_deref(),
                 trace: trace.as_deref(),
                 metrics: *metrics,
             };
             solve_report(source, &opts)
+        }
+        Command::Serve { .. } => run_serve(cmd, source),
+        Command::Request { socket, line } => {
+            pda_serve::request_line(std::path::Path::new(socket), line)
+                .map(|r| format!("{r}\n"))
+                .map_err(|e| CliError::Input(e.to_string()))
         }
         Command::Gen { name } => {
             let cfg = pda_suite::suite()
@@ -400,9 +536,78 @@ struct SolveOpts<'a> {
     escalate: Option<u32>,
     mem_budget: Option<u64>,
     pool_budget: Option<u64>,
+    retry_faults: Option<u32>,
     checkpoint: Option<&'a str>,
     trace: Option<&'a str>,
     metrics: bool,
+}
+
+/// Runs the analysis daemon until drained; the returned report is the
+/// exit summary (the daemon itself writes protocol/status lines).
+///
+/// Resident queries are the program's thread-escape (`local`) queries in
+/// declaration order, matching `solve`'s batch numbering; verdicts are
+/// identical to the batch driver's.
+fn run_serve(cmd: &Command, source: &str) -> Result<String, CliError> {
+    let Command::Serve {
+        socket,
+        journal,
+        jobs,
+        deadline_ms,
+        retry_faults,
+        k,
+        max_iters,
+        trace,
+        allow_inject,
+        ..
+    } = cmd
+    else {
+        unreachable!("dispatched on Command::Serve");
+    };
+    let program = load(source)?;
+    let pa = PointsTo::analyze(&program);
+    let callees = |c: pda_lang::CallId| pa.callees(c).to_vec();
+    let client = EscapeClient::new(&program);
+    let (labels, queries): (Vec<String>, Vec<_>) = program
+        .queries
+        .iter_enumerated()
+        .filter(|(_, d)| matches!(d.kind, pda_lang::QueryKind::Local { .. }))
+        .map(|(qid, d)| (d.label.clone(), client.local_query(&program, qid)))
+        .unzip();
+    if queries.is_empty() {
+        return Err(CliError::Input("program has no thread-escape queries to serve".into()));
+    }
+    let config = pda_serve::ServeConfig {
+        tracer: TracerConfig {
+            beam: BeamConfig::with_k(*k),
+            max_iters: *max_iters,
+            ..TracerConfig::default()
+        },
+        jobs: *jobs,
+        deadline_ms: *deadline_ms,
+        // Daemon requests run under per-request deadlines, so deadline
+        // hits are retried too (each retry gets a fresh budget).
+        retry: retry_faults.map(|n| pda_tracer::RetryPolicy {
+            retry_deadline: true,
+            ..pda_tracer::RetryPolicy::deterministic(n)
+        }),
+        allow_inject: *allow_inject,
+    };
+    let options = pda_serve::DaemonOptions {
+        socket: socket.as_ref().map(std::path::PathBuf::from),
+        journal: journal.as_ref().map(std::path::PathBuf::from),
+        trace: trace.as_ref().map(std::path::PathBuf::from),
+    };
+    let report =
+        pda_serve::run_daemon(&program, &callees, &client, queries, labels, config, &options)
+            .map_err(|e| match e {
+                pda_serve::ServeError::Journal(m) => CliError::Checkpoint(m),
+                pda_serve::ServeError::Io(m) => CliError::Input(m),
+            })?;
+    Ok(format!(
+        "serve: drained cleanly — served={} faults={} quarantines={} resumed={}\n",
+        report.served, report.faults, report.quarantines, report.resumed
+    ))
 }
 
 fn solve_report(source: &str, opts: &SolveOpts<'_>) -> Result<String, CliError> {
@@ -446,7 +651,7 @@ fn solve_report(source: &str, opts: &SolveOpts<'_>) -> Result<String, CliError> 
     let mut batched: Vec<(pda_lang::QueryId, pda_tracer::QueryResult<pda_util::BitSet>)> =
         Vec::new();
     let mut batch_stats = None;
-    if opts.jobs > 1 || opts.checkpoint.is_some() || observing {
+    if opts.jobs > 1 || opts.checkpoint.is_some() || opts.retry_faults.is_some() || observing {
         let client = EscapeClient::new(&program);
         let local: Vec<pda_lang::QueryId> = program
             .queries
@@ -462,6 +667,7 @@ fn solve_report(source: &str, opts: &SolveOpts<'_>) -> Result<String, CliError> 
                 jobs: opts.jobs,
                 timed: opts.metrics,
                 pool_budget: opts.pool_budget,
+                retry: opts.retry_faults.map(pda_tracer::RetryPolicy::deterministic),
                 ..BatchConfig::default()
             };
             let (results, stats) = match opts.checkpoint {
@@ -671,6 +877,7 @@ mod tests {
             escalate: None,
             mem_budget: None,
             pool_budget: None,
+            retry_faults: None,
             checkpoint,
             trace: None,
             metrics: false,
@@ -695,6 +902,7 @@ mod tests {
                 escalate: None,
                 mem_budget: None,
                 pool_budget: None,
+                retry_faults: None,
                 checkpoint: None,
                 trace: None,
                 metrics: false,
@@ -703,7 +911,7 @@ mod tests {
         assert_eq!(
             a(&[
                 "solve", "f.jay", "--jobs", "4", "--deadline", "250", "--escalate", "2",
-                "--mem-budget", "64k", "--pool-budget", "2m",
+                "--mem-budget", "64k", "--pool-budget", "2m", "--retry-faults", "3",
                 "--checkpoint", "state.jsonl", "--metrics", "--trace", "out.jsonl"
             ])
             .unwrap(),
@@ -717,11 +925,44 @@ mod tests {
                 escalate: Some(2),
                 mem_budget: Some(64 << 10),
                 pool_budget: Some(2 << 20),
+                retry_faults: Some(3),
                 checkpoint: Some("state.jsonl".into()),
                 trace: Some("out.jsonl".into()),
                 metrics: true,
             }
         );
+        assert_eq!(
+            a(&[
+                "serve", "f.jay", "--socket", "/tmp/pda.sock", "--journal", "j.jsonl",
+                "--jobs", "2", "--deadline", "500", "--retry-faults", "1", "--allow-inject",
+                "--trace", "t.jsonl"
+            ])
+            .unwrap(),
+            Command::Serve {
+                file: "f.jay".into(),
+                socket: Some("/tmp/pda.sock".into()),
+                journal: Some("j.jsonl".into()),
+                jobs: 2,
+                deadline_ms: Some(500),
+                retry_faults: Some(1),
+                k: 5,
+                max_iters: 100,
+                trace: Some("t.jsonl".into()),
+                allow_inject: true,
+            }
+        );
+        assert_eq!(
+            a(&["request", "/tmp/pda.sock", "{\"op\":\"health\"}"]).unwrap(),
+            Command::Request {
+                socket: "/tmp/pda.sock".into(),
+                line: "{\"op\":\"health\"}".into(),
+            }
+        );
+        assert!(a(&["serve"]).is_err());
+        assert!(a(&["serve", "f.jay", "--socket"]).is_err());
+        assert!(a(&["serve", "f.jay", "--retry-faults", "NaN"]).is_err());
+        assert!(a(&["request", "/tmp/pda.sock"]).is_err());
+        assert!(a(&["solve", "f", "--retry-faults", "many"]).is_err());
         // --jobs 0 is clamped to the sequential driver.
         assert!(matches!(
             a(&["solve", "f.jay", "--jobs", "0"]).unwrap(),
@@ -804,6 +1045,22 @@ mod tests {
     }
 
     #[test]
+    fn retry_faults_engages_the_batch_driver_and_footer() {
+        // `--retry-faults` routes thread-escape queries through the
+        // batched driver even at jobs=1, so the retry ladder (and its
+        // `retries=` footer counter) is in effect; a healthy program
+        // consumes zero retries.
+        let mut cmd = solve_cmd(Some("localx"), 1);
+        if let Command::Solve { retry_faults, .. } = &mut cmd {
+            *retry_faults = Some(2);
+        }
+        let report = run_on_source(&cmd, SRC).unwrap();
+        assert!(report.contains("localx [thread-escape]: PROVEN"), "{report}");
+        assert!(report.contains("batch: 1 queries"), "{report}");
+        assert!(report.contains("retries=0"), "{report}");
+    }
+
+    #[test]
     fn zero_deadline_reports_deadline_exceeded() {
         let cmd = solve_cmd_full(Some("localx"), 1, Some(0), None);
         let report = run_on_source(&cmd, SRC).unwrap();
@@ -865,6 +1122,7 @@ mod tests {
             escalate: None,
             mem_budget: None,
             pool_budget: None,
+            retry_faults: None,
             checkpoint: None,
             trace: Some(path.to_string_lossy().into_owned()),
             metrics: true,

@@ -12,16 +12,17 @@ fn main() -> ExitCode {
         }
     };
     let source = match &cmd {
-        Command::Check { file } | Command::Queries { file } | Command::Solve { file, .. } => {
-            match std::fs::read_to_string(file) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("error: cannot read {file}: {e}");
-                    return ExitCode::FAILURE;
-                }
+        Command::Check { file }
+        | Command::Queries { file }
+        | Command::Solve { file, .. }
+        | Command::Serve { file, .. } => match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                return ExitCode::FAILURE;
             }
-        }
-        Command::Gen { .. } | Command::Help => String::new(),
+        },
+        Command::Gen { .. } | Command::Request { .. } | Command::Help => String::new(),
     };
     match run_on_source(&cmd, &source) {
         Ok(report) => {

@@ -99,6 +99,7 @@ pub fn solve_query_coarse<C: CoarseAtoms>(
         micros: start.elapsed().as_micros(),
         escalations: 0,
         degradations: 0,
+        retries: 0,
         meta: Default::default(),
     }
 }

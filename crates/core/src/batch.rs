@@ -58,13 +58,95 @@ use pda_lang::{CallId, MethodId, Program};
 use pda_meta::{InternCache, MetaStats};
 use pda_solver::{MinCostSolver, PFormula};
 use pda_util::{
-    CacheStats, Counter, Deadline, Event, MemBudget, ObsRegistry, Span, SpanKind, TraceSink,
+    CacheStats, Counter, Deadline, Event, MemBudget, ObsRegistry, Span, SpanKind, SplitMix64,
+    TraceSink,
 };
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Deterministic retry-with-backoff for transient per-query faults.
+///
+/// A query that resolves as [`Unresolved::EngineFault`] (an isolated
+/// panic) — or, when [`RetryPolicy::retry_deadline`] is set, as
+/// [`Unresolved::DeadlineExceeded`] — is re-solved from scratch up to
+/// [`RetryPolicy::retries`] times, sleeping an exponentially growing,
+/// jittered delay between attempts. The jitter is drawn from
+/// [`SplitMix64`] seeded by `(seed, query index, attempt)`, so the whole
+/// retry schedule is a pure function of the policy and the query: two
+/// runs of the same batch back off identically, which keeps faulted runs
+/// reproducible and diffable.
+///
+/// One-shot injected faults (see [`crate::faultcli`]) are the model
+/// transient: the first attempt springs the trap, the retry solves
+/// healthily. Deterministic failures (a client that panics on every
+/// evaluation) burn all retries and surface exactly as without a policy,
+/// with [`QueryResult::retries`] recording the wasted attempts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts per query (0 = fail fast, the default).
+    pub retries: u32,
+    /// Base backoff delay; attempt `a` sleeps `base * 2^a` plus jitter
+    /// in `[0, base)`.
+    pub base_delay: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+    /// Also retry [`Unresolved::DeadlineExceeded`]. Off for batch runs
+    /// (a batch deadline abort is not transient — retrying it would just
+    /// re-starve); the analysis daemon turns it on because each request
+    /// attempt gets a fresh deadline window.
+    pub retry_deadline: bool,
+}
+
+impl RetryPolicy {
+    /// The standard ladder: `retries` attempts, 5 ms base delay, a fixed
+    /// seed, engine faults only.
+    pub fn deterministic(retries: u32) -> Self {
+        RetryPolicy {
+            retries,
+            base_delay: Duration::from_millis(5),
+            seed: 0x0005_EED0_FBAC_C0FF,
+            retry_deadline: false,
+        }
+    }
+
+    /// Whether `u` is a transient fault under this policy.
+    pub fn should_retry(&self, u: &Unresolved) -> bool {
+        match u {
+            Unresolved::EngineFault(_) => true,
+            Unresolved::DeadlineExceeded => self.retry_deadline,
+            _ => false,
+        }
+    }
+
+    /// The deterministic backoff before retry `attempt` of `query`:
+    /// `base * 2^attempt` plus SplitMix64 jitter in `[0, base)`.
+    pub fn backoff(&self, query: u64, attempt: u32) -> Duration {
+        let exp = self.base_delay.saturating_mul(1u32 << attempt.min(10));
+        let base_us = self.base_delay.as_micros() as u64;
+        if base_us == 0 {
+            return exp;
+        }
+        let mut rng =
+            SplitMix64::new(self.seed ^ query.rotate_left(17) ^ (u64::from(attempt) << 56));
+        exp + Duration::from_micros(rng.next_u64() % base_us)
+    }
+}
+
+/// Per-worker effort attribution for one batch run (`jobs > 1`; the
+/// sequential driver reports a single entry). Entries are in worker
+/// *completion* order — attribution data, not a schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerMeta {
+    /// Queries this worker claimed and solved (drained claims excluded).
+    pub queries: u64,
+    /// Backward/meta-phase wall time attributed to this worker, µs.
+    pub meta_micros: u64,
+    /// Total wall time this worker spent solving (claim to finish), µs.
+    pub busy_micros: u64,
+}
 
 /// Configuration of a batch run.
 #[derive(Debug, Clone)]
@@ -95,6 +177,17 @@ pub struct BatchConfig {
     /// so per-query behavior stays schedule-independent. `None`
     /// (default) disables admission control entirely.
     pub pool_budget: Option<u64>,
+    /// Transient-fault retry ladder (`--retry-faults`). `None` (default)
+    /// fails fast, preserving the historical batch behavior exactly.
+    pub retry: Option<RetryPolicy>,
+    /// Cooperative drain flag. When set to `true` (by a signal handler or
+    /// service supervisor), workers stop *claiming* queries: in-flight
+    /// solves finish normally, unstarted queries resolve as
+    /// [`Unresolved::Drained`] and are **not** offered to the streaming
+    /// `sink` — so a checkpoint journal written through the sink contains
+    /// only genuinely finished queries and a resumed run re-solves the
+    /// drained ones from scratch, reproducing the uninterrupted outcomes.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for BatchConfig {
@@ -105,6 +198,8 @@ impl Default for BatchConfig {
             batch_timeout: None,
             timed: false,
             pool_budget: None,
+            retry: None,
+            cancel: None,
         }
     }
 }
@@ -142,6 +237,13 @@ pub struct BatchStats {
     /// Admissions deferred (shed-and-requeued) by pool pressure. Zero
     /// unless [`BatchConfig::pool_budget`] is set.
     pub shed: u64,
+    /// Transient-fault retry attempts consumed across all queries. Zero
+    /// unless [`BatchConfig::retry`] is set.
+    pub retries: u64,
+    /// Per-worker effort attribution, in worker completion order (one
+    /// entry per worker that ran; a single entry when `jobs == 1`). Not
+    /// part of the rendered footer — the bench emits it as JSON.
+    pub worker_meta: Vec<WorkerMeta>,
     /// Backward/meta-phase counters summed over all queries (including
     /// checkpoint-restored ones, whose counters were persisted).
     pub meta: MetaStats,
@@ -180,6 +282,7 @@ impl BatchStats {
         reg.set(Counter::EngineFaults, self.engine_faults as u64);
         reg.set(Counter::DeadlineExceeded, self.deadline_exceeded as u64);
         reg.set(Counter::Escalations, self.escalations);
+        reg.set(Counter::Retries, self.retries);
         reg.set(Counter::Resumed, self.resumed as u64);
         reg.set(Counter::Degradations, self.degradations);
         reg.set(Counter::Shed, self.shed);
@@ -413,6 +516,22 @@ fn fault_result<Param>(payload: Box<dyn std::any::Any + Send>, started: Instant)
         micros: started.elapsed().as_micros(),
         escalations: 0,
         degradations: 0,
+        retries: 0,
+        meta: MetaStats::default(),
+    }
+}
+
+/// A result for a query the drain flag stopped before it started: no
+/// effort spent, nothing to persist (the batch runner withholds drained
+/// results from the streaming sink so resumed runs re-solve them).
+fn drained_result<Param>() -> QueryResult<Param> {
+    QueryResult {
+        outcome: Outcome::Unresolved(Unresolved::Drained),
+        iterations: 0,
+        micros: 0,
+        escalations: 0,
+        degradations: 0,
+        retries: 0,
         meta: MetaStats::default(),
     }
 }
@@ -427,6 +546,7 @@ fn overcommit_result<Param>(started: Instant) -> QueryResult<Param> {
         micros: started.elapsed().as_micros(),
         escalations: 0,
         degradations: 0,
+        retries: 0,
         meta: MetaStats::default(),
     }
 }
@@ -508,6 +628,7 @@ pub fn outcome_tag<Param>(outcome: &Outcome<Param>) -> &'static str {
         Outcome::Unresolved(Unresolved::DeadlineExceeded) => "deadline",
         Outcome::Unresolved(Unresolved::EngineFault(_)) => "engine_fault",
         Outcome::Unresolved(Unresolved::MemBudgetExceeded) => "mem_budget",
+        Outcome::Unresolved(Unresolved::Drained) => "drained",
     }
 }
 
@@ -517,6 +638,57 @@ pub fn outcome_tag<Param>(outcome: &Outcome<Param>) -> &'static str {
 struct AdmissionState {
     queue: VecDeque<usize>,
     active: usize,
+}
+
+/// What a pool-budget worker decided for the claim it popped.
+enum Claim {
+    /// Admitted (the worker incremented `active`): run it.
+    Run,
+    /// Reservation can never fit the pool: resolve without running.
+    Reject,
+    /// Drain flag raised: resolve as [`Unresolved::Drained`].
+    Drain,
+}
+
+/// Runs one query inside the supervision boundary: panic isolation plus
+/// the optional deterministic retry ladder. Every attempt gets a *fresh*
+/// [`QueryObs`], so a recovered transient fault leaves no event residue
+/// and the emitted trace stream stays invariant across job counts and
+/// retry settings. Backoff sleeps between attempts; the ladder stops
+/// early when the batch deadline expires or the drain flag is raised
+/// (the current attempt's result stands). [`QueryResult::retries`]
+/// records the attempts consumed, successful or not.
+fn solve_supervised<Param>(
+    i: usize,
+    tracing: bool,
+    timed: bool,
+    retry: Option<&RetryPolicy>,
+    batch_deadline: Deadline,
+    cancel: Option<&Arc<AtomicBool>>,
+    mut attempt_fn: impl FnMut(&mut QueryObs) -> QueryResult<Param>,
+) -> (QueryResult<Param>, QueryObs) {
+    let mut attempt: u32 = 0;
+    loop {
+        let started = Instant::now();
+        let mut qobs = QueryObs::new(i as u64, tracing, timed);
+        let mut r = catch_unwind(AssertUnwindSafe(|| attempt_fn(&mut qobs)))
+            .unwrap_or_else(|payload| fault_result(payload, started));
+        r.retries = attempt;
+        let transient = match (&r.outcome, retry) {
+            (Outcome::Unresolved(u), Some(p)) => p.should_retry(u),
+            _ => false,
+        };
+        let more = retry.is_some_and(|p| attempt < p.retries);
+        let stopped = batch_deadline.expired()
+            || cancel.is_some_and(|c| c.load(Ordering::SeqCst));
+        if transient && more && !stopped {
+            let policy = retry.expect("transient fault implies a policy");
+            std::thread::sleep(policy.backoff(i as u64, attempt));
+            attempt += 1;
+            continue;
+        }
+        return (r, qobs);
+    }
 }
 
 /// The shared batch runner behind [`solve_queries_batch`] and the
@@ -559,6 +731,7 @@ where
     let pool: Option<Arc<MemBudget>> =
         config.pool_budget.map(|l| Arc::new(MemBudget::new(Some(l))));
     let shed = AtomicU64::new(0);
+    let worker_meta: Mutex<Vec<WorkerMeta>> = Mutex::new(Vec::new());
 
     let cache_stats;
     if jobs == 1 {
@@ -569,35 +742,50 @@ where
         // queries run one at a time so admission never defers — the only
         // pool effect is rejecting reservations that can never fit, which
         // is a pure function of the configs and so stays deterministic.
+        let mut wm = WorkerMeta::default();
         for &i in &pending {
-            let started = Instant::now();
-            let mut qobs = QueryObs::new(i as u64, tracing, config.timed);
+            if config.cancel.as_ref().is_some_and(|c| c.load(Ordering::SeqCst)) {
+                slots[i] = Some((drained_result(), QueryObs::new(i as u64, false, false)));
+                continue;
+            }
+            let claim = Instant::now();
             let rejected = pool.as_ref().is_some_and(|p| {
                 let limit = p.limit().unwrap_or(u64::MAX);
                 reservation(&queries[i], &config.tracer, limit) > limit
             });
-            let r = if rejected {
-                overcommit_result(started)
+            let (r, qobs) = if rejected {
+                (overcommit_result(claim), QueryObs::new(i as u64, tracing, config.timed))
             } else {
-                catch_unwind(AssertUnwindSafe(|| {
-                    solve_query_pooled(
-                        program,
-                        &|c| callees(c),
-                        client,
-                        &queries[i],
-                        &config.tracer,
-                        batch_deadline,
-                        &mut qobs,
-                        pool.clone(),
-                    )
-                }))
-                .unwrap_or_else(|payload| fault_result(payload, started))
+                solve_supervised(
+                    i,
+                    tracing,
+                    config.timed,
+                    config.retry.as_ref(),
+                    batch_deadline,
+                    config.cancel.as_ref(),
+                    |qobs| {
+                        solve_query_pooled(
+                            program,
+                            &|c| callees(c),
+                            client,
+                            &queries[i],
+                            &config.tracer,
+                            batch_deadline,
+                            qobs,
+                            pool.clone(),
+                        )
+                    },
+                )
             };
+            wm.queries += 1;
+            wm.meta_micros += r.meta.micros;
+            wm.busy_micros += claim.elapsed().as_micros() as u64;
             if let Some(sink) = sink {
                 sink(i, &r);
             }
             slots[i] = Some((r, qobs));
         }
+        worker_meta.lock().expect("worker meta poisoned").push(wm);
     } else {
         let cache: ForwardCache<'p, C::State> = ForwardCache::new();
         #[allow(clippy::type_complexity)]
@@ -608,32 +796,57 @@ where
                 let next = AtomicUsize::new(0);
                 std::thread::scope(|scope| {
                     for _ in 0..jobs {
-                        scope.spawn(|| loop {
-                            let k = next.fetch_add(1, Ordering::Relaxed);
-                            if k >= pending.len() {
-                                break;
-                            }
-                            let i = pending[k];
-                            let started = Instant::now();
-                            let mut qobs = QueryObs::new(i as u64, tracing, config.timed);
-                            let r = catch_unwind(AssertUnwindSafe(|| {
-                                solve_query_cached_pooled(
-                                    program,
-                                    callees,
-                                    client,
-                                    &queries[i],
-                                    &config.tracer,
-                                    &cache,
+                        scope.spawn(|| {
+                            let mut wm = WorkerMeta::default();
+                            loop {
+                                let k = next.fetch_add(1, Ordering::Relaxed);
+                                if k >= pending.len() {
+                                    break;
+                                }
+                                let i = pending[k];
+                                if config
+                                    .cancel
+                                    .as_ref()
+                                    .is_some_and(|c| c.load(Ordering::SeqCst))
+                                {
+                                    *shared[k].lock().expect("result slot poisoned") = Some((
+                                        drained_result(),
+                                        QueryObs::new(i as u64, false, false),
+                                    ));
+                                    continue;
+                                }
+                                let claim = Instant::now();
+                                let (r, qobs) = solve_supervised(
+                                    i,
+                                    tracing,
+                                    config.timed,
+                                    config.retry.as_ref(),
                                     batch_deadline,
-                                    &mut qobs,
-                                    None,
-                                )
-                            }))
-                            .unwrap_or_else(|payload| fault_result(payload, started));
-                            if let Some(sink) = sink {
-                                sink(i, &r);
+                                    config.cancel.as_ref(),
+                                    |qobs| {
+                                        solve_query_cached_pooled(
+                                            program,
+                                            callees,
+                                            client,
+                                            &queries[i],
+                                            &config.tracer,
+                                            &cache,
+                                            batch_deadline,
+                                            qobs,
+                                            None,
+                                        )
+                                    },
+                                );
+                                wm.queries += 1;
+                                wm.meta_micros += r.meta.micros;
+                                wm.busy_micros += claim.elapsed().as_micros() as u64;
+                                if let Some(sink) = sink {
+                                    sink(i, &r);
+                                }
+                                *shared[k].lock().expect("result slot poisoned") =
+                                    Some((r, qobs));
                             }
-                            *shared[k].lock().expect("result slot poisoned") = Some((r, qobs));
+                            worker_meta.lock().expect("worker meta poisoned").push(wm);
                         });
                     }
                 });
@@ -647,73 +860,109 @@ where
                 let turnstile = Condvar::new();
                 std::thread::scope(|scope| {
                     for _ in 0..jobs {
-                        scope.spawn(|| loop {
-                            // Admission: pop the next fresh-or-deferred
-                            // query and start it once its reservation fits
-                            // the pool. A query that does not fit is shed
-                            // (requeued at the back, never failed) until a
-                            // running query releases capacity; when nothing
-                            // is running it is admitted regardless, since
-                            // waiting could not help and this guarantees
-                            // progress. A reservation above the pool limit
-                            // itself can never be admitted and resolves
-                            // without running.
-                            let mut st =
-                                admission.lock().expect("admission queue poisoned");
-                            let claimed = loop {
-                                if let Some(k) = st.queue.pop_front() {
-                                    let r = reservation(
-                                        &queries[pending[k]],
-                                        &config.tracer,
-                                        limit,
-                                    );
-                                    if r > limit {
-                                        break Some((k, false));
-                                    }
-                                    if st.active == 0 || pool.fits(r) {
-                                        st.active += 1;
-                                        break Some((k, true));
-                                    }
-                                    st.queue.push_back(k);
-                                    shed.fetch_add(1, Ordering::Relaxed);
-                                } else if st.active == 0 {
-                                    break None;
-                                }
-                                st = turnstile.wait(st).expect("admission queue poisoned");
-                            };
-                            drop(st);
-                            let Some((k, admitted)) = claimed else { break };
-                            let i = pending[k];
-                            let started = Instant::now();
-                            let mut qobs = QueryObs::new(i as u64, tracing, config.timed);
-                            let r = if !admitted {
-                                overcommit_result(started)
-                            } else {
-                                let r = catch_unwind(AssertUnwindSafe(|| {
-                                    solve_query_cached_pooled(
-                                        program,
-                                        callees,
-                                        client,
-                                        &queries[i],
-                                        &config.tracer,
-                                        &cache,
-                                        batch_deadline,
-                                        &mut qobs,
-                                        Some(Arc::clone(pool)),
-                                    )
-                                }))
-                                .unwrap_or_else(|payload| fault_result(payload, started));
+                        scope.spawn(|| {
+                            let mut wm = WorkerMeta::default();
+                            loop {
+                                // Admission: pop the next fresh-or-deferred
+                                // query and start it once its reservation fits
+                                // the pool. A query that does not fit is shed
+                                // (requeued at the back, never failed) until a
+                                // running query releases capacity; when nothing
+                                // is running it is admitted regardless, since
+                                // waiting could not help and this guarantees
+                                // progress. A reservation above the pool limit
+                                // itself can never be admitted and resolves
+                                // without running. A raised drain flag empties
+                                // the queue as [`Unresolved::Drained`] while
+                                // admitted queries finish normally.
                                 let mut st =
                                     admission.lock().expect("admission queue poisoned");
-                                st.active -= 1;
+                                let claimed = loop {
+                                    if config
+                                        .cancel
+                                        .as_ref()
+                                        .is_some_and(|c| c.load(Ordering::SeqCst))
+                                    {
+                                        break st.queue.pop_front().map(|k| (k, Claim::Drain));
+                                    }
+                                    if let Some(k) = st.queue.pop_front() {
+                                        let r = reservation(
+                                            &queries[pending[k]],
+                                            &config.tracer,
+                                            limit,
+                                        );
+                                        if r > limit {
+                                            break Some((k, Claim::Reject));
+                                        }
+                                        if st.active == 0 || pool.fits(r) {
+                                            st.active += 1;
+                                            break Some((k, Claim::Run));
+                                        }
+                                        st.queue.push_back(k);
+                                        shed.fetch_add(1, Ordering::Relaxed);
+                                    } else if st.active == 0 {
+                                        break None;
+                                    }
+                                    st = turnstile.wait(st).expect("admission queue poisoned");
+                                };
                                 drop(st);
-                                turnstile.notify_all();
-                                r
-                            };
-                            if let Some(sink) = sink {
-                                sink(i, &r);
+                                let Some((k, claim)) = claimed else { break };
+                                let i = pending[k];
+                                let started = Instant::now();
+                                let (r, qobs) = match claim {
+                                    Claim::Drain => {
+                                        (drained_result(), QueryObs::new(i as u64, false, false))
+                                    }
+                                    Claim::Reject => (
+                                        overcommit_result(started),
+                                        QueryObs::new(i as u64, tracing, config.timed),
+                                    ),
+                                    Claim::Run => {
+                                        let out = solve_supervised(
+                                            i,
+                                            tracing,
+                                            config.timed,
+                                            config.retry.as_ref(),
+                                            batch_deadline,
+                                            config.cancel.as_ref(),
+                                            |qobs| {
+                                                solve_query_cached_pooled(
+                                                    program,
+                                                    callees,
+                                                    client,
+                                                    &queries[i],
+                                                    &config.tracer,
+                                                    &cache,
+                                                    batch_deadline,
+                                                    qobs,
+                                                    Some(Arc::clone(pool)),
+                                                )
+                                            },
+                                        );
+                                        let mut st = admission
+                                            .lock()
+                                            .expect("admission queue poisoned");
+                                        st.active -= 1;
+                                        drop(st);
+                                        turnstile.notify_all();
+                                        out
+                                    }
+                                };
+                                if !matches!(
+                                    r.outcome,
+                                    Outcome::Unresolved(Unresolved::Drained)
+                                ) {
+                                    wm.queries += 1;
+                                    wm.meta_micros += r.meta.micros;
+                                    wm.busy_micros += started.elapsed().as_micros() as u64;
+                                    if let Some(sink) = sink {
+                                        sink(i, &r);
+                                    }
+                                }
+                                *shared[k].lock().expect("result slot poisoned") =
+                                    Some((r, qobs));
                             }
-                            *shared[k].lock().expect("result slot poisoned") = Some((r, qobs));
+                            worker_meta.lock().expect("worker meta poisoned").push(wm);
                         });
                     }
                 });
@@ -769,6 +1018,8 @@ where
         resumed,
         degradations: results.iter().map(|r| u64::from(r.degradations)).sum(),
         shed: shed.load(Ordering::Relaxed),
+        retries: results.iter().map(|r| u64::from(r.retries)).sum(),
+        worker_meta: worker_meta.into_inner().expect("worker meta poisoned"),
         meta: {
             let mut total = MetaStats::default();
             for r in &results {
@@ -842,13 +1093,54 @@ pub(crate) fn solve_query_cached_pooled<'p, C: TracerClient>(
     obs: &mut QueryObs,
     pool: Option<Arc<MemBudget>>,
 ) -> QueryResult<C::Param> {
+    let mut icache = InternCache::default();
+    solve_query_cached_warm_pooled(
+        program, callees, client, query, config, cache, &mut icache, outer, obs, pool,
+    )
+}
+
+/// [`solve_query_cached_observed`] with an external, *warm* intern/wp-memo
+/// cache: the analysis daemon keeps one [`InternCache`] resident per
+/// worker so repeated requests share interned cubes and
+/// weakest-precondition memo entries across requests. Outcomes are
+/// identical to a cold-cache solve — memoization is semantically
+/// transparent — only effort counters (wp hits/misses, micros) differ.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_query_cached_warm<'p, C: TracerClient>(
+    program: &'p Program,
+    callees: &dyn Fn(CallId) -> Vec<MethodId>,
+    client: &C,
+    query: &Query<C::Prim>,
+    config: &TracerConfig,
+    cache: &ForwardCache<'p, C::State>,
+    icache: &mut InternCache<C::Prim>,
+    outer: Deadline,
+    obs: &mut QueryObs,
+) -> QueryResult<C::Param> {
+    solve_query_cached_warm_pooled(
+        program, callees, client, query, config, cache, icache, outer, obs, None,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_query_cached_warm_pooled<'p, C: TracerClient>(
+    program: &'p Program,
+    callees: &dyn Fn(CallId) -> Vec<MethodId>,
+    client: &C,
+    query: &Query<C::Prim>,
+    config: &TracerConfig,
+    cache: &ForwardCache<'p, C::State>,
+    icache: &mut InternCache<C::Prim>,
+    outer: Deadline,
+    obs: &mut QueryObs,
+    pool: Option<Arc<MemBudget>>,
+) -> QueryResult<C::Param> {
     let start = Instant::now();
     let entry = obs.reg.clone();
     let deadline = effective_deadline(query, config, outer);
     let mut constraints: Vec<PFormula> = Vec::new();
     let mut iterations = 0;
     let mut escalations = 0;
-    let mut icache = InternCache::default();
     let mut gov = Governor::new(query, config, pool);
     let outcome = loop {
         if deadline.expired() {
@@ -867,7 +1159,7 @@ pub(crate) fn solve_query_cached_pooled<'p, C: TracerClient>(
             cache,
             deadline,
             &mut escalations,
-            &mut icache,
+            icache,
             &mut gov,
             obs,
             iterations,
@@ -879,8 +1171,8 @@ pub(crate) fn solve_query_cached_pooled<'p, C: TracerClient>(
             StepResult::Impossible => break Outcome::Impossible,
             StepResult::Refined { .. } => {
                 iterations += 1;
-                gov.account_retained(&icache, &constraints, &mut obs.reg);
-                if gov.poll(&mut icache, &mut obs.reg) {
+                gov.account_retained(icache, &constraints, &mut obs.reg);
+                if gov.poll(icache, &mut obs.reg) {
                     break Outcome::Unresolved(Unresolved::MemBudgetExceeded);
                 }
             }
@@ -899,6 +1191,7 @@ pub(crate) fn solve_query_cached_pooled<'p, C: TracerClient>(
         micros: start.elapsed().as_micros(),
         escalations,
         degradations: gov.degradations,
+        retries: 0,
         meta,
     }
 }
@@ -1255,6 +1548,8 @@ mod tests {
             resumed: 4,
             degradations: 5,
             shed: 6,
+            retries: 7,
+            worker_meta: Vec::new(),
             meta: MetaStats {
                 cubes_built: 12,
                 subsumption_checks: 20,
@@ -1270,7 +1565,7 @@ mod tests {
         assert_eq!(
             stats.to_string(),
             "32 queries, jobs=8: 16.0 q/s, cache 57/89 hits (64.0%), 57 forward runs saved, \
-             faults=1 deadlines=2 escalations=3 resumed=4 degradations=5 shed=6\n\
+             faults=1 deadlines=2 escalations=3 retries=7 resumed=4 degradations=5 shed=6\n\
              meta: 12 cubes, wp 8/10 memo hits, subsumption 5/20 fast-rejected, 3 drops, 42µs"
         );
         // The meta: line is the MetaStats Display, verbatim.
@@ -1306,6 +1601,160 @@ mod tests {
             streams.push(events);
         }
         assert_eq!(streams[0], streams[1], "trace must not depend on the job count");
+    }
+
+    #[test]
+    fn backoff_ladder_is_deterministic_and_monotone() {
+        let a = RetryPolicy::deterministic(3);
+        let b = RetryPolicy::deterministic(3);
+        for q in [0u64, 7, 123] {
+            for attempt in 0..3 {
+                assert_eq!(a.backoff(q, attempt), b.backoff(q, attempt));
+            }
+            // Exponential base dominates the sub-base jitter.
+            assert!(a.backoff(q, 2) > a.backoff(q, 0));
+        }
+        assert!(!a.should_retry(&Unresolved::DeadlineExceeded));
+        assert!(a.should_retry(&Unresolved::EngineFault("x".into())));
+        let daemon = RetryPolicy { retry_deadline: true, ..RetryPolicy::deterministic(1) };
+        assert!(daemon.should_retry(&Unresolved::DeadlineExceeded));
+    }
+
+    #[test]
+    fn retry_recovers_one_shot_fault() {
+        use crate::faultcli::{faulty_query, lift_query, Fault, FaultInjectingClient};
+        let (program, pa) = fixture();
+        let client = NullClient::new(&program);
+        let wrapped = FaultInjectingClient::new(&client);
+        let callees = |c: CallId| pa.callees(c).to_vec();
+        for jobs in [1, 4] {
+            let qs: Vec<_> = queries(&program, &client)
+                .into_iter()
+                .enumerate()
+                .map(|(i, q)| {
+                    if i == 1 {
+                        faulty_query(q, Fault::Panic("transient".into()))
+                    } else {
+                        lift_query(q)
+                    }
+                })
+                .collect();
+            // Without a policy the one-shot fault is terminal.
+            let cold = BatchConfig { jobs, ..BatchConfig::default() };
+            let (r, s) = solve_queries_batch(&program, &callees, &wrapped, &qs, &cold);
+            assert!(matches!(r[1].outcome, Outcome::Unresolved(Unresolved::EngineFault(_))));
+            assert_eq!((s.engine_faults, s.retries), (1, 0));
+            // With the ladder, the second attempt finds the trap spent.
+            let qs: Vec<_> = queries(&program, &client)
+                .into_iter()
+                .enumerate()
+                .map(|(i, q)| {
+                    if i == 1 {
+                        faulty_query(q, Fault::Panic("transient".into()))
+                    } else {
+                        lift_query(q)
+                    }
+                })
+                .collect();
+            let retrying = BatchConfig {
+                jobs,
+                retry: Some(RetryPolicy::deterministic(2)),
+                ..BatchConfig::default()
+            };
+            let (r, s) = solve_queries_batch(&program, &callees, &wrapped, &qs, &retrying);
+            assert!(
+                matches!(r[1].outcome, Outcome::Proven { .. }),
+                "retry should recover the one-shot fault: {:?}",
+                r[1].outcome
+            );
+            assert_eq!(r[1].retries, 1);
+            assert_eq!((s.engine_faults, s.retries), (0, 1));
+        }
+    }
+
+    #[test]
+    fn raised_cancel_flag_drains_unstarted_queries() {
+        let (program, pa) = fixture();
+        let client = NullClient::new(&program);
+        let qs = queries(&program, &client);
+        let callees = |c: CallId| pa.callees(c).to_vec();
+        for jobs in [1, 4] {
+            let flag = Arc::new(AtomicBool::new(true));
+            let config =
+                BatchConfig { jobs, cancel: Some(Arc::clone(&flag)), ..BatchConfig::default() };
+            let sunk = Mutex::new(Vec::new());
+            let sink = |i: usize, _r: &QueryResult<pda_util::BitSet>| {
+                sunk.lock().unwrap().push(i);
+            };
+            let (r, s) = run_batch(
+                &program,
+                &callees,
+                &client,
+                &qs,
+                &config,
+                HashMap::new(),
+                Some(&sink),
+                None,
+            );
+            assert!(
+                r.iter().all(|r| r.outcome == Outcome::Unresolved(Unresolved::Drained)),
+                "pre-raised drain flag must stop every query before it starts"
+            );
+            assert!(
+                sunk.lock().unwrap().is_empty(),
+                "drained queries must not reach the checkpoint sink"
+            );
+            assert_eq!(s.retries, 0);
+        }
+    }
+
+    #[test]
+    fn worker_meta_attributes_all_queries() {
+        let (program, pa) = fixture();
+        let client = NullClient::new(&program);
+        let qs = queries(&program, &client);
+        let callees = |c: CallId| pa.callees(c).to_vec();
+        for (jobs, pool) in [(1, None), (4, None), (4, Some(1 << 30))] {
+            let config = BatchConfig { jobs, pool_budget: pool, ..BatchConfig::default() };
+            let (r, s) = solve_queries_batch(&program, &callees, &client, &qs, &config);
+            assert!(!s.worker_meta.is_empty());
+            assert!(s.worker_meta.len() <= jobs.min(qs.len()));
+            assert_eq!(
+                s.worker_meta.iter().map(|w| w.queries).sum::<u64>(),
+                qs.len() as u64,
+                "every solved query is attributed to exactly one worker"
+            );
+            let attributed: u64 = s.worker_meta.iter().map(|w| w.meta_micros).sum();
+            assert_eq!(attributed, r.iter().map(|r| r.meta.micros).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn warm_intern_cache_matches_cold_outcomes() {
+        let (program, pa) = fixture();
+        let client = NullClient::new(&program);
+        let qs = queries(&program, &client);
+        let callees = |c: CallId| pa.callees(c).to_vec();
+        let config = TracerConfig::default();
+        let cache: ForwardCache<'_, _> = ForwardCache::new();
+        let mut icache = InternCache::default();
+        for q in &qs {
+            let cold =
+                solve_query_cached(&program, &callees, &client, q, &config, &cache, Deadline::NEVER);
+            let warm = solve_query_cached_warm(
+                &program,
+                &callees,
+                &client,
+                q,
+                &config,
+                &cache,
+                &mut icache,
+                Deadline::NEVER,
+                &mut QueryObs::untraced(),
+            );
+            assert_eq!(cold.outcome, warm.outcome);
+            assert_eq!(cold.iterations, warm.iterations);
+        }
     }
 
     #[test]

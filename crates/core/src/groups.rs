@@ -88,6 +88,7 @@ pub fn solve_queries<C: TracerClient>(
                 micros: group.micros + extra,
                 escalations: 0,
                 degradations: 0,
+                retries: 0,
                 meta: group.meta,
             });
         };

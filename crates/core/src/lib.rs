@@ -67,8 +67,9 @@ pub mod tracer;
 
 pub use baseline::{solve_query_coarse, CoarseAtoms};
 pub use batch::{
-    default_jobs, outcome_tag, solve_queries_batch, solve_queries_batch_traced, BatchConfig,
-    BatchStats, ForwardCache,
+    default_jobs, outcome_tag, solve_queries_batch, solve_queries_batch_traced,
+    solve_query_cached, solve_query_cached_observed, solve_query_cached_warm, BatchConfig,
+    BatchStats, ForwardCache, RetryPolicy, WorkerMeta,
 };
 pub use brute::brute_force_optimum;
 pub use client::{AsAnalysis, AsMeta, Query, QueryLimits, TracerClient};

@@ -12,10 +12,10 @@
 //! Line 1 is a header; each further line is one result record:
 //!
 //! ```text
-//! {"v":1,"kind":"pda-batch-checkpoint","queries":23}
-//! {"i":0,"outcome":"proven","param":"9:1,4","cost":2,"iterations":3,"micros":412,"escalations":0}
-//! {"i":2,"outcome":"impossible","iterations":4,"micros":96,"escalations":0}
-//! {"i":1,"outcome":"unresolved","reason":"engine_fault","detail":"...","iterations":0,"micros":8,"escalations":0}
+//! {"v":2,"kind":"pda-batch-checkpoint","queries":23}
+//! {"i":0,"outcome":"proven","param":"9:1,4","cost":2,"iterations":3,"micros":412,"escalations":0,"retries":0,...}
+//! {"i":2,"outcome":"impossible","iterations":4,"micros":96,"escalations":0,"retries":0,...}
+//! {"i":1,"outcome":"unresolved","reason":"engine_fault","detail":"...","iterations":0,"micros":8,"escalations":0,"retries":2,...}
 //! ```
 //!
 //! The writer is hand-rolled (the workspace is offline and registry-free
@@ -23,6 +23,15 @@
 //! a kill mid-write — by re-running that query. A header whose `queries`
 //! count or `kind` disagrees with the current batch is rejected: resuming
 //! against the wrong program would silently mis-assign results.
+//!
+//! Version 2 adds the per-record `retries` counter (the transient-fault
+//! ladder of [`crate::batch::RetryPolicy`]), so a resumed run's
+//! [`BatchStats`] totals — including `retries` — match an uninterrupted
+//! run's instead of resetting restored counters to zero. Version 1 files
+//! still load; their records decode with `retries = 0`. Queries stopped
+//! by the drain flag ([`Unresolved::Drained`]) are *never* journaled:
+//! the batch runner withholds them from the streaming sink, so a resumed
+//! run re-solves them and reproduces the uninterrupted outcome lines.
 //!
 //! Abstraction parameters cross the serialization boundary via
 //! [`ParamCodec`]; both real clients (and [`crate::nullcli::NullClient`])
@@ -112,7 +121,10 @@ impl From<std::io::Error> for CheckpointError {
 
 
 const KIND: &str = "pda-batch-checkpoint";
-const VERSION: &str = "1";
+const VERSION: &str = "2";
+/// Header versions the loader accepts (older records decode with their
+/// missing counters at zero).
+const READABLE_VERSIONS: [&str; 2] = ["1", "2"];
 
 fn header_line(n_queries: usize) -> String {
     format!("{{\"v\":{VERSION},\"kind\":\"{KIND}\",\"queries\":{n_queries}}}")
@@ -121,12 +133,13 @@ fn header_line(n_queries: usize) -> String {
 fn record_line<P: ParamCodec>(i: usize, r: &QueryResult<P>) -> String {
     let m = &r.meta;
     let tail = format!(
-        "\"iterations\":{},\"micros\":{},\"escalations\":{},\"degradations\":{},\
+        "\"iterations\":{},\"micros\":{},\"escalations\":{},\"degradations\":{},\"retries\":{},\
          \"m_cubes\":{},\"m_sub\":{},\"m_subf\":{},\"m_wph\":{},\"m_wpm\":{},\"m_drop\":{},\"m_mev\":{},\"m_us\":{}",
         r.iterations,
         r.micros,
         r.escalations,
         r.degradations,
+        r.retries,
         m.cubes_built,
         m.subsumption_checks,
         m.subsumption_fast_rejects,
@@ -150,6 +163,9 @@ fn record_line<P: ParamCodec>(i: usize, r: &QueryResult<P>) -> String {
                 Unresolved::DeadlineExceeded => ("deadline", None),
                 Unresolved::EngineFault(m) => ("engine_fault", Some(m.as_str())),
                 Unresolved::MemBudgetExceeded => ("mem_budget", None),
+                // Total for codec completeness; the batch runner never
+                // offers drained results to the checkpoint sink.
+                Unresolved::Drained => ("drained", None),
             };
             let detail = detail
                 .map(|d| format!("\"detail\":\"{}\",", json_escape(d)))
@@ -169,6 +185,8 @@ fn decode_record<P: ParamCodec>(line: &str) -> Option<(usize, QueryResult<P>)> {
     // before they existed still decode.
     let degradations: u32 =
         fields.get("degradations").and_then(|v| v.parse().ok()).unwrap_or(0);
+    // Absent before v2; defaulting keeps v1 checkpoints readable.
+    let retries: u32 = fields.get("retries").and_then(|v| v.parse().ok()).unwrap_or(0);
     let m = |k: &str| fields.get(k).and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
     let meta = MetaStats {
         cubes_built: m("m_cubes"),
@@ -193,11 +211,12 @@ fn decode_record<P: ParamCodec>(line: &str) -> Option<(usize, QueryResult<P>)> {
             "deadline" => Unresolved::DeadlineExceeded,
             "engine_fault" => Unresolved::EngineFault(fields.get("detail")?.clone()),
             "mem_budget" => Unresolved::MemBudgetExceeded,
+            "drained" => Unresolved::Drained,
             _ => return None,
         }),
         _ => return None,
     };
-    Some((i, QueryResult { outcome, iterations, micros, escalations, degradations, meta }))
+    Some((i, QueryResult { outcome, iterations, micros, escalations, degradations, retries, meta }))
 }
 
 /// Streams finished results to a checkpoint file, one flushed line each.
@@ -216,6 +235,21 @@ impl CheckpointWriter {
         let mut out = BufWriter::new(File::create(path)?);
         writeln!(out, "{}", header_line(n_queries))?;
         out.flush()?;
+        Ok(CheckpointWriter { out })
+    }
+
+    /// Reopens an existing checkpoint for appending, without truncating
+    /// or rewriting what is already there. The caller vouches that the
+    /// file ends in a complete line (e.g. it was just written by this
+    /// writer, or validated via [`load_checkpoint`]); the analysis
+    /// daemon uses this to hand its journal back and forth with the
+    /// batch driver across requests.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error.
+    pub fn open_append(path: &Path) -> Result<Self, CheckpointError> {
+        let out = BufWriter::new(std::fs::OpenOptions::new().append(true).open(path)?);
         Ok(CheckpointWriter { out })
     }
 
@@ -264,7 +298,7 @@ pub fn load_checkpoint<P: ParamCodec>(
             fields.get("kind")
         )));
     }
-    if fields.get("v").map(String::as_str) != Some(VERSION) {
+    if !fields.get("v").is_some_and(|v| READABLE_VERSIONS.contains(&v.as_str())) {
         return Err(CheckpointError::Mismatch(format!("unsupported version {:?}", fields.get("v"))));
     }
     if fields.get("queries").and_then(|q| q.parse::<usize>().ok()) != Some(n_queries) {
@@ -402,6 +436,7 @@ mod tests {
                 micros: 412,
                 escalations: 1,
                 degradations: 2,
+                retries: 1,
                 meta: MetaStats {
                     cubes_built: 12,
                     subsumption_checks: 20,
@@ -419,6 +454,7 @@ mod tests {
                 micros: 96,
                 escalations: 0,
                 degradations: 0,
+                retries: 0,
                 meta: MetaStats { wp_misses: 1, micros: 7, ..MetaStats::default() },
             },
             QueryResult {
@@ -429,6 +465,7 @@ mod tests {
                 micros: 8,
                 escalations: 0,
                 degradations: 0,
+                retries: 3,
                 meta: MetaStats::default(),
             },
             QueryResult {
@@ -437,6 +474,7 @@ mod tests {
                 micros: 33,
                 escalations: 0,
                 degradations: 0,
+                retries: 0,
                 meta: MetaStats::default(),
             },
             QueryResult {
@@ -445,6 +483,7 @@ mod tests {
                 micros: 1,
                 escalations: 0,
                 degradations: 0,
+                retries: 2,
                 meta: MetaStats::default(),
             },
             QueryResult {
@@ -453,6 +492,7 @@ mod tests {
                 micros: 99_999,
                 escalations: 0,
                 degradations: 0,
+                retries: 0,
                 meta: MetaStats::default(),
             },
             QueryResult {
@@ -461,6 +501,7 @@ mod tests {
                 micros: 77,
                 escalations: 2,
                 degradations: 0,
+                retries: 1,
                 meta: MetaStats::default(),
             },
             QueryResult {
@@ -469,6 +510,7 @@ mod tests {
                 micros: 210,
                 escalations: 0,
                 degradations: 8,
+                retries: 0,
                 meta: MetaStats { mem_evictions: 2, ..MetaStats::default() },
             },
         ]
@@ -497,6 +539,89 @@ mod tests {
             assert_eq!(j, i);
             assert_eq!(&back, r, "via {line}");
         }
+    }
+
+    #[test]
+    fn v1_checkpoints_still_load_with_zero_retries() {
+        let path = temp_path("v1");
+        // A file exactly as the v1 writer produced it: no "retries", no
+        // governor/meta fields on the second record.
+        std::fs::write(
+            &path,
+            "{\"v\":1,\"kind\":\"pda-batch-checkpoint\",\"queries\":2}\n\
+             {\"i\":0,\"outcome\":\"proven\",\"param\":\"9:1,4\",\"cost\":2,\"iterations\":3,\"micros\":412,\"escalations\":1}\n\
+             {\"i\":1,\"outcome\":\"impossible\",\"iterations\":4,\"micros\":96,\"escalations\":0}\n",
+        )
+        .unwrap();
+        let restored = load_checkpoint::<BitSet>(&path, 2).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored[&0].retries, 0);
+        assert_eq!(restored[&0].escalations, 1);
+        assert!(matches!(restored[&1].outcome, Outcome::Impossible));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn drained_record_roundtrips_but_is_never_journaled_by_the_runner() {
+        // Codec totality: a drained result encodes/decodes like any other…
+        let r = QueryResult::<BitSet> {
+            outcome: Outcome::Unresolved(Unresolved::Drained),
+            iterations: 0,
+            micros: 0,
+            escalations: 0,
+            degradations: 0,
+            retries: 0,
+            meta: MetaStats::default(),
+        };
+        let line = record_line(7, &r);
+        assert!(line.contains("\"reason\":\"drained\""));
+        let (i, back) = decode_record::<BitSet>(&line).unwrap();
+        assert_eq!((i, back), (7, r));
+        // …but a drained batch journals nothing beyond the header.
+        let program =
+            pda_lang::parse_program("fn main() { var x; x = null; query q: local x; }").unwrap();
+        let pa = pda_analysis::PointsTo::analyze(&program);
+        let client = crate::nullcli::NullClient::new(&program);
+        let q = program.query_by_label("q").unwrap();
+        let queries = vec![client.query(&program, q)];
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let config = BatchConfig { jobs: 1, cancel: Some(flag), ..BatchConfig::default() };
+        let path = temp_path("drained");
+        std::fs::remove_file(&path).ok();
+        let (results, _) = solve_queries_batch_checkpointed(
+            &program,
+            &|c| pa.callees(c).to_vec(),
+            &client,
+            &queries,
+            &config,
+            &path,
+        )
+        .unwrap();
+        assert_eq!(results[0].outcome, Outcome::Unresolved(Unresolved::Drained));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 1, "only the header: {body:?}");
+        // Resuming with the flag lowered re-solves the query from scratch
+        // and matches an uninterrupted run.
+        let resumed_config = BatchConfig { jobs: 1, ..BatchConfig::default() };
+        let (resumed, stats) = solve_queries_batch_checkpointed(
+            &program,
+            &|c| pa.callees(c).to_vec(),
+            &client,
+            &queries,
+            &resumed_config,
+            &path,
+        )
+        .unwrap();
+        let (uninterrupted, _) = crate::batch::solve_queries_batch(
+            &program,
+            &|c| pa.callees(c).to_vec(),
+            &client,
+            &queries,
+            &resumed_config,
+        );
+        assert_eq!(resumed[0].outcome, uninterrupted[0].outcome);
+        assert_eq!(stats.resumed, 0, "nothing was restored from the drained journal");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

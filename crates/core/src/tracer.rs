@@ -194,6 +194,11 @@ pub enum Unresolved {
     /// still exceeded its byte budget — or, in a batch, the query's
     /// reservation can never fit the shared pool.
     MemBudgetExceeded,
+    /// The batch was draining (graceful shutdown) before this query
+    /// started; no work was attempted. Drained queries are never written
+    /// to a checkpoint, so a resumed run solves them afresh and its
+    /// outcome lines match an uninterrupted run's.
+    Drained,
 }
 
 /// Per-query result plus effort accounting for the experiment tables.
@@ -210,6 +215,10 @@ pub struct QueryResult<Param> {
     /// Memory-governor degradation-ladder steps applied (0 when the
     /// query never came under memory pressure).
     pub degradations: u32,
+    /// Transient-fault retry attempts consumed before this result (the
+    /// batch scheduler's deterministic backoff ladder; 0 outside
+    /// retry-enabled drivers).
+    pub retries: u32,
     /// Backward/meta-phase effort counters summed over all iterations
     /// (all-zero except `micros` under [`MetaKernel::Tree`]).
     pub meta: MetaStats,
@@ -502,6 +511,7 @@ pub(crate) fn solve_query_pooled<C: TracerClient>(
         micros: start.elapsed().as_micros(),
         escalations,
         degradations: gov.degradations,
+        retries: 0,
         meta,
     }
 }
@@ -604,6 +614,7 @@ pub fn solve_query_logged<C: TracerClient>(
             micros: start.elapsed().as_micros(),
             escalations,
             degradations: gov.degradations,
+            retries: 0,
             meta: MetaStats::from_obs(&obs.reg),
         },
         log,
@@ -825,6 +836,7 @@ impl std::fmt::Display for Unresolved {
             Unresolved::DeadlineExceeded => write!(f, "wall-clock deadline exceeded"),
             Unresolved::EngineFault(m) => write!(f, "engine fault: {m}"),
             Unresolved::MemBudgetExceeded => write!(f, "memory budget exceeded"),
+            Unresolved::Drained => write!(f, "drained before start"),
         }
     }
 }

@@ -1,0 +1,634 @@
+//! The supervision layer: resident analysis state, per-request panic
+//! isolation, cache quarantine by generation, retry/backoff, the result
+//! journal, and the drain flag.
+//!
+//! One [`Supervisor`] is shared by every connection of a daemon. Warm
+//! state lives at two levels with different blast radii:
+//!
+//! * the **forward cache** ([`ForwardCache`]) is process-wide and tagged
+//!   with a *generation* number. A worker panic retires the whole
+//!   generation — requests already running keep their `Arc` and finish,
+//!   but every later request sees a fresh cache (and the retired one is
+//!   re-warmed off the request path);
+//! * the **interner** ([`InternCache`]) is per *connection* (it is
+//!   mutable and cheap to rebuild). It carries the generation it was
+//!   built under and is discarded whenever the generation has moved on,
+//!   or whenever its own connection's request unwound mid-mutation.
+//!
+//! Finished verdicts are journaled to a standard batch checkpoint file
+//! (flushed per record), so a killed daemon resumes without re-solving;
+//! transient outcomes (engine faults, deadline hits) are deliberately
+//! *not* journaled — a restart should retry them.
+
+use crate::proto::{parse_request, LineBuilder, Op, Request, Target};
+use pda_lang::{CallId, MethodId, Program};
+use pda_tracer::{
+    load_checkpoint, outcome_tag, solve_queries_batch_checkpointed, solve_query_cached_warm,
+    BatchConfig, CheckpointWriter, ForwardCache, InternCache, MetaStats, Outcome, ParamCodec,
+    Query, QueryObs, QueryResult, RetryPolicy, TracerClient, TracerConfig, Unresolved,
+};
+use pda_util::{Deadline, Event, FileSink, TraceSink};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Daemon-side policy knobs (everything except the transport).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Per-query tracer configuration shared by all requests.
+    pub tracer: TracerConfig,
+    /// Worker threads for the `batch` op.
+    pub jobs: usize,
+    /// Default per-request wall-clock deadline in milliseconds, used
+    /// when the request carries none.
+    pub deadline_ms: Option<u64>,
+    /// Deterministic backoff ladder for transient faults. With
+    /// [`RetryPolicy::retry_deadline`] set, deadline hits retry too
+    /// (each attempt gets a fresh deadline, so a stalled forward run
+    /// under escalation can recover).
+    pub retry: Option<RetryPolicy>,
+    /// Honor `"inject":"panic"` requests (fault-injection soaks and the
+    /// CI smoke only; never enable for real service).
+    pub allow_inject: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            tracer: TracerConfig::default(),
+            jobs: 1,
+            deadline_ms: None,
+            retry: None,
+            allow_inject: false,
+        }
+    }
+}
+
+/// Per-connection resident state: the interner survives across requests
+/// on one connection, but only within one cache generation.
+pub struct ConnState<P: pda_meta::Primitive> {
+    icache: InternCache<P>,
+    generation: u64,
+}
+
+impl<P: pda_meta::Primitive> ConnState<P> {
+    /// A fresh connection joining the given generation.
+    pub fn new(generation: u64) -> ConnState<P> {
+        ConnState { icache: InternCache::default(), generation }
+    }
+}
+
+/// The outcome of handling one request line.
+#[derive(Debug)]
+pub struct Reply {
+    /// The JSON response line (no trailing newline).
+    pub text: String,
+    /// The handler quarantined the warm caches; the transport should
+    /// rebuild the new generation ([`Supervisor::warm_generation`]) off
+    /// the request path.
+    pub quarantine: bool,
+    /// The request asked the daemon to drain and exit.
+    pub shutdown: bool,
+}
+
+impl Reply {
+    fn text(text: String) -> Reply {
+        Reply { text, quarantine: false, shutdown: false }
+    }
+}
+
+/// Journal state: the path plus the currently open writer. The writer is
+/// closed (flushed) around the `batch` op, which owns the file while it
+/// runs, and reopened in append mode afterwards.
+struct Journal {
+    path: Option<PathBuf>,
+    writer: Option<CheckpointWriter>,
+}
+
+/// The shared supervision core. See the module docs for the state model.
+pub struct Supervisor<'p, C: TracerClient> {
+    program: &'p Program,
+    callees: &'p (dyn Fn(CallId) -> Vec<MethodId> + Sync),
+    client: &'p C,
+    queries: Vec<Query<C::Prim>>,
+    labels: Vec<String>,
+    config: ServeConfig,
+    cache: Mutex<Arc<ForwardCache<'p, C::State>>>,
+    generation: AtomicU64,
+    served: AtomicU64,
+    faults: AtomicU64,
+    quarantines: AtomicU64,
+    drain: Arc<AtomicBool>,
+    journal: Mutex<Journal>,
+    answered: Mutex<HashMap<usize, QueryResult<C::Param>>>,
+    trace: Option<FileSink>,
+}
+
+impl<'p, C> Supervisor<'p, C>
+where
+    C: TracerClient + Sync,
+    C::Param: Send + ParamCodec,
+    C::State: Send + Sync,
+    C::Prim: Sync,
+{
+    /// Builds a supervisor over resident program artifacts. `labels[i]`
+    /// names `queries[i]` for `"query":label` requests and responses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` and `labels` disagree in length.
+    pub fn new(
+        program: &'p Program,
+        callees: &'p (dyn Fn(CallId) -> Vec<MethodId> + Sync),
+        client: &'p C,
+        queries: Vec<Query<C::Prim>>,
+        labels: Vec<String>,
+        config: ServeConfig,
+    ) -> Supervisor<'p, C> {
+        assert_eq!(queries.len(), labels.len(), "one label per query");
+        Supervisor {
+            program,
+            callees,
+            client,
+            queries,
+            labels,
+            config,
+            cache: Mutex::new(Arc::new(ForwardCache::new())),
+            generation: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+            drain: Arc::new(AtomicBool::new(false)),
+            journal: Mutex::new(Journal { path: None, writer: None }),
+            answered: Mutex::new(HashMap::new()),
+            trace: None,
+        }
+    }
+
+    /// Streams per-request structured events (and one `query_resolved`
+    /// line per request) to `sink`.
+    pub fn attach_trace(&mut self, sink: FileSink) {
+        self.trace = Some(sink);
+    }
+
+    /// Attaches a journal file. An existing file is loaded (finished
+    /// verdicts become served-from-memory resumes), compacted — which
+    /// also drops any torn tail from a crash mid-write — and kept open
+    /// for appending. Returns how many queries were resumed.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when the file exists but cannot be
+    /// trusted (wrong batch, interior corruption) or rewritten.
+    pub fn attach_journal(&mut self, path: PathBuf) -> Result<usize, String> {
+        let mut restored = HashMap::new();
+        if path.exists() {
+            restored = load_checkpoint::<C::Param>(&path, self.queries.len())
+                .map_err(|e| format!("journal {}: {e}", path.display()))?;
+        }
+        let mut writer = CheckpointWriter::create(&path, self.queries.len())
+            .map_err(|e| format!("journal {}: {e}", path.display()))?;
+        let mut indices: Vec<usize> = restored.keys().copied().collect();
+        indices.sort_unstable();
+        for &i in &indices {
+            writer
+                .append(i, &restored[&i])
+                .map_err(|e| format!("journal {}: {e}", path.display()))?;
+        }
+        // Only durable verdicts are served from memory; a journaled
+        // transient (a batch op records those too) re-runs on request.
+        let answered: HashMap<usize, QueryResult<C::Param>> =
+            restored.into_iter().filter(|(_, r)| Self::durable(&r.outcome)).collect();
+        let resumed = answered.len();
+        *self.answered.lock().expect("answered poisoned") = answered;
+        *self.journal.lock().expect("journal poisoned") =
+            Journal { path: Some(path), writer: Some(writer) };
+        Ok(resumed)
+    }
+
+    /// The current cache generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// A clone of the drain flag (the daemon wires signals into it; the
+    /// `batch` op uses it as its cancel signal).
+    pub fn drain_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.drain)
+    }
+
+    /// Whether admission has stopped.
+    pub fn draining(&self) -> bool {
+        self.drain.load(Ordering::SeqCst)
+    }
+
+    /// Requests successfully served (including memo hits).
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::SeqCst)
+    }
+
+    /// Requests that resolved as engine faults (after retries).
+    pub fn faults(&self) -> u64 {
+        self.faults.load(Ordering::SeqCst)
+    }
+
+    /// Cache generations retired after a panic.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines.load(Ordering::SeqCst)
+    }
+
+    /// Flushes and closes the journal writer (end of daemon life).
+    pub fn close_journal(&self) {
+        self.journal.lock().expect("journal poisoned").writer = None;
+    }
+
+    /// Handles one request line against one connection's state.
+    pub fn handle_line(&self, conn: &mut ConnState<C::Prim>, line: &str) -> Reply {
+        let req = match parse_request(line) {
+            Ok(req) => req,
+            Err(reason) => {
+                return Reply::text(
+                    LineBuilder::new()
+                        .str("ok", "false")
+                        .str("error", "bad_request")
+                        .str("detail", &reason)
+                        .num("generation", u128::from(self.generation()))
+                        .finish(),
+                )
+            }
+        };
+        match &req.op {
+            Op::Health => Reply::text(self.health_line(&req)),
+            Op::Shutdown => {
+                self.drain.store(true, Ordering::SeqCst);
+                let text = LineBuilder::new()
+                    .opt_id(req.id.as_deref())
+                    .str("ok", "true")
+                    .str("op", "shutdown")
+                    .str("draining", "true")
+                    .num("generation", u128::from(self.generation()))
+                    .finish();
+                Reply { text, quarantine: false, shutdown: true }
+            }
+            Op::Batch => Reply::text(self.batch_line(&req)),
+            Op::Solve { .. } => self.solve_reply(conn, &req),
+        }
+    }
+
+    fn health_line(&self, req: &Request) -> String {
+        LineBuilder::new()
+            .opt_id(req.id.as_deref())
+            .str("ok", "true")
+            .str("op", "health")
+            .str("ready", if self.draining() { "false" } else { "true" })
+            .num("queries", self.queries.len() as u128)
+            .num("generation", u128::from(self.generation()))
+            .num("served", u128::from(self.served()))
+            .num("faults", u128::from(self.faults()))
+            .num("quarantines", u128::from(self.quarantines()))
+            .finish()
+    }
+
+    fn error_line(&self, req: &Request, error: &str, detail: &str) -> String {
+        LineBuilder::new()
+            .opt_id(req.id.as_deref())
+            .str("ok", "false")
+            .str("op", "solve")
+            .str("error", error)
+            .str("detail", detail)
+            .num("generation", u128::from(self.generation()))
+            .finish()
+    }
+
+    fn resolve(&self, target: &Target) -> Option<usize> {
+        match target {
+            Target::Index(i) => (*i < self.queries.len()).then_some(*i),
+            Target::Label(label) => self.labels.iter().position(|l| l == label),
+        }
+    }
+
+    /// Whether an outcome is durable enough to journal and memoize:
+    /// engine faults, deadline hits, and drains are transient (a retry
+    /// or a restart may do better), everything else is a final verdict.
+    fn durable(outcome: &Outcome<C::Param>) -> bool {
+        !matches!(
+            outcome,
+            Outcome::Unresolved(Unresolved::EngineFault(_))
+                | Outcome::Unresolved(Unresolved::DeadlineExceeded)
+                | Outcome::Unresolved(Unresolved::Drained)
+        )
+    }
+
+    fn record(&self, index: usize, r: &QueryResult<C::Param>) {
+        let mut j = self.journal.lock().expect("journal poisoned");
+        if let Some(w) = j.writer.as_mut() {
+            // A failed journal write demotes the daemon to memory-only
+            // durability rather than failing requests.
+            if w.append(index, r).is_err() {
+                j.writer = None;
+            }
+        }
+    }
+
+    fn emit_trace(&self, index: usize, r: &QueryResult<C::Param>, qobs: &QueryObs) {
+        if let Some(sink) = &self.trace {
+            for ev in &qobs.events {
+                sink.emit(ev);
+            }
+            sink.emit(&Event::QueryResolved {
+                query: index as u64,
+                outcome: outcome_tag(&r.outcome).to_string(),
+                iterations: r.iterations as u64,
+            });
+            sink.flush();
+        }
+    }
+
+    fn result_line(
+        &self,
+        req: &Request,
+        index: usize,
+        r: &QueryResult<C::Param>,
+        generation: u64,
+        resumed: bool,
+    ) -> String {
+        let b = LineBuilder::new()
+            .opt_id(req.id.as_deref())
+            .str("ok", if matches!(r.outcome, Outcome::Unresolved(_)) { "false" } else { "true" })
+            .str("op", "solve")
+            .num("index", index as u128)
+            .str("label", &self.labels[index]);
+        let b = match &r.outcome {
+            Outcome::Proven { param, cost } => b
+                .str("outcome", "proven")
+                .str("param", &param.encode_param())
+                .num("cost", u128::from(*cost)),
+            Outcome::Impossible => b.str("outcome", "impossible"),
+            Outcome::Unresolved(u) => {
+                b.str("error", outcome_tag(&r.outcome)).str("detail", &u.to_string())
+            }
+        };
+        b.num("iterations", r.iterations as u128)
+            .num("retries", u128::from(r.retries))
+            .num("generation", u128::from(generation))
+            .str("resumed", if resumed { "true" } else { "false" })
+            .finish()
+    }
+
+    fn solve_reply(&self, conn: &mut ConnState<C::Prim>, req: &Request) -> Reply {
+        let Op::Solve { target, deadline_ms, inject_panic } = &req.op else {
+            unreachable!("dispatched on Op::Solve");
+        };
+        if self.draining() {
+            return Reply::text(self.error_line(req, "draining", "admission stopped"));
+        }
+        let Some(index) = self.resolve(target) else {
+            let detail = match target {
+                Target::Index(i) => format!("index {i} out of range"),
+                Target::Label(l) => format!("no query labeled `{l}`"),
+            };
+            return Reply::text(self.error_line(req, "unknown_query", &detail));
+        };
+        if *inject_panic && !self.config.allow_inject {
+            return Reply::text(self.error_line(
+                req,
+                "inject_forbidden",
+                "daemon started without --allow-inject",
+            ));
+        }
+
+        let generation = self.generation();
+        if conn.generation != generation {
+            // A quarantine happened since this connection last solved:
+            // its interner may derive from the poisoned generation.
+            conn.icache = InternCache::default();
+            conn.generation = generation;
+        }
+        if !*inject_panic {
+            let hit = self.answered.lock().expect("answered poisoned").get(&index).cloned();
+            if let Some(r) = hit {
+                self.served.fetch_add(1, Ordering::SeqCst);
+                return Reply::text(self.result_line(req, index, &r, generation, true));
+            }
+        }
+
+        let cache = Arc::clone(&self.cache.lock().expect("cache poisoned"));
+        let timeout = deadline_ms.or(self.config.deadline_ms).map(Duration::from_millis);
+        let retry = self.config.retry.as_ref();
+        let mut attempt: u32 = 0;
+        let (result, qobs) = loop {
+            let mut qobs = QueryObs::new(index as u64, self.trace.is_some(), false);
+            let started = Instant::now();
+            // Each attempt gets a fresh deadline: the point of retrying
+            // `DeadlineExceeded` under escalation is a fresh budget.
+            let deadline = Deadline::timeout(timeout);
+            let inject = *inject_panic && attempt == 0;
+            let solved = catch_unwind(AssertUnwindSafe(|| {
+                if inject {
+                    panic!("injected fault (solve op)");
+                }
+                solve_query_cached_warm(
+                    self.program,
+                    self.callees,
+                    self.client,
+                    &self.queries[index],
+                    &self.config.tracer,
+                    &cache,
+                    &mut conn.icache,
+                    deadline,
+                    &mut qobs,
+                )
+            }));
+            let mut r = match solved {
+                Ok(r) => r,
+                Err(payload) => {
+                    // The interner was mid-mutation when the worker
+                    // unwound; it goes down with the attempt.
+                    conn.icache = InternCache::default();
+                    QueryResult {
+                        outcome: Outcome::Unresolved(Unresolved::EngineFault(panic_message(
+                            payload.as_ref(),
+                        ))),
+                        iterations: 0,
+                        micros: started.elapsed().as_micros(),
+                        escalations: 0,
+                        degradations: 0,
+                        retries: 0,
+                        meta: MetaStats::default(),
+                    }
+                }
+            };
+            r.retries = attempt;
+            let transient = match &r.outcome {
+                Outcome::Unresolved(u) => retry.is_some_and(|p| p.should_retry(u)),
+                _ => false,
+            };
+            if transient && retry.is_some_and(|p| attempt < p.retries) && !self.draining() {
+                if let Some(p) = retry {
+                    std::thread::sleep(p.backoff(index as u64, attempt));
+                }
+                attempt += 1;
+                continue;
+            }
+            break (r, qobs);
+        };
+
+        let faulted = matches!(result.outcome, Outcome::Unresolved(Unresolved::EngineFault(_)));
+        let quarantine = if faulted {
+            self.faults.fetch_add(1, Ordering::SeqCst);
+            let fresh = self.quarantine_current();
+            conn.icache = InternCache::default();
+            conn.generation = fresh;
+            true
+        } else {
+            self.served.fetch_add(1, Ordering::SeqCst);
+            if Self::durable(&result.outcome) {
+                self.record(index, &result);
+                self.answered.lock().expect("answered poisoned").insert(index, result.clone());
+            }
+            false
+        };
+        self.emit_trace(index, &result, &qobs);
+        Reply {
+            text: self.result_line(req, index, &result, generation, false),
+            quarantine,
+            shutdown: false,
+        }
+    }
+
+    /// Retires the running cache generation: a fresh empty forward cache
+    /// is swapped in and the generation counter bumps. Requests already
+    /// holding the old `Arc` finish on it; nothing new ever reads it.
+    /// Returns the new generation number.
+    fn quarantine_current(&self) -> u64 {
+        let mut slot = self.cache.lock().expect("cache poisoned");
+        *slot = Arc::new(ForwardCache::new());
+        self.quarantines.fetch_add(1, Ordering::SeqCst);
+        self.generation.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Re-warms the current generation off the request path: computes
+    /// the cheapest abstraction's forward run (where every query's first
+    /// CEGAR iteration starts) into the current cache, so the first
+    /// post-quarantine request starts warm. Queries with per-query fact
+    /// budgets may still miss (different cache key); that is only a cold
+    /// start, never a wrong answer. A panic here is contained like any
+    /// worker panic.
+    pub fn warm_generation(&self) {
+        let cache = Arc::clone(&self.cache.lock().expect("cache poisoned"));
+        let max_facts =
+            self.config.tracer.escalation.budget(self.config.tracer.rhs_limits.max_facts, 0);
+        let assignment = vec![false; self.client.n_atoms()];
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let p = self.client.param_of_model(&assignment);
+            let _ = cache.forward(&assignment, max_facts, Deadline::NEVER, || {
+                pda_dataflow::rhs::run(
+                    self.program,
+                    &pda_tracer::AsAnalysis(self.client),
+                    &p,
+                    self.client.initial_state(),
+                    self.callees,
+                    pda_dataflow::rhs::RhsLimits { max_facts, deadline: Deadline::NEVER },
+                )
+            });
+        }));
+    }
+
+    fn batch_line(&self, req: &Request) -> String {
+        if self.draining() {
+            return self.error_line(req, "draining", "admission stopped");
+        }
+        let config = BatchConfig {
+            tracer: self.config.tracer.clone(),
+            jobs: self.config.jobs,
+            retry: self.config.retry.clone(),
+            cancel: Some(self.drain_flag()),
+            ..BatchConfig::default()
+        };
+        let path = self.journal.lock().expect("journal poisoned").path.clone();
+        let run = match &path {
+            Some(path) => {
+                // The checkpointed driver owns the journal file while it
+                // runs; close our writer around the call.
+                self.journal.lock().expect("journal poisoned").writer = None;
+                solve_queries_batch_checkpointed(
+                    self.program,
+                    self.callees,
+                    self.client,
+                    &self.queries,
+                    &config,
+                    path,
+                )
+            }
+            None => Ok(pda_tracer::solve_queries_batch(
+                self.program,
+                self.callees,
+                self.client,
+                &self.queries,
+                &config,
+            )),
+        };
+        if let Some(path) = &path {
+            let mut j = self.journal.lock().expect("journal poisoned");
+            j.writer = CheckpointWriter::open_append(path).ok();
+        }
+        let (results, stats) = match run {
+            Ok(out) => out,
+            Err(e) => {
+                return LineBuilder::new()
+                    .opt_id(req.id.as_deref())
+                    .str("ok", "false")
+                    .str("op", "batch")
+                    .str("error", "checkpoint")
+                    .str("detail", &e.to_string())
+                    .num("generation", u128::from(self.generation()))
+                    .finish()
+            }
+        };
+        let mut proven = 0u64;
+        let mut impossible = 0u64;
+        let mut drained = 0u64;
+        {
+            let mut answered = self.answered.lock().expect("answered poisoned");
+            for (i, r) in results.iter().enumerate() {
+                match &r.outcome {
+                    Outcome::Proven { .. } => proven += 1,
+                    Outcome::Impossible => impossible += 1,
+                    Outcome::Unresolved(Unresolved::Drained) => drained += 1,
+                    Outcome::Unresolved(_) => {}
+                }
+                if Self::durable(&r.outcome) {
+                    answered.insert(i, r.clone());
+                }
+            }
+        }
+        self.served.fetch_add(results.len() as u64 - drained, Ordering::SeqCst);
+        LineBuilder::new()
+            .opt_id(req.id.as_deref())
+            .str("ok", "true")
+            .str("op", "batch")
+            .num("queries", results.len() as u128)
+            .num("proven", u128::from(proven))
+            .num("impossible", u128::from(impossible))
+            .num("resumed", stats.resumed as u128)
+            .num("faults", stats.engine_faults as u128)
+            .num("deadlines", stats.deadline_exceeded as u128)
+            .num("retries", u128::from(stats.retries))
+            .num("drained", u128::from(drained))
+            .num("generation", u128::from(self.generation()))
+            .finish()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

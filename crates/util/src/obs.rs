@@ -88,10 +88,13 @@ pub enum Counter {
     MemEvictions,
     /// Batch admissions deferred (shed-and-requeued) for pool pressure.
     Shed,
+    /// Transient-fault retry attempts consumed (deterministic backoff
+    /// ladder; see the batch scheduler's `RetryPolicy`).
+    Retries,
 }
 
 /// Number of [`Counter`] slots.
-pub const N_COUNTERS: usize = Counter::Shed as usize + 1;
+pub const N_COUNTERS: usize = Counter::Retries as usize + 1;
 
 // ---- spans ----
 
@@ -337,7 +340,7 @@ impl ObsRegistry {
         let rate = if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 };
         format!(
             "{} queries, jobs={}: {:.1} q/s, cache {}/{} hits ({:.1}%), {} forward runs saved, \
-             faults={} deadlines={} escalations={} resumed={} degradations={} shed={}\n{}",
+             faults={} deadlines={} escalations={} retries={} resumed={} degradations={} shed={}\n{}",
             queries,
             self.get(Counter::Jobs),
             qps,
@@ -348,6 +351,7 @@ impl ObsRegistry {
             self.get(Counter::EngineFaults),
             self.get(Counter::DeadlineExceeded),
             self.get(Counter::Escalations),
+            self.get(Counter::Retries),
             self.get(Counter::Resumed),
             self.get(Counter::Degradations),
             self.get(Counter::Shed),
@@ -834,10 +838,11 @@ mod tests {
         reg.set(Counter::MetaMicros, 15);
         reg.set(Counter::Degradations, 3);
         reg.set(Counter::Shed, 2);
+        reg.set(Counter::Retries, 4);
         assert_eq!(
             reg.render(),
             "32 queries, jobs=8: 16.0 q/s, cache 57/89 hits (64.0%), 57 forward runs saved, \
-             faults=0 deadlines=0 escalations=1 resumed=0 degradations=3 shed=2\n\
+             faults=0 deadlines=0 escalations=1 retries=4 resumed=0 degradations=3 shed=2\n\
              meta: 7 cubes, wp 3/4 memo hits, subsumption 0/9 fast-rejected, 2 drops, 15µs"
         );
     }

@@ -39,7 +39,7 @@ trace_line="$(echo "$perf" | grep '^trace: ')" \
 iters_trace="$(echo "$trace_line" | sed -E 's/.* ([0-9]+) iterations.*/\1/')"
 iters_json="$(grep '"interned"' target/ci_bench.json | sed -E 's/.*"iterations":([0-9]+).*/\1/')"
 queries_trace="$(echo "$trace_line" | sed -E 's/.* ([0-9]+) queries.*/\1/')"
-queries_json="$(grep '"queries"' target/ci_bench.json | sed -E 's/.*"queries": ([0-9]+).*/\1/')"
+queries_json="$(grep '"queries": ' target/ci_bench.json | sed -E 's/.*"queries": ([0-9]+).*/\1/')"
 [ "$iters_trace" = "$iters_json" ] && [ "$queries_trace" = "$queries_json" ] \
     || { echo "ci: trace counts (iters=$iters_trace queries=$queries_trace) disagree with bench JSON (iters=$iters_json queries=$queries_json)" >&2; exit 1; }
 echo "trace smoke ok: $iters_trace iterations, $queries_trace queries"
@@ -69,5 +69,49 @@ smoke="$(PDA_DEADLINE_MS=1 PDA_BENCH_OUT=target/ci_bench_starved.json ./target/r
 echo "$smoke"
 echo "$smoke" | grep -Eq 'resilience: deadline_exceeded=[0-9]+ engine_faults=0' \
     || { echo "ci: resilience smoke missing its summary line" >&2; exit 1; }
+
+echo "== daemon smoke: pda-serve supervision, quarantine, and graceful drain =="
+# A live daemon must (a) keep serving after an injected worker panic —
+# the fault comes back as a structured error and the cache generation is
+# quarantined — and (b) exit 0 on SIGTERM with a valid journal behind.
+cat > target/ci_serve.jay <<'EOF'
+class C {}
+fn main() {
+    var a, b, c, d;
+    a = null;
+    b = a;
+    c = null;
+    d = new C;
+    query qa: local b;
+    query qb: local c;
+    query qc: local d;
+}
+EOF
+rm -f target/ci_serve.sock target/ci_serve_journal.jsonl
+./target/release/pda serve target/ci_serve.jay --socket target/ci_serve.sock \
+    --journal target/ci_serve_journal.jsonl --allow-inject \
+    > target/ci_serve.log 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -S target/ci_serve.sock ] && break; sleep 0.1; done
+[ -S target/ci_serve.sock ] \
+    || { echo "ci: daemon never bound its socket" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+req() { ./target/release/pda request target/ci_serve.sock "$1"; }
+req '{"op":"health"}' | grep -q '"ready":"true"' \
+    || { echo "ci: daemon health probe not ready" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+req '{"op":"solve","index":0,"inject":"panic"}' | grep -q '"error":"engine_fault"' \
+    || { echo "ci: injected panic did not surface as a structured engine_fault" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+served="$(req '{"op":"solve","index":0}')"
+echo "$served" | grep -q '"outcome":"proven"' \
+    || { echo "ci: daemon stopped serving after an injected panic: $served" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+echo "$served" | grep -q '"generation":1' \
+    || { echo "ci: injected panic did not quarantine the cache generation: $served" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" \
+    || { echo "ci: daemon exited non-zero on SIGTERM (see target/ci_serve.log)" >&2; exit 1; }
+grep -q '"kind":"pda-batch-checkpoint"' target/ci_serve_journal.jsonl \
+    || { echo "ci: drained daemon left no valid journal header" >&2; exit 1; }
+grep -q '"i":0,"outcome":"proven"' target/ci_serve_journal.jsonl \
+    || { echo "ci: served verdict missing from the drain journal" >&2; exit 1; }
+echo "daemon smoke ok: fault isolated, generation quarantined, drained 0 with a valid journal"
 
 echo "ci: all checks passed"

@@ -46,7 +46,7 @@ fn hostile_string(rng: &mut SplitMix64) -> String {
 }
 
 fn random_result(rng: &mut SplitMix64) -> QueryResult<BitSet> {
-    let outcome = match rng.gen_range(0, 8) {
+    let outcome = match rng.gen_range(0, 9) {
         0 => Outcome::Proven { param: random_bitset(rng), cost: rng.next_u64() },
         1 => Outcome::Impossible,
         2 => Outcome::Unresolved(Unresolved::IterationBudget),
@@ -54,6 +54,7 @@ fn random_result(rng: &mut SplitMix64) -> QueryResult<BitSet> {
         4 => Outcome::Unresolved(Unresolved::MetaFailure(hostile_string(rng))),
         5 => Outcome::Unresolved(Unresolved::DeadlineExceeded),
         6 => Outcome::Unresolved(Unresolved::EngineFault(hostile_string(rng))),
+        7 => Outcome::Unresolved(Unresolved::Drained),
         _ => Outcome::Unresolved(Unresolved::MemBudgetExceeded),
     };
     QueryResult {
@@ -62,6 +63,7 @@ fn random_result(rng: &mut SplitMix64) -> QueryResult<BitSet> {
         micros: u128::from(rng.next_u64()),
         escalations: (rng.next_u64() & 0xffff) as u32,
         degradations: (rng.next_u64() & 0xff) as u32,
+        retries: (rng.next_u64() & 0xff) as u32,
         meta: MetaStats {
             cubes_built: rng.next_u64(),
             subsumption_checks: rng.next_u64(),
