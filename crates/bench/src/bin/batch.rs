@@ -18,7 +18,9 @@
 //! perf smoke to diff against the checked-in expected summary.
 //!
 //! Environment: `PDA_JOBS` sets the parallel worker count (default 8);
-//! `PDA_MAX_QUERIES` caps the batch size (default 32, floor 16);
+//! `PDA_META_JOBS` sets the in-query meta-kernel data parallelism for
+//! every phase (default 1; outcomes and traces are bit-identical at any
+//! value); `PDA_MAX_QUERIES` caps the batch size (default 32, floor 16);
 //! `PDA_MEM_BUDGET` sets a per-query memory budget in estimated bytes
 //! (`k`/`m`/`g` suffixes accepted) — the governor degrades deterministically
 //! under pressure, so outcome lines stay diffable; `PDA_POOL_BUDGET` sets
@@ -71,8 +73,9 @@ fn workers_json(stats: &BatchStats) -> String {
         .iter()
         .map(|w| {
             format!(
-                "{{\"queries\":{},\"meta_micros\":{},\"busy_micros\":{}}}",
-                w.queries, w.meta_micros, w.busy_micros
+                "{{\"queries\":{},\"meta_micros\":{},\"busy_micros\":{},\
+                 \"lock_wait_micros\":{}}}",
+                w.queries, w.meta_micros, w.busy_micros, w.lock_wait_micros
             )
         })
         .collect();
@@ -82,13 +85,15 @@ fn workers_json(stats: &BatchStats) -> String {
 fn run_json(results: &[QueryResult<BitSet>], stats: &BatchStats) -> String {
     format!(
         "{{\"wall_micros\":{},\"iterations\":{},\"cache_hits\":{},\"cache_misses\":{},\
-         \"deadline_exceeded\":{},\"engine_faults\":{},\"meta\":{},\"workers\":{}}}",
+         \"deadline_exceeded\":{},\"engine_faults\":{},\"contention_micros\":{},\
+         \"meta\":{},\"workers\":{}}}",
         stats.wall_micros,
         results.iter().map(|r| r.iterations).sum::<usize>(),
         stats.cache.hits,
         stats.cache.misses,
         stats.deadline_exceeded,
         stats.engine_faults,
+        stats.contention_micros,
         meta_json(&stats.meta),
         workers_json(stats)
     )
@@ -137,10 +142,16 @@ fn main() {
         std::env::var("PDA_MEM_BUDGET").ok().and_then(|v| pda_util::parse_bytes(&v));
     let pool_budget =
         std::env::var("PDA_POOL_BUDGET").ok().and_then(|v| pda_util::parse_bytes(&v));
+    let meta_jobs: usize = std::env::var("PDA_META_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
     let tracer = |kernel: MetaKernel| pda_tracer::TracerConfig {
         timeout: deadline_ms.map(std::time::Duration::from_millis),
         kernel,
         mem_budget,
+        meta_jobs,
         ..pda_tracer::TracerConfig::default()
     };
 

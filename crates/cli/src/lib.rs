@@ -90,7 +90,7 @@ pub enum Command {
         file: String,
     },
     /// `pda solve <file> [--query LABEL] [--k N] [--max-iters N]
-    /// [--jobs N] [--deadline MS] [--escalate N] [--mem-budget BYTES]
+    /// [--jobs N] [--meta-jobs N] [--deadline MS] [--escalate N] [--mem-budget BYTES]
     /// [--pool-budget BYTES] [--checkpoint PATH] [--trace PATH]
     /// [--metrics]`
     Solve {
@@ -105,6 +105,10 @@ pub enum Command {
         /// Worker threads (1 = today's sequential driver; default = the
         /// machine's available parallelism).
         jobs: usize,
+        /// In-query data parallelism for the backward meta-kernel
+        /// (1 = serial kernel, the default; results are bit-identical
+        /// at any value).
+        meta_jobs: usize,
         /// Per-query wall-clock deadline in milliseconds.
         deadline_ms: Option<u64>,
         /// Fact-budget escalation retries on forward-run `TooBig`.
@@ -128,7 +132,7 @@ pub enum Command {
         metrics: bool,
     },
     /// `pda serve <file> [--socket PATH] [--journal PATH] [--jobs N]
-    /// [--deadline MS] [--retry-faults N] [--k N] [--max-iters N]
+    /// [--meta-jobs N] [--deadline MS] [--retry-faults N] [--k N] [--max-iters N]
     /// [--trace PATH] [--allow-inject]`
     Serve {
         /// Input path.
@@ -140,6 +144,8 @@ pub enum Command {
         journal: Option<String>,
         /// Worker threads for the `batch` op.
         jobs: usize,
+        /// In-query data parallelism for the backward meta-kernel.
+        meta_jobs: usize,
         /// Default per-request wall-clock deadline in milliseconds.
         deadline_ms: Option<u64>,
         /// Retry transient faults (including deadline hits) up to N
@@ -178,12 +184,18 @@ USAGE:
     pda check   <file.jay>                 parse, validate, report stats
     pda queries <file.jay>                 list source queries
     pda solve   <file.jay> [--query LABEL] [--k N] [--max-iters N] [--jobs N]
-                [--deadline MS] [--escalate N] [--mem-budget BYTES]
+                [--meta-jobs N] [--deadline MS] [--escalate N] [--mem-budget BYTES]
                 [--pool-budget BYTES] [--checkpoint PATH]
                                            find optimum abstractions
                                            (--jobs 1 = sequential; default:
                                            available parallelism, batched
                                            with a shared forward-run cache)
+                                           --meta-jobs   in-query data
+                                                         parallelism for the
+                                                         backward meta-kernel
+                                                         (results identical at
+                                                         any value; default 1,
+                                                         env PDA_META_JOBS)
                                            --deadline    per-query wall-clock
                                                          budget, milliseconds
                                            --escalate    retry TooBig forward
@@ -212,7 +224,7 @@ USAGE:
                                                          latency table to the
                                                          report
     pda serve   <file.jay> [--socket PATH] [--journal PATH] [--jobs N]
-                [--deadline MS] [--retry-faults N] [--k N] [--max-iters N]
+                [--meta-jobs N] [--deadline MS] [--retry-faults N] [--k N] [--max-iters N]
                 [--trace PATH] [--allow-inject]
                                            run the crash-safe analysis daemon
                                            (JSONL over the Unix socket, or
@@ -225,6 +237,14 @@ USAGE:
                                            print the response
     pda gen     <benchmark>                print a generated suite program
 ";
+
+/// The `--meta-jobs` default: `PDA_META_JOBS` from the environment if
+/// set and parseable, else `1` (the serial backward kernel). Unlike
+/// `--jobs`, the default is *not* the machine parallelism: in-query data
+/// parallelism only pays off on large DNF products, so it stays opt-in.
+fn default_meta_jobs() -> usize {
+    std::env::var("PDA_META_JOBS").ok().and_then(|v| v.parse::<usize>().ok()).map_or(1, |n| n.max(1))
+}
 
 fn parse_num<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, CliError> {
     args.get(i + 1)
@@ -267,6 +287,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             let mut k = 5usize;
             let mut max_iters = 100usize;
             let mut jobs = default_jobs();
+            let mut meta_jobs = default_meta_jobs();
             let mut deadline_ms = None;
             let mut escalate = None;
             let mut mem_budget = None;
@@ -287,6 +308,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                     "--k" => k = parse_num(&args, i, "--k")?,
                     "--max-iters" => max_iters = parse_num(&args, i, "--max-iters")?,
                     "--jobs" => jobs = parse_num::<usize>(&args, i, "--jobs")?.max(1),
+                    "--meta-jobs" => {
+                        meta_jobs = parse_num::<usize>(&args, i, "--meta-jobs")?.max(1);
+                    }
                     "--deadline" => deadline_ms = Some(parse_num(&args, i, "--deadline")?),
                     "--escalate" => escalate = Some(parse_num(&args, i, "--escalate")?),
                     "--mem-budget" => mem_budget = Some(parse_size(&args, i, "--mem-budget")?),
@@ -321,6 +345,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 k,
                 max_iters,
                 jobs,
+                meta_jobs,
                 deadline_ms,
                 escalate,
                 mem_budget,
@@ -338,6 +363,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             let mut socket = None;
             let mut journal = None;
             let mut jobs = default_jobs();
+            let mut meta_jobs = default_meta_jobs();
             let mut deadline_ms = None;
             let mut retry_faults = None;
             let mut k = 5usize;
@@ -360,6 +386,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                         journal = Some(path.clone());
                     }
                     "--jobs" => jobs = parse_num::<usize>(&args, i, "--jobs")?.max(1),
+                    "--meta-jobs" => {
+                        meta_jobs = parse_num::<usize>(&args, i, "--meta-jobs")?.max(1);
+                    }
                     "--deadline" => deadline_ms = Some(parse_num(&args, i, "--deadline")?),
                     "--retry-faults" => {
                         retry_faults = Some(parse_num(&args, i, "--retry-faults")?);
@@ -386,6 +415,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 socket,
                 journal,
                 jobs,
+                meta_jobs,
                 deadline_ms,
                 retry_faults,
                 k,
@@ -424,6 +454,7 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, CliError> {
             k,
             max_iters,
             jobs,
+            meta_jobs,
             deadline_ms,
             escalate,
             mem_budget,
@@ -439,6 +470,7 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, CliError> {
                 k: *k,
                 max_iters: *max_iters,
                 jobs: *jobs,
+                meta_jobs: *meta_jobs,
                 deadline_ms: *deadline_ms,
                 escalate: *escalate,
                 mem_budget: *mem_budget,
@@ -532,6 +564,7 @@ struct SolveOpts<'a> {
     k: usize,
     max_iters: usize,
     jobs: usize,
+    meta_jobs: usize,
     deadline_ms: Option<u64>,
     escalate: Option<u32>,
     mem_budget: Option<u64>,
@@ -553,6 +586,7 @@ fn run_serve(cmd: &Command, source: &str) -> Result<String, CliError> {
         socket,
         journal,
         jobs,
+        meta_jobs,
         deadline_ms,
         retry_faults,
         k,
@@ -581,6 +615,7 @@ fn run_serve(cmd: &Command, source: &str) -> Result<String, CliError> {
         tracer: TracerConfig {
             beam: BeamConfig::with_k(*k),
             max_iters: *max_iters,
+            meta_jobs: *meta_jobs,
             ..TracerConfig::default()
         },
         jobs: *jobs,
@@ -621,6 +656,7 @@ fn solve_report(source: &str, opts: &SolveOpts<'_>) -> Result<String, CliError> 
             .escalate
             .map_or_else(Escalation::default, |retries| Escalation { retries, ..Escalation::standard() }),
         mem_budget: opts.mem_budget,
+        meta_jobs: opts.meta_jobs,
         ..TracerConfig::default()
     };
     let callees = |c: pda_lang::CallId| pa.callees(c).to_vec();
@@ -873,6 +909,7 @@ mod tests {
             k: 5,
             max_iters: 50,
             jobs,
+            meta_jobs: 1,
             deadline_ms,
             escalate: None,
             mem_budget: None,
@@ -898,6 +935,7 @@ mod tests {
                 k: 3,
                 max_iters: 9,
                 jobs: default_jobs(),
+                meta_jobs: default_meta_jobs(),
                 deadline_ms: None,
                 escalate: None,
                 mem_budget: None,
@@ -921,6 +959,7 @@ mod tests {
                 k: 5,
                 max_iters: 100,
                 jobs: 4,
+                meta_jobs: default_meta_jobs(),
                 deadline_ms: Some(250),
                 escalate: Some(2),
                 mem_budget: Some(64 << 10),
@@ -943,6 +982,7 @@ mod tests {
                 socket: Some("/tmp/pda.sock".into()),
                 journal: Some("j.jsonl".into()),
                 jobs: 2,
+                meta_jobs: default_meta_jobs(),
                 deadline_ms: Some(500),
                 retry_faults: Some(1),
                 k: 5,
@@ -1118,6 +1158,7 @@ mod tests {
             k: 5,
             max_iters: 50,
             jobs: 1,
+            meta_jobs: 1,
             deadline_ms: None,
             escalate: None,
             mem_budget: None,

@@ -55,11 +55,11 @@ use crate::tracer::{
 };
 use pda_dataflow::{rhs, Interrupt, RhsLimits, RhsResult, TooBig};
 use pda_lang::{CallId, MethodId, Program};
-use pda_meta::{InternCache, MetaStats};
+use pda_meta::{InternCache, MetaStats, WarmStore};
 use pda_solver::{MinCostSolver, PFormula};
 use pda_util::{
-    CacheStats, Counter, Deadline, Event, MemBudget, ObsRegistry, Span, SpanKind, SplitMix64,
-    TraceSink,
+    fnv1a, CacheStats, Counter, Deadline, Event, MemBudget, ObsRegistry, Span, SpanKind,
+    SplitMix64, StripedLock, TraceSink,
 };
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -146,6 +146,11 @@ pub struct WorkerMeta {
     pub meta_micros: u64,
     /// Total wall time this worker spent solving (claim to finish), µs.
     pub busy_micros: u64,
+    /// Microseconds this worker spent blocked on shared-structure locks:
+    /// contended [`ForwardCache`] shard acquisitions for its queries plus
+    /// admission-turnstile waits. Zero when `jobs == 1` (no shared
+    /// structures).
+    pub lock_wait_micros: u64,
 }
 
 /// Configuration of a batch run.
@@ -153,10 +158,23 @@ pub struct WorkerMeta {
 pub struct BatchConfig {
     /// Per-query TRACER configuration.
     pub tracer: TracerConfig,
-    /// Worker threads. `1` reproduces the sequential driver exactly
-    /// (no cache, no pool); `0` is treated as `1`. The default is the
-    /// machine's available parallelism.
+    /// Requested worker parallelism. `1` reproduces the sequential
+    /// driver exactly (no cache, no pool); `0` is treated as `1`. Any
+    /// value `> 1` selects the shared-cache parallel path, but the
+    /// number of threads actually spawned is additionally clamped to the
+    /// machine's available parallelism — oversubscribing a core count
+    /// only time-shares the CEGAR loops and inflates per-phase
+    /// wall-clock attribution without finishing any sooner. The default
+    /// is the machine's available parallelism. See
+    /// [`BatchConfig::thread_cap`] to override the clamp.
     pub jobs: usize,
+    /// Upper bound on *spawned* worker threads. `None` (the default)
+    /// clamps to the machine's available parallelism. `Some(n)` replaces
+    /// that clamp — used by tests that exercise genuine worker
+    /// concurrency (admission shedding, cache races) on small machines,
+    /// and available to callers who want deliberate oversubscription.
+    /// The effective thread count is always `<= jobs`.
+    pub thread_cap: Option<usize>,
     /// Wall-clock budget for the *whole batch*: queries still running (or
     /// not yet started) when it expires resolve as
     /// [`Unresolved::DeadlineExceeded`]. `None` (default) = unbounded.
@@ -195,6 +213,7 @@ impl Default for BatchConfig {
         BatchConfig {
             tracer: TracerConfig::default(),
             jobs: default_jobs(),
+            thread_cap: None,
             batch_timeout: None,
             timed: false,
             pool_budget: None,
@@ -215,7 +234,9 @@ pub fn default_jobs() -> usize {
 pub struct BatchStats {
     /// Queries scheduled.
     pub queries: usize,
-    /// Worker threads actually used.
+    /// Requested worker parallelism (clamped to the query count; the
+    /// spawned thread count is further clamped to available
+    /// parallelism — see [`WorkerMeta`] for per-thread attribution).
     pub jobs: usize,
     /// Forward-run cache hits/misses (`misses` = RHS runs executed;
     /// `hits` = RHS runs saved). All-zero when `jobs == 1` (no cache).
@@ -240,6 +261,11 @@ pub struct BatchStats {
     /// Transient-fault retry attempts consumed across all queries. Zero
     /// unless [`BatchConfig::retry`] is set.
     pub retries: u64,
+    /// Total microseconds workers spent blocked on shared-structure
+    /// locks: contended [`ForwardCache`] shard acquisitions, admission
+    /// turnstile waits, and warm meta-store shard waits. Rendered as
+    /// `contention=` in the footer. Zero when `jobs == 1`.
+    pub contention_micros: u64,
     /// Per-worker effort attribution, in worker completion order (one
     /// entry per worker that ran; a single entry when `jobs == 1`). Not
     /// part of the rendered footer — the bench emits it as JSON.
@@ -286,6 +312,7 @@ impl BatchStats {
         reg.set(Counter::Resumed, self.resumed as u64);
         reg.set(Counter::Degradations, self.degradations);
         reg.set(Counter::Shed, self.shed);
+        reg.set(Counter::LockWaitMicros, self.contention_micros);
         reg.set(Counter::CubesBuilt, self.meta.cubes_built);
         reg.set(Counter::SubsumptionChecks, self.meta.subsumption_checks);
         reg.set(Counter::SubsumptionFastRejects, self.meta.subsumption_fast_rejects);
@@ -330,11 +357,32 @@ impl std::fmt::Display for BatchStats {
 /// Deterministic outcomes (`Ok` runs and fact-budget [`TooBig`]) are
 /// cached; waiters poll their own deadline while blocked, so a slow
 /// computation never pins a sibling query past its budget.
+///
+/// The slot map is lock-striped ([`StripedLock`],
+/// [`FORWARD_CACHE_SHARDS`] shards) keyed by an [`fnv1a`] hash of the
+/// assignment bits and fact budget, so workers looking up *distinct*
+/// assignments never serialize on one map mutex; only the per-slot state
+/// machine synchronizes same-key callers. The hash is deterministic
+/// (FNV-1a, not the per-process-seeded std hasher), so shard assignment
+/// — and therefore the contention profile — is reproducible run to run.
 pub struct ForwardCache<'p, S> {
     #[allow(clippy::type_complexity)]
-    slots: Mutex<HashMap<(Vec<bool>, usize), Arc<Slot<'p, S>>>>,
+    slots: StripedLock<HashMap<(Vec<bool>, usize), Arc<Slot<'p, S>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// Shard count for the [`ForwardCache`] slot map. 16 shards keep the
+/// expected collision probability for a handful of workers low while the
+/// per-shard maps stay dense enough to be cheap.
+const FORWARD_CACHE_SHARDS: usize = 16;
+
+/// Deterministic shard hash for a forward-cache key.
+fn slot_hash(assignment: &[bool], max_facts: usize) -> u64 {
+    let mut bytes: Vec<u8> = Vec::with_capacity(assignment.len() + 8);
+    bytes.extend(assignment.iter().map(|&b| u8::from(b)));
+    bytes.extend_from_slice(&(max_facts as u64).to_le_bytes());
+    fnv1a(&bytes)
 }
 
 struct Slot<'p, S> {
@@ -372,7 +420,7 @@ impl<'p, S> ForwardCache<'p, S> {
     /// An empty cache.
     pub fn new() -> Self {
         ForwardCache {
-            slots: Mutex::new(HashMap::new()),
+            slots: StripedLock::new(FORWARD_CACHE_SHARDS),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -397,6 +445,11 @@ impl<'p, S> ForwardCache<'p, S> {
     /// deadline expires while a sibling computes gives up with
     /// [`Interrupt::DeadlineExceeded`] without disturbing the slot.
     ///
+    /// Contended waits for the slot-map shard are metered into
+    /// `lock_waits` (microseconds); the uncontended path reads no clock.
+    /// Waits on a *running* sibling's computation are deliberately not
+    /// metered — those are productive deduplication, not contention.
+    ///
     /// # Errors
     ///
     /// [`Interrupt::TooBig`] (memoized — deterministic for the key) or
@@ -406,10 +459,11 @@ impl<'p, S> ForwardCache<'p, S> {
         assignment: &[bool],
         max_facts: usize,
         deadline: Deadline,
+        lock_waits: &AtomicU64,
         compute: impl FnOnce() -> Result<RhsResult<'p, S>, Interrupt>,
     ) -> Result<Arc<RhsResult<'p, S>>, Interrupt> {
         let slot = {
-            let mut slots = self.slots.lock().expect("forward-cache map poisoned");
+            let mut slots = self.slots.lock(slot_hash(assignment, max_facts), lock_waits);
             Arc::clone(
                 slots
                     .entry((assignment.to_vec(), max_facts))
@@ -587,7 +641,7 @@ where
     C: TracerClient + Sync,
     C::Param: Send,
     C::State: Send + Sync,
-    C::Prim: Sync,
+    C::Prim: Send + Sync,
 {
     run_batch(program, callees, client, queries, config, HashMap::new(), None, None)
 }
@@ -611,7 +665,7 @@ where
     C: TracerClient + Sync,
     C::Param: Send,
     C::State: Send + Sync,
-    C::Prim: Sync,
+    C::Prim: Send + Sync,
 {
     run_batch(program, callees, client, queries, config, HashMap::new(), None, trace)
 }
@@ -713,7 +767,7 @@ where
     C: TracerClient + Sync,
     C::Param: Send,
     C::State: Send + Sync,
-    C::Prim: Sync,
+    C::Prim: Send + Sync,
 {
     let start = Instant::now();
     let batch_deadline = Deadline::timeout(config.batch_timeout);
@@ -721,6 +775,13 @@ where
     let resumed = skip.len();
     let pending: Vec<usize> = (0..queries.len()).filter(|i| !skip.contains_key(i)).collect();
     let jobs = config.jobs.max(1).min(pending.len().max(1));
+    // Requesting more workers than the machine has cores does not finish
+    // the batch any sooner — it only time-shares the CEGAR loops, which
+    // inflates every per-phase wall-clock attribution (a meta phase that
+    // takes 10ms of CPU reads as 80ms of wall when eight threads share
+    // one core). The *path* (shared caches, warm store) is still selected
+    // by the requested `jobs`; only the thread count is clamped.
+    let workers = jobs.min(config.thread_cap.unwrap_or_else(default_jobs)).max(1);
 
     let mut slots: Vec<Option<(QueryResult<C::Param>, QueryObs)>> =
         (0..queries.len()).map(|_| None).collect();
@@ -734,8 +795,10 @@ where
     let worker_meta: Mutex<Vec<WorkerMeta>> = Mutex::new(Vec::new());
 
     let cache_stats;
+    let warm_waits: u64;
     if jobs == 1 {
         cache_stats = CacheStats::default();
+        warm_waits = 0;
         // With no batch timeout this is byte-for-byte the sequential
         // driver: `solve_query_within(.., Deadline::NEVER)` *is*
         // `solve_query`, plus the panic-isolation boundary. With a pool,
@@ -788,6 +851,14 @@ where
         worker_meta.lock().expect("worker meta poisoned").push(wm);
     } else {
         let cache: ForwardCache<'p, C::State> = ForwardCache::new();
+        // One warm meta store for the whole batch: weakest-precondition
+        // formulas and primitive-pair verdicts are pure functions of
+        // their keys, so sharing them across the per-query InternCaches
+        // removes repeated work without perturbing any per-query counter
+        // or event (see `pda_meta::WarmStore`). `jobs == 1` stays cold —
+        // it is the sequential driver, bit for bit, and the honest
+        // baseline the parallel path is measured against.
+        let warm: Arc<WarmStore<C::Prim>> = Arc::new(WarmStore::new(FORWARD_CACHE_SHARDS));
         #[allow(clippy::type_complexity)]
         let shared: Vec<Mutex<Option<(QueryResult<C::Param>, QueryObs)>>> =
             pending.iter().map(|_| Mutex::new(None)).collect();
@@ -795,7 +866,7 @@ where
             None => {
                 let next = AtomicUsize::new(0);
                 std::thread::scope(|scope| {
-                    for _ in 0..jobs {
+                    for _ in 0..workers {
                         scope.spawn(|| {
                             let mut wm = WorkerMeta::default();
                             loop {
@@ -834,12 +905,15 @@ where
                                             batch_deadline,
                                             qobs,
                                             None,
+                                            Some(Arc::clone(&warm)),
                                         )
                                     },
                                 );
                                 wm.queries += 1;
                                 wm.meta_micros += r.meta.micros;
                                 wm.busy_micros += claim.elapsed().as_micros() as u64;
+                                wm.lock_wait_micros +=
+                                    qobs.reg.get(Counter::LockWaitMicros);
                                 if let Some(sink) = sink {
                                     sink(i, &r);
                                 }
@@ -859,7 +933,7 @@ where
                 });
                 let turnstile = Condvar::new();
                 std::thread::scope(|scope| {
-                    for _ in 0..jobs {
+                    for _ in 0..workers {
                         scope.spawn(|| {
                             let mut wm = WorkerMeta::default();
                             loop {
@@ -903,7 +977,9 @@ where
                                     } else if st.active == 0 {
                                         break None;
                                     }
+                                    let t0 = Instant::now();
                                     st = turnstile.wait(st).expect("admission queue poisoned");
+                                    wm.lock_wait_micros += t0.elapsed().as_micros() as u64;
                                 };
                                 drop(st);
                                 let Some((k, claim)) = claimed else { break };
@@ -936,6 +1012,7 @@ where
                                                     batch_deadline,
                                                     qobs,
                                                     Some(Arc::clone(pool)),
+                                                    Some(Arc::clone(&warm)),
                                                 )
                                             },
                                         );
@@ -955,6 +1032,8 @@ where
                                     wm.queries += 1;
                                     wm.meta_micros += r.meta.micros;
                                     wm.busy_micros += started.elapsed().as_micros() as u64;
+                                    wm.lock_wait_micros +=
+                                        qobs.reg.get(Counter::LockWaitMicros);
                                     if let Some(sink) = sink {
                                         sink(i, &r);
                                     }
@@ -974,6 +1053,7 @@ where
                 .expect("result slot poisoned");
         }
         cache_stats = cache.stats();
+        warm_waits = warm.wait_micros();
     }
 
     // Drain results, merge the per-query registries, and (if tracing)
@@ -1001,6 +1081,9 @@ where
         sink.flush();
     }
 
+    let worker_meta = worker_meta.into_inner().expect("worker meta poisoned");
+    let contention_micros =
+        worker_meta.iter().map(|w| w.lock_wait_micros).sum::<u64>() + warm_waits;
     let stats = BatchStats {
         queries: queries.len(),
         jobs,
@@ -1019,7 +1102,8 @@ where
         degradations: results.iter().map(|r| u64::from(r.degradations)).sum(),
         shed: shed.load(Ordering::Relaxed),
         retries: results.iter().map(|r| u64::from(r.retries)).sum(),
-        worker_meta: worker_meta.into_inner().expect("worker meta poisoned"),
+        contention_micros,
+        worker_meta,
         meta: {
             let mut total = MetaStats::default();
             for r in &results {
@@ -1075,12 +1159,17 @@ pub fn solve_query_cached_observed<'p, C: TracerClient>(
     outer: Deadline,
     obs: &mut QueryObs,
 ) -> QueryResult<C::Param> {
-    solve_query_cached_pooled(program, callees, client, query, config, cache, outer, obs, None)
+    solve_query_cached_pooled(
+        program, callees, client, query, config, cache, outer, obs, None, None,
+    )
 }
 
 /// [`solve_query_cached_observed`] with the query's byte charges
 /// additionally cascading into the shared batch `pool` (admission-control
-/// accounting; the pool never influences the running query's decisions).
+/// accounting; the pool never influences the running query's decisions)
+/// and its fresh [`InternCache`] optionally seeded from the batch-wide
+/// `warm` store (semantically transparent sharing of wp formulas and
+/// primitive-pair verdicts — see [`WarmStore`]).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_query_cached_pooled<'p, C: TracerClient>(
     program: &'p Program,
@@ -1092,8 +1181,12 @@ pub(crate) fn solve_query_cached_pooled<'p, C: TracerClient>(
     outer: Deadline,
     obs: &mut QueryObs,
     pool: Option<Arc<MemBudget>>,
+    warm: Option<Arc<WarmStore<C::Prim>>>,
 ) -> QueryResult<C::Param> {
-    let mut icache = InternCache::default();
+    let mut icache = match warm {
+        Some(w) => InternCache::with_warm(w),
+        None => InternCache::default(),
+    };
     solve_query_cached_warm_pooled(
         program, callees, client, query, config, cache, &mut icache, outer, obs, pool,
     )
@@ -1142,6 +1235,10 @@ fn solve_query_cached_warm_pooled<'p, C: TracerClient>(
     let mut iterations = 0;
     let mut escalations = 0;
     let mut gov = Governor::new(query, config, pool);
+    // Contended forward-cache shard waits for this query, drained into
+    // the registry once at the end (the counter is effort attribution,
+    // never part of the event stream).
+    let lock_waits = AtomicU64::new(0);
     let outcome = loop {
         if deadline.expired() {
             break Outcome::Unresolved(Unresolved::DeadlineExceeded);
@@ -1163,6 +1260,7 @@ fn solve_query_cached_warm_pooled<'p, C: TracerClient>(
             &mut gov,
             obs,
             iterations,
+            &lock_waits,
         ) {
             StepResult::Proven { param, cost } => {
                 iterations += 1;
@@ -1184,6 +1282,7 @@ fn solve_query_cached_warm_pooled<'p, C: TracerClient>(
     };
     obs.reg.add(Counter::Iterations, iterations as u64);
     obs.reg.add(Counter::Escalations, escalations as u64);
+    obs.reg.add(Counter::LockWaitMicros, lock_waits.load(Ordering::Relaxed));
     let meta = MetaStats::from_obs(&obs.reg.since(&entry));
     QueryResult {
         outcome,
@@ -1212,6 +1311,7 @@ fn step_cached<'p, C: TracerClient>(
     gov: &mut Governor,
     obs: &mut QueryObs,
     iter: usize,
+    lock_waits: &AtomicU64,
 ) -> StepResult<C::Param> {
     let n = client.n_atoms();
     let costs = (0..n).map(|i| client.atom_cost(i)).collect();
@@ -1245,7 +1345,7 @@ fn step_cached<'p, C: TracerClient>(
     let run = loop {
         let max_facts = config.escalation.budget(base_facts, attempt);
         let limits = RhsLimits { max_facts, deadline };
-        match cache.forward(&model.assignment, max_facts, deadline, || {
+        match cache.forward(&model.assignment, max_facts, deadline, lock_waits, || {
             rhs::run(program, &crate::client::AsAnalysis(client), &p, d0.clone(), callees, limits)
         }) {
             Ok(r) => break r,
@@ -1403,7 +1503,7 @@ mod tests {
         let mut runs = 0;
         for _ in 0..3 {
             let r = cache
-                .forward(&assignment, limits.max_facts, Deadline::NEVER, || {
+                .forward(&assignment, limits.max_facts, Deadline::NEVER, &AtomicU64::new(0), || {
                     runs += 1;
                     rhs::run(
                         &program,
@@ -1431,7 +1531,7 @@ mod tests {
         let assignment = vec![false; client.n_atoms()];
         let p = client.param_of_model(&assignment);
         let run_with = |budget: usize, runs: &mut u32| {
-            cache.forward(&assignment, budget, Deadline::NEVER, || {
+            cache.forward(&assignment, budget, Deadline::NEVER, &AtomicU64::new(0), || {
                 *runs += 1;
                 rhs::run(
                     &program,
@@ -1467,7 +1567,7 @@ mod tests {
         let budget = pda_dataflow::RhsLimits::default().max_facts;
         // First caller's run aborts on its expired deadline.
         let expired = Deadline::after(std::time::Duration::ZERO);
-        let r = cache.forward(&assignment, budget, expired, || {
+        let r = cache.forward(&assignment, budget, expired, &AtomicU64::new(0), || {
             rhs::run(
                 &program,
                 &crate::client::AsAnalysis(&client),
@@ -1480,7 +1580,7 @@ mod tests {
         assert_eq!(r.unwrap_err(), Interrupt::DeadlineExceeded);
         // A healthy second caller recomputes and succeeds — the abort was
         // not cached.
-        let r2 = cache.forward(&assignment, budget, Deadline::NEVER, || {
+        let r2 = cache.forward(&assignment, budget, Deadline::NEVER, &AtomicU64::new(0), || {
             rhs::run(
                 &program,
                 &crate::client::AsAnalysis(&client),
@@ -1503,11 +1603,13 @@ mod tests {
         let p = client.param_of_model(&assignment);
         let budget = pda_dataflow::RhsLimits::default().max_facts;
         let boom = catch_unwind(AssertUnwindSafe(|| {
-            cache.forward(&assignment, budget, Deadline::NEVER, || panic!("injected"))
+            cache.forward(&assignment, budget, Deadline::NEVER, &AtomicU64::new(0), || {
+                panic!("injected")
+            })
         }));
         assert!(boom.is_err());
         // The slot was re-opened: the next caller computes normally.
-        let r = cache.forward(&assignment, budget, Deadline::NEVER, || {
+        let r = cache.forward(&assignment, budget, Deadline::NEVER, &AtomicU64::new(0), || {
             rhs::run(
                 &program,
                 &crate::client::AsAnalysis(&client),
@@ -1549,6 +1651,7 @@ mod tests {
             degradations: 5,
             shed: 6,
             retries: 7,
+            contention_micros: 9,
             worker_meta: Vec::new(),
             meta: MetaStats {
                 cubes_built: 12,
@@ -1565,7 +1668,8 @@ mod tests {
         assert_eq!(
             stats.to_string(),
             "32 queries, jobs=8: 16.0 q/s, cache 57/89 hits (64.0%), 57 forward runs saved, \
-             faults=1 deadlines=2 escalations=3 retries=7 resumed=4 degradations=5 shed=6\n\
+             faults=1 deadlines=2 escalations=3 retries=7 resumed=4 degradations=5 shed=6 \
+             contention=9µs\n\
              meta: 12 cubes, wp 8/10 memo hits, subsumption 5/20 fast-rejected, 3 drops, 42µs"
         );
         // The meta: line is the MetaStats Display, verbatim.

@@ -361,7 +361,7 @@ where
     C: TracerClient + Sync,
     C::Param: Send + ParamCodec,
     C::State: Send + Sync,
-    C::Prim: Sync,
+    C::Prim: Send + Sync,
 {
     solve_queries_batch_checkpointed_traced(program, callees, client, queries, config, path, None)
 }
@@ -386,7 +386,7 @@ where
     C: TracerClient + Sync,
     C::Param: Send + ParamCodec,
     C::State: Send + Sync,
-    C::Prim: Sync,
+    C::Prim: Send + Sync,
 {
     let (skip, writer) = if path.exists() {
         let skip = load_checkpoint::<C::Param>(path, queries.len())?;

@@ -4,7 +4,7 @@ use crate::client::{AsMeta, Query, TracerClient};
 use pda_dataflow::{rhs, Interrupt, RhsLimits};
 use pda_lang::{CallId, MethodId, Program};
 use pda_meta::{
-    analyze_trace_interned, analyze_trace_obs, restrict, BeamConfig, InternCache, MetaStats,
+    analyze_trace_interned_jobs, analyze_trace_obs, restrict, BeamConfig, InternCache, MetaStats,
     Primitive,
 };
 use pda_solver::{MinCostSolver, PFormula};
@@ -104,6 +104,13 @@ pub struct TracerConfig {
     /// as [`Unresolved::MemBudgetExceeded`]. `None` (the default) keeps
     /// byte accounting on but never degrades.
     pub mem_budget: Option<u64>,
+    /// In-query data-parallelism degree for the interned kernel's cube
+    /// loops (`--meta-jobs` / `PDA_META_JOBS`). `1` (the default) is the
+    /// fully serial kernel; higher values fan the widest cube products
+    /// and subsumption scans out over a scoped thread pool with a
+    /// deterministic merge, so results stay bit-identical at any value.
+    /// The tree kernel ignores it.
+    pub meta_jobs: usize,
 }
 
 impl Default for TracerConfig {
@@ -116,6 +123,7 @@ impl Default for TracerConfig {
             escalation: Escalation::default(),
             kernel: MetaKernel::default(),
             mem_budget: None,
+            meta_jobs: 1,
         }
     }
 }
@@ -649,7 +657,7 @@ pub(crate) fn backward_phase<C: TracerClient>(
 ) -> Result<PFormula, pda_meta::MetaError> {
     let t0 = Instant::now();
     let phi = match config.kernel {
-        MetaKernel::Interned => analyze_trace_interned(
+        MetaKernel::Interned => analyze_trace_interned_jobs(
             &AsMeta(client),
             p,
             d0,
@@ -658,6 +666,14 @@ pub(crate) fn backward_phase<C: TracerClient>(
             beam,
             icache,
             obs,
+            // Clamped to the machine, exactly like the batch scheduler's
+            // worker count: on a box with fewer cores than the requested
+            // degree, extra kernel threads only time-share and stretch
+            // every wall-clock span (the jobs>1 meta-inflation pathology
+            // this knob must never reintroduce). Direct kernel calls
+            // stay unclamped so tests can exercise the parallel merge
+            // paths on any machine.
+            config.meta_jobs.min(crate::batch::default_jobs()),
         )
         .map(|out| out.restrict()),
         MetaKernel::Tree => {

@@ -49,9 +49,13 @@ use crate::approx::BeamConfig;
 use crate::backward::{MetaClient, MetaError, ParamOf, StateOf};
 use crate::formula::{Cube, Dnf, Formula, Lit, Primitive};
 use pda_lang::Atom;
-use pda_util::{Counter, ObsRegistry, Span, SpanKind};
+use pda_util::{scoped_chunk_map, Counter, ObsRegistry, Span, SpanKind, StripedLock};
 use pda_solver::PFormula;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A packed literal: `prim id << 1 | positive`.
 ///
@@ -101,15 +105,11 @@ impl Matrix {
     }
 }
 
-/// The intern table: primitives, their cached metadata, and the
-/// precomputed implication/contradiction matrices. Rebuilt only when the
-/// cache's primitive universe grows.
-struct PrimTable<P: Primitive> {
-    /// Interned primitives in `Ord` order; the index is the id.
-    prims: Vec<P>,
-    id_of: HashMap<P, u32>,
-    /// `param_atom()` per id, cached at intern time.
-    param_atom: Vec<Option<(usize, bool)>>,
+/// The `P`-free core of a [`PrimTable`]: the pairwise matrices and the
+/// flags derived from them. Split out of the table so the data-parallel
+/// cube paths can hand worker threads a plain `Sync` borrow (words and
+/// bools) without demanding `P: Sync` from every client.
+struct TableCore {
     /// `implies[i][j] = prims[i].implies(prims[j])`.
     implies: Matrix,
     /// `contradicts[i][j] = prims[i].contradicts(prims[j])`.
@@ -126,7 +126,7 @@ struct PrimTable<P: Primitive> {
     trivial: bool,
 }
 
-impl<P: Primitive> PrimTable<P> {
+impl TableCore {
     /// Mirrors [`Lit::implies`] on packed literals via the matrices.
     fn lit_implies(&self, a: PLit, b: PLit) -> bool {
         match (lit_pos(a), lit_pos(b)) {
@@ -138,26 +138,45 @@ impl<P: Primitive> PrimTable<P> {
     }
 }
 
-/// An interned cube: sorted packed literals plus the occurrence signature.
+/// The intern table: primitives, their cached metadata, and the
+/// precomputed implication/contradiction matrices. Rebuilt only when the
+/// cache's primitive universe grows.
+struct PrimTable<P: Primitive> {
+    /// Interned primitives in `Ord` order; the index is the id.
+    prims: Vec<P>,
+    id_of: HashMap<P, u32>,
+    /// `param_atom()` per id, cached at intern time.
+    param_atom: Vec<Option<(usize, bool)>>,
+    /// The `P`-free matrices and flags the cube operations run on.
+    /// `Arc` so a parallel batch's [`WarmStore`] can hand every query
+    /// with the same universe the same rebuilt core.
+    core: Arc<TableCore>,
+}
+
+/// An interned cube: sorted packed literals plus two occurrence
+/// signatures — `sig` over all literals' prims, `pos_sig` over the prims
+/// of *positive* literals only.
 ///
-/// The derived `Ord` compares `lits` first; `sig` is a function of `lits`,
-/// so the comparison coincides with the tree [`Cube`]'s `BTreeSet` order.
+/// The derived `Ord` compares `lits` first; both signatures are functions
+/// of `lits`, so the comparison coincides with the tree [`Cube`]'s
+/// `BTreeSet` order.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct ICube {
     lits: Vec<PLit>,
     sig: u64,
+    pos_sig: u64,
 }
 
 impl ICube {
     fn top() -> ICube {
-        ICube { lits: Vec::new(), sig: 0 }
+        ICube { lits: Vec::new(), sig: 0, pos_sig: 0 }
     }
 
     /// Mirror of [`Cube::insert`]: clash on the opposite literal or on an
     /// *existing positive* literal contradicting a positive newcomer (the
     /// tree checks `existing.contradicts(new)` only — the asymmetry is
     /// load-bearing for bit-identity).
-    fn insert<P: Primitive>(&mut self, lit: PLit, t: &PrimTable<P>) -> bool {
+    fn insert(&mut self, lit: PLit, t: &TableCore) -> bool {
         if self.lits.binary_search(&(lit ^ 1)).is_ok() {
             return false;
         }
@@ -173,6 +192,9 @@ impl ICube {
             self.lits.insert(i, lit);
         }
         self.sig |= sig_bit(lit);
+        if lit_pos(lit) {
+            self.pos_sig |= sig_bit(lit);
+        }
         true
     }
 
@@ -180,7 +202,7 @@ impl ICube {
     /// order, failing on the first clash. When no interned pair
     /// contradicts and the signatures prove the prim sets disjoint, no
     /// insert can clash and a plain sorted merge suffices.
-    fn conjoin<P: Primitive>(&self, other: &ICube, t: &PrimTable<P>) -> Option<ICube> {
+    fn conjoin(&self, other: &ICube, t: &TableCore) -> Option<ICube> {
         if !t.any_contradiction && self.sig & other.sig == 0 {
             let mut lits = Vec::with_capacity(self.lits.len() + other.lits.len());
             let (mut i, mut j) = (0, 0);
@@ -195,7 +217,11 @@ impl ICube {
             }
             lits.extend_from_slice(&self.lits[i..]);
             lits.extend_from_slice(&other.lits[j..]);
-            return Some(ICube { lits, sig: self.sig | other.sig });
+            return Some(ICube {
+                lits,
+                sig: self.sig | other.sig,
+                pos_sig: self.pos_sig | other.pos_sig,
+            });
         }
         let mut out = self.clone();
         for &l in &other.lits {
@@ -208,11 +234,14 @@ impl ICube {
 
     /// Mirror of [`Cube::implies`]: every literal of `other` implied by
     /// some literal of `self`. With trivial matrices this is a literal
-    /// subset test, signature-rejected in one word op; with an identity
-    /// `implies` matrix (contradictions allowed) a literal is implied
-    /// only by itself or — when negative — by a contradicting positive
-    /// literal, so membership is one binary search.
-    fn implies<P: Primitive>(&self, other: &ICube, t: &PrimTable<P>, obs: &mut ObsRegistry) -> bool {
+    /// subset test, signature-rejected in one word op. With an identity
+    /// `implies` matrix (contradictions allowed — the common shape for
+    /// clients that only override `contradicts`) a *positive* literal of
+    /// `other` is implied only by its exact self, so a positive prim of
+    /// `other` absent from `self`'s signature refutes the implication in
+    /// one word op — negative literals are excluded from `pos_sig`
+    /// because a contradicting positive can also imply them.
+    fn implies(&self, other: &ICube, t: &TableCore, obs: &mut ObsRegistry) -> bool {
         obs.inc(Counter::SubsumptionChecks);
         if t.trivial {
             if other.sig & !self.sig != 0 {
@@ -222,6 +251,10 @@ impl ICube {
             return is_subset(&other.lits, &self.lits);
         }
         if t.implies_identity {
+            if other.pos_sig & !self.sig != 0 {
+                obs.inc(Counter::SubsumptionFastRejects);
+                return false;
+            }
             return other.lits.iter().all(|&lo| {
                 if self.lits.binary_search(&lo).is_ok() {
                     return true;
@@ -344,10 +377,18 @@ impl<P: Primitive> WpMemo<P> {
         }
         obs.inc(Counter::WpMisses);
         let prim = &k.table.prims[lit_id(lit)];
-        let w = k
-            .wp_raw
-            .get(&(aid, prim.clone()))
-            .expect("closure computed wp for every (atom, prim) pair");
+        // An absent entry is the closure's elided identity wp (the atom
+        // leaves the prim untouched): reconstruct `prim` itself, which is
+        // exactly the formula a storing closure would have kept, so every
+        // downstream counter and memo entry is unchanged.
+        let ident;
+        let w = match k.wp_raw.get(&(aid, prim.clone())) {
+            Some(w) => w,
+            None => {
+                ident = Formula::prim(prim.clone());
+                &ident
+            }
+        };
         let v = if lit_pos(lit) { w.clone() } else { Formula::not(w.clone()) };
         let entry = if v == Formula::True {
             WpEntry::ConstTrue
@@ -364,6 +405,78 @@ impl<P: Primitive> WpMemo<P> {
         };
         self.entries[key] = Some(entry);
         key
+    }
+}
+
+/// Deterministic (fixed-key `SipHash`) hash for warm-store shard and map
+/// lookups; the per-process-seeded `RandomState` would make contention
+/// patterns irreproducible across runs.
+fn det_hash<T: Hash>(t: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
+
+/// A shared read-through store of `p`-independent meta facts, attached to
+/// the per-query [`InternCache`]s of a parallel batch so workers stop
+/// recomputing each other's warm-up.
+///
+/// One store: whole [`TableCore`]s keyed by the `Ord`-ordered primitive
+/// universe, serving the O(n²) implication/contradiction matrix
+/// rebuilds. Queries over the same program close over the same universe,
+/// so a single lookup hands every later query the finished matrices.
+///
+/// Granularity is the load-bearing decision. Two finer-grained variants
+/// were measured *slower than recomputing* on the suite workloads and
+/// deliberately rejected:
+///
+/// * per-pair `implies`/`contradicts` verdicts — a store probe is a
+///   clone + hash + shard lock per pair, while clients' verdicts are a
+///   few integer compares;
+/// * per-entry raw `wp_prim` formulas — ~90% of wp formulas are the
+///   identity (see [`InternCache::close_universe`]'s elision, which
+///   removes that cost for every configuration), and the surviving
+///   minority are cheaper to re-derive than to probe.
+///
+/// Because each per-query cache still *inserts, interns, memoizes, and
+/// counts* exactly as it would cold — the store only changes who derives
+/// a value first, never what any cache observes — per-query wp hit/miss
+/// counters, cube counts, and therefore the structured trace stream stay
+/// bit-identical to a cold sequential run at any worker count or
+/// schedule. Lock waits on the striped shards are metered (contended
+/// waits only) and drained via [`WarmStore::wait_micros`].
+pub struct WarmStore<P: Primitive> {
+    cores: StripedLock<HashMap<Vec<P>, Arc<TableCore>>>,
+    waits: AtomicU64,
+}
+
+impl<P: Primitive> WarmStore<P> {
+    /// An empty store with `shards` lock stripes per map.
+    pub fn new(shards: usize) -> WarmStore<P> {
+        WarmStore { cores: StripedLock::new(shards), waits: AtomicU64::new(0) }
+    }
+
+    /// Total microseconds callers spent blocked on contended shards.
+    pub fn wait_micros(&self) -> u64 {
+        self.waits.load(Ordering::Relaxed)
+    }
+
+    /// The [`TableCore`] for the `Ord`-ordered universe `prims`,
+    /// computing and storing it on first sight. `compute` runs outside
+    /// the shard lock: a racing duplicate computes an equal core (pure
+    /// function of the key) and first-insert-wins keeps the store
+    /// consistent — every caller ends up holding the stored `Arc`.
+    fn core_for(&self, prims: &[P], compute: impl FnOnce() -> TableCore) -> Arc<TableCore> {
+        let h = det_hash(&prims);
+        if let Some(c) = self.cores.lock(h, &self.waits).get(prims) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(compute());
+        self.cores
+            .lock(h, &self.waits)
+            .entry(prims.to_vec())
+            .or_insert(c)
+            .clone()
     }
 }
 
@@ -393,6 +506,11 @@ pub struct InternCache<P: Primitive> {
     wp_raw: HashMap<(u32, P), Formula<P>>,
     table: Option<PrimTable<P>>,
     memo: WpMemo<P>,
+    /// Optional shared warm store consulted (read-through) before asking
+    /// the client for a wp formula or a pairwise verdict. `None` on the
+    /// cold sequential path. Excluded from [`InternCache::approx_bytes`]:
+    /// the store is shared, not retained per query.
+    warm: Option<Arc<WarmStore<P>>>,
 }
 
 impl<P: Primitive> Default for InternCache<P> {
@@ -411,7 +529,18 @@ impl<P: Primitive> InternCache<P> {
             wp_raw: HashMap::new(),
             table: None,
             memo: WpMemo { stride: 0, entries: Vec::new() },
+            warm: None,
         }
+    }
+
+    /// An empty cache that consults `warm` before computing wp formulas
+    /// or pairwise verdicts. The cache's observable evolution — what it
+    /// stores, interns, memoizes, and counts — is identical to
+    /// [`InternCache::new`]; only the cost of first derivations changes.
+    pub fn with_warm(warm: Arc<WarmStore<P>>) -> InternCache<P> {
+        let mut c = Self::new();
+        c.warm = Some(warm);
+        c
     }
 
     /// Registers the trace's atoms, returning the per-step atom ids and
@@ -467,7 +596,18 @@ impl<P: Primitive> InternCache<P> {
         }
         for &aid in fresh_atoms {
             for q in &pre {
-                let w = client.wp_prim(&self.atoms[aid as usize], q);
+                let atom = self.atoms[aid as usize];
+                let w = client.wp_prim(&atom, q);
+                // Identity wp — the atom leaves the prim untouched — is by
+                // far the common case (~90% of all pairs on the suite
+                // programs): its only prim is `q`, already in the
+                // universe, so it grows nothing, and the kernel
+                // reconstructs it on demand from the *absence* of an
+                // entry. Eliding the store cuts the closure's dominant
+                // cost (hash inserts and formula walks) for every run.
+                if matches!(&w, Formula::Prim(p) if p == q) {
+                    continue;
+                }
                 prims_of(&w, &mut scratch);
                 for r in scratch.drain(..) {
                     if self.universe.insert(r.clone()) {
@@ -480,7 +620,11 @@ impl<P: Primitive> InternCache<P> {
         }
         while let Some(pr) = work.pop() {
             for aid in 0..self.atoms.len() as u32 {
-                let w = client.wp_prim(&self.atoms[aid as usize], &pr);
+                let atom = self.atoms[aid as usize];
+                let w = client.wp_prim(&atom, &pr);
+                if matches!(&w, Formula::Prim(p) if *p == pr) {
+                    continue;
+                }
                 prims_of(&w, &mut scratch);
                 for r in scratch.drain(..) {
                     if self.universe.insert(r.clone()) {
@@ -516,8 +660,8 @@ impl<P: Primitive> InternCache<P> {
         }
         if let Some(t) = &self.table {
             bytes = bytes
-                .saturating_add((t.implies.bits.len() as u64).saturating_mul(8))
-                .saturating_add((t.contradicts.bits.len() as u64).saturating_mul(8))
+                .saturating_add((t.core.implies.bits.len() as u64).saturating_mul(8))
+                .saturating_add((t.core.contradicts.bits.len() as u64).saturating_mul(8))
                 .saturating_add((t.prims.len() as u64).saturating_mul(
                     size_of::<P>() as u64 + size_of::<Option<(usize, bool)>>() as u64,
                 ));
@@ -556,45 +700,55 @@ impl<P: Primitive> InternCache<P> {
 
     /// Reinterns the universe in `Ord` order and precomputes the matrices;
     /// the memo resets because its entries embed the old generation's ids.
+    /// With a warm store attached, the n² matrix pass is shared at whole-
+    /// core granularity across every query that closes over the same
+    /// universe.
     fn rebuild_table(&mut self) {
         let prims: Vec<P> = self.universe.iter().cloned().collect();
         let n = prims.len();
         let id_of: HashMap<P, u32> =
             prims.iter().enumerate().map(|(i, q)| (q.clone(), i as u32)).collect();
         let param_atom: Vec<_> = prims.iter().map(|q| q.param_atom()).collect();
+        let core = match &self.warm {
+            Some(ws) => ws.core_for(&prims, || compute_core(&prims)),
+            None => Arc::new(compute_core(&prims)),
+        };
+        self.table = Some(PrimTable { prims, id_of, param_atom, core });
+        self.memo.reset(n);
+    }
+}
 
-        let mut implies = Matrix::new(n);
-        let mut contradicts = Matrix::new(n);
-        let mut identity = true;
-        let mut any_contradiction = false;
-        for (i, a) in prims.iter().enumerate() {
-            for (j, b) in prims.iter().enumerate() {
-                if a.implies(b) {
-                    implies.set(i, j);
-                    if i != j {
-                        identity = false;
-                    }
-                } else if i == j {
+/// The pairwise `implies`/`contradicts` matrices and derived flags for an
+/// `Ord`-ordered primitive universe — a pure function of `prims`, which
+/// is what lets [`WarmStore::core_for`] share the result across queries.
+fn compute_core<P: Primitive>(prims: &[P]) -> TableCore {
+    let n = prims.len();
+    let mut implies = Matrix::new(n);
+    let mut contradicts = Matrix::new(n);
+    let mut identity = true;
+    let mut any_contradiction = false;
+    for (i, a) in prims.iter().enumerate() {
+        for (j, b) in prims.iter().enumerate() {
+            if a.implies(b) {
+                implies.set(i, j);
+                if i != j {
                     identity = false;
                 }
-                if a.contradicts(b) {
-                    contradicts.set(i, j);
-                    any_contradiction = true;
-                }
+            } else if i == j {
+                identity = false;
+            }
+            if a.contradicts(b) {
+                contradicts.set(i, j);
+                any_contradiction = true;
             }
         }
-
-        self.table = Some(PrimTable {
-            prims,
-            id_of,
-            param_atom,
-            implies,
-            contradicts,
-            any_contradiction,
-            implies_identity: identity,
-            trivial: identity && !any_contradiction,
-        });
-        self.memo.reset(n);
+    }
+    TableCore {
+        implies,
+        contradicts,
+        any_contradiction,
+        implies_identity: identity,
+        trivial: identity && !any_contradiction,
     }
 }
 
@@ -610,6 +764,8 @@ struct Kernel<'c, P: Primitive> {
     twords: usize,
     /// `atom_of_step[i]` is the cache-global atom id of trace step `i`.
     atom_of_step: Vec<u32>,
+    /// Worker count for the data-parallel cube paths; `1` = fully serial.
+    jobs: usize,
 }
 
 impl<P: Primitive> Kernel<'_, P> {
@@ -651,7 +807,20 @@ fn emergency_prune_i<P: Primitive>(
     out
 }
 
-/// Mirror of `approx::product`.
+/// Minimum `xs × ys` pair count before `product_i` fans out over threads
+/// (below it, spawn overhead dwarfs the conjunction work).
+const PAR_MIN_PAIRS: usize = 64;
+
+/// Minimum `kept` length before `simplify_i` fans its subsumption scan
+/// out over threads.
+const PAR_MIN_SCAN: usize = 512;
+
+/// Mirror of `approx::product`. With `k.jobs > 1` the cross product fans
+/// out over contiguous `xs` ranges — but only when the full product fits
+/// under `max_cubes`, where the serial loop provably never calls
+/// [`emergency_prune_i`]: each chunk then pushes exactly the cubes the
+/// serial loop would, and concatenating chunks in `xs` order reproduces
+/// the serial output (and `CubesBuilt` count) bit for bit.
 fn product_i<P: Primitive>(
     xs: &[ICube],
     ys: &[ICube],
@@ -661,11 +830,33 @@ fn product_i<P: Primitive>(
     obs: &mut ObsRegistry,
     pruned: &mut bool,
 ) -> Vec<ICube> {
-    let mut out =
-        Vec::with_capacity(xs.len().saturating_mul(ys.len()).min(cfg.max_cubes.saturating_add(1)));
+    let pairs = xs.len().saturating_mul(ys.len());
+    if k.jobs > 1 && xs.len() > 1 && pairs >= PAR_MIN_PAIRS && pairs <= cfg.max_cubes {
+        let core = &k.table.core;
+        let chunks = scoped_chunk_map(xs, k.jobs, |_, xchunk| {
+            let mut built = 0u64;
+            let mut part = Vec::with_capacity(xchunk.len().saturating_mul(ys.len()));
+            for x in xchunk {
+                for y in ys {
+                    if let Some(c) = x.conjoin(y, core) {
+                        built += 1;
+                        part.push(c);
+                    }
+                }
+            }
+            (part, built)
+        });
+        let mut out = Vec::with_capacity(pairs);
+        for (part, built) in chunks {
+            obs.add(Counter::CubesBuilt, built);
+            out.extend(part);
+        }
+        return out;
+    }
+    let mut out = Vec::with_capacity(pairs.min(cfg.max_cubes.saturating_add(1)));
     for x in xs {
         for y in ys {
-            if let Some(c) = x.conjoin(y, k.table) {
+            if let Some(c) = x.conjoin(y, &k.table.core) {
                 obs.inc(Counter::CubesBuilt);
                 out.push(c);
             }
@@ -694,7 +885,7 @@ fn nnf_dnf_i<P: Primitive>(
         (Formula::Prim(p), pos) => {
             let id = k.table.id_of[p];
             let mut c = ICube::top();
-            let ok = c.insert(plit(id, pos), k.table);
+            let ok = c.insert(plit(id, pos), &k.table.core);
             debug_assert!(ok);
             obs.inc(Counter::CubesBuilt);
             vec![c]
@@ -724,7 +915,14 @@ fn nnf_dnf_i<P: Primitive>(
     }
 }
 
-/// Mirror of `approx::simplify`.
+/// Mirror of `approx::simplify`. The kept-scan — "is `c` subsumed by
+/// anything already kept?" — is a pure disjunction over `kept`, so with
+/// `k.jobs > 1` and a long enough `kept` it fans out over contiguous
+/// ranges: the boolean verdict is schedule-independent, and the kept
+/// sequence (hence the output) is bit-identical to serial. Only the
+/// short-circuit point moves, so the `SubsumptionChecks` /
+/// `SubsumptionFastRejects` *counters* depend (deterministically) on the
+/// job count — they are effort meters, never part of the event stream.
 fn simplify_i<P: Primitive>(
     mut cubes: Vec<ICube>,
     k: &Kernel<'_, P>,
@@ -734,7 +932,28 @@ fn simplify_i<P: Primitive>(
     cubes.dedup();
     let mut kept: Vec<ICube> = Vec::new();
     for c in cubes {
-        if !kept.iter().any(|kc| c.implies(kc, k.table, obs)) {
+        let subsumed = if k.jobs > 1 && kept.len() >= PAR_MIN_SCAN {
+            let core = &k.table.core;
+            let verdicts = scoped_chunk_map(&kept, k.jobs, |_, chunk| {
+                let mut local = ObsRegistry::default();
+                let hit = chunk.iter().any(|kc| c.implies(kc, core, &mut local));
+                (
+                    hit,
+                    local.get(Counter::SubsumptionChecks),
+                    local.get(Counter::SubsumptionFastRejects),
+                )
+            });
+            let mut any = false;
+            for (hit, checks, rejects) in verdicts {
+                obs.add(Counter::SubsumptionChecks, checks);
+                obs.add(Counter::SubsumptionFastRejects, rejects);
+                any |= hit;
+            }
+            any
+        } else {
+            kept.iter().any(|kc| c.implies(kc, &k.table.core, obs))
+        };
+        if !subsumed {
             kept.push(c);
         }
     }
@@ -920,6 +1139,31 @@ pub fn analyze_trace_interned<C: MetaClient>(
 where
     StateOf<C>: Clone,
 {
+    analyze_trace_interned_jobs(client, p, d_init, trace, not_q, cfg, cache, obs, 1)
+}
+
+/// [`analyze_trace_interned`] with an explicit data-parallelism degree for
+/// the cube-level hot loops (`product_i` fan-out, `simplify_i` kept
+/// scans). `meta_jobs <= 1` is exactly the serial kernel; any higher
+/// value produces bit-identical cubes and outcomes — the parallel paths
+/// only fire where chunked results merge back in a deterministic order
+/// that reproduces the serial sequence (see the per-function docs) — so
+/// the knob trades wall clock, never results.
+#[allow(clippy::too_many_arguments)]
+pub fn analyze_trace_interned_jobs<C: MetaClient>(
+    client: &C,
+    p: &ParamOf<C>,
+    d_init: &StateOf<C>,
+    trace: &[Atom],
+    not_q: &Formula<C::Prim>,
+    cfg: &BeamConfig,
+    cache: &mut InternCache<C::Prim>,
+    obs: &mut ObsRegistry,
+    meta_jobs: usize,
+) -> Result<TraceAnalysis<C::Prim>, MetaError>
+where
+    StateOf<C>: Clone,
+{
     // Forward replay, exactly as the tree path does it.
     let mut states: Vec<StateOf<C>> = Vec::with_capacity(trace.len() + 1);
     states.push(d_init.clone());
@@ -955,7 +1199,7 @@ where
             }
         }
     }
-    let k = Kernel { table, wp_raw, truth, twords, atom_of_step };
+    let k = Kernel { table, wp_raw, truth, twords, atom_of_step, jobs: meta_jobs.max(1) };
 
     let steps = trace.len();
     let mut pruned = false;
@@ -1314,7 +1558,7 @@ mod tests {
         let (_, fresh) = cache.register_atoms(&[]);
         cache.close_universe(&C, &fresh, &not_q);
         cache.rebuild_table();
-        let t = cache.table.as_ref().unwrap();
+        let t = &cache.table.as_ref().unwrap().core;
         assert!(t.any_contradiction);
         assert!(!t.trivial);
 
@@ -1373,6 +1617,208 @@ mod tests {
             .unwrap();
         assert_eq!(a.to_dnf(), b.to_dnf(), "eviction must not change outputs");
         assert_eq!(a.restrict(), b.restrict());
+    }
+
+    /// A primitive with default (identity) `implies` but a real
+    /// `contradicts` pair — the escape domain's shape, where the table is
+    /// `implies_identity` but not `trivial`. This is the tier whose
+    /// fast-reject was historically dead (the full-signature check only
+    /// guarded the `trivial` tier), so every production subsumption scan
+    /// walked the literals.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    struct IP(u8);
+
+    impl fmt::Display for IP {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "i{}", self.0)
+        }
+    }
+
+    impl Primitive for IP {
+        type Param = u32;
+        type State = u32;
+        fn holds(&self, _p: &u32, d: &u32) -> bool {
+            (d >> self.0) & 1 == 1
+        }
+        fn eval_state(&self, d: &u32) -> Option<bool> {
+            Some((d >> self.0) & 1 == 1)
+        }
+        fn param_atom(&self) -> Option<(usize, bool)> {
+            None
+        }
+        fn contradicts(&self, other: &Self) -> bool {
+            self.0 == 2 && other.0 == 3
+        }
+    }
+
+    #[test]
+    fn positive_signature_fast_rejects_on_identity_matrices() {
+        struct C;
+        impl MetaClient for C {
+            type Prim = IP;
+            fn transfer(&self, _p: &u32, _a: &Atom, d: &u32) -> u32 {
+                *d
+            }
+            fn wp_prim(&self, _a: &Atom, prim: &IP) -> Formula<IP> {
+                Formula::prim(*prim)
+            }
+        }
+        let not_q = Formula::or(vec![
+            Formula::prim(IP(0)),
+            Formula::prim(IP(1)),
+            Formula::prim(IP(2)),
+            Formula::prim(IP(3)),
+        ]);
+        let mut cache: InternCache<IP> = InternCache::new();
+        let (_, fresh) = cache.register_atoms(&[]);
+        cache.close_universe(&C, &fresh, &not_q);
+        cache.rebuild_table();
+        let t = &cache.table.as_ref().unwrap().core;
+        assert!(t.implies_identity && t.any_contradiction && !t.trivial, "not the hedc shape");
+
+        let mk = |lits: &[(u8, bool)]| {
+            let mut c = ICube::top();
+            for &(i, pos) in lits {
+                assert!(c.insert(plit(i as u32, pos), t));
+            }
+            c
+        };
+        let mut obs = ObsRegistry::default();
+        // Non-subsuming pair: {i0} cannot imply {i1} — i1's prim never
+        // occurs in {i0}, so the positive-occurrence signature refutes it
+        // in one word op.
+        assert!(!mk(&[(0, true)]).implies(&mk(&[(1, true)]), t, &mut obs));
+        assert_eq!(obs.get(Counter::SubsumptionFastRejects), 1, "fast reject must fire: {obs:?}");
+        // The tree oracle agrees it is a non-implication.
+        let mk_tree = |lits: &[(u8, bool)]| {
+            let mut c = Cube::top();
+            for &(i, pos) in lits {
+                assert!(c.insert(Lit { prim: IP(i), pos }));
+            }
+            c
+        };
+        assert!(!mk_tree(&[(0, true)]).implies(&mk_tree(&[(1, true)])));
+        // Negative literals are excluded from `pos_sig`: i2 ⇒ ¬i3 goes
+        // through the contradiction fallback, never the reject.
+        assert!(mk(&[(2, true)]).implies(&mk(&[(3, false)]), t, &mut obs));
+        assert!(mk_tree(&[(2, true)]).implies(&mk_tree(&[(3, false)])));
+        // A genuinely subsuming pair passes untouched.
+        assert!(mk(&[(0, true), (1, true)]).implies(&mk(&[(0, true)]), t, &mut obs));
+        assert_eq!(obs.get(Counter::SubsumptionFastRejects), 1, "only the non-pair rejects");
+        assert_eq!(obs.get(Counter::SubsumptionChecks), 3);
+    }
+
+    /// Caches wired to one shared [`WarmStore`] must be observationally
+    /// identical to cold caches on the same inputs: same DNFs, same
+    /// restrictions, and the same wp/cube counters — the store only moves
+    /// who derives a formula first, which is what keeps the batch trace
+    /// stream byte-identical across job counts.
+    #[test]
+    fn warm_store_preserves_outputs_and_counters() {
+        let cfg = BeamConfig::default();
+        let warm = Arc::new(WarmStore::new(4));
+        let mut compared = 0usize;
+        for trace in &test_traces() {
+            for not_q in &test_not_qs() {
+                for p in 0..4u32 {
+                    let d0 = p ^ 0b11;
+                    let mut s_cold = ObsRegistry::default();
+                    let mut cold = InternCache::new();
+                    let a = analyze_trace_interned(
+                        &Bits, &p, &d0, trace, not_q, &cfg, &mut cold, &mut s_cold,
+                    );
+                    let mut s_warm = ObsRegistry::default();
+                    let mut warmed = InternCache::with_warm(warm.clone());
+                    let b = analyze_trace_interned(
+                        &Bits, &p, &d0, trace, not_q, &cfg, &mut warmed, &mut s_warm,
+                    );
+                    match (a, b) {
+                        (Ok(x), Ok(y)) => {
+                            assert_eq!(x.to_dnf(), y.to_dnf(), "warm store diverged on {trace:?}");
+                            assert_eq!(x.restrict(), y.restrict());
+                            compared += 1;
+                        }
+                        (Err(x), Err(y)) => assert_eq!(x, y),
+                        (x, y) => panic!(
+                            "outcome diverged on {trace:?}: cold {:?} vs warm {:?}",
+                            x.map(|f| f.to_dnf()),
+                            y.map(|f| f.to_dnf())
+                        ),
+                    }
+                    for c in [
+                        Counter::WpHits,
+                        Counter::WpMisses,
+                        Counter::CubesBuilt,
+                        Counter::SubsumptionChecks,
+                        Counter::SubsumptionFastRejects,
+                    ] {
+                        assert_eq!(
+                            s_cold.get(c),
+                            s_warm.get(c),
+                            "counter {c:?} drifted under the warm store on {trace:?}"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(compared >= 30, "expected broad coverage, got {compared}");
+    }
+
+    /// `meta_jobs > 1` must be invisible in the results: same cubes, same
+    /// restriction, same `CubesBuilt`, at every tested degree — including
+    /// an input wide enough (8 × 10 cross product) to actually enter the
+    /// parallel `product_i` path.
+    #[test]
+    fn meta_jobs_outputs_are_bit_identical_to_serial() {
+        let wide_not_q = Formula::and(vec![
+            Formula::or((0..8).map(|i| Formula::prim(BP::Bit(i))).collect()),
+            Formula::or((8..18).map(|i| Formula::prim(BP::Bit(i))).collect()),
+        ]);
+        let mut not_qs = test_not_qs();
+        not_qs.push(wide_not_q);
+        let cfgs = [BeamConfig::default(), BeamConfig::exhaustive()];
+        for meta_jobs in [2, 4] {
+            for trace in &test_traces() {
+                for not_q in &not_qs {
+                    for cfg in &cfgs {
+                        let (p, d0) = (0b101u32, 0x3ffffu32);
+                        let mut s1 = ObsRegistry::default();
+                        let mut c1 = InternCache::new();
+                        let serial = analyze_trace_interned(
+                            &Bits, &p, &d0, trace, not_q, cfg, &mut c1, &mut s1,
+                        );
+                        let mut s2 = ObsRegistry::default();
+                        let mut c2 = InternCache::new();
+                        let par = analyze_trace_interned_jobs(
+                            &Bits, &p, &d0, trace, not_q, cfg, &mut c2, &mut s2, meta_jobs,
+                        );
+                        match (serial, par) {
+                            (Ok(x), Ok(y)) => {
+                                assert_eq!(
+                                    x.to_dnf(),
+                                    y.to_dnf(),
+                                    "meta_jobs={meta_jobs} diverged on {trace:?}"
+                                );
+                                assert_eq!(x.restrict(), y.restrict());
+                            }
+                            (Err(x), Err(y)) => assert_eq!(x, y),
+                            (x, y) => panic!(
+                                "outcome diverged at meta_jobs={meta_jobs} on {trace:?}: {:?} vs {:?}",
+                                x.map(|f| f.to_dnf()),
+                                y.map(|f| f.to_dnf())
+                            ),
+                        }
+                        assert_eq!(
+                            s1.get(Counter::CubesBuilt),
+                            s2.get(Counter::CubesBuilt),
+                            "CubesBuilt drifted at meta_jobs={meta_jobs} on {trace:?}"
+                        );
+                        assert_eq!(s1.get(Counter::WpHits), s2.get(Counter::WpHits));
+                        assert_eq!(s1.get(Counter::WpMisses), s2.get(Counter::WpMisses));
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -52,5 +52,7 @@ pub mod stats;
 pub use approx::{approx, approx_obs, simplify, simplify_obs, to_dnf_obs, BeamConfig};
 pub use backward::{analyze_trace, analyze_trace_obs, check_wp_exact, restrict, MetaClient, MetaError};
 pub use formula::{Cube, Dnf, Formula, Lit, Primitive};
-pub use interned::{analyze_trace_interned, InternCache, TraceAnalysis};
+pub use interned::{
+    analyze_trace_interned, analyze_trace_interned_jobs, InternCache, TraceAnalysis, WarmStore,
+};
 pub use stats::MetaStats;

@@ -246,7 +246,7 @@ where
     C: TracerClient + Sync,
     C::Param: Send + ParamCodec,
     C::State: Send + Sync,
-    C::Prim: Sync,
+    C::Prim: Send + Sync,
 {
     eprintln!("pda-serve: serving stdio ({resumed} resumed)");
     let stdin = std::io::stdin();

@@ -132,7 +132,7 @@ where
     C: TracerClient + Sync,
     C::Param: Send + ParamCodec,
     C::State: Send + Sync,
-    C::Prim: Sync,
+    C::Prim: Send + Sync,
 {
     /// Builds a supervisor over resident program artifacts. `labels[i]`
     /// names `queries[i]` for `"query":label` requests and responses.
@@ -524,7 +524,8 @@ where
         let assignment = vec![false; self.client.n_atoms()];
         let _ = catch_unwind(AssertUnwindSafe(|| {
             let p = self.client.param_of_model(&assignment);
-            let _ = cache.forward(&assignment, max_facts, Deadline::NEVER, || {
+            let waits = std::sync::atomic::AtomicU64::new(0);
+            let _ = cache.forward(&assignment, max_facts, Deadline::NEVER, &waits, || {
                 pda_dataflow::rhs::run(
                     self.program,
                     &pda_tracer::AsAnalysis(self.client),

@@ -35,6 +35,10 @@ pub struct ExperimentConfig {
     /// independently on a worker pool with a shared forward-run cache
     /// (`pda_tracer::solve_queries_batch`).
     pub jobs: usize,
+    /// In-query data parallelism for the backward meta-kernel: chunk
+    /// workers for `product_i` and subsumption scans (`1`, the default,
+    /// is the serial kernel; results are bit-identical at any value).
+    pub meta_jobs: usize,
     /// Per-query wall-clock deadline (`None` = unlimited, the default).
     pub timeout: Option<std::time::Duration>,
     /// Fact-budget escalation ladder on forward-run `TooBig` aborts.
@@ -52,6 +56,7 @@ impl Default for ExperimentConfig {
             max_queries: 40,
             sites_per_call: 2,
             jobs: 1,
+            meta_jobs: 1,
             timeout: None,
             escalation: Escalation::default(),
             mem_budget: None,
@@ -69,6 +74,7 @@ impl ExperimentConfig {
             escalation: self.escalation,
             kernel: Default::default(),
             mem_budget: self.mem_budget,
+            meta_jobs: self.meta_jobs,
         }
     }
 }
@@ -243,7 +249,7 @@ where
     C: TracerClient + Sync,
     C::Param: Send,
     C::State: Send + Sync,
-    C::Prim: Sync,
+    C::Prim: Send + Sync,
 {
     if cfg.jobs > 1 {
         let batch = BatchConfig { tracer: cfg.tracer(), jobs: cfg.jobs, ..BatchConfig::default() };

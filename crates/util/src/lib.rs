@@ -24,6 +24,9 @@
 //!   [`TraceSink`] implementations behind `--trace`/`--metrics`.
 //! * [`json`] — the shared hand-rolled JSONL codec (flat objects) used by
 //!   both the batch checkpoint format and the trace-event stream.
+//! * [`par`] — `std`-only work-pool and lock-striping helpers
+//!   ([`scoped_chunk_map`], [`StripedLock`]) behind the batch scheduler's
+//!   sharded forward cache and the meta-kernel's data-parallel paths.
 //!
 //! # Examples
 //!
@@ -43,6 +46,7 @@ mod idx;
 pub mod json;
 mod membudget;
 pub mod obs;
+pub mod par;
 mod rng;
 mod stats;
 
@@ -54,6 +58,7 @@ pub use obs::{
     Counter, Event, FileSink, NullSink, ObsRegistry, Recorder, Span, SpanKind, SpanStats,
     TraceSink,
 };
+pub use par::{fnv1a, scoped_chunk_map, StripedLock};
 pub use rng::SplitMix64;
 pub use stats::{CacheStats, Summary};
 

@@ -91,10 +91,16 @@ pub enum Counter {
     /// Transient-fault retry attempts consumed (deterministic backoff
     /// ladder; see the batch scheduler's `RetryPolicy`).
     Retries,
+    /// Microseconds workers spent blocked on *contended* shared locks
+    /// (forward-cache shards, the admission turnstile). A counter, not an
+    /// [`Event`]: events deliberately carry no wall-clock data, so
+    /// contention is attributable from the footer without perturbing
+    /// trace byte-identity.
+    LockWaitMicros,
 }
 
 /// Number of [`Counter`] slots.
-pub const N_COUNTERS: usize = Counter::Retries as usize + 1;
+pub const N_COUNTERS: usize = Counter::LockWaitMicros as usize + 1;
 
 // ---- spans ----
 
@@ -340,7 +346,8 @@ impl ObsRegistry {
         let rate = if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 };
         format!(
             "{} queries, jobs={}: {:.1} q/s, cache {}/{} hits ({:.1}%), {} forward runs saved, \
-             faults={} deadlines={} escalations={} retries={} resumed={} degradations={} shed={}\n{}",
+             faults={} deadlines={} escalations={} retries={} resumed={} degradations={} shed={} \
+             contention={}µs\n{}",
             queries,
             self.get(Counter::Jobs),
             qps,
@@ -355,6 +362,7 @@ impl ObsRegistry {
             self.get(Counter::Resumed),
             self.get(Counter::Degradations),
             self.get(Counter::Shed),
+            self.get(Counter::LockWaitMicros),
             render_meta_line(
                 self.get(Counter::CubesBuilt),
                 self.get(Counter::WpHits),
@@ -839,10 +847,12 @@ mod tests {
         reg.set(Counter::Degradations, 3);
         reg.set(Counter::Shed, 2);
         reg.set(Counter::Retries, 4);
+        reg.set(Counter::LockWaitMicros, 11);
         assert_eq!(
             reg.render(),
             "32 queries, jobs=8: 16.0 q/s, cache 57/89 hits (64.0%), 57 forward runs saved, \
-             faults=0 deadlines=0 escalations=1 retries=4 resumed=0 degradations=3 shed=2\n\
+             faults=0 deadlines=0 escalations=1 retries=4 resumed=0 degradations=3 shed=2 \
+             contention=11µs\n\
              meta: 7 cubes, wp 3/4 memo hits, subsumption 0/9 fast-rejected, 2 drops, 15µs"
         );
     }

@@ -114,4 +114,27 @@ grep -q '"i":0,"outcome":"proven"' target/ci_serve_journal.jsonl \
     || { echo "ci: served verdict missing from the drain journal" >&2; exit 1; }
 echo "daemon smoke ok: fault isolated, generation quarantined, drained 0 with a valid journal"
 
+echo "== scaling smoke: seeded scale bench, jobs 1 vs 8 =="
+# The scale bin replays the hedc batch at jobs=1 and jobs=8 (grid capped
+# for CI speed) and self-asserts per-query outcome identity against the
+# sequential reference (a panic exits non-zero). CI additionally pins
+# the meta-inflation guard: aggregate backward-phase attribution at
+# jobs=8 must stay within 1.5x of jobs=1 — before the thread clamp,
+# oversubscribed workers time-sharing the core stretched it several
+# fold. Wall-clock *speedup* is deliberately not asserted here: shared
+# CI boxes time-share too, and the recorded BENCH_scale.json carries
+# the perf claim.
+scale_out="$(PDA_JOBS_GRID=1,8 PDA_BENCH_OUT=target/ci_scale.json ./target/release/scale)"
+echo "$scale_out"
+echo "$scale_out" | grep -q 'outcomes_identical=true' \
+    || { echo "ci: scaling smoke missing its summary line" >&2; exit 1; }
+meta_ratio="$(echo "$scale_out" | sed -nE 's/^scale: .*meta_ratio_j8_vs_j1=([0-9.]+).*/\1/p')"
+awk -v r="$meta_ratio" 'BEGIN { exit !(r != "" && r <= 1.5) }' \
+    || { echo "ci: meta-phase inflation returned — jobs=8 aggregate meta is ${meta_ratio:-missing}x jobs=1 (limit 1.5x)" >&2; exit 1; }
+grep -q '"outcomes_identical": true' target/ci_scale.json \
+    || { echo "ci: BENCH_scale.json missing outcomes_identical" >&2; exit 1; }
+grep -q '"jobs":8' target/ci_scale.json && grep -q '"jobs":1' target/ci_scale.json \
+    || { echo "ci: BENCH_scale.json missing grid points" >&2; exit 1; }
+echo "scaling smoke ok: outcomes identical, meta ratio ${meta_ratio}x"
+
 echo "ci: all checks passed"

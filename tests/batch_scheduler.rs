@@ -97,8 +97,9 @@ fn cached_forward_run_matches_fresh_run() {
             .unwrap();
             let max_facts = pda_dataflow::RhsLimits::default().max_facts;
             for round in 0..2 {
+                let waits = std::sync::atomic::AtomicU64::new(0);
                 let cached = cache
-                    .forward(assignment, max_facts, pda_util::Deadline::NEVER, || {
+                    .forward(assignment, max_facts, pda_util::Deadline::NEVER, &waits, || {
                         assert_eq!(round, 0, "second lookup must not recompute");
                         pda_dataflow::rhs::run(
                             &program,

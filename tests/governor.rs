@@ -309,7 +309,15 @@ fn congested_pool_sheds_and_requeues_instead_of_failing() {
     let mut queries: Vec<_> = fx.queries().into_iter().map(lift_query).collect();
     queries[0] = faulty_query(fx.queries()[0].clone(), Fault::Stall(Duration::from_millis(400)));
 
-    let cfg = BatchConfig { jobs: 2, pool_budget: Some(16 << 10), ..BatchConfig::default() };
+    // `thread_cap` forces two genuinely concurrent workers even on a
+    // single-core machine, where the default clamp would serialize them
+    // and admission could never observe congestion.
+    let cfg = BatchConfig {
+        jobs: 2,
+        thread_cap: Some(2),
+        pool_budget: Some(16 << 10),
+        ..BatchConfig::default()
+    };
     let (results, stats) =
         solve_queries_batch(&fx.program, &callees, &wrapped, &queries, &cfg);
     assert!(stats.shed >= 1, "pool congestion must defer admissions, not fail them");

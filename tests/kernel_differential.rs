@@ -252,3 +252,98 @@ fn random_backward_runs_are_kernel_identical() {
     }
     assert!(compared >= 200, "only {compared} successful comparisons");
 }
+
+// ---- meta-jobs data parallelism ----
+
+/// The full bit-identity contract for `meta_jobs > 1`, as integration
+/// surface: DNF, restriction, *and* the per-run counters (`CubesBuilt`,
+/// `WpHits`, `WpMisses`) that `MetaDone` trace events put on the wire —
+/// against the serial kernel, with both a fresh cache per run and a warm
+/// cache reused across rounds (the batch driver's steady state).
+#[test]
+fn meta_jobs_runs_are_bit_identical_fresh_and_warm() {
+    use pda_meta::analyze_trace_interned_jobs as run_jobs;
+    use pda_util::{Counter, ObsRegistry};
+
+    let mut rng = SplitMix64(0xBEEF_0002);
+    let program = pda_lang::parse_program("fn main() { var a, b, c, d; }").unwrap();
+    let client = NullClient::new(&program);
+    let cfg = BeamConfig::default();
+    let counters = [Counter::CubesBuilt, Counter::WpHits, Counter::WpMisses];
+
+    // Warm lineages: one serial, one per parallel degree. Identical
+    // inputs must keep them in lockstep, so the warm comparisons also
+    // prove the *caches* evolve identically.
+    let mut warm_serial: InternCache<NullPrim> = InternCache::new();
+    let mut warm_par = [InternCache::<NullPrim>::new(), InternCache::<NullPrim>::new()];
+
+    for _round in 0..150 {
+        let trace: Vec<Atom> = (0..1 + rng.below(6)).map(|_| random_atom(&mut rng)).collect();
+        let not_q = random_formula(&mut rng, 3);
+        let p = BitSet::from_iter(
+            N_VARS as usize,
+            (0..N_VARS as usize).filter(|_| rng.below(2) == 0),
+        );
+        let d0: BTreeSet<VarId> =
+            (0..N_VARS as u32).filter(|_| rng.below(2) == 0).map(VarId).collect();
+
+        let run = |cache: &mut InternCache<NullPrim>, meta_jobs: usize| {
+            let mut obs = ObsRegistry::default();
+            let r = run_jobs(
+                &AsMeta(&client), &p, &d0, &trace, &not_q, &cfg, cache, &mut obs, meta_jobs,
+            );
+            let counts: Vec<u64> = counters.iter().map(|&c| obs.get(c)).collect();
+            (r.map(|f| (f.to_dnf(), f.restrict())), counts)
+        };
+
+        let fresh_ref = run(&mut InternCache::new(), 1);
+        let warm_ref = run(&mut warm_serial, 1);
+        for (i, meta_jobs) in [2usize, 4].into_iter().enumerate() {
+            let fresh = run(&mut InternCache::new(), meta_jobs);
+            assert_eq!(
+                fresh_ref, fresh,
+                "fresh-cache run diverged at meta_jobs={meta_jobs} on {trace:?}, not_q {not_q}"
+            );
+            let warm = run(&mut warm_par[i], meta_jobs);
+            assert_eq!(
+                warm_ref, warm,
+                "warm-cache run diverged at meta_jobs={meta_jobs} on {trace:?}, not_q {not_q}"
+            );
+        }
+    }
+}
+
+/// End-to-end plumbing check: `TracerConfig::meta_jobs` must be invisible
+/// in `solve_query` results over the whole corpus.
+#[test]
+fn solve_query_is_meta_jobs_invariant() {
+    for src in PROGRAMS {
+        let program = pda_lang::parse_program(src).unwrap();
+        let pa = PointsTo::analyze(&program);
+        let callees = |c: pda_lang::CallId| pa.callees(c).to_vec();
+        let client = EscapeClient::new(&program);
+        for (qid, decl) in program.queries.iter_enumerated() {
+            if !matches!(decl.kind, pda_lang::QueryKind::Local { .. }) {
+                continue;
+            }
+            let query = client.local_query(&program, qid);
+            let solve = |meta_jobs: usize| {
+                let cfg = TracerConfig {
+                    kernel: MetaKernel::Interned,
+                    meta_jobs,
+                    ..TracerConfig::default()
+                };
+                fingerprint(&solve_query(&program, &callees, &client, &query, &cfg))
+            };
+            let serial = solve(1);
+            for meta_jobs in [2, 4] {
+                assert_eq!(
+                    serial,
+                    solve(meta_jobs),
+                    "meta_jobs={meta_jobs} changed {} in:\n{src}",
+                    decl.label
+                );
+            }
+        }
+    }
+}
