@@ -35,14 +35,21 @@
 //! and self-validates it: every line must parse, the two files must be
 //! byte-identical (the trace is job-count invariant), and the event
 //! counts must match the run's own counters (skipped in deadline mode).
+//!
+//! A final viable-engine phase (skipped in deadline mode) re-runs the
+//! sequential interned batch under both constraint engines — DPLL
+//! branch-and-bound and the resident ROBDD — asserts byte-identical
+//! per-query outcomes, and reports the solver-phase wall split
+//! (min-of-`PDA_REPEATS` runs per engine, default 3) in the summary and
+//! `BENCH_batch.json`.
 
 use pda_escape::EscapeClient;
 use pda_suite::Benchmark;
 use pda_tracer::{
     solve_queries_batch, solve_queries_batch_traced, BatchConfig, BatchStats, MetaKernel,
-    MetaStats, Outcome, QueryResult,
+    MetaStats, Outcome, QueryResult, ViableEngine,
 };
-use pda_util::{BitSet, Event, FileSink, TraceSink};
+use pda_util::{BitSet, Counter, Event, FileSink, TraceSink};
 
 fn outcome_key(r: &QueryResult<BitSet>) -> String {
     let verdict = match &r.outcome {
@@ -147,11 +154,19 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1)
         .max(1);
+    // `PDA_VIABLE_ENGINE` selects the constraint engine for the main
+    // phases (outcomes are bit-identical either way); the final
+    // engine-split phase always runs both explicitly.
+    let viable_engine = std::env::var("PDA_VIABLE_ENGINE")
+        .ok()
+        .and_then(|v| ViableEngine::parse(&v).ok())
+        .unwrap_or_default();
     let tracer = |kernel: MetaKernel| pda_tracer::TracerConfig {
         timeout: deadline_ms.map(std::time::Duration::from_millis),
         kernel,
         mem_budget,
         meta_jobs,
+        viable_engine,
         ..pda_tracer::TracerConfig::default()
     };
 
@@ -297,11 +312,59 @@ fn main() {
         );
     }
 
+    // Viable-engine split: the same sequential interned batch under both
+    // constraint engines. Outcomes must be byte-identical (the ROBDD's
+    // min-cost extraction shares DPLL's canonical tie-break); the
+    // solver-phase wall is taken as the min over `PDA_REPEATS` runs per
+    // engine, because a single solver phase is microseconds-scale and
+    // scheduling noise on a shared box is one-sided.
+    let repeats: usize = std::env::var("PDA_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let engine_run = |engine: ViableEngine| -> (Vec<QueryResult<BitSet>>, u64) {
+        let cfg = BatchConfig {
+            jobs: 1,
+            tracer: pda_tracer::TracerConfig {
+                viable_engine: engine,
+                ..tracer(MetaKernel::Interned)
+            },
+            ..BatchConfig::default()
+        };
+        let (mut results, stats) =
+            solve_queries_batch(&bench.program, &callees, &client, &queries, &cfg);
+        let mut solver_micros = stats.obs.get(Counter::SolverMicros);
+        for _ in 1..repeats {
+            let (next, next_stats) =
+                solve_queries_batch(&bench.program, &callees, &client, &queries, &cfg);
+            let micros = next_stats.obs.get(Counter::SolverMicros);
+            if micros < solver_micros {
+                solver_micros = micros;
+                results = next;
+            }
+        }
+        (results, solver_micros)
+    };
+    let (dpll, dpll_solver_micros) = engine_run(ViableEngine::Dpll);
+    let (bdd, bdd_solver_micros) = engine_run(ViableEngine::Bdd);
+    let engines_identical = dpll.len() == bdd.len()
+        && dpll.iter().zip(&bdd).all(|(a, b)| outcome_key(a) == outcome_key(b))
+        && seq.iter().zip(&dpll).all(|(a, b)| outcome_key(a) == outcome_key(b));
+    println!(
+        "solver phase (min of {repeats}): {dpll_solver_micros} µs dpll vs \
+         {bdd_solver_micros} µs bdd",
+    );
+    println!("viable-engine outcomes identical: {engines_identical}");
+    assert!(engines_identical, "BDD viable engine diverged from the DPLL oracle");
+
     let out_path = std::env::var("PDA_BENCH_OUT").unwrap_or_else(|_| "BENCH_batch.json".into());
     let json = format!(
         "{{\n  \"benchmark\": \"{}\",\n  \"seed\": {seed},\n  \"queries\": {},\n  \"jobs\": {jobs},\n  \
          \"tree\": {},\n  \"interned\": {},\n  \"parallel\": {},\n  \
          \"meta_speedup\": {meta_speedup:.3},\n  \"parallel_speedup\": {par_speedup:.3},\n  \
+         \"viable\": {{\"dpll_solver_micros\": {dpll_solver_micros}, \
+         \"bdd_solver_micros\": {bdd_solver_micros}, \"outcomes_identical\": {engines_identical}}},\n  \
          \"outcomes_identical\": {}\n}}\n",
         bench.name,
         queries.len(),

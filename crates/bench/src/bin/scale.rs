@@ -27,12 +27,14 @@
 //!
 //! Environment: `PDA_MAX_QUERIES` caps the batch (default 32, floor 16);
 //! `PDA_JOBS_GRID` overrides the jobs grid (comma-separated);
+//! `PDA_VIABLE_ENGINE` selects the viable-set constraint engine
+//! (`dpll`, the default, or `bdd`; outcomes are bit-identical);
 //! `PDA_BENCH_OUT` overrides the output path.
 
 use pda_escape::EscapeClient;
 use pda_suite::Benchmark;
 use pda_tracer::{
-    solve_queries_batch, BatchConfig, BatchStats, MetaKernel, Outcome, QueryResult,
+    solve_queries_batch, BatchConfig, BatchStats, MetaKernel, Outcome, QueryResult, ViableEngine,
 };
 use pda_util::BitSet;
 
@@ -109,12 +111,17 @@ fn main() {
         jobs_grid
     );
 
+    let viable_engine = std::env::var("PDA_VIABLE_ENGINE")
+        .ok()
+        .and_then(|v| ViableEngine::parse(&v).ok())
+        .unwrap_or_default();
     let run = |jobs: usize, meta_jobs: usize| -> (Vec<QueryResult<BitSet>>, BatchStats) {
         let cfg = BatchConfig {
             jobs,
             tracer: pda_tracer::TracerConfig {
                 kernel: MetaKernel::Interned,
                 meta_jobs,
+                viable_engine,
                 ..pda_tracer::TracerConfig::default()
             },
             ..BatchConfig::default()

@@ -27,6 +27,7 @@ use pda_meta::BeamConfig;
 use pda_tracer::{
     default_jobs, outcome_tag, solve_queries_batch_checkpointed_traced, solve_queries_batch_traced,
     solve_query, solve_query_observed, BatchConfig, Escalation, Outcome, QueryObs, TracerConfig,
+    ViableEngine,
 };
 use pda_typestate::TypestateClient;
 use pda_util::{Deadline, Event, FileSink, Idx, ObsRegistry, TraceSink};
@@ -130,10 +131,14 @@ pub enum Command {
         /// Append the per-span latency table to the report (and enable
         /// span wall-clock measurement).
         metrics: bool,
+        /// Viable-set constraint engine: DPLL branch-and-bound (the
+        /// default) or the resident ROBDD. Outcomes are bit-identical.
+        viable_engine: ViableEngine,
     },
     /// `pda serve <file> [--socket PATH] [--journal PATH] [--jobs N]
-    /// [--meta-jobs N] [--deadline MS] [--retry-faults N] [--k N] [--max-iters N]
-    /// [--trace PATH] [--allow-inject]`
+    /// [--meta-jobs N] [--thread-cap N] [--deadline MS] [--retry-faults N]
+    /// [--k N] [--max-iters N] [--viable-engine E] [--trace PATH]
+    /// [--allow-inject]`
     Serve {
         /// Input path.
         file: String,
@@ -146,6 +151,10 @@ pub enum Command {
         jobs: usize,
         /// In-query data parallelism for the backward meta-kernel.
         meta_jobs: usize,
+        /// Upper bound on threads the daemon may occupy (batch workers
+        /// and the solve op's meta-kernel degree alike). `None` clamps
+        /// to the machine's available parallelism.
+        thread_cap: Option<usize>,
         /// Default per-request wall-clock deadline in milliseconds.
         deadline_ms: Option<u64>,
         /// Retry transient faults (including deadline hits) up to N
@@ -159,6 +168,8 @@ pub enum Command {
         trace: Option<String>,
         /// Honor `"inject":"panic"` requests (tests and CI only).
         allow_inject: bool,
+        /// Viable-set constraint engine for every request.
+        viable_engine: ViableEngine,
     },
     /// `pda request <socket> <json-line>` — one-shot daemon client.
     Request {
@@ -223,15 +234,27 @@ USAGE:
                                            --metrics     append the per-span
                                                          latency table to the
                                                          report
+                                           --viable-engine dpll|bdd
+                                                         viable-set constraint
+                                                         engine: DPLL search
+                                                         (default) or the
+                                                         resident ROBDD;
+                                                         outcomes identical
+                                                         (env
+                                                         PDA_VIABLE_ENGINE)
     pda serve   <file.jay> [--socket PATH] [--journal PATH] [--jobs N]
-                [--meta-jobs N] [--deadline MS] [--retry-faults N] [--k N] [--max-iters N]
-                [--trace PATH] [--allow-inject]
+                [--meta-jobs N] [--thread-cap N] [--deadline MS]
+                [--retry-faults N] [--k N] [--max-iters N]
+                [--viable-engine E] [--trace PATH] [--allow-inject]
                                            run the crash-safe analysis daemon
                                            (JSONL over the Unix socket, or
                                            stdin/stdout without --socket);
                                            --journal resumes finished queries
                                            across restarts, SIGTERM drains
-                                           gracefully, --allow-inject enables
+                                           gracefully, --thread-cap bounds
+                                           daemon threads (batch workers and
+                                           solve-op meta-kernel alike),
+                                           --allow-inject enables
                                            fault-injection requests
     pda request <socket> <json-line>       send one request to a daemon and
                                            print the response
@@ -244,6 +267,24 @@ USAGE:
 /// parallelism only pays off on large DNF products, so it stays opt-in.
 fn default_meta_jobs() -> usize {
     std::env::var("PDA_META_JOBS").ok().and_then(|v| v.parse::<usize>().ok()).map_or(1, |n| n.max(1))
+}
+
+/// The `--viable-engine` default: `PDA_VIABLE_ENGINE` from the
+/// environment if set and recognizable, else DPLL. Outcomes are
+/// bit-identical either way, so a bad value falls back silently rather
+/// than failing a command the flag was never passed to.
+fn default_viable_engine() -> ViableEngine {
+    std::env::var("PDA_VIABLE_ENGINE")
+        .ok()
+        .and_then(|v| ViableEngine::parse(&v).ok())
+        .unwrap_or_default()
+}
+
+fn parse_engine(args: &[String], i: usize) -> Result<ViableEngine, CliError> {
+    match args.get(i + 1) {
+        Some(v) => ViableEngine::parse(v).map_or_else(|e| usage(format!("--viable-engine: {e}")), Ok),
+        None => usage("--viable-engine needs dpll|bdd"),
+    }
 }
 
 fn parse_num<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, CliError> {
@@ -296,6 +337,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             let mut checkpoint = None;
             let mut trace = None;
             let mut metrics = false;
+            let mut viable_engine = default_viable_engine();
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -335,6 +377,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                         i += 1;
                         continue;
                     }
+                    "--viable-engine" => viable_engine = parse_engine(&args, i)?,
                     other => return usage(format!("solve: unknown flag `{other}`")),
                 }
                 i += 2;
@@ -354,6 +397,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 checkpoint,
                 trace,
                 metrics,
+                viable_engine,
             })
         }
         Some("serve") => {
@@ -364,12 +408,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             let mut journal = None;
             let mut jobs = default_jobs();
             let mut meta_jobs = default_meta_jobs();
+            let mut thread_cap = None;
             let mut deadline_ms = None;
             let mut retry_faults = None;
             let mut k = 5usize;
             let mut max_iters = 100usize;
             let mut trace = None;
             let mut allow_inject = false;
+            let mut viable_engine = default_viable_engine();
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -389,6 +435,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                     "--meta-jobs" => {
                         meta_jobs = parse_num::<usize>(&args, i, "--meta-jobs")?.max(1);
                     }
+                    "--thread-cap" => {
+                        thread_cap = Some(parse_num::<usize>(&args, i, "--thread-cap")?.max(1));
+                    }
                     "--deadline" => deadline_ms = Some(parse_num(&args, i, "--deadline")?),
                     "--retry-faults" => {
                         retry_faults = Some(parse_num(&args, i, "--retry-faults")?);
@@ -406,6 +455,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                         i += 1;
                         continue;
                     }
+                    "--viable-engine" => viable_engine = parse_engine(&args, i)?,
                     other => return usage(format!("serve: unknown flag `{other}`")),
                 }
                 i += 2;
@@ -416,12 +466,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 journal,
                 jobs,
                 meta_jobs,
+                thread_cap,
                 deadline_ms,
                 retry_faults,
                 k,
                 max_iters,
                 trace,
                 allow_inject,
+                viable_engine,
             })
         }
         Some("request") => match (args.get(1), args.get(2)) {
@@ -463,6 +515,7 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, CliError> {
             checkpoint,
             trace,
             metrics,
+            viable_engine,
             ..
         } => {
             let opts = SolveOpts {
@@ -479,6 +532,7 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, CliError> {
                 checkpoint: checkpoint.as_deref(),
                 trace: trace.as_deref(),
                 metrics: *metrics,
+                viable_engine: *viable_engine,
             };
             solve_report(source, &opts)
         }
@@ -573,6 +627,7 @@ struct SolveOpts<'a> {
     checkpoint: Option<&'a str>,
     trace: Option<&'a str>,
     metrics: bool,
+    viable_engine: ViableEngine,
 }
 
 /// Runs the analysis daemon until drained; the returned report is the
@@ -587,12 +642,14 @@ fn run_serve(cmd: &Command, source: &str) -> Result<String, CliError> {
         journal,
         jobs,
         meta_jobs,
+        thread_cap,
         deadline_ms,
         retry_faults,
         k,
         max_iters,
         trace,
         allow_inject,
+        viable_engine,
         ..
     } = cmd
     else {
@@ -616,9 +673,11 @@ fn run_serve(cmd: &Command, source: &str) -> Result<String, CliError> {
             beam: BeamConfig::with_k(*k),
             max_iters: *max_iters,
             meta_jobs: *meta_jobs,
+            viable_engine: *viable_engine,
             ..TracerConfig::default()
         },
         jobs: *jobs,
+        thread_cap: *thread_cap,
         deadline_ms: *deadline_ms,
         // Daemon requests run under per-request deadlines, so deadline
         // hits are retried too (each retry gets a fresh budget).
@@ -657,6 +716,7 @@ fn solve_report(source: &str, opts: &SolveOpts<'_>) -> Result<String, CliError> 
             .map_or_else(Escalation::default, |retries| Escalation { retries, ..Escalation::standard() }),
         mem_budget: opts.mem_budget,
         meta_jobs: opts.meta_jobs,
+        viable_engine: opts.viable_engine,
         ..TracerConfig::default()
     };
     let callees = |c: pda_lang::CallId| pa.callees(c).to_vec();
@@ -918,6 +978,7 @@ mod tests {
             checkpoint,
             trace: None,
             metrics: false,
+            viable_engine: ViableEngine::Dpll,
         }
     }
 
@@ -944,13 +1005,15 @@ mod tests {
                 checkpoint: None,
                 trace: None,
                 metrics: false,
+                viable_engine: ViableEngine::Dpll,
             }
         );
         assert_eq!(
             a(&[
                 "solve", "f.jay", "--jobs", "4", "--deadline", "250", "--escalate", "2",
                 "--mem-budget", "64k", "--pool-budget", "2m", "--retry-faults", "3",
-                "--checkpoint", "state.jsonl", "--metrics", "--trace", "out.jsonl"
+                "--checkpoint", "state.jsonl", "--metrics", "--trace", "out.jsonl",
+                "--viable-engine", "bdd"
             ])
             .unwrap(),
             Command::Solve {
@@ -968,13 +1031,14 @@ mod tests {
                 checkpoint: Some("state.jsonl".into()),
                 trace: Some("out.jsonl".into()),
                 metrics: true,
+                viable_engine: ViableEngine::Bdd,
             }
         );
         assert_eq!(
             a(&[
                 "serve", "f.jay", "--socket", "/tmp/pda.sock", "--journal", "j.jsonl",
-                "--jobs", "2", "--deadline", "500", "--retry-faults", "1", "--allow-inject",
-                "--trace", "t.jsonl"
+                "--jobs", "2", "--thread-cap", "3", "--deadline", "500", "--retry-faults", "1",
+                "--allow-inject", "--trace", "t.jsonl", "--viable-engine", "bdd"
             ])
             .unwrap(),
             Command::Serve {
@@ -983,14 +1047,19 @@ mod tests {
                 journal: Some("j.jsonl".into()),
                 jobs: 2,
                 meta_jobs: default_meta_jobs(),
+                thread_cap: Some(3),
                 deadline_ms: Some(500),
                 retry_faults: Some(1),
                 k: 5,
                 max_iters: 100,
                 trace: Some("t.jsonl".into()),
                 allow_inject: true,
+                viable_engine: ViableEngine::Bdd,
             }
         );
+        assert!(a(&["solve", "f", "--viable-engine", "cnf"]).is_err());
+        assert!(a(&["solve", "f", "--viable-engine"]).is_err());
+        assert!(a(&["serve", "f", "--thread-cap", "many"]).is_err());
         assert_eq!(
             a(&["request", "/tmp/pda.sock", "{\"op\":\"health\"}"]).unwrap(),
             Command::Request {
@@ -1167,6 +1236,7 @@ mod tests {
             checkpoint: None,
             trace: Some(path.to_string_lossy().into_owned()),
             metrics: true,
+            viable_engine: ViableEngine::Dpll,
         };
         let report = run_on_source(&cmd, SRC).unwrap();
         assert!(report.contains("localx [thread-escape]: PROVEN"), "{report}");

@@ -51,12 +51,12 @@
 use crate::client::{Query, TracerClient};
 use crate::tracer::{
     backward_phase, effective_deadline, effective_mem_budget, solve_query_pooled, Governor,
-    Outcome, QueryObs, QueryResult, StepResult, TracerConfig, Unresolved,
+    Outcome, QueryObs, QueryResult, StepResult, TracerConfig, Unresolved, ViableState,
 };
 use pda_dataflow::{rhs, Interrupt, RhsLimits, RhsResult, TooBig};
 use pda_lang::{CallId, MethodId, Program};
 use pda_meta::{InternCache, MetaStats, WarmStore};
-use pda_solver::{MinCostSolver, PFormula};
+use pda_solver::PFormula;
 use pda_util::{
     fnv1a, CacheStats, Counter, Deadline, Event, MemBudget, ObsRegistry, Span, SpanKind,
     SplitMix64, StripedLock, TraceSink,
@@ -1235,6 +1235,7 @@ fn solve_query_cached_warm_pooled<'p, C: TracerClient>(
     let mut iterations = 0;
     let mut escalations = 0;
     let mut gov = Governor::new(query, config, pool);
+    let mut viable = ViableState::new(config.viable_engine);
     // Contended forward-cache shard waits for this query, drained into
     // the registry once at the end (the counter is effort attribution,
     // never part of the event stream).
@@ -1258,6 +1259,7 @@ fn solve_query_cached_warm_pooled<'p, C: TracerClient>(
             &mut escalations,
             icache,
             &mut gov,
+            &mut viable,
             obs,
             iterations,
             &lock_waits,
@@ -1269,8 +1271,8 @@ fn solve_query_cached_warm_pooled<'p, C: TracerClient>(
             StepResult::Impossible => break Outcome::Impossible,
             StepResult::Refined { .. } => {
                 iterations += 1;
-                gov.account_retained(icache, &constraints, &mut obs.reg);
-                if gov.poll(icache, &mut obs.reg) {
+                gov.account_retained(icache, &constraints, &viable, &mut obs.reg);
+                if gov.poll(icache, &mut viable, &mut obs.reg) {
                     break Outcome::Unresolved(Unresolved::MemBudgetExceeded);
                 }
             }
@@ -1309,17 +1311,15 @@ fn step_cached<'p, C: TracerClient>(
     escalations: &mut u32,
     icache: &mut InternCache<C::Prim>,
     gov: &mut Governor,
+    viable: &mut ViableState,
     obs: &mut QueryObs,
     iter: usize,
     lock_waits: &AtomicU64,
 ) -> StepResult<C::Param> {
-    let n = client.n_atoms();
-    let costs = (0..n).map(|i| client.atom_cost(i)).collect();
-    let mut solver = MinCostSolver::new(n, costs);
-    for c in constraints.iter() {
-        solver.require(c.clone());
-    }
-    let model = match solver.solve_within_budgeted(deadline, &mut obs.reg, Some(gov.budget())) {
+    let t0 = Instant::now();
+    let solved = viable.solve(client, constraints, deadline, &mut obs.reg, gov.budget());
+    obs.reg.add(Counter::SolverMicros, t0.elapsed().as_micros() as u64);
+    let model = match solved {
         Ok(Some(m)) => m,
         Ok(None) => return StepResult::Impossible,
         Err(_) => return StepResult::Unresolved(Unresolved::DeadlineExceeded),
@@ -1639,6 +1639,10 @@ mod tests {
     /// must survive the migration byte for byte.
     #[test]
     fn display_footer_fields_survive_obs_migration() {
+        // Solver-phase micros ride the merged per-query registry (not a
+        // `BatchStats` scalar) — pin that pass-through too.
+        let mut merged = ObsRegistry::default();
+        merged.set(Counter::SolverMicros, 13);
         let stats = BatchStats {
             queries: 32,
             jobs: 8,
@@ -1663,13 +1667,13 @@ mod tests {
                 mem_evictions: 0,
                 micros: 42,
             },
-            obs: ObsRegistry::default(),
+            obs: merged,
         };
         assert_eq!(
             stats.to_string(),
             "32 queries, jobs=8: 16.0 q/s, cache 57/89 hits (64.0%), 57 forward runs saved, \
              faults=1 deadlines=2 escalations=3 retries=7 resumed=4 degradations=5 shed=6 \
-             contention=9µs\n\
+             contention=9µs solver=13µs\n\
              meta: 12 cubes, wp 8/10 memo hits, subsumption 5/20 fast-rejected, 3 drops, 42µs"
         );
         // The meta: line is the MetaStats Display, verbatim.

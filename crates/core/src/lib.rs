@@ -83,4 +83,5 @@ pub use pda_meta::{InternCache, MetaStats};
 pub use tracer::{
     solve_query, solve_query_logged, solve_query_observed, solve_query_within, Escalation,
     IterationLog, MetaKernel, Outcome, QueryObs, QueryResult, TracerConfig, Unresolved,
+    ViableEngine,
 };

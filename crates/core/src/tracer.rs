@@ -7,8 +7,10 @@ use pda_meta::{
     analyze_trace_interned_jobs, analyze_trace_obs, restrict, BeamConfig, InternCache, MetaStats,
     Primitive,
 };
-use pda_solver::{MinCostSolver, PFormula};
-use pda_util::{Counter, Deadline, Event, MemBudget, ObsRegistry, Span, SpanKind};
+use pda_solver::{Bdd, MinCostSolver, Model, PFormula};
+use pda_util::{
+    Counter, Deadline, DeadlineExceeded, Event, MemBudget, ObsRegistry, Span, SpanKind,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -80,6 +82,142 @@ pub enum MetaKernel {
     Tree,
 }
 
+/// Which engine maintains the viable set (`⋀ᵢ ¬φᵢ`) and extracts its
+/// minimum-cost models.
+///
+/// Both engines are bit-identical on verdicts, iteration counts, and
+/// chosen optimum models: they share the canonical tie-break (the
+/// lexicographically least assignment among equal-cost minima), so the
+/// choice is purely a performance/memory trade-off. DPLL rebuilds a CNF
+/// per CEGAR iteration; the BDD stays resident across iterations and
+/// absorbs each learned constraint with an incremental conjoin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ViableEngine {
+    /// Per-iteration Tseitin CNF + DPLL branch and bound
+    /// ([`MinCostSolver`]). The reference engine and the memory-pressure
+    /// fallback.
+    #[default]
+    Dpll,
+    /// Resident ROBDD over the parameter atoms ([`Bdd`]): conjoin-only
+    /// updates, constant-time emptiness, cached min-cost sweep.
+    Bdd,
+}
+
+impl ViableEngine {
+    /// Parses the `--viable-engine` / `PDA_VIABLE_ENGINE` spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized input.
+    pub fn parse(s: &str) -> Result<ViableEngine, String> {
+        match s {
+            "dpll" => Ok(ViableEngine::Dpll),
+            "bdd" => Ok(ViableEngine::Bdd),
+            other => Err(format!("unknown viable engine '{other}' (expected dpll|bdd)")),
+        }
+    }
+}
+
+impl std::fmt::Display for ViableEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViableEngine::Dpll => write!(f, "dpll"),
+            ViableEngine::Bdd => write!(f, "bdd"),
+        }
+    }
+}
+
+/// Per-query viable-set solver state, threaded through the CEGAR loop so
+/// the BDD engine's graph survives across iterations. The constraint
+/// `Vec` stays the source of truth — the BDD mirrors it conjoin-by-conjoin
+/// (`synced` counts how many constraints are already absorbed), which is
+/// also what lets the governor drop the whole arena and fall back to DPLL
+/// mid-query without losing anything.
+pub(crate) struct ViableState {
+    engine: ViableEngine,
+    bdd: Option<Bdd>,
+    synced: usize,
+}
+
+impl ViableState {
+    pub(crate) fn new(engine: ViableEngine) -> ViableState {
+        ViableState { engine, bdd: None, synced: 0 }
+    }
+
+    /// Estimated retained bytes of the resident BDD (0 under DPLL);
+    /// folded into the governor's retained-state accounting each
+    /// iteration boundary.
+    pub(crate) fn approx_bytes(&self) -> u64 {
+        self.bdd.as_ref().map_or(0, |b| b.approx_bytes() as u64)
+    }
+
+    /// Memory-governor degradation: drop the BDD arena and run the rest
+    /// of the query on DPLL. Returns whether anything changed.
+    pub(crate) fn degrade_to_dpll(&mut self) -> bool {
+        let changed = self.engine == ViableEngine::Bdd;
+        self.engine = ViableEngine::Dpll;
+        self.bdd = None;
+        self.synced = 0;
+        changed
+    }
+
+    /// Minimum-cost model of `⋀ constraints` (canonical tie-break), or
+    /// `None` when the viable set is empty.
+    ///
+    /// Under [`ViableEngine::Bdd`] only constraints beyond `synced` are
+    /// conjoined (the resident graph already holds the prefix) and the
+    /// cached cost sweep re-runs only after a conjoin; node growth is
+    /// reported to [`Counter::SolverNodes`] for parity with the DPLL
+    /// search-node counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeadlineExceeded`] when `deadline` expires mid-solve.
+    pub(crate) fn solve<C: crate::client::TracerClient>(
+        &mut self,
+        client: &C,
+        constraints: &[PFormula],
+        deadline: Deadline,
+        obs: &mut ObsRegistry,
+        budget: &MemBudget,
+    ) -> Result<Option<Model>, DeadlineExceeded> {
+        let n = client.n_atoms();
+        match self.engine {
+            ViableEngine::Dpll => {
+                let costs = (0..n).map(|i| client.atom_cost(i)).collect();
+                let mut solver = MinCostSolver::new(n, costs);
+                for c in constraints.iter() {
+                    solver.require(c.clone());
+                }
+                solver.solve_within_budgeted(deadline, obs, Some(budget))
+            }
+            ViableEngine::Bdd => {
+                let span = Span::enter(obs, SpanKind::Solver);
+                let result = (|| {
+                    if deadline.expired() {
+                        return Err(DeadlineExceeded);
+                    }
+                    let bdd = self.bdd.get_or_insert_with(|| {
+                        Bdd::new(n, (0..n).map(|i| client.atom_cost(i)).collect())
+                    });
+                    let before = bdd.node_count();
+                    for c in &constraints[self.synced..] {
+                        bdd.conjoin(c);
+                    }
+                    self.synced = constraints.len();
+                    obs.add(Counter::SolverNodes, (bdd.node_count() - before) as u64);
+                    if deadline.expired() {
+                        return Err(DeadlineExceeded);
+                    }
+                    Ok(bdd.solve())
+                })();
+                span.exit(obs);
+                result
+            }
+        }
+    }
+}
+
 /// Configuration of one TRACER run.
 #[derive(Debug, Clone)]
 pub struct TracerConfig {
@@ -111,6 +249,10 @@ pub struct TracerConfig {
     /// deterministic merge, so results stay bit-identical at any value.
     /// The tree kernel ignores it.
     pub meta_jobs: usize,
+    /// Viable-set engine (`--viable-engine` / `PDA_VIABLE_ENGINE`;
+    /// default DPLL). Bit-identical outcomes either way — see
+    /// [`ViableEngine`].
+    pub viable_engine: ViableEngine,
 }
 
 impl Default for TracerConfig {
@@ -124,6 +266,7 @@ impl Default for TracerConfig {
             kernel: MetaKernel::default(),
             mem_budget: None,
             meta_jobs: 1,
+            viable_engine: ViableEngine::default(),
         }
     }
 }
@@ -350,18 +493,23 @@ impl Governor {
     }
 
     /// Re-estimates the bytes retained across iterations (the intern
-    /// cache plus the learned constraint set) and charges/releases the
-    /// delta, so the ledger's `used()` tracks retained state between
-    /// boundaries while transient charges come and go on top of it.
+    /// cache, the learned constraint set, and the viable engine's
+    /// resident BDD arena if any) and charges/releases the delta, so the
+    /// ledger's `used()` tracks retained state between boundaries while
+    /// transient charges come and go on top of it.
     pub(crate) fn account_retained<P: Primitive>(
         &mut self,
         icache: &InternCache<P>,
         constraints: &[PFormula],
+        viable: &ViableState,
         obs: &mut ObsRegistry,
     ) {
-        let retained = icache.approx_bytes().saturating_add(
-            constraints.iter().fold(0u64, |acc, c| acc.saturating_add(pformula_bytes(c))),
-        );
+        let retained = icache
+            .approx_bytes()
+            .saturating_add(
+                constraints.iter().fold(0u64, |acc, c| acc.saturating_add(pformula_bytes(c))),
+            )
+            .saturating_add(viable.approx_bytes());
         if retained > self.last_retained {
             let delta = retained - self.last_retained;
             self.budget.charge(delta);
@@ -378,6 +526,7 @@ impl Governor {
     pub(crate) fn poll<P: Primitive>(
         &mut self,
         icache: &mut InternCache<P>,
+        viable: &mut ViableState,
         obs: &mut ObsRegistry,
     ) -> bool {
         if !self.budget.take_pressure() {
@@ -394,7 +543,14 @@ impl Governor {
                 obs.add(Counter::MemEvictions, evicted);
             }
             2 => {
+                // Drop both caches rebuilt on demand: the intern table and
+                // the viable engine's BDD arena (the engine falls back to
+                // DPLL for the rest of the query — sound, it re-solves the
+                // same constraint Vec, just non-incrementally).
                 *icache = InternCache::new();
+                if viable.degrade_to_dpll() {
+                    obs.inc(Counter::MemEvictions);
+                }
                 obs.inc(Counter::MemEvictions);
             }
             3 | 4 => self.beam.max_cubes = (self.beam.max_cubes / 4).max(1),
@@ -470,6 +626,7 @@ pub(crate) fn solve_query_pooled<C: TracerClient>(
     let mut iterations = 0;
     let mut escalations = 0;
     let mut icache = InternCache::default();
+    let mut viable = ViableState::new(config.viable_engine);
     let mut gov = Governor::new(query, config, pool);
     let outcome = loop {
         if deadline.expired() {
@@ -488,6 +645,7 @@ pub(crate) fn solve_query_pooled<C: TracerClient>(
             deadline,
             &mut escalations,
             &mut icache,
+            &mut viable,
             &mut gov,
             obs,
             iterations,
@@ -499,8 +657,8 @@ pub(crate) fn solve_query_pooled<C: TracerClient>(
             StepResult::Impossible => break Outcome::Impossible,
             StepResult::Refined { .. } => {
                 iterations += 1;
-                gov.account_retained(&icache, &constraints, &mut obs.reg);
-                if gov.poll(&mut icache, &mut obs.reg) {
+                gov.account_retained(&icache, &constraints, &viable, &mut obs.reg);
+                if gov.poll(&mut icache, &mut viable, &mut obs.reg) {
                     break Outcome::Unresolved(Unresolved::MemBudgetExceeded);
                 }
             }
@@ -558,6 +716,7 @@ pub fn solve_query_logged<C: TracerClient>(
     let mut escalations = 0;
     let mut obs = QueryObs::untraced();
     let mut icache = InternCache::default();
+    let mut viable = ViableState::new(config.viable_engine);
     let mut gov = Governor::new(query, config, None);
     let outcome = loop {
         if deadline.expired() {
@@ -577,6 +736,7 @@ pub fn solve_query_logged<C: TracerClient>(
             deadline,
             &mut escalations,
             &mut icache,
+            &mut viable,
             &mut gov,
             &mut obs,
             iterations,
@@ -596,8 +756,8 @@ pub fn solve_query_logged<C: TracerClient>(
             StepResult::Refined { param, cost } => {
                 iterations += 1;
                 let deg_before = gov.degradations;
-                gov.account_retained(&icache, &constraints, &mut obs.reg);
-                let exhausted = gov.poll(&mut icache, &mut obs.reg);
+                gov.account_retained(&icache, &constraints, &viable, &mut obs.reg);
+                let exhausted = gov.poll(&mut icache, &mut viable, &mut obs.reg);
                 log.push(IterationLog {
                     param,
                     cost,
@@ -708,17 +868,18 @@ pub(crate) fn step<C: TracerClient>(
     deadline: Deadline,
     escalations: &mut u32,
     icache: &mut InternCache<C::Prim>,
+    viable: &mut ViableState,
     gov: &mut Governor,
     obs: &mut QueryObs,
     iter: usize,
 ) -> StepResult<C::Param> {
-    let n = client.n_atoms();
-    let costs = (0..n).map(|i| client.atom_cost(i)).collect();
-    let mut solver = MinCostSolver::new(n, costs);
-    for c in constraints.iter() {
-        solver.require(c.clone());
-    }
-    let model = match solver.solve_within_budgeted(deadline, &mut obs.reg, Some(gov.budget())) {
+    // The solver phase is always timed (like the backward phase): the
+    // viable-engine acceptance criterion compares engines on it, so the
+    // split must be visible in footers even with span timing off.
+    let t0 = Instant::now();
+    let solved = viable.solve(client, constraints, deadline, &mut obs.reg, gov.budget());
+    obs.reg.add(Counter::SolverMicros, t0.elapsed().as_micros() as u64);
+    let model = match solved {
         Ok(Some(m)) => m,
         Ok(None) => return StepResult::Impossible,
         Err(_) => return StepResult::Unresolved(Unresolved::DeadlineExceeded),

@@ -20,6 +20,13 @@ pub struct Model {
 /// globally minimal cost, or `None` when the constraints are
 /// unsatisfiable (TRACER's *impossibility* outcome).
 ///
+/// Among equal-cost minima the solver returns the **canonical** model:
+/// the lexicographically least assignment under `Vec<bool>` order (atom 0
+/// most significant, `false < true`). The rule is engine-independent —
+/// the BDD viable engine's lo-edge-preferring extraction produces the
+/// same model — which is what lets `ViableEngine::{Dpll,Bdd}` stay
+/// bit-identical on chosen optima, not just on costs.
+///
 /// # Examples
 ///
 /// ```
@@ -168,6 +175,13 @@ impl MinCostSolver {
             aborted: false,
         };
         search.dfs();
+        let best = match search.best.take() {
+            None => None,
+            Some((cost, witness)) if !search.aborted => {
+                Some(Model { assignment: search.canonicalize(cost, witness), cost })
+            }
+            Some(_) => None,
+        };
         obs.add(Counter::SolverNodes, search.nodes);
         if let Some(b) = budget {
             b.release(clause_bytes);
@@ -175,11 +189,13 @@ impl MinCostSolver {
         if search.aborted {
             return Err(DeadlineExceeded);
         }
-        Ok(search.best.map(|(cost, assignment)| Model { assignment, cost }))
+        Ok(best)
     }
 
     /// Exhaustive reference solver (exponential); used to validate
-    /// [`MinCostSolver::solve`] in tests.
+    /// [`MinCostSolver::solve`] in tests. Applies the same canonical
+    /// tie-break as the search: cheapest first, lexicographically least
+    /// assignment among equal-cost minima.
     ///
     /// # Panics
     ///
@@ -196,7 +212,9 @@ impl MinCostSolver {
                     .filter(|&(_, &b)| b)
                     .map(|(i, _)| self.costs[i])
                     .sum();
-                if best.as_ref().is_none_or(|b| cost < b.cost) {
+                if best.as_ref().is_none_or(|b| {
+                    cost < b.cost || (cost == b.cost && assignment < b.assignment)
+                }) {
                     best = Some(Model { assignment, cost });
                 }
             }
@@ -204,6 +222,10 @@ impl MinCostSolver {
         best
     }
 }
+
+/// Poll the wall clock every this many search nodes — including the root,
+/// so an already-expired deadline aborts without exploring.
+const DEADLINE_STRIDE: u64 = 512;
 
 struct Search<'a> {
     n_atoms: usize,
@@ -333,18 +355,104 @@ impl Search<'_> {
     }
 
     fn record_model(&mut self) {
-        let assignment: Vec<bool> = (0..self.n_atoms)
-            .map(|i| self.assign[i] == Some(true))
-            .collect();
+        // Strictly cheaper only — the canonical lex tie-break among
+        // equal-cost minima is applied by the second (canonicalization)
+        // phase, never inside the branch and bound, whose `>=` pruning
+        // would otherwise have to enumerate every tied model.
         if self.best.as_ref().is_none_or(|(c, _)| self.cost < *c) {
+            let assignment =
+                (0..self.n_atoms).map(|i| self.assign[i] == Some(true)).collect();
             self.best = Some((self.cost, assignment));
         }
     }
 
+    /// Canonicalization phase: turns any minimum-cost `witness` (cost
+    /// `cost`) into the lexicographically least model of the same cost.
+    ///
+    /// Walks atoms in ascending order keeping a working model. An atom the
+    /// working model already sets false is lex-minimal as-is; for each
+    /// atom it sets true, one *decision* query asks whether some model of
+    /// cost ≤ `cost` extends the false-flipped prefix — if so that model
+    /// becomes the working model. Decision queries stop at their first
+    /// hit, so tied models are never enumerated (the trap a lex tie-break
+    /// inside the branch and bound itself would fall into).
+    ///
+    /// On deadline abort the witness is returned unchanged; the caller
+    /// checks `aborted` and discards it.
+    fn canonicalize(&mut self, cost: u64, witness: Vec<bool>) -> Vec<bool> {
+        let mut model = witness;
+        for i in 0..self.n_atoms {
+            if self.aborted {
+                break;
+            }
+            if !model[i] {
+                continue;
+            }
+            debug_assert!(self.trail.is_empty());
+            let mark = self.trail.len();
+            let mut conflict = false;
+            for (j, &v) in model.iter().enumerate().take(i + 1) {
+                let v = if j == i { false } else { v };
+                match self.assign[j] {
+                    None => self.set(j, v),
+                    Some(prev) if prev != v => {
+                        conflict = true;
+                        break;
+                    }
+                    Some(_) => {}
+                }
+            }
+            if !conflict {
+                if let Some(found) = self.first_within(cost) {
+                    debug_assert!(!found[i]);
+                    model = found;
+                }
+            }
+            self.undo_to(mark);
+        }
+        model
+    }
+
+    /// Decision search under the current assumptions: the first completion
+    /// (false-completed over the original atoms) whose cost is within
+    /// `cap`, or `None`. Returns on the first hit.
+    fn first_within(&mut self, cap: u64) -> Option<Vec<bool>> {
+        if self.aborted {
+            return None;
+        }
+        if self.nodes.is_multiple_of(DEADLINE_STRIDE) && self.deadline.expired() {
+            self.aborted = true;
+            return None;
+        }
+        self.nodes += 1;
+        let mark = self.trail.len();
+        if !self.propagate() || self.lower_bound() > cap {
+            self.undo_to(mark);
+            return None;
+        }
+        let result = match self.pick() {
+            None => {
+                Some((0..self.n_atoms).map(|i| self.assign[i] == Some(true)).collect())
+            }
+            Some(var) => {
+                let mut found = None;
+                for value in [false, true] {
+                    let inner = self.trail.len();
+                    self.set(var, value);
+                    found = self.first_within(cap);
+                    self.undo_to(inner);
+                    if found.is_some() {
+                        break;
+                    }
+                }
+                found
+            }
+        };
+        self.undo_to(mark);
+        result
+    }
+
     fn dfs(&mut self) {
-        // Poll the wall clock every `DEADLINE_STRIDE` nodes — including the
-        // root, so an already-expired deadline aborts without exploring.
-        const DEADLINE_STRIDE: u64 = 512;
         if self.aborted {
             return;
         }
@@ -507,7 +615,9 @@ mod tests {
             match (fast, brute) {
                 (None, None) => {}
                 (Some(a), Some(b)) => {
-                    assert_eq!(a.cost, b.cost, "case {case}: cost mismatch");
+                    // Canonical tie-break: the *exact* model must agree,
+                    // not just the cost.
+                    assert_eq!(a, b, "case {case}: model mismatch");
                     // The returned model must actually satisfy everything.
                     assert!(
                         s.constraints().iter().all(|c| c.eval(&a.assignment)),

@@ -30,9 +30,11 @@
 
 #![warn(missing_docs)]
 
+mod bdd;
 mod cnf;
 mod dpll;
 
+pub use bdd::Bdd;
 pub use dpll::{MinCostSolver, Model};
 
 /// A boolean formula over parameter atoms `0..n`.

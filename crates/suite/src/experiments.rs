@@ -9,7 +9,7 @@ use pda_lang::{CallKind, Node, SiteId};
 use pda_meta::{BeamConfig, MetaStats};
 use pda_tracer::{
     solve_queries, solve_queries_batch, BatchConfig, Escalation, Outcome, Query, QueryResult,
-    TracerClient, TracerConfig,
+    TracerClient, TracerConfig, ViableEngine,
 };
 use pda_typestate::{TsMode, TypestateClient};
 use pda_util::{CacheStats, Idx, Summary};
@@ -45,6 +45,10 @@ pub struct ExperimentConfig {
     pub escalation: Escalation,
     /// Per-query memory budget in estimated bytes (`None` = unlimited).
     pub mem_budget: Option<u64>,
+    /// Viable-set constraint engine (DPLL branch-and-bound or the
+    /// resident ROBDD; outcomes are bit-identical — see
+    /// [`pda_tracer::ViableEngine`]).
+    pub viable_engine: ViableEngine,
 }
 
 impl Default for ExperimentConfig {
@@ -60,6 +64,7 @@ impl Default for ExperimentConfig {
             timeout: None,
             escalation: Escalation::default(),
             mem_budget: None,
+            viable_engine: ViableEngine::default(),
         }
     }
 }
@@ -75,6 +80,7 @@ impl ExperimentConfig {
             kernel: Default::default(),
             mem_budget: self.mem_budget,
             meta_jobs: self.meta_jobs,
+            viable_engine: self.viable_engine,
         }
     }
 }

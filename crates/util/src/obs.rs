@@ -97,10 +97,16 @@ pub enum Counter {
     /// contention is attributable from the footer without perturbing
     /// trace byte-identity.
     LockWaitMicros,
+    /// Wall time inside the viable-set solver (DPLL search or BDD
+    /// conjoin + min-cost sweep), µs. Always-on like
+    /// [`Counter::MetaMicros`], so the batch footers and
+    /// `BENCH_batch.json` can split solver wall out per engine even with
+    /// span timing off.
+    SolverMicros,
 }
 
 /// Number of [`Counter`] slots.
-pub const N_COUNTERS: usize = Counter::LockWaitMicros as usize + 1;
+pub const N_COUNTERS: usize = Counter::SolverMicros as usize + 1;
 
 // ---- spans ----
 
@@ -347,7 +353,7 @@ impl ObsRegistry {
         format!(
             "{} queries, jobs={}: {:.1} q/s, cache {}/{} hits ({:.1}%), {} forward runs saved, \
              faults={} deadlines={} escalations={} retries={} resumed={} degradations={} shed={} \
-             contention={}µs\n{}",
+             contention={}µs solver={}µs\n{}",
             queries,
             self.get(Counter::Jobs),
             qps,
@@ -363,6 +369,7 @@ impl ObsRegistry {
             self.get(Counter::Degradations),
             self.get(Counter::Shed),
             self.get(Counter::LockWaitMicros),
+            self.get(Counter::SolverMicros),
             render_meta_line(
                 self.get(Counter::CubesBuilt),
                 self.get(Counter::WpHits),
@@ -848,11 +855,12 @@ mod tests {
         reg.set(Counter::Shed, 2);
         reg.set(Counter::Retries, 4);
         reg.set(Counter::LockWaitMicros, 11);
+        reg.set(Counter::SolverMicros, 21);
         assert_eq!(
             reg.render(),
             "32 queries, jobs=8: 16.0 q/s, cache 57/89 hits (64.0%), 57 forward runs saved, \
              faults=0 deadlines=0 escalations=1 retries=4 resumed=0 degradations=3 shed=2 \
-             contention=11µs\n\
+             contention=11µs solver=21µs\n\
              meta: 7 cubes, wp 3/4 memo hits, subsumption 0/9 fast-rejected, 2 drops, 15µs"
         );
     }

@@ -26,7 +26,7 @@ echo "== perf smoke: seeded batch bench vs expected outcomes =="
 perf="$(PDA_TRACE=target/ci_trace PDA_BENCH_OUT=target/ci_bench.json ./target/release/batch)"
 echo "$perf"
 diff scripts/expected_batch_outcomes.txt \
-    <(echo "$perf" | grep -E '^(outcome [0-9]+:|tree/interned outcomes identical:|per-query outcomes identical across job counts:)') \
+    <(echo "$perf" | grep -E '^(outcome [0-9]+:|tree/interned outcomes identical:|per-query outcomes identical across job counts:|viable-engine outcomes identical:)') \
     || { echo "ci: batch outcomes drifted from scripts/expected_batch_outcomes.txt" >&2; exit 1; }
 echo "$perf" | grep -q 'resilience: deadline_exceeded=0 engine_faults=0' \
     || { echo "ci: perf smoke hit deadlines or engine faults on an unconstrained run" >&2; exit 1; }
@@ -44,6 +44,26 @@ queries_json="$(grep '"queries": ' target/ci_bench.json | sed -E 's/.*"queries":
     || { echo "ci: trace counts (iters=$iters_trace queries=$queries_trace) disagree with bench JSON (iters=$iters_json queries=$queries_json)" >&2; exit 1; }
 echo "trace smoke ok: $iters_trace iterations, $queries_trace queries"
 
+echo "== viable-engine smoke: BDD vs DPLL on the seeded hedc bench =="
+# The perf smoke's engine-split phase already asserted per-query outcome
+# identity inside the bin (a panic exits non-zero). Here CI re-runs the
+# whole bench with the ROBDD engine driving *every* phase and diffs the
+# outcome lines byte-for-byte against the same checked-in expectations,
+# then pins the perf claim from the default run's JSON: the BDD
+# solver-phase wall (min-of-repeats) must not exceed DPLL's. The BDD
+# keeps the viable set resident across CEGAR iterations (conjoin-only
+# updates), so many-iteration queries are where the win comes from.
+vperf="$(PDA_VIABLE_ENGINE=bdd PDA_BENCH_OUT=target/ci_bench_bdd.json ./target/release/batch)"
+echo "$vperf"
+diff scripts/expected_batch_outcomes.txt \
+    <(echo "$vperf" | grep -E '^(outcome [0-9]+:|tree/interned outcomes identical:|per-query outcomes identical across job counts:|viable-engine outcomes identical:)') \
+    || { echo "ci: BDD-engine batch outcomes drifted from scripts/expected_batch_outcomes.txt" >&2; exit 1; }
+dpll_us="$(sed -nE 's/.*"dpll_solver_micros": ([0-9]+).*/\1/p' target/ci_bench.json)"
+bdd_us="$(sed -nE 's/.*"bdd_solver_micros": ([0-9]+).*/\1/p' target/ci_bench.json)"
+awk -v d="$dpll_us" -v b="$bdd_us" 'BEGIN { exit !(d != "" && b != "" && b + 0 <= d + 0) }' \
+    || { echo "ci: BDD solver phase (${bdd_us:-missing} µs) exceeded DPLL's (${dpll_us:-missing} µs) on the hedc bench" >&2; exit 1; }
+echo "viable-engine smoke ok: solver phase ${bdd_us} µs bdd <= ${dpll_us} µs dpll, outcomes identical"
+
 echo "== governor smoke: batch under a 4 MiB per-query memory budget =="
 # 4 MiB is tuned (empirically, but the byte accounting is deterministic)
 # to pressure the governor onto its first ladder rungs — cache evictions
@@ -55,7 +75,7 @@ echo "== governor smoke: batch under a 4 MiB per-query memory budget =="
 gov="$(PDA_MEM_BUDGET=4m PDA_BENCH_OUT=target/ci_bench_governed.json ./target/release/batch)"
 echo "$gov"
 diff scripts/expected_batch_outcomes.txt \
-    <(echo "$gov" | grep -E '^(outcome [0-9]+:|tree/interned outcomes identical:|per-query outcomes identical across job counts:)') \
+    <(echo "$gov" | grep -E '^(outcome [0-9]+:|tree/interned outcomes identical:|per-query outcomes identical across job counts:|viable-engine outcomes identical:)') \
     || { echo "ci: governed batch outcomes drifted — a degradation rung changed a verdict or iteration count" >&2; exit 1; }
 degs="$(echo "$gov" | sed -nE 's/^resilience:.* degradations=([0-9]+).*/\1/p')"
 [ -n "$degs" ] && [ "$degs" -ge 1 ] \
