@@ -30,6 +30,11 @@
 //! the equality/cache/JSON steps are skipped (wall-clock aborts are
 //! schedule-dependent by nature); the run still exercises the whole
 //! resilient batch path and reports the resilience counters.
+//! `PDA_FAULT_PLAN` arms the deterministic fault-injection plane for the
+//! whole run (same grammar as `--fault-plan`; see `pda_util::faultplane`),
+//! and `PDA_RETRY_FAULTS=N` gives every phase a deterministic retry
+//! ladder so injected transient faults are absorbed and the outcome
+//! lines stay diffable under chaos.
 //! `PDA_TRACE=prefix` additionally streams the structured JSONL event
 //! trace of the interned runs to `<prefix>_j1.jsonl` / `<prefix>_jN.jsonl`
 //! and self-validates it: every line must parse, the two files must be
@@ -47,7 +52,7 @@ use pda_escape::EscapeClient;
 use pda_suite::Benchmark;
 use pda_tracer::{
     solve_queries_batch, solve_queries_batch_traced, BatchConfig, BatchStats, MetaKernel,
-    MetaStats, Outcome, QueryResult, ViableEngine,
+    MetaStats, Outcome, QueryResult, RetryPolicy, ViableEngine,
 };
 use pda_util::{BitSet, Counter, Event, FileSink, TraceSink};
 
@@ -107,6 +112,22 @@ fn run_json(results: &[QueryResult<BitSet>], stats: &BatchStats) -> String {
 }
 
 fn main() {
+    // Arm the deterministic fault plane before any phase runs, so a
+    // chaos smoke can inject panics/stalls/IO errors at exact hit
+    // counts and still diff the outcome lines.
+    match pda_util::faultplane::install_from_env() {
+        Ok(false) => {}
+        Ok(true) => println!("fault plane armed from PDA_FAULT_PLAN"),
+        Err(e) => {
+            eprintln!("PDA_FAULT_PLAN: {e}");
+            std::process::exit(2);
+        }
+    }
+    let retry: Option<RetryPolicy> = std::env::var("PDA_RETRY_FAULTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .map(RetryPolicy::deterministic);
     let jobs: usize = std::env::var("PDA_JOBS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -171,7 +192,12 @@ fn main() {
     };
 
     // Phase 1: sequential, tree kernel (the oracle).
-    let tree_cfg = BatchConfig { jobs: 1, tracer: tracer(MetaKernel::Tree), ..BatchConfig::default() };
+    let tree_cfg = BatchConfig {
+        jobs: 1,
+        tracer: tracer(MetaKernel::Tree),
+        retry: retry.clone(),
+        ..BatchConfig::default()
+    };
     let (tree, tree_stats) =
         solve_queries_batch(&bench.program, &callees, &client, &queries, &tree_cfg);
     println!(
@@ -194,8 +220,12 @@ fn main() {
     let (seq_sink, par_sink) = (mk_sink("j1"), mk_sink("jN"));
 
     // Phase 2: sequential, interned kernel — the same work, packed.
-    let int_cfg =
-        BatchConfig { jobs: 1, tracer: tracer(MetaKernel::Interned), ..BatchConfig::default() };
+    let int_cfg = BatchConfig {
+        jobs: 1,
+        tracer: tracer(MetaKernel::Interned),
+        retry: retry.clone(),
+        ..BatchConfig::default()
+    };
     let (seq, seq_stats) = solve_queries_batch_traced(
         &bench.program,
         &callees,
@@ -215,6 +245,7 @@ fn main() {
         jobs,
         tracer: tracer(MetaKernel::Interned),
         pool_budget,
+        retry: retry.clone(),
         ..BatchConfig::default()
     };
     let (par, par_stats) = solve_queries_batch_traced(
@@ -249,13 +280,15 @@ fn main() {
 
     println!(
         "resilience: deadline_exceeded={} engine_faults={} escalations={} degradations={} shed={} \
-         retries={}",
+         retries={} faults_injected={} io_faults={}",
         tree_stats.deadline_exceeded + seq_stats.deadline_exceeded + par_stats.deadline_exceeded,
         tree_stats.engine_faults + seq_stats.engine_faults + par_stats.engine_faults,
         tree_stats.escalations + seq_stats.escalations + par_stats.escalations,
         tree_stats.degradations + seq_stats.degradations + par_stats.degradations,
         tree_stats.shed + seq_stats.shed + par_stats.shed,
         tree_stats.retries + seq_stats.retries + par_stats.retries,
+        tree_stats.faults_injected + seq_stats.faults_injected + par_stats.faults_injected,
+        tree_stats.io_faults + seq_stats.io_faults + par_stats.io_faults,
     );
 
     if deadline_ms.is_some() {
@@ -330,6 +363,7 @@ fn main() {
                 viable_engine: engine,
                 ..tracer(MetaKernel::Interned)
             },
+            retry: retry.clone(),
             ..BatchConfig::default()
         };
         let (mut results, stats) =

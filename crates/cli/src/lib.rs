@@ -134,6 +134,9 @@ pub enum Command {
         /// Viable-set constraint engine: DPLL branch-and-bound (the
         /// default) or the resident ROBDD. Outcomes are bit-identical.
         viable_engine: ViableEngine,
+        /// Deterministic fault plan armed for the run (chaos testing;
+        /// `point@hit=action` entries or `seed:N`, see `pda_util::faultplane`).
+        fault_plan: Option<String>,
     },
     /// `pda serve <file> [--socket PATH] [--journal PATH] [--jobs N]
     /// [--meta-jobs N] [--thread-cap N] [--deadline MS] [--retry-faults N]
@@ -170,6 +173,11 @@ pub enum Command {
         allow_inject: bool,
         /// Viable-set constraint engine for every request.
         viable_engine: ViableEngine,
+        /// Deterministic fault plan armed for the daemon's life.
+        fault_plan: Option<String>,
+        /// Abandon solve attempts that make no heartbeat progress for
+        /// this many milliseconds (`engine_stall` + quarantine).
+        watchdog_ms: Option<u64>,
     },
     /// `pda request <socket> <json-line>` — one-shot daemon client.
     Request {
@@ -242,6 +250,14 @@ USAGE:
                                                          outcomes identical
                                                          (env
                                                          PDA_VIABLE_ENGINE)
+                                           --fault-plan  arm the deterministic
+                                                         fault-injection plane:
+                                                         `point@hit=action`
+                                                         entries (actions
+                                                         panic|stall:MS|
+                                                         ioerr[:KIND]|abort)
+                                                         or `seed:N[:permille]`
+                                                         (env PDA_FAULT_PLAN)
     pda serve   <file.jay> [--socket PATH] [--journal PATH] [--jobs N]
                 [--meta-jobs N] [--thread-cap N] [--deadline MS]
                 [--retry-faults N] [--k N] [--max-iters N]
@@ -255,7 +271,13 @@ USAGE:
                                            daemon threads (batch workers and
                                            solve-op meta-kernel alike),
                                            --allow-inject enables
-                                           fault-injection requests
+                                           fault-injection requests,
+                                           --fault-plan arms the deterministic
+                                           fault plane (env PDA_FAULT_PLAN),
+                                           --watchdog-ms abandons solve
+                                           attempts with no heartbeat progress
+                                           for that long (engine_stall reply +
+                                           cache quarantine)
     pda request <socket> <json-line>       send one request to a daemon and
                                            print the response
     pda gen     <benchmark>                print a generated suite program
@@ -338,6 +360,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             let mut trace = None;
             let mut metrics = false;
             let mut viable_engine = default_viable_engine();
+            let mut fault_plan = None;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -378,6 +401,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                         continue;
                     }
                     "--viable-engine" => viable_engine = parse_engine(&args, i)?,
+                    "--fault-plan" => {
+                        let Some(spec) = args.get(i + 1) else {
+                            return usage("--fault-plan needs a plan spec");
+                        };
+                        fault_plan = Some(spec.clone());
+                    }
                     other => return usage(format!("solve: unknown flag `{other}`")),
                 }
                 i += 2;
@@ -398,6 +427,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 trace,
                 metrics,
                 viable_engine,
+                fault_plan,
             })
         }
         Some("serve") => {
@@ -416,6 +446,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             let mut trace = None;
             let mut allow_inject = false;
             let mut viable_engine = default_viable_engine();
+            let mut fault_plan = None;
+            let mut watchdog_ms = None;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -456,6 +488,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                         continue;
                     }
                     "--viable-engine" => viable_engine = parse_engine(&args, i)?,
+                    "--fault-plan" => {
+                        let Some(spec) = args.get(i + 1) else {
+                            return usage("--fault-plan needs a plan spec");
+                        };
+                        fault_plan = Some(spec.clone());
+                    }
+                    "--watchdog-ms" => {
+                        watchdog_ms = Some(parse_num::<u64>(&args, i, "--watchdog-ms")?.max(1));
+                    }
                     other => return usage(format!("serve: unknown flag `{other}`")),
                 }
                 i += 2;
@@ -474,6 +515,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 trace,
                 allow_inject,
                 viable_engine,
+                fault_plan,
+                watchdog_ms,
             })
         }
         Some("request") => match (args.get(1), args.get(2)) {
@@ -516,8 +559,10 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, CliError> {
             trace,
             metrics,
             viable_engine,
+            fault_plan,
             ..
         } => {
+            arm_fault_plane(fault_plan.as_deref())?;
             let opts = SolveOpts {
                 label: query.as_deref(),
                 k: *k,
@@ -534,7 +579,9 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, CliError> {
                 metrics: *metrics,
                 viable_engine: *viable_engine,
             };
-            solve_report(source, &opts)
+            let report = solve_report(source, &opts);
+            dump_fault_hits();
+            report
         }
         Command::Serve { .. } => run_serve(cmd, source),
         Command::Request { socket, line } => {
@@ -555,6 +602,34 @@ pub fn run_on_source(cmd: &Command, source: &str) -> Result<String, CliError> {
 
 fn load(source: &str) -> Result<pda_lang::Program, CliError> {
     pda_lang::parse_program(source).map_err(|e| CliError::Input(e.to_string()))
+}
+
+/// With the fault plane armed, prints the per-point hit counts the run
+/// accumulated to stderr — the `record` plan's output, and the table a
+/// plan author reads to pick `point@hit` ordinals for a real plan.
+fn dump_fault_hits() {
+    if !pda_util::faultplane::armed() {
+        return;
+    }
+    let mut hits = pda_util::faultplane::hits();
+    hits.sort();
+    eprintln!("fault plane: {} point(s) crossed", hits.len());
+    for (point, count) in hits {
+        eprintln!("fault plane:   {point} x{count}");
+    }
+}
+
+/// Arms the global fault-injection plane: an explicit `--fault-plan`
+/// wins; otherwise `PDA_FAULT_PLAN` from the environment is consulted;
+/// with neither, the plane is left untouched (zero-cost disabled).
+fn arm_fault_plane(flag: Option<&str>) -> Result<(), CliError> {
+    match flag {
+        Some(spec) => pda_util::faultplane::install(spec)
+            .map_err(|e| CliError::Usage(format!("--fault-plan: {e}"))),
+        None => pda_util::faultplane::install_from_env()
+            .map(|_| ())
+            .map_err(|e| CliError::Usage(format!("PDA_FAULT_PLAN: {e}"))),
+    }
 }
 
 fn check_report(source: &str) -> Result<String, CliError> {
@@ -650,11 +725,14 @@ fn run_serve(cmd: &Command, source: &str) -> Result<String, CliError> {
         trace,
         allow_inject,
         viable_engine,
+        fault_plan,
+        watchdog_ms,
         ..
     } = cmd
     else {
         unreachable!("dispatched on Command::Serve");
     };
+    arm_fault_plane(fault_plan.as_deref())?;
     let program = load(source)?;
     let pa = PointsTo::analyze(&program);
     let callees = |c: pda_lang::CallId| pa.callees(c).to_vec();
@@ -686,6 +764,7 @@ fn run_serve(cmd: &Command, source: &str) -> Result<String, CliError> {
             ..pda_tracer::RetryPolicy::deterministic(n)
         }),
         allow_inject: *allow_inject,
+        watchdog_ms: *watchdog_ms,
     };
     let options = pda_serve::DaemonOptions {
         socket: socket.as_ref().map(std::path::PathBuf::from),
@@ -699,8 +778,8 @@ fn run_serve(cmd: &Command, source: &str) -> Result<String, CliError> {
                 pda_serve::ServeError::Io(m) => CliError::Input(m),
             })?;
     Ok(format!(
-        "serve: drained cleanly — served={} faults={} quarantines={} resumed={}\n",
-        report.served, report.faults, report.quarantines, report.resumed
+        "serve: drained cleanly — served={} faults={} quarantines={} watchdog={} resumed={}\n",
+        report.served, report.faults, report.quarantines, report.watchdog_fired, report.resumed
     ))
 }
 
@@ -979,6 +1058,7 @@ mod tests {
             trace: None,
             metrics: false,
             viable_engine: ViableEngine::Dpll,
+            fault_plan: None,
         }
     }
 
@@ -1006,6 +1086,7 @@ mod tests {
                 trace: None,
                 metrics: false,
                 viable_engine: ViableEngine::Dpll,
+                fault_plan: None,
             }
         );
         assert_eq!(
@@ -1013,7 +1094,7 @@ mod tests {
                 "solve", "f.jay", "--jobs", "4", "--deadline", "250", "--escalate", "2",
                 "--mem-budget", "64k", "--pool-budget", "2m", "--retry-faults", "3",
                 "--checkpoint", "state.jsonl", "--metrics", "--trace", "out.jsonl",
-                "--viable-engine", "bdd"
+                "--viable-engine", "bdd", "--fault-plan", "journal.write@2=ioerr:perm"
             ])
             .unwrap(),
             Command::Solve {
@@ -1032,13 +1113,15 @@ mod tests {
                 trace: Some("out.jsonl".into()),
                 metrics: true,
                 viable_engine: ViableEngine::Bdd,
+                fault_plan: Some("journal.write@2=ioerr:perm".into()),
             }
         );
         assert_eq!(
             a(&[
                 "serve", "f.jay", "--socket", "/tmp/pda.sock", "--journal", "j.jsonl",
                 "--jobs", "2", "--thread-cap", "3", "--deadline", "500", "--retry-faults", "1",
-                "--allow-inject", "--trace", "t.jsonl", "--viable-engine", "bdd"
+                "--allow-inject", "--trace", "t.jsonl", "--viable-engine", "bdd",
+                "--watchdog-ms", "200", "--fault-plan", "record"
             ])
             .unwrap(),
             Command::Serve {
@@ -1055,11 +1138,16 @@ mod tests {
                 trace: Some("t.jsonl".into()),
                 allow_inject: true,
                 viable_engine: ViableEngine::Bdd,
+                fault_plan: Some("record".into()),
+                watchdog_ms: Some(200),
             }
         );
         assert!(a(&["solve", "f", "--viable-engine", "cnf"]).is_err());
         assert!(a(&["solve", "f", "--viable-engine"]).is_err());
         assert!(a(&["serve", "f", "--thread-cap", "many"]).is_err());
+        assert!(a(&["serve", "f", "--watchdog-ms", "soon"]).is_err());
+        assert!(a(&["serve", "f", "--fault-plan"]).is_err());
+        assert!(a(&["solve", "f", "--fault-plan"]).is_err());
         assert_eq!(
             a(&["request", "/tmp/pda.sock", "{\"op\":\"health\"}"]).unwrap(),
             Command::Request {
@@ -1237,6 +1325,7 @@ mod tests {
             trace: Some(path.to_string_lossy().into_owned()),
             metrics: true,
             viable_engine: ViableEngine::Dpll,
+            fault_plan: None,
         };
         let report = run_on_source(&cmd, SRC).unwrap();
         assert!(report.contains("localx [thread-escape]: PROVEN"), "{report}");

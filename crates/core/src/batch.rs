@@ -58,8 +58,8 @@ use pda_lang::{CallId, MethodId, Program};
 use pda_meta::{InternCache, MetaStats, WarmStore};
 use pda_solver::PFormula;
 use pda_util::{
-    fnv1a, CacheStats, Counter, Deadline, Event, MemBudget, ObsRegistry, Span, SpanKind,
-    SplitMix64, StripedLock, TraceSink,
+    fault_point, faultplane, fnv1a, CacheStats, Counter, Deadline, Event, MemBudget, ObsRegistry,
+    Span, SpanKind, SplitMix64, StripedLock, TraceSink,
 };
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -266,6 +266,17 @@ pub struct BatchStats {
     /// turnstile waits, and warm meta-store shard waits. Rendered as
     /// `contention=` in the footer. Zero when `jobs == 1`.
     pub contention_micros: u64,
+    /// Faults the deterministic fault plane fired during this batch (the
+    /// delta of [`pda_util::faultplane::faults_injected`] across the
+    /// run). Zero unless a `--fault-plan`/`PDA_FAULT_PLAN` plan is armed.
+    pub faults_injected: u64,
+    /// I/O-class injected faults during this batch (subset of
+    /// [`BatchStats::faults_injected`]).
+    pub io_faults: u64,
+    /// Non-cooperative stalls reclaimed by the serve watchdog. Always
+    /// zero for plain batch runs; the analysis daemon's supervisor fills
+    /// it in for its own footers/health reply.
+    pub watchdog_fired: u64,
     /// Per-worker effort attribution, in worker completion order (one
     /// entry per worker that ran; a single entry when `jobs == 1`). Not
     /// part of the rendered footer — the bench emits it as JSON.
@@ -313,6 +324,9 @@ impl BatchStats {
         reg.set(Counter::Degradations, self.degradations);
         reg.set(Counter::Shed, self.shed);
         reg.set(Counter::LockWaitMicros, self.contention_micros);
+        reg.set(Counter::FaultsInjected, self.faults_injected);
+        reg.set(Counter::IoFaults, self.io_faults);
+        reg.set(Counter::WatchdogFired, self.watchdog_fired);
         reg.set(Counter::CubesBuilt, self.meta.cubes_built);
         reg.set(Counter::SubsumptionChecks, self.meta.subsumption_checks);
         reg.set(Counter::SubsumptionFastRejects, self.meta.subsumption_fast_rejects);
@@ -512,12 +526,19 @@ impl<'p, S> ForwardCache<'p, S> {
                         }
                     };
                     drop(waited);
+                    // Fired with no slot lock held: a panic here is
+                    // absorbed by the waiter's own isolation boundary and
+                    // never disturbs the computing sibling or the slot.
+                    fault_point("cache.slot_wait");
                 }
             }
         }
         // Compute outside the slot lock; if `compute` unwinds (a
         // fault-injected client panic), the guard re-opens the slot.
         let mut guard = SlotGuard { slot: &slot, armed: true };
+        // Under the guard on purpose: an injected panic at the fill seam
+        // must re-open the slot exactly like a panicking compute would.
+        fault_point("cache.slot_fill");
         let result = compute();
         let mut st = slot.state.lock().expect("forward-cache slot poisoned");
         guard.armed = false;
@@ -770,6 +791,8 @@ where
     C::Prim: Send + Sync,
 {
     let start = Instant::now();
+    let injected_at_start = faultplane::faults_injected();
+    let io_at_start = faultplane::io_faults();
     let batch_deadline = Deadline::timeout(config.batch_timeout);
     let tracing = trace.is_some();
     let resumed = skip.len();
@@ -867,6 +890,9 @@ where
                 let next = AtomicUsize::new(0);
                 std::thread::scope(|scope| {
                     for _ in 0..workers {
+                        // Crash-class seam: fired on the coordinator,
+                        // outside any per-query isolation boundary.
+                        fault_point("batch.worker.spawn");
                         scope.spawn(|| {
                             let mut wm = WorkerMeta::default();
                             loop {
@@ -920,6 +946,9 @@ where
                                 *shared[k].lock().expect("result slot poisoned") =
                                     Some((r, qobs));
                             }
+                            // Crash-class seam: a worker dying after its
+                            // loop, outside the per-query boundary.
+                            fault_point("batch.worker.join");
                             worker_meta.lock().expect("worker meta poisoned").push(wm);
                         });
                     }
@@ -934,6 +963,7 @@ where
                 let turnstile = Condvar::new();
                 std::thread::scope(|scope| {
                     for _ in 0..workers {
+                        fault_point("batch.worker.spawn");
                         scope.spawn(|| {
                             let mut wm = WorkerMeta::default();
                             loop {
@@ -1041,6 +1071,7 @@ where
                                 *shared[k].lock().expect("result slot poisoned") =
                                     Some((r, qobs));
                             }
+                            fault_point("batch.worker.join");
                             worker_meta.lock().expect("worker meta poisoned").push(wm);
                         });
                     }
@@ -1103,6 +1134,9 @@ where
         shed: shed.load(Ordering::Relaxed),
         retries: results.iter().map(|r| u64::from(r.retries)).sum(),
         contention_micros,
+        faults_injected: faultplane::faults_injected().saturating_sub(injected_at_start),
+        io_faults: faultplane::io_faults().saturating_sub(io_at_start),
+        watchdog_fired: 0,
         worker_meta,
         meta: {
             let mut total = MetaStats::default();
@@ -1231,6 +1265,9 @@ fn solve_query_cached_warm_pooled<'p, C: TracerClient>(
     let start = Instant::now();
     let entry = obs.reg.clone();
     let deadline = effective_deadline(query, config, outer);
+    // Publish the query's deadline for out-of-band sleepers (injected
+    // stalls, `Fault::Stall` clients) that sit outside the limit structs.
+    let _ambient = deadline.enter_ambient();
     let mut constraints: Vec<PFormula> = Vec::new();
     let mut iterations = 0;
     let mut escalations = 0;
@@ -1241,6 +1278,9 @@ fn solve_query_cached_warm_pooled<'p, C: TracerClient>(
     // never part of the event stream).
     let lock_waits = AtomicU64::new(0);
     let outcome = loop {
+        // One watchdog heartbeat per CEGAR iteration: a request that
+        // stops beating is non-cooperatively stuck, not merely slow.
+        pda_util::heartbeat::beat();
         if deadline.expired() {
             break Outcome::Unresolved(Unresolved::DeadlineExceeded);
         }
@@ -1656,6 +1696,9 @@ mod tests {
             shed: 6,
             retries: 7,
             contention_micros: 9,
+            faults_injected: 11,
+            io_faults: 10,
+            watchdog_fired: 14,
             worker_meta: Vec::new(),
             meta: MetaStats {
                 cubes_built: 12,
@@ -1673,7 +1716,7 @@ mod tests {
             stats.to_string(),
             "32 queries, jobs=8: 16.0 q/s, cache 57/89 hits (64.0%), 57 forward runs saved, \
              faults=1 deadlines=2 escalations=3 retries=7 resumed=4 degradations=5 shed=6 \
-             contention=9µs solver=13µs\n\
+             injected=11 io_injected=10 watchdog=14 contention=9µs solver=13µs\n\
              meta: 12 cubes, wp 8/10 memo hits, subsumption 5/20 fast-rejected, 3 drops, 42µs"
         );
         // The meta: line is the MetaStats Display, verbatim.

@@ -115,7 +115,12 @@ impl<P: Primitive> FaultPrim<P> {
         }
         match fault {
             Fault::Panic(msg) => panic!("{msg}"),
-            Fault::Stall(d) => std::thread::sleep(*d),
+            // Sleep in small slices polling the ambient deadline, so a
+            // cooperative timeout shorter than the stall still fires at
+            // the engine's next poll instead of waiting out the whole
+            // sleep. With no deadline in scope the stall runs in full —
+            // the non-cooperative case the serve watchdog exists for.
+            Fault::Stall(d) => pda_util::faultplane::stall(*d),
             Fault::BreakWp => {}
         }
     }

@@ -76,8 +76,8 @@ pub use client::{AsAnalysis, AsMeta, Query, QueryLimits, TracerClient};
 pub use faultcli::{faulty_query, lift_query, Fault, FaultInjectingClient, FaultPrim};
 pub use groups::{solve_queries, GroupStats};
 pub use resilience::{
-    load_checkpoint, solve_queries_batch_checkpointed, solve_queries_batch_checkpointed_traced,
-    CheckpointError, CheckpointWriter, ParamCodec,
+    compact_checkpoint, load_checkpoint, solve_queries_batch_checkpointed,
+    solve_queries_batch_checkpointed_traced, CheckpointError, CheckpointWriter, ParamCodec,
 };
 pub use pda_meta::{InternCache, MetaStats};
 pub use tracer::{

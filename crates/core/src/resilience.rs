@@ -43,12 +43,12 @@ use crate::tracer::{Outcome, QueryResult, Unresolved};
 use pda_lang::{CallId, MethodId, Program};
 use pda_meta::MetaStats;
 use pda_util::json::{json_escape, parse_json_line};
-use pda_util::{BitSet, TraceSink};
+use pda_util::{fault_point_io, BitSet, FaultFile, TraceSink};
 use std::collections::HashMap;
 use std::fmt;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// Round-trips an abstraction parameter through a checkpoint record.
@@ -220,8 +220,12 @@ fn decode_record<P: ParamCodec>(line: &str) -> Option<(usize, QueryResult<P>)> {
 }
 
 /// Streams finished results to a checkpoint file, one flushed line each.
+///
+/// Every write syscall routes through a [`FaultFile`] under the
+/// `journal.write` fault point, so I/O-error and torn-write faults are
+/// injectable without touching any caller.
 pub struct CheckpointWriter {
-    out: BufWriter<File>,
+    out: BufWriter<FaultFile>,
 }
 
 impl CheckpointWriter {
@@ -230,9 +234,11 @@ impl CheckpointWriter {
     ///
     /// # Errors
     ///
-    /// Any filesystem error.
+    /// Any filesystem error, including injected ones at `journal.create`
+    /// / `journal.write`.
     pub fn create(path: &Path, n_queries: usize) -> Result<Self, CheckpointError> {
-        let mut out = BufWriter::new(File::create(path)?);
+        fault_point_io("journal.create")?;
+        let mut out = BufWriter::new(FaultFile::new(File::create(path)?, "journal.write"));
         writeln!(out, "{}", header_line(n_queries))?;
         out.flush()?;
         Ok(CheckpointWriter { out })
@@ -249,24 +255,86 @@ impl CheckpointWriter {
     ///
     /// Any filesystem error.
     pub fn open_append(path: &Path) -> Result<Self, CheckpointError> {
-        let out = BufWriter::new(std::fs::OpenOptions::new().append(true).open(path)?);
-        Ok(CheckpointWriter { out })
+        fault_point_io("journal.open")?;
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
+        Ok(CheckpointWriter { out: BufWriter::new(FaultFile::new(file, "journal.write")) })
     }
 
     /// Appends (and flushes) one result record.
     ///
     /// # Errors
     ///
-    /// Any filesystem error.
+    /// Any filesystem error, including injected ones at `journal.append`
+    /// (before any bytes move) / `journal.write` (the write itself).
     pub fn append<P: ParamCodec>(
         &mut self,
         i: usize,
         r: &QueryResult<P>,
     ) -> Result<(), CheckpointError> {
+        fault_point_io("journal.append")?;
         writeln!(self.out, "{}", record_line(i, r))?;
         self.out.flush()?;
         Ok(())
     }
+}
+
+/// Crash-safely rewrites `path` to exactly `header + records` and
+/// returns a writer appending to the rewritten file.
+///
+/// The rewrite goes through a temp file in the same directory
+/// (`<path>.tmp`), which is flushed, fsynced, and atomically renamed
+/// over `path` (the parent directory is then fsynced too, best-effort).
+/// A crash at *any* step — enumerable via the `journal.compact.begin`,
+/// `journal.compact.write`, and `journal.compact.rename` fault points —
+/// leaves either the old file or the new one intact, never a
+/// half-rewritten journal: previously durable records cannot be
+/// destroyed by a failed compaction.
+///
+/// `records` need not be sorted; they are written in ascending index
+/// order.
+///
+/// # Errors
+///
+/// Any filesystem error (injected or real). On error `path` is
+/// untouched; a stale `<path>.tmp` may remain and is overwritten by the
+/// next compaction.
+pub fn compact_checkpoint<P: ParamCodec>(
+    path: &Path,
+    n_queries: usize,
+    records: &[(usize, &QueryResult<P>)],
+) -> Result<CheckpointWriter, CheckpointError> {
+    fault_point_io("journal.compact.begin")?;
+    let tmp = {
+        let mut os = path.as_os_str().to_owned();
+        os.push(".tmp");
+        PathBuf::from(os)
+    };
+    let mut sorted: Vec<&(usize, &QueryResult<P>)> = records.iter().collect();
+    sorted.sort_by_key(|(i, _)| *i);
+    let mut out =
+        BufWriter::new(FaultFile::new(File::create(&tmp)?, "journal.compact.write"));
+    writeln!(out, "{}", header_line(n_queries))?;
+    for (i, r) in sorted {
+        writeln!(out, "{}", record_line(*i, r))?;
+    }
+    out.flush()?;
+    let mut file = out.into_inner().map_err(|e| CheckpointError::Io(e.into_error()))?;
+    file.sync_all()?;
+    drop(file);
+    fault_point_io("journal.compact.rename")?;
+    std::fs::rename(&tmp, path)?;
+    // Make the rename itself durable. Failure to fsync the directory is
+    // tolerated (some filesystems refuse); the rename is still atomic.
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        }) {
+            let _ = dir.sync_all();
+        }
+    }
+    CheckpointWriter::open_append(path)
 }
 
 /// Loads a checkpoint written for a batch of `n_queries`, returning the
@@ -392,13 +460,12 @@ where
         let skip = load_checkpoint::<C::Param>(path, queries.len())?;
         // Rewrite the file compactly: drops any torn final line (which
         // would otherwise corrupt the first appended record) and
-        // deduplicates.
-        let mut writer = CheckpointWriter::create(path, queries.len())?;
-        let mut restored: Vec<(&usize, &QueryResult<C::Param>)> = skip.iter().collect();
-        restored.sort_by_key(|(i, _)| **i);
-        for (&i, r) in restored {
-            writer.append(i, r)?;
-        }
+        // deduplicates. The rewrite is crash-safe — temp file + atomic
+        // rename — so a kill mid-compaction can never destroy records
+        // that were already durable.
+        let records: Vec<(usize, &QueryResult<C::Param>)> =
+            skip.iter().map(|(&i, r)| (i, r)).collect();
+        let writer = compact_checkpoint(path, queries.len(), &records)?;
         (skip, writer)
     } else {
         (HashMap::new(), CheckpointWriter::create(path, queries.len())?)
@@ -406,9 +473,17 @@ where
     let writer = Mutex::new(writer);
     let write_err: Mutex<Option<CheckpointError>> = Mutex::new(None);
     let sink = |i: usize, r: &QueryResult<C::Param>| {
+        // Fail-stop: after the first write error the file may end in a
+        // torn line, and appending past it would bury the tear mid-file
+        // where the loader (rightly) treats it as corruption. Stopping
+        // keeps everything up to the tear a loadable prefix.
+        let mut err = write_err.lock().expect("error slot poisoned");
+        if err.is_some() {
+            return;
+        }
         let mut w = writer.lock().expect("checkpoint writer poisoned");
         if let Err(e) = w.append(i, r) {
-            write_err.lock().expect("error slot poisoned").get_or_insert(e);
+            *err = Some(e);
         }
     };
     let (results, stats) =

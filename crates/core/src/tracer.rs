@@ -9,7 +9,8 @@ use pda_meta::{
 };
 use pda_solver::{Bdd, MinCostSolver, Model, PFormula};
 use pda_util::{
-    Counter, Deadline, DeadlineExceeded, Event, MemBudget, ObsRegistry, Span, SpanKind,
+    fault_point, Counter, Deadline, DeadlineExceeded, Event, MemBudget, ObsRegistry, Span,
+    SpanKind,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -547,6 +548,7 @@ impl Governor {
                 // the viable engine's BDD arena (the engine falls back to
                 // DPLL for the rest of the query — sound, it re-solves the
                 // same constraint Vec, just non-incrementally).
+                fault_point("intern.reset");
                 *icache = InternCache::new();
                 if viable.degrade_to_dpll() {
                     obs.inc(Counter::MemEvictions);
@@ -560,6 +562,7 @@ impl Governor {
         }
         self.degradations += 1;
         obs.inc(Counter::Degradations);
+        fault_point("governor.rung");
         false
     }
 }
@@ -622,6 +625,9 @@ pub(crate) fn solve_query_pooled<C: TracerClient>(
     let start = Instant::now();
     let entry = obs.reg.clone();
     let deadline = effective_deadline(query, config, outer);
+    // Publish the query's deadline for out-of-band sleepers (injected
+    // stalls, `Fault::Stall` clients) that sit outside the limit structs.
+    let _ambient = deadline.enter_ambient();
     let mut constraints: Vec<PFormula> = Vec::new();
     let mut iterations = 0;
     let mut escalations = 0;
@@ -629,6 +635,9 @@ pub(crate) fn solve_query_pooled<C: TracerClient>(
     let mut viable = ViableState::new(config.viable_engine);
     let mut gov = Governor::new(query, config, pool);
     let outcome = loop {
+        // One watchdog heartbeat per CEGAR iteration: a request that
+        // stops beating is non-cooperatively stuck, not merely slow.
+        pda_util::heartbeat::beat();
         if deadline.expired() {
             break Outcome::Unresolved(Unresolved::DeadlineExceeded);
         }

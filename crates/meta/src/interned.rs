@@ -49,7 +49,7 @@ use crate::approx::BeamConfig;
 use crate::backward::{MetaClient, MetaError, ParamOf, StateOf};
 use crate::formula::{Cube, Dnf, Formula, Lit, Primitive};
 use pda_lang::Atom;
-use pda_util::{scoped_chunk_map, Counter, ObsRegistry, Span, SpanKind, StripedLock};
+use pda_util::{fault_point, scoped_chunk_map, Counter, ObsRegistry, Span, SpanKind, StripedLock};
 use pda_solver::PFormula;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap};
@@ -471,6 +471,7 @@ impl<P: Primitive> WarmStore<P> {
         if let Some(c) = self.cores.lock(h, &self.waits).get(prims) {
             return Arc::clone(c);
         }
+        fault_point("warm.rebuild");
         let c = Arc::new(compute());
         self.cores
             .lock(h, &self.waits)

@@ -10,7 +10,7 @@
 //! journal is flushed, and [`run_daemon`] returns — the daemon exits 0.
 
 use crate::signal;
-use crate::supervisor::{ConnState, ServeConfig, Supervisor};
+use crate::supervisor::{ConnState, ServeConfig, SolveScope, Supervisor};
 use pda_lang::{CallId, MethodId, Program};
 use pda_tracer::{ParamCodec, Query, TracerClient};
 use pda_util::FileSink;
@@ -63,8 +63,21 @@ pub struct DaemonReport {
     pub faults: u64,
     /// Cache generations retired after panics.
     pub quarantines: u64,
+    /// Non-cooperative stalls reclaimed by the watchdog.
+    pub watchdog_fired: u64,
     /// Queries resumed from the journal at startup.
     pub resumed: usize,
+}
+
+/// Adapts a transport's scoped-thread handle to the supervisor's
+/// [`SolveScope`] capability: abandoned watchdog workers park here and
+/// are joined (bounded by their stall) when the transport drains.
+struct ScopeSpawner<'scope, 'env>(&'scope std::thread::Scope<'scope, 'env>);
+
+impl<'scope, 'env> SolveScope<'scope> for ScopeSpawner<'scope, 'env> {
+    fn spawn(&self, f: Box<dyn FnOnce() + Send + 'scope>) {
+        self.0.spawn(f);
+    }
 }
 
 /// Loads the resident state and serves until drained.
@@ -111,6 +124,7 @@ where
         served: sup.served(),
         faults: sup.faults(),
         quarantines: sup.quarantines(),
+        watchdog_fired: sup.watchdog_fired(),
         resumed,
     })
 }
@@ -161,10 +175,11 @@ where
     });
     let _ = std::fs::remove_file(path);
     println!(
-        "pda-serve: drained (served {} faults {} quarantines {})",
+        "pda-serve: drained (served {} faults {} quarantines {} watchdog {})",
         sup.served(),
         sup.faults(),
-        sup.quarantines()
+        sup.quarantines(),
+        sup.watchdog_fired()
     );
     Ok(())
 }
@@ -187,11 +202,12 @@ fn handle_connection<'env, 'scope, 'p, C>(
     let mut input = &stream;
     let mut output = &stream;
     let mut conn = ConnState::new(sup.generation());
+    let spawner = ScopeSpawner(scope);
     while let Some(line) = reader.next_line(&mut input, || sup.draining()) {
         if line.trim().is_empty() {
             continue;
         }
-        let reply = sup.handle_line(&mut conn, &line);
+        let reply = sup.handle_line_watched(&mut conn, &line, &spawner);
         if writeln!(output, "{}", reply.text).and_then(|()| output.flush()).is_err() {
             break; // client went away mid-response
         }
@@ -251,29 +267,35 @@ where
     eprintln!("pda-serve: serving stdio ({resumed} resumed)");
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    let mut conn = ConnState::new(sup.generation());
-    for line in stdin.lock().lines() {
-        let line = line.map_err(|e| ServeError::Io(format!("stdin: {e}")))?;
-        if line.trim().is_empty() {
-            continue;
+    // The scope exists so watchdog workers have somewhere to be
+    // abandoned; scope exit joins any stragglers (bounded by their
+    // stall) before the session returns.
+    std::thread::scope(|scope| {
+        let spawner = ScopeSpawner(scope);
+        let mut conn = ConnState::new(sup.generation());
+        for line in stdin.lock().lines() {
+            let line = line.map_err(|e| ServeError::Io(format!("stdin: {e}")))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let reply = sup.handle_line_watched(&mut conn, &line, &spawner);
+            {
+                let mut out = stdout.lock();
+                writeln!(out, "{}", reply.text)
+                    .and_then(|()| out.flush())
+                    .map_err(|e| ServeError::Io(format!("stdout: {e}")))?;
+            }
+            if reply.quarantine {
+                // Single-session transport: re-warm inline, before the
+                // next request is read.
+                sup.warm_generation();
+            }
+            if reply.shutdown || sup.draining() || signal::term_requested() {
+                break;
+            }
         }
-        let reply = sup.handle_line(&mut conn, &line);
-        {
-            let mut out = stdout.lock();
-            writeln!(out, "{}", reply.text)
-                .and_then(|()| out.flush())
-                .map_err(|e| ServeError::Io(format!("stdout: {e}")))?;
-        }
-        if reply.quarantine {
-            // Single-session transport: re-warm inline, before the next
-            // request is read.
-            sup.warm_generation();
-        }
-        if reply.shutdown || sup.draining() || signal::term_requested() {
-            break;
-        }
-    }
-    Ok(())
+        Ok(())
+    })
 }
 
 /// One-shot client helper: connects to a daemon socket, sends one

@@ -10,7 +10,8 @@
 //! {"op":"health"}
 //! {"op":"solve","query":"q3"}
 //! {"op":"solve","index":4,"deadline_ms":500,"id":"req-17"}
-//! {"op":"solve","index":0,"inject":"panic"}   // --allow-inject only
+//! {"op":"solve","index":0,"inject":"panic"}     // --allow-inject only
+//! {"op":"solve","index":0,"inject":"stall:300"} // --allow-inject only
 //! {"op":"batch"}
 //! {"op":"shutdown"}
 //! ```
@@ -46,6 +47,11 @@ pub enum Op {
         /// Deliberate first-attempt panic (`"inject":"panic"`), honored
         /// only when the daemon was started with `--allow-inject`.
         inject_panic: bool,
+        /// Deliberate first-attempt *non-cooperative* stall of this many
+        /// milliseconds (`"inject":"stall:MS"`, default 500): the worker
+        /// sleeps without polling any deadline, exercising the watchdog.
+        /// Honored only under `--allow-inject`.
+        inject_stall_ms: Option<u64>,
     },
     /// Run every resident query through the checkpointed batch driver.
     Batch,
@@ -90,12 +96,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 }
                 None => None,
             };
-            let inject_panic = match fields.get("inject").map(String::as_str) {
-                None => false,
-                Some("panic") => true,
-                Some(other) => return Err(format!("unknown inject `{other}`")),
+            let (inject_panic, inject_stall_ms) = match fields.get("inject").map(String::as_str) {
+                None => (false, None),
+                Some("panic") => (true, None),
+                Some("stall") => (false, Some(500)),
+                Some(s) => match s.strip_prefix("stall:") {
+                    Some(ms) => {
+                        (false, Some(ms.parse().map_err(|_| format!("bad inject `{s}`"))?))
+                    }
+                    None => return Err(format!("unknown inject `{s}`")),
+                },
             };
-            Op::Solve { target, deadline_ms, inject_panic }
+            Op::Solve { target, deadline_ms, inject_panic, inject_stall_ms }
         }
         Some(other) => return Err(format!("unknown op `{other}`")),
         None => return Err("missing `op`".into()),
@@ -162,6 +174,7 @@ mod tests {
                     target: Target::Label("q1".into()),
                     deadline_ms: None,
                     inject_panic: false,
+                    inject_stall_ms: None,
                 },
             })
         );
@@ -173,6 +186,19 @@ mod tests {
                     target: Target::Index(3),
                     deadline_ms: Some(250),
                     inject_panic: true,
+                    inject_stall_ms: None,
+                },
+            })
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"solve\",\"index\":0,\"inject\":\"stall:250\"}"),
+            Ok(Request {
+                id: None,
+                op: Op::Solve {
+                    target: Target::Index(0),
+                    deadline_ms: None,
+                    inject_panic: false,
+                    inject_stall_ms: Some(250),
                 },
             })
         );
@@ -184,6 +210,7 @@ mod tests {
             "{\"op\":\"solve\",\"index\":\"x\"}",
             "{\"op\":\"solve\",\"index\":1,\"query\":\"q\"}",
             "{\"op\":\"solve\",\"index\":1,\"inject\":\"flood\"}",
+            "{\"op\":\"solve\",\"index\":1,\"inject\":\"stall:soon\"}",
         ] {
             assert!(parse_request(bad).is_err(), "{bad} must be rejected");
         }

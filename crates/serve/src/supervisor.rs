@@ -23,18 +23,23 @@
 use crate::proto::{parse_request, LineBuilder, Op, Request, Target};
 use pda_lang::{CallId, MethodId, Program};
 use pda_tracer::{
-    default_jobs, load_checkpoint, outcome_tag, solve_queries_batch_checkpointed,
-    solve_query_cached_warm, BatchConfig, CheckpointWriter, ForwardCache, InternCache, MetaStats,
-    Outcome, ParamCodec, Query, QueryObs, QueryResult, RetryPolicy, TracerClient, TracerConfig,
-    Unresolved,
+    compact_checkpoint, default_jobs, load_checkpoint, outcome_tag,
+    solve_queries_batch_checkpointed, solve_query_cached_warm, BatchConfig, CheckpointWriter,
+    ForwardCache, InternCache, MetaStats, Outcome, ParamCodec, Query, QueryObs, QueryResult,
+    RetryPolicy, TracerClient, TracerConfig, Unresolved,
 };
-use pda_util::{Deadline, Event, FileSink, TraceSink};
+use pda_util::{faultplane, heartbeat, Deadline, Event, FileSink, TraceSink};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// A watched attempt's success payload: the verdict, the interner the
+/// worker used (handed back so the connection keeps it), and the
+/// query's observations. `Err` carries the stall-detection detail.
+type WatchedSolve<P, R> = Result<(QueryResult<P>, InternCache<R>, QueryObs), String>;
 
 /// Daemon-side policy knobs (everything except the transport).
 #[derive(Debug, Clone)]
@@ -63,6 +68,32 @@ pub struct ServeConfig {
     /// Honor `"inject":"panic"` requests (fault-injection soaks and the
     /// CI smoke only; never enable for real service).
     pub allow_inject: bool,
+    /// Watchdog budget for non-cooperative stalls, in milliseconds.
+    /// When set (and the transport provides a [`SolveScope`]), every
+    /// solve attempt runs on its own worker thread whose heartbeat —
+    /// one beat per CEGAR iteration — is monitored; a worker that makes
+    /// no progress for this long is abandoned: the request gets a
+    /// structured `engine_stall` reply, the cache generation is
+    /// quarantined, and [`Supervisor::watchdog_fired`] counts it.
+    /// `None` (the default) runs every attempt inline, as before.
+    pub watchdog_ms: Option<u64>,
+}
+
+/// A capability handed in by the transport: run a closure on a thread
+/// the transport owns (a scoped thread of the accept loop). The
+/// watchdog needs it so a non-cooperatively stalled attempt can be
+/// *abandoned* — the worker keeps sleeping harmlessly inside the
+/// transport's scope — without hanging the connection or the daemon.
+pub trait SolveScope<'env> {
+    /// Runs `f` on a transport-owned thread.
+    fn spawn(&self, f: Box<dyn FnOnce() + Send + 'env>);
+}
+
+/// One watched in-flight request, visible while its worker runs.
+struct Inflight {
+    index: usize,
+    started: Instant,
+    beat: Arc<AtomicU64>,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +105,7 @@ impl Default for ServeConfig {
             deadline_ms: None,
             retry: None,
             allow_inject: false,
+            watchdog_ms: None,
         }
     }
 }
@@ -132,6 +164,9 @@ pub struct Supervisor<'p, C: TracerClient> {
     served: AtomicU64,
     faults: AtomicU64,
     quarantines: AtomicU64,
+    watchdog_fired: AtomicU64,
+    inflight: Mutex<HashMap<u64, Inflight>>,
+    next_req: AtomicU64,
     drain: Arc<AtomicBool>,
     journal: Mutex<Journal>,
     answered: Mutex<HashMap<usize, QueryResult<C::Param>>>,
@@ -181,6 +216,9 @@ where
             served: AtomicU64::new(0),
             faults: AtomicU64::new(0),
             quarantines: AtomicU64::new(0),
+            watchdog_fired: AtomicU64::new(0),
+            inflight: Mutex::new(HashMap::new()),
+            next_req: AtomicU64::new(0),
             drain: Arc::new(AtomicBool::new(false)),
             journal: Mutex::new(Journal { path: None, writer: None }),
             answered: Mutex::new(HashMap::new()),
@@ -215,15 +253,13 @@ where
             restored = load_checkpoint::<C::Param>(&path, self.queries.len())
                 .map_err(|e| format!("journal {}: {e}", path.display()))?;
         }
-        let mut writer = CheckpointWriter::create(&path, self.queries.len())
+        // Compaction is crash-safe: the surviving records are rewritten
+        // to `<path>.tmp`, fsynced, and renamed over the journal — a
+        // crash mid-rewrite leaves the old journal untouched.
+        let records: Vec<(usize, &QueryResult<C::Param>)> =
+            restored.iter().map(|(&i, r)| (i, r)).collect();
+        let writer = compact_checkpoint(&path, self.queries.len(), &records)
             .map_err(|e| format!("journal {}: {e}", path.display()))?;
-        let mut indices: Vec<usize> = restored.keys().copied().collect();
-        indices.sort_unstable();
-        for &i in &indices {
-            writer
-                .append(i, &restored[&i])
-                .map_err(|e| format!("journal {}: {e}", path.display()))?;
-        }
         // Only durable verdicts are served from memory; a journaled
         // transient (a batch op records those too) re-runs on request.
         let answered: HashMap<usize, QueryResult<C::Param>> =
@@ -266,13 +302,47 @@ where
         self.quarantines.load(Ordering::SeqCst)
     }
 
+    /// Non-cooperatively stalled requests reclaimed by the watchdog.
+    pub fn watchdog_fired(&self) -> u64 {
+        self.watchdog_fired.load(Ordering::SeqCst)
+    }
+
+    /// Watched requests currently running on worker threads.
+    pub fn inflight(&self) -> usize {
+        self.inflight.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
     /// Flushes and closes the journal writer (end of daemon life).
     pub fn close_journal(&self) {
         self.journal.lock().expect("journal poisoned").writer = None;
     }
 
-    /// Handles one request line against one connection's state.
+    /// Handles one request line against one connection's state. Solve
+    /// attempts run inline on the calling thread: without a transport
+    /// scope to park abandoned workers in, the watchdog cannot engage
+    /// (equivalent to `watchdog_ms: None`).
     pub fn handle_line(&self, conn: &mut ConnState<C::Prim>, line: &str) -> Reply {
+        self.dispatch(conn, line, None)
+    }
+
+    /// Like [`Supervisor::handle_line`], but with a transport-owned
+    /// [`SolveScope`]: when [`ServeConfig::watchdog_ms`] is set, solve
+    /// attempts run on scope threads under heartbeat supervision.
+    pub fn handle_line_watched<'a>(
+        &'a self,
+        conn: &mut ConnState<C::Prim>,
+        line: &str,
+        scope: &dyn SolveScope<'a>,
+    ) -> Reply {
+        self.dispatch(conn, line, Some(scope))
+    }
+
+    fn dispatch<'a>(
+        &'a self,
+        conn: &mut ConnState<C::Prim>,
+        line: &str,
+        scope: Option<&dyn SolveScope<'a>>,
+    ) -> Reply {
         let req = match parse_request(line) {
             Ok(req) => req,
             Err(reason) => {
@@ -300,7 +370,7 @@ where
                 Reply { text, quarantine: false, shutdown: true }
             }
             Op::Batch => Reply::text(self.batch_line(&req)),
-            Op::Solve { .. } => self.solve_reply(conn, &req),
+            Op::Solve { .. } => self.solve_reply(conn, &req, scope),
         }
     }
 
@@ -315,6 +385,10 @@ where
             .num("served", u128::from(self.served()))
             .num("faults", u128::from(self.faults()))
             .num("quarantines", u128::from(self.quarantines()))
+            .num("watchdog_fired", u128::from(self.watchdog_fired()))
+            .num("inflight", self.inflight() as u128)
+            .num("faults_injected", u128::from(faultplane::faults_injected()))
+            .num("io_faults", u128::from(faultplane::io_faults()))
             .finish()
     }
 
@@ -404,8 +478,13 @@ where
             .finish()
     }
 
-    fn solve_reply(&self, conn: &mut ConnState<C::Prim>, req: &Request) -> Reply {
-        let Op::Solve { target, deadline_ms, inject_panic } = &req.op else {
+    fn solve_reply<'a>(
+        &'a self,
+        conn: &mut ConnState<C::Prim>,
+        req: &Request,
+        scope: Option<&dyn SolveScope<'a>>,
+    ) -> Reply {
+        let Op::Solve { target, deadline_ms, inject_panic, inject_stall_ms } = &req.op else {
             unreachable!("dispatched on Op::Solve");
         };
         if self.draining() {
@@ -418,7 +497,7 @@ where
             };
             return Reply::text(self.error_line(req, "unknown_query", &detail));
         };
-        if *inject_panic && !self.config.allow_inject {
+        if (*inject_panic || inject_stall_ms.is_some()) && !self.config.allow_inject {
             return Reply::text(self.error_line(
                 req,
                 "inject_forbidden",
@@ -433,7 +512,7 @@ where
             conn.icache = InternCache::default();
             conn.generation = generation;
         }
-        if !*inject_panic {
+        if !*inject_panic && inject_stall_ms.is_none() {
             let hit = self.answered.lock().expect("answered poisoned").get(&index).cloned();
             if let Some(r) = hit {
                 self.served.fetch_add(1, Ordering::SeqCst);
@@ -444,48 +523,43 @@ where
         let cache = Arc::clone(&self.cache.lock().expect("cache poisoned"));
         let timeout = deadline_ms.or(self.config.deadline_ms).map(Duration::from_millis);
         let retry = self.config.retry.as_ref();
+        let watchdog = match (scope, self.config.watchdog_ms) {
+            (Some(scope), Some(ms)) => Some((scope, Duration::from_millis(ms.max(1)))),
+            _ => None,
+        };
         let mut attempt: u32 = 0;
         let (result, qobs) = loop {
-            let mut qobs = QueryObs::new(index as u64, self.trace.is_some(), false);
-            let started = Instant::now();
             // Each attempt gets a fresh deadline: the point of retrying
             // `DeadlineExceeded` under escalation is a fresh budget.
             let deadline = Deadline::timeout(timeout);
             let inject = *inject_panic && attempt == 0;
-            let solved = catch_unwind(AssertUnwindSafe(|| {
-                if inject {
-                    panic!("injected fault (solve op)");
-                }
-                solve_query_cached_warm(
-                    self.program,
-                    self.callees,
-                    self.client,
-                    &self.queries[index],
-                    &self.config.tracer,
-                    &cache,
-                    &mut conn.icache,
-                    deadline,
-                    &mut qobs,
-                )
-            }));
-            let mut r = match solved {
-                Ok(r) => r,
-                Err(payload) => {
-                    // The interner was mid-mutation when the worker
-                    // unwound; it goes down with the attempt.
-                    conn.icache = InternCache::default();
-                    QueryResult {
-                        outcome: Outcome::Unresolved(Unresolved::EngineFault(panic_message(
-                            payload.as_ref(),
-                        ))),
-                        iterations: 0,
-                        micros: started.elapsed().as_micros(),
-                        escalations: 0,
-                        degradations: 0,
-                        retries: 0,
-                        meta: MetaStats::default(),
+            let stall = if attempt == 0 { *inject_stall_ms } else { None };
+            let (mut r, qobs) = if let Some((scope, dog)) = watchdog {
+                let icache = std::mem::take(&mut conn.icache);
+                match self.run_watched(scope, dog, index, &cache, icache, deadline, inject, stall)
+                {
+                    Ok((r, icache, qobs)) => {
+                        conn.icache = icache;
+                        (r, qobs)
+                    }
+                    Err(detail) => {
+                        // The worker is abandoned mid-run. It still
+                        // holds the retired generation's cache `Arc`
+                        // and its own interner, so nothing it touches
+                        // can reach a later request. No retry: a stall
+                        // consumed a whole watchdog budget already.
+                        self.watchdog_fired.fetch_add(1, Ordering::SeqCst);
+                        let fresh = self.quarantine_current();
+                        conn.generation = fresh;
+                        return Reply {
+                            text: self.error_line(req, "engine_stall", &detail),
+                            quarantine: true,
+                            shutdown: false,
+                        };
                     }
                 }
+            } else {
+                self.run_inline(conn, index, &cache, deadline, inject, stall)
             };
             r.retries = attempt;
             let transient = match &r.outcome {
@@ -522,6 +596,184 @@ where
             text: self.result_line(req, index, &result, generation, false),
             quarantine,
             shutdown: false,
+        }
+    }
+
+    /// One inline attempt on the calling thread (the unwatched path).
+    fn run_inline(
+        &self,
+        conn: &mut ConnState<C::Prim>,
+        index: usize,
+        cache: &Arc<ForwardCache<'p, C::State>>,
+        deadline: Deadline,
+        inject_panic: bool,
+        inject_stall_ms: Option<u64>,
+    ) -> (QueryResult<C::Param>, QueryObs) {
+        let mut qobs = QueryObs::new(index as u64, self.trace.is_some(), false);
+        let started = Instant::now();
+        let solved = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected fault (solve op)");
+            }
+            if let Some(ms) = inject_stall_ms {
+                // Deliberately non-cooperative: no deadline poll. With
+                // no watchdog this simply blocks the connection.
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            solve_query_cached_warm(
+                self.program,
+                self.callees,
+                self.client,
+                &self.queries[index],
+                &self.config.tracer,
+                cache,
+                &mut conn.icache,
+                deadline,
+                &mut qobs,
+            )
+        }));
+        let r = match solved {
+            Ok(r) => r,
+            Err(payload) => {
+                // The interner was mid-mutation when the worker
+                // unwound; it goes down with the attempt.
+                conn.icache = InternCache::default();
+                Self::fault_result(payload.as_ref(), started)
+            }
+        };
+        (r, qobs)
+    }
+
+    /// One attempt on a transport-scope worker thread, supervised by
+    /// the heartbeat monitor. `Ok` hands back the attempt's result plus
+    /// the interner the worker used; `Err` is a detected
+    /// non-cooperative stall (the detail string) — the worker was
+    /// abandoned, its interner with it.
+    #[allow(clippy::too_many_arguments)]
+    fn run_watched<'a>(
+        &'a self,
+        scope: &dyn SolveScope<'a>,
+        watchdog: Duration,
+        index: usize,
+        cache: &Arc<ForwardCache<'p, C::State>>,
+        icache: InternCache<C::Prim>,
+        deadline: Deadline,
+        inject_panic: bool,
+        inject_stall_ms: Option<u64>,
+    ) -> WatchedSolve<C::Param, C::Prim> {
+        let qid = self.next_req.fetch_add(1, Ordering::Relaxed);
+        let beat = Arc::new(AtomicU64::new(0));
+        self.inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(qid, Inflight { index, started: Instant::now(), beat: Arc::clone(&beat) });
+        let (tx, rx) = mpsc::channel();
+        let trace_on = self.trace.is_some();
+        scope.spawn(Box::new({
+            let cache = Arc::clone(cache);
+            let beat = Arc::clone(&beat);
+            move || {
+                let mut icache = icache;
+                let mut qobs = QueryObs::new(index as u64, trace_on, false);
+                let started = Instant::now();
+                if let Some(ms) = inject_stall_ms {
+                    // Deliberately non-cooperative: no deadline poll,
+                    // no heartbeat — exactly what the watchdog hunts.
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                let _hb = heartbeat::install_heartbeat(beat);
+                let solved = catch_unwind(AssertUnwindSafe(|| {
+                    if inject_panic {
+                        panic!("injected fault (solve op)");
+                    }
+                    solve_query_cached_warm(
+                        self.program,
+                        self.callees,
+                        self.client,
+                        &self.queries[index],
+                        &self.config.tracer,
+                        &cache,
+                        &mut icache,
+                        deadline,
+                        &mut qobs,
+                    )
+                }));
+                let r = match solved {
+                    Ok(r) => r,
+                    Err(payload) => {
+                        icache = InternCache::default();
+                        Self::fault_result(payload.as_ref(), started)
+                    }
+                };
+                // The monitor may have abandoned us; a dead receiver is
+                // fine — result and interner die with this thread.
+                let _ = tx.send((r, icache, qobs));
+            }
+        }));
+        // Heartbeat monitor: while the counter keeps moving the request
+        // is slow but alive; once it freezes for a whole watchdog
+        // budget the attempt is declared non-cooperatively stalled.
+        let slice = (watchdog / 4).max(Duration::from_millis(1));
+        let mut last_beat = 0u64;
+        let mut last_progress = Instant::now();
+        loop {
+            match rx.recv_timeout(slice) {
+                Ok(out) => {
+                    self.inflight
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .remove(&qid);
+                    return Ok(out);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    let t = beat.load(Ordering::Relaxed);
+                    if t != last_beat {
+                        last_beat = t;
+                        last_progress = Instant::now();
+                    } else if last_progress.elapsed() >= watchdog {
+                        let detail = {
+                            let mut map = self
+                                .inflight
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            let f = map.remove(&qid).expect("inflight entry");
+                            format!(
+                                "query {} made no progress for {}ms (running {}ms, {} heartbeats)",
+                                f.index,
+                                watchdog.as_millis(),
+                                f.started.elapsed().as_millis(),
+                                f.beat.load(Ordering::Relaxed),
+                            )
+                        };
+                        return Err(detail);
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    // The worker died without sending (its send is
+                    // unconditional, so this is a scope failure); treat
+                    // it exactly like a stall.
+                    self.inflight
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .remove(&qid);
+                    return Err(format!("query {index} worker vanished"));
+                }
+            }
+        }
+    }
+
+    fn fault_result(
+        payload: &(dyn std::any::Any + Send),
+        started: Instant,
+    ) -> QueryResult<C::Param> {
+        QueryResult {
+            outcome: Outcome::Unresolved(Unresolved::EngineFault(panic_message(payload))),
+            iterations: 0,
+            micros: started.elapsed().as_micros(),
+            escalations: 0,
+            degradations: 0,
+            retries: 0,
+            meta: MetaStats::default(),
         }
     }
 

@@ -25,6 +25,7 @@
 
 use crate::dpll::Model;
 use crate::PFormula;
+use pda_util::fault_point;
 use std::collections::HashMap;
 
 /// The ⊥ terminal: no satisfying assignment below this point.
@@ -139,6 +140,7 @@ impl Bdd {
     /// Conjoins `f` into the resident formula and invalidates the cached
     /// cost sweep. The arena and operation caches are retained.
     pub fn conjoin(&mut self, f: &PFormula) {
+        fault_point("bdd.conjoin");
         let g = self.build(f);
         self.root = self.and(self.root, g);
         self.sweep = None;
@@ -176,6 +178,7 @@ impl Bdd {
     /// is read back top-down preferring the `lo` edge on ties, with
     /// reduced-out atoms false — the canonical tie-break.
     pub fn solve(&mut self) -> Option<Model> {
+        fault_point("bdd.mincost");
         if self.is_false() {
             return None;
         }

@@ -2,7 +2,7 @@
 
 use crate::cnf::Cnf;
 use crate::PFormula;
-use pda_util::{Counter, Deadline, DeadlineExceeded, MemBudget, ObsRegistry, Span, SpanKind};
+use pda_util::{fault_point, Counter, Deadline, DeadlineExceeded, MemBudget, ObsRegistry, Span, SpanKind};
 
 /// A satisfying assignment together with its cost.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,6 +140,7 @@ impl MinCostSolver {
         obs: &mut ObsRegistry,
         budget: Option<&MemBudget>,
     ) -> Result<Option<Model>, DeadlineExceeded> {
+        fault_point("dpll.solve");
         let mut cnf = Cnf::new(self.n_atoms);
         for c in &self.constraints {
             cnf.require(c);

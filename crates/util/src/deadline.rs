@@ -12,8 +12,16 @@
 //! read is tens of nanoseconds, so polling is essentially free at that
 //! granularity).
 
+use std::cell::Cell;
 use std::fmt;
 use std::time::{Duration, Instant};
+
+thread_local! {
+    /// The deadline governing whatever work this thread is currently
+    /// doing, for code (injected stalls, fault actions) that sits outside
+    /// the normal limit-struct plumbing.
+    static AMBIENT: Cell<Deadline> = const { Cell::new(Deadline::NEVER) };
+}
 
 /// An optional absolute point in time after which work should stop.
 ///
@@ -79,6 +87,40 @@ impl Deadline {
             Ok(())
         }
     }
+
+    /// The deadline governing the current thread's work, as installed by
+    /// the innermost live [`Deadline::enter_ambient`] scope
+    /// ([`Deadline::NEVER`] outside any scope).
+    pub fn ambient() -> Deadline {
+        AMBIENT.with(Cell::get)
+    }
+
+    /// Publishes this deadline as the thread's ambient deadline for the
+    /// returned guard's lifetime. Scopes nest: dropping the guard
+    /// restores whatever was ambient before.
+    ///
+    /// Solve entry points install their per-query/per-attempt deadline
+    /// here so out-of-band sleepers — injected `stall` faults, the
+    /// `Fault::Stall` client — can poll it and cut a sleep short, even
+    /// though they sit outside the limit-struct plumbing.
+    #[must_use = "the ambient scope ends when the guard drops"]
+    pub fn enter_ambient(self) -> AmbientDeadlineGuard {
+        let prev = AMBIENT.with(|c| c.replace(self));
+        AmbientDeadlineGuard { prev }
+    }
+}
+
+/// Restores the previous ambient deadline on drop (see
+/// [`Deadline::enter_ambient`]).
+#[derive(Debug)]
+pub struct AmbientDeadlineGuard {
+    prev: Deadline,
+}
+
+impl Drop for AmbientDeadlineGuard {
+    fn drop(&mut self) {
+        AMBIENT.with(|c| c.set(self.prev));
+    }
 }
 
 /// The error reported by work aborted at an expired [`Deadline`].
@@ -141,6 +183,23 @@ mod tests {
         // saturates to a never-expiring deadline instead of panicking.
         let d = Deadline::after(Duration::MAX);
         assert!(d.is_never() || !d.expired());
+    }
+
+    #[test]
+    fn ambient_scopes_nest_and_restore() {
+        assert_eq!(Deadline::ambient(), Deadline::NEVER);
+        let outer = Deadline::after(Duration::from_secs(3600));
+        {
+            let _a = outer.enter_ambient();
+            assert_eq!(Deadline::ambient(), outer);
+            let inner = Deadline::after(Duration::from_secs(60));
+            {
+                let _b = inner.enter_ambient();
+                assert_eq!(Deadline::ambient(), inner);
+            }
+            assert_eq!(Deadline::ambient(), outer);
+        }
+        assert_eq!(Deadline::ambient(), Deadline::NEVER);
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Thread-local progress heartbeat for watchdog supervision.
+//!
+//! A transport that runs a solve on a dedicated worker thread installs a
+//! shared counter with [`install_heartbeat`]; the engine calls [`beat`]
+//! at every CEGAR iteration boundary. A monitor on the requesting thread
+//! watches the counter: while it keeps moving the request is slow but
+//! alive, and when it stops for longer than the watchdog budget the
+//! request is *non-cooperatively stalled* — stuck somewhere that never
+//! polls its deadline — and can be abandoned.
+//!
+//! When no heartbeat is installed (every non-watched path), [`beat`] is a
+//! thread-local read of a `None` and nothing else.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+thread_local! {
+    static BEAT: RefCell<Option<Arc<AtomicU64>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed heartbeat (usually none) on drop.
+#[derive(Debug)]
+pub struct HeartbeatGuard {
+    prev: Option<Arc<AtomicU64>>,
+}
+
+/// Installs `slot` as the calling thread's heartbeat counter until the
+/// returned guard drops. Nested installs restore the outer slot.
+#[must_use]
+pub fn install_heartbeat(slot: Arc<AtomicU64>) -> HeartbeatGuard {
+    let prev = BEAT.with(|b| b.borrow_mut().replace(slot));
+    HeartbeatGuard { prev }
+}
+
+impl Drop for HeartbeatGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        BEAT.with(|b| *b.borrow_mut() = prev);
+    }
+}
+
+/// Bumps the calling thread's heartbeat counter, if one is installed.
+pub fn beat() {
+    BEAT.with(|b| {
+        if let Some(slot) = b.borrow().as_ref() {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_only_while_installed_and_restores_outer() {
+        let outer = Arc::new(AtomicU64::new(0));
+        let inner = Arc::new(AtomicU64::new(0));
+        beat(); // no slot installed: a no-op
+        {
+            let _g = install_heartbeat(Arc::clone(&outer));
+            beat();
+            {
+                let _g2 = install_heartbeat(Arc::clone(&inner));
+                beat();
+                beat();
+            }
+            beat(); // outer restored
+        }
+        beat(); // nothing installed again
+        assert_eq!(outer.load(Ordering::Relaxed), 2);
+        assert_eq!(inner.load(Ordering::Relaxed), 2);
+    }
+}

@@ -24,6 +24,12 @@
 //!   [`TraceSink`] implementations behind `--trace`/`--metrics`.
 //! * [`json`] — the shared hand-rolled JSONL codec (flat objects) used by
 //!   both the batch checkpoint format and the trace-event stream.
+//! * [`faultplane`] — the deterministic fault-point injection plane:
+//!   named seams ([`fault_point`]) armed by a [`FaultPlan`]
+//!   (`--fault-plan`/`PDA_FAULT_PLAN`) that panics, stalls, IO-fails, or
+//!   aborts at exact, reproducible visits.
+//! * [`heartbeat`] — the thread-local progress counter the serve
+//!   watchdog uses to tell a slow request from a non-cooperative stall.
 //! * [`par`] — `std`-only work-pool and lock-striping helpers
 //!   ([`scoped_chunk_map`], [`StripedLock`]) behind the batch scheduler's
 //!   sharded forward cache and the meta-kernel's data-parallel paths.
@@ -42,6 +48,8 @@
 
 mod bitset;
 mod deadline;
+pub mod faultplane;
+pub mod heartbeat;
 mod idx;
 pub mod json;
 mod membudget;
@@ -51,7 +59,9 @@ mod rng;
 mod stats;
 
 pub use bitset::BitSet;
-pub use deadline::{Deadline, DeadlineExceeded};
+pub use deadline::{AmbientDeadlineGuard, Deadline, DeadlineExceeded};
+pub use faultplane::{fault_point, fault_point_io, FaultFile, FaultPlan};
+pub use heartbeat::{beat, install_heartbeat, HeartbeatGuard};
 pub use idx::IdxVec;
 pub use membudget::{parse_bytes, MemBudget};
 pub use obs::{

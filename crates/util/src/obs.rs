@@ -103,10 +103,18 @@ pub enum Counter {
     /// `BENCH_batch.json` can split solver wall out per engine even with
     /// span timing off.
     SolverMicros,
+    /// Faults fired by the deterministic fault plane
+    /// (`--fault-plan`/`PDA_FAULT_PLAN`), all action classes.
+    FaultsInjected,
+    /// I/O-class injected faults (`ioerr`/`shortwrite`), a subset of
+    /// [`Counter::FaultsInjected`].
+    IoFaults,
+    /// Non-cooperative stalls reclaimed by the serve watchdog.
+    WatchdogFired,
 }
 
 /// Number of [`Counter`] slots.
-pub const N_COUNTERS: usize = Counter::SolverMicros as usize + 1;
+pub const N_COUNTERS: usize = Counter::WatchdogFired as usize + 1;
 
 // ---- spans ----
 
@@ -353,7 +361,7 @@ impl ObsRegistry {
         format!(
             "{} queries, jobs={}: {:.1} q/s, cache {}/{} hits ({:.1}%), {} forward runs saved, \
              faults={} deadlines={} escalations={} retries={} resumed={} degradations={} shed={} \
-             contention={}µs solver={}µs\n{}",
+             injected={} io_injected={} watchdog={} contention={}µs solver={}µs\n{}",
             queries,
             self.get(Counter::Jobs),
             qps,
@@ -368,6 +376,9 @@ impl ObsRegistry {
             self.get(Counter::Resumed),
             self.get(Counter::Degradations),
             self.get(Counter::Shed),
+            self.get(Counter::FaultsInjected),
+            self.get(Counter::IoFaults),
+            self.get(Counter::WatchdogFired),
             self.get(Counter::LockWaitMicros),
             self.get(Counter::SolverMicros),
             render_meta_line(
@@ -856,11 +867,14 @@ mod tests {
         reg.set(Counter::Retries, 4);
         reg.set(Counter::LockWaitMicros, 11);
         reg.set(Counter::SolverMicros, 21);
+        reg.set(Counter::FaultsInjected, 6);
+        reg.set(Counter::IoFaults, 2);
+        reg.set(Counter::WatchdogFired, 1);
         assert_eq!(
             reg.render(),
             "32 queries, jobs=8: 16.0 q/s, cache 57/89 hits (64.0%), 57 forward runs saved, \
              faults=0 deadlines=0 escalations=1 retries=4 resumed=0 degradations=3 shed=2 \
-             contention=11µs solver=21µs\n\
+             injected=6 io_injected=2 watchdog=1 contention=11µs solver=21µs\n\
              meta: 7 cubes, wp 3/4 memo hits, subsumption 0/9 fast-rejected, 2 drops, 15µs"
         );
     }

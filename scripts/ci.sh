@@ -134,6 +134,79 @@ grep -q '"i":0,"outcome":"proven"' target/ci_serve_journal.jsonl \
     || { echo "ci: served verdict missing from the drain journal" >&2; exit 1; }
 echo "daemon smoke ok: fault isolated, generation quarantined, drained 0 with a valid journal"
 
+echo "== chaos smoke: seeded bench under a fixed fault plan =="
+# Arm the deterministic fault plane for one full bench run: a panic in
+# the DPLL kernel, an injected I/O error during a warm-store rebuild
+# (both absorbed by the retry policy), and a 25ms stall while a warm
+# cache slot is filling (a slow worker, not a failure). The run must
+# produce outcome lines byte-identical to the clean golden file, and
+# the resilience line must prove all three arms actually fired.
+chaos="$(PDA_FAULT_PLAN='dpll.solve@5=panic;cache.slot_fill@2=stall:25;warm.rebuild@1=ioerr' \
+    PDA_RETRY_FAULTS=2 PDA_BENCH_OUT=target/ci_bench_chaos.json ./target/release/batch)"
+echo "$chaos" | grep -q 'fault plane armed from PDA_FAULT_PLAN' \
+    || { echo "ci: chaos bench never armed the fault plane" >&2; exit 1; }
+diff scripts/expected_batch_outcomes.txt \
+    <(echo "$chaos" | grep -E '^(outcome [0-9]+:|tree/interned outcomes identical:|per-query outcomes identical across job counts:|viable-engine outcomes identical:)') \
+    || { echo "ci: chaos bench verdicts drifted from the golden outcomes" >&2; exit 1; }
+chaos_line="$(echo "$chaos" | grep '^resilience:')"
+echo "$chaos_line" | grep -Eq 'engine_faults=0 .* faults_injected=3 io_faults=1' \
+    || { echo "ci: chaos bench fault accounting wrong: $chaos_line" >&2; exit 1; }
+echo "$chaos_line" | grep -Eq ' retries=[1-9]' \
+    || { echo "ci: chaos bench faults were never absorbed by retries: $chaos_line" >&2; exit 1; }
+echo "chaos smoke ok: 3 injected faults absorbed, outcomes identical to the clean run"
+
+echo "== chaos smoke: kill-at-journal-write daemon round-trip =="
+# Life 1 is armed to abort the whole process at its second journal
+# append — a hard crash mid-serve, not a graceful drain. The journal it
+# leaves behind must be a loadable prefix holding the first verdict.
+# Life 2 restarts clean on that journal with the watchdog on: it must
+# resume the verdict, reclaim an injected non-cooperative stall within
+# the watchdog window, keep serving afterwards, and drain 0.
+rm -f target/ci_chaos.sock target/ci_chaos_journal.jsonl
+./target/release/pda serve target/ci_serve.jay --socket target/ci_chaos.sock \
+    --journal target/ci_chaos_journal.jsonl --fault-plan 'journal.append@2=abort' \
+    > target/ci_chaos1.log 2>&1 &
+chaos_pid=$!
+for _ in $(seq 1 100); do [ -S target/ci_chaos.sock ] && break; sleep 0.1; done
+[ -S target/ci_chaos.sock ] \
+    || { echo "ci: chaos daemon never bound its socket" >&2; kill "$chaos_pid" 2>/dev/null; exit 1; }
+creq() { ./target/release/pda request target/ci_chaos.sock "$1"; }
+creq '{"op":"solve","index":0}' | grep -q '"outcome":"proven"' \
+    || { echo "ci: chaos daemon failed its first solve" >&2; kill "$chaos_pid" 2>/dev/null; exit 1; }
+if creq '{"op":"solve","index":1}' > /dev/null 2>&1; then
+    echo "ci: chaos daemon answered past its armed abort point" >&2
+    kill "$chaos_pid" 2>/dev/null
+    exit 1
+fi
+if wait "$chaos_pid" 2>/dev/null; then
+    echo "ci: chaos daemon exited cleanly instead of aborting at journal.append" >&2
+    exit 1
+fi
+grep -q '"i":0,"outcome":"proven"' target/ci_chaos_journal.jsonl \
+    || { echo "ci: crashed daemon left no loadable journal prefix" >&2; exit 1; }
+rm -f target/ci_chaos.sock
+./target/release/pda serve target/ci_serve.jay --socket target/ci_chaos.sock \
+    --journal target/ci_chaos_journal.jsonl --allow-inject --watchdog-ms 200 \
+    > target/ci_chaos2.log 2>&1 &
+chaos_pid=$!
+for _ in $(seq 1 100); do [ -S target/ci_chaos.sock ] && break; sleep 0.1; done
+[ -S target/ci_chaos.sock ] \
+    || { echo "ci: restarted chaos daemon never bound its socket" >&2; kill "$chaos_pid" 2>/dev/null; exit 1; }
+creq '{"op":"solve","index":0}' | grep -q '"resumed":"true"' \
+    || { echo "ci: restarted daemon did not resume the crash-survivor verdict" >&2; kill "$chaos_pid" 2>/dev/null; exit 1; }
+creq '{"op":"solve","index":2,"inject":"stall:2000"}' | grep -q '"error":"engine_stall"' \
+    || { echo "ci: watchdog never reclaimed the injected stall" >&2; kill "$chaos_pid" 2>/dev/null; exit 1; }
+creq '{"op":"solve","index":2}' | grep -q '"outcome":"proven"' \
+    || { echo "ci: daemon stopped serving after a watchdog reclaim" >&2; kill "$chaos_pid" 2>/dev/null; exit 1; }
+creq '{"op":"health"}' | grep -q '"watchdog_fired":1' \
+    || { echo "ci: health does not account the watchdog firing" >&2; kill "$chaos_pid" 2>/dev/null; exit 1; }
+kill -TERM "$chaos_pid"
+wait "$chaos_pid" \
+    || { echo "ci: restarted chaos daemon exited non-zero on SIGTERM (see target/ci_chaos2.log)" >&2; exit 1; }
+grep -q 'watchdog=1' target/ci_chaos2.log \
+    || { echo "ci: drain summary missing the watchdog count" >&2; exit 1; }
+echo "chaos smoke ok: crash at journal.append left a resumable journal; watchdog reclaimed a frozen solve"
+
 echo "== scaling smoke: seeded scale bench, jobs 1 vs 8 =="
 # The scale bin replays the hedc batch at jobs=1 and jobs=8 (grid capped
 # for CI speed) and self-asserts per-query outcome identity against the

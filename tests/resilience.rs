@@ -26,7 +26,7 @@
 
 use pda_analysis::PointsTo;
 use pda_tracer::{
-    faulty_query, lift_query, nullcli::NullClient, solve_queries_batch,
+    faulty_query, lift_query, load_checkpoint, nullcli::NullClient, solve_queries_batch,
     solve_queries_batch_checkpointed, solve_query, BatchConfig, Escalation, Fault,
     FaultInjectingClient, Outcome, Query, QueryLimits, QueryResult, TracerConfig, Unresolved,
 };
@@ -272,6 +272,78 @@ fn checkpoint_resume_skips_finished_queries_and_survives_torn_tails() {
     .unwrap_err();
     assert!(err.to_string().contains("mismatch"), "{err}");
     std::fs::remove_file(&path).ok();
+}
+
+/// Byte-offset truncation torture: a valid v2 checkpoint truncated at
+/// *every* byte offset must never panic the loader, never fabricate or
+/// corrupt a record, and must recover every record whose line survived
+/// the cut completely — the exact durability contract a `kill -9`
+/// mid-write relies on.
+#[test]
+fn checkpoint_truncated_at_every_byte_offset_recovers_the_complete_prefix() {
+    let fx = Fixture::new(SRC);
+    let callees = |c: pda_lang::CallId| fx.pa.callees(c).to_vec();
+    let queries = fx.queries();
+    let batch = BatchConfig { jobs: 1, ..BatchConfig::default() };
+    let path = std::env::temp_dir()
+        .join(format!("pda-resilience-trunc-src-{}.jsonl", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    solve_queries_batch_checkpointed(&fx.program, &callees, &fx.client, &queries, &batch, &path)
+        .unwrap();
+
+    let bytes = std::fs::read(&path).unwrap();
+    let text = String::from_utf8(bytes.clone()).unwrap();
+    let full = load_checkpoint::<pda_util::BitSet>(&path, queries.len()).unwrap();
+    assert_eq!(full.len(), queries.len(), "the untruncated journal holds every record");
+
+    // Byte offset just past each line's newline, paired with the query
+    // index its record carries (the header has no index).
+    let mut header_end = 0;
+    let mut record_ends: Vec<(usize, usize)> = Vec::new();
+    let mut pos = 0;
+    for (j, line) in text.split_inclusive('\n').enumerate() {
+        pos += line.len();
+        if j == 0 {
+            header_end = pos;
+            continue;
+        }
+        let idx: usize = pda_util::json::parse_json_line(line.trim_end())
+            .and_then(|f| f.get("i").and_then(|v| v.parse().ok()))
+            .expect("every full record line carries its index");
+        record_ends.push((pos, idx));
+    }
+
+    let trunc = std::env::temp_dir()
+        .join(format!("pda-resilience-trunc-{}.jsonl", std::process::id()));
+    for t in 0..=bytes.len() {
+        std::fs::write(&trunc, &bytes[..t]).unwrap();
+        // Must never panic, whatever the offset.
+        match load_checkpoint::<pda_util::BitSet>(&trunc, queries.len()) {
+            Ok(restored) => {
+                // Exactly the complete prefix: nothing fully written is
+                // lost, and nothing is invented or altered.
+                for &(end, idx) in &record_ends {
+                    if end <= t {
+                        assert!(
+                            restored.contains_key(&idx),
+                            "offset {t}: completely-written record {idx} was lost"
+                        );
+                    }
+                }
+                for (idx, r) in &restored {
+                    assert_eq!(r, &full[idx], "offset {t}: record {idx} was corrupted");
+                }
+            }
+            // Only an incomplete header may make the file unusable —
+            // then nothing was durable yet.
+            Err(e) => assert!(
+                t < header_end,
+                "offset {t}: a valid header plus a torn tail must load, got: {e}"
+            ),
+        }
+    }
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&trunc).ok();
 }
 
 /// The full parallelism grid — batch workers crossed with in-query

@@ -20,7 +20,8 @@
 use pda_analysis::PointsTo;
 use pda_escape::{EscPrim, EscapeClient};
 use pda_serve::{
-    request_line, run_daemon, ConnState, DaemonOptions, LineBuilder, ServeConfig, Supervisor,
+    request_line, run_daemon, ConnState, DaemonOptions, LineBuilder, ServeConfig, SolveScope,
+    Supervisor,
 };
 use pda_suite::Benchmark;
 use pda_tracer::{
@@ -371,6 +372,106 @@ fn retry_policy_absorbs_an_injected_fault() {
     let mut conn = ConnState::new(sup_locked.generation());
     let f = fields(&sup_locked.handle_line(&mut conn, &inject).text);
     assert_eq!(f["error"], "inject_forbidden");
+}
+
+/// Adapts a test-local `std::thread::scope` into the supervisor's
+/// [`SolveScope`] capability, exactly as the daemon transports do.
+struct TestScope<'scope, 'env>(&'scope std::thread::Scope<'scope, 'env>);
+
+impl<'scope, 'env> SolveScope<'scope> for TestScope<'scope, 'env> {
+    fn spawn(&self, f: Box<dyn FnOnce() + Send + 'scope>) {
+        self.0.spawn(f);
+    }
+}
+
+#[test]
+fn watchdog_reclaims_a_non_cooperative_stall_and_the_daemon_keeps_serving() {
+    const WATCHDOG_MS: u64 = 100;
+    const STALL_MS: u64 = 2_000;
+
+    let fx = Fixture::new();
+    let client = EscapeClient::new(&fx.program);
+    let callees = fx.callees();
+    let (labels, queries) = fx.queries(&client);
+    assert!(!queries.is_empty());
+    let sup = Supervisor::new(
+        &fx.program,
+        &callees,
+        &client,
+        queries,
+        labels,
+        ServeConfig {
+            allow_inject: true,
+            watchdog_ms: Some(WATCHDOG_MS),
+            ..ServeConfig::default()
+        },
+    );
+
+    std::thread::scope(|scope| {
+        let spawner = TestScope(scope);
+        let mut conn = ConnState::new(sup.generation());
+
+        // A healthy watched solve first: the worker heartbeats every
+        // CEGAR iteration, so the watchdog must hold its fire even
+        // though the budget (100ms) is tight for a debug build.
+        let reply = sup.handle_line_watched(&mut conn, &solve_line(0), &spawner);
+        let f = fields(&reply.text);
+        assert_eq!(f["ok"], "true", "healthy watched solve failed: {}", reply.text);
+        assert!(!reply.quarantine);
+        assert_eq!(sup.watchdog_fired(), 0, "watchdog fired on a progressing solve");
+        let healthy = f;
+
+        // The non-cooperative stall: the worker sleeps 2s flat, polling
+        // no deadline and beating no heartbeat. The watchdog must
+        // reclaim the request in about 2x its budget — long before the
+        // stall would have ended — and quarantine the generation the
+        // abandoned worker still holds.
+        let inject = LineBuilder::new()
+            .str("op", "solve")
+            .num("index", 0)
+            .str("inject", &format!("stall:{STALL_MS}"))
+            .finish();
+        let started = std::time::Instant::now();
+        let reply = sup.handle_line_watched(&mut conn, &inject, &spawner);
+        let elapsed = started.elapsed();
+        let f = fields(&reply.text);
+        assert_eq!(f["ok"], "false");
+        assert_eq!(f["error"], "engine_stall");
+        assert!(f["detail"].contains("no progress"), "detail: {}", f["detail"]);
+        assert!(reply.quarantine, "a stall must quarantine the generation");
+        assert!(
+            elapsed < std::time::Duration::from_millis(STALL_MS),
+            "watchdog waited out the stall instead of reclaiming it ({elapsed:?})"
+        );
+        assert_eq!(sup.watchdog_fired(), 1);
+        assert_eq!(sup.generation(), 1);
+        assert_eq!(sup.inflight(), 0, "stalled request still counted in-flight");
+        sup.warm_generation();
+
+        // The daemon keeps serving: the next request lands on the fresh
+        // generation and matches the pre-stall verdict.
+        let reply = sup.handle_line_watched(&mut conn, &solve_line(0), &spawner);
+        let mut f = fields(&reply.text);
+        assert!(!reply.quarantine);
+        assert_eq!(f["ok"], "true");
+        assert_eq!(f.remove("generation").unwrap(), "1");
+        // The healthy pre-stall verdict was memoized; the post-stall
+        // solve serves it from memory.
+        assert_eq!(f.remove("resumed").unwrap(), "true");
+        for key in ["outcome", "param", "cost", "iterations"] {
+            if let Some(v) = healthy.get(key) {
+                assert_eq!(&f[key], v, "verdict drifted across the stall for `{key}`");
+            }
+        }
+
+        // The supervision counters surface through `health`.
+        let health = fields(&sup.handle_line(&mut conn, r#"{"op":"health"}"#).text);
+        assert_eq!(health["watchdog_fired"], "1");
+        assert_eq!(health["inflight"], "0");
+        assert_eq!(health["quarantines"], "1");
+        // The abandoned worker parks in this scope until its sleep ends;
+        // scope exit joins it (bounded by the stall).
+    });
 }
 
 fn temp_path(stem: &str) -> PathBuf {
